@@ -1,0 +1,48 @@
+// Ablation: what actually makes up the "system checking period"?
+//
+// DESIGN.md calls out that the checking period is dominated by
+// mon_osd_down_out_interval (the monitor's 600 s down->out timer), not by
+// peering work — the paper's §4.3 observation that optimizing EC recovery
+// alone "might not be enough in practice". This ablation sweeps the timer
+// and shows the checking fraction collapsing with it, plus the detection
+// (heartbeat-grace) contribution.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace ecf;
+
+int main() {
+  bench::print_header(
+      "Ablation: mon_osd_down_out_interval vs checking period");
+
+  util::TextTable table({"down_out_interval(s)", "total(s)", "checking(s)",
+                         "checking %"});
+  for (const double interval : {0.0, 60.0, 300.0, 600.0, 1200.0}) {
+    ecfault::ExperimentProfile p = bench::default_profile(false, 1.0);
+    p.cluster.protocol.down_out_interval_s = interval;
+    p.runs = 1;
+    const auto r = ecfault::Coordinator::run_experiment(p);
+    table.add_row({bench::fmt(interval, 0), bench::fmt(r.report.total(), 0),
+                   bench::fmt(r.report.checking_period(), 0),
+                   bench::fmt(100 * r.report.checking_fraction(), 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  bench::print_header("Ablation: heartbeat grace vs detection latency");
+  util::TextTable det({"grace(s)", "failure->detection(s)"});
+  for (const double grace : {5.0, 20.0, 60.0}) {
+    ecfault::ExperimentProfile p = bench::default_profile(false, 0.02);
+    p.cluster.protocol.heartbeat_grace_s = grace;
+    p.runs = 1;
+    const auto r = ecfault::Coordinator::run_experiment(p);
+    det.add_row({bench::fmt(grace, 0),
+                 bench::fmt(r.report.detection_time - r.report.failure_time, 1)});
+  }
+  std::printf("%s", det.to_string().c_str());
+  std::printf(
+      "\nTakeaway: the checking period is timer-dominated; a configuration\n"
+      "study that only measures decode bandwidth misses ~half the recovery\n"
+      "cycle. (This is the design rationale for modeling mon timers at all.)\n");
+  return 0;
+}

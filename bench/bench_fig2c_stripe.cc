@@ -1,0 +1,54 @@
+// Figure 2c: impact of stripe_unit on EC recovery time.
+// stripe_unit in {4 KiB, 4 MiB, 64 MiB} x {RS, Clay}, pg_num = 256;
+// normalized to RS @ 4 KiB. Expected shape: Clay at 4 KiB is pathological
+// (sub-packetization turns each encoding unit into 81 ~50-byte sub-chunks);
+// both codes degrade badly at 64 MiB (division-and-padding makes every
+// chunk a zero-padded 64 MiB unit, ~9x the recovery I/O).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace ecf;
+
+int main() {
+  bench::print_header("Figure 2c: Stripe unit vs EC recovery time (pg_num=256)");
+
+  struct Row {
+    std::uint64_t su;
+    double paper_rs;
+    double paper_clay;
+  };
+  const Row rows[] = {{4 * util::KiB, 1.00, 4.26},
+                      {4 * util::MiB, 1.08, 1.12},
+                      {64 * util::MiB, 3.29, 3.45}};
+
+  double base = 0;
+  {
+    ecfault::ExperimentProfile p = bench::default_profile(false, 1.0);
+    p.cluster.pool.stripe_unit = 4 * util::KiB;
+    base = ecfault::Coordinator::run_profile(p).mean_total;
+  }
+
+  util::TextTable table({"stripe_unit", "code", "recovery(s)", "normalized",
+                         "paper"});
+  for (const Row& r : rows) {
+    for (const bool clay : {false, true}) {
+      ecfault::ExperimentProfile p = bench::default_profile(clay, 1.0);
+      p.cluster.pool.stripe_unit = r.su;
+      const auto c = ecfault::Coordinator::run_profile(p);
+      table.add_row({util::format_bytes(r.su),
+                     clay ? "Clay(12,9,11)" : "RS(12,9)",
+                     bench::fmt(c.mean_total, 0),
+                     bench::fmt(c.mean_total / base, 2),
+                     bench::fmt(clay ? r.paper_clay : r.paper_rs, 2)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nPaper finding: both codes are highly sensitive to stripe_unit —\n"
+      "Clay @ 4KiB can be ~4x slower than the best case (sub-packetization\n"
+      "overhead), and @ 64MiB zero-padding inflates recovery I/O for both.\n"
+      "Normalization: RS @ 4 KiB. (The Clay@64MiB paper value is read off\n"
+      "the chart; the text only notes both codes are 'relatively high'.)\n");
+  return 0;
+}

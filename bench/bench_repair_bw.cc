@@ -1,0 +1,83 @@
+// Repair bandwidth vs theory: the I/O plans the simulator charges for,
+// compared against the codes' theoretical repair costs. Supports the
+// Fig. 2 analyses: Clay's single-failure plan reads d/(q*k) of what RS
+// reads, loses that property under multi-failure, and its sub-chunk reads
+// fragment into many IOs at small stripe units.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "ec/clay.h"
+#include "ec/lrc.h"
+#include "ec/rs.h"
+#include "ec/stripe.h"
+
+using namespace ecf;
+
+namespace {
+
+void report(const ec::ErasureCode& code,
+            const std::vector<std::size_t>& erased, util::TextTable& table) {
+  const ec::RepairPlan plan = code.repair_plan(erased);
+  std::string pattern;
+  for (const std::size_t e : erased) {
+    if (!pattern.empty()) pattern += ",";
+    pattern += std::to_string(e);
+  }
+  table.add_row({code.name(), pattern, std::to_string(plan.reads.size()),
+                 bench::fmt(plan.read_fraction_total(), 2),
+                 std::to_string(plan.total_subchunk_ios()),
+                 plan.bandwidth_optimal ? "yes" : "no",
+                 bench::fmt(plan.decode_cost_factor, 1)});
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Repair plans: bandwidth and IO fragmentation vs theory");
+
+  const ec::RsCode rs(12, 9);
+  const ec::ClayCode clay(12, 9, 11);
+  const ec::LrcCode lrc(8, 2, 2);
+
+  util::TextTable table({"code", "erased", "helpers", "chunk-equivalents read",
+                         "sub-chunk runs/stripe", "bw-optimal", "decode cost"});
+  report(rs, {0}, table);
+  report(clay, {0}, table);
+  report(rs, {0, 1}, table);
+  report(clay, {0, 1}, table);
+  report(rs, {0, 1, 2}, table);
+  report(clay, {0, 1, 2}, table);
+  report(lrc, {0}, table);
+  report(lrc, {10}, table);
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf(
+      "\nTheory: Clay(12,9,11) single-failure repair reads d/(q*k) = 11/27 =\n"
+      "%.3f of an RS repair (measured ratio: %.3f). The advantage disappears\n"
+      "for multi-failure patterns, where the coupled decode needs every\n"
+      "survivor in full — the Fig. 2d mechanism.\n",
+      clay.repair_bandwidth_fraction(),
+      clay.repair_plan({0}).read_fraction_total() /
+          rs.repair_plan({0}).read_fraction_total());
+
+  // Sub-chunk fragmentation per stripe-unit choice (Fig. 2c mechanism).
+  bench::print_header("Clay sub-chunk fragmentation per stripe unit");
+  util::TextTable frag({"stripe_unit", "sub-chunk size", "runs per unit read",
+                        "IOs per 64MiB object repair"});
+  for (const std::uint64_t su :
+       {4 * util::KiB, 64 * util::KiB, 4 * util::MiB, 64 * util::MiB}) {
+    const auto layout = ec::compute_stripe_layout(64 * util::MiB, 12, 9, su);
+    // Average runs over the failed chunk's position.
+    double runs = 0;
+    for (std::size_t f = 0; f < 12; ++f) {
+      runs += static_cast<double>(clay.repair_subchunk_runs(f));
+    }
+    runs /= 12.0;
+    const double ios = runs * static_cast<double>(layout.units_per_chunk) * 11;
+    frag.add_row({util::format_bytes(su),
+                  std::to_string(su / clay.alpha()) + " B",
+                  bench::fmt(runs, 1), bench::fmt(ios, 0)});
+  }
+  std::printf("%s", frag.to_string().c_str());
+  return 0;
+}

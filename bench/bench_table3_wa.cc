@@ -1,0 +1,74 @@
+// Table 3: write amplification of RS codes — theoretical n/k vs the
+// "Actual WA Factor" measured at the OSD level after the default workload
+// (10,000 x 64 MB object writes), for two codes with the same fault
+// tolerance (3 concurrent failures).
+//
+//   paper: J1 RS(12,9):  n/k = 1.33, actual 1.76  (+32.3%)
+//          J2 RS(15,12): n/k = 1.25, actual 2.15  (+72.0%)
+//
+// The gap comes from (1) zero padding of undersized encoding units under
+// the division-and-padding policy and (2) per-chunk metadata (onode/extent
+// maps, EC hash-info attributes, PG-log entries, amplified by RocksDB).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "cluster/cluster.h"
+#include "ec/wa_model.h"
+
+using namespace ecf;
+
+int main() {
+  bench::print_header("Table 3: Write amplification of RS codes");
+
+  struct Row {
+    const char* id;
+    std::size_t k;
+    std::size_t m;
+    double paper_actual;
+    double paper_diff_pct;
+  };
+  const Row rows[] = {{"J1 RS(12,9)", 9, 3, 1.76, 32.3},
+                      {"J2 RS(15,12)", 12, 3, 2.15, 72.0}};
+
+  util::TextTable table({"code", "n/k", "actual WA", "diff", "paper actual",
+                         "paper diff"});
+  for (const Row& r : rows) {
+    cluster::ClusterConfig cfg;
+    cfg.pool.ec_profile = {{"plugin", "jerasure"},
+                           {"k", std::to_string(r.k)},
+                           {"m", std::to_string(r.m)}};
+    cluster::Cluster cl(cfg);
+    cl.create_pool();
+    cl.apply_workload();
+    const double theoretical =
+        static_cast<double>(r.k + r.m) / static_cast<double>(r.k);
+    const double actual = cl.actual_wa();
+    const double diff = 100.0 * (actual / theoretical - 1.0);
+    table.add_row({r.id, bench::fmt(theoretical, 2), bench::fmt(actual, 2),
+                   "+" + bench::fmt(diff, 1) + "%",
+                   bench::fmt(r.paper_actual, 2),
+                   "+" + bench::fmt(r.paper_diff_pct, 1) + "%"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Breakdown for RS(12,9): where does the amplification come from?
+  {
+    cluster::ClusterConfig cfg;
+    cluster::Cluster cl(cfg);
+    cl.create_pool();
+    cl.apply_workload();
+    const double written = static_cast<double>(cl.workload_bytes());
+    std::printf(
+        "\nRS(12,9) breakdown: written %s; stored data (incl. padding) %s "
+        "(%.3fx);\nmetadata %s (%.3fx); total %.3fx\n",
+        util::format_bytes(cl.workload_bytes()).c_str(),
+        util::format_bytes(cl.total_data_bytes()).c_str(),
+        static_cast<double>(cl.total_data_bytes()) / written,
+        util::format_bytes(cl.total_meta_bytes()).c_str(),
+        static_cast<double>(cl.total_meta_bytes()) / written, cl.actual_wa());
+  }
+  std::printf(
+      "\nPaper finding: the Actual WA Factor always exceeds n/k, and the gap\n"
+      "depends strongly on (n,k) — n/k alone is not an accurate estimator.\n");
+  return 0;
+}

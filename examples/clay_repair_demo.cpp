@@ -1,0 +1,83 @@
+// Clay repair anatomy: a guided tour of the sub-packetized repair that
+// makes MSR codes interesting — and of the overheads that Fig. 2c shows
+// biting at small stripe units.
+//
+//   $ ./clay_repair_demo
+//
+// Walks through the Clay(12,9,11) grid/plane structure, repairs every
+// chunk from exact sub-chunk reads, and tabulates read bandwidth and
+// fragmentation per failed position.
+#include <cstdio>
+
+#include "ec/clay.h"
+#include "ec/rs.h"
+#include "ec/stripe.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using namespace ecf;
+
+int main() {
+  const ec::ClayCode clay(12, 9, 11);
+  std::printf("Clay(12,9,11): q = d-k+1 = %zu, t = n/q = %zu, "
+              "sub-packetization alpha = q^t = %zu\n",
+              clay.q(), clay.t(), clay.alpha());
+  std::printf("nodes live on a %zux%zu grid; chunk %% %zu sub-chunks\n\n",
+              clay.q(), clay.t(), clay.alpha());
+
+  // Encode an object.
+  util::Rng rng(7);
+  ec::Buffer object(972 * util::KiB);  // multiple of alpha for tidy numbers
+  for (auto& b : object) b = static_cast<gf::Byte>(rng.uniform(256));
+  auto chunks =
+      ec::split_object(object, clay.n(), clay.k(), 4 * util::KiB, clay.alpha());
+  clay.encode(chunks);
+  const std::size_t chunk_size = chunks[0].size();
+  const std::size_t sub = chunk_size / clay.alpha();
+  std::printf("encoded: chunk %s, sub-chunk %s\n\n",
+              util::format_bytes(chunk_size).c_str(),
+              util::format_bytes(sub).c_str());
+
+  util::TextTable table({"failed chunk", "grid (x,y)", "planes read",
+                         "contiguous runs", "bytes/helper", "repaired"});
+  for (std::size_t failed = 0; failed < clay.n(); ++failed) {
+    const auto planes = clay.repair_planes(failed);
+    std::vector<std::vector<ec::Buffer>> helper_planes;
+    for (std::size_t h = 0; h < clay.n(); ++h) {
+      if (h == failed) continue;
+      std::vector<ec::Buffer> supplied;
+      for (const std::size_t z : planes) {
+        supplied.emplace_back(chunks[h].begin() + z * sub,
+                              chunks[h].begin() + (z + 1) * sub);
+      }
+      helper_planes.push_back(std::move(supplied));
+    }
+    const ec::Buffer rebuilt =
+        clay.repair_one(failed, helper_planes, chunk_size);
+    char grid[48];
+    std::snprintf(grid, sizeof(grid), "(%zu,%zu)", failed % clay.q(),
+                  failed / clay.q());
+    table.add_row({std::to_string(failed), grid,
+                   std::to_string(planes.size()) + "/" +
+                       std::to_string(clay.alpha()),
+                   std::to_string(clay.repair_subchunk_runs(failed)),
+                   util::format_bytes(planes.size() * sub),
+                   rebuilt == chunks[failed] ? "bit-exact" : "MISMATCH"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const ec::RsCode rs(12, 9);
+  std::printf(
+      "\ntotals per repaired chunk: Clay reads %.2f chunk-equivalents from "
+      "%zu helpers;\nRS(12,9) reads %.2f from %zu. Clay saves %.0f%% of the "
+      "repair traffic —\nbut fragments each helper read into runs, which is "
+      "what hurts at 4 KiB\nstripe units (Fig. 2c).\n",
+      clay.repair_plan({0}).read_fraction_total(),
+      clay.repair_plan({0}).reads.size(),
+      rs.repair_plan({0}).read_fraction_total(),
+      rs.repair_plan({0}).reads.size(),
+      100.0 * (1.0 - clay.repair_plan({0}).read_fraction_total() /
+                         rs.repair_plan({0}).read_fraction_total()));
+  return 0;
+}

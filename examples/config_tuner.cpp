@@ -1,0 +1,96 @@
+// Configuration auto-tuner — the paper's §6 future-work idea made concrete:
+// "the quantitative analysis on configuration sensitivity could potentially
+// help create more intelligent mechanisms for tuning EC-based DSS
+// automatically."
+//
+//   $ ./config_tuner
+//
+// Searches the (code, pg_num, stripe_unit) space against the simulated
+// cluster, scoring each candidate on recovery time AND write
+// amplification, and prints a Pareto-style recommendation. Scaled-down
+// workload so the sweep finishes in seconds; pass a larger budget via
+// argv[1] (number of objects) to refine.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "ecfault/coordinator.h"
+#include "util/bytes.h"
+#include "util/stats.h"
+
+using namespace ecf;
+
+int main(int argc, char** argv) {
+  const std::uint64_t objects =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1500;
+
+  struct Candidate {
+    const char* code;
+    std::map<std::string, std::string> profile;
+    std::int32_t pg_num;
+    std::uint64_t su;
+    double recovery = 0;
+    double wa = 0;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [name, prof] :
+       std::vector<std::pair<const char*, std::map<std::string, std::string>>>{
+           {"RS(12,9)",
+            {{"plugin", "jerasure"}, {"k", "9"}, {"m", "3"}}},
+           {"Clay(12,9,11)",
+            {{"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}}}}) {
+    for (const std::int32_t pg : {64, 256}) {
+      for (const std::uint64_t su : {64 * util::KiB, 4 * util::MiB}) {
+        candidates.push_back({name, prof, pg, su});
+      }
+    }
+  }
+
+  std::printf("tuning over %zu candidates (workload: %llu x 64 MiB)...\n\n",
+              candidates.size(), static_cast<unsigned long long>(objects));
+
+  for (auto& c : candidates) {
+    ecfault::ExperimentProfile p;
+    p.cluster.pool.ec_profile = c.profile;
+    p.cluster.pool.pg_num = c.pg_num;
+    p.cluster.pool.stripe_unit = c.su;
+    p.cluster.workload.num_objects = objects;
+    p.fault.level = ecfault::FaultLevel::kNode;
+    p.runs = 1;
+    const auto r = ecfault::Coordinator::run_experiment(p);
+    c.recovery = r.report.total();
+    c.wa = r.actual_wa;
+  }
+
+  // Normalize both objectives to [0,1] and score; recovery weighted 2:1
+  // (the paper's subject) over capacity.
+  double rmin = 1e18, rmax = 0, wmin = 1e18, wmax = 0;
+  for (const auto& c : candidates) {
+    rmin = std::min(rmin, c.recovery);
+    rmax = std::max(rmax, c.recovery);
+    wmin = std::min(wmin, c.wa);
+    wmax = std::max(wmax, c.wa);
+  }
+  const Candidate* best = nullptr;
+  double best_score = 1e18;
+  util::TextTable table({"code", "pg_num", "stripe_unit", "recovery(s)",
+                         "actual WA", "score"});
+  for (const auto& c : candidates) {
+    const double rn = (c.recovery - rmin) / std::max(1e-9, rmax - rmin);
+    const double wn = (c.wa - wmin) / std::max(1e-9, wmax - wmin);
+    const double score = 2.0 * rn + wn;
+    if (score < best_score) {
+      best_score = score;
+      best = &c;
+    }
+    table.add_row({c.code, std::to_string(c.pg_num),
+                   util::format_bytes(c.su), util::fmt_double(c.recovery, 0),
+                   util::fmt_double(c.wa, 2), util::fmt_double(score, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nrecommendation: %s, pg_num=%d, stripe_unit=%s\n", best->code,
+              best->pg_num, util::format_bytes(best->su).c_str());
+  std::printf("(recovery weighted 2:1 over capacity; edit the weights for "
+              "your priorities)\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fault-injection campaign: the ECFault framework end to end, driven by a
+// JSON experiment profile — the way the paper's §4 case study runs.
+//
+//   $ ./fault_campaign                # built-in profile
+//   $ ./fault_campaign profile.json   # your own profile
+//
+// Builds the simulated Ceph cluster, applies the workload, plans a
+// tolerance-checked fault injection, replays the recovery, and prints the
+// Fig.-3-style timeline plus the measured metrics — all derived from the
+// collected logs, like the real framework.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ecfault/coordinator.h"
+#include "util/bytes.h"
+
+using namespace ecf;
+
+namespace {
+
+const char* kDefaultProfile = R"({
+  // Two concurrent device faults on different hosts against Clay(12,9,11):
+  // the Fig. 2d scenario, scaled down to run in about a second.
+  "name": "clay-2dev-diff-hosts",
+  "runs": 3,
+  "cluster": {
+    "num_hosts": 30,
+    "osds_per_host": 3,
+    "ec_profile": {"plugin": "clay", "k": 9, "m": 3, "d": 11},
+    "pool": {"pg_num": 128, "stripe_unit": 4194304, "failure_domain": "osd"},
+    "workload": {"num_objects": 2000, "object_size": 67108864}
+  },
+  "fault": {"level": "device", "count": 2, "topology": "different_hosts"}
+})";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text = kDefaultProfile;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+
+  ecfault::ExperimentProfile profile;
+  try {
+    profile = ecfault::ExperimentProfile::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad profile: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("experiment: %s (%d runs)\n", profile.name.c_str(), profile.runs);
+  std::printf("profile:\n%s\n\n", profile.dump().c_str());
+
+  const ecfault::CampaignResult campaign =
+      ecfault::Coordinator::run_profile(profile);
+  const ecfault::ExperimentResult& r = campaign.last;
+
+  std::printf("injected: ");
+  if (r.injected.level == ecfault::FaultLevel::kNode) {
+    for (const auto h : r.injected.node_victims) std::printf("host%d ", h);
+  } else {
+    for (const auto o : r.injected.device_victims) std::printf("osd.%d ", o);
+  }
+  std::printf("(%s faults, tolerance-checked)\n\n",
+              to_string(r.injected.level));
+
+  std::printf("%s\n", r.timeline.render().c_str());
+  std::printf("across %d runs: total %.0f±%.0f s (checking %.0f s, "
+              "EC recovery %.0f s)\n",
+              campaign.runs, campaign.mean_total, campaign.stddev_total,
+              campaign.mean_checking, campaign.mean_recovery);
+  std::printf("repairs: %llu objects, %s read, %s written, %llu wasted by "
+              "re-peering, %d osdmap epochs\n",
+              static_cast<unsigned long long>(r.report.objects_repaired),
+              util::format_bytes(r.report.bytes_read_for_recovery).c_str(),
+              util::format_bytes(r.report.bytes_written_for_recovery).c_str(),
+              static_cast<unsigned long long>(r.report.repairs_wasted),
+              r.report.epochs_published);
+  std::printf("storage: %s stored for %s written — actual WA %.2f "
+              "(theoretical %s)\n",
+              util::format_bytes(r.stored_bytes).c_str(),
+              util::format_bytes(profile.cluster.workload.num_objects *
+                                 profile.cluster.workload.object_size)
+                  .c_str(),
+              r.actual_wa, r.code_name.c_str());
+  std::printf("logs: %zu relevant records shipped through the bus\n",
+              r.log_records_published);
+  return 0;
+}

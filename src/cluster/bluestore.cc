@@ -1,0 +1,109 @@
+#include "cluster/bluestore.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace ecf::cluster {
+
+void BlueStore::ensure_ratios() const {
+  if (ratios_init_) return;
+  auto* self = const_cast<BlueStore*>(this);
+  self->kv_ratio_ = cache_.kv_ratio;
+  self->meta_ratio_ = cache_.meta_ratio;
+  self->data_ratio_ = cache_.data_ratio;
+  self->ratios_init_ = true;
+}
+
+namespace {
+std::uint64_t chunk_meta_bytes(const StoreConfig& s) {
+  const std::uint64_t raw =
+      s.onode_bytes + s.ec_attr_bytes + s.pg_log_entry_bytes;
+  return static_cast<std::uint64_t>(static_cast<double>(raw) *
+                                    s.rocksdb_space_amp) +
+         s.wal_bytes_per_write;
+}
+}  // namespace
+
+std::uint64_t BlueStore::write_chunk(std::uint64_t payload) {
+  const std::uint64_t alloc = util::round_up(payload, store_.min_alloc_size);
+  const std::uint64_t meta = chunk_meta_bytes(store_);
+  data_bytes_ += alloc;
+  meta_bytes_ += meta;
+  ++onode_count_;
+  return alloc + meta;
+}
+
+void BlueStore::remove_chunk(std::uint64_t payload) {
+  const std::uint64_t alloc = util::round_up(payload, store_.min_alloc_size);
+  data_bytes_ -= std::min(data_bytes_, alloc);
+  meta_bytes_ -= std::min(meta_bytes_, chunk_meta_bytes(store_));
+  if (onode_count_) --onode_count_;
+}
+
+std::uint64_t BlueStore::kv_working_set() const {
+  // RocksDB block-cache demand: pg log + dup entries and index blocks,
+  // inflated by the same space amplification the on-disk accounting uses.
+  return static_cast<std::uint64_t>(
+      static_cast<double>(onode_count_ * store_.pg_log_entry_bytes) *
+      store_.rocksdb_space_amp);
+}
+
+std::uint64_t BlueStore::meta_working_set() const {
+  // Decoded onode/extent cache demand (+ EC shard attrs consulted on every
+  // shard read).
+  return static_cast<std::uint64_t>(
+      static_cast<double>(onode_count_ *
+                          (store_.onode_bytes + store_.ec_attr_bytes)) *
+      store_.rocksdb_space_amp / 2.0);
+}
+
+namespace {
+double hit_rate(double cache_bytes, std::uint64_t working_set) {
+  if (working_set == 0) return 1.0;
+  return std::min(1.0, cache_bytes / static_cast<double>(working_set));
+}
+}  // namespace
+
+double BlueStore::kv_hit_rate() const {
+  ensure_ratios();
+  return hit_rate(kv_ratio_ * static_cast<double>(cache_.cache_bytes),
+                  kv_working_set());
+}
+
+double BlueStore::meta_hit_rate() const {
+  ensure_ratios();
+  return hit_rate(meta_ratio_ * static_cast<double>(cache_.cache_bytes),
+                  meta_working_set());
+}
+
+double BlueStore::data_hit_rate() const {
+  ensure_ratios();
+  return hit_rate(data_ratio_ * static_cast<double>(cache_.cache_bytes),
+                  data_working_set());
+}
+
+void BlueStore::autotune_step() {
+  if (!cache_.autotune) return;
+  ensure_ratios();
+  const auto total = static_cast<double>(cache_.cache_bytes);
+  // Demand-proportional assignment with KV and metadata served first (the
+  // BlueStore autotuner's priority ordering), data gets the remainder.
+  const double kv_want =
+      std::min(0.70, static_cast<double>(kv_working_set()) / total);
+  const double meta_want =
+      std::min(0.70, static_cast<double>(meta_working_set()) / total);
+  double kv = kv_want, meta = meta_want;
+  if (kv + meta > 0.95) {
+    const double scale = 0.95 / (kv + meta);
+    kv *= scale;
+    meta *= scale;
+  }
+  // Converge gradually (autotune resizes in steps, not jumps).
+  const double rate = 0.5;
+  kv_ratio_ += rate * (kv - kv_ratio_);
+  meta_ratio_ += rate * (meta - meta_ratio_);
+  data_ratio_ = std::max(0.05, 1.0 - kv_ratio_ - meta_ratio_);
+}
+
+}  // namespace ecf::cluster

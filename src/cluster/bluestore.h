@@ -1,0 +1,92 @@
+// BlueStore model: on-disk space accounting and the three-segment cache.
+//
+// Two roles:
+//
+//  1. Write-amplification accounting (Table 3). Every EC chunk write costs
+//     more than its payload: allocation rounding to min_alloc_size, the
+//     onode + extent metadata written through RocksDB (with its own write
+//     amplification), the EC shard attributes (hash info), and a PG-log
+//     entry. stored_bytes() is what `ceph osd df` would report and is what
+//     the paper divides by the workload's write size to get the
+//     "Actual WA Factor".
+//
+//  2. The cache model behind Fig. 2a. BlueStore partitions its cache into
+//     KV (RocksDB block cache), metadata (onodes) and data segments by
+//     ratio; autotune resizes the ratios. Hit rates follow the classic
+//     size/working-set approximation: a segment holding c bytes of a
+//     working set of w bytes hits with probability min(1, c/w). Recovery
+//     and peering consult these hit rates to decide how much of their
+//     reads actually reach the disk.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/config.h"
+
+namespace ecf::cluster {
+
+class BlueStore {
+ public:
+  BlueStore(const StoreConfig& store, const CacheConfig& cache)
+      : store_(store), cache_(cache) {}
+
+  // Account an EC chunk write of `payload` bytes (already padded to the
+  // stripe unit by the pool write path). Returns bytes added to the device.
+  std::uint64_t write_chunk(std::uint64_t payload);
+
+  // Account removal (used when a recovered chunk supersedes a degraded
+  // one elsewhere; not exercised by the paper's experiments).
+  void remove_chunk(std::uint64_t payload);
+
+  // --- space accounting ----------------------------------------------------
+  std::uint64_t stored_bytes() const { return data_bytes_ + meta_bytes_; }
+  std::uint64_t data_bytes() const { return data_bytes_; }      // incl. padding/alloc
+  std::uint64_t meta_bytes() const { return meta_bytes_; }
+  std::uint64_t onode_count() const { return onode_count_; }
+
+  // --- cache model -----------------------------------------------------------
+  // Current effective ratios (autotune may have resized them).
+  double kv_ratio() const {
+    ensure_ratios();
+    return kv_ratio_;
+  }
+  double meta_ratio() const {
+    ensure_ratios();
+    return meta_ratio_;
+  }
+  double data_ratio() const {
+    ensure_ratios();
+    return data_ratio_;
+  }
+
+  // Working sets the segments compete over.
+  std::uint64_t kv_working_set() const;
+  std::uint64_t meta_working_set() const;
+  std::uint64_t data_working_set() const { return data_bytes_; }
+
+  double kv_hit_rate() const;
+  double meta_hit_rate() const;
+  double data_hit_rate() const;
+
+  // One autotune resizing step: ratios move toward the segments' relative
+  // working-set demand, with KV/meta prioritized over data (BlueStore's
+  // autotuner assigns data the remainder). No-op when autotune is off.
+  void autotune_step();
+
+  const CacheConfig& cache_config() const { return cache_; }
+
+ private:
+  StoreConfig store_;
+  CacheConfig cache_;
+  double kv_ratio_ = -1;    // lazily initialized from cache_ on first use
+  double meta_ratio_ = -1;
+  double data_ratio_ = -1;
+  std::uint64_t data_bytes_ = 0;
+  std::uint64_t meta_bytes_ = 0;
+  std::uint64_t onode_count_ = 0;
+
+  void ensure_ratios() const;
+  mutable bool ratios_init_ = false;
+};
+
+}  // namespace ecf::cluster

@@ -1,0 +1,150 @@
+// Foreground client-load generator: replays read/write ops against the
+// pool while the experiment runs. Reads of shards on dead OSDs degrade
+// into inline reconstructions (gather k survivors, decode at the primary),
+// so failures surface as client latency — and client traffic competes with
+// recovery for the same disks and NICs.
+#include <algorithm>
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "cluster/impl_types.h"
+#include "ec/stripe.h"
+#include "util/bytes.h"
+
+namespace ecf::cluster {
+
+void Cluster::start_client_load() {
+  if (config_.client.ops_per_s <= 0) return;
+  if (!workload_applied_) throw std::logic_error("apply_workload first");
+  issue_client_op();
+}
+
+void Cluster::issue_client_op() {
+  const auto& cc = config_.client;
+  if (engine_.now() >= cc.horizon_s) return;
+  // Poisson arrivals.
+  util::Rng op_rng = rng_.child(0xC11E57 ^ static_cast<std::uint64_t>(
+                                               engine_.now() * 1e6) ^
+                                report_.client_ops);
+  const double gap = op_rng.exponential(1.0 / cc.ops_per_s);
+  engine_.schedule(gap, [this] {
+    const auto& c = config_.client;
+    util::Rng rng = rng_.child(0x0D0A ^ report_.client_ops);
+    const auto pgid = static_cast<PgId>(
+        rng.uniform(static_cast<std::uint64_t>(config_.pool.pg_num)));
+    Pg& pg = *pgs_[static_cast<std::size_t>(pgid)];
+    const double start = engine_.now();
+    ++report_.client_ops;
+
+    const bool is_read = rng.uniform01() < c.read_fraction;
+    const ec::StripeLayout layout = ec::compute_stripe_layout(
+        config_.workload.object_size, code_->n(), code_->k(),
+        config_.pool.stripe_unit);
+    const OsdId primary = primary_of(pg);
+    if (primary == kNoOsd) {
+      issue_client_op();
+      return;
+    }
+    Host* phost = hosts_[static_cast<std::size_t>(
+                             osds_[static_cast<std::size_t>(primary)]->host)]
+                      .get();
+
+    auto finish = [this, start](sim::SimTime done) {
+      const double latency = done - start;
+      report_.client_latency_sum += latency;
+      report_.client_latency_max =
+          std::max(report_.client_latency_max, latency);
+    };
+
+    if (is_read) {
+      // Read c.op_bytes: lands on ceil(op/su) consecutive data shards.
+      const std::size_t shards = std::max<std::uint64_t>(
+          1, std::min<std::uint64_t>(
+                 code_->k(),
+                 util::ceil_div(c.op_bytes, config_.pool.stripe_unit)));
+      bool degraded = false;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t pos = rng.uniform(code_->k());
+        if (!osd_alive(pg.acting[pos])) degraded = true;
+      }
+      if (!degraded) {
+        // Normal path: shard reads in parallel, reply through the primary.
+        sim::SimTime done = engine_.now();
+        const std::uint64_t per_shard = c.op_bytes / shards;
+        for (std::size_t s = 0; s < shards; ++s) {
+          const std::size_t pos = rng.uniform(code_->k());
+          Osd& o = *osds_[static_cast<std::size_t>(pg.acting[pos])];
+          const auto& store = o.store;
+          const auto bytes = static_cast<std::uint64_t>(
+              static_cast<double>(per_shard) * (1.0 - store.data_hit_rate()));
+          done = std::max(done, o.disk->read(engine_, bytes, 1));
+        }
+        done = std::max(done, phost->nic.send(engine_, c.op_bytes, 1));
+        engine_.schedule_at(done, [finish, this] { finish(engine_.now()); });
+      } else {
+        // Degraded read: gather per the code's repair plan and decode
+        // inline. Clay turns this into a sub-chunk gather; RS reads k full
+        // shard extents.
+        ++report_.degraded_reads;
+        std::vector<std::size_t> dead;
+        for (std::size_t pos = 0; pos < pg.acting.size(); ++pos) {
+          if (!osd_alive(pg.acting[pos])) dead.push_back(pos);
+        }
+        const ec::RepairPlan plan = code_->repair_plan(dead);
+        const double extent_fraction =
+            static_cast<double>(c.op_bytes) /
+            static_cast<double>(layout.chunk_size * code_->k());
+        auto pending = std::make_shared<std::size_t>(plan.reads.size());
+        for (const auto& r : plan.reads) {
+          Osd& helper = *osds_[static_cast<std::size_t>(pg.acting[r.chunk])];
+          Host* hhost =
+              hosts_[static_cast<std::size_t>(helper.host)].get();
+          const auto bytes = std::max<std::uint64_t>(
+              4096, static_cast<std::uint64_t>(
+                        static_cast<double>(layout.chunk_size) * r.fraction *
+                        extent_fraction));
+          const sim::SimTime t_read =
+              helper.disk->read(engine_, bytes, r.subchunk_ios);
+          engine_.schedule_at(t_read, [this, bytes, hhost, phost, pending,
+                                       finish, primary, plan] {
+            const sim::SimTime t_tx = hhost->nic.send(engine_, bytes, 1);
+            engine_.schedule_at(t_tx, [this, bytes, phost, pending, finish,
+                                       primary, plan] {
+              const sim::SimTime t_rx = phost->nic.recv(engine_, bytes, 1);
+              engine_.schedule_at(t_rx, [this, pending, finish, primary,
+                                         plan] {
+                if (--*pending != 0) return;
+                Osd& p = *osds_[static_cast<std::size_t>(primary)];
+                const sim::SimTime t_cpu = p.cpu.compute(
+                    engine_, config_.client.op_bytes, plan.decode_cost_factor);
+                engine_.schedule_at(t_cpu,
+                                    [finish, this] { finish(engine_.now()); });
+              });
+            });
+          });
+        }
+      }
+    } else {
+      // Full-stripe write: encode at the primary, push all n shards.
+      const sim::SimTime t_cpu =
+          osds_[static_cast<std::size_t>(primary)]->cpu.compute(engine_,
+                                                                c.op_bytes, 1.0);
+      engine_.schedule_at(t_cpu, [this, pgid, finish, phost] {
+        Pg& pg2 = *pgs_[static_cast<std::size_t>(pgid)];
+        const auto shard_bytes = std::max<std::uint64_t>(
+            4096, config_.client.op_bytes / code_->k());
+        sim::SimTime done = engine_.now();
+        for (std::size_t pos = 0; pos < pg2.acting.size(); ++pos) {
+          if (!osd_alive(pg2.acting[pos])) continue;
+          Osd& o = *osds_[static_cast<std::size_t>(pg2.acting[pos])];
+          done = std::max(done, o.disk->write(engine_, shard_bytes, 1));
+        }
+        done = std::max(done, phost->nic.send(engine_, config_.client.op_bytes, 2));
+        engine_.schedule_at(done, [finish, this] { finish(engine_.now()); });
+      });
+    }
+    issue_client_op();
+  });
+}
+
+}  // namespace ecf::cluster

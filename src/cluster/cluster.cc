@@ -1,0 +1,260 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cluster/impl_types.h"
+#include "ec/registry.h"
+#include "ec/stripe.h"
+#include "util/bytes.h"
+
+namespace ecf::cluster {
+
+Cluster::Cluster(ClusterConfig config, LogSinkFn sink)
+    : config_(std::move(config)),
+      sink_(std::move(sink)),
+      rng_(config_.seed),
+      mon_cpu_(config_.hw.cpu) {
+  if (config_.num_hosts < 1 || config_.osds_per_host < 1) {
+    throw std::invalid_argument("cluster needs at least one host and OSD");
+  }
+  util::Rng phase_rng = rng_.child(0xbeef);
+  std::vector<HostId> host_of;
+  for (HostId h = 0; h < config_.num_hosts; ++h) {
+    hosts_.push_back(std::make_unique<Host>(h, config_.hw));
+    hosts_.back()->hb_phase = phase_rng.uniform01();
+    for (int d = 0; d < config_.osds_per_host; ++d) {
+      const OsdId id = static_cast<OsdId>(osds_.size());
+      auto osd = std::make_unique<Osd>(config_.store, config_.cache, config_.hw);
+      osd->id = id;
+      osd->host = h;
+      osd->nqn = nvmeof::make_nqn(static_cast<std::size_t>(h),
+                                  static_cast<std::size_t>(d));
+      osd->hb_offset = phase_rng.uniform01() * 0.5;
+      // Provision the virtual disk through the host's NVMe-oF target — the
+      // paper's §3.1 lever for device-state control.
+      hosts_.back()->target.create_subsystem(osd->nqn, config_.osd_capacity,
+                                             osd->disk.get());
+      hosts_.back()->target.connect(osd->nqn);
+      hosts_.back()->osds.push_back(id);
+      host_of.push_back(h);
+      osds_.push_back(std::move(osd));
+    }
+  }
+  alive_.assign(osds_.size(), true);
+  std::vector<int> rack_of_host;
+  for (HostId h = 0; h < config_.num_hosts; ++h) {
+    rack_of_host.push_back(h / std::max(1, config_.hosts_per_rack));
+  }
+  crush_ = std::make_unique<Crush>(host_of, rack_of_host,
+                                   config_.pool.failure_domain,
+                                   config_.seed ^ 0xC0FFEE);
+  log("mon.0", "mon",
+      "cluster up: " + std::to_string(config_.num_hosts) + " hosts, " +
+          std::to_string(osds_.size()) + " osds");
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::log(const std::string& node, const std::string& subsys,
+                  const std::string& message) {
+  if (sink_) sink_({engine_.now(), node, subsys, message});
+}
+
+void Cluster::create_pool() {
+  if (pool_created_) throw std::logic_error("pool already created");
+  code_ = ec::make_code(config_.pool.ec_profile);
+  if (static_cast<int>(code_->n()) > config_.num_osds()) {
+    throw std::invalid_argument("EC width exceeds OSD count");
+  }
+  for (PgId pgid = 0; pgid < config_.pool.pg_num; ++pgid) {
+    auto pg = std::make_unique<Pg>();
+    pg->id = pgid;
+    pg->acting = crush_->acting_set(pgid, code_->n(), alive_);
+    pgs_.push_back(std::move(pg));
+  }
+  pool_created_ = true;
+  log("mon.0", "mon",
+      "pool created: " + code_->name() + " pg_num=" +
+          std::to_string(config_.pool.pg_num) + " stripe_unit=" +
+          util::format_bytes(config_.pool.stripe_unit) + " failure_domain=" +
+          to_string(config_.pool.failure_domain));
+}
+
+void Cluster::apply_workload() {
+  if (!pool_created_) throw std::logic_error("create_pool first");
+  if (workload_applied_) throw std::logic_error("workload already applied");
+  const auto& wl = config_.workload;
+  const ec::StripeLayout layout = ec::compute_stripe_layout(
+      wl.object_size, code_->n(), code_->k(), config_.pool.stripe_unit);
+  util::Rng place = rng_.child(0x0b7ec7);
+  for (std::uint64_t obj = 0; obj < wl.num_objects; ++obj) {
+    // Objects hash uniformly over PGs (rjenkins in Ceph; any uniform
+    // deterministic map works here).
+    const auto pgid = static_cast<PgId>(
+        place.uniform(static_cast<std::uint64_t>(config_.pool.pg_num)));
+    Pg& pg = *pgs_[static_cast<std::size_t>(pgid)];
+    ++pg.num_objects;
+    for (std::size_t pos = 0; pos < code_->n(); ++pos) {
+      Osd& osd = *osds_[static_cast<std::size_t>(pg.acting[pos])];
+      osd.store.write_chunk(layout.chunk_size);
+      ++osd.chunk_count;
+    }
+  }
+  // Let the cache autotuner converge on the ingested working set.
+  for (int step = 0; step < 12; ++step) {
+    for (auto& osd : osds_) osd->store.autotune_step();
+  }
+  workload_applied_ = true;
+  log("mon.0", "mgr",
+      "workload applied: " + std::to_string(wl.num_objects) + " x " +
+          util::format_bytes(wl.object_size) + " objects");
+}
+
+void Cluster::fail_device(OsdId osd_id) {
+  Osd& osd = *osds_.at(static_cast<std::size_t>(osd_id));
+  if (!osd.device_ok) return;
+  Host& host = *hosts_[static_cast<std::size_t>(osd.host)];
+  host.target.remove_subsystem(osd.nqn, engine_.now());
+  osd.device_ok = false;
+  if (report_.failure_time < 0) report_.failure_time = engine_.now();
+  log(host.target.node(), "nvmeof", "subsystem removed: " + osd.nqn);
+  // The OSD daemon hits EIO on the vanished device and aborts; peers stop
+  // receiving its heartbeats.
+  log("osd." + std::to_string(osd_id), "osd",
+      "bdev I/O error (EIO), aborting");
+  on_device_removed(osd_id);
+}
+
+void Cluster::fail_host(HostId host_id) {
+  Host& host = *hosts_.at(static_cast<std::size_t>(host_id));
+  if (!host.alive) return;
+  host.alive = false;
+  if (report_.failure_time < 0) report_.failure_time = engine_.now();
+  log(host.target.node(), "osd", "node failure injected (shutdown)");
+  for (const OsdId o : host.osds) {
+    Osd& osd = *osds_[static_cast<std::size_t>(o)];
+    if (!osd.process_up) continue;
+    osd.process_up = false;
+    on_device_removed(o);
+  }
+}
+
+RecoveryReport Cluster::run_to_recovery() {
+  engine_.run();
+  return report_;
+}
+
+std::uint64_t Cluster::total_stored_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& osd : osds_) total += osd->store.stored_bytes();
+  return total;
+}
+
+std::uint64_t Cluster::total_data_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& osd : osds_) total += osd->store.data_bytes();
+  return total;
+}
+
+std::uint64_t Cluster::total_meta_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& osd : osds_) total += osd->store.meta_bytes();
+  return total;
+}
+
+std::uint64_t Cluster::workload_bytes() const {
+  return config_.workload.num_objects * config_.workload.object_size;
+}
+
+double Cluster::actual_wa() const {
+  const std::uint64_t written = workload_bytes();
+  if (written == 0) return 0;
+  return static_cast<double>(total_stored_bytes()) /
+         static_cast<double>(written);
+}
+
+HostId Cluster::host_of(OsdId osd) const {
+  return osds_.at(static_cast<std::size_t>(osd))->host;
+}
+
+int Cluster::rack_of(HostId host) const {
+  if (host < 0 || host >= config_.num_hosts) {
+    throw std::out_of_range("rack_of: bad host");
+  }
+  return host / std::max(1, config_.hosts_per_rack);
+}
+
+std::vector<OsdId> Cluster::osds_on_host(HostId host) const {
+  return hosts_.at(static_cast<std::size_t>(host))->osds;
+}
+
+bool Cluster::osd_alive(OsdId osd) const {
+  const Osd& o = *osds_.at(static_cast<std::size_t>(osd));
+  return o.device_ok && o.process_up;
+}
+
+int Cluster::num_failed_osds() const {
+  int n = 0;
+  for (const auto& osd : osds_) {
+    if (!osd->device_ok || !osd->process_up) ++n;
+  }
+  return n;
+}
+
+const BlueStore& Cluster::store(OsdId osd) const {
+  return osds_.at(static_cast<std::size_t>(osd))->store;
+}
+
+nvmeof::Target& Cluster::target(HostId host) {
+  return hosts_.at(static_cast<std::size_t>(host))->target;
+}
+
+Cluster::DeviceStats Cluster::disk_stats(OsdId osd) const {
+  const Osd& o = *osds_.at(static_cast<std::size_t>(osd));
+  DeviceStats stats;
+  stats.bytes_read = o.disk->bytes_read();
+  stats.bytes_written = o.disk->bytes_written();
+  stats.io_count = o.disk->io_count();
+  stats.busy_seconds = o.disk->server().busy_seconds();
+  return stats;
+}
+
+Cluster::NicStats Cluster::nic_stats(HostId host) const {
+  const Host& h = *hosts_.at(static_cast<std::size_t>(host));
+  NicStats stats;
+  stats.bytes_sent = h.nic.bytes_sent();
+  stats.bytes_received = h.nic.bytes_received();
+  stats.tx_busy_seconds = h.nic.tx().busy_seconds();
+  stats.rx_busy_seconds = h.nic.rx().busy_seconds();
+  return stats;
+}
+
+std::vector<PgId> Cluster::pgs_on_osd(OsdId osd) const {
+  std::vector<PgId> out;
+  for (const auto& pg : pgs_) {
+    if (std::find(pg->acting.begin(), pg->acting.end(), osd) !=
+        pg->acting.end()) {
+      out.push_back(pg->id);
+    }
+  }
+  return out;
+}
+
+std::size_t Cluster::objects_in_pg(PgId pg) const {
+  return pgs_.at(static_cast<std::size_t>(pg))->num_objects;
+}
+
+std::vector<OsdId> Cluster::pg_acting(PgId pg) const {
+  return pgs_.at(static_cast<std::size_t>(pg))->acting;
+}
+
+OsdId Cluster::primary_of(const Pg& pg) const {
+  // First surviving member of the acting set acts as recovery primary.
+  for (const OsdId o : pg.acting) {
+    if (osd_alive(o)) return o;
+  }
+  return kNoOsd;
+}
+
+}  // namespace ecf::cluster

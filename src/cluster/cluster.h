@@ -1,0 +1,229 @@
+// SimCeph: a discrete-event model of an erasure-coded Ceph cluster.
+//
+// The class owns the whole simulated system: hosts with NICs, OSDs with
+// NVMe-oF-provisioned disks and BlueStore accounting, a MON/MGR with
+// failure detection and osdmap epochs, an EC pool with CRUSH placement,
+// and the peering + recovery state machines. The paper's experiments map
+// onto it as:
+//
+//   apply_workload()     — §4.1's 10,000 x 64 MB object writes (space
+//                          accounting + PG population; ingest time is not
+//                          part of any measured result, so writes are not
+//                          simulated in time)
+//   fail_device / fail_host — §3.2's fault injection levers (invoked by
+//                          the ECFault Worker through the nvmeof targets)
+//   engine().run()       — plays out detection, checking, recovery
+//   RecoveryReport       — Fig. 2/Fig. 3 measurements
+//   actual_wa()          — Table 3's "Actual WA Factor"
+//
+// Recovery pipeline (per the Ceph protocol, simplified to the stages that
+// cost time):
+//   device failure → heartbeat timeout (grace + phase jitter) → MON marks
+//   the OSD down (logged: "failure detected") → down-out interval elapses →
+//   MON marks it out, publishes a new osdmap epoch → affected PGs peer
+//   (log scan, missing-set computation; kv-cache dependent) → recovery
+//   reservation (osd_max_backfills) → object repairs (helper disk reads →
+//   helper NIC → primary NIC → decode CPU → target NIC → target disk
+//   write), osd_recovery_max_active in flight per PG → PG clean.
+//
+// A new epoch arriving mid-recovery interrupts affected PGs: in-flight
+// repairs are wasted, peering re-runs, and repair plans are recomputed with
+// the enlarged erasure set (this is how the Fig. 2d locality asymmetry
+// emerges — see DESIGN.md §5).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/bluestore.h"
+#include "cluster/config.h"
+#include "cluster/crush.h"
+#include "cluster/types.h"
+#include "ec/code.h"
+#include "nvmeof/nvmeof.h"
+#include "sim/engine.h"
+#include "sim/resources.h"
+#include "util/rng.h"
+
+namespace ecf::cluster {
+
+// Measurements of one recovery cycle, in the paper's Fig. 3 vocabulary.
+struct RecoveryReport {
+  double failure_time = -1;        // first injected fault
+  double detection_time = -1;      // first MON "down" mark (Fig. 3 t=0)
+  double recovery_start_time = -1; // first recovery I/O issued
+  double recovery_end_time = -1;   // last PG clean
+  bool complete = false;
+
+  // Fig. 3's two periods (both measured from detection).
+  double checking_period() const {
+    return recovery_start_time - detection_time;
+  }
+  double ec_recovery_period() const {
+    return recovery_end_time - recovery_start_time;
+  }
+  double total() const { return recovery_end_time - detection_time; }
+  double checking_fraction() const {
+    return total() > 0 ? checking_period() / total() : 0;
+  }
+
+  // Scrub / corruption accounting (when corruption faults are injected).
+  std::uint64_t corruptions_injected = 0;
+  std::uint64_t corruptions_found = 0;
+  std::uint64_t corruptions_repaired = 0;
+  std::uint64_t pgs_scrubbed = 0;
+
+  // Client traffic served during the experiment (when client load is on).
+  std::uint64_t client_ops = 0;
+  std::uint64_t degraded_reads = 0;  // reads that needed an inline decode
+  double client_latency_sum = 0;     // seconds
+  double client_latency_max = 0;
+  double mean_client_latency() const {
+    return client_ops ? client_latency_sum / static_cast<double>(client_ops)
+                      : 0;
+  }
+
+  // Work accounting.
+  std::uint64_t bytes_read_for_recovery = 0;
+  std::uint64_t bytes_written_for_recovery = 0;
+  std::uint64_t objects_repaired = 0;
+  std::uint64_t repairs_wasted = 0;  // in-flight work discarded by re-peering
+  int epochs_published = 0;
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterConfig config, LogSinkFn sink = nullptr);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- setup ----------------------------------------------------------------
+  // Create the EC pool (codec from the profile, PG acting sets via CRUSH).
+  void create_pool();
+  // Account the configured workload into the pool.
+  void apply_workload();
+  // Start the foreground client-load generator (no-op when
+  // config.client.ops_per_s == 0). Call after apply_workload().
+  void start_client_load();
+
+  // --- fault levers (the ECFault Worker calls these) -------------------------
+  // Remove an OSD's NVMe subsystem now (device-level fault).
+  void fail_device(OsdId osd);
+  // Kill a whole node: all its devices plus its NIC (node-level fault).
+  void fail_host(HostId host);
+  // Silently corrupt a fraction of the chunks stored on an OSD (CORDS-style
+  // fault: no error surfaces until a checksum is verified). Returns the
+  // number of (pg, shard) corruptions planted.
+  std::uint64_t corrupt_chunks(OsdId osd, double fraction);
+  // Start the periodic deep-scrub process (config.scrub must be enabled).
+  void start_scrub();
+
+  // --- run --------------------------------------------------------------------
+  sim::Engine& engine() { return engine_; }
+  // Convenience: run the engine until recovery completes (or events run
+  // out). Returns the report.
+  RecoveryReport run_to_recovery();
+
+  const RecoveryReport& report() const { return report_; }
+
+  // --- write amplification (Table 3) -----------------------------------------
+  std::uint64_t total_stored_bytes() const;
+  std::uint64_t total_data_bytes() const;
+  std::uint64_t total_meta_bytes() const;
+  std::uint64_t workload_bytes() const;
+  // Actual WA factor: stored / written, the paper's Table 3 metric.
+  double actual_wa() const;
+
+  // --- topology / introspection ----------------------------------------------
+  const ClusterConfig& config() const { return config_; }
+  const ec::ErasureCode& code() const { return *code_; }
+  HostId host_of(OsdId osd) const;
+  int rack_of(HostId host) const;
+  std::vector<OsdId> osds_on_host(HostId host) const;
+  bool osd_alive(OsdId osd) const;
+  int num_failed_osds() const;
+  const BlueStore& store(OsdId osd) const;
+  nvmeof::Target& target(HostId host);
+  // Device / NIC counters for iostat-style sampling.
+  struct DeviceStats {
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t io_count = 0;
+    double busy_seconds = 0;
+  };
+  DeviceStats disk_stats(OsdId osd) const;
+  struct NicStats {
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    double tx_busy_seconds = 0;
+    double rx_busy_seconds = 0;
+  };
+  NicStats nic_stats(HostId host) const;
+  // PGs whose acting set contains `osd`.
+  std::vector<PgId> pgs_on_osd(OsdId osd) const;
+  std::size_t objects_in_pg(PgId pg) const;
+  std::vector<OsdId> pg_acting(PgId pg) const;
+
+ private:
+  struct Osd;
+  struct Host;
+  struct Pg;
+  struct RepairShape;
+
+  void log(const std::string& node, const std::string& subsys,
+           const std::string& message);
+
+  // Protocol steps (implemented in recovery.cc).
+  void on_device_removed(OsdId osd);
+  void schedule_detection(OsdId osd);
+  void mark_down(OsdId osd);
+  void mark_out_batch(std::vector<OsdId> batch);
+  void publish_epoch(const std::vector<OsdId>& newly_out);
+  void start_peering(Pg& pg);
+  void finish_peering(Pg& pg);
+  void try_reserve(Pg& pg);
+  void release_reservation(Pg& pg);
+  void pump_recovery(Pg& pg);
+  void start_object_repair(Pg& pg);
+  void issue_repair_round(PgId pgid, int gen, std::shared_ptr<RepairShape> shape,
+                          OsdId primary, std::uint64_t batch,
+                          std::uint64_t round, std::uint64_t rounds);
+  void complete_object_repair(Pg& pg, int generation, std::size_t batch);
+  void finish_pg(Pg& pg);
+  void maybe_finish_recovery();
+  void emit_checking_logs(OsdId osd, double until);
+  void issue_client_op();
+  void scrub_tick(PgId next);
+  void repair_corrupted_shard(PgId pg, std::size_t position);
+  std::string osd_name_for_scrub(PgId pg) const;
+
+  RepairShape compute_repair_shape(const Pg& pg) const;
+  OsdId primary_of(const Pg& pg) const;
+
+  ClusterConfig config_;
+  LogSinkFn sink_;
+  sim::Engine engine_;
+  util::Rng rng_;
+  std::unique_ptr<ec::ErasureCode> code_;
+  std::unique_ptr<Crush> crush_;
+
+  std::vector<std::unique_ptr<Osd>> osds_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Pg>> pgs_;
+  sim::Cpu mon_cpu_;
+
+  std::vector<bool> alive_;       // up/in per OSD (false once marked out)
+  std::vector<OsdId> pending_out_;  // detected, waiting for batch tick
+  bool out_batch_scheduled_ = false;
+  int epoch_ = 0;
+  int pgs_recovering_ = 0;        // PGs not yet clean
+  RecoveryReport report_;
+  int scrub_passes_done_ = 0;
+  bool pool_created_ = false;
+  bool workload_applied_ = false;
+};
+
+}  // namespace ecf::cluster

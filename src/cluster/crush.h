@@ -1,0 +1,58 @@
+// CRUSH-style deterministic placement.
+//
+// Maps a placement group to an ordered acting set of n OSDs using
+// rendezvous (highest-random-weight) hashing, the same family of algorithm
+// as Ceph's straw2 buckets: every (pg, candidate) pair gets a deterministic
+// pseudo-random draw and the top-n candidates win. Properties we rely on:
+//   * deterministic in (seed, pg) — re-running an experiment reproduces
+//     placement exactly;
+//   * minimal movement — removing an OSD only re-homes the chunks that
+//     lived on it (the next-highest candidate takes over);
+//   * failure-domain separation — with kHost at most one chunk of a PG per
+//     host, with kOsd only OSD-distinctness is enforced (chunks of one PG
+//     may share a host, which is exactly what the paper's Fig. 2d setup
+//     exploits with 3 OSDs per host).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/types.h"
+
+namespace ecf::cluster {
+
+class Crush {
+ public:
+  // `host_of[osd]` gives each OSD's host, `rack_of_host[host]` its rack;
+  // `alive` flags exclude OSDs from selection (the up/in set). An empty
+  // rack map puts every host in rack 0 (rack domain then unusable).
+  Crush(std::vector<HostId> host_of, std::vector<int> rack_of_host,
+        FailureDomain domain, std::uint64_t seed);
+
+  // Ordered acting set of `n` OSDs for `pg`, drawn from the currently
+  // alive set. Throws std::runtime_error if the domain constraint cannot
+  // be satisfied (not enough hosts/OSDs).
+  std::vector<OsdId> acting_set(PgId pg, std::size_t n,
+                                const std::vector<bool>& alive) const;
+
+  // Replacement target for the chunk at `position` of `pg` after failures:
+  // the highest-ranked alive OSD not already in `current`. Models CRUSH
+  // remapping a failed chunk. Returns kNoOsd if none qualifies.
+  OsdId remap_target(PgId pg, const std::vector<OsdId>& current,
+                     const std::vector<bool>& alive) const;
+
+  FailureDomain domain() const { return domain_; }
+
+ private:
+  double draw(PgId pg, OsdId osd) const;
+  bool domain_ok(OsdId candidate, const std::vector<OsdId>& chosen) const;
+  int rack_of(OsdId osd) const;
+
+  std::vector<HostId> host_of_;
+  std::vector<int> rack_of_host_;
+  FailureDomain domain_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ecf::cluster

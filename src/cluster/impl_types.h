@@ -1,0 +1,107 @@
+// Internal state structs of the Cluster simulator. Included only by
+// cluster.cc and recovery.cc; not part of the public API.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace ecf::cluster {
+
+struct Cluster::Osd {
+  OsdId id = kNoOsd;
+  HostId host = -1;
+  nvmeof::Nqn nqn;
+  std::unique_ptr<sim::Disk> disk;  // referenced by the host's nvmeof target
+  BlueStore store;
+  sim::Cpu cpu;
+  double hb_offset = 0;        // per-OSD detection offset within the host
+  bool device_ok = true;       // NVMe subsystem still connected
+  bool process_up = true;      // OSD daemon running (node faults kill it)
+  bool marked_down = false;
+  bool marked_out = false;
+  int backfills_in_use = 0;
+  std::uint64_t chunk_count = 0;
+
+  Osd(const StoreConfig& sc, const CacheConfig& cc,
+      const sim::HardwareProfile& hw)
+      : disk(std::make_unique<sim::Disk>(hw.disk)),
+        store(sc, cc),
+        cpu(hw.cpu) {}
+};
+
+struct Cluster::Host {
+  HostId id = -1;
+  sim::Nic nic;
+  nvmeof::Target target;
+  std::vector<OsdId> osds;
+  bool alive = true;
+  double hb_phase = 0;  // heartbeat phase shared by the host's OSDs
+
+  Host(HostId h, const sim::HardwareProfile& hw)
+      : id(h), nic(hw.nic), target("host" + std::to_string(h)) {}
+};
+
+struct Cluster::Pg {
+  PgId id = -1;
+  std::vector<OsdId> acting;  // chunk position -> OSD (original placement)
+  std::size_t num_objects = 0;
+  PgState state = PgState::kActiveClean;
+
+  // Missing chunk positions (ascending) and their remap targets.
+  std::vector<std::size_t> missing_positions;
+  std::vector<OsdId> remap_targets;
+
+  // Objects grouped by the set of positions they still need rebuilt. The
+  // front item is drained first; a later failure appends its position to
+  // every pending item and opens a new item for already-repaired objects.
+  struct WorkItem {
+    std::vector<std::size_t> positions;
+    std::uint64_t remaining = 0;
+  };
+  std::vector<WorkItem> work;
+
+  int inflight = 0;
+  int generation = 0;  // bumped on re-peer; stale completions are wasted
+  bool reserved = false;
+  OsdId reserved_primary = kNoOsd;
+  std::vector<OsdId> reserved_targets;
+  std::uint64_t repaired_current = 0;  // objects with no pending positions
+  bool counted_recovering = false;     // contributes to pgs_recovering_
+  bool logged_first_io = false;
+
+  // Silent corruption: shard position -> number of corrupted object chunks
+  // (planted by corrupt_chunks, discovered by scrub or checksum-verifying
+  // reads, repaired in place).
+  std::map<std::size_t, std::uint64_t> corrupted;
+};
+
+// Precomputed per-(PG, erasure-set) resource recipe for one object repair.
+struct Cluster::RepairShape {
+  struct HelperRead {
+    OsdId osd = kNoOsd;
+    std::uint64_t bytes = 0;      // payload requested from this helper
+    std::uint64_t disk_bytes = 0; // after data-cache hits
+    std::uint64_t ios = 0;        // disk IOs (sub-chunk runs + meta misses)
+    std::uint64_t msgs = 0;       // network messages
+    double extra_s = 0;           // expected RocksDB miss time per op
+  };
+  std::vector<HelperRead> reads;
+  double decode_cost_factor = 1.0;
+  std::uint64_t decode_bytes = 0;  // reconstructed payload
+  // Fixed CPU overhead of sub-packetized decode (GF region-call overhead).
+  double decode_extra_s = 0;
+  struct TargetWrite {
+    OsdId osd = kNoOsd;
+    std::uint64_t bytes = 0;
+    std::uint64_t ios = 0;
+    std::uint64_t msgs = 0;
+  };
+  std::vector<TargetWrite> writes;
+  std::uint64_t chunk_size = 0;
+  std::size_t fetch_stages = 1;
+};
+
+}  // namespace ecf::cluster

@@ -1,0 +1,33 @@
+#include "cluster/pg_autoscale.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecf::cluster {
+
+std::int32_t recommended_pg_num(int num_osds, std::size_t stripe_width,
+                                int target_pg_shards_per_osd) {
+  if (num_osds < 1 || stripe_width < 1 || target_pg_shards_per_osd < 1) {
+    throw std::invalid_argument("recommended_pg_num: bad arguments");
+  }
+  const double raw = static_cast<double>(num_osds) *
+                     static_cast<double>(target_pg_shards_per_osd) /
+                     static_cast<double>(stripe_width);
+  // Round to the nearest power of two (at least 1).
+  std::int32_t pow2 = 1;
+  while (static_cast<double>(pow2) * 1.5 < raw && pow2 < (1 << 29)) {
+    pow2 <<= 1;
+  }
+  return pow2;
+}
+
+bool pg_num_within_autoscale_window(std::int32_t pg_num, int num_osds,
+                                    std::size_t stripe_width,
+                                    int target_pg_shards_per_osd) {
+  if (pg_num < 1) return false;
+  const std::int32_t want =
+      recommended_pg_num(num_osds, stripe_width, target_pg_shards_per_osd);
+  return pg_num * 2 >= want && pg_num <= want * 2;
+}
+
+}  // namespace ecf::cluster

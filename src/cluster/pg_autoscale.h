@@ -1,0 +1,23 @@
+// PG autoscaler advice — Table 1 lists pool PG counts as "customized,
+// autoscale". This reproduces the pg_autoscaler's sizing rule: target a
+// per-OSD replica/shard count (mon_target_pg_per_osd, 100 by default),
+// divide by the pool's stripe width, and round to a power of two (Ceph
+// only splits/merges PGs in powers of two).
+#pragma once
+
+#include <cstdint>
+
+namespace ecf::cluster {
+
+// Recommended pg_num for a pool of width `stripe_width` (= the code's n)
+// on `num_osds` OSDs. Returns at least 1.
+std::int32_t recommended_pg_num(int num_osds, std::size_t stripe_width,
+                                int target_pg_shards_per_osd = 100);
+
+// True when `pg_num` is within a factor of 2 of the recommendation (the
+// autoscaler only warns outside a 2x window).
+bool pg_num_within_autoscale_window(std::int32_t pg_num, int num_osds,
+                                    std::size_t stripe_width,
+                                    int target_pg_shards_per_osd = 100);
+
+}  // namespace ecf::cluster

@@ -1,0 +1,633 @@
+// Failure detection, peering ("system checking period") and EC recovery —
+// the protocol half of the Cluster simulator. See cluster.h for the
+// pipeline overview.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "cluster/impl_types.h"
+#include "ec/stripe.h"
+#include "util/bytes.h"
+
+namespace ecf::cluster {
+
+namespace {
+std::string osd_name(OsdId o) { return "osd." + std::to_string(o); }
+}  // namespace
+
+void Cluster::on_device_removed(OsdId osd) { schedule_detection(osd); }
+
+void Cluster::schedule_detection(OsdId osd_id) {
+  // Peers notice missing heartbeats after the grace period; the extra
+  // jitter is the heartbeat phase. OSDs of one host share the host's phase
+  // (their peers' timers expire together when the host's traffic stops),
+  // plus a small per-OSD offset — so co-located failures are detected in
+  // one monitor batch while failures on different hosts straggle across
+  // batches. Fig. 2d's locality asymmetry starts here.
+  const Osd& osd = *osds_[static_cast<std::size_t>(osd_id)];
+  const Host& host = *hosts_[static_cast<std::size_t>(osd.host)];
+  const double jitter = host.hb_phase *
+                            config_.protocol.heartbeat_interval_s *
+                            config_.protocol.detection_spread_factor +
+                        osd.hb_offset;
+  engine_.schedule(config_.protocol.heartbeat_grace_s + jitter,
+                   [this, osd_id] { mark_down(osd_id); });
+}
+
+void Cluster::mark_down(OsdId osd_id) {
+  Osd& osd = *osds_[static_cast<std::size_t>(osd_id)];
+  if (osd.marked_down) return;
+  osd.marked_down = true;
+  if (report_.detection_time < 0) report_.detection_time = engine_.now();
+  log("mon.0", "mon",
+      osd_name(osd_id) + " reported failed by peers; marked down (failure detected)");
+  log("mgr.0", "mgr", "receiving heartbeats; cluster health degraded");
+  std::size_t degraded = 0;
+  for (auto& pg : pgs_) {
+    if (std::find(pg->acting.begin(), pg->acting.end(), osd_id) !=
+        pg->acting.end()) {
+      if (pg->state == PgState::kActiveClean) pg->state = PgState::kDegraded;
+      ++degraded;
+    }
+  }
+  log("mgr.0", "mgr",
+      std::to_string(degraded) + " pgs degraded after " + osd_name(osd_id) +
+          " down");
+  emit_checking_logs(osd_id,
+                     engine_.now() + config_.protocol.down_out_interval_s);
+  // The monitor waits mon_osd_down_out_interval before declaring the OSD
+  // out and remapping its data — the bulk of the paper's "system checking
+  // period".
+  engine_.schedule(config_.protocol.down_out_interval_s, [this, osd_id] {
+    pending_out_.push_back(osd_id);
+    if (!out_batch_scheduled_) {
+      out_batch_scheduled_ = true;
+      engine_.schedule(config_.protocol.mon_tick_s, [this] {
+        out_batch_scheduled_ = false;
+        std::vector<OsdId> batch;
+        batch.swap(pending_out_);
+        mark_out_batch(std::move(batch));
+      });
+    }
+  });
+}
+
+void Cluster::emit_checking_logs(OsdId osd_id, double until) {
+  // Periodic health-check chatter during the checking window, mirroring
+  // the log keywords the paper's Fig. 3 timeline is built from.
+  const double interval = 60.0;
+  for (double t = engine_.now() + interval; t < until; t += interval) {
+    engine_.schedule_at(t, [this, osd_id] {
+      log("mgr.0", "mgr", "receiving heartbeats; " + osd_name(osd_id) +
+                              " still down, awaiting out interval");
+      log(osd_name(osd_id == 0 ? 1 : 0), "osd", "check recovery resource");
+    });
+  }
+}
+
+void Cluster::mark_out_batch(std::vector<OsdId> batch) {
+  if (batch.empty()) return;
+  publish_epoch(batch);
+}
+
+void Cluster::publish_epoch(const std::vector<OsdId>& newly_out) {
+  ++epoch_;
+  ++report_.epochs_published;
+  for (const OsdId o : newly_out) {
+    osds_[static_cast<std::size_t>(o)]->marked_out = true;
+    alive_[static_cast<std::size_t>(o)] = false;
+    log("mon.0", "mon",
+        osd_name(o) + " marked out; osdmap epoch " + std::to_string(epoch_));
+  }
+
+  for (auto& pg_ptr : pgs_) {
+    Pg& pg = *pg_ptr;
+    // Positions newly lost in this epoch.
+    std::vector<std::size_t> new_positions;
+    for (std::size_t pos = 0; pos < pg.acting.size(); ++pos) {
+      if (std::find(newly_out.begin(), newly_out.end(), pg.acting[pos]) !=
+          newly_out.end()) {
+        new_positions.push_back(pos);
+      }
+    }
+    if (new_positions.empty()) continue;
+
+    // Remap each lost chunk to a fresh target, respecting the failure
+    // domain against the surviving members and earlier remaps.
+    std::vector<OsdId> occupied;
+    for (std::size_t pos = 0; pos < pg.acting.size(); ++pos) {
+      if (alive_[static_cast<std::size_t>(pg.acting[pos])]) {
+        occupied.push_back(pg.acting[pos]);
+      }
+    }
+    for (const OsdId t : pg.remap_targets) occupied.push_back(t);
+    for (const std::size_t pos : new_positions) {
+      const auto where = std::upper_bound(pg.missing_positions.begin(),
+                                          pg.missing_positions.end(), pos);
+      const auto idx = static_cast<std::size_t>(
+          where - pg.missing_positions.begin());
+      pg.missing_positions.insert(where, pos);
+      const OsdId target = crush_->remap_target(pg.id, occupied, alive_);
+      pg.remap_targets.insert(
+          pg.remap_targets.begin() + static_cast<std::ptrdiff_t>(idx), target);
+      occupied.push_back(target);
+    }
+
+    // Interrupt any in-flight recovery: the osdmap change forces the PG
+    // back through peering and invalidates in-flight pushes. This is where
+    // staggered (different-host) failures waste work. The discarded ops are
+    // requeued here and counted as wasted when their stale completions (or
+    // pre-issue checks) fire.
+    if (pg.inflight > 0) {
+      if (!pg.work.empty()) {
+        pg.work.front().remaining += static_cast<std::uint64_t>(pg.inflight);
+      } else {
+        Pg::WorkItem item;
+        item.positions = pg.missing_positions;
+        item.remaining = static_cast<std::uint64_t>(pg.inflight);
+        pg.work.push_back(std::move(item));
+      }
+      pg.inflight = 0;
+    }
+    ++pg.generation;
+    if (pg.reserved) release_reservation(pg);
+
+    // Fold the new losses into the pending work queue.
+    for (auto& item : pg.work) {
+      for (const std::size_t pos : new_positions) {
+        if (std::find(item.positions.begin(), item.positions.end(), pos) ==
+            item.positions.end()) {
+          item.positions.insert(std::upper_bound(item.positions.begin(),
+                                                 item.positions.end(), pos),
+                                pos);
+        }
+      }
+    }
+    if (pg.repaired_current > 0 || pg.work.empty()) {
+      Pg::WorkItem item;
+      item.positions = new_positions;
+      item.remaining = pg.work.empty() && pg.repaired_current == 0
+                           ? pg.num_objects
+                           : pg.repaired_current;
+      pg.repaired_current = 0;
+      if (item.remaining > 0) pg.work.push_back(std::move(item));
+    }
+
+    if (!pg.counted_recovering) {
+      pg.counted_recovering = true;
+      ++pgs_recovering_;
+    }
+    pg.logged_first_io = false;
+    start_peering(pg);
+  }
+  maybe_finish_recovery();
+}
+
+void Cluster::start_peering(Pg& pg) {
+  pg.state = PgState::kPeering;
+  const OsdId primary = primary_of(pg);
+  if (primary == kNoOsd) {
+    // All members lost — unrecoverable; the fault injector's tolerance
+    // guard makes this unreachable in experiments.
+    log("mon.0", "mon", "pg " + std::to_string(pg.id) + " lost (no survivors)");
+    finish_pg(pg);
+    return;
+  }
+  log(osd_name(primary), "pg",
+      "pg " + std::to_string(pg.id) +
+          " start peering: collecting infos and logs from acting set");
+
+  Osd& posd = *osds_[static_cast<std::size_t>(primary)];
+  Host& phost = *hosts_[static_cast<std::size_t>(posd.host)];
+  const auto& proto = config_.protocol;
+
+  // Message rounds with the acting set.
+  const double rtt_cost = proto.peering_rounds * proto.peering_rtt_s;
+  phost.nic.send(engine_, 64 * util::KiB * pg.acting.size(),
+                 pg.acting.size());
+
+  // PG log / missing-set scan at the primary: RocksDB reads, kv-cache
+  // dependent (this is one of the Fig. 2a levers).
+  const double kv_miss = 1.0 - posd.store.kv_hit_rate();
+  const auto kv_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(pg.num_objects) *
+      static_cast<double>(proto.peering_kv_bytes_per_object) * kv_miss);
+  const auto kv_ios = static_cast<std::uint64_t>(
+      static_cast<double>(pg.num_objects) * kv_miss);
+  sim::SimTime t_disk = engine_.now();
+  if (kv_bytes > 0) {
+    t_disk = posd.disk->read(engine_, kv_bytes, std::max<std::uint64_t>(1, kv_ios));
+  }
+  // Sub-packetized pools track per-sub-chunk shard extents, making the
+  // log/missing scan heavier (visible at pg_num=1, where one primary scans
+  // every object).
+  const double subchunk_factor =
+      code_->alpha() > 1
+          ? 1.0 + std::log2(static_cast<double>(code_->alpha())) / 2.0
+          : 1.0;
+  const sim::SimTime t_cpu = posd.cpu.busy_for(
+      engine_, static_cast<double>(pg.num_objects) *
+                   proto.peering_per_object_cpu_s * subchunk_factor);
+
+  const sim::SimTime done = std::max(t_disk, t_cpu) + rtt_cost;
+  const int gen = pg.generation;
+  PgId pgid = pg.id;
+  engine_.schedule_at(done, [this, pgid, gen] {
+    Pg& p = *pgs_[static_cast<std::size_t>(pgid)];
+    if (p.generation != gen) return;  // superseded by a newer epoch
+    finish_peering(p);
+  });
+}
+
+void Cluster::finish_peering(Pg& pg) {
+  const OsdId primary = primary_of(pg);
+  std::uint64_t missing_objects = 0;
+  for (const auto& item : pg.work) missing_objects += item.remaining;
+  log(osd_name(primary), "pg",
+      "pg " + std::to_string(pg.id) + " peering complete: collecting missing OSDs, queueing recovery (" +
+          std::to_string(missing_objects) + " objects, " +
+          std::to_string(pg.missing_positions.size()) + " shards)");
+  pg.state = PgState::kWaitReservation;
+  try_reserve(pg);
+}
+
+void Cluster::try_reserve(Pg& pg) {
+  if (pg.reserved || pg.state != PgState::kWaitReservation) return;
+  const OsdId primary = primary_of(pg);
+  if (primary == kNoOsd) {
+    finish_pg(pg);
+    return;
+  }
+  // Local + remote recovery reservations: the primary, every distinct
+  // remap target, and (with reserve_remote_shards) the surviving shards
+  // all need a free backfill slot (osd_max_backfills).
+  std::vector<OsdId> needed{primary};
+  for (const OsdId t : pg.remap_targets) {
+    if (t != kNoOsd &&
+        std::find(needed.begin(), needed.end(), t) == needed.end()) {
+      needed.push_back(t);
+    }
+  }
+  if (config_.protocol.reserve_remote_shards) {
+    for (const OsdId o : pg.acting) {
+      if (osd_alive(o) &&
+          std::find(needed.begin(), needed.end(), o) == needed.end()) {
+        needed.push_back(o);
+      }
+    }
+  }
+  for (const OsdId o : needed) {
+    if (osds_[static_cast<std::size_t>(o)]->backfills_in_use >=
+        config_.protocol.osd_max_backfills) {
+      return;  // wait; retried on every release
+    }
+  }
+  for (const OsdId o : needed) {
+    ++osds_[static_cast<std::size_t>(o)]->backfills_in_use;
+  }
+  pg.reserved = true;
+  pg.reserved_primary = primary;
+  pg.reserved_targets = needed;
+  pg.state = PgState::kRecovering;
+  log(osd_name(primary), "pg",
+      "pg " + std::to_string(pg.id) + " recovery reservation granted");
+  // Remote handshakes + backfill scan startup before the first push.
+  const int gen = pg.generation;
+  const PgId pgid = pg.id;
+  engine_.schedule(config_.protocol.reservation_grant_delay_s,
+                   [this, pgid, gen] {
+                     Pg& p = *pgs_[static_cast<std::size_t>(pgid)];
+                     if (p.generation != gen) return;
+                     pump_recovery(p);
+                   });
+}
+
+void Cluster::release_reservation(Pg& pg) {
+  if (!pg.reserved) return;
+  for (const OsdId o : pg.reserved_targets) {
+    --osds_[static_cast<std::size_t>(o)]->backfills_in_use;
+  }
+  pg.reserved = false;
+  pg.reserved_targets.clear();
+  // Wake up waiting PGs — most-degraded first, like Ceph's forced-recovery
+  // priority: a PG with several missing shards sits closest to data loss
+  // (and, for EC pools, to dropping below min_size), so it must not starve
+  // behind a queue of single-loss PGs.
+  std::vector<Pg*> waiting;
+  for (auto& other : pgs_) {
+    if (other->state == PgState::kWaitReservation) waiting.push_back(other.get());
+  }
+  std::stable_sort(waiting.begin(), waiting.end(), [](const Pg* a, const Pg* b) {
+    return a->missing_positions.size() > b->missing_positions.size();
+  });
+  for (Pg* other : waiting) try_reserve(*other);
+}
+
+void Cluster::pump_recovery(Pg& pg) {
+  if (pg.state != PgState::kRecovering) return;
+  while (pg.inflight < config_.protocol.osd_recovery_max_active) {
+    // Find the first item with work left.
+    while (!pg.work.empty() && pg.work.front().remaining == 0) {
+      pg.work.erase(pg.work.begin());
+    }
+    if (pg.work.empty()) break;
+    start_object_repair(pg);
+  }
+  if (pg.work.empty() && pg.inflight == 0) finish_pg(pg);
+}
+
+Cluster::RepairShape Cluster::compute_repair_shape(const Pg& pg) const {
+  // Reads cover the union of missing positions (the repair must avoid all
+  // dead shards); the caller narrows writes to the item's positions.
+  RepairShape shape;
+  const ec::StripeLayout layout = ec::compute_stripe_layout(
+      config_.workload.object_size, code_->n(), code_->k(),
+      config_.pool.stripe_unit);
+  shape.chunk_size =
+      util::round_up(layout.chunk_size, static_cast<std::uint64_t>(code_->alpha()));
+
+  const ec::RepairPlan plan = code_->repair_plan(pg.missing_positions);
+  shape.decode_cost_factor = plan.decode_cost_factor;
+  shape.fetch_stages = plan.fetch_stages;
+  // Sub-packetized decode cost: the coupled-layer engine performs a GF
+  // region operation per (plane, node) pair per encoding unit; with tiny
+  // sub-chunks the per-call overhead dominates the byte work (the Fig. 2c
+  // Clay-at-4KiB pathology).
+  if (code_->alpha() > 1) {
+    const double region_ops =
+        static_cast<double>(layout.units_per_chunk) *
+        static_cast<double>(code_->alpha()) * static_cast<double>(code_->n());
+    // Region-call overhead plus per-sub-chunk orchestration (sub-chunk
+    // range lists, bufferlist assembly, messenger segments) that scales
+    // with α but not with the chunk's unit count.
+    shape.decode_extra_s =
+        region_ops * config_.hw.cpu.gf_region_op_seconds +
+        static_cast<double>(code_->alpha()) *
+            static_cast<double>(code_->n()) * 10e-6;
+  }
+  const auto& proto = config_.protocol;
+  for (const auto& r : plan.reads) {
+    RepairShape::HelperRead hr;
+    hr.osd = pg.acting[r.chunk];
+    hr.bytes = static_cast<std::uint64_t>(
+        static_cast<double>(shape.chunk_size) * r.fraction);
+    const auto& store = osds_[static_cast<std::size_t>(hr.osd)]->store;
+    hr.disk_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(hr.bytes) * (1.0 - store.data_hit_rate()));
+    if (r.subchunk_ios > 1) {
+      // Sub-packetized read: `subchunk_ios` scattered runs inside every
+      // encoding unit of the chunk.
+      hr.ios = layout.units_per_chunk * r.subchunk_ios;
+    } else {
+      hr.ios = std::max<std::uint64_t>(
+          1, util::ceil_div(hr.bytes, proto.max_io_bytes));
+    }
+    // Onode + EC hash-info lookups at the helper; misses hit RocksDB on
+    // the same device.
+    const double meta_miss = 1.0 - store.meta_hit_rate();
+    hr.ios += static_cast<std::uint64_t>(2.0 * meta_miss + 0.5);
+    // onode + snapset + attrs + hash-info; sub-packetized shards double the
+    // lookups for per-sub-chunk extent state.
+    const double lookups = 4.0 * (code_->alpha() > 1 ? 2.0 : 1.0);
+    hr.extra_s = lookups * meta_miss * proto.kv_lookup_miss_s;
+    hr.msgs = std::max<std::uint64_t>(
+        1, util::ceil_div(hr.bytes, proto.max_io_bytes));
+    shape.reads.push_back(hr);
+  }
+  return shape;
+}
+
+void Cluster::start_object_repair(Pg& pg) {
+  auto& item = pg.work.front();
+  // Backfill batching: large PGs stream several objects per push op.
+  const auto& proto = config_.protocol;
+  std::uint64_t batch = 1;
+  if (proto.backfill_batch_divisor > 0) {
+    batch = std::min(proto.backfill_batch_max,
+                     std::max<std::uint64_t>(
+                         1, pg.num_objects / proto.backfill_batch_divisor));
+  }
+  batch = std::min(batch, item.remaining);
+  item.remaining -= batch;
+  ++pg.inflight;
+
+  auto shape = std::make_shared<RepairShape>(compute_repair_shape(pg));
+  // Writes: only the positions this item still needs.
+  for (const std::size_t pos : item.positions) {
+    const auto it = std::find(pg.missing_positions.begin(),
+                              pg.missing_positions.end(), pos);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - pg.missing_positions.begin());
+    RepairShape::TargetWrite w;
+    w.osd = pg.remap_targets[idx];
+    w.bytes = shape->chunk_size;
+    w.ios = util::ceil_div(w.bytes, proto.max_io_bytes) + 2;
+    w.msgs = std::max<std::uint64_t>(
+        1, util::ceil_div(w.bytes, proto.max_io_bytes));
+    shape->writes.push_back(w);
+  }
+  shape->decode_bytes = shape->chunk_size * item.positions.size();
+
+  // Scale the per-object recipe to the batch.
+  for (auto& r : shape->reads) {
+    r.bytes *= batch;
+    r.disk_bytes *= batch;
+    r.ios *= batch;
+    r.msgs *= batch;
+    // Lookups do not scale with the batch: the backfill scan walks onodes
+    // in key order, so the RocksDB iterator amortizes misses across the
+    // batch.
+  }
+  for (auto& w : shape->writes) {
+    w.bytes *= batch;
+    w.ios *= batch;
+    w.msgs *= batch;
+  }
+  shape->decode_bytes *= batch;
+  shape->decode_extra_s *= static_cast<double>(batch);
+
+  // Push granularity: shards larger than osd_recovery_max_chunk move in
+  // sequential rounds, each a full read->decode->write cycle. The
+  // sub-packetization rounding (a few bytes) must not add a round.
+  const ec::StripeLayout layout = ec::compute_stripe_layout(
+      config_.workload.object_size, code_->n(), code_->k(),
+      config_.pool.stripe_unit);
+  const std::uint64_t rounds =
+      std::max<std::uint64_t>(
+          1, util::ceil_div(layout.chunk_size, proto.osd_recovery_max_chunk)) *
+      static_cast<std::uint64_t>(shape->fetch_stages);
+
+  const int gen = pg.generation;
+  const PgId pgid = pg.id;
+  const OsdId primary = pg.reserved_primary;
+
+  // Pacing: recovery ops are deprioritized; each slot waits before issuing.
+  const double pacing = proto.osd_recovery_sleep_s + proto.recovery_op_overhead_s;
+  engine_.schedule(pacing, [this, pgid, gen, shape, primary, batch, rounds] {
+    Pg& pg2 = *pgs_[static_cast<std::size_t>(pgid)];
+    if (pg2.generation != gen) {
+      report_.repairs_wasted += batch;  // invalidated before it was issued
+      return;
+    }
+    if (!pg2.logged_first_io) {
+      pg2.logged_first_io = true;
+      log(osd_name(primary), "recovery",
+          "pg " + std::to_string(pgid) + " start recovery I/O");
+      if (report_.recovery_start_time < 0) {
+        report_.recovery_start_time = engine_.now();
+        log("mgr.0", "mgr", "report recovery I/O in progress");
+      }
+    }
+    issue_repair_round(pgid, gen, shape, primary, batch, 0, rounds);
+  });
+}
+
+void Cluster::issue_repair_round(PgId pgid, int gen,
+                                 std::shared_ptr<RepairShape> shape,
+                                 OsdId primary, std::uint64_t batch,
+                                 std::uint64_t round, std::uint64_t rounds) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(pgid)];
+  if (pg.generation != gen) {
+    report_.repairs_wasted += batch;  // epoch change mid-object
+    return;
+  }
+  const auto& proto = config_.protocol;
+  Host* phost =
+      hosts_[static_cast<std::size_t>(
+                 osds_[static_cast<std::size_t>(primary)]->host)]
+          .get();
+
+  // Per-round slices (bytes split across rounds; at least one IO each).
+  auto slice = [rounds](std::uint64_t v) {
+    return std::max<std::uint64_t>(1, v / rounds);
+  };
+
+  auto reads_pending = std::make_shared<std::size_t>(shape->reads.size());
+  std::function<void()> after_decode = [this, pgid, gen, shape, primary, phost,
+                                        batch, round, rounds, slice] {
+    Osd& p = *osds_[static_cast<std::size_t>(primary)];
+    sim::SimTime t_cpu = p.cpu.compute(
+        engine_, slice(shape->decode_bytes), shape->decode_cost_factor);
+    if (shape->decode_extra_s > 0) {
+      t_cpu = p.cpu.busy_for(engine_,
+                             shape->decode_extra_s / static_cast<double>(rounds));
+    }
+    engine_.schedule_at(t_cpu, [this, pgid, gen, shape, phost, batch, round,
+                                rounds, slice, primary] {
+      auto writes_pending = std::make_shared<std::size_t>(shape->writes.size());
+      for (const auto& w : shape->writes) {
+        const std::uint64_t wbytes = slice(w.bytes);
+        report_.bytes_written_for_recovery += wbytes;
+        const sim::SimTime t_tx = phost->nic.send(engine_, wbytes, slice(w.msgs));
+        engine_.schedule_at(t_tx, [this, pgid, gen, shape, w, writes_pending,
+                                   batch, round, rounds, slice, wbytes,
+                                   primary] {
+          Osd* tosd = osds_[static_cast<std::size_t>(w.osd)].get();
+          Host* thost = hosts_[static_cast<std::size_t>(tosd->host)].get();
+          const sim::SimTime t_rx =
+              thost->nic.recv(engine_, wbytes, slice(w.msgs));
+          engine_.schedule_at(t_rx, [this, pgid, gen, shape, w, tosd,
+                                     writes_pending, batch, round, rounds,
+                                     slice, wbytes, primary] {
+            const std::uint64_t eff = static_cast<std::uint64_t>(
+                static_cast<double>(wbytes) /
+                config_.protocol.recovery_bw_fraction);
+            const sim::SimTime t_wr =
+                tosd->disk->write(engine_, eff, slice(w.ios));
+            // mClock grant latency: completion visible after the delay.
+            engine_.schedule_at(
+                t_wr + config_.protocol.mclock_queue_delay_s,
+                [this, pgid, gen, shape, w, tosd, writes_pending, batch, round,
+                 rounds, primary] {
+                  if (--*writes_pending != 0) return;
+                  if (round + 1 < rounds) {
+                    issue_repair_round(pgid, gen, shape, primary, batch,
+                                       round + 1, rounds);
+                    return;
+                  }
+                  // Account the rebuilt chunks on their new homes.
+                  Pg& done_pg = *pgs_[static_cast<std::size_t>(pgid)];
+                  if (done_pg.generation == gen) {
+                    for (const auto& ww : shape->writes) {
+                      for (std::uint64_t i = 0; i < batch; ++i) {
+                        osds_[static_cast<std::size_t>(ww.osd)]
+                            ->store.write_chunk(ww.bytes / batch);
+                      }
+                    }
+                  }
+                  complete_object_repair(done_pg, gen, batch);
+                });
+          });
+        });
+      }
+    });
+  };
+
+  for (const auto& r : shape->reads) {
+    const std::uint64_t rbytes = slice(r.bytes);
+    report_.bytes_read_for_recovery += rbytes;
+    Osd* hosd = osds_[static_cast<std::size_t>(r.osd)].get();
+    Host* hhost = hosts_[static_cast<std::size_t>(hosd->host)].get();
+    const std::uint64_t eff = static_cast<std::uint64_t>(
+        static_cast<double>(slice(r.disk_bytes)) / proto.recovery_bw_fraction);
+    const sim::SimTime t_read =
+        hosd->disk->read(engine_, eff, slice(r.ios), r.extra_s);
+    engine_.schedule_at(
+        t_read + proto.mclock_queue_delay_s,
+        [this, r, reads_pending, after_decode, hhost, phost, slice] {
+          const sim::SimTime t_tx =
+              hhost->nic.send(engine_, slice(r.bytes), slice(r.msgs));
+          engine_.schedule_at(t_tx, [this, r, reads_pending, after_decode,
+                                     phost, slice] {
+            const sim::SimTime t_rx =
+                phost->nic.recv(engine_, slice(r.bytes), slice(r.msgs));
+            engine_.schedule_at(t_rx, [reads_pending, after_decode] {
+              if (--*reads_pending == 0) after_decode();
+            });
+          });
+        });
+  }
+  if (shape->reads.empty()) after_decode();
+}
+
+void Cluster::complete_object_repair(Pg& pg, int generation,
+                                     std::size_t batch) {
+  if (pg.generation != generation) {
+    report_.repairs_wasted += batch;
+    return;
+  }
+  --pg.inflight;
+  pg.repaired_current += batch;
+  report_.objects_repaired += batch;
+  pump_recovery(pg);
+}
+
+void Cluster::finish_pg(Pg& pg) {
+  const OsdId primary = primary_of(pg);
+  pg.state = PgState::kActiveClean;
+  pg.work.clear();
+  release_reservation(pg);
+  if (pg.counted_recovering) {
+    pg.counted_recovering = false;
+    --pgs_recovering_;
+  }
+  log(osd_name(primary == kNoOsd ? 0 : primary), "recovery",
+      "pg " + std::to_string(pg.id) + " recovery completed");
+  maybe_finish_recovery();
+}
+
+void Cluster::maybe_finish_recovery() {
+  if (pgs_recovering_ != 0) return;
+  if (!pending_out_.empty() || out_batch_scheduled_) return;
+  // Any down-but-not-yet-out OSD still has an epoch coming.
+  for (const auto& osd : osds_) {
+    if ((!osd->device_ok || !osd->process_up) && !osd->marked_out) return;
+  }
+  if (report_.recovery_start_time < 0) return;  // nothing ever recovered
+  report_.recovery_end_time = engine_.now();
+  report_.complete = true;
+  log("mgr.0", "mgr", "recovery completed; all pgs active+clean");
+}
+
+}  // namespace ecf::cluster

@@ -1,0 +1,172 @@
+// Silent-corruption faults and the deep-scrub process that finds and
+// repairs them.
+//
+// Extension beyond the paper's node/device fault levels, grounded in the
+// failure-mode literature it cites (CORDS-style corruption, SSD field
+// studies): a corruption fault flips bits in stored shards without any
+// error surfacing — BlueStore's per-unit checksums only catch it when the
+// shard is actually read. Deep scrub walks one PG per tick, reads every
+// shard (low-priority, like recovery I/O), verifies checksums, and repairs
+// inconsistent shards in place from k healthy peers.
+#include <algorithm>
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "cluster/impl_types.h"
+#include "ec/stripe.h"
+#include "util/bytes.h"
+
+namespace ecf::cluster {
+
+std::uint64_t Cluster::corrupt_chunks(OsdId osd_id, double fraction) {
+  if (!workload_applied_) throw std::logic_error("apply_workload first");
+  if (fraction <= 0 || fraction > 1.0) {
+    throw std::invalid_argument("corrupt_chunks: fraction in (0,1] required");
+  }
+  util::Rng rng = rng_.child(0xBADC0DE ^ static_cast<std::uint64_t>(osd_id));
+  std::uint64_t planted = 0;
+  for (auto& pg_ptr : pgs_) {
+    Pg& pg = *pg_ptr;
+    const auto it = std::find(pg.acting.begin(), pg.acting.end(), osd_id);
+    if (it == pg.acting.end() || pg.num_objects == 0) continue;
+    const auto position =
+        static_cast<std::size_t>(it - pg.acting.begin());
+    std::uint64_t hit = 0;
+    for (std::uint64_t obj = 0; obj < pg.num_objects; ++obj) {
+      if (rng.bernoulli(fraction)) ++hit;
+    }
+    if (hit == 0) continue;
+    pg.corrupted[position] += hit;
+    planted += hit;
+  }
+  report_.corruptions_injected += planted;
+  log("osd." + std::to_string(osd_id), "osd",
+      "silent corruption planted on " + std::to_string(planted) +
+          " stored shards (no error raised)");
+  return planted;
+}
+
+void Cluster::start_scrub() {
+  if (!config_.scrub.enabled) return;
+  if (!workload_applied_) throw std::logic_error("apply_workload first");
+  engine_.schedule(config_.scrub.interval_s, [this] { scrub_tick(0); });
+}
+
+void Cluster::scrub_tick(PgId next) {
+  if (next >= static_cast<PgId>(pgs_.size())) {
+    // Full pass complete; scrubbing is continuous in Ceph, but the
+    // simulation stops after the configured number of passes.
+    if (++scrub_passes_done_ < config_.scrub.max_passes) {
+      engine_.schedule(config_.scrub.interval_s, [this] { scrub_tick(0); });
+    }
+    return;
+  }
+  Pg& pg = *pgs_[static_cast<std::size_t>(next)];
+  ++report_.pgs_scrubbed;
+
+  const ec::StripeLayout layout = ec::compute_stripe_layout(
+      config_.workload.object_size, code_->n(), code_->k(),
+      config_.pool.stripe_unit);
+  const std::uint64_t per_chunk = config_.scrub.scrub_bytes_per_chunk == 0
+                                      ? layout.chunk_size
+                                      : config_.scrub.scrub_bytes_per_chunk;
+
+  // Deep scrub reads every live shard of every object in the PG at
+  // recovery priority; completion when the slowest shard read finishes.
+  sim::SimTime done = engine_.now();
+  for (const OsdId member : pg.acting) {
+    if (!osd_alive(member)) continue;
+    Osd& o = *osds_[static_cast<std::size_t>(member)];
+    const std::uint64_t bytes = per_chunk * pg.num_objects;
+    const std::uint64_t ios = std::max<std::uint64_t>(
+        1, util::ceil_div(bytes, config_.protocol.max_io_bytes));
+    done = std::max(done,
+                    o.disk->read(engine_, bytes, ios,
+                                 config_.protocol.mclock_queue_delay_s));
+  }
+
+  const PgId pgid = pg.id;
+  engine_.schedule_at(done, [this, pgid] {
+    Pg& p = *pgs_[static_cast<std::size_t>(pgid)];
+    if (!p.corrupted.empty()) {
+      std::uint64_t found = 0;
+      for (const auto& [position, count] : p.corrupted) found += count;
+      report_.corruptions_found += found;
+      log(osd_name_for_scrub(pgid), "scrub",
+          "deep-scrub pg " + std::to_string(pgid) + ": " +
+              std::to_string(found) + " inconsistent shards found");
+      // Repair position by position (in-place rewrite from k peers).
+      for (const auto& [position, count] : p.corrupted) {
+        for (std::uint64_t i = 0; i < count; ++i) {
+          repair_corrupted_shard(pgid, position);
+        }
+      }
+      p.corrupted.clear();
+    }
+    // Next PG after the inter-PG interval.
+    engine_.schedule(config_.scrub.interval_s,
+                     [this, pgid] { scrub_tick(pgid + 1); });
+  });
+}
+
+std::string Cluster::osd_name_for_scrub(PgId pg) const {
+  const Pg& p = *pgs_[static_cast<std::size_t>(pg)];
+  const OsdId primary = primary_of(p);
+  return "osd." + std::to_string(primary == kNoOsd ? 0 : primary);
+}
+
+void Cluster::repair_corrupted_shard(PgId pgid, std::size_t position) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(pgid)];
+  const ec::StripeLayout layout = ec::compute_stripe_layout(
+      config_.workload.object_size, code_->n(), code_->k(),
+      config_.pool.stripe_unit);
+  const std::uint64_t chunk = util::round_up(
+      layout.chunk_size, static_cast<std::uint64_t>(code_->alpha()));
+
+  // Read per the code's single-erasure plan (the corrupted shard counts as
+  // erased even though its OSD is healthy), decode at the primary, rewrite
+  // the shard in place.
+  const ec::RepairPlan plan = code_->repair_plan({position});
+  const OsdId primary = primary_of(pg);
+  const OsdId target = pg.acting[position];
+  if (primary == kNoOsd || !osd_alive(target)) return;
+  Host* phost = hosts_[static_cast<std::size_t>(
+                           osds_[static_cast<std::size_t>(primary)]->host)]
+                    .get();
+
+  auto pending = std::make_shared<std::size_t>(plan.reads.size());
+  for (const auto& r : plan.reads) {
+    if (!osd_alive(pg.acting[r.chunk])) {
+      --*pending;
+      continue;
+    }
+    Osd& helper = *osds_[static_cast<std::size_t>(pg.acting[r.chunk])];
+    const auto bytes = static_cast<std::uint64_t>(
+        static_cast<double>(chunk) * r.fraction);
+    const sim::SimTime t_read =
+        helper.disk->read(engine_, bytes, 1,
+                          config_.protocol.mclock_queue_delay_s);
+    engine_.schedule_at(t_read, [this, pending, bytes, phost, pgid, position,
+                                 target, chunk, primary, plan] {
+      phost->nic.recv(engine_, bytes, 1);
+      if (--*pending != 0) return;
+      Osd& p = *osds_[static_cast<std::size_t>(primary)];
+      const sim::SimTime t_cpu =
+          p.cpu.compute(engine_, chunk, plan.decode_cost_factor);
+      engine_.schedule_at(t_cpu, [this, pgid, target, chunk] {
+        Osd& t = *osds_[static_cast<std::size_t>(target)];
+        const sim::SimTime t_wr =
+            t.disk->write(engine_, chunk, 2,
+                          config_.protocol.mclock_queue_delay_s);
+        engine_.schedule_at(t_wr, [this, pgid] {
+          ++report_.corruptions_repaired;
+          log(osd_name_for_scrub(pgid), "scrub",
+              "pg " + std::to_string(pgid) +
+                  " inconsistent shard repaired in place");
+        });
+      });
+    });
+  }
+}
+
+}  // namespace ecf::cluster

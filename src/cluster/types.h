@@ -1,0 +1,48 @@
+// Common identifiers and log-record types for the SimCeph cluster model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ecf::cluster {
+
+using OsdId = std::int32_t;
+using HostId = std::int32_t;
+using PgId = std::int32_t;
+
+inline constexpr OsdId kNoOsd = -1;
+
+// CRUSH failure domain for chunk placement (Table 1: "EC failure domain").
+enum class FailureDomain { kOsd, kHost, kRack };
+
+// A simulated DSS log line. The ECFault Logger (src/ecfault/logger.h)
+// subscribes to these per node, classifies them by keyword, and forwards
+// the relevant ones — mirroring the paper's §3.3 pipeline. Timestamps are
+// sim seconds.
+struct LogRecord {
+  double time = 0;
+  std::string node;     // "mon.0", "osd.17", "host3"
+  std::string subsys;   // "mon", "mgr", "osd", "pg", "recovery", "nvmeof"
+  std::string message;
+};
+
+// Log fan-out point; the cluster emits every record here.
+using LogSinkFn = std::function<void(const LogRecord&)>;
+
+// Recovery phases a PG moves through; exposed for tests and the timeline
+// analyzer (Fig. 3's breakdown derives from logs, but tests can assert on
+// states directly).
+enum class PgState {
+  kActiveClean,
+  kDegraded,    // failure noticed, serving but not yet recovering
+  kPeering,     // exchanging infos/logs, computing missing set
+  kWaitReservation,
+  kRecovering,  // EC repair I/O in flight
+};
+
+const char* to_string(PgState s);
+const char* to_string(FailureDomain d);
+
+}  // namespace ecf::cluster

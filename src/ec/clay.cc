@@ -1,0 +1,369 @@
+#include "ec/clay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ecf::ec {
+
+namespace {
+
+// Precomputed linear map from a selected set of known plane symbols to the
+// unknown ones: unknown = R · known_selected. Built once per erasure
+// pattern, applied to every plane.
+struct PlaneSolver {
+  std::vector<std::size_t> sel;  // k' known node ids feeding the solve
+  gf::Matrix r;                  // |unknown| x k'
+};
+
+PlaneSolver make_plane_solver(const gf::Matrix& gen,
+                              const std::vector<bool>& unknown) {
+  const std::size_t nfull = gen.rows();
+  const std::size_t kprime = gen.cols();
+  PlaneSolver s;
+  for (std::size_t u = 0; u < nfull && s.sel.size() < kprime; ++u) {
+    if (!unknown[u]) s.sel.push_back(u);
+  }
+  if (s.sel.size() < kprime) {
+    throw std::logic_error("clay: not enough known symbols for plane solve");
+  }
+  const auto inv = gen.select_rows(s.sel).inverted();
+  if (!inv) throw std::logic_error("clay: plane decode matrix singular");
+  std::vector<std::size_t> unknown_rows;
+  for (std::size_t u = 0; u < nfull; ++u) {
+    if (unknown[u]) unknown_rows.push_back(u);
+  }
+  s.r = gen.select_rows(unknown_rows).multiply(*inv);
+  return s;
+}
+
+}  // namespace
+
+ClayCode::ClayCode(std::size_t n, std::size_t k, std::size_t d)
+    : n_(n), k_(k), d_(d) {
+  if (k == 0 || n <= k) throw std::invalid_argument("Clay requires 0 < k < n");
+  if (d < k || d > n - 1) {
+    throw std::invalid_argument("Clay requires k <= d <= n-1");
+  }
+  q_ = d - k + 1;
+  t_ = (n + q_ - 1) / q_;
+  nfull_ = q_ * t_;
+  if (nfull_ > 255) throw std::invalid_argument("Clay internal n' exceeds GF(256)");
+  alpha_ = 1;
+  for (std::size_t i = 0; i < t_; ++i) {
+    if (alpha_ > (1u << 24) / q_) {
+      throw std::invalid_argument("Clay sub-packetization too large");
+    }
+    alpha_ *= q_;
+  }
+  pow_q_.resize(t_ + 1);
+  pow_q_[0] = 1;
+  for (std::size_t i = 0; i < t_; ++i) pow_q_[i + 1] = pow_q_[i] * q_;
+
+  const std::size_t m = n_ - k_;
+  const std::size_t kprime = nfull_ - m;
+  // Systematic Cauchy [n' x k'] generator for the per-plane MDS code.
+  gen_ = gf::Matrix(nfull_, kprime);
+  for (std::size_t i = 0; i < kprime; ++i) gen_.at(i, i) = 1;
+  {
+    std::vector<Byte> x(m), y(kprime);
+    for (std::size_t i = 0; i < kprime; ++i) y[i] = static_cast<Byte>(i);
+    for (std::size_t i = 0; i < m; ++i) x[i] = static_cast<Byte>(kprime + i);
+    const gf::Matrix c = gf::Matrix::cauchy(x, y);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t col = 0; col < kprime; ++col) {
+        gen_.at(kprime + r, col) = c.at(r, col);
+      }
+    }
+  }
+  gamma_ = 2;
+  det_ = gf::add(1, gf::mul(gamma_, gamma_));  // 1 + γ² = 5, nonzero
+  inv_det_ = gf::inv(det_);
+}
+
+std::string ClayCode::name() const {
+  return "Clay(" + std::to_string(n_) + "," + std::to_string(k_) + "," +
+         std::to_string(d_) + ")";
+}
+
+std::size_t ClayCode::digit(std::size_t z, std::size_t y) const {
+  return (z / pow_q_[y]) % q_;
+}
+
+std::size_t ClayCode::with_digit(std::size_t z, std::size_t y,
+                                 std::size_t v) const {
+  return z + (v - digit(z, y)) * pow_q_[y];
+}
+
+void ClayCode::encode(std::vector<Buffer>& chunks) const {
+  check_chunks(chunks);
+  std::vector<std::size_t> parities;
+  for (std::size_t i = k_; i < n_; ++i) parities.push_back(i);
+  // Encoding *is* decoding the parity chunks from the data chunks.
+  decode_internal(chunks, parities);
+}
+
+bool ClayCode::decode(std::vector<Buffer>& chunks,
+                      const std::vector<std::size_t>& erased) const {
+  check_chunks(chunks);
+  check_erasures(*this, erased);
+  decode_internal(chunks, erased);
+  return true;
+}
+
+void ClayCode::decode_internal(std::vector<Buffer>& chunks,
+                               const std::vector<std::size_t>& erased) const {
+  const std::size_t chunk_size = chunks[0].size();
+  const std::size_t sub = chunk_size / alpha_;
+
+  // Internal chunk pointers: real chunks then virtual (zero) shortening
+  // chunks, which count as always-known data.
+  std::vector<Buffer> virt(nfull_ - n_, Buffer(chunk_size, 0));
+  std::vector<Byte*> c(nfull_);
+  for (std::size_t i = 0; i < n_; ++i) c[i] = chunks[i].data();
+  for (std::size_t i = n_; i < nfull_; ++i) c[i] = virt[i - n_].data();
+
+  std::vector<bool> is_erased(nfull_, false);
+  for (const std::size_t e : erased) is_erased[e] = true;
+
+  // Uncoupled symbols.
+  std::vector<Buffer> ustore(nfull_, Buffer(chunk_size, 0));
+  std::vector<Byte*> u(nfull_);
+  for (std::size_t i = 0; i < nfull_; ++i) u[i] = ustore[i].data();
+
+  // Group planes by intersection score.
+  std::vector<std::vector<std::size_t>> levels(t_ + 1);
+  for (std::size_t z = 0; z < alpha_; ++z) {
+    std::size_t is = 0;
+    for (const std::size_t e : erased) {
+      if (digit(z, e / q_) == e % q_) ++is;
+    }
+    levels[is].push_back(z);
+  }
+
+  const PlaneSolver solver = make_plane_solver(gen_, is_erased);
+  const Byte c_ainv = inv_det_;                      // coeff of own C
+  const Byte c_binv = gf::mul(inv_det_, gamma_);     // coeff of partner C
+
+  for (const auto& level : levels) {
+    // Step 1: uncoupled symbols of surviving nodes in this level's planes.
+    for (const std::size_t z : level) {
+      for (std::size_t node = 0; node < nfull_; ++node) {
+        if (is_erased[node]) continue;
+        const std::size_t x = node % q_;
+        const std::size_t y = node / q_;
+        Byte* uz = u[node] + z * sub;
+        if (digit(z, y) == x) {
+          std::copy(c[node] + z * sub, c[node] + (z + 1) * sub, uz);
+        } else {
+          // Partner vertex; if the partner node is erased, its coupled
+          // value at the partner plane was recovered at a lower level.
+          const std::size_t pnode = y * q_ + digit(z, y);
+          const std::size_t pz = with_digit(z, y, x);
+          gf::mul_region(c_ainv, c[node] + z * sub, uz, sub);
+          gf::mul_acc(c_binv, c[pnode] + pz * sub, uz, sub);
+        }
+      }
+    }
+    // Step 2: MDS-solve every plane in the level for the erased nodes' U.
+    for (const std::size_t z : level) {
+      for (std::size_t i = 0; i < erased.size(); ++i) {
+        Byte* dst = u[erased[i]] + z * sub;
+        std::fill(dst, dst + sub, Byte{0});
+        for (std::size_t j = 0; j < solver.sel.size(); ++j) {
+          gf::mul_acc(solver.r.at(i, j), u[solver.sel[j]] + z * sub, dst, sub);
+        }
+      }
+    }
+    // Step 3: coupled symbols of erased nodes in this level's planes.
+    for (const std::size_t z : level) {
+      for (const std::size_t node : erased) {
+        const std::size_t x = node % q_;
+        const std::size_t y = node / q_;
+        Byte* cz = c[node] + z * sub;
+        if (digit(z, y) == x) {
+          std::copy(u[node] + z * sub, u[node] + (z + 1) * sub, cz);
+        } else {
+          const std::size_t pnode = y * q_ + digit(z, y);
+          const std::size_t pz = with_digit(z, y, x);
+          if (!is_erased[pnode]) {
+            // C_a = det·U_a + γ·C_b  (partner coupled value is known).
+            gf::mul_region(det_, u[node] + z * sub, cz, sub);
+            gf::mul_acc(gamma_, c[pnode] + pz * sub, cz, sub);
+          } else {
+            // Partner erased: its U at the partner plane (same level) is
+            // available after step 2. C_a = U_a + γ·U_b.
+            std::copy(u[node] + z * sub, u[node] + (z + 1) * sub, cz);
+            gf::mul_acc(gamma_, u[pnode] + pz * sub, cz, sub);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> ClayCode::repair_planes(std::size_t failed) const {
+  if (failed >= n_) throw std::invalid_argument("repair_planes: bad chunk id");
+  const std::size_t x0 = failed % q_;
+  const std::size_t y0 = failed / q_;
+  std::vector<std::size_t> planes;
+  planes.reserve(alpha_ / q_);
+  for (std::size_t z = 0; z < alpha_; ++z) {
+    if (digit(z, y0) == x0) planes.push_back(z);
+  }
+  return planes;
+}
+
+std::size_t ClayCode::repair_subchunk_runs(std::size_t failed) const {
+  const std::size_t y0 = failed / q_;
+  // Planes with digit y0 fixed form contiguous runs of length q^y0.
+  return (alpha_ / q_) / pow_q_[y0];
+}
+
+Buffer ClayCode::repair_one(
+    std::size_t failed, const std::vector<std::vector<Buffer>>& helper_planes,
+    std::size_t chunk_size) const {
+  if (d_ != n_ - 1) {
+    throw std::invalid_argument(
+        "bandwidth-optimal repair implemented for d = n-1 only");
+  }
+  if (failed >= n_) throw std::invalid_argument("repair_one: bad chunk id");
+  if (chunk_size == 0 || chunk_size % alpha_ != 0) {
+    throw std::invalid_argument("repair_one: chunk size not multiple of alpha");
+  }
+  if (helper_planes.size() != n_ - 1) {
+    throw std::invalid_argument("repair_one: expected n-1 helpers");
+  }
+  const std::size_t sub = chunk_size / alpha_;
+  const std::vector<std::size_t> rz = repair_planes(failed);
+
+  // Coupled symbols: zero-filled full-size buffers; only repair-plane
+  // regions of helpers get real data. Virtual shortening nodes stay zero.
+  std::vector<Buffer> cstore(nfull_, Buffer(chunk_size, 0));
+  {
+    std::size_t hi = 0;
+    for (std::size_t node = 0; node < n_; ++node) {
+      if (node == failed) continue;
+      const auto& planes = helper_planes[hi];
+      if (planes.size() != rz.size()) {
+        throw std::invalid_argument("repair_one: helper plane count mismatch");
+      }
+      for (std::size_t p = 0; p < rz.size(); ++p) {
+        if (planes[p].size() != sub) {
+          throw std::invalid_argument("repair_one: sub-chunk size mismatch");
+        }
+        std::copy(planes[p].begin(), planes[p].end(),
+                  cstore[node].begin() + rz[p] * sub);
+      }
+      ++hi;
+    }
+  }
+
+  const std::size_t x0 = failed % q_;
+  const std::size_t y0 = failed / q_;
+
+  std::vector<Buffer> ustore(nfull_, Buffer(chunk_size, 0));
+  const Byte c_ainv = inv_det_;
+  const Byte c_binv = gf::mul(inv_det_, gamma_);
+
+  // Step A: uncoupled symbols of nodes outside column y0, repair planes
+  // only. Their partner vertices live in repair planes too.
+  for (const std::size_t z : rz) {
+    for (std::size_t node = 0; node < nfull_; ++node) {
+      const std::size_t x = node % q_;
+      const std::size_t y = node / q_;
+      if (y == y0) continue;
+      Byte* uz = ustore[node].data() + z * sub;
+      if (digit(z, y) == x) {
+        const Byte* cz = cstore[node].data() + z * sub;
+        std::copy(cz, cz + sub, uz);
+      } else {
+        const std::size_t pnode = y * q_ + digit(z, y);
+        const std::size_t pz = with_digit(z, y, x);
+        gf::mul_region(c_ainv, cstore[node].data() + z * sub, uz, sub);
+        gf::mul_acc(c_binv, cstore[pnode].data() + pz * sub, uz, sub);
+      }
+    }
+  }
+
+  // Step B: per repair plane, MDS-solve the q unknown symbols of column y0
+  // (the failed node is the fixed point there, so its U *is* its C).
+  std::vector<bool> unknown(nfull_, false);
+  std::vector<std::size_t> unknown_ids;
+  for (std::size_t x = 0; x < q_; ++x) {
+    unknown[y0 * q_ + x] = true;
+    unknown_ids.push_back(y0 * q_ + x);
+  }
+  const PlaneSolver solver = make_plane_solver(gen_, unknown);
+  for (const std::size_t z : rz) {
+    for (std::size_t i = 0; i < unknown_ids.size(); ++i) {
+      Byte* dst = ustore[unknown_ids[i]].data() + z * sub;
+      std::fill(dst, dst + sub, Byte{0});
+      for (std::size_t j = 0; j < solver.sel.size(); ++j) {
+        gf::mul_acc(solver.r.at(i, j), ustore[solver.sel[j]].data() + z * sub,
+                    dst, sub);
+      }
+    }
+  }
+
+  Buffer out(chunk_size, 0);
+  // Repair planes: the failed node sits at a fixed point, C = U.
+  for (const std::size_t z : rz) {
+    const Byte* uz = ustore[failed].data() + z * sub;
+    std::copy(uz, uz + sub, out.begin() + z * sub);
+  }
+  // Step C: remaining planes via the pairwise relation with column-y0
+  // helpers, whose repair-plane U and C are both known:
+  //   C_a = (det·U_b + C_b) / γ.
+  const Byte inv_gamma = gf::inv(gamma_);
+  for (std::size_t z2 = 0; z2 < alpha_; ++z2) {
+    const std::size_t xp = digit(z2, y0);
+    if (xp == x0) continue;  // repair plane, already done
+    const std::size_t pnode = y0 * q_ + xp;
+    const std::size_t z = with_digit(z2, y0, x0);
+    Byte* dst = out.data() + z2 * sub;
+    gf::mul_region(gf::mul(det_, inv_gamma), ustore[pnode].data() + z * sub,
+                   dst, sub);
+    gf::mul_acc(inv_gamma, cstore[pnode].data() + z * sub, dst, sub);
+  }
+  return out;
+}
+
+RepairPlan ClayCode::repair_plan(const std::vector<std::size_t>& erased) const {
+  check_erasures(*this, erased);
+  RepairPlan plan;
+  if (erased.size() == 1) {
+    // Bandwidth-optimal: read α/q sub-chunks from each of d helpers.
+    const std::size_t runs = repair_subchunk_runs(erased[0]);
+    std::size_t taken = 0;
+    for (std::size_t i = 0; i < n_ && taken < d_; ++i) {
+      if (i == erased[0]) continue;
+      plan.reads.push_back({i, 1.0 / static_cast<double>(q_), runs});
+      ++taken;
+    }
+    // Pair transforms + plane solves cost more GF work per reconstructed
+    // byte than a plain k-term RS decode.
+    plan.decode_cost_factor = 2.0;
+    plan.bandwidth_optimal = (d_ == n_ - 1);
+  } else {
+    // Multi-failure: full-stripe decode. Unlike RS, the coupled-layer
+    // construction cannot decode from an arbitrary k-subset of chunks: the
+    // pairwise transforms need the partner sub-chunks of *every* surviving
+    // node (decode_internal consumes all n-e survivors). The engine also
+    // walks planes in intersection-score order — q scattered segments per
+    // encoding unit rather than one linear read — and pays the pair
+    // transforms on top of per-plane MDS solves. This is why Clay loses
+    // (and can invert) its advantage under multi-failure patterns
+    // (Fig. 2d).
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (std::find(erased.begin(), erased.end(), i) != erased.end()) continue;
+      plan.reads.push_back({i, 1.0, q_});
+    }
+    plan.decode_cost_factor = 3.0;
+    plan.bandwidth_optimal = false;
+    plan.fetch_stages = erased.size();
+  }
+  return plan;
+}
+
+}  // namespace ecf::ec

@@ -1,0 +1,104 @@
+// Clay codes (Coupled-LAYer MSR codes), after Vajha et al., FAST '18, and
+// the Ceph "clay" EC plugin.
+//
+// Clay(n, k, d) with k <= d <= n-1 is an MDS code with sub-packetization
+// α = q^t where q = d-k+1 and t = ⌈n/q⌉. Each chunk is divided into α
+// sub-chunks; a *single* chunk failure is repaired by reading only α/q
+// sub-chunks from each of d helper chunks — a factor d/(q·k) of the data a
+// conventional RS repair reads. When n is not a multiple of q the code is
+// internally *shortened*: (n'-n) virtual zero data chunks are appended so
+// n' = q·t.
+//
+// Construction sketch (all arithmetic in GF(2^8)):
+//   * Internal nodes live on a q × t grid: node u ↦ (x, y) = (u % q, u / q).
+//   * Sub-chunks are indexed by planes z ∈ [0, q^t), with digits
+//     z_y = (z / q^y) % q.
+//   * The *uncoupled* symbols U(u, z) of every plane z form a codeword of a
+//     fixed [n', n'-m] systematic Cauchy MDS code (m = n-k).
+//   * Stored (coupled) symbols C relate to U through a pairwise transform:
+//     vertex (x, y, z) with x == z_y is a fixed point (C = U); otherwise it
+//     pairs with (z_y, y, z') where z' = z with digit y set to x, and
+//       C_a = U_a + γ·U_b,   C_b = γ·U_a + U_b,   det = 1 + γ² ≠ 0.
+//   * Decoding e ≤ m erasures processes planes in increasing "intersection
+//     score" IS(z) = |{erased (x̂,ŷ) : z_ŷ = x̂}|; at each level the partner
+//     values needed are always available from lower levels or the same
+//     level's MDS solve.
+//   * Encoding is decoding with the erasure set equal to the parity chunks.
+//
+// The bandwidth-optimal single-failure repair is implemented for d = n-1
+// (the configuration the paper evaluates: Clay(12,9,11)); for d < n-1 the
+// data-plane falls back to a full decode while repair_plan() still reports
+// the I/O Ceph's implementation would issue.
+#pragma once
+
+#include "ec/code.h"
+#include "gf/matrix.h"
+
+namespace ecf::ec {
+
+class ClayCode : public ErasureCode {
+ public:
+  // Throws std::invalid_argument unless 0 < k < n <= 254, k <= d <= n-1,
+  // and the internal field supports n' = q·t nodes.
+  ClayCode(std::size_t n, std::size_t k, std::size_t d);
+
+  std::string name() const override;
+  std::size_t n() const override { return n_; }
+  std::size_t k() const override { return k_; }
+  std::size_t d() const { return d_; }
+  std::size_t q() const { return q_; }
+  std::size_t t() const { return t_; }
+  std::size_t alpha() const override { return alpha_; }
+
+  void encode(std::vector<Buffer>& chunks) const override;
+  bool decode(std::vector<Buffer>& chunks,
+              const std::vector<std::size_t>& erased) const override;
+
+  RepairPlan repair_plan(const std::vector<std::size_t>& erased) const override;
+
+  // --- bandwidth-optimal single-failure repair (d = n-1) ------------------
+  // The plane indices (z values, ascending) helpers must supply to repair
+  // `failed`. |result| = alpha()/q().
+  std::vector<std::size_t> repair_planes(std::size_t failed) const;
+
+  // Number of contiguous sub-chunk runs the repair reads from one helper
+  // chunk stored as alpha() consecutive sub-chunks (used for IOPS modelling).
+  std::size_t repair_subchunk_runs(std::size_t failed) const;
+
+  // Repair chunk `failed` given, for each surviving real chunk (ascending
+  // id), its sub-chunks at repair_planes(failed) (in that order). Every
+  // sub-chunk buffer must have size chunk_size / alpha(). Requires d = n-1.
+  Buffer repair_one(std::size_t failed,
+                    const std::vector<std::vector<Buffer>>& helper_planes,
+                    std::size_t chunk_size) const;
+
+  // Fraction of total surviving data a single-failure repair reads,
+  // relative to the k·chunk a conventional RS repair reads: d / (q·k).
+  double repair_bandwidth_fraction() const {
+    return static_cast<double>(d_) /
+           (static_cast<double>(q_) * static_cast<double>(k_));
+  }
+
+ private:
+  std::size_t digit(std::size_t z, std::size_t y) const;
+  std::size_t with_digit(std::size_t z, std::size_t y, std::size_t v) const;
+
+  // Full decode over internal (possibly shortened) chunk vector.
+  void decode_internal(std::vector<Buffer>& all,
+                       const std::vector<std::size_t>& erased) const;
+
+  std::size_t n_;      // real chunk count
+  std::size_t k_;
+  std::size_t d_;
+  std::size_t q_;      // d - k + 1
+  std::size_t t_;      // ⌈n/q⌉
+  std::size_t nfull_;  // q·t (internal node count incl. virtual)
+  std::size_t alpha_;  // q^t
+  Byte gamma_;
+  Byte det_;       // 1 + γ²
+  Byte inv_det_;
+  gf::Matrix gen_;  // [n' x (n'-m)] systematic Cauchy generator (plane code)
+  std::vector<std::size_t> pow_q_;  // q^0 .. q^t
+};
+
+}  // namespace ecf::ec

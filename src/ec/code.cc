@@ -1,0 +1,65 @@
+#include "ec/code.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecf::ec {
+
+void ErasureCode::check_chunks(const std::vector<Buffer>& chunks) const {
+  if (chunks.size() != n()) {
+    throw std::invalid_argument(name() + ": expected " + std::to_string(n()) +
+                                " chunks, got " + std::to_string(chunks.size()));
+  }
+  const std::size_t size = chunks.empty() ? 0 : chunks[0].size();
+  if (size == 0) throw std::invalid_argument(name() + ": empty chunks");
+  if (size % alpha() != 0) {
+    throw std::invalid_argument(name() + ": chunk size " + std::to_string(size) +
+                                " not a multiple of alpha=" +
+                                std::to_string(alpha()));
+  }
+  for (const auto& c : chunks) {
+    if (c.size() != size) {
+      throw std::invalid_argument(name() + ": chunk sizes differ");
+    }
+  }
+}
+
+RepairPlan ErasureCode::repair_plan(
+    const std::vector<std::size_t>& erased) const {
+  check_erasures(*this, erased);
+  RepairPlan plan;
+  // Conventional MDS repair: read the first k surviving chunks in full.
+  std::size_t taken = 0;
+  for (std::size_t i = 0; i < n() && taken < k(); ++i) {
+    if (std::find(erased.begin(), erased.end(), i) != erased.end()) continue;
+    plan.reads.push_back({i, 1.0, 1});
+    ++taken;
+  }
+  plan.decode_cost_factor = 1.0;
+  plan.bandwidth_optimal = false;
+  return plan;
+}
+
+void check_erasures(const ErasureCode& code,
+                    const std::vector<std::size_t>& erased) {
+  if (erased.empty()) throw std::invalid_argument("no erasures given");
+  if (erased.size() > code.m()) {
+    throw std::invalid_argument("more erasures than parity chunks");
+  }
+  for (std::size_t i = 0; i < erased.size(); ++i) {
+    if (erased[i] >= code.n()) throw std::invalid_argument("erasure out of range");
+    if (i > 0 && erased[i] <= erased[i - 1]) {
+      throw std::invalid_argument("erasures must be sorted and unique");
+    }
+  }
+}
+
+bool erase_and_decode(const ErasureCode& code, std::vector<Buffer>& chunks,
+                      const std::vector<std::size_t>& erased) {
+  for (const std::size_t e : erased) {
+    std::fill(chunks[e].begin(), chunks[e].end(), Byte{0});
+  }
+  return code.decode(chunks, erased);
+}
+
+}  // namespace ecf::ec

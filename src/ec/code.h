@@ -1,0 +1,115 @@
+// Erasure code interface.
+//
+// A code maps k equal-size data chunks to n total chunks (k data + m = n-k
+// parity) such that any m chunk erasures can be repaired. Implementations:
+//
+//   RsCode          — classic Reed-Solomon (Vandermonde or Cauchy generator)
+//   ClayCode        — Clay(n,k,d) MSR code: sub-packetization
+//                     α = q^t (q = d-k+1, t = ⌈n/q⌉); bandwidth-optimal
+//                     single-failure repair reading α/q sub-chunks from each
+//                     of d helpers
+//   LrcCode         — Azure-style locally repairable code (local XOR parities
+//                     + global Cauchy parities)
+//   ReplicationCode — n-way replication baseline (k = 1)
+//
+// Two layers of API:
+//   * data-plane: encode() / decode() / repair_one() operate on real byte
+//     buffers and are verified bit-exact by the test suite;
+//   * planning: repair_plan() describes the I/O a repair performs (which
+//     chunks are read, what fraction of each, how many distinct sub-chunk
+//     I/Os) — this feeds the cluster simulator, which charges disk/NIC/CPU
+//     time for exactly the work the real codec would do.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gf/gf256.h"
+
+namespace ecf::ec {
+
+using Byte = gf::Byte;
+using Buffer = std::vector<Byte>;
+
+// Describes the reads a repair performs. Produced by repair_plan() and
+// consumed by the cluster simulator's RecoveryManager.
+struct RepairPlan {
+  struct Read {
+    std::size_t chunk = 0;      // which surviving chunk is read
+    double fraction = 1.0;      // fraction of the chunk's bytes read
+    std::size_t subchunk_ios = 1;  // distinct contiguous regions read
+  };
+  std::vector<Read> reads;
+  // Relative GF-arithmetic work per reconstructed byte (1.0 = one k-term
+  // RS decode). Clay multi-plane decode costs more per byte.
+  double decode_cost_factor = 1.0;
+  // True when the plan is repair-bandwidth optimal (Clay single failure).
+  bool bandwidth_optimal = false;
+  // Sequential fetch stages the repair needs. 1 for codes that read
+  // everything up front; the Clay multi-erasure decode consumes planes in
+  // intersection-score order, where level s needs level s-1 results, so a
+  // pipelined implementation fetches in |erasures| dependent stages.
+  std::size_t fetch_stages = 1;
+
+  // Total bytes read per byte of one reconstructed chunk.
+  double read_fraction_total() const {
+    double s = 0;
+    for (const auto& r : reads) s += r.fraction;
+    return s;
+  }
+  std::size_t total_subchunk_ios() const {
+    std::size_t s = 0;
+    for (const auto& r : reads) s += r.subchunk_ios;
+    return s;
+  }
+};
+
+class ErasureCode {
+ public:
+  virtual ~ErasureCode() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t n() const = 0;
+  virtual std::size_t k() const = 0;
+  std::size_t m() const { return n() - k(); }
+
+  // Sub-packetization α: every chunk must be a multiple of α bytes and is
+  // logically divided into α sub-chunks. 1 for scalar codes.
+  virtual std::size_t alpha() const { return 1; }
+
+  // Encode in place: chunks.size() == n(), all buffers equal size (a
+  // multiple of alpha()), data in chunks[0..k-1]; parity written to
+  // chunks[k..n-1]. Throws std::invalid_argument on malformed input.
+  virtual void encode(std::vector<Buffer>& chunks) const = 0;
+
+  // Reconstruct the chunks listed in `erased` (buffers must be sized; their
+  // contents are overwritten) from the remaining chunks. Returns false when
+  // the pattern is unrecoverable (|erased| > m, or non-MDS pattern for LRC).
+  virtual bool decode(std::vector<Buffer>& chunks,
+                      const std::vector<std::size_t>& erased) const = 0;
+
+  // I/O plan for repairing `erased`. Default: read any k survivors fully.
+  virtual RepairPlan repair_plan(const std::vector<std::size_t>& erased) const;
+
+  // Theoretical storage amplification n/k (the value the paper shows the
+  // real system exceeding).
+  double theoretical_wa() const {
+    return static_cast<double>(n()) / static_cast<double>(k());
+  }
+
+ protected:
+  // Shared validation for encode/decode inputs.
+  void check_chunks(const std::vector<Buffer>& chunks) const;
+};
+
+// Verifies an erasure list: sorted unique indices < n. Throws on misuse.
+void check_erasures(const ErasureCode& code,
+                    const std::vector<std::size_t>& erased);
+
+// Convenience for tests/examples: erase (zero + forget) chunks and repair.
+bool erase_and_decode(const ErasureCode& code, std::vector<Buffer>& chunks,
+                      const std::vector<std::size_t>& erased);
+
+}  // namespace ecf::ec

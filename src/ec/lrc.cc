@@ -1,0 +1,158 @@
+#include "ec/lrc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecf::ec {
+
+LrcCode::LrcCode(std::size_t k, std::size_t l, std::size_t g)
+    : k_(k), l_(l), g_(g), n_(k + l + g) {
+  if (k == 0) throw std::invalid_argument("LRC requires k > 0");
+  if (l == 0 || l > k) throw std::invalid_argument("LRC requires 0 < l <= k");
+  if (g == 0) throw std::invalid_argument("LRC requires g > 0");
+  if (n_ > 255) throw std::invalid_argument("LRC over GF(256) requires n <= 255");
+  group_size_ = (k + l - 1) / l;
+
+  gen_ = gf::Matrix(n_, k_);
+  for (std::size_t i = 0; i < k_; ++i) gen_.at(i, i) = 1;
+  // Local parities: XOR of the group's data chunks.
+  for (std::size_t d = 0; d < k_; ++d) gen_.at(k_ + group_of(d), d) = 1;
+  // Global parities: Cauchy rows, evaluation points disjoint from data ids.
+  std::vector<Byte> x(g_), y(k_);
+  for (std::size_t i = 0; i < k_; ++i) y[i] = static_cast<Byte>(i);
+  for (std::size_t i = 0; i < g_; ++i) x[i] = static_cast<Byte>(k_ + i);
+  const gf::Matrix c = gf::Matrix::cauchy(x, y);
+  for (std::size_t r = 0; r < g_; ++r) {
+    for (std::size_t col = 0; col < k_; ++col) {
+      gen_.at(k_ + l_ + r, col) = c.at(r, col);
+    }
+  }
+}
+
+std::string LrcCode::name() const {
+  return "LRC(k=" + std::to_string(k_) + ",l=" + std::to_string(l_) +
+         ",g=" + std::to_string(g_) + ")";
+}
+
+std::size_t LrcCode::group_of(std::size_t data_chunk) const {
+  return data_chunk / group_size_;
+}
+
+std::vector<std::size_t> LrcCode::group_members(std::size_t group) const {
+  std::vector<std::size_t> out;
+  for (std::size_t d = group * group_size_;
+       d < std::min(k_, (group + 1) * group_size_); ++d) {
+    out.push_back(d);
+  }
+  return out;
+}
+
+void LrcCode::encode(std::vector<Buffer>& chunks) const {
+  check_chunks(chunks);
+  const std::size_t len = chunks[0].size();
+  for (std::size_t p = k_; p < n_; ++p) {
+    std::fill(chunks[p].begin(), chunks[p].end(), Byte{0});
+    for (std::size_t c = 0; c < k_; ++c) {
+      gf::mul_acc(gen_.at(p, c), chunks[c].data(), chunks[p].data(), len);
+    }
+  }
+}
+
+std::vector<std::size_t> LrcCode::pick_rows(
+    const std::vector<std::size_t>& erased) const {
+  // Greedy Gaussian elimination over survivor rows: keep rows that extend
+  // the rank until we have k independent ones.
+  std::vector<std::size_t> chosen;
+  gf::Matrix basis(k_, k_);
+  std::size_t rank = 0;
+  for (std::size_t row = 0; row < n_ && rank < k_; ++row) {
+    if (std::binary_search(erased.begin(), erased.end(), row)) continue;
+    // Reduce the candidate row against the current basis.
+    std::vector<Byte> v(k_);
+    for (std::size_t c = 0; c < k_; ++c) v[c] = gen_.at(row, c);
+    for (std::size_t r = 0; r < rank; ++r) {
+      // basis row r has pivot at pivot_col[r]; stored normalized.
+      // Find its pivot (first nonzero).
+      std::size_t pc = 0;
+      while (pc < k_ && basis.at(r, pc) == 0) ++pc;
+      if (pc < k_ && v[pc] != 0) {
+        const Byte f = v[pc];
+        for (std::size_t c = 0; c < k_; ++c) {
+          v[c] = gf::add(v[c], gf::mul(f, basis.at(r, c)));
+        }
+      }
+    }
+    std::size_t pivot = 0;
+    while (pivot < k_ && v[pivot] == 0) ++pivot;
+    if (pivot == k_) continue;  // dependent
+    const Byte inv_p = gf::inv(v[pivot]);
+    for (std::size_t c = 0; c < k_; ++c) basis.at(rank, c) = gf::mul(v[c], inv_p);
+    chosen.push_back(row);
+    ++rank;
+  }
+  if (rank < k_) return {};
+  return chosen;
+}
+
+bool LrcCode::recoverable(const std::vector<std::size_t>& erased) const {
+  return !pick_rows(erased).empty();
+}
+
+bool LrcCode::decode(std::vector<Buffer>& chunks,
+                     const std::vector<std::size_t>& erased) const {
+  check_chunks(chunks);
+  check_erasures(*this, erased);
+  const std::size_t len = chunks[0].size();
+
+  // Fast path: lone erasures repairable inside their local group by XOR.
+  // (Also covers a lost local parity.) Fall through to the general solve
+  // when any group has 2+ losses.
+  const std::vector<std::size_t> rows = pick_rows(erased);
+  if (rows.empty()) return false;
+
+  const auto inv = gen_.select_rows(rows).inverted();
+  if (!inv) return false;
+
+  std::vector<Buffer> data(k_, Buffer(len));
+  std::vector<const Byte*> in(k_);
+  std::vector<Byte*> out(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    in[i] = chunks[rows[i]].data();
+    out[i] = data[i].data();
+  }
+  gf::matrix_apply(*inv, in, out, len);
+
+  for (const std::size_t e : erased) {
+    std::fill(chunks[e].begin(), chunks[e].end(), Byte{0});
+    for (std::size_t c = 0; c < k_; ++c) {
+      gf::mul_acc(gen_.at(e, c), data[c].data(), chunks[e].data(), len);
+    }
+  }
+  return true;
+}
+
+RepairPlan LrcCode::repair_plan(const std::vector<std::size_t>& erased) const {
+  check_erasures(*this, erased);
+  RepairPlan plan;
+  if (erased.size() == 1) {
+    const std::size_t e = erased[0];
+    if (e < k_ + l_) {
+      // Data chunk or local parity: read the rest of the local group.
+      const std::size_t grp = e < k_ ? group_of(e) : e - k_;
+      for (const std::size_t d : group_members(grp)) {
+        if (d != e) plan.reads.push_back({d, 1.0, 1});
+      }
+      if (e != k_ + grp) plan.reads.push_back({k_ + grp, 1.0, 1});
+      plan.decode_cost_factor = 0.5;  // pure XOR
+      plan.bandwidth_optimal = true;  // locality-optimal
+      return plan;
+    }
+  }
+  // Global parity loss or multi-failure: general solve.
+  const std::vector<std::size_t> rows = pick_rows(erased);
+  for (const std::size_t r : rows) plan.reads.push_back({r, 1.0, 1});
+  plan.decode_cost_factor = 1.0;
+  return plan;
+}
+
+}  // namespace ecf::ec

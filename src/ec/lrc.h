@@ -1,0 +1,57 @@
+// Locally repairable code, Azure-LRC style (Huang et al., ATC '12).
+//
+// LRC(k, l, g): k data chunks split into l local groups, one XOR local
+// parity per group, plus g global Cauchy parities. n = k + l + g.
+// A single data-chunk failure is repaired from its ⌈k/l⌉-chunk local group
+// instead of k chunks — the locality/storage trade-off the paper's Table 1
+// lists among Ceph's EC plugins.
+//
+// LRC is not MDS: decode() reports failure for information-theoretically
+// unrecoverable patterns (e.g. g+2 erasures inside one local group).
+#pragma once
+
+#include "ec/code.h"
+#include "gf/matrix.h"
+
+namespace ecf::ec {
+
+class LrcCode : public ErasureCode {
+ public:
+  // Throws std::invalid_argument for k == 0, l == 0 or l > k, g == 0, or
+  // n > 255. Chunk layout: [0,k) data, [k,k+l) local parities (group i's
+  // parity at k+i), [k+l,n) global parities.
+  LrcCode(std::size_t k, std::size_t l, std::size_t g);
+
+  std::string name() const override;
+  std::size_t n() const override { return n_; }
+  std::size_t k() const override { return k_; }
+  std::size_t locals() const { return l_; }
+  std::size_t globals() const { return g_; }
+
+  // Group of a data chunk; data chunk d is in group d / group_size().
+  std::size_t group_of(std::size_t data_chunk) const;
+  std::size_t group_size() const { return group_size_; }
+  // Data chunk ids of a group.
+  std::vector<std::size_t> group_members(std::size_t group) const;
+
+  void encode(std::vector<Buffer>& chunks) const override;
+  bool decode(std::vector<Buffer>& chunks,
+              const std::vector<std::size_t>& erased) const override;
+  RepairPlan repair_plan(const std::vector<std::size_t>& erased) const override;
+
+  // True when the erasure pattern is decodable (rank test).
+  bool recoverable(const std::vector<std::size_t>& erased) const;
+
+ private:
+  // Select k survivor generator rows forming an invertible matrix, or empty.
+  std::vector<std::size_t> pick_rows(const std::vector<std::size_t>& erased) const;
+
+  std::size_t k_;
+  std::size_t l_;
+  std::size_t g_;
+  std::size_t n_;
+  std::size_t group_size_;
+  gf::Matrix gen_;  // n x k
+};
+
+}  // namespace ecf::ec

@@ -1,0 +1,98 @@
+#include "ec/registry.h"
+
+#include <stdexcept>
+
+#include "ec/clay.h"
+#include "ec/lrc.h"
+#include "ec/replication.h"
+#include "ec/rs.h"
+#include "ec/shec.h"
+
+namespace ecf::ec {
+
+namespace {
+
+std::size_t require_uint(const std::map<std::string, std::string>& p,
+                         const std::string& key) {
+  const auto it = p.find(key);
+  if (it == p.end()) {
+    throw std::invalid_argument("EC profile missing '" + key + "'");
+  }
+  return static_cast<std::size_t>(std::stoul(it->second));
+}
+
+std::size_t get_uint_or(const std::map<std::string, std::string>& p,
+                        const std::string& key, std::size_t fallback) {
+  const auto it = p.find(key);
+  return it == p.end() ? fallback
+                       : static_cast<std::size_t>(std::stoul(it->second));
+}
+
+std::string get_str_or(const std::map<std::string, std::string>& p,
+                       const std::string& key, const std::string& fallback) {
+  const auto it = p.find(key);
+  return it == p.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+std::unique_ptr<ErasureCode> make_code(
+    const std::map<std::string, std::string>& profile) {
+  const std::string plugin = get_str_or(profile, "plugin", "jerasure");
+  if (plugin == "jerasure" || plugin == "isa") {
+    const std::size_t k = require_uint(profile, "k");
+    const std::size_t m = require_uint(profile, "m");
+    const std::string technique = get_str_or(
+        profile, "technique",
+        plugin == "jerasure" ? "reed_sol_van" : "cauchy");
+    RsTechnique t;
+    if (technique == "reed_sol_van" || technique == "vandermonde") {
+      t = RsTechnique::kVandermonde;
+    } else if (technique == "cauchy_orig" || technique == "cauchy") {
+      t = RsTechnique::kCauchy;
+    } else {
+      throw std::invalid_argument("unknown RS technique '" + technique + "'");
+    }
+    return std::make_unique<RsCode>(k + m, k, t);
+  }
+  if (plugin == "clay") {
+    const std::size_t k = require_uint(profile, "k");
+    const std::size_t m = require_uint(profile, "m");
+    const std::size_t d = get_uint_or(profile, "d", k + m - 1);
+    return std::make_unique<ClayCode>(k + m, k, d);
+  }
+  if (plugin == "lrc") {
+    const std::size_t k = require_uint(profile, "k");
+    const std::size_t l = require_uint(profile, "l");
+    const std::size_t g = require_uint(profile, "g");
+    return std::make_unique<LrcCode>(k, l, g);
+  }
+  if (plugin == "shec") {
+    const std::size_t k = require_uint(profile, "k");
+    const std::size_t m = require_uint(profile, "m");
+    const std::size_t c = get_uint_or(profile, "c", m);
+    return std::make_unique<ShecCode>(k, m, c);
+  }
+  if (plugin == "replication") {
+    return std::make_unique<ReplicationCode>(get_uint_or(profile, "size", 3));
+  }
+  throw std::invalid_argument("unknown EC plugin '" + plugin + "'");
+}
+
+std::unique_ptr<ErasureCode> make_code(const util::Json& profile) {
+  std::map<std::string, std::string> flat;
+  for (const auto& [key, value] : profile.members()) {
+    if (value.is_string()) {
+      flat[key] = value.as_string();
+    } else if (value.is_number()) {
+      flat[key] = std::to_string(value.as_int());
+    }
+  }
+  return make_code(flat);
+}
+
+std::vector<std::string> known_plugins() {
+  return {"jerasure", "isa", "clay", "lrc", "shec", "replication"};
+}
+
+}  // namespace ecf::ec

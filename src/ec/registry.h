@@ -1,0 +1,33 @@
+// Codec registry: builds ErasureCode instances from Ceph-style EC profiles.
+//
+// Mirrors the plugin table in the paper's Table 1:
+//   plugin=jerasure technique=reed_sol_van k=9 m=3
+//   plugin=isa      technique=cauchy       k=9 m=3
+//   plugin=clay     k=9 m=3 d=11
+//   plugin=lrc      k=8 l=2 g=2            (mapping of Ceph's lrc plugin)
+//   plugin=replication size=3
+//
+// Profiles arrive either as a util::Json object (the ECFault experiment
+// profile's "ec" section) or as a flat key=value map.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ec/code.h"
+#include "util/json.h"
+
+namespace ecf::ec {
+
+// Throws std::invalid_argument on unknown plugin/technique or bad params.
+std::unique_ptr<ErasureCode> make_code(
+    const std::map<std::string, std::string>& profile);
+
+// JSON form; keys as above, numbers may be JSON numbers.
+std::unique_ptr<ErasureCode> make_code(const util::Json& profile);
+
+// Registered plugin names, for diagnostics and profile validation.
+std::vector<std::string> known_plugins();
+
+}  // namespace ecf::ec

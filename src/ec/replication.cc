@@ -1,0 +1,53 @@
+#include "ec/replication.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecf::ec {
+
+ReplicationCode::ReplicationCode(std::size_t copies) : copies_(copies) {
+  if (copies < 2) throw std::invalid_argument("replication requires >= 2 copies");
+}
+
+std::string ReplicationCode::name() const {
+  return "Replication(x" + std::to_string(copies_) + ")";
+}
+
+void ReplicationCode::encode(std::vector<Buffer>& chunks) const {
+  check_chunks(chunks);
+  for (std::size_t i = 1; i < copies_; ++i) chunks[i] = chunks[0];
+}
+
+bool ReplicationCode::decode(std::vector<Buffer>& chunks,
+                             const std::vector<std::size_t>& erased) const {
+  check_chunks(chunks);
+  check_erasures(*this, erased);
+  // Find any survivor and copy it over the erased replicas.
+  std::size_t src = copies_;
+  for (std::size_t i = 0; i < copies_; ++i) {
+    if (!std::binary_search(erased.begin(), erased.end(), i)) {
+      src = i;
+      break;
+    }
+  }
+  if (src == copies_) return false;
+  for (const std::size_t e : erased) chunks[e] = chunks[src];
+  return true;
+}
+
+RepairPlan ReplicationCode::repair_plan(
+    const std::vector<std::size_t>& erased) const {
+  check_erasures(*this, erased);
+  RepairPlan plan;
+  for (std::size_t i = 0; i < copies_; ++i) {
+    if (!std::binary_search(erased.begin(), erased.end(), i)) {
+      plan.reads.push_back({i, 1.0, 1});
+      break;
+    }
+  }
+  plan.decode_cost_factor = 0.1;  // memcpy, no GF arithmetic
+  plan.bandwidth_optimal = true;
+  return plan;
+}
+
+}  // namespace ecf::ec

@@ -1,0 +1,27 @@
+// n-way replication as a degenerate "code": k = 1, every chunk is a copy.
+// Serves as the baseline Ceph pools default to and as a sanity anchor for
+// the WA experiments (its theoretical and padding-free WA coincide).
+#pragma once
+
+#include "ec/code.h"
+
+namespace ecf::ec {
+
+class ReplicationCode : public ErasureCode {
+ public:
+  explicit ReplicationCode(std::size_t copies);
+
+  std::string name() const override;
+  std::size_t n() const override { return copies_; }
+  std::size_t k() const override { return 1; }
+
+  void encode(std::vector<Buffer>& chunks) const override;
+  bool decode(std::vector<Buffer>& chunks,
+              const std::vector<std::size_t>& erased) const override;
+  RepairPlan repair_plan(const std::vector<std::size_t>& erased) const override;
+
+ private:
+  std::size_t copies_;
+};
+
+}  // namespace ecf::ec

@@ -1,0 +1,131 @@
+#include "ec/rs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecf::ec {
+
+namespace {
+
+gf::Matrix build_generator(std::size_t n, std::size_t k, RsTechnique tech) {
+  if (tech == RsTechnique::kVandermonde) {
+    std::vector<gf::Byte> evals(n);
+    for (std::size_t i = 0; i < n; ++i) evals[i] = static_cast<gf::Byte>(i + 1);
+    gf::Matrix g = gf::Matrix::vandermonde(evals, k);
+    if (!g.make_systematic(k)) {
+      throw std::invalid_argument("RS vandermonde generator singular");
+    }
+    return g;
+  }
+  // Cauchy: top k rows identity, bottom m rows Cauchy(x, y) with
+  // x = {k, ..., n-1}+shift disjoint from y = {0, ..., k-1}.
+  gf::Matrix g(n, k);
+  for (std::size_t i = 0; i < k; ++i) g.at(i, i) = 1;
+  std::vector<gf::Byte> x(n - k), y(k);
+  for (std::size_t i = 0; i < k; ++i) y[i] = static_cast<gf::Byte>(i);
+  for (std::size_t i = 0; i < n - k; ++i) x[i] = static_cast<gf::Byte>(k + i);
+  const gf::Matrix c = gf::Matrix::cauchy(x, y);
+  for (std::size_t r = 0; r < n - k; ++r) {
+    for (std::size_t col = 0; col < k; ++col) g.at(k + r, col) = c.at(r, col);
+  }
+  return g;
+}
+
+}  // namespace
+
+RsCode::RsCode(std::size_t n, std::size_t k, RsTechnique technique)
+    : n_(n), k_(k), technique_(technique) {
+  if (k == 0 || n <= k) throw std::invalid_argument("RS requires 0 < k < n");
+  if (n > 255) throw std::invalid_argument("RS over GF(256) requires n <= 255");
+  gen_ = build_generator(n, k, technique);
+  if (technique == RsTechnique::kVandermonde && !verify_mds()) {
+    throw std::invalid_argument("RS vandermonde generator is not MDS");
+  }
+}
+
+std::string RsCode::name() const {
+  const char* t = technique_ == RsTechnique::kVandermonde ? "reed_sol_van"
+                                                          : "cauchy_orig";
+  return "RS(" + std::to_string(n_) + "," + std::to_string(k_) + ")/" + t;
+}
+
+void RsCode::encode(std::vector<Buffer>& chunks) const {
+  check_chunks(chunks);
+  const std::size_t len = chunks[0].size();
+  std::vector<const Byte*> in(k_);
+  for (std::size_t i = 0; i < k_; ++i) in[i] = chunks[i].data();
+  // Parity rows only; data rows are identity (systematic).
+  for (std::size_t p = k_; p < n_; ++p) {
+    Byte* dst = chunks[p].data();
+    std::fill(chunks[p].begin(), chunks[p].end(), Byte{0});
+    for (std::size_t c = 0; c < k_; ++c) {
+      gf::mul_acc(gen_.at(p, c), in[c], dst, len);
+    }
+  }
+}
+
+bool RsCode::decode(std::vector<Buffer>& chunks,
+                    const std::vector<std::size_t>& erased) const {
+  check_chunks(chunks);
+  check_erasures(*this, erased);
+  const std::size_t len = chunks[0].size();
+
+  // Pick the first k surviving chunks.
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < n_ && rows.size() < k_; ++i) {
+    if (std::binary_search(erased.begin(), erased.end(), i)) continue;
+    rows.push_back(i);
+  }
+  if (rows.size() < k_) return false;
+
+  const auto dec = rs_decode_matrix(gen_, rows);
+  if (!dec) return false;  // cannot happen for an MDS generator
+
+  // data = dec * survivors; then re-encode the erased rows.
+  std::vector<Buffer> data(k_, Buffer(len));
+  std::vector<const Byte*> in(k_);
+  std::vector<Byte*> out(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    in[i] = chunks[rows[i]].data();
+    out[i] = data[i].data();
+  }
+  gf::matrix_apply(*dec, in, out, len);
+
+  for (const std::size_t e : erased) {
+    Byte* dst = chunks[e].data();
+    std::fill(chunks[e].begin(), chunks[e].end(), Byte{0});
+    if (e < k_) {
+      std::copy(data[e].begin(), data[e].end(), chunks[e].begin());
+    } else {
+      for (std::size_t c = 0; c < k_; ++c) {
+        gf::mul_acc(gen_.at(e, c), data[c].data(), dst, len);
+      }
+    }
+  }
+  return true;
+}
+
+bool RsCode::verify_mds() const {
+  // Enumerate all k-subsets of rows and test invertibility.
+  std::vector<std::size_t> idx(k_);
+  for (std::size_t i = 0; i < k_; ++i) idx[i] = i;
+  while (true) {
+    if (!rs_decode_matrix(gen_, idx)) return false;
+    // next combination
+    std::size_t i = k_;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n_ - k_) break;
+    }
+    if (idx[i] == i + n_ - k_) return true;  // done
+    ++idx[i];
+    for (std::size_t j = i + 1; j < k_; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+std::optional<gf::Matrix> rs_decode_matrix(
+    const gf::Matrix& generator, const std::vector<std::size_t>& rows) {
+  return generator.select_rows(rows).inverted();
+}
+
+}  // namespace ecf::ec

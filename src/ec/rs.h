@@ -1,0 +1,64 @@
+// Reed-Solomon codes over GF(2^8).
+//
+// Two generator constructions, mirroring the Jerasure techniques Ceph
+// exposes (`reed_sol_van`, `cauchy_orig`):
+//
+//   * kVandermonde — start from the (n x k) Vandermonde matrix on distinct
+//     evaluation points and column-reduce to systematic form. The MDS
+//     property of the result is verified exhaustively at construction time
+//     (every k-subset of rows invertible) because the naive systematic
+//     Vandermonde construction is *not* automatically MDS — a classic
+//     pitfall in EC libraries.
+//   * kCauchy — systematic [I ; C] with C an m x k Cauchy block, which is
+//     provably MDS with no verification needed.
+//
+// Both support n <= 256 (field-size limit for 8-bit symbols).
+#pragma once
+
+#include <optional>
+
+#include "ec/code.h"
+#include "gf/matrix.h"
+
+namespace ecf::ec {
+
+enum class RsTechnique { kVandermonde, kCauchy };
+
+class RsCode : public ErasureCode {
+ public:
+  // Throws std::invalid_argument for k == 0, n <= k, n > 255, or (for
+  // Vandermonde) a generator that fails the MDS check.
+  RsCode(std::size_t n, std::size_t k,
+         RsTechnique technique = RsTechnique::kVandermonde);
+
+  std::string name() const override;
+  std::size_t n() const override { return n_; }
+  std::size_t k() const override { return k_; }
+
+  void encode(std::vector<Buffer>& chunks) const override;
+  bool decode(std::vector<Buffer>& chunks,
+              const std::vector<std::size_t>& erased) const override;
+
+  RsTechnique technique() const { return technique_; }
+
+  // The full (n x k) systematic generator; row i produces chunk i.
+  const gf::Matrix& generator() const { return gen_; }
+
+  // Exhaustively check that every k-subset of generator rows is invertible
+  // (the MDS property). O(C(n,k)) — fine for the n <= ~20 codes studied here.
+  bool verify_mds() const;
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+  RsTechnique technique_;
+  gf::Matrix gen_;
+};
+
+// Solve for the data vector from any k known codeword symbols: returns the
+// k x k inverse of the selected generator rows, or nullopt if singular.
+// Shared with the Clay code, which uses an RS code per sub-chunk plane.
+std::optional<gf::Matrix> rs_decode_matrix(const gf::Matrix& generator,
+                                           const std::vector<std::size_t>& rows);
+
+}  // namespace ecf::ec

@@ -1,0 +1,172 @@
+#include "ec/shec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace ecf::ec {
+
+ShecCode::ShecCode(std::size_t k, std::size_t m, std::size_t c)
+    : k_(k), m_(m), c_(c), n_(k + m) {
+  if (k == 0 || m == 0 || c == 0) {
+    throw std::invalid_argument("SHEC requires k, m, c > 0");
+  }
+  if (c > m || m > k) throw std::invalid_argument("SHEC requires c <= m <= k");
+  if (n_ > 255) throw std::invalid_argument("SHEC over GF(256) requires n <= 255");
+  l_ = util::ceil_div(k * c, m);
+
+  // Generator: identity for data; parity p covers window(p) with Cauchy
+  // coefficients (distinct per parity so overlapping windows stay
+  // independent).
+  gen_ = gf::Matrix(n_, k_);
+  for (std::size_t i = 0; i < k_; ++i) gen_.at(i, i) = 1;
+  for (std::size_t p = 0; p < m_; ++p) {
+    const gf::Byte x = static_cast<gf::Byte>(k_ + p);
+    for (const std::size_t d : parity_window(p)) {
+      // 1/(x + y_d): Cauchy element; x in [k, k+m), y in [0, k) disjoint.
+      gen_.at(k_ + p, d) = gf::inv(gf::add(x, static_cast<gf::Byte>(d)));
+    }
+  }
+}
+
+std::string ShecCode::name() const {
+  return "SHEC(k=" + std::to_string(k_) + ",m=" + std::to_string(m_) +
+         ",c=" + std::to_string(c_) + ")";
+}
+
+std::size_t ShecCode::window_start(std::size_t p) const {
+  // Circular shingling: windows advance by k/m and wrap, so every data
+  // chunk is covered by ~c parities and no chunk depends on a single
+  // parity — required for the any-c recovery guarantee.
+  return p * k_ / m_;
+}
+
+std::vector<std::size_t> ShecCode::parity_window(std::size_t p) const {
+  if (p >= m_) throw std::invalid_argument("SHEC: parity index out of range");
+  std::vector<std::size_t> out;
+  const std::size_t start = window_start(p);
+  for (std::size_t i = 0; i < l_ && i < k_; ++i) {
+    out.push_back((start + i) % k_);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ShecCode::encode(std::vector<Buffer>& chunks) const {
+  check_chunks(chunks);
+  const std::size_t len = chunks[0].size();
+  for (std::size_t p = k_; p < n_; ++p) {
+    std::fill(chunks[p].begin(), chunks[p].end(), Byte{0});
+    for (std::size_t d = 0; d < k_; ++d) {
+      gf::mul_acc(gen_.at(p, d), chunks[d].data(), chunks[p].data(), len);
+    }
+  }
+}
+
+std::vector<std::size_t> ShecCode::pick_rows(
+    const std::vector<std::size_t>& erased) const {
+  // Greedy Gaussian elimination over survivor generator rows (same scheme
+  // as the LRC): returns k independent rows or empty.
+  std::vector<std::size_t> chosen;
+  gf::Matrix basis(k_, k_);
+  std::size_t rank = 0;
+  for (std::size_t row = 0; row < n_ && rank < k_; ++row) {
+    if (std::binary_search(erased.begin(), erased.end(), row)) continue;
+    std::vector<Byte> v(k_);
+    for (std::size_t col = 0; col < k_; ++col) v[col] = gen_.at(row, col);
+    for (std::size_t r = 0; r < rank; ++r) {
+      std::size_t pc = 0;
+      while (pc < k_ && basis.at(r, pc) == 0) ++pc;
+      if (pc < k_ && v[pc] != 0) {
+        const Byte f = v[pc];
+        for (std::size_t col = 0; col < k_; ++col) {
+          v[col] = gf::add(v[col], gf::mul(f, basis.at(r, col)));
+        }
+      }
+    }
+    std::size_t pivot = 0;
+    while (pivot < k_ && v[pivot] == 0) ++pivot;
+    if (pivot == k_) continue;
+    const Byte inv_p = gf::inv(v[pivot]);
+    for (std::size_t col = 0; col < k_; ++col) {
+      basis.at(rank, col) = gf::mul(v[col], inv_p);
+    }
+    chosen.push_back(row);
+    ++rank;
+  }
+  if (rank < k_) return {};
+  return chosen;
+}
+
+bool ShecCode::recoverable(const std::vector<std::size_t>& erased) const {
+  return !pick_rows(erased).empty();
+}
+
+bool ShecCode::decode(std::vector<Buffer>& chunks,
+                      const std::vector<std::size_t>& erased) const {
+  check_chunks(chunks);
+  check_erasures(*this, erased);
+  const std::size_t len = chunks[0].size();
+  const std::vector<std::size_t> rows = pick_rows(erased);
+  if (rows.empty()) return false;
+  const auto inv = gen_.select_rows(rows).inverted();
+  if (!inv) return false;
+  std::vector<Buffer> data(k_, Buffer(len));
+  std::vector<const Byte*> in(k_);
+  std::vector<Byte*> out(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    in[i] = chunks[rows[i]].data();
+    out[i] = data[i].data();
+  }
+  gf::matrix_apply(*inv, in, out, len);
+  for (const std::size_t e : erased) {
+    std::fill(chunks[e].begin(), chunks[e].end(), Byte{0});
+    for (std::size_t d = 0; d < k_; ++d) {
+      gf::mul_acc(gen_.at(e, d), data[d].data(), chunks[e].data(), len);
+    }
+  }
+  return true;
+}
+
+RepairPlan ShecCode::repair_plan(const std::vector<std::size_t>& erased) const {
+  check_erasures(*this, erased);
+  RepairPlan plan;
+  if (erased.size() == 1 && erased[0] < k_) {
+    // Single data-chunk loss: use the cheapest covering parity window.
+    std::size_t best = m_;
+    for (std::size_t p = 0; p < m_; ++p) {
+      const auto w = parity_window(p);
+      if (std::find(w.begin(), w.end(), erased[0]) != w.end()) {
+        best = p;
+        break;
+      }
+    }
+    if (best < m_) {
+      for (const std::size_t d : parity_window(best)) {
+        if (d != erased[0]) plan.reads.push_back({d, 1.0, 1});
+      }
+      plan.reads.push_back({k_ + best, 1.0, 1});
+      plan.decode_cost_factor = 0.6;
+      plan.bandwidth_optimal = true;  // locality-optimal window repair
+      return plan;
+    }
+  }
+  if (erased.size() == 1 && erased[0] >= k_) {
+    // Lost parity: re-encode from its window.
+    for (const std::size_t d : parity_window(erased[0] - k_)) {
+      plan.reads.push_back({d, 1.0, 1});
+    }
+    plan.decode_cost_factor = 0.6;
+    plan.bandwidth_optimal = true;
+    return plan;
+  }
+  // Multi-failure: general solve from k independent survivors.
+  for (const std::size_t r : pick_rows(erased)) {
+    plan.reads.push_back({r, 1.0, 1});
+  }
+  plan.decode_cost_factor = 1.0;
+  return plan;
+}
+
+}  // namespace ecf::ec

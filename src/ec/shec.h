@@ -1,0 +1,55 @@
+// SHEC — Shingled Erasure Code (Miyamae et al., Ceph's `shec` plugin),
+// the last entry in the paper's Table 1 plugin list.
+//
+// SHEC(k, m, c) arranges m parity chunks as overlapping ("shingled")
+// windows over the k data chunks: parity i covers l = ceil(k*c/m)
+// consecutive data chunks starting at offset i*(k - l)/(m - 1) (degenerate
+// cases handled below). It guarantees recovery of any c concurrent
+// failures, and a single data-chunk failure is repaired from one window —
+// l data reads instead of k, trading storage efficiency (m > the MDS
+// minimum) for repair locality, like a diagonal cousin of LRC.
+//
+// Not MDS for c < m: decode() reports unrecoverable patterns honestly via
+// the same rank test the LRC uses.
+#pragma once
+
+#include "ec/code.h"
+#include "gf/matrix.h"
+
+namespace ecf::ec {
+
+class ShecCode : public ErasureCode {
+ public:
+  // Throws std::invalid_argument unless 0 < c <= m <= k and n <= 255.
+  ShecCode(std::size_t k, std::size_t m, std::size_t c);
+
+  std::string name() const override;
+  std::size_t n() const override { return n_; }
+  std::size_t k() const override { return k_; }
+  std::size_t durability() const { return c_; }  // guaranteed failures
+  // Window width l: data chunks covered by each parity.
+  std::size_t window() const { return l_; }
+  // Data chunk ids covered by parity p (0-based parity index).
+  std::vector<std::size_t> parity_window(std::size_t p) const;
+
+  void encode(std::vector<Buffer>& chunks) const override;
+  bool decode(std::vector<Buffer>& chunks,
+              const std::vector<std::size_t>& erased) const override;
+  RepairPlan repair_plan(const std::vector<std::size_t>& erased) const override;
+
+  // Rank test: is this erasure pattern decodable?
+  bool recoverable(const std::vector<std::size_t>& erased) const;
+
+ private:
+  std::size_t window_start(std::size_t p) const;
+  std::vector<std::size_t> pick_rows(const std::vector<std::size_t>& erased) const;
+
+  std::size_t k_;
+  std::size_t m_;
+  std::size_t c_;
+  std::size_t n_;
+  std::size_t l_;
+  gf::Matrix gen_;  // n x k
+};
+
+}  // namespace ecf::ec

@@ -1,0 +1,83 @@
+#include "ec/stripe.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace ecf::ec {
+
+StripeLayout compute_stripe_layout(std::uint64_t object_size, std::size_t n,
+                                   std::size_t k, std::uint64_t stripe_unit) {
+  if (object_size == 0 || n == 0 || k == 0 || stripe_unit == 0 || n < k) {
+    throw std::invalid_argument("compute_stripe_layout: bad arguments");
+  }
+  StripeLayout layout;
+  layout.object_size = object_size;
+  layout.stripe_unit = stripe_unit;
+  layout.k = k;
+  layout.n = n;
+  layout.units_per_chunk =
+      util::ceil_div(object_size, static_cast<std::uint64_t>(k) * stripe_unit);
+  layout.chunk_size = layout.units_per_chunk * stripe_unit;
+  layout.stored_total = static_cast<std::uint64_t>(n) * layout.chunk_size;
+  layout.padding_bytes =
+      static_cast<std::uint64_t>(k) * layout.chunk_size - object_size;
+  return layout;
+}
+
+std::vector<Buffer> split_object(const Buffer& object, std::size_t n,
+                                 std::size_t k, std::uint64_t stripe_unit,
+                                 std::size_t alpha) {
+  const StripeLayout layout =
+      compute_stripe_layout(object.size(), n, k, stripe_unit);
+  // Sub-packetized codes need chunk sizes that are multiples of alpha; the
+  // extra bytes are further zero padding.
+  const std::uint64_t chunk_size =
+      util::round_up(layout.chunk_size, static_cast<std::uint64_t>(alpha));
+  std::vector<Buffer> chunks(n, Buffer(chunk_size, 0));
+  // Stripe s, unit u -> chunk u, offset s·stripe_unit: Ceph's RAID-0 style
+  // striping across the k data chunks.
+  std::uint64_t pos = 0;
+  std::uint64_t stripe = 0;
+  while (pos < object.size()) {
+    for (std::size_t u = 0; u < k && pos < object.size(); ++u) {
+      const std::uint64_t take =
+          std::min<std::uint64_t>(stripe_unit, object.size() - pos);
+      std::copy(object.begin() + static_cast<std::ptrdiff_t>(pos),
+                object.begin() + static_cast<std::ptrdiff_t>(pos + take),
+                chunks[u].begin() + static_cast<std::ptrdiff_t>(stripe * stripe_unit));
+      pos += take;
+    }
+    ++stripe;
+  }
+  return chunks;
+}
+
+Buffer reassemble_object(const std::vector<Buffer>& chunks, std::size_t k,
+                         std::uint64_t object_size, std::uint64_t stripe_unit) {
+  if (chunks.size() < k || k == 0 || stripe_unit == 0) {
+    throw std::invalid_argument("reassemble_object: bad arguments");
+  }
+  Buffer object(object_size);
+  std::uint64_t pos = 0;
+  std::uint64_t stripe = 0;
+  while (pos < object_size) {
+    for (std::size_t u = 0; u < k && pos < object_size; ++u) {
+      const std::uint64_t take =
+          std::min<std::uint64_t>(stripe_unit, object_size - pos);
+      const std::uint64_t off = stripe * stripe_unit;
+      if (off + take > chunks[u].size()) {
+        throw std::invalid_argument("reassemble_object: chunk too small");
+      }
+      std::copy(chunks[u].begin() + static_cast<std::ptrdiff_t>(off),
+                chunks[u].begin() + static_cast<std::ptrdiff_t>(off + take),
+                object.begin() + static_cast<std::ptrdiff_t>(pos));
+      pos += take;
+    }
+    ++stripe;
+  }
+  return object;
+}
+
+}  // namespace ecf::ec

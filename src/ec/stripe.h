@@ -1,0 +1,56 @@
+// Object striping and the paper's division-and-padding policy (§4.4).
+//
+// In a Ceph EC pool an object of size S_object is split into k data chunks.
+// Each chunk is built from stripe_unit-sized encoding units: an undersized
+// chunk is zero-padded up to stripe_unit, an oversized chunk is divided
+// into ⌈S_object / (k·S_unit)⌉ units, the last of which is padded. Hence
+// the per-chunk stored size the paper derives:
+//
+//     S_chunk = S_unit · ⌈ S_object / (k · S_unit) ⌉
+//
+// This header provides both the arithmetic (StripeLayout, feeding the WA
+// model and the simulator's write path) and the real byte-level
+// split/reassemble used by the examples and the codec round-trip tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ec/code.h"
+
+namespace ecf::ec {
+
+struct StripeLayout {
+  std::uint64_t object_size = 0;
+  std::uint64_t stripe_unit = 0;
+  std::size_t k = 0;
+  std::size_t n = 0;
+  // Encoding units per chunk: ⌈S_object / (k·S_unit)⌉ (≥ 1 for S_object>0).
+  std::uint64_t units_per_chunk = 0;
+  // Stored bytes per chunk: S_unit · units_per_chunk.
+  std::uint64_t chunk_size = 0;
+  // Stored bytes over all n chunks.
+  std::uint64_t stored_total = 0;
+  // Zero padding over all data chunks: k·chunk_size − S_object.
+  std::uint64_t padding_bytes = 0;
+};
+
+// Throws std::invalid_argument if any of object_size, k, n, stripe_unit is
+// zero or n < k.
+StripeLayout compute_stripe_layout(std::uint64_t object_size, std::size_t n,
+                                   std::size_t k, std::uint64_t stripe_unit);
+
+// Split object bytes into n chunk buffers (k data chunks per the layout,
+// zero-padded; parity buffers allocated zero-filled), matching what the
+// encode() of any code expects. For sub-packetized codes pass alpha so the
+// chunk size is rounded up to a multiple of it.
+std::vector<Buffer> split_object(const Buffer& object, std::size_t n,
+                                 std::size_t k, std::uint64_t stripe_unit,
+                                 std::size_t alpha = 1);
+
+// Inverse of split_object: reassemble the original object_size bytes from
+// the k data chunks.
+Buffer reassemble_object(const std::vector<Buffer>& chunks, std::size_t k,
+                         std::uint64_t object_size, std::uint64_t stripe_unit);
+
+}  // namespace ecf::ec

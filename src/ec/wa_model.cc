@@ -1,0 +1,24 @@
+#include "ec/wa_model.h"
+
+#include "ec/stripe.h"
+
+namespace ecf::ec {
+
+WaEstimate estimate_wa(std::uint64_t object_size, std::size_t n, std::size_t k,
+                       std::uint64_t stripe_unit, std::uint64_t s_meta) {
+  const StripeLayout layout =
+      compute_stripe_layout(object_size, n, k, stripe_unit);
+  WaEstimate est;
+  est.theoretical = static_cast<double>(n) / static_cast<double>(k);
+  est.chunk_size = layout.chunk_size;
+  est.padding_bytes = layout.padding_bytes;
+  est.stored_data_bytes = layout.stored_total;
+  const auto obj = static_cast<double>(object_size);
+  est.padding_only = static_cast<double>(layout.stored_total) / obj;
+  est.with_metadata =
+      (static_cast<double>(layout.stored_total) + static_cast<double>(s_meta)) /
+      obj;
+  return est;
+}
+
+}  // namespace ecf::ec

@@ -1,0 +1,35 @@
+// The paper's §4.4 write-amplification model.
+//
+// Theoretical EC storage amplification is n/k, but the measured OSD-level
+// amplification is larger because of (1) zero padding from the
+// division-and-padding policy and (2) per-chunk metadata. The paper derives
+//
+//     S_chunk = S_unit · ⌈ S_object / (k · S_unit) ⌉
+//     WA      = (n · S_chunk + S_meta) / S_object
+//
+// and validates it as a tighter lower bound than n/k. This header exposes
+// the formula directly (used by the WA benches and the wa_estimator
+// example) plus a breakdown of where the amplification comes from.
+#pragma once
+
+#include <cstdint>
+
+namespace ecf::ec {
+
+struct WaEstimate {
+  double theoretical = 0;     // n/k
+  double padding_only = 0;    // n·S_chunk / S_object   (S_meta = 0)
+  double with_metadata = 0;   // (n·S_chunk + S_meta) / S_object
+  std::uint64_t chunk_size = 0;       // S_chunk
+  std::uint64_t padding_bytes = 0;    // total zero padding across k chunks
+  std::uint64_t stored_data_bytes = 0;  // n·S_chunk
+};
+
+// Per-object WA estimate from the paper's formula. s_meta is the metadata
+// bytes attributed to the object's stripe (0 when unknown; the paper notes
+// S_meta "may not be readily available" and uses the rest as a lower
+// bound).
+WaEstimate estimate_wa(std::uint64_t object_size, std::size_t n, std::size_t k,
+                       std::uint64_t stripe_unit, std::uint64_t s_meta = 0);
+
+}  // namespace ecf::ec

@@ -1,0 +1,183 @@
+#include "ecfault/campaign.h"
+
+#include <stdexcept>
+
+#include "util/bytes.h"
+#include "util/stats.h"
+
+namespace ecf::ecfault {
+
+std::vector<VariantResult> Campaign::run(
+    const std::string& reference_label) const {
+  if (variants_.empty()) throw std::logic_error("campaign has no variants");
+  std::vector<VariantResult> results;
+  results.reserve(variants_.size());
+  for (const Variant& v : variants_) {
+    ExperimentProfile p = base_;
+    v.apply(p);
+    p.name = v.label;
+    VariantResult r;
+    r.label = v.label;
+    r.campaign = Coordinator::run_profile(p);
+    results.push_back(std::move(r));
+  }
+  const std::string ref =
+      reference_label.empty() ? results.front().label : reference_label;
+  double base_total = 0;
+  for (const auto& r : results) {
+    if (r.label == ref) base_total = r.campaign.mean_total;
+  }
+  if (base_total <= 0) {
+    throw std::invalid_argument("campaign reference '" + ref +
+                                "' missing or failed");
+  }
+  for (auto& r : results) {
+    r.normalized = r.campaign.mean_total / base_total;
+  }
+  return results;
+}
+
+std::string Campaign::to_table(const std::vector<VariantResult>& results) {
+  util::TextTable table({"variant", "total(s)", "checking(s)", "recovery(s)",
+                         "normalized", "runs"});
+  for (const auto& r : results) {
+    table.add_row({r.label, util::fmt_double(r.campaign.mean_total, 0),
+                   util::fmt_double(r.campaign.mean_checking, 0),
+                   util::fmt_double(r.campaign.mean_recovery, 0),
+                   util::fmt_double(r.normalized, 3),
+                   std::to_string(r.campaign.runs)});
+  }
+  return table.to_string();
+}
+
+std::vector<Variant> code_axis() {
+  return {
+      {"rs(12,9)",
+       [](ExperimentProfile& p) {
+         p.cluster.pool.ec_profile = {{"plugin", "jerasure"},
+                                      {"technique", "reed_sol_van"},
+                                      {"k", "9"},
+                                      {"m", "3"}};
+       }},
+      {"clay(12,9,11)",
+       [](ExperimentProfile& p) {
+         p.cluster.pool.ec_profile = {
+             {"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}};
+       }},
+  };
+}
+
+std::vector<Variant> cache_axis() {
+  return {
+      {"kv-optimized",
+       [](ExperimentProfile& p) {
+         p.cluster.cache = cluster::CacheConfig::kv_optimized();
+       }},
+      {"data-optimized",
+       [](ExperimentProfile& p) {
+         p.cluster.cache = cluster::CacheConfig::data_optimized();
+       }},
+      {"autotune",
+       [](ExperimentProfile& p) {
+         p.cluster.cache = cluster::CacheConfig::autotuned();
+       }},
+  };
+}
+
+std::vector<Variant> pg_axis(std::vector<std::int32_t> values) {
+  std::vector<Variant> out;
+  for (const std::int32_t pg : values) {
+    out.push_back({"pg=" + std::to_string(pg), [pg](ExperimentProfile& p) {
+                     p.cluster.pool.pg_num = pg;
+                   }});
+  }
+  return out;
+}
+
+std::vector<Variant> stripe_axis(std::vector<std::uint64_t> values) {
+  std::vector<Variant> out;
+  for (const std::uint64_t su : values) {
+    out.push_back(
+        {"su=" + util::format_bytes(su),
+         [su](ExperimentProfile& p) { p.cluster.pool.stripe_unit = su; }});
+  }
+  return out;
+}
+
+std::vector<Variant> failure_axis(std::vector<int> counts) {
+  std::vector<Variant> out;
+  for (const int count : counts) {
+    for (const auto topo :
+         {FaultTopology::kSameHost, FaultTopology::kDifferentHosts}) {
+      out.push_back({std::to_string(count) + "f/" + to_string(topo),
+                     [count, topo](ExperimentProfile& p) {
+                       p.fault.level = FaultLevel::kDevice;
+                       p.fault.count = count;
+                       p.fault.topology = topo;
+                     }});
+    }
+  }
+  return out;
+}
+
+std::vector<Variant> cross(const std::vector<Variant>& a,
+                           const std::vector<Variant>& b) {
+  std::vector<Variant> out;
+  for (const Variant& x : a) {
+    for (const Variant& y : b) {
+      out.push_back({x.label + " x " + y.label,
+                     [ax = x.apply, by = y.apply](ExperimentProfile& p) {
+                       ax(p);
+                       by(p);
+                     }});
+    }
+  }
+  return out;
+}
+
+CampaignSpec campaign_from_json(const util::Json& doc) {
+  ExperimentProfile base;
+  if (doc.has("base")) base = ExperimentProfile::from_json(doc.at("base"));
+
+  std::vector<Variant> variants;
+  if (doc.has("axes")) {
+    for (const util::Json& axis : doc.at("axes").as_array()) {
+      const std::string name = axis.at("axis").as_string();
+      std::vector<Variant> next;
+      if (name == "codes") {
+        next = code_axis();
+      } else if (name == "cache") {
+        next = cache_axis();
+      } else if (name == "pg_num") {
+        std::vector<std::int32_t> values;
+        for (const auto& v : axis.at("values").as_array()) {
+          values.push_back(static_cast<std::int32_t>(v.as_int()));
+        }
+        next = pg_axis(values);
+      } else if (name == "stripe_unit") {
+        std::vector<std::uint64_t> values;
+        for (const auto& v : axis.at("values").as_array()) {
+          values.push_back(v.as_uint());
+        }
+        next = stripe_axis(values);
+      } else if (name == "failures") {
+        std::vector<int> counts;
+        for (const auto& v : axis.at("counts").as_array()) {
+          counts.push_back(static_cast<int>(v.as_int()));
+        }
+        next = failure_axis(counts);
+      } else {
+        throw std::invalid_argument("unknown campaign axis '" + name + "'");
+      }
+      variants = variants.empty() ? next : cross(variants, next);
+    }
+  }
+  if (variants.empty()) {
+    throw std::invalid_argument("campaign has no axes");
+  }
+  CampaignSpec spec{Campaign(base), doc.get_or("reference", std::string())};
+  spec.campaign.add_all(std::move(variants));
+  return spec;
+}
+
+}  // namespace ecf::ecfault

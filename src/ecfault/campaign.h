@@ -1,0 +1,89 @@
+// Configuration campaigns: declarative sweeps over experiment variants.
+//
+// The paper's §4 is a configuration study — every figure is "take the
+// default experiment, vary one knob, compare". This module captures that
+// pattern: a Campaign owns a base profile and a list of named variants
+// (mutations of the base); run() executes each through the Coordinator and
+// returns a result table, optionally normalized to one variant, rendered
+// like the paper's figures. The standard axes (caching schemes, pg_num,
+// stripe units, codes, failure modes) come as prebuilt variant factories.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ecfault/coordinator.h"
+#include "util/json.h"
+
+namespace ecf::ecfault {
+
+struct Variant {
+  std::string label;
+  std::function<void(ExperimentProfile&)> apply;
+};
+
+struct VariantResult {
+  std::string label;
+  CampaignResult campaign;
+  double normalized = 0;  // mean_total / reference mean_total
+};
+
+class Campaign {
+ public:
+  explicit Campaign(ExperimentProfile base) : base_(std::move(base)) {}
+
+  Campaign& add(Variant v) {
+    variants_.push_back(std::move(v));
+    return *this;
+  }
+  Campaign& add_all(std::vector<Variant> vs) {
+    for (auto& v : vs) variants_.push_back(std::move(v));
+    return *this;
+  }
+
+  // Run every variant; normalize to `reference_label` (empty = first).
+  std::vector<VariantResult> run(const std::string& reference_label = "") const;
+
+  // Markdown table of a result set (the benches' output format).
+  static std::string to_table(const std::vector<VariantResult>& results);
+
+  std::size_t size() const { return variants_.size(); }
+
+ private:
+  ExperimentProfile base_;
+  std::vector<Variant> variants_;
+};
+
+// --- standard axes (the paper's Table 1 subset) -----------------------------
+
+// RS(12,9) and Clay(12,9,11) variants of the same experiment.
+std::vector<Variant> code_axis();
+// The Table 2 caching schemes.
+std::vector<Variant> cache_axis();
+// pg_num values.
+std::vector<Variant> pg_axis(std::vector<std::int32_t> values);
+// stripe_unit values.
+std::vector<Variant> stripe_axis(std::vector<std::uint64_t> values);
+// Failure modes: count x topology (device level).
+std::vector<Variant> failure_axis(std::vector<int> counts);
+
+// Cartesian product of two axes ("RS x pg=1", ...).
+std::vector<Variant> cross(const std::vector<Variant>& a,
+                           const std::vector<Variant>& b);
+
+// Build a campaign from a JSON document:
+//   { "base": { <experiment profile> },
+//     "axes": [ {"axis": "codes"} | {"axis": "cache"} |
+//               {"axis": "pg_num", "values": [1,16,256]} |
+//               {"axis": "stripe_unit", "values": [4096, ...]} |
+//               {"axis": "failures", "counts": [2,3]} ],
+//     "reference": "rs(12,9) x pg=256" }
+// Multiple axes are crossed in order. Throws on unknown axis names.
+struct CampaignSpec {
+  Campaign campaign;
+  std::string reference;
+};
+CampaignSpec campaign_from_json(const util::Json& doc);
+
+}  // namespace ecf::ecfault

@@ -1,0 +1,89 @@
+#include "ecfault/coordinator.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace ecf::ecfault {
+
+ExperimentResult Coordinator::run_experiment(const ExperimentProfile& profile) {
+  MsgBus bus;
+  LoggerFleet loggers(&bus);
+  cluster::Cluster cl(profile.cluster, loggers.sink());
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_client_load();  // no-op unless configured
+  cl.start_scrub();        // no-op unless configured
+
+  // One worker per node, as in Figure 1.
+  std::vector<Worker> workers;
+  workers.reserve(static_cast<std::size_t>(profile.cluster.num_hosts));
+  for (cluster::HostId h = 0; h < profile.cluster.num_hosts; ++h) {
+    workers.emplace_back(&cl, h, &bus);
+  }
+
+  FaultInjector injector(cl);
+  const InjectionPlan plan = injector.plan(profile.fault);
+
+  // Schedule the injection; Workers apply the faults on their own nodes.
+  const double fraction = profile.fault.corrupt_fraction;
+  cl.engine().schedule(profile.fault.inject_at_s, [&cl, &workers, plan,
+                                                   fraction] {
+    switch (plan.level) {
+      case FaultLevel::kNode:
+        for (const cluster::HostId h : plan.node_victims) {
+          workers[static_cast<std::size_t>(h)].apply_node_fault();
+        }
+        break;
+      case FaultLevel::kDevice:
+        for (const cluster::OsdId o : plan.device_victims) {
+          workers[static_cast<std::size_t>(cl.host_of(o))].apply_device_fault(
+              o);
+        }
+        break;
+      case FaultLevel::kCorruption:
+        for (const cluster::OsdId o : plan.device_victims) {
+          workers[static_cast<std::size_t>(cl.host_of(o))]
+              .apply_corruption_fault(o, fraction);
+        }
+        break;
+    }
+  });
+
+  cl.engine().run();
+
+  ExperimentResult result;
+  result.report = cl.report();
+  result.timeline = analyze_timeline(loggers.merged());
+  result.injected = plan;
+  result.actual_wa = cl.actual_wa();
+  result.stored_bytes = cl.total_stored_bytes();
+  result.meta_bytes = cl.total_meta_bytes();
+  result.log_records_published = bus.total_published();
+  result.code_name = cl.code().name();
+  return result;
+}
+
+CampaignResult Coordinator::run_profile(const ExperimentProfile& profile) {
+  CampaignResult campaign;
+  util::Samples totals, checkings, recoveries;
+  for (int run = 0; run < profile.runs; ++run) {
+    ExperimentProfile p = profile;
+    p.cluster.seed = profile.cluster.seed + static_cast<std::uint64_t>(run);
+    campaign.last = run_experiment(p);
+    const auto& rep = campaign.last.report;
+    if (rep.complete) {
+      totals.add(rep.total());
+      checkings.add(rep.checking_period());
+      recoveries.add(rep.ec_recovery_period());
+    }
+  }
+  campaign.runs = static_cast<int>(totals.count());
+  campaign.mean_total = totals.mean();
+  campaign.mean_checking = checkings.mean();
+  campaign.mean_recovery = recoveries.mean();
+  campaign.stddev_total = totals.stddev();
+  return campaign;
+}
+
+}  // namespace ecf::ecfault

@@ -1,0 +1,58 @@
+// The Coordinator (§3): orchestrates one experiment end to end.
+//
+// Given an ExperimentProfile it builds the target DSS, wires the per-node
+// Loggers into the message bus, applies the workload, plans and injects
+// faults through the per-node Workers at the scheduled time, runs the
+// simulation to completion, and assembles the measurements: the recovery
+// report, the log-derived timeline (Fig. 3), and the write-amplification
+// figures (Table 3). run_experiment() performs one seeded run;
+// run_profile() repeats it `runs` times with derived seeds and averages,
+// matching the paper's three-run methodology.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "ecfault/fault_injector.h"
+#include "ecfault/logger.h"
+#include "ecfault/msgbus.h"
+#include "ecfault/profile.h"
+#include "ecfault/timeline.h"
+#include "ecfault/worker.h"
+
+namespace ecf::ecfault {
+
+struct ExperimentResult {
+  cluster::RecoveryReport report;
+  Timeline timeline;
+  InjectionPlan injected;
+  double actual_wa = 0;
+  std::uint64_t stored_bytes = 0;
+  std::uint64_t meta_bytes = 0;
+  std::size_t log_records_published = 0;
+  std::string code_name;
+};
+
+// Averages across runs (recovery timing metrics only; WA is deterministic
+// given a seed's placement and reported from the last run).
+struct CampaignResult {
+  ExperimentResult last;
+  double mean_total = 0;
+  double mean_checking = 0;
+  double mean_recovery = 0;
+  double stddev_total = 0;
+  int runs = 0;
+};
+
+class Coordinator {
+ public:
+  // Run one seeded experiment. The profile's cluster seed is used as-is.
+  static ExperimentResult run_experiment(const ExperimentProfile& profile);
+
+  // Run profile.runs experiments with seeds seed, seed+1, … and average.
+  static CampaignResult run_profile(const ExperimentProfile& profile);
+};
+
+}  // namespace ecf::ecfault

@@ -1,0 +1,145 @@
+#include "ecfault/fault_injector.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace ecf::ecfault {
+
+std::vector<cluster::OsdId> FaultInjector::candidates_with_data() const {
+  std::vector<cluster::OsdId> out;
+  const int n = cluster_->config().num_osds();
+  for (cluster::OsdId o = 0; o < n; ++o) {
+    if (!cluster_->osd_alive(o)) continue;
+    if (!cluster_->pgs_on_osd(o).empty()) out.push_back(o);
+  }
+  return out;
+}
+
+bool FaultInjector::within_tolerance(
+    const std::vector<cluster::OsdId>& victims) const {
+  const std::size_t m = cluster_->code().m();
+  // Count losses per PG: proposed victims plus shards already dead.
+  std::map<cluster::PgId, std::size_t> losses;
+  for (const cluster::OsdId v : victims) {
+    for (const cluster::PgId pg : cluster_->pgs_on_osd(v)) ++losses[pg];
+  }
+  for (auto& [pg, count] : losses) {
+    for (const cluster::OsdId member : cluster_->pg_acting(pg)) {
+      if (!cluster_->osd_alive(member) &&
+          std::find(victims.begin(), victims.end(), member) == victims.end()) {
+        ++count;
+      }
+    }
+    if (count > m) return false;
+  }
+  return true;
+}
+
+InjectionPlan FaultInjector::plan(const FaultSpec& spec) const {
+  InjectionPlan out;
+  out.level = spec.level;
+
+  if (spec.level == FaultLevel::kCorruption) {
+    // Corruption victims are selected like device victims (the corrupted
+    // shards must stay decodable: <= n-k bad shards per PG guaranteed by
+    // the same tolerance check, since corruption hits at most one shard
+    // per PG per victim OSD).
+    FaultSpec device_spec = spec;
+    device_spec.level = FaultLevel::kDevice;
+    InjectionPlan plan = this->plan(device_spec);
+    plan.level = FaultLevel::kCorruption;
+    return plan;
+  }
+
+  if (spec.level == FaultLevel::kNode) {
+    // Pick hosts whose OSDs hold data; tolerance-checked like devices.
+    std::vector<cluster::HostId> hosts;
+    for (cluster::HostId h = 0; h < cluster_->config().num_hosts; ++h) {
+      bool has_data = false;
+      std::vector<cluster::OsdId> osds = cluster_->osds_on_host(h);
+      for (const cluster::OsdId o : osds) {
+        if (cluster_->osd_alive(o) && !cluster_->pgs_on_osd(o).empty()) {
+          has_data = true;
+        }
+      }
+      if (has_data) hosts.push_back(h);
+    }
+    if (static_cast<int>(hosts.size()) < spec.count) {
+      throw std::invalid_argument("not enough data-bearing hosts for node faults");
+    }
+    for (int i = 0; i < spec.count; ++i) {
+      std::vector<cluster::OsdId> victims;
+      for (int j = 0; j <= i; ++j) {
+        for (const cluster::OsdId o : cluster_->osds_on_host(hosts[static_cast<std::size_t>(j)])) {
+          victims.push_back(o);
+        }
+      }
+      if (i + 1 == spec.count && !within_tolerance(victims)) {
+        throw std::runtime_error(
+            "node fault plan would exceed EC tolerance; refuse to inject");
+      }
+      if (i + 1 == spec.count) {
+        out.node_victims.assign(hosts.begin(), hosts.begin() + spec.count);
+      }
+    }
+    return out;
+  }
+
+  // Device level.
+  const std::vector<cluster::OsdId> cands = candidates_with_data();
+  const auto count = static_cast<std::size_t>(spec.count);
+  if (cands.size() < count) {
+    throw std::invalid_argument("not enough data-bearing OSDs for device faults");
+  }
+
+  auto try_set = [&](const std::vector<cluster::OsdId>& set) -> bool {
+    return set.size() == count && within_tolerance(set);
+  };
+
+  if (spec.topology == FaultTopology::kSameHost) {
+    // All victims on one host.
+    for (cluster::HostId h = 0; h < cluster_->config().num_hosts; ++h) {
+      std::vector<cluster::OsdId> set;
+      for (const cluster::OsdId o : cluster_->osds_on_host(h)) {
+        if (std::find(cands.begin(), cands.end(), o) != cands.end()) {
+          set.push_back(o);
+          if (set.size() == count) break;
+        }
+      }
+      if (try_set(set)) {
+        out.device_victims = set;
+        return out;
+      }
+    }
+    throw std::runtime_error("no host offers a tolerant same-host victim set");
+  }
+
+  if (spec.topology == FaultTopology::kDifferentHosts) {
+    std::vector<cluster::OsdId> set;
+    std::vector<cluster::HostId> used;
+    for (const cluster::OsdId o : cands) {
+      const cluster::HostId h = cluster_->host_of(o);
+      if (std::find(used.begin(), used.end(), h) != used.end()) continue;
+      set.push_back(o);
+      used.push_back(h);
+      if (set.size() == count) break;
+    }
+    if (try_set(set)) {
+      out.device_victims = set;
+      return out;
+    }
+    throw std::runtime_error("no tolerant different-host victim set found");
+  }
+
+  // kAnywhere: first tolerant prefix.
+  std::vector<cluster::OsdId> set(cands.begin(),
+                                  cands.begin() + static_cast<std::ptrdiff_t>(count));
+  if (!try_set(set)) {
+    throw std::runtime_error("no tolerant victim set found");
+  }
+  out.device_victims = set;
+  return out;
+}
+
+}  // namespace ecf::ecfault

@@ -1,0 +1,43 @@
+// EC-aware, topology-aware fault injection (§3.2).
+//
+// The Fault Injector is white-box: it knows the EC profile and the CRUSH
+// placement, and it never exceeds the guaranteed fault-tolerance capacity —
+// for every PG, the number of injected losses among that PG's shards stays
+// within n-k. Victim selection is topology-aware (same host vs different
+// hosts, Fig. 2d) and prefers victims that actually hold pool data so every
+// injection exercises recovery.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "ecfault/profile.h"
+
+namespace ecf::ecfault {
+
+struct InjectionPlan {
+  FaultLevel level = FaultLevel::kDevice;
+  std::vector<cluster::OsdId> device_victims;  // device-level faults
+  std::vector<cluster::HostId> node_victims;   // node-level faults
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const cluster::Cluster& cluster)
+      : cluster_(&cluster) {}
+
+  // Select victims per the spec. Throws std::invalid_argument when the
+  // spec is unsatisfiable (not enough hosts / OSDs) or std::runtime_error
+  // when every candidate set would exceed the code's tolerance.
+  InjectionPlan plan(const FaultSpec& spec) const;
+
+  // Would failing these OSDs stay within every PG's tolerance (<= n-k
+  // losses per PG, counting already-failed shards)?
+  bool within_tolerance(const std::vector<cluster::OsdId>& victims) const;
+
+ private:
+  std::vector<cluster::OsdId> candidates_with_data() const;
+  const cluster::Cluster* cluster_;
+};
+
+}  // namespace ecf::ecfault

@@ -1,0 +1,86 @@
+#include "ecfault/iostat.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ecf::ecfault {
+
+IostatCollector::IostatCollector(cluster::Cluster* cluster, double interval_s,
+                                 double horizon_s, cluster::LogSinkFn sink)
+    : cluster_(cluster),
+      interval_(interval_s),
+      horizon_(horizon_s),
+      sink_(std::move(sink)) {
+  const int n = cluster_->config().num_osds();
+  last_.resize(static_cast<std::size_t>(n));
+  for (cluster::OsdId o = 0; o < n; ++o) {
+    last_[static_cast<std::size_t>(o)] = cluster_->disk_stats(o);
+  }
+  cluster_->engine().schedule(interval_, [this] { tick(); });
+}
+
+void IostatCollector::tick() {
+  const double now = cluster_->engine().now();
+  const int n = cluster_->config().num_osds();
+  for (cluster::OsdId o = 0; o < n; ++o) {
+    const auto cur = cluster_->disk_stats(o);
+    auto& prev = last_[static_cast<std::size_t>(o)];
+    IostatSample s;
+    s.time = now;
+    s.osd = o;
+    s.read_bps =
+        static_cast<double>(cur.bytes_read - prev.bytes_read) / interval_;
+    s.write_bps =
+        static_cast<double>(cur.bytes_written - prev.bytes_written) / interval_;
+    s.iops = static_cast<double>(cur.io_count - prev.io_count) / interval_;
+    s.util =
+        std::min(1.0, (cur.busy_seconds - prev.busy_seconds) / interval_);
+    prev = cur;
+    // Quiet devices are skipped, like iostat with a filter — keeps the log
+    // volume proportional to activity.
+    if (s.read_bps == 0 && s.write_bps == 0 && s.iops == 0) continue;
+    samples_.push_back(s);
+    if (sink_) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "iostat: rMB/s=%.1f wMB/s=%.1f iops=%.0f util=%.0f%%",
+                    s.read_bps / 1e6, s.write_bps / 1e6, s.iops,
+                    100.0 * s.util);
+      sink_({now, "osd." + std::to_string(o), "iostat", msg});
+    }
+  }
+  if (now + interval_ <= horizon_) {
+    cluster_->engine().schedule(interval_, [this] { tick(); });
+  }
+}
+
+double IostatCollector::peak_util(cluster::OsdId osd) const {
+  double peak = 0;
+  for (const auto& s : samples_) {
+    if (s.osd == osd) peak = std::max(peak, s.util);
+  }
+  return peak;
+}
+
+cluster::OsdId IostatCollector::busiest_osd() const {
+  std::vector<double> moved(
+      static_cast<std::size_t>(cluster_->config().num_osds()), 0.0);
+  for (const auto& s : samples_) {
+    moved[static_cast<std::size_t>(s.osd)] +=
+        (s.read_bps + s.write_bps) * interval_;
+  }
+  const auto it = std::max_element(moved.begin(), moved.end());
+  return it == moved.end()
+             ? cluster::kNoOsd
+             : static_cast<cluster::OsdId>(it - moved.begin());
+}
+
+double IostatCollector::total_bytes_moved() const {
+  double total = 0;
+  for (const auto& s : samples_) {
+    total += (s.read_bps + s.write_bps) * interval_;
+  }
+  return total;
+}
+
+}  // namespace ecf::ecfault

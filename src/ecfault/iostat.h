@@ -1,0 +1,54 @@
+// iostat-style I/O sampling (§3.3: "On each DSS server, ECFault collects
+// both general I/O information (via iostat) and DSS-specific logs").
+//
+// The collector arms a periodic sampling event on the cluster's simulation
+// engine. Every interval it reads each OSD's device counters, computes the
+// per-interval deltas (read/write throughput, IOPS, utilization — the
+// iostat columns) and emits them as per-node log records so they flow
+// through the same Logger/MsgBus pipeline as the DSS logs. It also keeps
+// the full sample series for post-experiment analysis (peak utilization,
+// busiest device, total traffic).
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace ecf::ecfault {
+
+struct IostatSample {
+  double time = 0;
+  cluster::OsdId osd = cluster::kNoOsd;
+  double read_bps = 0;    // bytes/s over the interval
+  double write_bps = 0;
+  double iops = 0;
+  double util = 0;        // busy fraction of the interval
+};
+
+class IostatCollector {
+ public:
+  // Samples every `interval_s` until the engine runs out of events or
+  // `horizon_s` is reached. Emits one record per OSD per tick through
+  // `sink` (pass the LoggerFleet's sink to join the log pipeline).
+  IostatCollector(cluster::Cluster* cluster, double interval_s,
+                  double horizon_s, cluster::LogSinkFn sink = nullptr);
+
+  const std::vector<IostatSample>& samples() const { return samples_; }
+
+  // Post-experiment summaries.
+  double peak_util(cluster::OsdId osd) const;
+  cluster::OsdId busiest_osd() const;  // by total bytes moved
+  double total_bytes_moved() const;
+
+ private:
+  void tick();
+
+  cluster::Cluster* cluster_;
+  double interval_;
+  double horizon_;
+  cluster::LogSinkFn sink_;
+  std::vector<cluster::Cluster::DeviceStats> last_;
+  std::vector<IostatSample> samples_;
+};
+
+}  // namespace ecf::ecfault

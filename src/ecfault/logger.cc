@@ -1,0 +1,123 @@
+#include "ecfault/logger.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace ecf::ecfault {
+
+LogClass classify(const std::string& message) {
+  const std::string m = util::to_lower(message);
+  // Order matters: the most specific classes first.
+  if (util::contains(m, "decode") || util::contains(m, "decoding")) {
+    return LogClass::kDecoding;
+  }
+  if (util::contains(m, "recovery") || util::contains(m, "recover") ||
+      util::contains(m, "backfill")) {
+    return LogClass::kRecovery;
+  }
+  if (util::contains(m, "fail") || util::contains(m, "down") ||
+      util::contains(m, "marked out") || util::contains(m, "eio") ||
+      util::contains(m, "removed")) {
+    return LogClass::kFailure;
+  }
+  if (util::contains(m, "peering") || util::contains(m, "missing") ||
+      util::contains(m, "queueing")) {
+    return LogClass::kPeering;
+  }
+  if (util::contains(m, "heartbeat")) return LogClass::kHeartbeat;
+  if (util::contains(m, "iostat") || util::contains(m, "io stats")) {
+    return LogClass::kIo;
+  }
+  return LogClass::kUninteresting;
+}
+
+const char* to_string(LogClass c) {
+  switch (c) {
+    case LogClass::kFailure: return "failure";
+    case LogClass::kRecovery: return "recovery";
+    case LogClass::kDecoding: return "decoding";
+    case LogClass::kHeartbeat: return "heartbeat";
+    case LogClass::kPeering: return "peering";
+    case LogClass::kIo: return "io";
+    case LogClass::kUninteresting: return "uninteresting";
+  }
+  return "?";
+}
+
+std::string encode_record(const cluster::LogRecord& rec) {
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%.6f", rec.time);
+  std::string msg = rec.message;
+  std::replace(msg.begin(), msg.end(), '\t', ' ');
+  std::replace(msg.begin(), msg.end(), '\n', ' ');
+  return std::string(ts) + "\t" + rec.node + "\t" + rec.subsys + "\t" + msg;
+}
+
+cluster::LogRecord decode_record(const std::string& payload) {
+  const auto parts = util::split(payload, '\t');
+  cluster::LogRecord rec;
+  if (parts.size() >= 4) {
+    rec.time = std::strtod(parts[0].c_str(), nullptr);
+    rec.node = parts[1];
+    rec.subsys = parts[2];
+    rec.message = parts[3];
+  }
+  return rec;
+}
+
+NodeLogger::NodeLogger(std::string node, MsgBus* bus, std::string topic)
+    : node_(std::move(node)), bus_(bus), topic_(std::move(topic)) {}
+
+void NodeLogger::ingest(const cluster::LogRecord& rec) {
+  local_.push_back(rec);
+  const LogClass cls = classify(rec.message);
+  if (cls == LogClass::kUninteresting) {
+    ++suppressed_;
+    return;  // stays in the node-local file only
+  }
+  ++published_;
+  if (bus_) {
+    bus_->publish({topic_, node_, encode_record(rec), rec.time});
+  }
+}
+
+LoggerFleet::LoggerFleet(MsgBus* bus, std::string topic)
+    : bus_(bus), topic_(std::move(topic)) {}
+
+cluster::LogSinkFn LoggerFleet::sink() {
+  return [this](const cluster::LogRecord& rec) {
+    auto it = loggers_.find(rec.node);
+    if (it == loggers_.end()) {
+      it = loggers_.emplace(rec.node, NodeLogger(rec.node, bus_, topic_)).first;
+    }
+    it->second.ingest(rec);
+  };
+}
+
+NodeLogger* LoggerFleet::logger(const std::string& node) {
+  const auto it = loggers_.find(node);
+  return it == loggers_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> LoggerFleet::nodes() const {
+  std::vector<std::string> out;
+  for (const auto& [name, logger] : loggers_) out.push_back(name);
+  return out;
+}
+
+std::vector<cluster::LogRecord> LoggerFleet::merged() const {
+  std::vector<cluster::LogRecord> out;
+  for (const auto& msg : bus_->topic_log(topic_)) {
+    out.push_back(decode_record(msg.payload));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const cluster::LogRecord& a, const cluster::LogRecord& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+}  // namespace ecf::ecfault

@@ -1,0 +1,82 @@
+// The Logger component (§3.3).
+//
+// One Logger runs per simulated node. It receives that node's raw DSS log
+// records, classifies each entry by keyword (decoding, failure, recovery,
+// heartbeat, …), keeps everything locally, and publishes only the
+// *relevant* classes to the Coordinator's bus topic — the paper's design
+// for keeping log-collection network traffic low. The Coordinator merges
+// the per-node streams by timestamp (global sort/merge) for analysis.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/types.h"
+#include "ecfault/msgbus.h"
+
+namespace ecf::ecfault {
+
+// Keyword classes used for filtering; kUninteresting stays node-local.
+enum class LogClass {
+  kFailure,     // device/node failures, down/out marks
+  kRecovery,    // recovery start/progress/completion
+  kDecoding,    // EC decode / repair computation
+  kHeartbeat,   // health chatter (kept: Fig. 3 uses it)
+  kPeering,     // checking-period activity
+  kIo,          // iostat-style device counters
+  kUninteresting,
+};
+
+LogClass classify(const std::string& message);
+const char* to_string(LogClass c);
+
+class NodeLogger {
+ public:
+  NodeLogger(std::string node, MsgBus* bus, std::string topic = "ecfault.logs");
+
+  // Ingest one raw record (wired to the Cluster's log sink).
+  void ingest(const cluster::LogRecord& rec);
+
+  // Local retention (everything, like the on-node log file).
+  const std::vector<cluster::LogRecord>& local_log() const { return local_; }
+  std::size_t published_count() const { return published_; }
+  std::size_t suppressed_count() const { return suppressed_; }
+  const std::string& node() const { return node_; }
+
+ private:
+  std::string node_;
+  MsgBus* bus_;
+  std::string topic_;
+  std::vector<cluster::LogRecord> local_;
+  std::size_t published_ = 0;
+  std::size_t suppressed_ = 0;
+};
+
+// A fleet of per-node loggers fed from one cluster-wide sink.
+class LoggerFleet {
+ public:
+  explicit LoggerFleet(MsgBus* bus, std::string topic = "ecfault.logs");
+
+  // Returns a sink function to pass to the Cluster constructor. Routes
+  // records to (and lazily creates) the per-node logger.
+  cluster::LogSinkFn sink();
+
+  NodeLogger* logger(const std::string& node);
+  std::vector<std::string> nodes() const;
+
+  // Coordinator-side view: all published records merged by time (stable on
+  // ties). Parsed back into LogRecords.
+  std::vector<cluster::LogRecord> merged() const;
+
+ private:
+  MsgBus* bus_;
+  std::string topic_;
+  std::map<std::string, NodeLogger> loggers_;
+};
+
+// Serialization of records onto the bus (tab-separated, newline-safe).
+std::string encode_record(const cluster::LogRecord& rec);
+cluster::LogRecord decode_record(const std::string& payload);
+
+}  // namespace ecf::ecfault

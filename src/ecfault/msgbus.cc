@@ -1,0 +1,32 @@
+#include "ecfault/msgbus.h"
+
+namespace ecf::ecfault {
+
+void MsgBus::publish(BusMessage msg) {
+  ++total_;
+  auto& log = logs_[msg.topic];
+  log.push_back(msg);
+  const auto it = handlers_.find(msg.topic);
+  if (it != handlers_.end()) {
+    for (const auto& handler : it->second) handler(log.back());
+  }
+}
+
+void MsgBus::subscribe(const std::string& topic, Handler handler) {
+  handlers_[topic].push_back(std::move(handler));
+}
+
+const std::vector<BusMessage>& MsgBus::topic_log(
+    const std::string& topic) const {
+  static const std::vector<BusMessage> empty;
+  const auto it = logs_.find(topic);
+  return it == logs_.end() ? empty : it->second;
+}
+
+std::vector<std::string> MsgBus::topics() const {
+  std::vector<std::string> out;
+  for (const auto& [name, log] : logs_) out.push_back(name);
+  return out;
+}
+
+}  // namespace ecf::ecfault

@@ -1,0 +1,191 @@
+#include "ecfault/profile.h"
+
+#include <stdexcept>
+
+namespace ecf::ecfault {
+
+const char* to_string(FaultLevel level) {
+  switch (level) {
+    case FaultLevel::kDevice: return "device";
+    case FaultLevel::kNode: return "node";
+    case FaultLevel::kCorruption: return "corruption";
+  }
+  return "?";
+}
+
+const char* to_string(FaultTopology topo) {
+  switch (topo) {
+    case FaultTopology::kAnywhere: return "anywhere";
+    case FaultTopology::kSameHost: return "same_host";
+    case FaultTopology::kDifferentHosts: return "different_hosts";
+  }
+  return "?";
+}
+
+FaultLevel fault_level_from_string(const std::string& s) {
+  if (s == "device") return FaultLevel::kDevice;
+  if (s == "node") return FaultLevel::kNode;
+  if (s == "corruption") return FaultLevel::kCorruption;
+  throw std::invalid_argument("unknown fault level '" + s + "'");
+}
+
+FaultTopology fault_topology_from_string(const std::string& s) {
+  if (s == "anywhere") return FaultTopology::kAnywhere;
+  if (s == "same_host") return FaultTopology::kSameHost;
+  if (s == "different_hosts") return FaultTopology::kDifferentHosts;
+  throw std::invalid_argument("unknown fault topology '" + s + "'");
+}
+
+namespace {
+
+const char* domain_name(cluster::FailureDomain d) {
+  return cluster::to_string(d);
+}
+
+cluster::FailureDomain domain_from_string(const std::string& s) {
+  if (s == "osd") return cluster::FailureDomain::kOsd;
+  if (s == "host") return cluster::FailureDomain::kHost;
+  if (s == "rack") return cluster::FailureDomain::kRack;
+  throw std::invalid_argument("unknown failure domain '" + s + "'");
+}
+
+}  // namespace
+
+util::Json ExperimentProfile::to_json() const {
+  util::Json doc = util::Json::object();
+  doc.set("name", name);
+  doc.set("runs", runs);
+
+  util::Json cl = util::Json::object();
+  cl.set("num_hosts", cluster.num_hosts);
+  cl.set("osds_per_host", cluster.osds_per_host);
+  cl.set("seed", cluster.seed);
+
+  util::Json ec = util::Json::object();
+  for (const auto& [key, value] : cluster.pool.ec_profile) ec.set(key, value);
+  cl.set("ec_profile", ec);
+
+  util::Json pool = util::Json::object();
+  pool.set("pg_num", cluster.pool.pg_num);
+  pool.set("stripe_unit", cluster.pool.stripe_unit);
+  pool.set("failure_domain", domain_name(cluster.pool.failure_domain));
+  cl.set("pool", pool);
+
+  util::Json cache = util::Json::object();
+  cache.set("autotune", cluster.cache.autotune);
+  cache.set("kv_ratio", cluster.cache.kv_ratio);
+  cache.set("meta_ratio", cluster.cache.meta_ratio);
+  cache.set("data_ratio", cluster.cache.data_ratio);
+  cache.set("cache_bytes", cluster.cache.cache_bytes);
+  cl.set("bluestore_cache", cache);
+
+  util::Json wl = util::Json::object();
+  wl.set("num_objects", cluster.workload.num_objects);
+  wl.set("object_size", cluster.workload.object_size);
+  cl.set("workload", wl);
+  doc.set("cluster", cl);
+
+  util::Json f = util::Json::object();
+  f.set("level", to_string(fault.level));
+  f.set("count", fault.count);
+  f.set("topology", to_string(fault.topology));
+  f.set("inject_at_s", fault.inject_at_s);
+  f.set("corrupt_fraction", fault.corrupt_fraction);
+  doc.set("fault", f);
+
+  util::Json scrub = util::Json::object();
+  scrub.set("enabled", cluster.scrub.enabled);
+  scrub.set("interval_s", cluster.scrub.interval_s);
+  scrub.set("max_passes", cluster.scrub.max_passes);
+  doc.set("scrub", scrub);
+  return doc;
+}
+
+ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
+  ExperimentProfile p;
+  p.name = doc.get_or("name", std::string("default"));
+  p.runs = static_cast<int>(doc.get_or("runs", std::int64_t{3}));
+  if (p.runs < 1) throw std::invalid_argument("profile: runs must be >= 1");
+
+  if (doc.has("cluster")) {
+    const util::Json& cl = doc.at("cluster");
+    p.cluster.num_hosts =
+        static_cast<int>(cl.get_or("num_hosts", std::int64_t{30}));
+    p.cluster.osds_per_host =
+        static_cast<int>(cl.get_or("osds_per_host", std::int64_t{2}));
+    p.cluster.seed = static_cast<std::uint64_t>(
+        cl.get_or("seed", std::int64_t{1}));
+    if (cl.has("ec_profile")) {
+      p.cluster.pool.ec_profile.clear();
+      for (const auto& [key, value] : cl.at("ec_profile").members()) {
+        p.cluster.pool.ec_profile[key] =
+            value.is_string() ? value.as_string()
+                              : std::to_string(value.as_int());
+      }
+    }
+    if (cl.has("pool")) {
+      const util::Json& pool = cl.at("pool");
+      p.cluster.pool.pg_num =
+          static_cast<std::int32_t>(pool.get_or("pg_num", std::int64_t{256}));
+      if (p.cluster.pool.pg_num < 1) {
+        throw std::invalid_argument("profile: pg_num must be >= 1");
+      }
+      p.cluster.pool.stripe_unit = static_cast<std::uint64_t>(pool.get_or(
+          "stripe_unit",
+          static_cast<std::int64_t>(p.cluster.pool.stripe_unit)));
+      p.cluster.pool.failure_domain = domain_from_string(
+          pool.get_or("failure_domain", std::string("host")));
+    }
+    if (cl.has("bluestore_cache")) {
+      const util::Json& cache = cl.at("bluestore_cache");
+      p.cluster.cache.autotune = cache.get_or("autotune", true);
+      p.cluster.cache.kv_ratio = cache.get_or("kv_ratio", 0.45);
+      p.cluster.cache.meta_ratio = cache.get_or("meta_ratio", 0.45);
+      p.cluster.cache.data_ratio = cache.get_or("data_ratio", 0.10);
+      p.cluster.cache.cache_bytes = static_cast<std::uint64_t>(cache.get_or(
+          "cache_bytes",
+          static_cast<std::int64_t>(p.cluster.cache.cache_bytes)));
+      const double sum = p.cluster.cache.kv_ratio + p.cluster.cache.meta_ratio +
+                         p.cluster.cache.data_ratio;
+      if (sum < 0.99 || sum > 1.01) {
+        throw std::invalid_argument("profile: cache ratios must sum to 1");
+      }
+    }
+    if (cl.has("workload")) {
+      const util::Json& wl = cl.at("workload");
+      p.cluster.workload.num_objects = static_cast<std::uint64_t>(wl.get_or(
+          "num_objects",
+          static_cast<std::int64_t>(p.cluster.workload.num_objects)));
+      p.cluster.workload.object_size = static_cast<std::uint64_t>(wl.get_or(
+          "object_size",
+          static_cast<std::int64_t>(p.cluster.workload.object_size)));
+    }
+  }
+
+  if (doc.has("fault")) {
+    const util::Json& f = doc.at("fault");
+    p.fault.level = fault_level_from_string(
+        f.get_or("level", std::string("device")));
+    p.fault.count = static_cast<int>(f.get_or("count", std::int64_t{1}));
+    if (p.fault.count < 1) {
+      throw std::invalid_argument("profile: fault count must be >= 1");
+    }
+    p.fault.topology = fault_topology_from_string(
+        f.get_or("topology", std::string("anywhere")));
+    p.fault.inject_at_s = f.get_or("inject_at_s", 10.0);
+    p.fault.corrupt_fraction = f.get_or("corrupt_fraction", 0.05);
+    if (p.fault.corrupt_fraction <= 0 || p.fault.corrupt_fraction > 1.0) {
+      throw std::invalid_argument("profile: corrupt_fraction in (0,1]");
+    }
+  }
+  if (doc.has("scrub")) {
+    const util::Json& scrub = doc.at("scrub");
+    p.cluster.scrub.enabled = scrub.get_or("enabled", false);
+    p.cluster.scrub.interval_s = scrub.get_or("interval_s", 30.0);
+    p.cluster.scrub.max_passes =
+        static_cast<int>(scrub.get_or("max_passes", std::int64_t{1}));
+  }
+  return p;
+}
+
+}  // namespace ecf::ecfault

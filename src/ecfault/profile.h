@@ -1,0 +1,55 @@
+// Experiment profiles — the EC Manager's configuration surface (§3,
+// "manages all EC-related configurations in an experimental profile").
+//
+// A profile is a JSON document describing one experiment: the cluster
+// shape, the EC pool (plugin, k/m/d, stripe_unit, pg_num, failure domain),
+// the BlueStore caching scheme, the workload, and the fault specification
+// (how many faults, device- or node-level, and their topology). Profiles
+// round-trip through JSON so campaigns can be stored on disk and replayed.
+#pragma once
+
+#include <string>
+
+#include "cluster/config.h"
+#include "util/json.h"
+
+namespace ecf::ecfault {
+
+// Fault level of §3.2: device faults remove NVMe subsystems; node faults
+// shut whole machines down. kCorruption extends the prototype with silent
+// bit-rot on stored shards (found by deep scrub, repaired in place).
+enum class FaultLevel { kDevice, kNode, kCorruption };
+
+// Topology constraint for concurrent device faults (Fig. 2d's x-axis).
+enum class FaultTopology { kAnywhere, kSameHost, kDifferentHosts };
+
+struct FaultSpec {
+  FaultLevel level = FaultLevel::kDevice;
+  int count = 1;
+  FaultTopology topology = FaultTopology::kAnywhere;
+  double inject_at_s = 10.0;  // injection time after experiment start
+  double corrupt_fraction = 0.05;  // kCorruption: fraction of shards hit
+};
+
+struct ExperimentProfile {
+  std::string name = "default";
+  cluster::ClusterConfig cluster;
+  FaultSpec fault;
+  int runs = 3;  // the paper averages three runs
+
+  // Serialize to / parse from JSON. parse() validates field values and
+  // throws util::JsonError / std::invalid_argument on malformed profiles.
+  util::Json to_json() const;
+  static ExperimentProfile from_json(const util::Json& doc);
+  std::string dump(int indent = 2) const { return to_json().dump(indent); }
+  static ExperimentProfile parse(const std::string& text) {
+    return from_json(util::Json::parse(text));
+  }
+};
+
+const char* to_string(FaultLevel level);
+const char* to_string(FaultTopology topo);
+FaultLevel fault_level_from_string(const std::string& s);
+FaultTopology fault_topology_from_string(const std::string& s);
+
+}  // namespace ecf::ecfault

@@ -1,0 +1,103 @@
+#include "ecfault/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace ecf::ecfault {
+
+Timeline analyze_timeline(const std::vector<cluster::LogRecord>& merged) {
+  Timeline tl;
+  double recovery_start_abs = -1;
+  double recovery_end_abs = -1;
+  for (const auto& rec : merged) {
+    if (tl.detection_time < 0 &&
+        util::contains(rec.message, "failure detected")) {
+      tl.detection_time = rec.time;
+    }
+    if (recovery_start_abs < 0 &&
+        util::contains(rec.message, "start recovery I/O")) {
+      recovery_start_abs = rec.time;
+    }
+    if (util::contains(rec.message, "recovery completed")) {
+      recovery_end_abs = std::max(recovery_end_abs, rec.time);
+    }
+  }
+  if (tl.detection_time < 0) return tl;
+  if (recovery_start_abs >= 0) {
+    tl.recovery_start = recovery_start_abs - tl.detection_time;
+  }
+  if (recovery_end_abs >= 0) {
+    tl.recovery_end = recovery_end_abs - tl.detection_time;
+  }
+  // Annotate the landmark events (first occurrence of each marker), the
+  // same ones Fig. 3 calls out.
+  const char* markers[] = {
+      "failure detected",        "receiving heartbeats",
+      "check recovery resource", "queueing recovery",
+      "start recovery I/O",      "report recovery I/O",
+      "recovery completed",
+  };
+  for (const char* marker : markers) {
+    for (const auto& rec : merged) {
+      if (util::contains(rec.message, marker)) {
+        tl.events.push_back({rec.time - tl.detection_time, rec.node, marker});
+        break;
+      }
+    }
+  }
+  std::sort(tl.events.begin(), tl.events.end(),
+            [](const TimelineEvent& a, const TimelineEvent& b) {
+              return a.time < b.time;
+            });
+  return tl;
+}
+
+std::string Timeline::render() const {
+  if (!valid()) return "timeline: incomplete (no recovery observed)\n";
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "Failure detected (0s) | EC Recovery started (%.0fs) | "
+                "EC Recovery finished (%.0fs)\n",
+                recovery_start, recovery_end);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  System Checking Period: %.0fs (%.1f%% of total)\n",
+                checking_period(), 100.0 * checking_fraction());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  EC Recovery Period:     %.0fs (%.1f%%)\n",
+                ec_recovery_period(),
+                100.0 * (1.0 - checking_fraction()));
+  out += buf;
+  for (const auto& ev : events) {
+    std::snprintf(buf, sizeof(buf), "  %8.1fs  %-8s %s\n", ev.time,
+                  ev.node.c_str(), ev.message.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+util::Json Timeline::to_json() const {
+  util::Json doc = util::Json::object();
+  doc.set("valid", valid());
+  doc.set("detection_time", detection_time);
+  doc.set("recovery_start", recovery_start);
+  doc.set("recovery_end", recovery_end);
+  doc.set("checking_period", valid() ? checking_period() : -1.0);
+  doc.set("ec_recovery_period", valid() ? ec_recovery_period() : -1.0);
+  doc.set("checking_fraction", valid() ? checking_fraction() : -1.0);
+  util::Json evs = util::Json::array();
+  for (const auto& ev : events) {
+    util::Json e = util::Json::object();
+    e.set("time", ev.time);
+    e.set("node", ev.node);
+    e.set("message", ev.message);
+    evs.push_back(std::move(e));
+  }
+  doc.set("events", std::move(evs));
+  return doc;
+}
+
+}  // namespace ecf::ecfault

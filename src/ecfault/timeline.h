@@ -1,0 +1,51 @@
+// Timeline analysis of a recovery cycle (Fig. 3).
+//
+// The paper derives its breakdown — System Checking Period vs EC Recovery
+// Period — from the merged logs, keyed on specific messages ("failure
+// detected", "start recovery I/O", "recovery completed"). This analyzer
+// does the same from the Coordinator's merged stream, so the measurement
+// path is logs-first, exactly like the real framework (the simulator's
+// internal RecoveryReport exists too, and tests assert both agree).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/types.h"
+#include "util/json.h"
+
+namespace ecf::ecfault {
+
+struct TimelineEvent {
+  double time = 0;       // seconds since failure detection
+  std::string node;
+  std::string message;
+};
+
+struct Timeline {
+  double detection_time = -1;       // absolute sim time of detection
+  double recovery_start = -1;       // relative to detection
+  double recovery_end = -1;         // relative to detection
+  std::vector<TimelineEvent> events;  // annotated, relative times
+
+  bool valid() const {
+    return detection_time >= 0 && recovery_start >= 0 &&
+           recovery_end >= recovery_start;
+  }
+  double checking_period() const { return recovery_start; }
+  double ec_recovery_period() const { return recovery_end - recovery_start; }
+  double total() const { return recovery_end; }
+  double checking_fraction() const {
+    return total() > 0 ? checking_period() / total() : 0;
+  }
+
+  // ASCII rendering in the style of Fig. 3.
+  std::string render() const;
+  // Machine-readable form (for dashboards / regression tracking).
+  util::Json to_json() const;
+};
+
+// Extract the timeline from time-merged log records.
+Timeline analyze_timeline(const std::vector<cluster::LogRecord>& merged);
+
+}  // namespace ecf::ecfault

@@ -1,0 +1,42 @@
+#include "ecfault/worker.h"
+
+#include <stdexcept>
+
+namespace ecf::ecfault {
+
+void Worker::announce(const std::string& what) {
+  if (bus_) {
+    bus_->publish({"ecfault.control", "worker.host" + std::to_string(host_),
+                   what, cluster_->engine().now()});
+  }
+}
+
+void Worker::apply_device_fault(cluster::OsdId osd) {
+  if (cluster_->host_of(osd) != host_) {
+    throw std::invalid_argument("worker on host " + std::to_string(host_) +
+                                " cannot fault osd." + std::to_string(osd));
+  }
+  announce("apply device fault: osd." + std::to_string(osd));
+  cluster_->fail_device(osd);
+}
+
+void Worker::apply_node_fault() {
+  announce("apply node fault: shutdown host " + std::to_string(host_));
+  cluster_->fail_host(host_);
+}
+
+std::uint64_t Worker::apply_corruption_fault(cluster::OsdId osd,
+                                             double fraction) {
+  if (cluster_->host_of(osd) != host_) {
+    throw std::invalid_argument("worker on host " + std::to_string(host_) +
+                                " cannot corrupt osd." + std::to_string(osd));
+  }
+  announce("apply corruption fault: osd." + std::to_string(osd));
+  return cluster_->corrupt_chunks(osd, fraction);
+}
+
+std::vector<nvmeof::SubsystemInfo> Worker::list_subsystems() {
+  return cluster_->target(host_).list();
+}
+
+}  // namespace ecf::ecfault

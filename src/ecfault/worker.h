@@ -1,0 +1,47 @@
+// The per-node Worker component (§3).
+//
+// Workers run on individual DSS nodes for (a) virtual disk provisioning
+// through the node's NVMe-oF target, and (b) DSS manipulation — receiving
+// fault requests from the Controller and applying them locally. In
+// simulation the Worker is the only component allowed to touch the
+// node-level levers; the Coordinator never reaches into the cluster
+// directly, preserving the paper's control-plane split.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "ecfault/msgbus.h"
+
+namespace ecf::ecfault {
+
+class Worker {
+ public:
+  Worker(cluster::Cluster* cluster, cluster::HostId host, MsgBus* bus)
+      : cluster_(cluster), host_(host), bus_(bus) {}
+
+  cluster::HostId host() const { return host_; }
+
+  // Device-level fault: remove the NVMe subsystem backing `osd` (must live
+  // on this worker's host — a Worker only manipulates its own node).
+  void apply_device_fault(cluster::OsdId osd);
+
+  // Node-level fault: shut this node down.
+  void apply_node_fault();
+
+  // Corruption fault: silently corrupt a fraction of the shards stored on
+  // `osd` (must live on this worker's host).
+  std::uint64_t apply_corruption_fault(cluster::OsdId osd, double fraction);
+
+  // Provisioning inventory, as nvmetcli would list it.
+  std::vector<nvmeof::SubsystemInfo> list_subsystems();
+
+ private:
+  void announce(const std::string& what);
+  cluster::Cluster* cluster_;
+  cluster::HostId host_;
+  MsgBus* bus_;
+};
+
+}  // namespace ecf::ecfault

@@ -1,0 +1,86 @@
+#include "gf/gf256.h"
+
+namespace ecf::gf {
+
+namespace {
+constexpr unsigned kPrimPoly = 0x11D;  // x^8+x^4+x^3+x^2+1
+}
+
+Tables::Tables() {
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp[i] = static_cast<Byte>(x);
+    log[x] = static_cast<Byte>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPrimPoly;
+  }
+  // Duplicate so exp[log[a]+log[b]] never needs a reduction mod 255.
+  for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  log[0] = 0;  // never read for valid inputs
+  inv[0] = 0;
+  for (unsigned a = 1; a < 256; ++a) {
+    inv[a] = exp[255 - log[a]];
+  }
+  for (unsigned a = 0; a < 256; ++a) {
+    mul_table[a][0] = 0;
+    if (a == 0) {
+      for (unsigned b = 1; b < 256; ++b) mul_table[a][b] = 0;
+      continue;
+    }
+    for (unsigned b = 1; b < 256; ++b) {
+      mul_table[a][b] = exp[log[a] + log[b]];
+    }
+  }
+}
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+Byte pow(Byte a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const unsigned l = (static_cast<unsigned>(t.log[a]) * e) % 255;
+  return t.exp[l];
+}
+
+void mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_region(src, dst, n);
+    return;
+  }
+  const Byte* prod = tables().mul_table[c];
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= prod[src[i]];
+}
+
+void mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    return;
+  }
+  const Byte* prod = tables().mul_table[c];
+  for (std::size_t i = 0; i < n; ++i) dst[i] = prod[src[i]];
+}
+
+void xor_region(const Byte* src, Byte* dst, std::size_t n) {
+  std::size_t i = 0;
+  // Word-at-a-time XOR for the bulk; bytes for the tail.
+  using Word = std::uint64_t;
+  for (; i + sizeof(Word) <= n; i += sizeof(Word)) {
+    Word a, b;
+    __builtin_memcpy(&a, src + i, sizeof(Word));
+    __builtin_memcpy(&b, dst + i, sizeof(Word));
+    b ^= a;
+    __builtin_memcpy(dst + i, &b, sizeof(Word));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace ecf::gf

@@ -1,0 +1,63 @@
+// GF(2^8) arithmetic.
+//
+// All erasure codes in this library operate over the finite field GF(2^8)
+// with the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same
+// field used by Jerasure, ISA-L and Ceph. Addition is XOR; multiplication
+// uses log/exp tables generated once at static-init time.
+//
+// Bulk operations (multiply-accumulate a region) are the hot path of
+// encode/decode; they use a per-coefficient 256-entry product table so the
+// inner loop is a single table lookup + XOR per byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ecf::gf {
+
+using Byte = std::uint8_t;
+
+// Field tables, built once. Access through the free functions below.
+// `mul_table` is the full 64 KiB product table: row c is the map x -> c*x.
+// Bulk kernels index rows directly, so region operations have no per-call
+// setup — important for sub-packetized codes whose regions are tiny.
+struct Tables {
+  Byte exp[512];   // exp[i] = g^i, duplicated so mul avoids a mod
+  Byte log[256];   // log[0] unused
+  Byte inv[256];   // inv[0] unused
+  Byte mul_table[256][256];
+  Tables();
+};
+
+const Tables& tables();
+
+inline Byte add(Byte a, Byte b) { return a ^ b; }
+inline Byte sub(Byte a, Byte b) { return a ^ b; }
+
+inline Byte mul(Byte a, Byte b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+inline Byte inv(Byte a) {
+  // Precondition: a != 0 (division by zero in GF(256)).
+  return tables().inv[a];
+}
+
+inline Byte div(Byte a, Byte b) { return mul(a, inv(b)); }
+
+// a^e with e >= 0.
+Byte pow(Byte a, unsigned e);
+
+// dst[i] ^= c * src[i] for i in [0, n). The workhorse of encoding.
+void mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n);
+
+// dst[i] = c * src[i].
+void mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n);
+
+// dst[i] ^= src[i].
+void xor_region(const Byte* src, Byte* dst, std::size_t n);
+
+}  // namespace ecf::gf

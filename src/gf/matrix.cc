@@ -1,0 +1,174 @@
+#include "gf/matrix.h"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ecf::gf {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(const std::vector<Byte>& evals, std::size_t cols) {
+  Matrix m(evals.size(), cols);
+  for (std::size_t r = 0; r < evals.size(); ++r) {
+    Byte v = 1;
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = v;
+      v = mul(v, evals[r]);
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::cauchy(const std::vector<Byte>& x, const std::vector<Byte>& y) {
+  Matrix m(x.size(), y.size());
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    for (std::size_t c = 0; c < y.size(); ++c) {
+      const Byte s = add(x[r], y[c]);
+      if (s == 0) throw std::invalid_argument("cauchy: x and y overlap");
+      m.at(r, c) = inv(s);
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const Byte a = at(r, i);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) = add(out.at(r, c), mul(a, rhs.at(i, c)));
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  if (rows_ != cols_) return std::nullopt;
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv_m = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;
+    a.swap_rows(col, pivot);
+    inv_m.swap_rows(col, pivot);
+    // Normalize pivot row.
+    const Byte p = inv(a.at(col, col));
+    a.scale_row(col, p);
+    inv_m.scale_row(col, p);
+    // Eliminate the column elsewhere.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const Byte f = a.at(r, col);
+      if (f == 0) continue;
+      a.add_scaled_row(r, col, f);
+      inv_m.add_scaled_row(r, col, f);
+    }
+  }
+  return inv_m;
+}
+
+std::size_t Matrix::rank() const {
+  Matrix a = *this;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) continue;
+    a.swap_rows(rank, pivot);
+    const Byte p = inv(a.at(rank, col));
+    a.scale_row(rank, p);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == rank) continue;
+      const Byte f = a.at(r, col);
+      if (f) a.add_scaled_row(r, rank, f);
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i] < rows_);
+    for (std::size_t c = 0; c < cols_; ++c) out.at(i, c) = at(rows[i], c);
+  }
+  return out;
+}
+
+void Matrix::scale_row(std::size_t r, Byte c) {
+  for (std::size_t i = 0; i < cols_; ++i) at(r, i) = mul(at(r, i), c);
+}
+
+void Matrix::add_scaled_row(std::size_t dst, std::size_t src, Byte c) {
+  for (std::size_t i = 0; i < cols_; ++i) {
+    at(dst, i) = add(at(dst, i), mul(c, at(src, i)));
+  }
+}
+
+void Matrix::swap_rows(std::size_t a, std::size_t b) {
+  if (a == b) return;
+  for (std::size_t i = 0; i < cols_; ++i) std::swap(at(a, i), at(b, i));
+}
+
+bool Matrix::make_systematic(std::size_t k) {
+  // Column-reduce so the top k x k block becomes identity. We do this by
+  // inverting the top block and right-multiplying the whole matrix — the
+  // standard construction for systematic RS from a Vandermonde generator.
+  assert(k <= rows_ && k <= cols_);
+  Matrix top(k, cols_);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) top.at(r, c) = at(r, c);
+  }
+  // The generator here is (rows x k): rows_ codeword symbols from k data
+  // symbols; the "top block" is k x k.
+  Matrix block(k, k);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) block.at(r, c) = at(r, c);
+  }
+  auto binv = block.inverted();
+  if (!binv) return false;
+  Matrix result = this->multiply(*binv);
+  *this = result;
+  return true;
+}
+
+std::string Matrix::to_string() const {
+  std::string out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "%3u ", at(r, c));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void matrix_apply(const Matrix& m, const std::vector<const Byte*>& in,
+                  const std::vector<Byte*>& out, std::size_t len) {
+  assert(in.size() == m.cols());
+  assert(out.size() == m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    Byte* dst = out[r];
+    for (std::size_t i = 0; i < len; ++i) dst[i] = 0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      mul_acc(m.at(r, c), in[c], dst, len);
+    }
+  }
+}
+
+}  // namespace ecf::gf

@@ -1,0 +1,81 @@
+// Dense matrices over GF(2^8).
+//
+// Used to build and invert the generator/decoding matrices of the RS, LRC
+// and Clay codes. Sizes here are tiny (n, k <= ~32), so a straightforward
+// row-major dense representation with Gauss-Jordan elimination is exactly
+// right — no sparsity or blocking needed.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gf/gf256.h"
+
+namespace ecf::gf {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Byte& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  Byte at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  const Byte* row(std::size_t r) const { return data_.data() + r * cols_; }
+  Byte* row(std::size_t r) { return data_.data() + r * cols_; }
+
+  static Matrix identity(std::size_t n);
+
+  // Vandermonde matrix V[r][c] = evals[r]^c  (rows x cols).
+  static Matrix vandermonde(const std::vector<Byte>& evals, std::size_t cols);
+
+  // Cauchy matrix C[r][c] = 1 / (x[r] + y[c]); requires x,y disjoint and
+  // all pairwise sums nonzero (automatic when x,y are disjoint in GF(2^8)).
+  static Matrix cauchy(const std::vector<Byte>& x, const std::vector<Byte>& y);
+
+  Matrix multiply(const Matrix& rhs) const;
+
+  // Gauss-Jordan inverse; nullopt if singular. Only square matrices.
+  std::optional<Matrix> inverted() const;
+
+  // Rank via Gaussian elimination (destructive on a copy).
+  std::size_t rank() const;
+
+  // Select a subset of rows (for building decode matrices from survivors).
+  Matrix select_rows(const std::vector<std::size_t>& rows) const;
+
+  // In-place elementary row ops used by the systematic-form construction.
+  void scale_row(std::size_t r, Byte c);
+  void add_scaled_row(std::size_t dst, std::size_t src, Byte c);
+  void swap_rows(std::size_t a, std::size_t b);
+
+  // Reduce the leading rows x rows block to identity by column operations on
+  // the whole matrix — turns a Vandermonde generator into systematic form.
+  // Returns false if the leading block is singular.
+  bool make_systematic(std::size_t k);
+
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Byte> data_;
+};
+
+// y = M * x where x is a vector of column pointers to data regions of
+// length len: out[r] = sum_c M[r][c] * in[c]. The core bulk encode/decode
+// kernel — every code funnels through this.
+void matrix_apply(const Matrix& m, const std::vector<const Byte*>& in,
+                  const std::vector<Byte*>& out, std::size_t len);
+
+}  // namespace ecf::gf

@@ -1,0 +1,80 @@
+#include "nvmeof/nvmeof.h"
+
+#include <stdexcept>
+
+namespace ecf::nvmeof {
+
+Target::Subsystem* Target::find(const Nqn& nqn) {
+  for (auto& s : subsystems_) {
+    if (s.info.nqn == nqn) return &s;
+  }
+  return nullptr;
+}
+
+const Target::Subsystem* Target::find(const Nqn& nqn) const {
+  for (const auto& s : subsystems_) {
+    if (s.info.nqn == nqn) return &s;
+  }
+  return nullptr;
+}
+
+void Target::create_subsystem(const Nqn& nqn, std::uint64_t capacity_bytes,
+                              sim::Disk* disk, double now) {
+  if (find(nqn)) throw std::invalid_argument("duplicate NQN " + nqn);
+  if (disk == nullptr) throw std::invalid_argument("null backing disk");
+  Subsystem s;
+  s.info.nqn = nqn;
+  s.info.ns.capacity_bytes = capacity_bytes;
+  s.disk = disk;
+  subsystems_.push_back(s);
+  admin_log_.push_back({now, "create", nqn});
+}
+
+void Target::connect(const Nqn& nqn, double now) {
+  Subsystem* s = find(nqn);
+  if (!s) throw std::invalid_argument("connect: unknown NQN " + nqn);
+  s->info.connected = true;
+  admin_log_.push_back({now, "connect", nqn});
+}
+
+void Target::remove_subsystem(const Nqn& nqn, double now) {
+  Subsystem* s = find(nqn);
+  if (!s) throw std::invalid_argument("remove: unknown NQN " + nqn);
+  s->info.connected = false;
+  s->disk = nullptr;  // device gone; namespace unbound
+  admin_log_.push_back({now, "remove", nqn});
+}
+
+std::optional<sim::SimTime> Target::read(sim::Engine& eng, const Nqn& nqn,
+                                         std::uint64_t bytes,
+                                         std::uint64_t ios) {
+  Subsystem* s = find(nqn);
+  if (!s || !s->info.connected || !s->disk) return std::nullopt;
+  return s->disk->read(eng, bytes, ios);
+}
+
+std::optional<sim::SimTime> Target::write(sim::Engine& eng, const Nqn& nqn,
+                                          std::uint64_t bytes,
+                                          std::uint64_t ios) {
+  Subsystem* s = find(nqn);
+  if (!s || !s->info.connected || !s->disk) return std::nullopt;
+  return s->disk->write(eng, bytes, ios);
+}
+
+bool Target::is_connected(const Nqn& nqn) const {
+  const Subsystem* s = find(nqn);
+  return s && s->info.connected && s->disk;
+}
+
+std::vector<SubsystemInfo> Target::list() const {
+  std::vector<SubsystemInfo> out;
+  for (const auto& s : subsystems_) out.push_back(s.info);
+  return out;
+}
+
+Nqn make_nqn(std::size_t host, std::size_t device) {
+  return "nqn.2024-04.io.ecfault:host" + std::to_string(host) + ".nvme" +
+         std::to_string(device);
+}
+
+}  // namespace ecf::nvmeof

@@ -1,0 +1,93 @@
+// Virtual NVMe-oF target layer — the paper's §3.1 substrate.
+//
+// ECFault decouples the DSS from its storage by provisioning virtual NVMe
+// disks over NVMe-oF (via nvmetcli on real hardware). The point of the
+// indirection is *controllability*: removing a subsystem makes the device
+// vanish from the data node without touching the DSS software — the fault
+// injector's device-level lever.
+//
+// This module reproduces that control surface in simulation: a Target per
+// data node owns subsystems; each subsystem exposes one namespace bound to
+// a sim::Disk. Removing the subsystem atomically fails all subsequent I/O
+// on the device, which the OSD layer observes as EIO, exactly like a
+// yanked NVMe-oF device. An admin log mirrors the nvmetcli operations so
+// experiment logs show the provisioning history.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/resources.h"
+
+namespace ecf::nvmeof {
+
+// NVMe Qualified Name, e.g. "nqn.2024-04.io.ecfault:node3.ssd1".
+using Nqn = std::string;
+
+struct NamespaceInfo {
+  std::uint32_t nsid = 1;
+  std::uint64_t capacity_bytes = 0;
+};
+
+struct SubsystemInfo {
+  Nqn nqn;
+  NamespaceInfo ns;
+  bool connected = false;  // visible to the host (OSD node)
+};
+
+struct AdminLogEntry {
+  double time = 0;
+  std::string op;   // "create", "connect", "remove", ...
+  Nqn nqn;
+};
+
+// One NVMe-oF target per data node.
+class Target {
+ public:
+  explicit Target(std::string node_name) : node_(std::move(node_name)) {}
+
+  const std::string& node() const { return node_; }
+
+  // nvmetcli create: define a subsystem + namespace backed by `disk`.
+  // Throws std::invalid_argument on duplicate NQN.
+  void create_subsystem(const Nqn& nqn, std::uint64_t capacity_bytes,
+                        sim::Disk* disk, double now = 0);
+
+  // Host connects the subsystem (device appears as /dev/nvmeXnY).
+  void connect(const Nqn& nqn, double now = 0);
+
+  // nvmetcli remove: the fault injector's device-failure lever. The device
+  // disappears; in-flight and future I/O fail.
+  void remove_subsystem(const Nqn& nqn, double now = 0);
+
+  // Device I/O entry points used by the OSD layer. Returns the completion
+  // time, or nullopt when the device is gone (EIO).
+  std::optional<sim::SimTime> read(sim::Engine& eng, const Nqn& nqn,
+                                   std::uint64_t bytes, std::uint64_t ios = 1);
+  std::optional<sim::SimTime> write(sim::Engine& eng, const Nqn& nqn,
+                                    std::uint64_t bytes, std::uint64_t ios = 1);
+
+  bool is_connected(const Nqn& nqn) const;
+  std::vector<SubsystemInfo> list() const;
+  const std::vector<AdminLogEntry>& admin_log() const { return admin_log_; }
+
+ private:
+  struct Subsystem {
+    SubsystemInfo info;
+    sim::Disk* disk = nullptr;
+  };
+  Subsystem* find(const Nqn& nqn);
+  const Subsystem* find(const Nqn& nqn) const;
+
+  std::string node_;
+  std::vector<Subsystem> subsystems_;
+  std::vector<AdminLogEntry> admin_log_;
+};
+
+// Helper to build the conventional NQN for host h, device d.
+Nqn make_nqn(std::size_t host, std::size_t device);
+
+}  // namespace ecf::nvmeof

@@ -1,0 +1,56 @@
+#include "sim/engine.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ecf::sim {
+
+EventId Engine::schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("negative event delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument("event scheduled in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+void Engine::cancel(EventId id) {
+  // Cancelling an event that already ran (or was never scheduled) is a
+  // no-op; only live events join the cancelled set.
+  if (pending_.erase(id)) cancelled_.insert(id);
+}
+
+std::size_t Engine::run() {
+  return run_until(std::numeric_limits<SimTime>::infinity());
+}
+
+std::size_t Engine::run_until(SimTime horizon) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > horizon) break;
+    Event ev{top.when, top.id, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    if (cancelled_.erase(ev.id)) continue;
+    pending_.erase(ev.id);
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  // The clock does not advance past the last executed event when idle.
+  return executed;
+}
+
+void Engine::reset() {
+  now_ = 0;
+  next_id_ = 1;
+  queue_ = {};
+  pending_.clear();
+  cancelled_.clear();
+}
+
+}  // namespace ecf::sim

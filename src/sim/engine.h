@@ -1,0 +1,78 @@
+// Discrete-event simulation engine.
+//
+// The cluster simulator (src/cluster) is built on this: every activity —
+// a disk I/O completing, a heartbeat firing, a peering round finishing —
+// is an event at a simulated timestamp. The engine maintains the event
+// queue and the virtual clock; resources (src/sim/resources.h) translate
+// work (bytes, IOs) into event delays.
+//
+// Design notes:
+//  * Time is double seconds. Events scheduled at equal times fire in
+//    schedule order (a monotonically increasing sequence number breaks
+//    ties), which keeps runs deterministic.
+//  * Callbacks are std::function<void()>; processes are expressed as
+//    chains of callbacks (continuation style). This is simpler and more
+//    debuggable than coroutines for the protocol state machines we model.
+//  * An event can be cancelled through its EventId (e.g. a heartbeat
+//    timeout disarmed by the heartbeat arriving).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace ecf::sim {
+
+using SimTime = double;  // seconds
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedule `fn` to run at now() + delay (delay >= 0). Returns an id
+  // usable with cancel().
+  EventId schedule(SimTime delay, std::function<void()> fn);
+
+  // Schedule at an absolute time (>= now()).
+  EventId schedule_at(SimTime when, std::function<void()> fn);
+
+  // Cancel a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  // Run until the queue empties or the optional horizon is reached.
+  // Returns the number of events executed.
+  std::size_t run();
+  std::size_t run_until(SimTime horizon);
+
+  bool empty() const { return pending() == 0; }
+  std::size_t pending() const { return pending_.size(); }
+
+  // Reset clock and queue (for reusing an engine across experiments).
+  void reset();
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return id > o.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<EventId> pending_;    // scheduled, not yet run/cancelled
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace ecf::sim

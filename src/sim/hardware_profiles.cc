@@ -1,0 +1,41 @@
+#include "sim/hardware_profiles.h"
+
+namespace ecf::sim {
+
+HardwareProfile aws_m5_like() {
+  HardwareProfile p;
+  p.disk.read_bw_bytes_per_s = 250e6;   // GP SSD throughput cap
+  p.disk.write_bw_bytes_per_s = 220e6;
+  p.disk.per_io_seconds = 120e-6;       // virtualized NVMe-oF round trip
+  p.nic.bw_bytes_per_s = 1.2e9;         // m5.xlarge effective (~10 Gb/s)
+  p.nic.per_msg_seconds = 40e-6;
+  p.cpu.gf_bytes_per_s = 2.0e9;
+  p.cpu.per_op_seconds = 20e-6;
+  return p;
+}
+
+HardwareProfile fast_nvme() {
+  HardwareProfile p;
+  p.disk.read_bw_bytes_per_s = 3.0e9;
+  p.disk.write_bw_bytes_per_s = 2.0e9;
+  p.disk.per_io_seconds = 15e-6;
+  p.nic.bw_bytes_per_s = 1.2e9;
+  p.nic.per_msg_seconds = 40e-6;
+  p.cpu.gf_bytes_per_s = 4.0e9;
+  p.cpu.per_op_seconds = 10e-6;
+  return p;
+}
+
+HardwareProfile hdd_cluster() {
+  HardwareProfile p;
+  p.disk.read_bw_bytes_per_s = 150e6;
+  p.disk.write_bw_bytes_per_s = 140e6;
+  p.disk.per_io_seconds = 8e-3;  // seek-dominated
+  p.nic.bw_bytes_per_s = 1.2e9;
+  p.nic.per_msg_seconds = 40e-6;
+  p.cpu.gf_bytes_per_s = 2.0e9;
+  p.cpu.per_op_seconds = 20e-6;
+  return p;
+}
+
+}  // namespace ecf::sim

@@ -1,0 +1,29 @@
+// Named hardware profiles used to calibrate the simulator.
+//
+// The paper's testbed is 31 AWS m5.xlarge VMs with two 100 GB General
+// Purpose NVMe volumes each and 25 Gb networking (shared/burst; effective
+// per-VM bandwidth is far lower). aws_m5_like() encodes that shape; the
+// other profiles exist for ablation benches (what changes when disks are
+// faster / the network is slower).
+#pragma once
+
+#include "sim/resources.h"
+
+namespace ecf::sim {
+
+struct HardwareProfile {
+  DiskParams disk;
+  NicParams nic;
+  CpuParams cpu;
+};
+
+// The paper's AWS-like testbed.
+HardwareProfile aws_m5_like();
+
+// A modern local NVMe box: fast disks, same network.
+HardwareProfile fast_nvme();
+
+// Hard-disk era cluster: slow seek-bound disks.
+HardwareProfile hdd_cluster();
+
+}  // namespace ecf::sim

@@ -1,0 +1,84 @@
+#include "sim/resources.h"
+
+#include <algorithm>
+
+namespace ecf::sim {
+
+SimTime FifoServer::reserve(Engine& eng, SimTime service) {
+  const SimTime start = std::max(eng.now(), busy_until_);
+  queued_seconds_ += start - eng.now();
+  busy_until_ = start + service;
+  busy_seconds_ += service;
+  return busy_until_;
+}
+
+void FifoServer::reset() {
+  busy_until_ = 0;
+  busy_seconds_ = 0;
+  queued_seconds_ = 0;
+}
+
+SimTime Disk::read_service(std::uint64_t bytes, std::uint64_t ios) const {
+  return static_cast<double>(bytes) / params_.read_bw_bytes_per_s +
+         static_cast<double>(ios) * params_.per_io_seconds;
+}
+
+SimTime Disk::write_service(std::uint64_t bytes, std::uint64_t ios) const {
+  return static_cast<double>(bytes) / params_.write_bw_bytes_per_s +
+         static_cast<double>(ios) * params_.per_io_seconds;
+}
+
+SimTime Disk::read(Engine& eng, std::uint64_t bytes, std::uint64_t ios,
+                   SimTime extra_seconds) {
+  bytes_read_ += bytes;
+  io_count_ += ios;
+  return server_.reserve(eng, read_service(bytes, ios) + extra_seconds);
+}
+
+SimTime Disk::write(Engine& eng, std::uint64_t bytes, std::uint64_t ios,
+                    SimTime extra_seconds) {
+  bytes_written_ += bytes;
+  io_count_ += ios;
+  return server_.reserve(eng, write_service(bytes, ios) + extra_seconds);
+}
+
+void Disk::reset() {
+  server_.reset();
+  bytes_read_ = bytes_written_ = io_count_ = 0;
+}
+
+SimTime Nic::service(std::uint64_t bytes, std::uint64_t msgs) const {
+  return static_cast<double>(bytes) / params_.bw_bytes_per_s +
+         static_cast<double>(msgs) * params_.per_msg_seconds;
+}
+
+SimTime Nic::send(Engine& eng, std::uint64_t bytes, std::uint64_t msgs) {
+  bytes_sent_ += bytes;
+  return tx_.reserve(eng, service(bytes, msgs));
+}
+
+SimTime Nic::recv(Engine& eng, std::uint64_t bytes, std::uint64_t msgs) {
+  bytes_received_ += bytes;
+  return rx_.reserve(eng, service(bytes, msgs));
+}
+
+void Nic::reset() {
+  tx_.reset();
+  rx_.reset();
+  bytes_sent_ = bytes_received_ = 0;
+}
+
+SimTime Cpu::compute(Engine& eng, std::uint64_t bytes, double cost_factor) {
+  bytes_processed_ += bytes;
+  const SimTime service =
+      static_cast<double>(bytes) * cost_factor / params_.gf_bytes_per_s +
+      params_.per_op_seconds;
+  return server_.reserve(eng, service);
+}
+
+void Cpu::reset() {
+  server_.reset();
+  bytes_processed_ = 0;
+}
+
+}  // namespace ecf::sim

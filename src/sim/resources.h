@@ -1,0 +1,144 @@
+// Simulated hardware resources: disks, NICs, CPUs.
+//
+// Each resource is a FIFO server: work items serialize behind previous
+// work (busy-until semantics). submit() computes the service time from the
+// work description, queues it, and returns the absolute completion time so
+// callers can chain continuations. Utilization counters feed the metrics
+// reported by the benches.
+//
+// FIFO (rather than processor-sharing) keeps runs deterministic and models
+// contention adequately at the granularity we simulate (per-object
+// recovery operations); the calibration in DESIGN.md §6 absorbs the
+// difference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.h"
+
+namespace ecf::sim {
+
+// Serializing server with busy-until semantics.
+class FifoServer {
+ public:
+  // Reserve `service` seconds starting no earlier than now; returns the
+  // completion time.
+  SimTime reserve(Engine& eng, SimTime service);
+
+  SimTime busy_until() const { return busy_until_; }
+  SimTime busy_seconds() const { return busy_seconds_; }
+  // Queueing delay accumulated by requests (time spent waiting to start).
+  SimTime queued_seconds() const { return queued_seconds_; }
+  void reset();
+
+ private:
+  SimTime busy_until_ = 0;
+  SimTime busy_seconds_ = 0;
+  SimTime queued_seconds_ = 0;
+};
+
+struct DiskParams {
+  double read_bw_bytes_per_s = 250e6;   // GP-SSD-like sequential read
+  double write_bw_bytes_per_s = 220e6;  // sequential write
+  double per_io_seconds = 80e-6;        // submission + device overhead per IO
+};
+
+// A single storage device (one OSD's backing disk).
+class Disk {
+ public:
+  explicit Disk(DiskParams params) : params_(params) {}
+
+  // `ios` = number of distinct I/O operations the transfer is split into
+  // (sub-chunk reads issue many; sequential chunk reads issue few).
+  // `extra_seconds` adds scheduler queueing (e.g. mClock recovery-class
+  // delay) to the reservation.
+  SimTime read(Engine& eng, std::uint64_t bytes, std::uint64_t ios = 1,
+               SimTime extra_seconds = 0);
+  SimTime write(Engine& eng, std::uint64_t bytes, std::uint64_t ios = 1,
+                SimTime extra_seconds = 0);
+
+  // Pure service-time queries (no reservation) for planning.
+  SimTime read_service(std::uint64_t bytes, std::uint64_t ios = 1) const;
+  SimTime write_service(std::uint64_t bytes, std::uint64_t ios = 1) const;
+
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t io_count() const { return io_count_; }
+  const FifoServer& server() const { return server_; }
+  void reset();
+
+ private:
+  DiskParams params_;
+  FifoServer server_;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t io_count_ = 0;
+};
+
+struct NicParams {
+  double bw_bytes_per_s = 1.2e9;   // effective host bandwidth
+  double per_msg_seconds = 30e-6;  // protocol + kernel overhead per message
+};
+
+// A host NIC; duplex (independent tx and rx servers).
+class Nic {
+ public:
+  explicit Nic(NicParams params) : params_(params) {}
+
+  SimTime send(Engine& eng, std::uint64_t bytes, std::uint64_t msgs = 1);
+  SimTime recv(Engine& eng, std::uint64_t bytes, std::uint64_t msgs = 1);
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  const FifoServer& tx() const { return tx_; }
+  const FifoServer& rx() const { return rx_; }
+  void reset();
+
+ private:
+  SimTime service(std::uint64_t bytes, std::uint64_t msgs) const;
+  NicParams params_;
+  FifoServer tx_;
+  FifoServer rx_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+struct CpuParams {
+  // GF(256) multiply-accumulate throughput of one recovery thread; an RS
+  // decode touches each byte k times at most but table-driven kernels are
+  // memory-bound, so we express cost as bytes/s of *reconstructed output*
+  // scaled by the code's decode_cost_factor.
+  double gf_bytes_per_s = 2.0e9;
+  double per_op_seconds = 20e-6;  // fixed cost per decode operation
+  // Fixed cost of one GF region operation (mul_acc/mul_region call):
+  // table setup + call overhead. Dominates when sub-packetized codes
+  // operate on tiny sub-chunks (Clay at small stripe units processes
+  // millions of ~50-byte regions per chunk).
+  double gf_region_op_seconds = 0.1e-6;
+};
+
+class Cpu {
+ public:
+  explicit Cpu(CpuParams params) : params_(params) {}
+
+  // cost_factor comes from RepairPlan::decode_cost_factor.
+  SimTime compute(Engine& eng, std::uint64_t bytes, double cost_factor = 1.0);
+
+  // Reserve a fixed amount of CPU time (protocol work expressed in seconds
+  // rather than bytes, e.g. peering log processing).
+  SimTime busy_for(Engine& eng, SimTime seconds) {
+    return server_.reserve(eng, seconds);
+  }
+
+  std::uint64_t bytes_processed() const { return bytes_processed_; }
+  const FifoServer& server() const { return server_; }
+  void reset();
+
+ private:
+  CpuParams params_;
+  FifoServer server_;
+  std::uint64_t bytes_processed_ = 0;
+};
+
+}  // namespace ecf::sim

@@ -1,0 +1,48 @@
+// Byte-size constants and human-readable formatting.
+//
+// All sizes in this codebase are expressed in plain uint64_t bytes; this
+// header provides the IEC constants (KiB/MiB/GiB) used throughout and a
+// formatter for logs and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ecf::util {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+inline constexpr std::uint64_t TiB = 1024ull * GiB;
+
+// Render a byte count as e.g. "64.0 MiB", "4.0 KiB", "17 B".
+// Chooses the largest unit whose value is >= 1.
+inline std::string format_bytes(std::uint64_t bytes) {
+  struct Unit {
+    std::uint64_t scale;
+    const char* suffix;
+  };
+  static constexpr Unit units[] = {
+      {TiB, "TiB"}, {GiB, "GiB"}, {MiB, "MiB"}, {KiB, "KiB"}};
+  for (const auto& u : units) {
+    if (bytes >= u.scale) {
+      const double v = static_cast<double>(bytes) / static_cast<double>(u.scale);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f %s", v, u.suffix);
+      return buf;
+    }
+  }
+  return std::to_string(bytes) + " B";
+}
+
+// Integer ceiling division; used pervasively by the striping / padding math.
+inline constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Round `a` up to the next multiple of `align` (align > 0).
+inline constexpr std::uint64_t round_up(std::uint64_t a, std::uint64_t align) {
+  return ceil_div(a, align) * align;
+}
+
+}  // namespace ecf::util

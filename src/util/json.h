@@ -1,0 +1,139 @@
+// Minimal JSON value / parser / writer.
+//
+// ECFault experiment profiles (the paper's "EC Manager ... experimental
+// profile") are JSON documents. We implement a small, dependency-free JSON
+// layer rather than pulling in a third-party library: objects preserve
+// insertion order (nice for emitted profiles), numbers are stored as double
+// with an integer fast-path, and parse errors carry line/column info.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ecf::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// Insertion-ordered object representation.
+using JsonMember = std::pair<std::string, Json>;
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(unsigned v) : type_(Type::kNumber), num_(v) {}
+  Json(std::int64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::kArray), arr_(std::move(a)) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const {
+    require(Type::kBool);
+    return bool_;
+  }
+  double as_double() const {
+    require(Type::kNumber);
+    return num_;
+  }
+  std::int64_t as_int() const {
+    require(Type::kNumber);
+    return static_cast<std::int64_t>(num_);
+  }
+  std::uint64_t as_uint() const {
+    require(Type::kNumber);
+    return static_cast<std::uint64_t>(num_);
+  }
+  const std::string& as_string() const {
+    require(Type::kString);
+    return str_;
+  }
+  const JsonArray& as_array() const {
+    require(Type::kArray);
+    return arr_;
+  }
+  JsonArray& as_array() {
+    require(Type::kArray);
+    return arr_;
+  }
+
+  // --- object access -------------------------------------------------------
+  // set() inserts or replaces (preserving first-insert position).
+  Json& set(const std::string& key, Json value);
+  bool has(const std::string& key) const;
+  // at() throws JsonError if missing.
+  const Json& at(const std::string& key) const;
+  // get_or returns fallback when the key is absent.
+  bool get_or(const std::string& key, bool fallback) const;
+  double get_or(const std::string& key, double fallback) const;
+  std::int64_t get_or(const std::string& key, std::int64_t fallback) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  const std::vector<JsonMember>& members() const {
+    require(Type::kObject);
+    return obj_;
+  }
+
+  // --- array helpers -------------------------------------------------------
+  void push_back(Json v) {
+    require(Type::kArray);
+    arr_.push_back(std::move(v));
+  }
+  std::size_t size() const;
+
+  // --- serialization -------------------------------------------------------
+  // indent < 0 → compact; otherwise pretty-printed with that indent width.
+  std::string dump(int indent = -1) const;
+
+  // Parse a complete JSON document (trailing garbage is an error).
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void require(Type t) const;
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  std::vector<JsonMember> obj_;
+};
+
+}  // namespace ecf::util

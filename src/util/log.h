@@ -1,0 +1,52 @@
+// Minimal leveled logger for the library's own diagnostics.
+//
+// Note: this is *not* the paper's "Logger" component — that lives in
+// src/ecfault/logger.h and deals with collecting simulated-DSS log records.
+// This one exists so library code can report progress/warnings without
+// pulling in a logging framework.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ecf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded. Defaults to kWarn so
+// tests and benches stay quiet unless something is wrong.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emit one line to stderr as "[LEVEL] message".
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace ecf::util
+
+#define ECF_LOG(level)                                            \
+  if (static_cast<int>(level) < static_cast<int>(::ecf::util::log_level())) \
+    ;                                                             \
+  else                                                            \
+    ::ecf::util::detail::LogStream(level)
+
+#define ECF_DEBUG ECF_LOG(::ecf::util::LogLevel::kDebug)
+#define ECF_INFO ECF_LOG(::ecf::util::LogLevel::kInfo)
+#define ECF_WARN ECF_LOG(::ecf::util::LogLevel::kWarn)
+#define ECF_ERROR ECF_LOG(::ecf::util::LogLevel::kError)

@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the simulator (placement hashing jitter,
+// workload generation, fault timing) draws from an explicitly seeded Rng so
+// that a whole experiment is reproducible bit-for-bit from its seed. We use
+// xoshiro256** (public domain, Blackman & Vigna) rather than <random>
+// engines because its state is tiny, splitting is cheap, and its output is
+// stable across standard library implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ecf::util {
+
+// splitmix64: used to expand a single 64-bit seed into xoshiro state and to
+// derive independent child seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xEC'FA'17ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  // Derive an independent stream; children with different tags are
+  // decorrelated even when derived from the same parent.
+  Rng child(std::uint64_t tag) const {
+    std::uint64_t mix = s_[0] ^ (tag * 0x9e3779b97f4a7c15ull) ^ s_[3];
+    return Rng(mix);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  // Uniform integer in [0, bound). Lemire's multiply-shift with rejection.
+  std::uint64_t uniform(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t x;
+    do {
+      x = next();
+    } while (x >= limit);
+    return x % bound;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + uniform(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace ecf::util
+
+#include <cmath>
+
+namespace ecf::util {
+inline double Rng::exponential(double mean) {
+  // Inverse CDF; clamp the uniform away from 0 to avoid log(0).
+  double u = uniform01();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+}  // namespace ecf::util

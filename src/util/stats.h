@@ -1,0 +1,74 @@
+// Lightweight statistics accumulators used by the metrics layer and the
+// benchmark harnesses (mean/stddev via Welford, exact percentiles on demand).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecf::util {
+
+// Streaming mean / variance (Welford). O(1) memory; no percentiles.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  void merge(const RunningStats& other);
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores all samples; supports exact percentiles. Used where sample counts
+// are modest (per-experiment timings).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  // q in [0,1]; linear interpolation between closest ranks.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+  const std::vector<double>& raw() const { return xs_; }
+  void reset() { xs_.clear(); sorted_ = false; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+// Fixed-width text table writer for bench output. Collects rows of strings
+// and prints an aligned, markdown-ish table; the bench binaries use it so
+// their output reads like the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style double formatting helper ("%.2f" etc).
+std::string fmt_double(double v, int precision = 2);
+
+}  // namespace ecf::util

@@ -1,0 +1,27 @@
+// Small string helpers shared by the JSON parser, profile loader and loggers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecf::util {
+
+// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Case-sensitive substring check (used by log keyword classification).
+bool contains(std::string_view haystack, std::string_view needle);
+
+std::string to_lower(std::string_view s);
+
+// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace ecf::util

@@ -1,0 +1,120 @@
+#include "cluster/bluestore.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace ecf::cluster {
+namespace {
+
+using util::KiB;
+using util::MiB;
+
+StoreConfig small_store() {
+  StoreConfig s;
+  s.min_alloc_size = 4 * KiB;
+  s.onode_bytes = 1 * KiB;
+  s.ec_attr_bytes = 1 * KiB;
+  s.pg_log_entry_bytes = 2 * KiB;
+  s.rocksdb_space_amp = 2.0;
+  return s;
+}
+
+TEST(BlueStore, WriteChunkAccountsAllocAndMeta) {
+  BlueStore bs(small_store(), CacheConfig{});
+  const std::uint64_t added = bs.write_chunk(10 * KiB + 1);
+  // Alloc rounds to 12 KiB; metadata = (1+1+2)KiB * 2 amp = 8 KiB.
+  EXPECT_EQ(bs.data_bytes(), 12 * KiB);
+  EXPECT_EQ(bs.meta_bytes(), 8 * KiB);
+  EXPECT_EQ(added, 20 * KiB);
+  EXPECT_EQ(bs.onode_count(), 1u);
+  EXPECT_EQ(bs.stored_bytes(), 20 * KiB);
+}
+
+TEST(BlueStore, RemoveChunkReversesWrite) {
+  BlueStore bs(small_store(), CacheConfig{});
+  bs.write_chunk(10 * KiB);
+  bs.remove_chunk(10 * KiB);
+  EXPECT_EQ(bs.stored_bytes(), 0u);
+  EXPECT_EQ(bs.onode_count(), 0u);
+}
+
+TEST(BlueStore, AlignedWriteHasNoAllocWaste) {
+  BlueStore bs(small_store(), CacheConfig{});
+  bs.write_chunk(8 * KiB);
+  EXPECT_EQ(bs.data_bytes(), 8 * KiB);
+}
+
+TEST(BlueStore, HitRatesFollowRatios) {
+  StoreConfig store = small_store();
+  CacheConfig cache;
+  cache.autotune = false;
+  cache.kv_ratio = 0.5;
+  cache.meta_ratio = 0.3;
+  cache.data_ratio = 0.2;
+  cache.cache_bytes = 1 * MiB;
+  BlueStore bs(store, cache);
+  // Empty store: everything fits, hit rates are 1.
+  EXPECT_DOUBLE_EQ(bs.kv_hit_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(bs.meta_hit_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(bs.data_hit_rate(), 1.0);
+  // Grow working sets far beyond the cache.
+  for (int i = 0; i < 1000; ++i) bs.write_chunk(64 * KiB);
+  EXPECT_LT(bs.kv_hit_rate(), 1.0);
+  EXPECT_LT(bs.meta_hit_rate(), 1.0);
+  EXPECT_LT(bs.data_hit_rate(), 1.0);
+  // Hit rate proportionality: kv segment (0.5 MiB) over kv working set.
+  const double expect_kv =
+      0.5 * 1048576.0 / static_cast<double>(bs.kv_working_set());
+  EXPECT_NEAR(bs.kv_hit_rate(), expect_kv, 1e-9);
+}
+
+TEST(BlueStore, AutotuneConvergesTowardDemand) {
+  StoreConfig store = small_store();
+  CacheConfig cache = CacheConfig::autotuned();
+  cache.cache_bytes = 8 * MiB;
+  BlueStore bs(store, cache);
+  for (int i = 0; i < 2000; ++i) bs.write_chunk(64 * KiB);
+  const double meta_before = bs.meta_hit_rate();
+  for (int i = 0; i < 12; ++i) bs.autotune_step();
+  // After tuning, meta+kv hit rates should not be worse than the fixed
+  // initial 45/45 split, and ratios should sum sensibly.
+  EXPECT_GE(bs.meta_hit_rate() + bs.kv_hit_rate(), meta_before);
+  EXPECT_NEAR(bs.kv_ratio() + bs.meta_ratio() + bs.data_ratio(), 1.0, 0.15);
+  EXPECT_GE(bs.data_ratio(), 0.05);
+}
+
+TEST(BlueStore, AutotuneOffKeepsRatios) {
+  BlueStore bs(small_store(), CacheConfig::kv_optimized());
+  for (int i = 0; i < 100; ++i) bs.write_chunk(64 * KiB);
+  for (int i = 0; i < 5; ++i) bs.autotune_step();
+  EXPECT_DOUBLE_EQ(bs.kv_ratio(), 0.70);
+  EXPECT_DOUBLE_EQ(bs.meta_ratio(), 0.20);
+}
+
+TEST(BlueStore, PaperCacheConfigsMatchTable2) {
+  const CacheConfig c1 = CacheConfig::kv_optimized();
+  EXPECT_DOUBLE_EQ(c1.kv_ratio, 0.70);
+  EXPECT_DOUBLE_EQ(c1.meta_ratio, 0.20);
+  EXPECT_DOUBLE_EQ(c1.data_ratio, 0.10);
+  const CacheConfig c2 = CacheConfig::data_optimized();
+  EXPECT_DOUBLE_EQ(c2.data_ratio, 0.60);
+  const CacheConfig c3 = CacheConfig::autotuned();
+  EXPECT_TRUE(c3.autotune);
+  EXPECT_DOUBLE_EQ(c3.kv_ratio, 0.45);
+  EXPECT_DOUBLE_EQ(c3.meta_ratio, 0.45);
+}
+
+TEST(BlueStore, Table3CalibrationMagnitudes) {
+  // Default StoreConfig must reproduce the Table 3 actual-WA magnitudes:
+  // 12 chunks of an 8 MiB-chunk object cost ~1.73x the 64 MiB object.
+  StoreConfig store;  // defaults
+  BlueStore bs(store, CacheConfig{});
+  std::uint64_t total = 0;
+  for (int i = 0; i < 12; ++i) total += bs.write_chunk(8 * MiB);
+  const double wa = static_cast<double>(total) / (64.0 * 1048576.0);
+  EXPECT_NEAR(wa, 1.76, 0.06);
+}
+
+}  // namespace
+}  // namespace ecf::cluster

@@ -1,0 +1,121 @@
+// Foreground client-load generator: degraded reads, latency accounting,
+// and interaction with recovery.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "util/bytes.h"
+
+namespace ecf::cluster {
+namespace {
+
+using util::MiB;
+
+ClusterConfig client_config(double ops_per_s) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 15;
+  cfg.osds_per_host = 2;
+  cfg.pool.pg_num = 16;
+  cfg.workload.num_objects = 100;
+  cfg.workload.object_size = 16 * MiB;
+  cfg.protocol.down_out_interval_s = 20.0;
+  cfg.protocol.heartbeat_grace_s = 5.0;
+  cfg.client.ops_per_s = ops_per_s;
+  cfg.client.horizon_s = 120.0;
+  return cfg;
+}
+
+TEST(ClientLoad, DisabledByDefault) {
+  Cluster cl(client_config(0));
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_client_load();
+  cl.engine().run();
+  EXPECT_EQ(cl.report().client_ops, 0u);
+}
+
+TEST(ClientLoad, RequiresWorkload) {
+  Cluster cl(client_config(10));
+  cl.create_pool();
+  EXPECT_THROW(cl.start_client_load(), std::logic_error);
+}
+
+TEST(ClientLoad, ServesOpsOnHealthyCluster) {
+  Cluster cl(client_config(20));
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_client_load();
+  cl.engine().run();
+  const auto& r = cl.report();
+  EXPECT_GT(r.client_ops, 100u);  // ~20/s over 120 s, Poisson
+  EXPECT_EQ(r.degraded_reads, 0u);
+  EXPECT_GT(r.mean_client_latency(), 0.0);
+  EXPECT_LT(r.mean_client_latency(), 0.5);  // healthy reads are fast
+}
+
+TEST(ClientLoad, FailureCausesDegradedReads) {
+  ClusterConfig cfg = client_config(20);
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_client_load();
+  cl.engine().schedule(1.0, [&cl] { cl.fail_host(2); });
+  cl.run_to_recovery();
+  const auto& r = cl.report();
+  EXPECT_GT(r.client_ops, 0u);
+  EXPECT_GT(r.degraded_reads, 0u);
+  // Degraded reads gather k shards + decode: tail latency above healthy.
+  EXPECT_GT(r.client_latency_max, 0.01);
+}
+
+TEST(ClientLoad, WritesMixedIn) {
+  ClusterConfig cfg = client_config(20);
+  cfg.client.read_fraction = 0.0;  // all writes
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_client_load();
+  cl.engine().run();
+  EXPECT_GT(cl.report().client_ops, 0u);
+  EXPECT_EQ(cl.report().degraded_reads, 0u);
+}
+
+TEST(ClientLoad, ContentionSlowsRecovery) {
+  // Recovery with heavy client traffic takes longer than on an idle
+  // cluster — the resources are genuinely shared.
+  ClusterConfig idle = client_config(0);
+  Cluster a(idle);
+  a.create_pool();
+  a.apply_workload();
+  a.engine().schedule(1.0, [&a] { a.fail_host(2); });
+  const RecoveryReport idle_report = a.run_to_recovery();
+
+  ClusterConfig busy = client_config(200);
+  busy.client.horizon_s = 1000.0;
+  Cluster b(busy);
+  b.create_pool();
+  b.apply_workload();
+  b.start_client_load();
+  b.engine().schedule(1.0, [&b] { b.fail_host(2); });
+  const RecoveryReport busy_report = b.run_to_recovery();
+
+  ASSERT_TRUE(idle_report.complete);
+  ASSERT_TRUE(busy_report.complete);
+  EXPECT_GT(busy_report.ec_recovery_period(),
+            idle_report.ec_recovery_period());
+}
+
+TEST(ClientLoad, StopsAtHorizon) {
+  ClusterConfig cfg = client_config(50);
+  cfg.client.horizon_s = 10.0;
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_client_load();
+  cl.engine().run();
+  // ~50/s for 10 s; generous bounds for Poisson noise.
+  EXPECT_GT(cl.report().client_ops, 200u);
+  EXPECT_LT(cl.report().client_ops, 900u);
+}
+
+}  // namespace
+}  // namespace ecf::cluster

@@ -1,0 +1,195 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ec/stripe.h"
+#include "ec/wa_model.h"
+#include "util/bytes.h"
+
+namespace ecf::cluster {
+namespace {
+
+using util::KiB;
+using util::MiB;
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 15;
+  cfg.osds_per_host = 2;
+  cfg.pool.pg_num = 32;
+  cfg.workload.num_objects = 300;
+  cfg.workload.object_size = 16 * MiB;
+  return cfg;
+}
+
+TEST(Cluster, TopologyMatchesConfig) {
+  Cluster cl(small_config());
+  EXPECT_EQ(cl.config().num_osds(), 30);
+  EXPECT_EQ(cl.host_of(0), 0);
+  EXPECT_EQ(cl.host_of(1), 0);
+  EXPECT_EQ(cl.host_of(2), 1);
+  EXPECT_EQ(cl.osds_on_host(3), (std::vector<OsdId>{6, 7}));
+  EXPECT_TRUE(cl.osd_alive(17));
+  EXPECT_EQ(cl.num_failed_osds(), 0);
+}
+
+TEST(Cluster, PoolCreationBuildsActingSets) {
+  Cluster cl(small_config());
+  cl.create_pool();
+  EXPECT_EQ(cl.code().n(), 12u);
+  EXPECT_EQ(cl.code().k(), 9u);
+  for (PgId pg = 0; pg < 32; ++pg) {
+    const auto acting = cl.pg_acting(pg);
+    EXPECT_EQ(acting.size(), 12u);
+  }
+}
+
+TEST(Cluster, PoolRequiresEnoughOsds) {
+  ClusterConfig cfg = small_config();
+  cfg.num_hosts = 5;  // 10 OSDs < n = 12
+  Cluster cl(cfg);
+  EXPECT_THROW(cl.create_pool(), std::invalid_argument);
+}
+
+TEST(Cluster, DoubleCreateRejected) {
+  Cluster cl(small_config());
+  cl.create_pool();
+  EXPECT_THROW(cl.create_pool(), std::logic_error);
+}
+
+TEST(Cluster, WorkloadRequiresPool) {
+  Cluster cl(small_config());
+  EXPECT_THROW(cl.apply_workload(), std::logic_error);
+}
+
+TEST(Cluster, WorkloadDistributesAllObjects) {
+  Cluster cl(small_config());
+  cl.create_pool();
+  cl.apply_workload();
+  std::size_t total = 0;
+  for (PgId pg = 0; pg < 32; ++pg) total += cl.objects_in_pg(pg);
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(Cluster, WorkloadAccountsStorage) {
+  ClusterConfig cfg = small_config();
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  EXPECT_EQ(cl.workload_bytes(), 300u * 16 * MiB);
+  // Stored >= n/k * written (padding + metadata only add).
+  EXPECT_GE(cl.actual_wa(), cl.code().theoretical_wa());
+  // Data bytes match the stripe layout exactly (all chunks 4K-aligned).
+  const auto layout = ec::compute_stripe_layout(16 * MiB, 12, 9,
+                                                cfg.pool.stripe_unit);
+  EXPECT_EQ(cl.total_data_bytes(), 300u * 12u * layout.chunk_size);
+}
+
+TEST(Cluster, ActualWaMatchesFormulaLowerBound) {
+  ClusterConfig cfg = small_config();
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  const auto est =
+      ec::estimate_wa(16 * MiB, 12, 9, cfg.pool.stripe_unit);
+  EXPECT_GE(cl.actual_wa(), est.padding_only - 1e-9);
+}
+
+TEST(Cluster, FailDeviceMarksOsdDead) {
+  Cluster cl(small_config());
+  cl.create_pool();
+  cl.apply_workload();
+  cl.fail_device(4);
+  EXPECT_FALSE(cl.osd_alive(4));
+  EXPECT_TRUE(cl.osd_alive(5));
+  EXPECT_EQ(cl.num_failed_osds(), 1);
+  // Idempotent.
+  cl.fail_device(4);
+  EXPECT_EQ(cl.num_failed_osds(), 1);
+}
+
+TEST(Cluster, FailHostKillsAllItsOsds) {
+  Cluster cl(small_config());
+  cl.create_pool();
+  cl.apply_workload();
+  cl.fail_host(3);
+  EXPECT_FALSE(cl.osd_alive(6));
+  EXPECT_FALSE(cl.osd_alive(7));
+  EXPECT_EQ(cl.num_failed_osds(), 2);
+}
+
+TEST(Cluster, PgsOnOsdConsistentWithActingSets) {
+  Cluster cl(small_config());
+  cl.create_pool();
+  const auto pgs = cl.pgs_on_osd(9);
+  for (const PgId pg : pgs) {
+    const auto acting = cl.pg_acting(pg);
+    EXPECT_NE(std::find(acting.begin(), acting.end(), 9), acting.end());
+  }
+}
+
+TEST(Cluster, LogSinkReceivesSetupRecords) {
+  std::vector<LogRecord> records;
+  Cluster cl(small_config(), [&](const LogRecord& r) { records.push_back(r); });
+  cl.create_pool();
+  cl.apply_workload();
+  ASSERT_GE(records.size(), 3u);
+  EXPECT_EQ(records[0].node, "mon.0");
+}
+
+TEST(Cluster, EcProfileSelectsCode) {
+  ClusterConfig cfg = small_config();
+  cfg.pool.ec_profile = {{"plugin", "clay"}, {"k", "6"}, {"m", "3"},
+                         {"d", "8"}};
+  Cluster cl(cfg);
+  cl.create_pool();
+  EXPECT_EQ(cl.code().name(), "Clay(9,6,8)");
+}
+
+TEST(Cluster, RackDomainEndToEnd) {
+  // 16 racks x 1 host: rack-separated placement, and a whole-host failure
+  // still recovers.
+  ClusterConfig cfg = small_config();
+  cfg.num_hosts = 16;
+  cfg.hosts_per_rack = 1;
+  cfg.pool.failure_domain = FailureDomain::kRack;
+  cfg.protocol.down_out_interval_s = 20.0;
+  cfg.protocol.heartbeat_grace_s = 5.0;
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  EXPECT_EQ(cl.rack_of(5), 5);
+  for (PgId pg = 0; pg < cfg.pool.pg_num; ++pg) {
+    std::set<int> racks;
+    for (const OsdId o : cl.pg_acting(pg)) racks.insert(cl.rack_of(cl.host_of(o)));
+    EXPECT_EQ(racks.size(), 12u);
+  }
+  cl.engine().schedule(1.0, [&cl] { cl.fail_host(3); });
+  EXPECT_TRUE(cl.run_to_recovery().complete);
+}
+
+TEST(Cluster, RackGroupingFollowsHostsPerRack) {
+  ClusterConfig cfg = small_config();
+  cfg.hosts_per_rack = 5;
+  Cluster cl(cfg);
+  EXPECT_EQ(cl.rack_of(0), 0);
+  EXPECT_EQ(cl.rack_of(4), 0);
+  EXPECT_EQ(cl.rack_of(5), 1);
+  EXPECT_EQ(cl.rack_of(14), 2);
+  EXPECT_THROW(cl.rack_of(99), std::out_of_range);
+}
+
+TEST(Cluster, DeterministicAcrossInstances) {
+  ClusterConfig cfg = small_config();
+  Cluster a(cfg), b(cfg);
+  a.create_pool();
+  b.create_pool();
+  for (PgId pg = 0; pg < 32; ++pg) {
+    EXPECT_EQ(a.pg_acting(pg), b.pg_acting(pg));
+  }
+}
+
+}  // namespace
+}  // namespace ecf::cluster

@@ -1,0 +1,192 @@
+#include "cluster/crush.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ecf::cluster {
+namespace {
+
+std::vector<HostId> flat_hosts(int hosts, int per_host) {
+  std::vector<HostId> out;
+  for (HostId h = 0; h < hosts; ++h) {
+    for (int d = 0; d < per_host; ++d) out.push_back(h);
+  }
+  return out;
+}
+
+TEST(Crush, DeterministicPlacement) {
+  const Crush a(flat_hosts(30, 2), {}, FailureDomain::kHost, 42);
+  const Crush b(flat_hosts(30, 2), {}, FailureDomain::kHost, 42);
+  const std::vector<bool> alive(60, true);
+  for (PgId pg = 0; pg < 64; ++pg) {
+    EXPECT_EQ(a.acting_set(pg, 12, alive), b.acting_set(pg, 12, alive));
+  }
+}
+
+TEST(Crush, DifferentSeedsDifferentPlacement) {
+  const Crush a(flat_hosts(30, 2), {}, FailureDomain::kHost, 1);
+  const Crush b(flat_hosts(30, 2), {}, FailureDomain::kHost, 2);
+  const std::vector<bool> alive(60, true);
+  int same = 0;
+  for (PgId pg = 0; pg < 32; ++pg) {
+    if (a.acting_set(pg, 12, alive) == b.acting_set(pg, 12, alive)) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Crush, HostDomainSeparatesHosts) {
+  const Crush c(flat_hosts(30, 2), {}, FailureDomain::kHost, 7);
+  const std::vector<bool> alive(60, true);
+  for (PgId pg = 0; pg < 128; ++pg) {
+    const auto set = c.acting_set(pg, 12, alive);
+    std::set<HostId> hosts;
+    for (const OsdId o : set) hosts.insert(o / 2);
+    EXPECT_EQ(hosts.size(), 12u) << "pg " << pg;
+  }
+}
+
+TEST(Crush, OsdDomainPrefersHostSpreadWhilePossible) {
+  // Even with the osd failure domain, chunks spread across distinct hosts
+  // while hosts outnumber the stripe width (CRUSH hierarchical descent).
+  const Crush c(flat_hosts(30, 3), {}, FailureDomain::kOsd, 7);
+  const std::vector<bool> alive(90, true);
+  for (PgId pg = 0; pg < 64; ++pg) {
+    const auto set = c.acting_set(pg, 12, alive);
+    std::set<HostId> hosts;
+    for (const OsdId o : set) hosts.insert(o / 3);
+    EXPECT_EQ(hosts.size(), 12u);
+  }
+}
+
+TEST(Crush, OsdDomainAllowsCoLocationWhenHostsScarce) {
+  // 4 hosts x 3 OSDs, width 9: co-location is unavoidable and allowed.
+  const Crush c(flat_hosts(4, 3), {}, FailureDomain::kOsd, 7);
+  const std::vector<bool> alive(12, true);
+  const auto set = c.acting_set(0, 9, alive);
+  EXPECT_EQ(set.size(), 9u);
+  std::set<OsdId> distinct(set.begin(), set.end());
+  EXPECT_EQ(distinct.size(), 9u);
+}
+
+TEST(Crush, HostDomainThrowsWhenImpossible) {
+  const Crush c(flat_hosts(4, 3), {}, FailureDomain::kHost, 7);
+  const std::vector<bool> alive(12, true);
+  EXPECT_THROW(c.acting_set(0, 9, alive), std::runtime_error);
+}
+
+TEST(Crush, ExcludesDeadOsds) {
+  const Crush c(flat_hosts(30, 2), {}, FailureDomain::kHost, 9);
+  std::vector<bool> alive(60, true);
+  alive[17] = false;
+  alive[33] = false;
+  for (PgId pg = 0; pg < 64; ++pg) {
+    const auto set = c.acting_set(pg, 12, alive);
+    EXPECT_EQ(std::count(set.begin(), set.end(), 17), 0);
+    EXPECT_EQ(std::count(set.begin(), set.end(), 33), 0);
+  }
+}
+
+TEST(Crush, MinimalMovementOnFailure) {
+  // Removing one OSD must not re-home chunks that did not live on it.
+  const Crush c(flat_hosts(30, 2), {}, FailureDomain::kOsd, 11);
+  std::vector<bool> alive(60, true);
+  const auto before = c.acting_set(5, 12, alive);
+  const OsdId victim = before[4];
+  alive[static_cast<std::size_t>(victim)] = false;
+  const auto after = c.acting_set(5, 12, alive);
+  // All survivors keep their relative order; only the victim is replaced.
+  std::vector<OsdId> before_without;
+  for (const OsdId o : before) {
+    if (o != victim) before_without.push_back(o);
+  }
+  std::vector<OsdId> after_filtered;
+  for (const OsdId o : after) {
+    if (std::find(before_without.begin(), before_without.end(), o) !=
+        before_without.end()) {
+      after_filtered.push_back(o);
+    }
+  }
+  EXPECT_EQ(after_filtered, before_without);
+}
+
+TEST(Crush, RemapTargetAvoidsCurrentMembers) {
+  const Crush c(flat_hosts(30, 2), {}, FailureDomain::kHost, 13);
+  std::vector<bool> alive(60, true);
+  const auto set = c.acting_set(3, 12, alive);
+  std::vector<OsdId> survivors(set.begin() + 1, set.end());
+  alive[static_cast<std::size_t>(set[0])] = false;
+  const OsdId target = c.remap_target(3, survivors, alive);
+  ASSERT_NE(target, kNoOsd);
+  EXPECT_EQ(std::count(survivors.begin(), survivors.end(), target), 0);
+  // Host-domain: target's host must differ from every survivor's host.
+  for (const OsdId s : survivors) {
+    EXPECT_NE(s / 2, target / 2);
+  }
+}
+
+TEST(Crush, RemapTargetReturnsNoOsdWhenExhausted) {
+  const Crush c(flat_hosts(2, 1), {}, FailureDomain::kHost, 1);
+  std::vector<bool> alive = {true, false};
+  const OsdId t = c.remap_target(0, {0}, alive);
+  EXPECT_EQ(t, kNoOsd);  // only OSD 0 alive and already a member
+}
+
+TEST(Crush, PlacementRoughlyBalanced) {
+  const Crush c(flat_hosts(30, 2), {}, FailureDomain::kHost, 21);
+  const std::vector<bool> alive(60, true);
+  std::vector<int> load(60, 0);
+  for (PgId pg = 0; pg < 256; ++pg) {
+    for (const OsdId o : c.acting_set(pg, 12, alive)) {
+      ++load[static_cast<std::size_t>(o)];
+    }
+  }
+  // 256*12/60 = 51.2 expected; rendezvous hashing should stay within ~2.5x.
+  for (const int l : load) {
+    EXPECT_GT(l, 20);
+    EXPECT_LT(l, 110);
+  }
+}
+
+std::vector<int> racks_for(int hosts, int per_rack) {
+  std::vector<int> out;
+  for (int h = 0; h < hosts; ++h) out.push_back(h / per_rack);
+  return out;
+}
+
+TEST(Crush, RackDomainSeparatesRacks) {
+  // 16 racks x 2 hosts x 2 OSDs: width-12 stripes must span 12 racks.
+  const Crush c(flat_hosts(32, 2), racks_for(32, 2), FailureDomain::kRack, 5);
+  const std::vector<bool> alive(64, true);
+  for (PgId pg = 0; pg < 64; ++pg) {
+    const auto set = c.acting_set(pg, 12, alive);
+    std::set<int> racks;
+    for (const OsdId o : set) racks.insert((o / 2) / 2);
+    EXPECT_EQ(racks.size(), 12u) << "pg " << pg;
+  }
+}
+
+TEST(Crush, RackDomainThrowsWithTooFewRacks) {
+  // 4 racks cannot host a width-12 rack-separated stripe.
+  const Crush c(flat_hosts(8, 2), racks_for(8, 2), FailureDomain::kRack, 5);
+  const std::vector<bool> alive(16, true);
+  EXPECT_THROW(c.acting_set(0, 12, alive), std::runtime_error);
+}
+
+TEST(Crush, RackRemapTargetAvoidsUsedRacks) {
+  const Crush c(flat_hosts(32, 2), racks_for(32, 2), FailureDomain::kRack, 5);
+  std::vector<bool> alive(64, true);
+  const auto set = c.acting_set(3, 12, alive);
+  std::vector<OsdId> survivors(set.begin() + 1, set.end());
+  alive[static_cast<std::size_t>(set[0])] = false;
+  const OsdId target = c.remap_target(3, survivors, alive);
+  ASSERT_NE(target, kNoOsd);
+  const int target_rack = (target / 2) / 2;
+  for (const OsdId s : survivors) {
+    EXPECT_NE((s / 2) / 2, target_rack);
+  }
+}
+
+}  // namespace
+}  // namespace ecf::cluster

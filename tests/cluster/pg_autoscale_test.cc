@@ -1,0 +1,48 @@
+#include "cluster/pg_autoscale.h"
+
+#include <gtest/gtest.h>
+
+namespace ecf::cluster {
+namespace {
+
+TEST(PgAutoscale, PaperClusterRecommends512) {
+  // 60 OSDs, width 12, target 100 shards/OSD: raw = 500 -> nearest pow2.
+  EXPECT_EQ(recommended_pg_num(60, 12), 512);
+}
+
+TEST(PgAutoscale, PowersOfTwoOnly) {
+  for (const int osds : {3, 10, 30, 60, 90, 500}) {
+    const std::int32_t pg = recommended_pg_num(osds, 12);
+    EXPECT_EQ(pg & (pg - 1), 0) << osds;
+  }
+}
+
+TEST(PgAutoscale, ScalesWithOsdsAndWidth) {
+  EXPECT_GT(recommended_pg_num(120, 12), recommended_pg_num(60, 12));
+  EXPECT_LT(recommended_pg_num(60, 24), recommended_pg_num(60, 6));
+}
+
+TEST(PgAutoscale, MinimumIsOne) {
+  EXPECT_EQ(recommended_pg_num(1, 12, 1), 1);
+}
+
+TEST(PgAutoscale, RejectsBadArguments) {
+  EXPECT_THROW(recommended_pg_num(0, 12), std::invalid_argument);
+  EXPECT_THROW(recommended_pg_num(60, 0), std::invalid_argument);
+  EXPECT_THROW(recommended_pg_num(60, 12, 0), std::invalid_argument);
+}
+
+TEST(PgAutoscale, WindowAcceptsNearbyValues) {
+  // Recommendation 512: 256..1024 is inside the 2x window.
+  EXPECT_TRUE(pg_num_within_autoscale_window(512, 60, 12));
+  EXPECT_TRUE(pg_num_within_autoscale_window(256, 60, 12));
+  EXPECT_TRUE(pg_num_within_autoscale_window(1024, 60, 12));
+  EXPECT_FALSE(pg_num_within_autoscale_window(16, 60, 12));
+  // The paper's pg_num=1 experiment is exactly what the autoscaler warns
+  // about.
+  EXPECT_FALSE(pg_num_within_autoscale_window(1, 60, 12));
+  EXPECT_FALSE(pg_num_within_autoscale_window(0, 60, 12));
+}
+
+}  // namespace
+}  // namespace ecf::cluster

@@ -1,0 +1,122 @@
+// Silent corruption + deep scrub: injection, detection and in-place repair.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "util/bytes.h"
+#include "util/strings.h"
+
+namespace ecf::cluster {
+namespace {
+
+using util::MiB;
+
+ClusterConfig scrub_config() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 15;
+  cfg.osds_per_host = 2;
+  cfg.pool.pg_num = 16;
+  cfg.workload.num_objects = 100;
+  cfg.workload.object_size = 16 * MiB;
+  cfg.scrub.enabled = true;
+  cfg.scrub.interval_s = 2.0;
+  cfg.scrub.max_passes = 2;
+  return cfg;
+}
+
+TEST(Scrub, CorruptionInjectionCounts) {
+  Cluster cl(scrub_config());
+  cl.create_pool();
+  cl.apply_workload();
+  const std::uint64_t planted = cl.corrupt_chunks(3, 0.5);
+  EXPECT_GT(planted, 0u);
+  EXPECT_EQ(cl.report().corruptions_injected, planted);
+  // The fault is silent: no detection, no recovery state change.
+  EXPECT_EQ(cl.report().corruptions_found, 0u);
+  EXPECT_TRUE(cl.osd_alive(3));
+}
+
+TEST(Scrub, RejectsBadFraction) {
+  Cluster cl(scrub_config());
+  cl.create_pool();
+  cl.apply_workload();
+  EXPECT_THROW(cl.corrupt_chunks(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(cl.corrupt_chunks(0, 1.5), std::invalid_argument);
+}
+
+TEST(Scrub, RequiresWorkload) {
+  Cluster cl(scrub_config());
+  cl.create_pool();
+  EXPECT_THROW(cl.corrupt_chunks(0, 0.1), std::logic_error);
+  EXPECT_THROW(cl.start_scrub(), std::logic_error);
+}
+
+TEST(Scrub, FindsAndRepairsEverything) {
+  Cluster cl(scrub_config());
+  cl.create_pool();
+  cl.apply_workload();
+  const std::uint64_t planted = cl.corrupt_chunks(5, 0.3);
+  ASSERT_GT(planted, 0u);
+  cl.start_scrub();
+  cl.engine().run();
+  const auto& r = cl.report();
+  EXPECT_EQ(r.corruptions_found, planted);
+  EXPECT_EQ(r.corruptions_repaired, planted);
+  EXPECT_GT(r.pgs_scrubbed, 16u);  // two passes over 16 PGs
+}
+
+TEST(Scrub, CleanClusterScrubsQuietly) {
+  Cluster cl(scrub_config());
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_scrub();
+  cl.engine().run();
+  EXPECT_EQ(cl.report().corruptions_found, 0u);
+  EXPECT_EQ(cl.report().corruptions_repaired, 0u);
+  EXPECT_EQ(cl.report().pgs_scrubbed, 32u);
+}
+
+TEST(Scrub, DisabledScrubIsNoop) {
+  ClusterConfig cfg = scrub_config();
+  cfg.scrub.enabled = false;
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  cl.corrupt_chunks(5, 0.3);
+  cl.start_scrub();
+  cl.engine().run();
+  EXPECT_EQ(cl.report().pgs_scrubbed, 0u);
+  EXPECT_EQ(cl.report().corruptions_found, 0u);
+}
+
+TEST(Scrub, EmitsInconsistencyLogs) {
+  std::vector<LogRecord> records;
+  Cluster cl(scrub_config(), [&](const LogRecord& r) { records.push_back(r); });
+  cl.create_pool();
+  cl.apply_workload();
+  cl.corrupt_chunks(7, 0.4);
+  cl.start_scrub();
+  cl.engine().run();
+  bool found = false, repaired = false;
+  for (const auto& rec : records) {
+    found |= util::contains(rec.message, "inconsistent shards found");
+    repaired |= util::contains(rec.message, "repaired in place");
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(repaired);
+}
+
+TEST(Scrub, MultipleVictimsAllRepaired) {
+  Cluster cl(scrub_config());
+  cl.create_pool();
+  cl.apply_workload();
+  std::uint64_t planted = 0;
+  planted += cl.corrupt_chunks(2, 0.2);
+  planted += cl.corrupt_chunks(9, 0.2);
+  planted += cl.corrupt_chunks(21, 0.2);
+  cl.start_scrub();
+  cl.engine().run();
+  EXPECT_EQ(cl.report().corruptions_repaired, planted);
+}
+
+}  // namespace
+}  // namespace ecf::cluster

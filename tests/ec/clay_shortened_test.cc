@@ -1,0 +1,65 @@
+// Shortened Clay codes (n not divisible by q): the internal grid gains
+// virtual zero chunks. The bandwidth-optimal repair must still work — the
+// virtual nodes participate in the plane solves with zero contribution.
+#include <gtest/gtest.h>
+
+#include "ec/clay.h"
+#include "tests/ec/ec_test_util.h"
+
+namespace ecf::ec {
+namespace {
+
+// Clay(10,7,9): q = 3, t = 4, n' = 12 > n = 10 (two virtual nodes), and
+// d = n-1 so the sub-chunk repair path is available.
+TEST(ClayShortened, RepairOneEveryChunk) {
+  const ClayCode code(10, 7, 9);
+  ASSERT_EQ(code.alpha(), 81u);
+  const std::size_t chunk_size = 81 * 3;
+  auto chunks = testutil::random_chunks(code, chunk_size, 21);
+  code.encode(chunks);
+  const std::size_t sub = chunk_size / code.alpha();
+  for (std::size_t failed = 0; failed < code.n(); ++failed) {
+    const auto planes = code.repair_planes(failed);
+    EXPECT_EQ(planes.size(), 27u);
+    std::vector<std::vector<Buffer>> helper_planes;
+    for (std::size_t h = 0; h < code.n(); ++h) {
+      if (h == failed) continue;
+      std::vector<Buffer> supplied;
+      for (const std::size_t z : planes) {
+        supplied.emplace_back(chunks[h].begin() + z * sub,
+                              chunks[h].begin() + (z + 1) * sub);
+      }
+      helper_planes.push_back(std::move(supplied));
+    }
+    EXPECT_EQ(code.repair_one(failed, helper_planes, chunk_size),
+              chunks[failed])
+        << "failed " << failed;
+  }
+}
+
+TEST(ClayShortened, HeavilyShortened) {
+  // Clay(8,5,7): q = 3, t = 3, n' = 9, one virtual node.
+  const ClayCode code(8, 5, 7);
+  EXPECT_EQ(code.alpha(), 27u);
+  for (const auto& pattern : testutil::subsets(8, 3)) {
+    EXPECT_TRUE(testutil::round_trip(code, 27 * 2, pattern, 5));
+  }
+}
+
+TEST(ClayShortened, RepairPlanStillOptimal) {
+  const ClayCode code(10, 7, 9);
+  const RepairPlan plan = code.repair_plan({2});
+  EXPECT_EQ(plan.reads.size(), 9u);  // d real helpers
+  EXPECT_TRUE(plan.bandwidth_optimal);
+  EXPECT_NEAR(plan.read_fraction_total(), 9.0 / 3.0, 1e-9);
+}
+
+TEST(ClayShortened, EncodeDecodeWithMaxErasures) {
+  const ClayCode code(11, 8, 10);  // q=3, t=4, n'=12, one virtual node
+  for (const auto& pattern : testutil::subsets(11, 3)) {
+    ASSERT_TRUE(testutil::round_trip(code, 81, pattern, 9));
+  }
+}
+
+}  // namespace
+}  // namespace ecf::ec

@@ -1,0 +1,146 @@
+// Property-style parameterized sweeps across all codes: any erasure pattern
+// within the declared tolerance must round-trip bit-exact, repair plans must
+// never read erased chunks, and linearity must hold.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ec/clay.h"
+#include "ec/lrc.h"
+#include "ec/replication.h"
+#include "ec/rs.h"
+#include "ec/shec.h"
+#include "tests/ec/ec_test_util.h"
+
+namespace ecf::ec {
+namespace {
+
+struct CodeSpec {
+  std::string label;
+  std::function<std::unique_ptr<ErasureCode>()> make;
+  bool mds;  // true -> every <=m pattern must decode
+};
+
+std::vector<CodeSpec> all_specs() {
+  return {
+      {"rs_van_12_9", [] { return std::make_unique<RsCode>(12, 9); }, true},
+      {"rs_cauchy_15_12",
+       [] { return std::make_unique<RsCode>(15, 12, RsTechnique::kCauchy); },
+       true},
+      {"rs_6_4", [] { return std::make_unique<RsCode>(6, 4); }, true},
+      {"clay_12_9_11", [] { return std::make_unique<ClayCode>(12, 9, 11); },
+       true},
+      {"clay_6_4_5", [] { return std::make_unique<ClayCode>(6, 4, 5); }, true},
+      {"clay_8_6_7", [] { return std::make_unique<ClayCode>(8, 6, 7); }, true},
+      {"lrc_8_2_2", [] { return std::make_unique<LrcCode>(8, 2, 2); }, false},
+      {"shec_6_3_2", [] { return std::make_unique<ShecCode>(6, 3, 2); }, false},
+      {"shec_8_4_2", [] { return std::make_unique<ShecCode>(8, 4, 2); }, false},
+      {"lrc_6_3_2", [] { return std::make_unique<LrcCode>(6, 3, 2); }, false},
+      {"rep_3", [] { return std::make_unique<ReplicationCode>(3); }, true},
+  };
+}
+
+class CodeProperty : public ::testing::TestWithParam<CodeSpec> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodes, CodeProperty, ::testing::ValuesIn(all_specs()),
+    [](const ::testing::TestParamInfo<CodeSpec>& info) {
+      return info.param.label;
+    });
+
+TEST_P(CodeProperty, EveryMaxToleranceMdsPatternDecodes) {
+  const auto code = GetParam().make();
+  const std::size_t chunk = code->alpha() * 4;
+  for (const auto& pattern : testutil::subsets(code->n(), code->m())) {
+    if (!GetParam().mds) {
+      // Non-MDS codes: only verify patterns the code itself claims.
+      auto* lrc = dynamic_cast<LrcCode*>(code.get());
+      if (lrc && !lrc->recoverable(pattern)) continue;
+      auto* shec = dynamic_cast<ShecCode*>(code.get());
+      if (shec && !shec->recoverable(pattern)) continue;
+    }
+    EXPECT_TRUE(testutil::round_trip(*code, chunk, pattern, 1234))
+        << GetParam().label;
+  }
+}
+
+TEST_P(CodeProperty, SingleErasureAlwaysDecodes) {
+  const auto code = GetParam().make();
+  const std::size_t chunk = code->alpha() * 2;
+  for (std::size_t e = 0; e < code->n(); ++e) {
+    EXPECT_TRUE(testutil::round_trip(*code, chunk, {e}, 99 + e));
+  }
+}
+
+TEST_P(CodeProperty, RepairPlanNeverReadsErasedChunks) {
+  const auto code = GetParam().make();
+  for (std::size_t e = 0; e < code->n(); ++e) {
+    const RepairPlan plan = code->repair_plan({e});
+    for (const auto& r : plan.reads) {
+      EXPECT_NE(r.chunk, e) << GetParam().label;
+      EXPECT_GT(r.fraction, 0.0);
+      EXPECT_LE(r.fraction, 1.0);
+    }
+    EXPECT_FALSE(plan.reads.empty());
+  }
+}
+
+TEST_P(CodeProperty, RepairPlanReadsAreWithinN) {
+  const auto code = GetParam().make();
+  const RepairPlan plan = code->repair_plan({0});
+  for (const auto& r : plan.reads) EXPECT_LT(r.chunk, code->n());
+}
+
+TEST_P(CodeProperty, EncodeIsLinear) {
+  // encode(a) XOR encode(b) == encode(a XOR b): all codes here are linear
+  // over GF(2^8), so XOR (field addition) commutes with encoding.
+  const auto code = GetParam().make();
+  const std::size_t chunk = code->alpha() * 2;
+  auto a = testutil::random_chunks(*code, chunk, 1);
+  auto b = testutil::random_chunks(*code, chunk, 2);
+  auto sum = a;
+  for (std::size_t i = 0; i < code->k(); ++i) {
+    for (std::size_t j = 0; j < chunk; ++j) sum[i][j] ^= b[i][j];
+  }
+  code->encode(a);
+  code->encode(b);
+  code->encode(sum);
+  for (std::size_t i = 0; i < code->n(); ++i) {
+    for (std::size_t j = 0; j < chunk; ++j) {
+      ASSERT_EQ(sum[i][j], a[i][j] ^ b[i][j])
+          << GetParam().label << " chunk " << i << " byte " << j;
+    }
+  }
+}
+
+TEST_P(CodeProperty, ZeroDataEncodesToZeroParity) {
+  const auto code = GetParam().make();
+  const std::size_t chunk = code->alpha();
+  std::vector<Buffer> chunks(code->n(), Buffer(chunk, 0));
+  code->encode(chunks);
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c, Buffer(chunk, 0)) << GetParam().label;
+  }
+}
+
+TEST_P(CodeProperty, DecodeIdempotent) {
+  // Decoding the same pattern twice leaves the stripe unchanged.
+  const auto code = GetParam().make();
+  const std::size_t chunk = code->alpha() * 3;
+  auto chunks = testutil::random_chunks(*code, chunk, 31);
+  code->encode(chunks);
+  const auto golden = chunks;
+  ASSERT_TRUE(erase_and_decode(*code, chunks, {0}));
+  ASSERT_TRUE(erase_and_decode(*code, chunks, {0}));
+  EXPECT_EQ(chunks, golden);
+}
+
+TEST_P(CodeProperty, TheoreticalWaIsNOverK) {
+  const auto code = GetParam().make();
+  EXPECT_NEAR(code->theoretical_wa(),
+              static_cast<double>(code->n()) / static_cast<double>(code->k()),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace ecf::ec

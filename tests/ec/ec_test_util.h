@@ -1,0 +1,56 @@
+// Shared helpers for the erasure-code test suites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ec/code.h"
+#include "util/rng.h"
+
+namespace ecf::ec::testutil {
+
+// n chunk buffers of chunk_size bytes; first k filled with random data,
+// parity buffers zero (to be filled by encode).
+inline std::vector<Buffer> random_chunks(const ErasureCode& code,
+                                         std::size_t chunk_size,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Buffer> chunks(code.n(), Buffer(chunk_size, 0));
+  for (std::size_t i = 0; i < code.k(); ++i) {
+    for (auto& b : chunks[i]) b = static_cast<gf::Byte>(rng.uniform(256));
+  }
+  return chunks;
+}
+
+// Encode, snapshot, zero out `erased`, decode, compare bit-exact.
+inline bool round_trip(const ErasureCode& code, std::size_t chunk_size,
+                       const std::vector<std::size_t>& erased,
+                       std::uint64_t seed) {
+  std::vector<Buffer> chunks = random_chunks(code, chunk_size, seed);
+  code.encode(chunks);
+  const std::vector<Buffer> golden = chunks;
+  if (!erase_and_decode(code, chunks, erased)) return false;
+  return chunks == golden;
+}
+
+// All e-subsets of [0, n): used for exhaustive erasure-pattern sweeps.
+inline std::vector<std::vector<std::size_t>> subsets(std::size_t n,
+                                                     std::size_t e) {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> idx(e);
+  for (std::size_t i = 0; i < e; ++i) idx[i] = i;
+  while (true) {
+    out.push_back(idx);
+    std::size_t i = e;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - e) break;
+    }
+    if (idx[i] == i + n - e) break;
+    ++idx[i];
+    for (std::size_t j = i + 1; j < e; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return out;
+}
+
+}  // namespace ecf::ec::testutil

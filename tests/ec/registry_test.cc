@@ -1,0 +1,105 @@
+#include "ec/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "ec/clay.h"
+#include "ec/lrc.h"
+#include "ec/replication.h"
+#include "ec/rs.h"
+#include "ec/shec.h"
+#include "util/json.h"
+
+namespace ecf::ec {
+namespace {
+
+TEST(Registry, JerasureDefaultsToVandermonde) {
+  const auto code = make_code({{"plugin", "jerasure"}, {"k", "9"}, {"m", "3"}});
+  ASSERT_NE(dynamic_cast<RsCode*>(code.get()), nullptr);
+  EXPECT_EQ(code->n(), 12u);
+  EXPECT_EQ(code->k(), 9u);
+  EXPECT_EQ(dynamic_cast<RsCode*>(code.get())->technique(),
+            RsTechnique::kVandermonde);
+}
+
+TEST(Registry, JerasureCauchyTechnique) {
+  const auto code = make_code({{"plugin", "jerasure"},
+                               {"technique", "cauchy_orig"},
+                               {"k", "4"},
+                               {"m", "2"}});
+  EXPECT_EQ(dynamic_cast<RsCode*>(code.get())->technique(),
+            RsTechnique::kCauchy);
+}
+
+TEST(Registry, IsaDefaultsToCauchy) {
+  const auto code = make_code({{"plugin", "isa"}, {"k", "4"}, {"m", "2"}});
+  EXPECT_EQ(dynamic_cast<RsCode*>(code.get())->technique(),
+            RsTechnique::kCauchy);
+}
+
+TEST(Registry, ClayWithExplicitD) {
+  const auto code =
+      make_code({{"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}});
+  auto* clay = dynamic_cast<ClayCode*>(code.get());
+  ASSERT_NE(clay, nullptr);
+  EXPECT_EQ(clay->d(), 11u);
+  EXPECT_EQ(clay->alpha(), 81u);
+}
+
+TEST(Registry, ClayDefaultsDToNMinus1) {
+  const auto code = make_code({{"plugin", "clay"}, {"k", "9"}, {"m", "3"}});
+  EXPECT_EQ(dynamic_cast<ClayCode*>(code.get())->d(), 11u);
+}
+
+TEST(Registry, Lrc) {
+  const auto code =
+      make_code({{"plugin", "lrc"}, {"k", "8"}, {"l", "2"}, {"g", "2"}});
+  ASSERT_NE(dynamic_cast<LrcCode*>(code.get()), nullptr);
+  EXPECT_EQ(code->n(), 12u);
+}
+
+TEST(Registry, Shec) {
+  const auto code =
+      make_code({{"plugin", "shec"}, {"k", "6"}, {"m", "3"}, {"c", "2"}});
+  auto* shec = dynamic_cast<ShecCode*>(code.get());
+  ASSERT_NE(shec, nullptr);
+  EXPECT_EQ(shec->durability(), 2u);
+}
+
+TEST(Registry, Replication) {
+  const auto code = make_code({{"plugin", "replication"}, {"size", "3"}});
+  ASSERT_NE(dynamic_cast<ReplicationCode*>(code.get()), nullptr);
+  EXPECT_EQ(code->n(), 3u);
+}
+
+TEST(Registry, UnknownPluginThrows) {
+  const std::map<std::string, std::string> profile{{"plugin", "raid5"}};
+  EXPECT_THROW(make_code(profile), std::invalid_argument);
+}
+
+TEST(Registry, MissingParamThrows) {
+  EXPECT_THROW(make_code({{"plugin", "jerasure"}, {"k", "9"}}),
+               std::invalid_argument);
+}
+
+TEST(Registry, UnknownTechniqueThrows) {
+  EXPECT_THROW(make_code({{"plugin", "jerasure"},
+                          {"technique", "liberation"},
+                          {"k", "4"},
+                          {"m", "2"}}),
+               std::invalid_argument);
+}
+
+TEST(Registry, FromJson) {
+  const auto profile = util::Json::parse(
+      R"({"plugin": "clay", "k": 9, "m": 3, "d": 11})");
+  const auto code = make_code(profile);
+  EXPECT_EQ(code->name(), "Clay(12,9,11)");
+}
+
+TEST(Registry, KnownPluginsListsAll) {
+  const auto plugins = known_plugins();
+  EXPECT_EQ(plugins.size(), 6u);
+}
+
+}  // namespace
+}  // namespace ecf::ec

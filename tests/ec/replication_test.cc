@@ -1,0 +1,50 @@
+#include "ec/replication.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/ec/ec_test_util.h"
+
+namespace ecf::ec {
+namespace {
+
+TEST(ReplicationCode, RejectsSingleCopy) {
+  EXPECT_THROW(ReplicationCode(1), std::invalid_argument);
+}
+
+TEST(ReplicationCode, EncodeCopies) {
+  const ReplicationCode code(3);
+  auto chunks = testutil::random_chunks(code, 64, 1);
+  code.encode(chunks);
+  EXPECT_EQ(chunks[1], chunks[0]);
+  EXPECT_EQ(chunks[2], chunks[0]);
+}
+
+TEST(ReplicationCode, DecodeFromAnySurvivor) {
+  const ReplicationCode code(3);
+  for (std::size_t survivor = 0; survivor < 3; ++survivor) {
+    auto chunks = testutil::random_chunks(code, 64, 2);
+    code.encode(chunks);
+    const Buffer golden = chunks[0];
+    std::vector<std::size_t> erased;
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (i != survivor) erased.push_back(i);
+    }
+    ASSERT_TRUE(erase_and_decode(code, chunks, erased));
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(chunks[i], golden);
+  }
+}
+
+TEST(ReplicationCode, RepairPlanReadsOneCopy) {
+  const ReplicationCode code(3);
+  const RepairPlan plan = code.repair_plan({0});
+  ASSERT_EQ(plan.reads.size(), 1u);
+  EXPECT_EQ(plan.reads[0].chunk, 1u);
+  EXPECT_DOUBLE_EQ(plan.read_fraction_total(), 1.0);
+}
+
+TEST(ReplicationCode, TheoreticalWaEqualsCopies) {
+  EXPECT_DOUBLE_EQ(ReplicationCode(3).theoretical_wa(), 3.0);
+}
+
+}  // namespace
+}  // namespace ecf::ec

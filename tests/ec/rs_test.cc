@@ -1,0 +1,135 @@
+#include "ec/rs.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/ec/ec_test_util.h"
+
+namespace ecf::ec {
+namespace {
+
+using testutil::round_trip;
+using testutil::subsets;
+
+TEST(RsCode, RejectsBadParameters) {
+  EXPECT_THROW(RsCode(5, 0), std::invalid_argument);
+  EXPECT_THROW(RsCode(5, 5), std::invalid_argument);
+  EXPECT_THROW(RsCode(4, 5), std::invalid_argument);
+  EXPECT_THROW(RsCode(256, 10), std::invalid_argument);
+}
+
+TEST(RsCode, NameIncludesTechnique) {
+  EXPECT_EQ(RsCode(12, 9, RsTechnique::kVandermonde).name(),
+            "RS(12,9)/reed_sol_van");
+  EXPECT_EQ(RsCode(12, 9, RsTechnique::kCauchy).name(), "RS(12,9)/cauchy_orig");
+}
+
+TEST(RsCode, SystematicEncodePreservesData) {
+  const RsCode code(6, 4);
+  auto chunks = testutil::random_chunks(code, 128, 1);
+  const auto data_before = std::vector<Buffer>(chunks.begin(), chunks.begin() + 4);
+  code.encode(chunks);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(chunks[i], data_before[i]);
+}
+
+TEST(RsCode, EncodeRejectsWrongChunkCount) {
+  const RsCode code(6, 4);
+  std::vector<Buffer> chunks(5, Buffer(64));
+  EXPECT_THROW(code.encode(chunks), std::invalid_argument);
+}
+
+TEST(RsCode, EncodeRejectsUnequalSizes) {
+  const RsCode code(6, 4);
+  std::vector<Buffer> chunks(6, Buffer(64));
+  chunks[3].resize(65);
+  EXPECT_THROW(code.encode(chunks), std::invalid_argument);
+}
+
+TEST(RsCode, DecodeRejectsTooManyErasures) {
+  const RsCode code(6, 4);
+  auto chunks = testutil::random_chunks(code, 64, 2);
+  code.encode(chunks);
+  EXPECT_THROW(code.decode(chunks, {0, 1, 2}), std::invalid_argument);
+}
+
+TEST(RsCode, DecodeRejectsUnsortedErasures) {
+  const RsCode code(6, 4);
+  auto chunks = testutil::random_chunks(code, 64, 3);
+  code.encode(chunks);
+  EXPECT_THROW(code.decode(chunks, {2, 1}), std::invalid_argument);
+}
+
+// The paper's default code: every 1-, 2- and 3-erasure pattern must decode.
+TEST(RsCode, Rs12_9_AllPatternsExhaustive) {
+  const RsCode code(12, 9);
+  for (std::size_t e = 1; e <= 3; ++e) {
+    for (const auto& pattern : subsets(12, e)) {
+      EXPECT_TRUE(round_trip(code, 96, pattern, 7 + e))
+          << "pattern size " << e;
+    }
+  }
+}
+
+TEST(RsCode, Rs15_12_AllTriplePatterns) {
+  const RsCode code(15, 12);
+  for (const auto& pattern : subsets(15, 3)) {
+    EXPECT_TRUE(round_trip(code, 48, pattern, 11));
+  }
+}
+
+TEST(RsCode, CauchyTechniqueAllPatterns) {
+  const RsCode code(12, 9, RsTechnique::kCauchy);
+  for (std::size_t e = 1; e <= 3; ++e) {
+    for (const auto& pattern : subsets(12, e)) {
+      EXPECT_TRUE(round_trip(code, 64, pattern, 23 + e));
+    }
+  }
+}
+
+TEST(RsCode, BothTechniquesVerifyMds) {
+  EXPECT_TRUE(RsCode(12, 9, RsTechnique::kVandermonde).verify_mds());
+  EXPECT_TRUE(RsCode(12, 9, RsTechnique::kCauchy).verify_mds());
+  EXPECT_TRUE(RsCode(15, 12, RsTechnique::kCauchy).verify_mds());
+}
+
+TEST(RsCode, RepairPlanReadsKSurvivorsFully) {
+  const RsCode code(12, 9);
+  const RepairPlan plan = code.repair_plan({4});
+  EXPECT_EQ(plan.reads.size(), 9u);
+  for (const auto& r : plan.reads) {
+    EXPECT_NE(r.chunk, 4u);
+    EXPECT_DOUBLE_EQ(r.fraction, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(plan.read_fraction_total(), 9.0);
+  EXPECT_FALSE(plan.bandwidth_optimal);
+}
+
+TEST(RsCode, TheoreticalWa) {
+  EXPECT_NEAR(RsCode(12, 9).theoretical_wa(), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(RsCode(15, 12).theoretical_wa(), 1.25, 1e-12);
+}
+
+TEST(RsCode, SingleByteChunks) {
+  const RsCode code(6, 4);
+  EXPECT_TRUE(round_trip(code, 1, {1, 5}, 77));
+}
+
+TEST(RsCode, LargeChunks) {
+  const RsCode code(9, 6);
+  EXPECT_TRUE(round_trip(code, 1 << 16, {0, 7, 8}, 78));
+}
+
+// Decoding with zero actual data loss (erasing parity only) re-derives the
+// same parity bytes.
+TEST(RsCode, ParityOnlyErasures) {
+  const RsCode code(12, 9);
+  EXPECT_TRUE(round_trip(code, 64, {9, 10, 11}, 79));
+}
+
+TEST(RsCode, WideCode) {
+  // A wide stripe, as in wide-LRC deployments.
+  const RsCode code(24, 20, RsTechnique::kCauchy);
+  EXPECT_TRUE(round_trip(code, 40, {0, 10, 20, 23}, 80));
+}
+
+}  // namespace
+}  // namespace ecf::ec

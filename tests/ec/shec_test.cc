@@ -1,0 +1,118 @@
+#include "ec/shec.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/ec/ec_test_util.h"
+
+namespace ecf::ec {
+namespace {
+
+using testutil::round_trip;
+using testutil::subsets;
+
+TEST(ShecCode, RejectsBadParameters) {
+  EXPECT_THROW(ShecCode(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ShecCode(4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ShecCode(4, 2, 0), std::invalid_argument);
+  EXPECT_THROW(ShecCode(4, 2, 3), std::invalid_argument);  // c > m
+  EXPECT_THROW(ShecCode(4, 5, 2), std::invalid_argument);  // m > k
+}
+
+TEST(ShecCode, WindowWidthFormula) {
+  // l = ceil(k*c/m).
+  EXPECT_EQ(ShecCode(6, 3, 2).window(), 4u);
+  EXPECT_EQ(ShecCode(10, 5, 2).window(), 4u);
+  EXPECT_EQ(ShecCode(8, 4, 3).window(), 6u);
+}
+
+TEST(ShecCode, WindowsShingleAndWrap) {
+  const ShecCode code(6, 3, 2);
+  EXPECT_EQ(code.parity_window(0), (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(code.parity_window(1), (std::vector<std::size_t>{2, 3, 4, 5}));
+  EXPECT_EQ(code.parity_window(2), (std::vector<std::size_t>{0, 1, 4, 5}));
+}
+
+TEST(ShecCode, EveryDataChunkCoveredByCWindows) {
+  for (const auto& [k, m, c] :
+       std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>{
+           {6, 3, 2}, {8, 4, 3}, {10, 5, 2}, {9, 3, 2}}) {
+    const ShecCode code(k, m, c);
+    std::vector<int> coverage(k, 0);
+    for (std::size_t p = 0; p < m; ++p) {
+      for (const std::size_t d : code.parity_window(p)) {
+        ++coverage[d];
+      }
+    }
+    for (std::size_t d = 0; d < k; ++d) {
+      EXPECT_GE(coverage[d], static_cast<int>(c))
+          << "SHEC(" << k << "," << m << "," << c << ") chunk " << d;
+    }
+  }
+}
+
+TEST(ShecCode, GuaranteesAnyCFailures) {
+  // The durability contract: every pattern of <= c erasures decodes.
+  for (const auto& [k, m, c] :
+       std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>{
+           {6, 3, 2}, {8, 4, 2}, {10, 5, 2}}) {
+    const ShecCode code(k, m, c);
+    for (std::size_t e = 1; e <= c; ++e) {
+      for (const auto& pattern : subsets(code.n(), e)) {
+        EXPECT_TRUE(code.recoverable(pattern))
+            << code.name() << " pattern size " << e;
+        EXPECT_TRUE(round_trip(code, 48, pattern, 7))
+            << code.name() << " pattern size " << e;
+      }
+    }
+  }
+}
+
+TEST(ShecCode, SomePatternsBeyondCAreRecoverable) {
+  // SHEC is not MDS: beyond c the recoverable fraction is < 100% but > 0.
+  const ShecCode code(6, 3, 2);
+  std::size_t good = 0, total = 0;
+  for (const auto& pattern : subsets(code.n(), 3)) {
+    ++total;
+    if (code.recoverable(pattern)) {
+      ++good;
+      EXPECT_TRUE(round_trip(code, 24, pattern, 11));
+    }
+  }
+  EXPECT_GT(good, 0u);
+  EXPECT_LT(good, total);
+}
+
+TEST(ShecCode, SingleDataRepairUsesOneWindow) {
+  const ShecCode code(6, 3, 2);  // window width 4
+  const RepairPlan plan = code.repair_plan({1});
+  // 3 surviving window members + the covering parity = 4 reads < k = 6.
+  EXPECT_EQ(plan.reads.size(), 4u);
+  EXPECT_TRUE(plan.bandwidth_optimal);
+  EXPECT_LT(plan.read_fraction_total(), 6.0);
+}
+
+TEST(ShecCode, ParityRepairReadsItsWindow) {
+  const ShecCode code(6, 3, 2);
+  const RepairPlan plan = code.repair_plan({7});  // parity 1
+  EXPECT_EQ(plan.reads.size(), 4u);
+  for (const auto& r : plan.reads) EXPECT_LT(r.chunk, 6u);
+}
+
+TEST(ShecCode, SystematicEncode) {
+  const ShecCode code(6, 3, 2);
+  auto chunks = testutil::random_chunks(code, 64, 3);
+  const std::vector<Buffer> data(chunks.begin(), chunks.begin() + 6);
+  code.encode(chunks);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(chunks[i], data[i]);
+}
+
+TEST(ShecCode, StorageVsLocalityTradeoffVsRs) {
+  // SHEC(6,3,2) stores like RS(9,6) but only tolerates 2 failures — the
+  // price paid for the 4-read local repair (RS would read 6).
+  const ShecCode shec(6, 3, 2);
+  EXPECT_DOUBLE_EQ(shec.theoretical_wa(), 1.5);
+  EXPECT_LT(shec.repair_plan({0}).read_fraction_total(), 6.0);
+}
+
+}  // namespace
+}  // namespace ecf::ec

@@ -1,0 +1,104 @@
+#include "ec/stripe.h"
+
+#include <gtest/gtest.h>
+
+#include "ec/rs.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace ecf::ec {
+namespace {
+
+using util::KiB;
+using util::MiB;
+
+TEST(StripeLayout, PaperExampleRs12_9_64MB_4K) {
+  // 64 MiB object, RS(12,9), 4 KiB stripe unit: 64Mi/(9*4Ki) = 1820.44…,
+  // so 1821 units per chunk — padding is tiny relative to the object.
+  const auto l = compute_stripe_layout(64 * MiB, 12, 9, 4 * KiB);
+  EXPECT_EQ(l.units_per_chunk, 1821u);
+  EXPECT_EQ(l.chunk_size, 1821u * 4 * KiB);
+  EXPECT_EQ(l.stored_total, 12u * 1821u * 4 * KiB);
+  EXPECT_EQ(l.padding_bytes, 9u * 1821u * 4 * KiB - 64 * MiB);
+}
+
+TEST(StripeLayout, UndersizedObjectPadsToOneUnit) {
+  // Object smaller than k * stripe_unit: each chunk is one padded unit.
+  const auto l = compute_stripe_layout(10 * KiB, 12, 9, 4 * KiB);
+  EXPECT_EQ(l.units_per_chunk, 1u);
+  EXPECT_EQ(l.chunk_size, 4 * KiB);
+  EXPECT_EQ(l.stored_total, 48 * KiB);
+  EXPECT_EQ(l.padding_bytes, 36 * KiB - 10 * KiB);
+}
+
+TEST(StripeLayout, ExactFitHasNoPadding) {
+  const auto l = compute_stripe_layout(9 * 4 * KiB, 12, 9, 4 * KiB);
+  EXPECT_EQ(l.padding_bytes, 0u);
+  EXPECT_EQ(l.chunk_size, 4 * KiB);
+}
+
+TEST(StripeLayout, HugeStripeUnitAmplifies) {
+  // The Fig. 2c / §4.4 effect: stripe_unit = 64 MiB turns a 64 MiB object
+  // into 12 x 64 MiB stored — every chunk is one mostly-padding unit.
+  const auto l = compute_stripe_layout(64 * MiB, 12, 9, 64 * MiB);
+  EXPECT_EQ(l.units_per_chunk, 1u);
+  EXPECT_EQ(l.chunk_size, 64 * MiB);
+  EXPECT_EQ(l.stored_total, 12u * 64 * MiB);
+  // 9 chunks hold 64 MiB of data + 8x64 MiB zeros.
+  EXPECT_EQ(l.padding_bytes, 8u * 64 * MiB);
+}
+
+TEST(StripeLayout, RejectsZeroArguments) {
+  EXPECT_THROW(compute_stripe_layout(0, 12, 9, 4096), std::invalid_argument);
+  EXPECT_THROW(compute_stripe_layout(1, 0, 0, 4096), std::invalid_argument);
+  EXPECT_THROW(compute_stripe_layout(1, 12, 9, 0), std::invalid_argument);
+  EXPECT_THROW(compute_stripe_layout(1, 9, 12, 4096), std::invalid_argument);
+}
+
+TEST(SplitObject, RoundTripVariousSizes) {
+  util::Rng rng(1);
+  for (const std::uint64_t size :
+       {1ull, 100ull, 4096ull, 36864ull, 100000ull, 1000001ull}) {
+    Buffer object(size);
+    for (auto& b : object) b = static_cast<gf::Byte>(rng.uniform(256));
+    auto chunks = split_object(object, 12, 9, 4 * KiB);
+    EXPECT_EQ(reassemble_object(chunks, 9, size, 4 * KiB), object)
+        << "size=" << size;
+  }
+}
+
+TEST(SplitObject, ChunkSizeRoundedToAlpha) {
+  Buffer object(10000, 1);
+  auto chunks = split_object(object, 12, 9, 512, /*alpha=*/81);
+  EXPECT_EQ(chunks[0].size() % 81, 0u);
+  EXPECT_EQ(reassemble_object(chunks, 9, 10000, 512), object);
+}
+
+TEST(SplitObject, EndToEndWithRsEncodeDecode) {
+  // Full object path: split -> encode -> lose chunks -> decode ->
+  // reassemble, as the quickstart example does.
+  util::Rng rng(2);
+  Buffer object(123457);
+  for (auto& b : object) b = static_cast<gf::Byte>(rng.uniform(256));
+  const RsCode code(12, 9);
+  auto chunks = split_object(object, 12, 9, 4 * KiB);
+  code.encode(chunks);
+  ASSERT_TRUE(erase_and_decode(code, chunks, {0, 5, 11}));
+  EXPECT_EQ(reassemble_object(chunks, 9, object.size(), 4 * KiB), object);
+}
+
+TEST(SplitObject, StripingInterleavesUnits) {
+  // Bytes [0, su) land in chunk 0, [su, 2su) in chunk 1, ...,
+  // [k*su, (k+1)*su) back in chunk 0 at offset su.
+  const std::uint64_t su = 16;
+  Buffer object(3 * 16 * 2);  // k=3, 2 full stripes
+  for (std::size_t i = 0; i < object.size(); ++i) {
+    object[i] = static_cast<gf::Byte>(i);
+  }
+  auto chunks = split_object(object, 5, 3, su);
+  EXPECT_EQ(chunks[1][0], 16);        // stripe 0, unit 1 starts at byte 16
+  EXPECT_EQ(chunks[0][su], 3 * 16);   // stripe 1, unit 0 starts at byte 48
+}
+
+}  // namespace
+}  // namespace ecf::ec

@@ -1,0 +1,79 @@
+#include "ec/wa_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace ecf::ec {
+namespace {
+
+using util::KiB;
+using util::MiB;
+
+TEST(WaModel, TheoreticalMatchesNOverK) {
+  EXPECT_NEAR(estimate_wa(64 * MiB, 12, 9, 4 * KiB).theoretical, 4.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(estimate_wa(64 * MiB, 15, 12, 4 * KiB).theoretical, 1.25, 1e-12);
+}
+
+TEST(WaModel, PaddingOnlyIsAtLeastTheoretical) {
+  // The paper's point: the formula is a *lower bound* that is never below
+  // n/k and usually above it.
+  for (const std::uint64_t size : {1 * KiB, 100 * KiB, 1 * MiB, 64 * MiB}) {
+    for (const std::uint64_t su : {4 * KiB, 64 * KiB, 4 * MiB}) {
+      const auto est = estimate_wa(size, 12, 9, su);
+      EXPECT_GE(est.padding_only, est.theoretical - 1e-12)
+          << "size=" << size << " su=" << su;
+    }
+  }
+}
+
+TEST(WaModel, ExactMultipleHasNoPaddingGap) {
+  // S_object = k * S_unit * j -> padding-free, WA == n/k exactly.
+  const auto est = estimate_wa(9 * 4 * KiB * 7, 12, 9, 4 * KiB);
+  EXPECT_NEAR(est.padding_only, 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(est.padding_bytes, 0u);
+}
+
+TEST(WaModel, SmallObjectHugeAmplification) {
+  // A 4 KiB object in RS(12,9) with 4 KiB stripe unit stores 12 x 4 KiB:
+  // WA = 12 — far beyond n/k = 1.33. This is the §4.4 pathology.
+  const auto est = estimate_wa(4 * KiB, 12, 9, 4 * KiB);
+  EXPECT_EQ(est.chunk_size, 4 * KiB);
+  EXPECT_NEAR(est.padding_only, 12.0, 1e-12);
+}
+
+TEST(WaModel, StripeUnit64MOn64MObject) {
+  // Fig. 2c's right edge: chunk = stripe_unit = 64 MiB, stored = 12x64 MiB
+  // for one 64 MiB object -> WA 12.
+  const auto est = estimate_wa(64 * MiB, 12, 9, 64 * MiB);
+  EXPECT_NEAR(est.padding_only, 12.0, 1e-12);
+}
+
+TEST(WaModel, MetadataRaisesEstimate) {
+  const auto without = estimate_wa(64 * MiB, 12, 9, 4 * KiB, 0);
+  const auto with = estimate_wa(64 * MiB, 12, 9, 4 * KiB, 1 * MiB);
+  EXPECT_GT(with.with_metadata, without.with_metadata);
+  EXPECT_DOUBLE_EQ(without.with_metadata, without.padding_only);
+}
+
+TEST(WaModel, ChunkSizeMatchesPaperFormula) {
+  // S_chunk = S_unit * ceil(S_object / (k*S_unit)).
+  const auto est = estimate_wa(10 * MiB, 15, 12, 64 * KiB);
+  const std::uint64_t expect =
+      64 * KiB * util::ceil_div(10 * MiB, 12 * 64 * KiB);
+  EXPECT_EQ(est.chunk_size, expect);
+}
+
+TEST(WaModel, MonotoneInStripeUnitForFixedObject) {
+  // Larger stripe units can only increase (or keep) the stored bytes.
+  double prev = 0;
+  for (const std::uint64_t su : {4 * KiB, 16 * KiB, 64 * KiB, 1 * MiB, 16 * MiB}) {
+    const double wa = estimate_wa(5 * MiB, 12, 9, su).padding_only;
+    EXPECT_GE(wa, prev - 1e-12);
+    prev = wa;
+  }
+}
+
+}  // namespace
+}  // namespace ecf::ec

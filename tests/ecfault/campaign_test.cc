@@ -1,0 +1,107 @@
+#include "ecfault/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace ecf::ecfault {
+namespace {
+
+ExperimentProfile tiny_base() {
+  ExperimentProfile p;
+  p.cluster.num_hosts = 15;
+  p.cluster.osds_per_host = 2;
+  p.cluster.pool.pg_num = 16;
+  p.cluster.workload.num_objects = 100;
+  p.cluster.workload.object_size = 16 * util::MiB;
+  p.cluster.protocol.down_out_interval_s = 20.0;
+  p.cluster.protocol.heartbeat_grace_s = 5.0;
+  p.fault.level = FaultLevel::kNode;
+  p.runs = 1;
+  return p;
+}
+
+TEST(Campaign, RunsAllVariantsAndNormalizes) {
+  Campaign campaign(tiny_base());
+  campaign.add_all(pg_axis({16, 4}));
+  const auto results = campaign.run("pg=16");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].label, "pg=16");
+  EXPECT_DOUBLE_EQ(results[0].normalized, 1.0);
+  EXPECT_GT(results[1].campaign.mean_total, 0.0);
+  EXPECT_GT(results[1].normalized, 0.0);
+}
+
+TEST(Campaign, EmptyCampaignRejected) {
+  Campaign campaign(tiny_base());
+  EXPECT_THROW(campaign.run(), std::logic_error);
+}
+
+TEST(Campaign, UnknownReferenceRejected) {
+  Campaign campaign(tiny_base());
+  campaign.add_all(code_axis());
+  EXPECT_THROW(campaign.run("nonexistent"), std::invalid_argument);
+}
+
+TEST(Campaign, AxesProduceExpectedLabels) {
+  EXPECT_EQ(code_axis().size(), 2u);
+  EXPECT_EQ(cache_axis().size(), 3u);
+  EXPECT_EQ(pg_axis({1, 16, 256}).size(), 3u);
+  EXPECT_EQ(stripe_axis({4096}).front().label, "su=4.0 KiB");
+  EXPECT_EQ(failure_axis({2, 3}).size(), 4u);
+}
+
+TEST(Campaign, CrossProductComposesMutations) {
+  const auto crossed = cross(code_axis(), pg_axis({1}));
+  ASSERT_EQ(crossed.size(), 2u);
+  EXPECT_EQ(crossed[0].label, "rs(12,9) x pg=1");
+  ExperimentProfile p = tiny_base();
+  crossed[1].apply(p);
+  EXPECT_EQ(p.cluster.pool.ec_profile.at("plugin"), "clay");
+  EXPECT_EQ(p.cluster.pool.pg_num, 1);
+}
+
+TEST(Campaign, TableRendersAllRows) {
+  Campaign campaign(tiny_base());
+  campaign.add_all(code_axis());
+  const auto results = campaign.run();
+  const std::string table = Campaign::to_table(results);
+  EXPECT_NE(table.find("rs(12,9)"), std::string::npos);
+  EXPECT_NE(table.find("clay(12,9,11)"), std::string::npos);
+  EXPECT_NE(table.find("normalized"), std::string::npos);
+}
+
+TEST(CampaignJson, BuildsCrossedAxes) {
+  const auto spec = campaign_from_json(util::Json::parse(R"({
+    "base": {"runs": 1, "cluster": {"num_hosts": 15,
+              "workload": {"num_objects": 50, "object_size": 16777216},
+              "pool": {"pg_num": 8}}},
+    "axes": [{"axis": "codes"}, {"axis": "pg_num", "values": [4, 8]}],
+    "reference": "rs(12,9) x pg=8"
+  })"));
+  EXPECT_EQ(spec.campaign.size(), 4u);
+  EXPECT_EQ(spec.reference, "rs(12,9) x pg=8");
+}
+
+TEST(CampaignJson, AllAxisTypesParse) {
+  const auto spec = campaign_from_json(util::Json::parse(R"({
+    "axes": [{"axis": "cache"},
+             {"axis": "stripe_unit", "values": [4096]},
+             {"axis": "failures", "counts": [2]}]
+  })"));
+  EXPECT_EQ(spec.campaign.size(), 3u * 1u * 2u);
+}
+
+TEST(CampaignJson, UnknownAxisRejected) {
+  EXPECT_THROW(
+      campaign_from_json(util::Json::parse(R"({"axes": [{"axis": "moon"}]})")),
+      std::invalid_argument);
+}
+
+TEST(CampaignJson, EmptyAxesRejected) {
+  EXPECT_THROW(campaign_from_json(util::Json::parse(R"({"axes": []})")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecf::ecfault

@@ -1,0 +1,168 @@
+// End-to-end tests of the full ECFault stack: Coordinator -> Workers ->
+// fault injection -> simulated Ceph recovery -> Logger pipeline ->
+// timeline analysis. These are the integration tests for Figure 1.
+#include "ecfault/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace ecf::ecfault {
+namespace {
+
+ExperimentProfile fast_profile() {
+  ExperimentProfile p;
+  p.name = "test";
+  p.cluster.num_hosts = 15;
+  p.cluster.osds_per_host = 2;
+  p.cluster.pool.pg_num = 32;
+  p.cluster.workload.num_objects = 150;
+  p.cluster.workload.object_size = 16 * util::MiB;
+  p.cluster.protocol.down_out_interval_s = 40.0;
+  p.cluster.protocol.heartbeat_grace_s = 5.0;
+  p.fault.level = FaultLevel::kNode;
+  p.fault.count = 1;
+  p.runs = 2;
+  return p;
+}
+
+TEST(Coordinator, RunsExperimentEndToEnd) {
+  const ExperimentResult r = Coordinator::run_experiment(fast_profile());
+  EXPECT_TRUE(r.report.complete);
+  EXPECT_EQ(r.code_name, "RS(12,9)/reed_sol_van");
+  EXPECT_EQ(r.injected.node_victims.size(), 1u);
+  EXPECT_GT(r.actual_wa, 1.33);
+  EXPECT_GT(r.log_records_published, 10u);
+}
+
+TEST(Coordinator, TimelineAgreesWithReport) {
+  // The log-derived timeline (the paper's measurement path) must agree
+  // with the simulator's internal report.
+  const ExperimentResult r = Coordinator::run_experiment(fast_profile());
+  ASSERT_TRUE(r.timeline.valid());
+  EXPECT_NEAR(r.timeline.detection_time, r.report.detection_time, 1e-6);
+  EXPECT_NEAR(r.timeline.checking_period(), r.report.checking_period(), 1e-6);
+  EXPECT_NEAR(r.timeline.total(), r.report.total(), 1e-6);
+}
+
+TEST(Coordinator, DeviceFaultExperiment) {
+  ExperimentProfile p = fast_profile();
+  p.fault.level = FaultLevel::kDevice;
+  p.fault.count = 2;
+  p.fault.topology = FaultTopology::kDifferentHosts;
+  const ExperimentResult r = Coordinator::run_experiment(p);
+  EXPECT_TRUE(r.report.complete);
+  EXPECT_EQ(r.injected.device_victims.size(), 2u);
+}
+
+TEST(Coordinator, ClayProfileExperiment) {
+  ExperimentProfile p = fast_profile();
+  p.cluster.pool.ec_profile = {{"plugin", "clay"}, {"k", "9"}, {"m", "3"},
+                               {"d", "11"}};
+  const ExperimentResult r = Coordinator::run_experiment(p);
+  EXPECT_TRUE(r.report.complete);
+  EXPECT_EQ(r.code_name, "Clay(12,9,11)");
+}
+
+TEST(Coordinator, CorruptionFaultWithScrub) {
+  ExperimentProfile p = fast_profile();
+  p.fault.level = FaultLevel::kCorruption;
+  p.fault.count = 2;
+  p.fault.corrupt_fraction = 0.2;
+  p.cluster.scrub.enabled = true;
+  p.cluster.scrub.interval_s = 2.0;
+  p.cluster.scrub.max_passes = 2;
+  p.runs = 1;
+  MsgBus bus;
+  LoggerFleet loggers(&bus);
+  cluster::Cluster cl(p.cluster, loggers.sink());
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_scrub();
+  FaultInjector injector(cl);
+  const auto plan = injector.plan(p.fault);
+  EXPECT_EQ(plan.level, FaultLevel::kCorruption);
+  ASSERT_EQ(plan.device_victims.size(), 2u);
+  Worker w0(&cl, cl.host_of(plan.device_victims[0]), &bus);
+  Worker w1(&cl, cl.host_of(plan.device_victims[1]), &bus);
+  const std::uint64_t planted =
+      w0.apply_corruption_fault(plan.device_victims[0], 0.2) +
+      w1.apply_corruption_fault(plan.device_victims[1], 0.2);
+  cl.engine().run();
+  EXPECT_EQ(cl.report().corruptions_repaired, planted);
+}
+
+TEST(Coordinator, CorruptionProfileEndToEnd) {
+  ExperimentProfile p = fast_profile();
+  p.fault.level = FaultLevel::kCorruption;
+  p.fault.corrupt_fraction = 0.1;
+  p.cluster.scrub.enabled = true;
+  p.cluster.scrub.interval_s = 2.0;
+  p.runs = 1;
+  const auto r = Coordinator::run_experiment(p);
+  // Corruption does not trigger OSD-failure recovery; scrub handles it.
+  EXPECT_FALSE(r.report.complete);
+  EXPECT_GT(r.report.corruptions_injected, 0u);
+  EXPECT_EQ(r.report.corruptions_repaired, r.report.corruptions_injected);
+}
+
+TEST(Coordinator, RunProfileAveragesRuns) {
+  const CampaignResult c = Coordinator::run_profile(fast_profile());
+  EXPECT_EQ(c.runs, 2);
+  EXPECT_GT(c.mean_total, 0.0);
+  EXPECT_NEAR(c.mean_total, c.mean_checking + c.mean_recovery, 1e-6);
+  // Different seeds -> nonzero spread (phases differ).
+  EXPECT_GT(c.stddev_total, 0.0);
+}
+
+TEST(Coordinator, SameSeedReproducesExactly) {
+  const ExperimentResult a = Coordinator::run_experiment(fast_profile());
+  const ExperimentResult b = Coordinator::run_experiment(fast_profile());
+  EXPECT_DOUBLE_EQ(a.report.total(), b.report.total());
+  EXPECT_EQ(a.stored_bytes, b.stored_bytes);
+  EXPECT_EQ(a.log_records_published, b.log_records_published);
+}
+
+TEST(Coordinator, ChecksFractionInPaperBallpark) {
+  // With the real 600 s down-out interval and the default workload scaled
+  // to 10%, checking dominates (as §4.3 reports for small workloads).
+  ExperimentProfile p = fast_profile();
+  p.cluster.protocol.down_out_interval_s = 600.0;
+  p.runs = 1;
+  const ExperimentResult r = Coordinator::run_experiment(p);
+  EXPECT_GT(r.report.checking_fraction(), 0.5);
+}
+
+TEST(Worker, RefusesForeignOsd) {
+  ExperimentProfile p = fast_profile();
+  MsgBus bus;
+  cluster::Cluster cl(p.cluster);
+  cl.create_pool();
+  Worker w(&cl, /*host=*/0, &bus);
+  EXPECT_THROW(w.apply_device_fault(5), std::invalid_argument);  // host 2's
+}
+
+TEST(Worker, ListsProvisionedSubsystems) {
+  ExperimentProfile p = fast_profile();
+  MsgBus bus;
+  cluster::Cluster cl(p.cluster);
+  Worker w(&cl, 0, &bus);
+  const auto subsystems = w.list_subsystems();
+  ASSERT_EQ(subsystems.size(), 2u);  // two NVMe namespaces per host
+  EXPECT_TRUE(subsystems[0].connected);
+}
+
+TEST(Worker, DeviceFaultAnnouncedOnControlTopic) {
+  ExperimentProfile p = fast_profile();
+  MsgBus bus;
+  cluster::Cluster cl(p.cluster);
+  cl.create_pool();
+  cl.apply_workload();
+  Worker w(&cl, 2, &bus);
+  w.apply_device_fault(4);
+  EXPECT_EQ(bus.topic_log("ecfault.control").size(), 1u);
+  EXPECT_FALSE(cl.osd_alive(4));
+}
+
+}  // namespace
+}  // namespace ecf::ecfault

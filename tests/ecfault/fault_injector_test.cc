@@ -1,0 +1,139 @@
+#include "ecfault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace ecf::ecfault {
+namespace {
+
+cluster::ClusterConfig test_config(int osds_per_host = 3) {
+  cluster::ClusterConfig cfg;
+  cfg.num_hosts = 15;
+  cfg.osds_per_host = osds_per_host;
+  cfg.pool.pg_num = 32;
+  cfg.pool.failure_domain = cluster::FailureDomain::kOsd;
+  cfg.workload.num_objects = 100;
+  cfg.workload.object_size = 4 * util::MiB;
+  return cfg;
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<cluster::Cluster>(test_config());
+    cluster_->create_pool();
+    cluster_->apply_workload();
+    injector_ = std::make_unique<FaultInjector>(*cluster_);
+  }
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<FaultInjector> injector_;
+};
+
+TEST_F(FaultInjectorTest, SameHostVictimsShareHost) {
+  FaultSpec spec;
+  spec.count = 3;
+  spec.topology = FaultTopology::kSameHost;
+  const InjectionPlan plan = injector_->plan(spec);
+  ASSERT_EQ(plan.device_victims.size(), 3u);
+  const cluster::HostId h = cluster_->host_of(plan.device_victims[0]);
+  for (const cluster::OsdId o : plan.device_victims) {
+    EXPECT_EQ(cluster_->host_of(o), h);
+  }
+}
+
+TEST_F(FaultInjectorTest, DifferentHostVictimsSpread) {
+  FaultSpec spec;
+  spec.count = 3;
+  spec.topology = FaultTopology::kDifferentHosts;
+  const InjectionPlan plan = injector_->plan(spec);
+  ASSERT_EQ(plan.device_victims.size(), 3u);
+  std::set<cluster::HostId> hosts;
+  for (const cluster::OsdId o : plan.device_victims) {
+    hosts.insert(cluster_->host_of(o));
+  }
+  EXPECT_EQ(hosts.size(), 3u);
+}
+
+TEST_F(FaultInjectorTest, VictimsCarryData) {
+  FaultSpec spec;
+  spec.count = 2;
+  const InjectionPlan plan = injector_->plan(spec);
+  for (const cluster::OsdId o : plan.device_victims) {
+    EXPECT_FALSE(cluster_->pgs_on_osd(o).empty());
+  }
+}
+
+TEST_F(FaultInjectorTest, NeverExceedsTolerance) {
+  // The white-box guarantee of §3.2: every plan stays within n-k per PG.
+  for (const auto topo :
+       {FaultTopology::kAnywhere, FaultTopology::kSameHost,
+        FaultTopology::kDifferentHosts}) {
+    for (int count = 1; count <= 3; ++count) {
+      FaultSpec spec;
+      spec.count = count;
+      spec.topology = topo;
+      const InjectionPlan plan = injector_->plan(spec);
+      EXPECT_TRUE(injector_->within_tolerance(plan.device_victims));
+    }
+  }
+}
+
+TEST_F(FaultInjectorTest, WithinToleranceDetectsViolations) {
+  // Find a PG and kill m+1 = 4 of its members: must be rejected.
+  const auto acting = cluster_->pg_acting(0);
+  const std::vector<cluster::OsdId> too_many(acting.begin(),
+                                             acting.begin() + 4);
+  EXPECT_FALSE(injector_->within_tolerance(too_many));
+  const std::vector<cluster::OsdId> ok(acting.begin(), acting.begin() + 3);
+  EXPECT_TRUE(injector_->within_tolerance(ok));
+}
+
+TEST_F(FaultInjectorTest, CountsExistingFailures) {
+  const auto acting = cluster_->pg_acting(0);
+  cluster_->fail_device(acting[0]);
+  cluster_->fail_device(acting[1]);
+  // Two shards already dead; two more of the same PG exceeds m = 3.
+  EXPECT_FALSE(injector_->within_tolerance({acting[2], acting[3]}));
+  EXPECT_TRUE(injector_->within_tolerance({acting[2]}));
+}
+
+TEST_F(FaultInjectorTest, NodePlanSelectsDataBearingHosts) {
+  FaultSpec spec;
+  spec.level = FaultLevel::kNode;
+  spec.count = 1;
+  const InjectionPlan plan = injector_->plan(spec);
+  ASSERT_EQ(plan.node_victims.size(), 1u);
+  bool has_data = false;
+  for (const cluster::OsdId o : cluster_->osds_on_host(plan.node_victims[0])) {
+    has_data |= !cluster_->pgs_on_osd(o).empty();
+  }
+  EXPECT_TRUE(has_data);
+}
+
+TEST_F(FaultInjectorTest, SameHostImpossibleWhenHostTooSmall) {
+  // 3 OSDs per host; 4 same-host faults are unsatisfiable.
+  FaultSpec spec;
+  spec.count = 4;
+  spec.topology = FaultTopology::kSameHost;
+  EXPECT_THROW(injector_->plan(spec), std::exception);
+}
+
+TEST(FaultInjectorGuard, HostDomainNodeFaultStaysWithinTolerance) {
+  // With host failure domain, one node fault costs each PG at most one
+  // shard — always tolerable.
+  cluster::ClusterConfig cfg = test_config(2);
+  cfg.pool.failure_domain = cluster::FailureDomain::kHost;
+  cluster::Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  FaultInjector injector(cl);
+  FaultSpec spec;
+  spec.level = FaultLevel::kNode;
+  spec.count = 1;
+  const InjectionPlan plan = injector.plan(spec);
+  EXPECT_EQ(plan.node_victims.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ecf::ecfault

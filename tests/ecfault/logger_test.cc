@@ -1,0 +1,85 @@
+#include "ecfault/logger.h"
+
+#include <gtest/gtest.h>
+
+namespace ecf::ecfault {
+namespace {
+
+TEST(Classify, KeywordClasses) {
+  EXPECT_EQ(classify("pg 3 start recovery I/O"), LogClass::kRecovery);
+  EXPECT_EQ(classify("osd.2 reported failed by peers"), LogClass::kFailure);
+  EXPECT_EQ(classify("bdev I/O error (EIO), aborting"), LogClass::kFailure);
+  EXPECT_EQ(classify("decoding stripe 5 with 2 erasures"), LogClass::kDecoding);
+  EXPECT_EQ(classify("receiving heartbeats; cluster health degraded"),
+            LogClass::kHeartbeat);
+  EXPECT_EQ(classify("pg 1 start peering: collecting infos"),
+            LogClass::kPeering);
+  EXPECT_EQ(classify("pool created: RS(12,9)"), LogClass::kUninteresting);
+}
+
+TEST(Classify, SpecificityOrder) {
+  // "recovery" beats "failed": recovery-related failure messages stay in
+  // the recovery class where the timeline analyzer looks for them.
+  EXPECT_EQ(classify("recovery of failed osd complete"), LogClass::kRecovery);
+  // decode beats recovery.
+  EXPECT_EQ(classify("recovery decode error"), LogClass::kDecoding);
+}
+
+TEST(Record, EncodeDecodeRoundTrip) {
+  const cluster::LogRecord rec{12.5, "osd.7", "pg", "start recovery I/O"};
+  const cluster::LogRecord back = decode_record(encode_record(rec));
+  EXPECT_DOUBLE_EQ(back.time, 12.5);
+  EXPECT_EQ(back.node, "osd.7");
+  EXPECT_EQ(back.subsys, "pg");
+  EXPECT_EQ(back.message, "start recovery I/O");
+}
+
+TEST(Record, TabsAndNewlinesSanitized) {
+  const cluster::LogRecord rec{1.0, "n", "s", "a\tb\nc"};
+  const cluster::LogRecord back = decode_record(encode_record(rec));
+  EXPECT_EQ(back.message, "a b c");
+}
+
+TEST(NodeLogger, PublishesOnlyRelevantClasses) {
+  MsgBus bus;
+  NodeLogger logger("osd.1", &bus);
+  logger.ingest({1.0, "osd.1", "pg", "start recovery I/O"});
+  logger.ingest({2.0, "osd.1", "mon", "pool created"});  // uninteresting
+  logger.ingest({3.0, "osd.1", "osd", "device removed"});
+  EXPECT_EQ(logger.local_log().size(), 3u);   // everything kept locally
+  EXPECT_EQ(logger.published_count(), 2u);    // only relevant shipped
+  EXPECT_EQ(logger.suppressed_count(), 1u);
+  EXPECT_EQ(bus.topic_log("ecfault.logs").size(), 2u);
+}
+
+TEST(LoggerFleet, RoutesByNode) {
+  MsgBus bus;
+  LoggerFleet fleet(&bus);
+  auto sink = fleet.sink();
+  sink({1.0, "osd.1", "pg", "start recovery I/O"});
+  sink({2.0, "osd.2", "pg", "recovery completed"});
+  sink({3.0, "osd.1", "pg", "recovery completed"});
+  ASSERT_NE(fleet.logger("osd.1"), nullptr);
+  ASSERT_NE(fleet.logger("osd.2"), nullptr);
+  EXPECT_EQ(fleet.logger("osd.1")->local_log().size(), 2u);
+  EXPECT_EQ(fleet.logger("osd.2")->local_log().size(), 1u);
+  EXPECT_EQ(fleet.nodes().size(), 2u);
+  EXPECT_EQ(fleet.logger("ghost"), nullptr);
+}
+
+TEST(LoggerFleet, MergedSortsByTime) {
+  MsgBus bus;
+  LoggerFleet fleet(&bus);
+  auto sink = fleet.sink();
+  sink({5.0, "osd.2", "pg", "recovery completed"});
+  sink({1.0, "osd.1", "pg", "start recovery I/O"});
+  sink({3.0, "mon.0", "mon", "osd.3 marked down"});
+  const auto merged = fleet.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(merged[1].time, 3.0);
+  EXPECT_DOUBLE_EQ(merged[2].time, 5.0);
+}
+
+}  // namespace
+}  // namespace ecf::ecfault

@@ -1,0 +1,64 @@
+#include "ecfault/msgbus.h"
+
+#include <gtest/gtest.h>
+
+namespace ecf::ecfault {
+namespace {
+
+TEST(MsgBus, PublishRetainsInOrder) {
+  MsgBus bus;
+  bus.publish({"t", "osd.1", "a", 1.0});
+  bus.publish({"t", "osd.2", "b", 2.0});
+  const auto& log = bus.topic_log("t");
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].payload, "a");
+  EXPECT_EQ(log[1].payload, "b");
+  EXPECT_EQ(bus.total_published(), 2u);
+}
+
+TEST(MsgBus, SubscribersSeeSubsequentMessages) {
+  MsgBus bus;
+  std::vector<std::string> seen;
+  bus.publish({"t", "n", "before", 0.0});
+  bus.subscribe("t", [&](const BusMessage& m) { seen.push_back(m.payload); });
+  bus.publish({"t", "n", "after", 1.0});
+  EXPECT_EQ(seen, (std::vector<std::string>{"after"}));
+}
+
+TEST(MsgBus, TopicsAreIndependent) {
+  MsgBus bus;
+  int a_count = 0;
+  bus.subscribe("a", [&](const BusMessage&) { ++a_count; });
+  bus.publish({"b", "n", "x", 0.0});
+  EXPECT_EQ(a_count, 0);
+  EXPECT_EQ(bus.topic_log("a").size(), 0u);
+  EXPECT_EQ(bus.topic_log("b").size(), 1u);
+}
+
+TEST(MsgBus, MultipleSubscribersAllNotified) {
+  MsgBus bus;
+  int n1 = 0, n2 = 0;
+  bus.subscribe("t", [&](const BusMessage&) { ++n1; });
+  bus.subscribe("t", [&](const BusMessage&) { ++n2; });
+  bus.publish({"t", "n", "x", 0.0});
+  EXPECT_EQ(n1, 1);
+  EXPECT_EQ(n2, 1);
+}
+
+TEST(MsgBus, UnknownTopicLogIsEmpty) {
+  MsgBus bus;
+  EXPECT_TRUE(bus.topic_log("ghost").empty());
+}
+
+TEST(MsgBus, TopicsEnumerated) {
+  MsgBus bus;
+  bus.publish({"beta", "n", "x", 0.0});
+  bus.publish({"alpha", "n", "y", 0.0});
+  const auto topics = bus.topics();
+  ASSERT_EQ(topics.size(), 2u);
+  EXPECT_EQ(topics[0], "alpha");  // map order
+  EXPECT_EQ(topics[1], "beta");
+}
+
+}  // namespace
+}  // namespace ecf::ecfault

@@ -1,0 +1,107 @@
+#include "ecfault/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace ecf::ecfault {
+namespace {
+
+TEST(Profile, RoundTripThroughJson) {
+  ExperimentProfile p;
+  p.name = "fig2c-clay-4k";
+  p.runs = 3;
+  p.cluster.num_hosts = 30;
+  p.cluster.pool.pg_num = 256;
+  p.cluster.pool.stripe_unit = 4096;
+  p.cluster.pool.ec_profile = {{"plugin", "clay"}, {"k", "9"}, {"m", "3"},
+                               {"d", "11"}};
+  p.cluster.cache = cluster::CacheConfig::kv_optimized();
+  p.fault.level = FaultLevel::kNode;
+  p.fault.count = 1;
+  p.fault.topology = FaultTopology::kSameHost;
+
+  const ExperimentProfile q = ExperimentProfile::parse(p.dump());
+  EXPECT_EQ(q.name, p.name);
+  EXPECT_EQ(q.runs, 3);
+  EXPECT_EQ(q.cluster.pool.pg_num, 256);
+  EXPECT_EQ(q.cluster.pool.stripe_unit, 4096u);
+  EXPECT_EQ(q.cluster.pool.ec_profile.at("plugin"), "clay");
+  EXPECT_EQ(q.cluster.pool.ec_profile.at("d"), "11");
+  EXPECT_FALSE(q.cluster.cache.autotune);
+  EXPECT_DOUBLE_EQ(q.cluster.cache.kv_ratio, 0.70);
+  EXPECT_EQ(q.fault.level, FaultLevel::kNode);
+  EXPECT_EQ(q.fault.topology, FaultTopology::kSameHost);
+}
+
+TEST(Profile, DefaultsApplyWhenFieldsOmitted) {
+  const ExperimentProfile p = ExperimentProfile::parse(R"({"name": "min"})");
+  EXPECT_EQ(p.name, "min");
+  EXPECT_EQ(p.runs, 3);
+  EXPECT_EQ(p.cluster.num_hosts, 30);
+  EXPECT_EQ(p.cluster.pool.pg_num, 256);
+  EXPECT_EQ(p.fault.count, 1);
+}
+
+TEST(Profile, ValidatesCacheRatios) {
+  EXPECT_THROW(ExperimentProfile::parse(R"({
+    "cluster": {"bluestore_cache": {"autotune": false,
+      "kv_ratio": 0.9, "meta_ratio": 0.9, "data_ratio": 0.9}}
+  })"),
+               std::invalid_argument);
+}
+
+TEST(Profile, ValidatesPgNum) {
+  EXPECT_THROW(ExperimentProfile::parse(R"({"cluster": {"pool": {"pg_num": 0}}})"),
+               std::invalid_argument);
+}
+
+TEST(Profile, ValidatesFaultCount) {
+  EXPECT_THROW(ExperimentProfile::parse(R"({"fault": {"count": 0}})"),
+               std::invalid_argument);
+}
+
+TEST(Profile, RejectsUnknownEnumStrings) {
+  EXPECT_THROW(ExperimentProfile::parse(R"({"fault": {"level": "cosmic"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(R"({"fault": {"topology": "moon"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"cluster": {"pool": {"failure_domain": "continent"}}})"),
+               std::invalid_argument);
+}
+
+TEST(Profile, CorruptionAndScrubRoundTrip) {
+  ExperimentProfile p;
+  p.fault.level = FaultLevel::kCorruption;
+  p.fault.corrupt_fraction = 0.25;
+  p.cluster.scrub.enabled = true;
+  p.cluster.scrub.interval_s = 12.5;
+  p.cluster.scrub.max_passes = 3;
+  const ExperimentProfile q = ExperimentProfile::parse(p.dump());
+  EXPECT_EQ(q.fault.level, FaultLevel::kCorruption);
+  EXPECT_DOUBLE_EQ(q.fault.corrupt_fraction, 0.25);
+  EXPECT_TRUE(q.cluster.scrub.enabled);
+  EXPECT_DOUBLE_EQ(q.cluster.scrub.interval_s, 12.5);
+  EXPECT_EQ(q.cluster.scrub.max_passes, 3);
+}
+
+TEST(Profile, RejectsBadCorruptFraction) {
+  EXPECT_THROW(
+      ExperimentProfile::parse(R"({"fault": {"corrupt_fraction": 1.5}})"),
+      std::invalid_argument);
+}
+
+TEST(Profile, EnumStringsRoundTrip) {
+  EXPECT_EQ(fault_level_from_string(to_string(FaultLevel::kDevice)),
+            FaultLevel::kDevice);
+  EXPECT_EQ(fault_topology_from_string(to_string(FaultTopology::kDifferentHosts)),
+            FaultTopology::kDifferentHosts);
+}
+
+TEST(Profile, CommentsAllowedInProfileFiles) {
+  const ExperimentProfile p = ExperimentProfile::parse(
+      "{\n// the Fig. 2b pg_num=1 point\n\"cluster\": {\"pool\": {\"pg_num\": 1}}\n}");
+  EXPECT_EQ(p.cluster.pool.pg_num, 1);
+}
+
+}  // namespace
+}  // namespace ecf::ecfault

@@ -1,0 +1,74 @@
+#include "ecfault/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace ecf::ecfault {
+namespace {
+
+std::vector<cluster::LogRecord> sample_logs() {
+  return {
+      {100.0, "mon.0", "mon", "osd.3 reported failed; marked down (failure detected)"},
+      {110.0, "mgr.0", "mgr", "receiving heartbeats; cluster health degraded"},
+      {160.0, "osd.1", "osd", "check recovery resource"},
+      {700.0, "osd.5", "pg", "peering complete: collecting missing OSDs, queueing recovery"},
+      {702.0, "osd.5", "recovery", "pg 9 start recovery I/O"},
+      {703.0, "mgr.0", "mgr", "report recovery I/O in progress"},
+      {1200.0, "osd.5", "recovery", "pg 9 recovery completed"},
+      {1228.0, "mgr.0", "mgr", "recovery completed; all pgs active+clean"},
+  };
+}
+
+TEST(Timeline, ExtractsPeriodsFromLogs) {
+  const Timeline tl = analyze_timeline(sample_logs());
+  ASSERT_TRUE(tl.valid());
+  EXPECT_DOUBLE_EQ(tl.detection_time, 100.0);
+  EXPECT_DOUBLE_EQ(tl.recovery_start, 602.0);   // relative to detection
+  EXPECT_DOUBLE_EQ(tl.recovery_end, 1128.0);
+  EXPECT_DOUBLE_EQ(tl.checking_period(), 602.0);
+  EXPECT_DOUBLE_EQ(tl.ec_recovery_period(), 526.0);
+  EXPECT_NEAR(tl.checking_fraction(), 602.0 / 1128.0, 1e-12);
+}
+
+TEST(Timeline, UsesLastCompletionMark) {
+  auto logs = sample_logs();
+  logs.push_back({1500.0, "osd.9", "recovery", "pg 12 recovery completed"});
+  const Timeline tl = analyze_timeline(logs);
+  EXPECT_DOUBLE_EQ(tl.recovery_end, 1400.0);
+}
+
+TEST(Timeline, EventsAnnotatedAndSorted) {
+  const Timeline tl = analyze_timeline(sample_logs());
+  ASSERT_GE(tl.events.size(), 5u);
+  for (std::size_t i = 1; i < tl.events.size(); ++i) {
+    EXPECT_LE(tl.events[i - 1].time, tl.events[i].time);
+  }
+  EXPECT_EQ(tl.events.front().message, "failure detected");
+  EXPECT_DOUBLE_EQ(tl.events.front().time, 0.0);
+}
+
+TEST(Timeline, InvalidWithoutDetection) {
+  const Timeline tl = analyze_timeline({{1.0, "n", "s", "nothing happened"}});
+  EXPECT_FALSE(tl.valid());
+  EXPECT_NE(tl.render().find("incomplete"), std::string::npos);
+}
+
+TEST(Timeline, RenderShowsBreakdown) {
+  const std::string out = analyze_timeline(sample_logs()).render();
+  EXPECT_NE(out.find("EC Recovery started (602s)"), std::string::npos);
+  EXPECT_NE(out.find("EC Recovery finished (1128s)"), std::string::npos);
+  EXPECT_NE(out.find("53.4%"), std::string::npos);
+}
+
+TEST(Timeline, ToJsonCarriesBreakdown) {
+  const util::Json doc = analyze_timeline(sample_logs()).to_json();
+  EXPECT_TRUE(doc.at("valid").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("recovery_start").as_double(), 602.0);
+  EXPECT_DOUBLE_EQ(doc.at("recovery_end").as_double(), 1128.0);
+  EXPECT_NEAR(doc.at("checking_fraction").as_double(), 602.0 / 1128.0, 1e-12);
+  EXPECT_GE(doc.at("events").as_array().size(), 5u);
+  // Round-trips through the serializer.
+  EXPECT_EQ(util::Json::parse(doc.dump()), doc);
+}
+
+}  // namespace
+}  // namespace ecf::ecfault

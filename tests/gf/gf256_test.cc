@@ -1,0 +1,144 @@
+#include "gf/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ecf::gf {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(add(0, 0xFF), 0xFF);
+  EXPECT_EQ(add(0xAB, 0xAB), 0);
+}
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<Byte>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<Byte>(a)), a);
+    EXPECT_EQ(mul(static_cast<Byte>(a), 0), 0);
+    EXPECT_EQ(mul(0, static_cast<Byte>(a)), 0);
+  }
+}
+
+TEST(Gf256, MulCommutative) {
+  util::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<Byte>(rng.uniform(256));
+    const auto b = static_cast<Byte>(rng.uniform(256));
+    EXPECT_EQ(mul(a, b), mul(b, a));
+  }
+}
+
+TEST(Gf256, MulAssociative) {
+  util::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<Byte>(rng.uniform(256));
+    const auto b = static_cast<Byte>(rng.uniform(256));
+    const auto c = static_cast<Byte>(rng.uniform(256));
+    EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributesOverAdd) {
+  util::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<Byte>(rng.uniform(256));
+    const auto b = static_cast<Byte>(rng.uniform(256));
+    const auto c = static_cast<Byte>(rng.uniform(256));
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+  }
+}
+
+TEST(Gf256, EveryNonzeroHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const Byte ia = inv(static_cast<Byte>(a));
+    EXPECT_EQ(mul(static_cast<Byte>(a), ia), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivIsMulByInverse) {
+  util::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<Byte>(rng.uniform(256));
+    const auto b = static_cast<Byte>(1 + rng.uniform(255));
+    EXPECT_EQ(mul(div(a, b), b), a);
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (unsigned a = 0; a < 256; ++a) {
+    Byte acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(pow(static_cast<Byte>(a), e), acc) << "a=" << a << " e=" << e;
+      acc = mul(acc, static_cast<Byte>(a));
+    }
+  }
+}
+
+TEST(Gf256, PowZeroExponentIsOne) {
+  EXPECT_EQ(pow(0, 0), 1);
+  EXPECT_EQ(pow(17, 0), 1);
+}
+
+TEST(Gf256, MultiplicativeOrderDivides255) {
+  // The field's multiplicative group has order 255.
+  for (unsigned a = 1; a < 256; ++a) {
+    EXPECT_EQ(pow(static_cast<Byte>(a), 255), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, MulAccMatchesScalarLoop) {
+  util::Rng rng(5);
+  std::vector<Byte> src(1000), dst(1000), expect(1000);
+  for (auto& b : src) b = static_cast<Byte>(rng.uniform(256));
+  for (auto& b : dst) b = static_cast<Byte>(rng.uniform(256));
+  expect = dst;
+  const Byte c = 0x57;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    expect[i] = add(expect[i], mul(c, src[i]));
+  }
+  mul_acc(c, src.data(), dst.data(), src.size());
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(Gf256, MulAccCoefficientZeroIsNoop) {
+  std::vector<Byte> src(64, 0xAA), dst(64, 0x11);
+  mul_acc(0, src.data(), dst.data(), src.size());
+  EXPECT_EQ(dst, std::vector<Byte>(64, 0x11));
+}
+
+TEST(Gf256, MulAccCoefficientOneIsXor) {
+  std::vector<Byte> src(64, 0xAA), dst(64, 0x11);
+  mul_acc(1, src.data(), dst.data(), src.size());
+  EXPECT_EQ(dst, std::vector<Byte>(64, 0xAA ^ 0x11));
+}
+
+TEST(Gf256, MulRegionMatchesScalarLoop) {
+  util::Rng rng(6);
+  std::vector<Byte> src(333), dst(333), expect(333);
+  for (auto& b : src) b = static_cast<Byte>(rng.uniform(256));
+  const Byte c = 0xD3;
+  for (std::size_t i = 0; i < src.size(); ++i) expect[i] = mul(c, src[i]);
+  mul_region(c, src.data(), dst.data(), src.size());
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(Gf256, XorRegionUnalignedTail) {
+  // Exercise the word-sized bulk path plus the byte tail.
+  for (std::size_t len : {1u, 7u, 8u, 9u, 63u, 64u, 65u}) {
+    std::vector<Byte> src(len), dst(len), expect(len);
+    util::Rng rng(len);
+    for (auto& b : src) b = static_cast<Byte>(rng.uniform(256));
+    for (auto& b : dst) b = static_cast<Byte>(rng.uniform(256));
+    for (std::size_t i = 0; i < len; ++i) expect[i] = src[i] ^ dst[i];
+    xor_region(src.data(), dst.data(), len);
+    EXPECT_EQ(dst, expect) << "len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace ecf::gf

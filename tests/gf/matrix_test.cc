@@ -1,0 +1,152 @@
+#include "gf/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ecf::gf {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      m.at(i, j) = static_cast<Byte>(rng.uniform(256));
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix a = random_matrix(5, 5, 7);
+  const Matrix i = Matrix::identity(5);
+  EXPECT_EQ(a.multiply(i), a);
+  EXPECT_EQ(i.multiply(a), a);
+}
+
+TEST(Matrix, MultiplyDimensions) {
+  const Matrix a = random_matrix(3, 4, 1);
+  const Matrix b = random_matrix(4, 6, 2);
+  const Matrix c = a.multiply(b);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 6u);
+}
+
+TEST(Matrix, MultiplyAssociative) {
+  const Matrix a = random_matrix(3, 4, 11);
+  const Matrix b = random_matrix(4, 5, 12);
+  const Matrix c = random_matrix(5, 2, 13);
+  EXPECT_EQ(a.multiply(b).multiply(c), a.multiply(b.multiply(c)));
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  // Vandermonde on distinct points is invertible.
+  std::vector<Byte> pts = {1, 2, 3, 4, 5, 6, 7};
+  const Matrix v = Matrix::vandermonde(pts, 7);
+  const auto inv = v.inverted();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(v.multiply(*inv), Matrix::identity(7));
+  EXPECT_EQ(inv->multiply(v), Matrix::identity(7));
+}
+
+TEST(Matrix, SingularMatrixHasNoInverse) {
+  Matrix m(3, 3);
+  // Two identical rows.
+  for (std::size_t c = 0; c < 3; ++c) {
+    m.at(0, c) = static_cast<Byte>(c + 1);
+    m.at(1, c) = static_cast<Byte>(c + 1);
+    m.at(2, c) = static_cast<Byte>(3 * c + 2);
+  }
+  EXPECT_FALSE(m.inverted().has_value());
+  EXPECT_LT(m.rank(), 3u);
+}
+
+TEST(Matrix, RankOfIdentity) {
+  EXPECT_EQ(Matrix::identity(8).rank(), 8u);
+}
+
+TEST(Matrix, RankOfZero) {
+  EXPECT_EQ(Matrix(4, 4).rank(), 0u);
+}
+
+TEST(Matrix, VandermondeStructure) {
+  std::vector<Byte> pts = {3, 5};
+  const Matrix v = Matrix::vandermonde(pts, 3);
+  EXPECT_EQ(v.at(0, 0), 1);
+  EXPECT_EQ(v.at(0, 1), 3);
+  EXPECT_EQ(v.at(0, 2), mul(3, 3));
+  EXPECT_EQ(v.at(1, 0), 1);
+  EXPECT_EQ(v.at(1, 1), 5);
+  EXPECT_EQ(v.at(1, 2), mul(5, 5));
+}
+
+TEST(Matrix, CauchyAllSubmatricesInvertible) {
+  // Any square submatrix of a Cauchy matrix is invertible — spot check on
+  // the full matrix and 2x2 selections.
+  std::vector<Byte> x = {10, 11, 12}, y = {0, 1, 2};
+  const Matrix c = Matrix::cauchy(x, y);
+  EXPECT_TRUE(c.inverted().has_value());
+  for (std::size_t r1 = 0; r1 < 3; ++r1) {
+    for (std::size_t r2 = r1 + 1; r2 < 3; ++r2) {
+      for (std::size_t c1 = 0; c1 < 3; ++c1) {
+        for (std::size_t c2 = c1 + 1; c2 < 3; ++c2) {
+          Matrix s(2, 2);
+          s.at(0, 0) = c.at(r1, c1);
+          s.at(0, 1) = c.at(r1, c2);
+          s.at(1, 0) = c.at(r2, c1);
+          s.at(1, 1) = c.at(r2, c2);
+          EXPECT_TRUE(s.inverted().has_value());
+        }
+      }
+    }
+  }
+}
+
+TEST(Matrix, CauchyRejectsOverlappingSets) {
+  std::vector<Byte> x = {1, 2}, y = {2, 3};
+  EXPECT_THROW(Matrix::cauchy(x, y), std::invalid_argument);
+}
+
+TEST(Matrix, MakeSystematicLeavesIdentityBlock) {
+  std::vector<Byte> pts;
+  for (int i = 1; i <= 8; ++i) pts.push_back(static_cast<Byte>(i));
+  Matrix g = Matrix::vandermonde(pts, 5);
+  ASSERT_TRUE(g.make_systematic(5));
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(g.at(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+TEST(Matrix, SelectRows) {
+  const Matrix a = random_matrix(6, 4, 99);
+  const Matrix s = a.select_rows({1, 4});
+  EXPECT_EQ(s.rows(), 2u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(s.at(0, c), a.at(1, c));
+    EXPECT_EQ(s.at(1, c), a.at(4, c));
+  }
+}
+
+TEST(Matrix, MatrixApplyMatchesMultiply) {
+  // matrix_apply over length-1 regions must agree with scalar multiply.
+  const Matrix m = random_matrix(4, 3, 42);
+  std::vector<Byte> in_bytes = {7, 99, 200};
+  std::vector<Byte> out_bytes(4);
+  std::vector<const Byte*> in = {&in_bytes[0], &in_bytes[1], &in_bytes[2]};
+  std::vector<Byte*> out = {&out_bytes[0], &out_bytes[1], &out_bytes[2],
+                            &out_bytes[3]};
+  matrix_apply(m, in, out, 1);
+  for (std::size_t r = 0; r < 4; ++r) {
+    Byte want = 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      want = add(want, mul(m.at(r, c), in_bytes[c]));
+    }
+    EXPECT_EQ(out_bytes[r], want);
+  }
+}
+
+}  // namespace
+}  // namespace ecf::gf

@@ -1,0 +1,139 @@
+// Reproduction regression tests: the paper's headline *shapes* must keep
+// holding as the simulator evolves. These run the real experiment
+// configurations (single seeds, full workload) — a few hundred ms each.
+//
+// If one of these fails after a change, EXPERIMENTS.md is stale and the
+// reproduction is broken; fix the model or re-calibrate, don't loosen the
+// bounds casually.
+#include <gtest/gtest.h>
+
+#include "ecfault/coordinator.h"
+#include "util/bytes.h"
+
+namespace ecf::ecfault {
+namespace {
+
+ExperimentProfile paper_default(bool clay) {
+  ExperimentProfile p;
+  if (clay) {
+    p.cluster.pool.ec_profile = {
+        {"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}};
+  }
+  p.cluster.workload.num_objects = 10000;
+  p.fault.level = FaultLevel::kNode;
+  p.runs = 1;
+  return p;
+}
+
+double total(const ExperimentProfile& p) {
+  const auto r = Coordinator::run_experiment(p);
+  EXPECT_TRUE(r.report.complete);
+  return r.report.total();
+}
+
+TEST(PaperShapes, Fig3CheckingFractionNearPaper) {
+  // Paper: 53.7% of a 1128 s cycle.
+  const auto r = Coordinator::run_experiment(paper_default(false));
+  EXPECT_NEAR(r.report.checking_fraction(), 0.537, 0.05);
+  EXPECT_NEAR(r.report.total(), 1128.0, 120.0);
+}
+
+TEST(PaperShapes, Fig2bLargerPgNumRecoversFaster) {
+  ExperimentProfile pg256 = paper_default(false);
+  ExperimentProfile pg1 = paper_default(false);
+  pg1.cluster.pool.pg_num = 1;
+  const double t256 = total(pg256);
+  const double t1 = total(pg1);
+  // Paper: pg=1 is ~1.22x of pg=256 for RS.
+  EXPECT_GT(t1 / t256, 1.10);
+  EXPECT_LT(t1 / t256, 1.45);
+}
+
+TEST(PaperShapes, Fig2cClayPathologicalAt4K) {
+  ExperimentProfile rs4k = paper_default(false);
+  rs4k.cluster.pool.stripe_unit = 4 * util::KiB;
+  ExperimentProfile clay4k = paper_default(true);
+  clay4k.cluster.pool.stripe_unit = 4 * util::KiB;
+  const double ratio = total(clay4k) / total(rs4k);
+  // Paper: 4.26x; we land in the same regime.
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 7.0);
+}
+
+TEST(PaperShapes, Fig2cHugeStripeUnitHurtsBothCodes) {
+  ExperimentProfile rs4k = paper_default(false);
+  rs4k.cluster.pool.stripe_unit = 4 * util::KiB;
+  ExperimentProfile rs64m = paper_default(false);
+  rs64m.cluster.pool.stripe_unit = 64 * util::MiB;
+  const double ratio = total(rs64m) / total(rs4k);
+  // Paper: 3.29x.
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 4.2);
+}
+
+TEST(PaperShapes, Fig2dLocalityCrossover) {
+  // 3 same-host failures: Clay <= RS; 3 different-host: Clay >= RS.
+  auto scenario = [](bool clay, FaultTopology topo) {
+    ExperimentProfile p = paper_default(clay);
+    p.cluster.osds_per_host = 3;
+    p.cluster.pool.failure_domain = cluster::FailureDomain::kOsd;
+    p.fault.level = FaultLevel::kDevice;
+    p.fault.count = 3;
+    p.fault.topology = topo;
+    return p;
+  };
+  const double rs_same = total(scenario(false, FaultTopology::kSameHost));
+  const double clay_same = total(scenario(true, FaultTopology::kSameHost));
+  const double rs_diff =
+      total(scenario(false, FaultTopology::kDifferentHosts));
+  const double clay_diff =
+      total(scenario(true, FaultTopology::kDifferentHosts));
+  EXPECT_LE(clay_same, rs_same * 1.005);  // Clay wins (or ties) same-host
+  EXPECT_GE(clay_diff, rs_diff * 1.005);  // RS wins different-hosts
+}
+
+TEST(PaperShapes, Fig2dMoreFailuresSlower) {
+  auto scenario = [](int count) {
+    ExperimentProfile p = paper_default(false);
+    p.cluster.osds_per_host = 3;
+    p.cluster.pool.failure_domain = cluster::FailureDomain::kOsd;
+    p.fault.level = FaultLevel::kDevice;
+    p.fault.count = count;
+    p.fault.topology = FaultTopology::kSameHost;
+    return p;
+  };
+  const double t1 = total(scenario(1));
+  const double t2 = total(scenario(2));
+  const double t3 = total(scenario(3));
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+}
+
+TEST(PaperShapes, Table3WaMagnitudes) {
+  // Paper: RS(12,9) 1.76, RS(15,12) 2.15 at the same 3-failure tolerance.
+  cluster::ClusterConfig j1;
+  cluster::Cluster a(j1);
+  a.create_pool();
+  a.apply_workload();
+  EXPECT_NEAR(a.actual_wa(), 1.76, 0.08);
+
+  cluster::ClusterConfig j2;
+  j2.pool.ec_profile = {{"plugin", "jerasure"}, {"k", "12"}, {"m", "3"}};
+  cluster::Cluster b(j2);
+  b.create_pool();
+  b.apply_workload();
+  EXPECT_NEAR(b.actual_wa(), 2.15, 0.10);
+  // The paper's point: the (n,k) dependence of the gap.
+  EXPECT_GT(b.actual_wa() / (15.0 / 12.0), a.actual_wa() / (12.0 / 9.0));
+}
+
+TEST(PaperShapes, Fig2aAutotuneBest) {
+  ExperimentProfile autotune = paper_default(false);
+  autotune.cluster.cache = cluster::CacheConfig::autotuned();
+  ExperimentProfile kv = paper_default(false);
+  kv.cluster.cache = cluster::CacheConfig::kv_optimized();
+  EXPECT_LT(total(autotune), total(kv));
+}
+
+}  // namespace
+}  // namespace ecf::ecfault

@@ -1,0 +1,89 @@
+#include "nvmeof/nvmeof.h"
+
+#include <gtest/gtest.h>
+
+namespace ecf::nvmeof {
+namespace {
+
+class NvmeofTest : public ::testing::Test {
+ protected:
+  sim::Engine eng_;
+  sim::Disk disk_{sim::DiskParams{}};
+  Target target_{"node1"};
+};
+
+TEST_F(NvmeofTest, CreateConnectRead) {
+  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_);
+  EXPECT_FALSE(target_.is_connected("nqn.test:a"));
+  target_.connect("nqn.test:a");
+  EXPECT_TRUE(target_.is_connected("nqn.test:a"));
+  const auto t = target_.read(eng_, "nqn.test:a", 4096);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GT(*t, 0.0);
+  EXPECT_EQ(disk_.bytes_read(), 4096u);
+}
+
+TEST_F(NvmeofTest, RemoveSubsystemFailsIo) {
+  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_);
+  target_.connect("nqn.test:a");
+  target_.remove_subsystem("nqn.test:a");
+  EXPECT_FALSE(target_.is_connected("nqn.test:a"));
+  EXPECT_FALSE(target_.read(eng_, "nqn.test:a", 4096).has_value());
+  EXPECT_FALSE(target_.write(eng_, "nqn.test:a", 4096).has_value());
+}
+
+TEST_F(NvmeofTest, IoOnDisconnectedDeviceFails) {
+  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_);
+  // Created but never connected: host does not see it.
+  EXPECT_FALSE(target_.write(eng_, "nqn.test:a", 512).has_value());
+}
+
+TEST_F(NvmeofTest, UnknownNqnFails) {
+  EXPECT_FALSE(target_.read(eng_, "nqn.test:ghost", 1).has_value());
+  EXPECT_THROW(target_.connect("nqn.test:ghost"), std::invalid_argument);
+  EXPECT_THROW(target_.remove_subsystem("nqn.test:ghost"),
+               std::invalid_argument);
+}
+
+TEST_F(NvmeofTest, DuplicateNqnRejected) {
+  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_);
+  EXPECT_THROW(target_.create_subsystem("nqn.test:a", 1 << 30, &disk_),
+               std::invalid_argument);
+}
+
+TEST_F(NvmeofTest, NullDiskRejected) {
+  EXPECT_THROW(target_.create_subsystem("nqn.test:x", 1, nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(NvmeofTest, AdminLogRecordsLifecycle) {
+  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_, 1.0);
+  target_.connect("nqn.test:a", 2.0);
+  target_.remove_subsystem("nqn.test:a", 3.0);
+  const auto& log = target_.admin_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].op, "create");
+  EXPECT_EQ(log[1].op, "connect");
+  EXPECT_EQ(log[2].op, "remove");
+  EXPECT_DOUBLE_EQ(log[2].time, 3.0);
+}
+
+TEST_F(NvmeofTest, ListShowsSubsystems) {
+  sim::Disk d2{sim::DiskParams{}};
+  target_.create_subsystem("nqn.test:a", 100, &disk_);
+  target_.create_subsystem("nqn.test:b", 200, &d2);
+  target_.connect("nqn.test:b");
+  const auto list = target_.list();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].nqn, "nqn.test:a");
+  EXPECT_FALSE(list[0].connected);
+  EXPECT_TRUE(list[1].connected);
+  EXPECT_EQ(list[1].ns.capacity_bytes, 200u);
+}
+
+TEST(NvmeofNqn, MakeNqnFormat) {
+  EXPECT_EQ(make_nqn(3, 1), "nqn.2024-04.io.ecfault:host3.nvme1");
+}
+
+}  // namespace
+}  // namespace ecf::nvmeof

@@ -1,0 +1,93 @@
+// Stress/property tests for the event engine: time monotonicity, stable
+// tie-breaking and determinism under large random event loads — the
+// foundations the whole recovery simulation rests on.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace ecf::sim {
+namespace {
+
+TEST(EngineStress, TimeNeverGoesBackwards) {
+  Engine eng;
+  util::Rng rng(1);
+  double last_seen = -1.0;
+  bool ok = true;
+  // Seed events that recursively schedule more events at random offsets.
+  std::function<void(int)> spawn = [&](int depth) {
+    if (eng.now() < last_seen) ok = false;
+    last_seen = eng.now();
+    if (depth <= 0) return;
+    const int children = static_cast<int>(rng.uniform(3));
+    for (int c = 0; c < children; ++c) {
+      eng.schedule(rng.uniform01() * 10.0, [&spawn, depth] { spawn(depth - 1); });
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    eng.schedule(rng.uniform01() * 100.0, [&spawn] { spawn(6); });
+  }
+  eng.run();
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(eng.empty());
+}
+
+TEST(EngineStress, DeterministicUnderRandomLoad) {
+  auto run_once = [] {
+    Engine eng;
+    util::Rng rng(99);
+    std::vector<double> trace;
+    for (int i = 0; i < 2000; ++i) {
+      eng.schedule(rng.uniform01() * 50.0,
+                   [&trace, &eng] { trace.push_back(eng.now()); });
+    }
+    eng.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EngineStress, ManyCancellations) {
+  Engine eng;
+  util::Rng rng(7);
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(eng.schedule(rng.uniform01() * 10.0, [&fired] { ++fired; }));
+  }
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    eng.cancel(ids[i]);
+    ++cancelled;
+  }
+  eng.run();
+  EXPECT_EQ(fired, 1000 - cancelled);
+  EXPECT_TRUE(eng.empty());
+}
+
+TEST(EngineStress, EqualTimestampsKeepScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 500; ++i) {
+    eng.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EngineStress, RunUntilResumable) {
+  Engine eng;
+  util::Rng rng(3);
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    eng.schedule(rng.uniform01() * 100.0, [&fired] { ++fired; });
+  }
+  // Drain in 10 time slices; total must match one-shot execution.
+  for (int slice = 1; slice <= 10; ++slice) {
+    eng.run_until(10.0 * slice);
+  }
+  EXPECT_EQ(fired, 1000);
+}
+
+}  // namespace
+}  // namespace ecf::sim

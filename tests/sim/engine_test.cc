@@ -1,0 +1,104 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ecf::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(3.0, [&] { order.push_back(3); });
+  eng.schedule(1.0, [&] { order.push_back(1); });
+  eng.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(eng.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+}
+
+TEST(Engine, TieBreaksByScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(1.0, [&] { order.push_back(0); });
+  eng.schedule(1.0, [&] { order.push_back(1); });
+  eng.schedule(1.0, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(1.0, [&] {
+    ++fired;
+    eng.schedule(1.0, [&] { ++fired; });
+  });
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool ran = false;
+  const EventId id = eng.schedule(1.0, [&] { ran = true; });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelAfterRunIsNoop) {
+  Engine eng;
+  const EventId id = eng.schedule(1.0, [] {});
+  eng.run();
+  eng.cancel(id);  // should not crash or affect anything
+  EXPECT_TRUE(eng.empty());
+}
+
+TEST(Engine, RunUntilHorizonStops) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(1.0, [&] { ++fired; });
+  eng.schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(eng.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.pending(), 1u);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RejectsNegativeDelay) {
+  Engine eng;
+  EXPECT_THROW(eng.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, RejectsPastAbsoluteTime) {
+  Engine eng;
+  eng.schedule(5.0, [] {});
+  eng.run();
+  EXPECT_THROW(eng.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, ResetClearsState) {
+  Engine eng;
+  eng.schedule(1.0, [] {});
+  eng.run();
+  eng.reset();
+  EXPECT_DOUBLE_EQ(eng.now(), 0.0);
+  EXPECT_TRUE(eng.empty());
+}
+
+TEST(Engine, ScheduleAtAbsoluteTime) {
+  Engine eng;
+  double when = -1;
+  eng.schedule(1.0, [&] {
+    eng.schedule_at(10.0, [&] { when = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(when, 10.0);
+}
+
+}  // namespace
+}  // namespace ecf::sim

@@ -1,0 +1,117 @@
+#include "sim/resources.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/hardware_profiles.h"
+
+namespace ecf::sim {
+namespace {
+
+TEST(FifoServer, SerializesWork) {
+  Engine eng;
+  FifoServer s;
+  EXPECT_DOUBLE_EQ(s.reserve(eng, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.reserve(eng, 3.0), 5.0);  // queues behind the first
+  EXPECT_DOUBLE_EQ(s.busy_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(s.queued_seconds(), 2.0);
+}
+
+TEST(FifoServer, IdleGapsAreNotBusy) {
+  Engine eng;
+  FifoServer s;
+  s.reserve(eng, 1.0);
+  eng.schedule(10.0, [] {});
+  eng.run();  // now = 10
+  EXPECT_DOUBLE_EQ(s.reserve(eng, 1.0), 11.0);
+  EXPECT_DOUBLE_EQ(s.busy_seconds(), 2.0);
+}
+
+TEST(Disk, ServiceTimeCombinesBandwidthAndIops) {
+  DiskParams p;
+  p.read_bw_bytes_per_s = 100e6;
+  p.write_bw_bytes_per_s = 50e6;
+  p.per_io_seconds = 1e-3;
+  Disk d(p);
+  EXPECT_NEAR(d.read_service(100'000'000, 1), 1.001, 1e-9);
+  EXPECT_NEAR(d.read_service(0, 1000), 1.0, 1e-9);
+  EXPECT_NEAR(d.write_service(50'000'000, 2), 1.002, 1e-9);
+}
+
+TEST(Disk, TracksCounters) {
+  Engine eng;
+  Disk d(DiskParams{});
+  d.read(eng, 1000, 2);
+  d.write(eng, 500, 1);
+  EXPECT_EQ(d.bytes_read(), 1000u);
+  EXPECT_EQ(d.bytes_written(), 500u);
+  EXPECT_EQ(d.io_count(), 3u);
+}
+
+TEST(Disk, ExtraSecondsExtendService) {
+  Engine eng;
+  DiskParams p;
+  p.read_bw_bytes_per_s = 1e9;
+  p.per_io_seconds = 0;
+  Disk d(p);
+  const SimTime t = d.read(eng, 1'000'000, 1, 0.5);
+  EXPECT_NEAR(t, 0.501, 1e-9);
+}
+
+TEST(Disk, ConcurrentReadsQueue) {
+  Engine eng;
+  DiskParams p;
+  p.read_bw_bytes_per_s = 100e6;
+  p.per_io_seconds = 0;
+  Disk d(p);
+  const SimTime t1 = d.read(eng, 100'000'000);  // 1s
+  const SimTime t2 = d.read(eng, 100'000'000);  // queues behind
+  EXPECT_NEAR(t1, 1.0, 1e-9);
+  EXPECT_NEAR(t2, 2.0, 1e-9);
+}
+
+TEST(Nic, DuplexDirectionsIndependent) {
+  Engine eng;
+  NicParams p;
+  p.bw_bytes_per_s = 1e9;
+  p.per_msg_seconds = 0;
+  Nic nic(p);
+  const SimTime tx = nic.send(eng, 1'000'000'000);
+  const SimTime rx = nic.recv(eng, 1'000'000'000);
+  // Same completion: send does not block receive.
+  EXPECT_NEAR(tx, 1.0, 1e-9);
+  EXPECT_NEAR(rx, 1.0, 1e-9);
+  EXPECT_EQ(nic.bytes_sent(), 1'000'000'000u);
+  EXPECT_EQ(nic.bytes_received(), 1'000'000'000u);
+}
+
+TEST(Cpu, CostFactorScalesService) {
+  Engine eng;
+  CpuParams p;
+  p.gf_bytes_per_s = 1e9;
+  p.per_op_seconds = 0;
+  Cpu cpu(p);
+  const SimTime t1 = cpu.compute(eng, 1'000'000'000, 1.0);
+  EXPECT_NEAR(t1, 1.0, 1e-9);
+  Cpu cpu2(p);
+  const SimTime t2 = cpu2.compute(eng, 1'000'000'000, 2.0);
+  EXPECT_NEAR(t2, 2.0, 1e-9);
+}
+
+TEST(Cpu, BusyForReservesSeconds) {
+  Engine eng;
+  Cpu cpu(CpuParams{});
+  EXPECT_NEAR(cpu.busy_for(eng, 1.5), 1.5, 1e-12);
+  EXPECT_NEAR(cpu.busy_for(eng, 0.5), 2.0, 1e-12);
+}
+
+TEST(HardwareProfiles, SaneOrdering) {
+  const auto aws = aws_m5_like();
+  const auto nvme = fast_nvme();
+  const auto hdd = hdd_cluster();
+  EXPECT_GT(nvme.disk.read_bw_bytes_per_s, aws.disk.read_bw_bytes_per_s);
+  EXPECT_LT(nvme.disk.per_io_seconds, aws.disk.per_io_seconds);
+  EXPECT_GT(hdd.disk.per_io_seconds, aws.disk.per_io_seconds);
+}
+
+}  // namespace
+}  // namespace ecf::sim

@@ -1,0 +1,36 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace ecf::util {
+namespace {
+
+TEST(Bytes, Constants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1048576u);
+  EXPECT_EQ(GiB, 1073741824u);
+}
+
+TEST(Bytes, FormatPicksUnit) {
+  EXPECT_EQ(format_bytes(17), "17 B");
+  EXPECT_EQ(format_bytes(4 * KiB), "4.0 KiB");
+  EXPECT_EQ(format_bytes(64 * MiB), "64.0 MiB");
+  EXPECT_EQ(format_bytes(3 * GiB + 512 * MiB), "3.5 GiB");
+}
+
+TEST(Bytes, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 100), 1u);
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+}
+
+TEST(Bytes, RoundUp) {
+  EXPECT_EQ(round_up(10, 4), 12u);
+  EXPECT_EQ(round_up(8, 4), 8u);
+  EXPECT_EQ(round_up(0, 4), 0u);
+  EXPECT_EQ(round_up(1, 65536), 65536u);
+}
+
+}  // namespace
+}  // namespace ecf::util

@@ -1,0 +1,89 @@
+// Robustness: the JSON parser ingests untrusted experiment profiles; it
+// must reject malformed input with JsonError (never crash or hang), handle
+// deep nesting, and round-trip anything it accepts.
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace ecf::util {
+namespace {
+
+TEST(JsonRobustness, MalformedInputsThrowCleanly) {
+  const char* cases[] = {
+      "",           "{",          "}",          "[",           "]",
+      "{\"a\":}",   "{\"a\" 1}",  "{a: 1}",     "[1,]",        "[,1]",
+      "{,}",        "\"unterminated", "tru",    "nul",         "+1",
+      "1e",         "--3",        "0x10",       "{\"a\":1,}",  "[1 2]",
+      "\"bad\\q\"", "\"\\u12\"",  "{\"k\":\"v\"} extra",       "NaN",
+      "'single'",   "{\"a\":1 \"b\":2}",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW((void)Json::parse(text), JsonError) << "input: " << text;
+  }
+}
+
+TEST(JsonRobustness, DeepNestingParses) {
+  std::string text;
+  const int depth = 200;
+  for (int i = 0; i < depth; ++i) text += "[";
+  text += "1";
+  for (int i = 0; i < depth; ++i) text += "]";
+  const Json doc = Json::parse(text);
+  const Json* cur = &doc;
+  for (int i = 0; i < depth; ++i) {
+    ASSERT_TRUE(cur->is_array());
+    cur = &cur->as_array()[0];
+  }
+  EXPECT_EQ(cur->as_int(), 1);
+}
+
+TEST(JsonRobustness, RandomBytesNeverCrash) {
+  // Fuzz-lite: arbitrary byte strings must either parse or throw.
+  Rng rng(0xF422);
+  for (int round = 0; round < 500; ++round) {
+    std::string s;
+    const std::size_t len = rng.uniform(64);
+    for (std::size_t i = 0; i < len; ++i) {
+      s += static_cast<char>(32 + rng.uniform(95));
+    }
+    try {
+      const Json doc = Json::parse(s);
+      // Accepted input must round-trip.
+      EXPECT_EQ(Json::parse(doc.dump()), doc) << "input: " << s;
+    } catch (const JsonError&) {
+      // fine
+    }
+  }
+}
+
+TEST(JsonRobustness, MutatedValidDocumentNeverCrashes) {
+  const std::string base =
+      R"({"cluster":{"pool":{"pg_num":256,"stripe_unit":4194304}},)"
+      R"("fault":{"level":"device","count":3}})";
+  Rng rng(0xBEE);
+  for (int round = 0; round < 500; ++round) {
+    std::string s = base;
+    const std::size_t edits = 1 + rng.uniform(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.uniform(s.size());
+      s[pos] = static_cast<char>(32 + rng.uniform(95));
+    }
+    try {
+      const Json doc = Json::parse(s);
+      EXPECT_EQ(Json::parse(doc.dump()), doc);
+    } catch (const JsonError&) {
+    }
+  }
+}
+
+TEST(JsonRobustness, LargeArrayRoundTrip) {
+  Json arr = Json::array();
+  for (int i = 0; i < 10000; ++i) arr.push_back(i);
+  const Json back = Json::parse(arr.dump());
+  ASSERT_EQ(back.size(), 10000u);
+  EXPECT_EQ(back.as_array()[9999].as_int(), 9999);
+}
+
+}  // namespace
+}  // namespace ecf::util

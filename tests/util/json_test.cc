@@ -1,0 +1,100 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace ecf::util {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").as_double(), -250.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseNestedDocument) {
+  const Json doc = Json::parse(R"({
+    "ec": {"plugin": "clay", "k": 9, "m": 3},
+    "pgs": [1, 16, 256],
+    "autotune": true
+  })");
+  EXPECT_EQ(doc.at("ec").at("plugin").as_string(), "clay");
+  EXPECT_EQ(doc.at("ec").at("k").as_int(), 9);
+  EXPECT_EQ(doc.at("pgs").as_array().size(), 3u);
+  EXPECT_EQ(doc.at("pgs").as_array()[2].as_int(), 256);
+  EXPECT_TRUE(doc.at("autotune").as_bool());
+}
+
+TEST(Json, LineCommentsAllowed) {
+  const Json doc = Json::parse("{\n// profile for fig2a\n\"k\": 9\n}");
+  EXPECT_EQ(doc.at("k").as_int(), 9);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+}
+
+TEST(Json, RoundTripThroughDump) {
+  const std::string text =
+      R"({"name":"fig2c","values":[4096,4194304,67108864],"ratio":0.5,"on":true,"none":null})";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(Json::parse(doc.dump()), doc);
+  // Pretty print parses back too.
+  EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", 1).set("alpha", 2).set("mid", 3);
+  EXPECT_EQ(obj.dump(), R"({"zebra":1,"alpha":2,"mid":3})");
+  obj.set("zebra", 9);  // replace keeps position
+  EXPECT_EQ(obj.dump(), R"({"zebra":9,"alpha":2,"mid":3})");
+}
+
+TEST(Json, GetOrFallbacks) {
+  const Json doc = Json::parse(R"({"k": 9, "name": "x", "flag": true})");
+  EXPECT_EQ(doc.get_or("k", std::int64_t{0}), 9);
+  EXPECT_EQ(doc.get_or("missing", std::int64_t{7}), 7);
+  EXPECT_EQ(doc.get_or("name", std::string("y")), "x");
+  EXPECT_EQ(doc.get_or("missing", std::string("y")), "y");
+  EXPECT_TRUE(doc.get_or("flag", false));
+  EXPECT_TRUE(doc.get_or("missing", true));
+}
+
+TEST(Json, ErrorsCarryLocation) {
+  try {
+    Json::parse("{\n  \"a\": [1, 2,\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Json, TrailingGarbageRejected) {
+  EXPECT_THROW(Json::parse("42 oops"), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json doc = Json::parse(R"({"k": 9})");
+  EXPECT_THROW(doc.at("k").as_string(), JsonError);
+  EXPECT_THROW(doc.at("missing"), JsonError);
+  EXPECT_THROW(doc.as_array(), JsonError);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").as_array().size(), 0u);
+  EXPECT_EQ(Json::parse("{}").size(), 0u);
+  EXPECT_EQ(Json::parse("[]").dump(), "[]");
+  EXPECT_EQ(Json::parse("{}").dump(2), "{}");
+}
+
+TEST(Json, NumbersEmitIntegersCleanly) {
+  EXPECT_EQ(Json(std::uint64_t{67108864}).dump(), "67108864");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+}
+
+}  // namespace
+}  // namespace ecf::util

@@ -1,0 +1,98 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ecf::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformBoundRespected) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform(13), 13u);
+  }
+  EXPECT_EQ(r.uniform(0), 0u);
+  EXPECT_EQ(r.uniform(1), 0u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng r(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_range(5, 7);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng r(10);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(11);
+  double sum = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / samples, 3.0, 0.15);
+}
+
+TEST(Rng, ChildStreamsDecorrelated) {
+  Rng parent(5);
+  Rng c1 = parent.child(1);
+  Rng c2 = parent.child(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.next() == c2.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ChildIsDeterministic) {
+  Rng p1(5), p2(5);
+  Rng a = p1.child(9), b = p2.child(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace ecf::util

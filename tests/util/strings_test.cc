@@ -1,0 +1,48 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace ecf::util {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split(",a,,b,", ','),
+            (std::vector<std::string>{"", "a", "", "b", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("osd.12 failed", "osd."));
+  EXPECT_FALSE(starts_with("x", "xy"));
+  EXPECT_TRUE(ends_with("recovery.log", ".log"));
+  EXPECT_FALSE(ends_with("log", "recovery.log"));
+}
+
+TEST(Strings, Contains) {
+  EXPECT_TRUE(contains("start recovery I/O", "recovery"));
+  EXPECT_FALSE(contains("heartbeat", "decode"));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("EC Recovery STARTED"), "ec recovery started");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace ecf::util

@@ -1,0 +1,144 @@
+// ecfault — command-line front end to the framework.
+//
+//   ecfault run <profile.json> [--json]     run one experiment profile
+//   ecfault sweep <campaign.json> [--json]  run a configuration campaign
+//   ecfault wa <object> <k> <m> <su>        §4.4 WA formula
+//   ecfault plugins                         list EC plugins
+//
+// `run` prints the Fig.-3-style timeline and the experiment metrics;
+// `sweep` prints the normalized comparison table (the shape of the paper's
+// Fig. 2). With --json, machine-readable output for both.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ec/registry.h"
+#include "ec/wa_model.h"
+#include "ecfault/campaign.h"
+#include "ecfault/coordinator.h"
+#include "util/bytes.h"
+
+using namespace ecf;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ecfault run <profile.json> [--json]\n"
+               "  ecfault sweep <campaign.json> [--json]\n"
+               "  ecfault wa <object_bytes> <k> <m> <stripe_unit>\n"
+               "  ecfault plugins\n");
+  return 2;
+}
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto profile = ecfault::ExperimentProfile::parse(slurp(argv[0]));
+  const bool json = has_flag(argc, argv, "--json");
+  const auto campaign = ecfault::Coordinator::run_profile(profile);
+  const auto& r = campaign.last;
+  if (json) {
+    util::Json out = util::Json::object();
+    out.set("profile", profile.to_json());
+    out.set("timeline", r.timeline.to_json());
+    out.set("actual_wa", r.actual_wa);
+    out.set("code", r.code_name);
+    out.set("mean_total_s", campaign.mean_total);
+    out.set("mean_checking_s", campaign.mean_checking);
+    out.set("mean_recovery_s", campaign.mean_recovery);
+    out.set("stddev_total_s", campaign.stddev_total);
+    out.set("runs", campaign.runs);
+    out.set("objects_repaired", r.report.objects_repaired);
+    out.set("bytes_read", r.report.bytes_read_for_recovery);
+    out.set("bytes_written", r.report.bytes_written_for_recovery);
+    std::printf("%s\n", out.dump(2).c_str());
+    return 0;
+  }
+  std::printf("experiment %s: %s\n", profile.name.c_str(), r.code_name.c_str());
+  std::printf("%s", r.timeline.render().c_str());
+  std::printf("mean over %d runs: total %.0f s (checking %.0f / recovery "
+              "%.0f), actual WA %.2f\n",
+              campaign.runs, campaign.mean_total, campaign.mean_checking,
+              campaign.mean_recovery, r.actual_wa);
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto spec = ecfault::campaign_from_json(util::Json::parse(slurp(argv[0])));
+  const bool json = has_flag(argc, argv, "--json");
+  const auto results = spec.campaign.run(spec.reference);
+  if (json) {
+    util::Json arr = util::Json::array();
+    for (const auto& r : results) {
+      util::Json row = util::Json::object();
+      row.set("variant", r.label);
+      row.set("mean_total_s", r.campaign.mean_total);
+      row.set("mean_checking_s", r.campaign.mean_checking);
+      row.set("mean_recovery_s", r.campaign.mean_recovery);
+      row.set("normalized", r.normalized);
+      arr.push_back(std::move(row));
+    }
+    std::printf("%s\n", arr.dump(2).c_str());
+    return 0;
+  }
+  std::printf("%s", ecfault::Campaign::to_table(results).c_str());
+  return 0;
+}
+
+int cmd_wa(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::uint64_t object = std::strtoull(argv[0], nullptr, 10);
+  const std::size_t k = std::strtoull(argv[1], nullptr, 10);
+  const std::size_t m = std::strtoull(argv[2], nullptr, 10);
+  const std::uint64_t su = std::strtoull(argv[3], nullptr, 10);
+  const auto est = ec::estimate_wa(object, k + m, k, su);
+  std::printf("RS(%zu,%zu), object %s, stripe_unit %s\n", k + m, k,
+              util::format_bytes(object).c_str(),
+              util::format_bytes(su).c_str());
+  std::printf("  n/k            = %.4f\n", est.theoretical);
+  std::printf("  formula bound  = %.4f  (S_chunk %s, padding %s)\n",
+              est.padding_only, util::format_bytes(est.chunk_size).c_str(),
+              util::format_bytes(est.padding_bytes).c_str());
+  return 0;
+}
+
+int cmd_plugins() {
+  for (const auto& p : ec::known_plugins()) std::printf("%s\n", p.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
+    if (cmd == "wa") return cmd_wa(argc - 2, argv + 2);
+    if (cmd == "plugins") return cmd_plugins();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
