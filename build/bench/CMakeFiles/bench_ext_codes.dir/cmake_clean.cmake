@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_codes.dir/bench_ext_codes.cc.o"
+  "CMakeFiles/bench_ext_codes.dir/bench_ext_codes.cc.o.d"
+  "bench_ext_codes"
+  "bench_ext_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_corruption.dir/bench_ext_corruption.cc.o"
+  "CMakeFiles/bench_ext_corruption.dir/bench_ext_corruption.cc.o.d"
+  "bench_ext_corruption"
+  "bench_ext_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2c_stripe.dir/bench_fig2c_stripe.cc.o"
+  "CMakeFiles/bench_fig2c_stripe.dir/bench_fig2c_stripe.cc.o.d"
+  "bench_fig2c_stripe"
+  "bench_fig2c_stripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_stripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repair_bw.dir/bench_repair_bw.cc.o"
+  "CMakeFiles/bench_repair_bw.dir/bench_repair_bw.cc.o.d"
+  "bench_repair_bw"
+  "bench_repair_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

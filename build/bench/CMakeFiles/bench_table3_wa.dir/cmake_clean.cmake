@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_wa.dir/bench_table3_wa.cc.o"
+  "CMakeFiles/bench_table3_wa.dir/bench_table3_wa.cc.o.d"
+  "bench_table3_wa"
+  "bench_table3_wa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_wa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wa_formula.dir/bench_wa_formula.cc.o"
+  "CMakeFiles/bench_wa_formula.dir/bench_wa_formula.cc.o.d"
+  "bench_wa_formula"
+  "bench_wa_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wa_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clay_repair_demo.dir/clay_repair_demo.cpp.o"
+  "CMakeFiles/clay_repair_demo.dir/clay_repair_demo.cpp.o.d"
+  "clay_repair_demo"
+  "clay_repair_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clay_repair_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

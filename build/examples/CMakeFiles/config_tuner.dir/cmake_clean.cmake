@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_tuner.dir/config_tuner.cpp.o"
+  "CMakeFiles/config_tuner.dir/config_tuner.cpp.o.d"
+  "config_tuner"
+  "config_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

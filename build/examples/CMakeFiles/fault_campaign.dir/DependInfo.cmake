@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fault_campaign.cpp" "examples/CMakeFiles/fault_campaign.dir/fault_campaign.cpp.o" "gcc" "examples/CMakeFiles/fault_campaign.dir/fault_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecfault/CMakeFiles/ecf_ecfault.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ecf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/ecf_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ecf_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmeof/CMakeFiles/ecf_nvmeof.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

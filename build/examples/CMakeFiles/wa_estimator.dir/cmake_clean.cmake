@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wa_estimator.dir/wa_estimator.cpp.o"
+  "CMakeFiles/wa_estimator.dir/wa_estimator.cpp.o.d"
+  "wa_estimator"
+  "wa_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wa_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

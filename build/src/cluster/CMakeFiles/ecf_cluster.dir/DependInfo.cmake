@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/bluestore.cc" "src/cluster/CMakeFiles/ecf_cluster.dir/bluestore.cc.o" "gcc" "src/cluster/CMakeFiles/ecf_cluster.dir/bluestore.cc.o.d"
+  "/root/repo/src/cluster/client.cc" "src/cluster/CMakeFiles/ecf_cluster.dir/client.cc.o" "gcc" "src/cluster/CMakeFiles/ecf_cluster.dir/client.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/ecf_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/ecf_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/crush.cc" "src/cluster/CMakeFiles/ecf_cluster.dir/crush.cc.o" "gcc" "src/cluster/CMakeFiles/ecf_cluster.dir/crush.cc.o.d"
+  "/root/repo/src/cluster/pg_autoscale.cc" "src/cluster/CMakeFiles/ecf_cluster.dir/pg_autoscale.cc.o" "gcc" "src/cluster/CMakeFiles/ecf_cluster.dir/pg_autoscale.cc.o.d"
+  "/root/repo/src/cluster/recovery.cc" "src/cluster/CMakeFiles/ecf_cluster.dir/recovery.cc.o" "gcc" "src/cluster/CMakeFiles/ecf_cluster.dir/recovery.cc.o.d"
+  "/root/repo/src/cluster/scrub.cc" "src/cluster/CMakeFiles/ecf_cluster.dir/scrub.cc.o" "gcc" "src/cluster/CMakeFiles/ecf_cluster.dir/scrub.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ec/CMakeFiles/ecf_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmeof/CMakeFiles/ecf_nvmeof.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ecf_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecf_cluster.dir/bluestore.cc.o"
+  "CMakeFiles/ecf_cluster.dir/bluestore.cc.o.d"
+  "CMakeFiles/ecf_cluster.dir/client.cc.o"
+  "CMakeFiles/ecf_cluster.dir/client.cc.o.d"
+  "CMakeFiles/ecf_cluster.dir/cluster.cc.o"
+  "CMakeFiles/ecf_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/ecf_cluster.dir/crush.cc.o"
+  "CMakeFiles/ecf_cluster.dir/crush.cc.o.d"
+  "CMakeFiles/ecf_cluster.dir/pg_autoscale.cc.o"
+  "CMakeFiles/ecf_cluster.dir/pg_autoscale.cc.o.d"
+  "CMakeFiles/ecf_cluster.dir/recovery.cc.o"
+  "CMakeFiles/ecf_cluster.dir/recovery.cc.o.d"
+  "CMakeFiles/ecf_cluster.dir/scrub.cc.o"
+  "CMakeFiles/ecf_cluster.dir/scrub.cc.o.d"
+  "libecf_cluster.a"
+  "libecf_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecf_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

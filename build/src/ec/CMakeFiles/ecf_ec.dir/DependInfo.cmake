@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/clay.cc" "src/ec/CMakeFiles/ecf_ec.dir/clay.cc.o" "gcc" "src/ec/CMakeFiles/ecf_ec.dir/clay.cc.o.d"
+  "/root/repo/src/ec/code.cc" "src/ec/CMakeFiles/ecf_ec.dir/code.cc.o" "gcc" "src/ec/CMakeFiles/ecf_ec.dir/code.cc.o.d"
+  "/root/repo/src/ec/lrc.cc" "src/ec/CMakeFiles/ecf_ec.dir/lrc.cc.o" "gcc" "src/ec/CMakeFiles/ecf_ec.dir/lrc.cc.o.d"
+  "/root/repo/src/ec/registry.cc" "src/ec/CMakeFiles/ecf_ec.dir/registry.cc.o" "gcc" "src/ec/CMakeFiles/ecf_ec.dir/registry.cc.o.d"
+  "/root/repo/src/ec/replication.cc" "src/ec/CMakeFiles/ecf_ec.dir/replication.cc.o" "gcc" "src/ec/CMakeFiles/ecf_ec.dir/replication.cc.o.d"
+  "/root/repo/src/ec/rs.cc" "src/ec/CMakeFiles/ecf_ec.dir/rs.cc.o" "gcc" "src/ec/CMakeFiles/ecf_ec.dir/rs.cc.o.d"
+  "/root/repo/src/ec/shec.cc" "src/ec/CMakeFiles/ecf_ec.dir/shec.cc.o" "gcc" "src/ec/CMakeFiles/ecf_ec.dir/shec.cc.o.d"
+  "/root/repo/src/ec/stripe.cc" "src/ec/CMakeFiles/ecf_ec.dir/stripe.cc.o" "gcc" "src/ec/CMakeFiles/ecf_ec.dir/stripe.cc.o.d"
+  "/root/repo/src/ec/wa_model.cc" "src/ec/CMakeFiles/ecf_ec.dir/wa_model.cc.o" "gcc" "src/ec/CMakeFiles/ecf_ec.dir/wa_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/ecf_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

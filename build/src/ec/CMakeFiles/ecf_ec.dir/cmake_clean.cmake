@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecf_ec.dir/clay.cc.o"
+  "CMakeFiles/ecf_ec.dir/clay.cc.o.d"
+  "CMakeFiles/ecf_ec.dir/code.cc.o"
+  "CMakeFiles/ecf_ec.dir/code.cc.o.d"
+  "CMakeFiles/ecf_ec.dir/lrc.cc.o"
+  "CMakeFiles/ecf_ec.dir/lrc.cc.o.d"
+  "CMakeFiles/ecf_ec.dir/registry.cc.o"
+  "CMakeFiles/ecf_ec.dir/registry.cc.o.d"
+  "CMakeFiles/ecf_ec.dir/replication.cc.o"
+  "CMakeFiles/ecf_ec.dir/replication.cc.o.d"
+  "CMakeFiles/ecf_ec.dir/rs.cc.o"
+  "CMakeFiles/ecf_ec.dir/rs.cc.o.d"
+  "CMakeFiles/ecf_ec.dir/shec.cc.o"
+  "CMakeFiles/ecf_ec.dir/shec.cc.o.d"
+  "CMakeFiles/ecf_ec.dir/stripe.cc.o"
+  "CMakeFiles/ecf_ec.dir/stripe.cc.o.d"
+  "CMakeFiles/ecf_ec.dir/wa_model.cc.o"
+  "CMakeFiles/ecf_ec.dir/wa_model.cc.o.d"
+  "libecf_ec.a"
+  "libecf_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecf_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

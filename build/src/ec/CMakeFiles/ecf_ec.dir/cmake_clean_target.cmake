@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecf_ec.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecfault/campaign.cc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/campaign.cc.o" "gcc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/campaign.cc.o.d"
+  "/root/repo/src/ecfault/coordinator.cc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/coordinator.cc.o" "gcc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/coordinator.cc.o.d"
+  "/root/repo/src/ecfault/fault_injector.cc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/fault_injector.cc.o" "gcc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/fault_injector.cc.o.d"
+  "/root/repo/src/ecfault/iostat.cc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/iostat.cc.o" "gcc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/iostat.cc.o.d"
+  "/root/repo/src/ecfault/logger.cc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/logger.cc.o" "gcc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/logger.cc.o.d"
+  "/root/repo/src/ecfault/msgbus.cc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/msgbus.cc.o" "gcc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/msgbus.cc.o.d"
+  "/root/repo/src/ecfault/profile.cc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/profile.cc.o" "gcc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/profile.cc.o.d"
+  "/root/repo/src/ecfault/timeline.cc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/timeline.cc.o" "gcc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/timeline.cc.o.d"
+  "/root/repo/src/ecfault/worker.cc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/worker.cc.o" "gcc" "src/ecfault/CMakeFiles/ecf_ecfault.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ecf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/ecf_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ecf_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmeof/CMakeFiles/ecf_nvmeof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecf_ecfault.dir/campaign.cc.o"
+  "CMakeFiles/ecf_ecfault.dir/campaign.cc.o.d"
+  "CMakeFiles/ecf_ecfault.dir/coordinator.cc.o"
+  "CMakeFiles/ecf_ecfault.dir/coordinator.cc.o.d"
+  "CMakeFiles/ecf_ecfault.dir/fault_injector.cc.o"
+  "CMakeFiles/ecf_ecfault.dir/fault_injector.cc.o.d"
+  "CMakeFiles/ecf_ecfault.dir/iostat.cc.o"
+  "CMakeFiles/ecf_ecfault.dir/iostat.cc.o.d"
+  "CMakeFiles/ecf_ecfault.dir/logger.cc.o"
+  "CMakeFiles/ecf_ecfault.dir/logger.cc.o.d"
+  "CMakeFiles/ecf_ecfault.dir/msgbus.cc.o"
+  "CMakeFiles/ecf_ecfault.dir/msgbus.cc.o.d"
+  "CMakeFiles/ecf_ecfault.dir/profile.cc.o"
+  "CMakeFiles/ecf_ecfault.dir/profile.cc.o.d"
+  "CMakeFiles/ecf_ecfault.dir/timeline.cc.o"
+  "CMakeFiles/ecf_ecfault.dir/timeline.cc.o.d"
+  "CMakeFiles/ecf_ecfault.dir/worker.cc.o"
+  "CMakeFiles/ecf_ecfault.dir/worker.cc.o.d"
+  "libecf_ecfault.a"
+  "libecf_ecfault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecf_ecfault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecf_ecfault.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecf_gf.dir/gf256.cc.o"
+  "CMakeFiles/ecf_gf.dir/gf256.cc.o.d"
+  "CMakeFiles/ecf_gf.dir/matrix.cc.o"
+  "CMakeFiles/ecf_gf.dir/matrix.cc.o.d"
+  "libecf_gf.a"
+  "libecf_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecf_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

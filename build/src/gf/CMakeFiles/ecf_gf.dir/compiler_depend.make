@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ecf_gf.
+# This may be replaced when dependencies are built.

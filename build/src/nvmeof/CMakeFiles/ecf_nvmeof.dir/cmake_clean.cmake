@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecf_nvmeof.dir/nvmeof.cc.o"
+  "CMakeFiles/ecf_nvmeof.dir/nvmeof.cc.o.d"
+  "libecf_nvmeof.a"
+  "libecf_nvmeof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecf_nvmeof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecf_sim.dir/engine.cc.o"
+  "CMakeFiles/ecf_sim.dir/engine.cc.o.d"
+  "CMakeFiles/ecf_sim.dir/hardware_profiles.cc.o"
+  "CMakeFiles/ecf_sim.dir/hardware_profiles.cc.o.d"
+  "CMakeFiles/ecf_sim.dir/resources.cc.o"
+  "CMakeFiles/ecf_sim.dir/resources.cc.o.d"
+  "libecf_sim.a"
+  "libecf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

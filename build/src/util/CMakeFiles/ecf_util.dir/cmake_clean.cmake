@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecf_util.dir/json.cc.o"
+  "CMakeFiles/ecf_util.dir/json.cc.o.d"
+  "CMakeFiles/ecf_util.dir/log.cc.o"
+  "CMakeFiles/ecf_util.dir/log.cc.o.d"
+  "CMakeFiles/ecf_util.dir/stats.cc.o"
+  "CMakeFiles/ecf_util.dir/stats.cc.o.d"
+  "CMakeFiles/ecf_util.dir/strings.cc.o"
+  "CMakeFiles/ecf_util.dir/strings.cc.o.d"
+  "libecf_util.a"
+  "libecf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/bluestore_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/bluestore_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/client_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/client_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/cluster_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/cluster_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/crush_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/crush_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/pg_autoscale_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/pg_autoscale_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/recovery_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/recovery_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/scrub_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/scrub_test.cc.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

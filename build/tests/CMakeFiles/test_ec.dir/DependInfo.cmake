@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ec/clay_shortened_test.cc" "tests/CMakeFiles/test_ec.dir/ec/clay_shortened_test.cc.o" "gcc" "tests/CMakeFiles/test_ec.dir/ec/clay_shortened_test.cc.o.d"
+  "/root/repo/tests/ec/clay_test.cc" "tests/CMakeFiles/test_ec.dir/ec/clay_test.cc.o" "gcc" "tests/CMakeFiles/test_ec.dir/ec/clay_test.cc.o.d"
+  "/root/repo/tests/ec/code_property_test.cc" "tests/CMakeFiles/test_ec.dir/ec/code_property_test.cc.o" "gcc" "tests/CMakeFiles/test_ec.dir/ec/code_property_test.cc.o.d"
+  "/root/repo/tests/ec/lrc_test.cc" "tests/CMakeFiles/test_ec.dir/ec/lrc_test.cc.o" "gcc" "tests/CMakeFiles/test_ec.dir/ec/lrc_test.cc.o.d"
+  "/root/repo/tests/ec/registry_test.cc" "tests/CMakeFiles/test_ec.dir/ec/registry_test.cc.o" "gcc" "tests/CMakeFiles/test_ec.dir/ec/registry_test.cc.o.d"
+  "/root/repo/tests/ec/replication_test.cc" "tests/CMakeFiles/test_ec.dir/ec/replication_test.cc.o" "gcc" "tests/CMakeFiles/test_ec.dir/ec/replication_test.cc.o.d"
+  "/root/repo/tests/ec/rs_test.cc" "tests/CMakeFiles/test_ec.dir/ec/rs_test.cc.o" "gcc" "tests/CMakeFiles/test_ec.dir/ec/rs_test.cc.o.d"
+  "/root/repo/tests/ec/shec_test.cc" "tests/CMakeFiles/test_ec.dir/ec/shec_test.cc.o" "gcc" "tests/CMakeFiles/test_ec.dir/ec/shec_test.cc.o.d"
+  "/root/repo/tests/ec/stripe_fuzz_test.cc" "tests/CMakeFiles/test_ec.dir/ec/stripe_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/test_ec.dir/ec/stripe_fuzz_test.cc.o.d"
+  "/root/repo/tests/ec/stripe_test.cc" "tests/CMakeFiles/test_ec.dir/ec/stripe_test.cc.o" "gcc" "tests/CMakeFiles/test_ec.dir/ec/stripe_test.cc.o.d"
+  "/root/repo/tests/ec/wa_model_test.cc" "tests/CMakeFiles/test_ec.dir/ec/wa_model_test.cc.o" "gcc" "tests/CMakeFiles/test_ec.dir/ec/wa_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ec/CMakeFiles/ecf_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ecf_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ec.dir/ec/clay_shortened_test.cc.o"
+  "CMakeFiles/test_ec.dir/ec/clay_shortened_test.cc.o.d"
+  "CMakeFiles/test_ec.dir/ec/clay_test.cc.o"
+  "CMakeFiles/test_ec.dir/ec/clay_test.cc.o.d"
+  "CMakeFiles/test_ec.dir/ec/code_property_test.cc.o"
+  "CMakeFiles/test_ec.dir/ec/code_property_test.cc.o.d"
+  "CMakeFiles/test_ec.dir/ec/lrc_test.cc.o"
+  "CMakeFiles/test_ec.dir/ec/lrc_test.cc.o.d"
+  "CMakeFiles/test_ec.dir/ec/registry_test.cc.o"
+  "CMakeFiles/test_ec.dir/ec/registry_test.cc.o.d"
+  "CMakeFiles/test_ec.dir/ec/replication_test.cc.o"
+  "CMakeFiles/test_ec.dir/ec/replication_test.cc.o.d"
+  "CMakeFiles/test_ec.dir/ec/rs_test.cc.o"
+  "CMakeFiles/test_ec.dir/ec/rs_test.cc.o.d"
+  "CMakeFiles/test_ec.dir/ec/shec_test.cc.o"
+  "CMakeFiles/test_ec.dir/ec/shec_test.cc.o.d"
+  "CMakeFiles/test_ec.dir/ec/stripe_fuzz_test.cc.o"
+  "CMakeFiles/test_ec.dir/ec/stripe_fuzz_test.cc.o.d"
+  "CMakeFiles/test_ec.dir/ec/stripe_test.cc.o"
+  "CMakeFiles/test_ec.dir/ec/stripe_test.cc.o.d"
+  "CMakeFiles/test_ec.dir/ec/wa_model_test.cc.o"
+  "CMakeFiles/test_ec.dir/ec/wa_model_test.cc.o.d"
+  "test_ec"
+  "test_ec.pdb"
+  "test_ec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

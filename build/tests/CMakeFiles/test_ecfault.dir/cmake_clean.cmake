@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecfault.dir/ecfault/campaign_test.cc.o"
+  "CMakeFiles/test_ecfault.dir/ecfault/campaign_test.cc.o.d"
+  "CMakeFiles/test_ecfault.dir/ecfault/coordinator_test.cc.o"
+  "CMakeFiles/test_ecfault.dir/ecfault/coordinator_test.cc.o.d"
+  "CMakeFiles/test_ecfault.dir/ecfault/fault_injector_test.cc.o"
+  "CMakeFiles/test_ecfault.dir/ecfault/fault_injector_test.cc.o.d"
+  "CMakeFiles/test_ecfault.dir/ecfault/iostat_test.cc.o"
+  "CMakeFiles/test_ecfault.dir/ecfault/iostat_test.cc.o.d"
+  "CMakeFiles/test_ecfault.dir/ecfault/logger_test.cc.o"
+  "CMakeFiles/test_ecfault.dir/ecfault/logger_test.cc.o.d"
+  "CMakeFiles/test_ecfault.dir/ecfault/msgbus_test.cc.o"
+  "CMakeFiles/test_ecfault.dir/ecfault/msgbus_test.cc.o.d"
+  "CMakeFiles/test_ecfault.dir/ecfault/profile_test.cc.o"
+  "CMakeFiles/test_ecfault.dir/ecfault/profile_test.cc.o.d"
+  "CMakeFiles/test_ecfault.dir/ecfault/timeline_test.cc.o"
+  "CMakeFiles/test_ecfault.dir/ecfault/timeline_test.cc.o.d"
+  "test_ecfault"
+  "test_ecfault.pdb"
+  "test_ecfault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecfault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

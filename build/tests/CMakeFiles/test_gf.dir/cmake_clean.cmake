@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf.dir/gf/gf256_test.cc.o"
+  "CMakeFiles/test_gf.dir/gf/gf256_test.cc.o.d"
+  "CMakeFiles/test_gf.dir/gf/matrix_test.cc.o"
+  "CMakeFiles/test_gf.dir/gf/matrix_test.cc.o.d"
+  "test_gf"
+  "test_gf.pdb"
+  "test_gf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

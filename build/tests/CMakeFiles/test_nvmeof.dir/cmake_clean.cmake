@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvmeof.dir/nvmeof/nvmeof_test.cc.o"
+  "CMakeFiles/test_nvmeof.dir/nvmeof/nvmeof_test.cc.o.d"
+  "test_nvmeof"
+  "test_nvmeof.pdb"
+  "test_nvmeof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvmeof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/engine_stress_test.cc" "tests/CMakeFiles/test_sim.dir/sim/engine_stress_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/engine_stress_test.cc.o.d"
+  "/root/repo/tests/sim/engine_test.cc" "tests/CMakeFiles/test_sim.dir/sim/engine_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/engine_test.cc.o.d"
+  "/root/repo/tests/sim/resources_test.cc" "tests/CMakeFiles/test_sim.dir/sim/resources_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/resources_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ec/CMakeFiles/ecf_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ecf_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

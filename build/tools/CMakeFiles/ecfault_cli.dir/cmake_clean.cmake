@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfault_cli.dir/ecfault_cli.cc.o"
+  "CMakeFiles/ecfault_cli.dir/ecfault_cli.cc.o.d"
+  "ecfault"
+  "ecfault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfault_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
