@@ -142,6 +142,8 @@ void ClayCode::decode_internal(std::vector<Buffer>& chunks,
   }
 
   const PlaneSolver solver = make_plane_solver(gen_, is_erased);
+  std::vector<const Byte*> solve_in(solver.sel.size());
+  std::vector<Byte*> solve_out(erased.size());
   const Byte c_ainv = inv_det_;                      // coeff of own C
   const Byte c_binv = gf::mul(inv_det_, gamma_);     // coeff of partner C
 
@@ -165,15 +167,17 @@ void ClayCode::decode_internal(std::vector<Buffer>& chunks,
         }
       }
     }
-    // Step 2: MDS-solve every plane in the level for the erased nodes' U.
+    // Step 2: MDS-solve every plane in the level for the erased nodes' U —
+    // one batched matrix apply per plane (all erased rows share each pass
+    // over the known symbols).
     for (const std::size_t z : level) {
-      for (std::size_t i = 0; i < erased.size(); ++i) {
-        Byte* dst = u[erased[i]] + z * sub;
-        std::fill(dst, dst + sub, Byte{0});
-        for (std::size_t j = 0; j < solver.sel.size(); ++j) {
-          gf::mul_acc(solver.r.at(i, j), u[solver.sel[j]] + z * sub, dst, sub);
-        }
+      for (std::size_t j = 0; j < solver.sel.size(); ++j) {
+        solve_in[j] = u[solver.sel[j]] + z * sub;
       }
+      for (std::size_t i = 0; i < erased.size(); ++i) {
+        solve_out[i] = u[erased[i]] + z * sub;
+      }
+      gf::matrix_apply(solver.r, solve_in, solve_out, sub);
     }
     // Step 3: coupled symbols of erased nodes in this level's planes.
     for (const std::size_t z : level) {
@@ -295,15 +299,16 @@ Buffer ClayCode::repair_one(
     unknown_ids.push_back(y0 * q_ + x);
   }
   const PlaneSolver solver = make_plane_solver(gen_, unknown);
+  std::vector<const Byte*> solve_in(solver.sel.size());
+  std::vector<Byte*> solve_out(unknown_ids.size());
   for (const std::size_t z : rz) {
-    for (std::size_t i = 0; i < unknown_ids.size(); ++i) {
-      Byte* dst = ustore[unknown_ids[i]].data() + z * sub;
-      std::fill(dst, dst + sub, Byte{0});
-      for (std::size_t j = 0; j < solver.sel.size(); ++j) {
-        gf::mul_acc(solver.r.at(i, j), ustore[solver.sel[j]].data() + z * sub,
-                    dst, sub);
-      }
+    for (std::size_t j = 0; j < solver.sel.size(); ++j) {
+      solve_in[j] = ustore[solver.sel[j]].data() + z * sub;
     }
+    for (std::size_t i = 0; i < unknown_ids.size(); ++i) {
+      solve_out[i] = ustore[unknown_ids[i]].data() + z * sub;
+    }
+    gf::matrix_apply(solver.r, solve_in, solve_out, sub);
   }
 
   Buffer out(chunk_size, 0);
@@ -356,7 +361,7 @@ RepairPlan ClayCode::repair_plan(const std::vector<std::size_t>& erased) const {
     // (and can invert) its advantage under multi-failure patterns
     // (Fig. 2d).
     for (std::size_t i = 0; i < n_; ++i) {
-      if (std::find(erased.begin(), erased.end(), i) != erased.end()) continue;
+      if (std::binary_search(erased.begin(), erased.end(), i)) continue;
       plan.reads.push_back({i, 1.0, q_});
     }
     plan.decode_cost_factor = 3.0;

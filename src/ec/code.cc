@@ -29,9 +29,11 @@ RepairPlan ErasureCode::repair_plan(
   check_erasures(*this, erased);
   RepairPlan plan;
   // Conventional MDS repair: read the first k surviving chunks in full.
+  // check_erasures guarantees `erased` is sorted, so membership is a
+  // binary search.
   std::size_t taken = 0;
   for (std::size_t i = 0; i < n() && taken < k(); ++i) {
-    if (std::find(erased.begin(), erased.end(), i) != erased.end()) continue;
+    if (std::binary_search(erased.begin(), erased.end(), i)) continue;
     plan.reads.push_back({i, 1.0, 1});
     ++taken;
   }

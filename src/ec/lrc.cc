@@ -50,12 +50,16 @@ std::vector<std::size_t> LrcCode::group_members(std::size_t group) const {
 void LrcCode::encode(std::vector<Buffer>& chunks) const {
   check_chunks(chunks);
   const std::size_t len = chunks[0].size();
+  // All local + global parities in one batched pass over the data chunks.
+  std::vector<const Byte*> in(k_);
+  for (std::size_t i = 0; i < k_; ++i) in[i] = chunks[i].data();
+  std::vector<std::size_t> rows(n_ - k_);
+  std::vector<Byte*> out(n_ - k_);
   for (std::size_t p = k_; p < n_; ++p) {
-    std::fill(chunks[p].begin(), chunks[p].end(), Byte{0});
-    for (std::size_t c = 0; c < k_; ++c) {
-      gf::mul_acc(gen_.at(p, c), chunks[c].data(), chunks[p].data(), len);
-    }
+    rows[p - k_] = p;
+    out[p - k_] = chunks[p].data();
   }
+  gen_.apply_rows(rows, in, out, len);
 }
 
 std::vector<std::size_t> LrcCode::pick_rows(
@@ -122,12 +126,13 @@ bool LrcCode::decode(std::vector<Buffer>& chunks,
   }
   gf::matrix_apply(*inv, in, out, len);
 
-  for (const std::size_t e : erased) {
-    std::fill(chunks[e].begin(), chunks[e].end(), Byte{0});
-    for (std::size_t c = 0; c < k_; ++c) {
-      gf::mul_acc(gen_.at(e, c), data[c].data(), chunks[e].data(), len);
-    }
+  std::vector<const Byte*> data_in(k_);
+  for (std::size_t i = 0; i < k_; ++i) data_in[i] = data[i].data();
+  std::vector<Byte*> erased_out(erased.size());
+  for (std::size_t i = 0; i < erased.size(); ++i) {
+    erased_out[i] = chunks[erased[i]].data();
   }
+  gen_.apply_rows(erased, data_in, erased_out, len);
   return true;
 }
 

@@ -54,14 +54,15 @@ void RsCode::encode(std::vector<Buffer>& chunks) const {
   const std::size_t len = chunks[0].size();
   std::vector<const Byte*> in(k_);
   for (std::size_t i = 0; i < k_; ++i) in[i] = chunks[i].data();
-  // Parity rows only; data rows are identity (systematic).
+  // Parity rows only; data rows are identity (systematic). One batched,
+  // cache-blocked pass over the data chunks fills all m parity chunks.
+  std::vector<std::size_t> rows(m());
+  std::vector<Byte*> out(m());
   for (std::size_t p = k_; p < n_; ++p) {
-    Byte* dst = chunks[p].data();
-    std::fill(chunks[p].begin(), chunks[p].end(), Byte{0});
-    for (std::size_t c = 0; c < k_; ++c) {
-      gf::mul_acc(gen_.at(p, c), in[c], dst, len);
-    }
+    rows[p - k_] = p;
+    out[p - k_] = chunks[p].data();
   }
+  gen_.apply_rows(rows, in, out, len);
 }
 
 bool RsCode::decode(std::vector<Buffer>& chunks,
@@ -91,16 +92,20 @@ bool RsCode::decode(std::vector<Buffer>& chunks,
   }
   gf::matrix_apply(*dec, in, out, len);
 
+  std::vector<std::size_t> parity_rows;
+  std::vector<Byte*> parity_out;
+  std::vector<const Byte*> data_in(k_);
+  for (std::size_t i = 0; i < k_; ++i) data_in[i] = data[i].data();
   for (const std::size_t e : erased) {
-    Byte* dst = chunks[e].data();
-    std::fill(chunks[e].begin(), chunks[e].end(), Byte{0});
     if (e < k_) {
       std::copy(data[e].begin(), data[e].end(), chunks[e].begin());
     } else {
-      for (std::size_t c = 0; c < k_; ++c) {
-        gf::mul_acc(gen_.at(e, c), data[c].data(), dst, len);
-      }
+      parity_rows.push_back(e);
+      parity_out.push_back(chunks[e].data());
     }
+  }
+  if (!parity_rows.empty()) {
+    gen_.apply_rows(parity_rows, data_in, parity_out, len);
   }
   return true;
 }

@@ -56,12 +56,16 @@ std::vector<std::size_t> ShecCode::parity_window(std::size_t p) const {
 void ShecCode::encode(std::vector<Buffer>& chunks) const {
   check_chunks(chunks);
   const std::size_t len = chunks[0].size();
+  // All shingled parities in one batched pass over the data chunks.
+  std::vector<const Byte*> in(k_);
+  for (std::size_t i = 0; i < k_; ++i) in[i] = chunks[i].data();
+  std::vector<std::size_t> rows(m_);
+  std::vector<Byte*> out(m_);
   for (std::size_t p = k_; p < n_; ++p) {
-    std::fill(chunks[p].begin(), chunks[p].end(), Byte{0});
-    for (std::size_t d = 0; d < k_; ++d) {
-      gf::mul_acc(gen_.at(p, d), chunks[d].data(), chunks[p].data(), len);
-    }
+    rows[p - k_] = p;
+    out[p - k_] = chunks[p].data();
   }
+  gen_.apply_rows(rows, in, out, len);
 }
 
 std::vector<std::size_t> ShecCode::pick_rows(
@@ -120,12 +124,13 @@ bool ShecCode::decode(std::vector<Buffer>& chunks,
     out[i] = data[i].data();
   }
   gf::matrix_apply(*inv, in, out, len);
-  for (const std::size_t e : erased) {
-    std::fill(chunks[e].begin(), chunks[e].end(), Byte{0});
-    for (std::size_t d = 0; d < k_; ++d) {
-      gf::mul_acc(gen_.at(e, d), data[d].data(), chunks[e].data(), len);
-    }
+  std::vector<const Byte*> data_in(k_);
+  for (std::size_t i = 0; i < k_; ++i) data_in[i] = data[i].data();
+  std::vector<Byte*> erased_out(erased.size());
+  for (std::size_t i = 0; i < erased.size(); ++i) {
+    erased_out[i] = chunks[erased[i]].data();
   }
+  gen_.apply_rows(erased, data_in, erased_out, len);
   return true;
 }
 

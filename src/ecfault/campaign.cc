@@ -1,25 +1,76 @@
 #include "ecfault/campaign.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <thread>
 
 #include "util/bytes.h"
 #include "util/stats.h"
 
 namespace ecf::ecfault {
 
+namespace {
+
+std::size_t resolve_parallelism(std::size_t requested, std::size_t variants) {
+  std::size_t threads = requested;
+  if (threads == 0) {
+    if (const char* env = std::getenv("ECF_CAMPAIGN_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) threads = static_cast<std::size_t>(v);
+    }
+  }
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  return std::min(threads, variants);
+}
+
+}  // namespace
+
 std::vector<VariantResult> Campaign::run(
     const std::string& reference_label) const {
   if (variants_.empty()) throw std::logic_error("campaign has no variants");
-  std::vector<VariantResult> results;
-  results.reserve(variants_.size());
-  for (const Variant& v : variants_) {
+  std::vector<VariantResult> results(variants_.size());
+  auto run_one = [this, &results](std::size_t i) {
     ExperimentProfile p = base_;
-    v.apply(p);
-    p.name = v.label;
-    VariantResult r;
-    r.label = v.label;
-    r.campaign = Coordinator::run_profile(p);
-    results.push_back(std::move(r));
+    variants_[i].apply(p);
+    p.name = variants_[i].label;
+    results[i].label = variants_[i].label;
+    results[i].campaign = Coordinator::run_profile(p);
+  };
+  const std::size_t nthreads =
+      resolve_parallelism(parallelism_, variants_.size());
+  if (nthreads <= 1) {
+    for (std::size_t i = 0; i < variants_.size(); ++i) run_one(i);
+  } else {
+    // Each worker claims the next undone variant; every variant runs a
+    // fully self-contained sim (own engine, cluster, RNG seeds), so the
+    // only shared state is the claim counter and the preallocated result
+    // slots, and results land in declaration order by construction.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(variants_.size());
+    auto work = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= variants_.size()) return;
+        try {
+          run_one(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads - 1);
+    for (std::size_t t = 0; t + 1 < nthreads; ++t) pool.emplace_back(work);
+    work();  // the calling thread participates
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
   }
   const std::string ref =
       reference_label.empty() ? results.front().label : reference_label;

@@ -7,6 +7,11 @@
 // returns a result table, optionally normalized to one variant, rendered
 // like the paper's figures. The standard axes (caching schemes, pg_num,
 // stripe units, codes, failure modes) come as prebuilt variant factories.
+//
+// Variants are independent seeded simulations, so run() executes them on a
+// small worker pool (each variant owns its own sim engine); results are
+// collected in declaration order, so the output is byte-identical to a
+// serial run regardless of thread count.
 #pragma once
 
 #include <functional>
@@ -42,7 +47,17 @@ class Campaign {
     return *this;
   }
 
+  // Worker-pool width for run(). 0 (default) = auto: the smaller of the
+  // variant count and std::thread::hardware_concurrency(), overridable via
+  // the ECF_CAMPAIGN_THREADS environment variable. 1 forces serial
+  // execution in the calling thread.
+  Campaign& parallelism(std::size_t threads) {
+    parallelism_ = threads;
+    return *this;
+  }
+
   // Run every variant; normalize to `reference_label` (empty = first).
+  // Results are in declaration order and independent of parallelism.
   std::vector<VariantResult> run(const std::string& reference_label = "") const;
 
   // Markdown table of a result set (the benches' output format).
@@ -53,6 +68,7 @@ class Campaign {
  private:
   ExperimentProfile base_;
   std::vector<Variant> variants_;
+  std::size_t parallelism_ = 0;
 };
 
 // --- standard axes (the paper's Table 1 subset) -----------------------------

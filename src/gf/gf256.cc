@@ -1,5 +1,9 @@
 #include "gf/gf256.h"
 
+#include <cstring>
+
+#include "gf/gf_kernels.h"
+
 namespace ecf::gf {
 
 namespace {
@@ -31,6 +35,29 @@ Tables::Tables() {
       mul_table[a][b] = exp[log[a] + log[b]];
     }
   }
+  // Nibble-split tables for the pshufb/vpshufb kernels: products of the
+  // low and high nibble values, combined by XOR (multiplication is linear
+  // over GF(2), so c*x = c*(x & 0xF) ^ c*(x & 0xF0)).
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned v = 0; v < 16; ++v) {
+      nib[c][v] = mul_table[c][v];
+      nib[c][16 + v] = mul_table[c][v << 4];
+    }
+  }
+  // GFNI affine matrices: for output bit i, byte 7-i of the qword masks
+  // the source bits j where bit i of c*x^j is set (vgf2p8affineqb's row
+  // packing, verified against the scalar kernel by the cross-check tests).
+  for (unsigned c = 0; c < 256; ++c) {
+    std::uint64_t m = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      Byte row = 0;
+      for (unsigned j = 0; j < 8; ++j) {
+        if ((mul_table[c][1u << j] >> i) & 1) row |= static_cast<Byte>(1u << j);
+      }
+      m |= static_cast<std::uint64_t>(row) << (8 * (7 - i));
+    }
+    affine[c] = m;
+  }
 }
 
 const Tables& tables() {
@@ -48,39 +75,33 @@ Byte pow(Byte a, unsigned e) {
 
 void mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n) {
   if (c == 0) return;
+  const Kernels& k = kernels();
   if (c == 1) {
-    xor_region(src, dst, n);
+    k.xor_region(src, dst, n);
     return;
   }
-  const Byte* prod = tables().mul_table[c];
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= prod[src[i]];
+  k.mul_acc(c, src, dst, n);
 }
 
 void mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n) {
   if (c == 0) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    std::memset(dst, 0, n);
     return;
   }
   if (c == 1) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    std::memcpy(dst, src, n);
     return;
   }
-  const Byte* prod = tables().mul_table[c];
-  for (std::size_t i = 0; i < n; ++i) dst[i] = prod[src[i]];
+  kernels().mul_region(c, src, dst, n);
 }
 
 void xor_region(const Byte* src, Byte* dst, std::size_t n) {
-  std::size_t i = 0;
-  // Word-at-a-time XOR for the bulk; bytes for the tail.
-  using Word = std::uint64_t;
-  for (; i + sizeof(Word) <= n; i += sizeof(Word)) {
-    Word a, b;
-    __builtin_memcpy(&a, src + i, sizeof(Word));
-    __builtin_memcpy(&b, dst + i, sizeof(Word));
-    b ^= a;
-    __builtin_memcpy(dst + i, &b, sizeof(Word));
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
+  kernels().xor_region(src, dst, n);
+}
+
+void mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                   Byte* const* dsts, std::size_t n) {
+  kernels().mul_acc_multi(coeffs, m, src, dsts, n);
 }
 
 }  // namespace ecf::gf

@@ -6,8 +6,10 @@
 // uses log/exp tables generated once at static-init time.
 //
 // Bulk operations (multiply-accumulate a region) are the hot path of
-// encode/decode; they use a per-coefficient 256-entry product table so the
-// inner loop is a single table lookup + XOR per byte.
+// encode/decode. They dispatch through a runtime-selected kernel suite
+// (gf_kernels.h): nibble-split SSSE3/AVX2 shuffles or GFNI affine ops on
+// x86, a 64-bit SWAR kernel elsewhere, with a scalar table kernel as the
+// reference implementation every variant is fuzzed against.
 #pragma once
 
 #include <cstddef>
@@ -22,11 +24,22 @@ using Byte = std::uint8_t;
 // `mul_table` is the full 64 KiB product table: row c is the map x -> c*x.
 // Bulk kernels index rows directly, so region operations have no per-call
 // setup — important for sub-packetized codes whose regions are tiny.
+//
+// `nib` holds the nibble-split tables the SSSE3/AVX2 kernels shuffle with:
+// nib[c][0..15] = c * i and nib[c][16..31] = c * (i << 4), so a product is
+// nib[c][x & 0xF] ^ nib[c][16 + (x >> 4)] — one 32-byte row per coefficient,
+// loaded straight into vector registers.
+//
+// `affine` holds, per coefficient c, the 8x8 GF(2) bit matrix of the linear
+// map x -> c*x packed for vgf2p8affineqb: byte 7-i of the qword is the mask
+// of source bits feeding output bit i (column j at bit position j).
 struct Tables {
   Byte exp[512];   // exp[i] = g^i, duplicated so mul avoids a mod
   Byte log[256];   // log[0] unused
   Byte inv[256];   // inv[0] unused
   Byte mul_table[256][256];
+  alignas(16) Byte nib[256][32];
+  std::uint64_t affine[256];
   Tables();
 };
 
@@ -52,12 +65,20 @@ inline Byte div(Byte a, Byte b) { return mul(a, inv(b)); }
 Byte pow(Byte a, unsigned e);
 
 // dst[i] ^= c * src[i] for i in [0, n). The workhorse of encoding.
+// Dispatches to the active SIMD kernel (see gf_kernels.h); c == 0/1 short-
+// circuit to no-op/XOR before the dispatch.
 void mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n);
 
-// dst[i] = c * src[i].
+// dst[i] = c * src[i]. c == 0/1 short-circuit to memset/memcpy.
 void mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n);
 
 // dst[i] ^= src[i].
 void xor_region(const Byte* src, Byte* dst, std::size_t n);
+
+// dsts[r][i] ^= coeffs[r] * src[i] for r in [0, m), i in [0, n): one pass
+// over src feeding all m outputs — the batched matrix-apply building block.
+// Rows with coeffs[r] == 0 are skipped.
+void mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                   Byte* const* dsts, std::size_t n);
 
 }  // namespace ecf::gf

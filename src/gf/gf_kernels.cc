@@ -1,0 +1,289 @@
+#include "gf/gf_kernels.h"
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+#include "gf/gf_kernels_impl.h"
+
+namespace ecf::gf {
+
+namespace detail {
+
+void scalar_mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) return;
+  const Byte* prod = tables().mul_table[c];
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= prod[src[i]];
+}
+
+void scalar_mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  const Byte* prod = tables().mul_table[c];
+  for (std::size_t i = 0; i < n; ++i) dst[i] = prod[src[i]];
+}
+
+void scalar_xor_region(const Byte* src, Byte* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+void scalar_mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                          Byte* const* dsts, std::size_t n) {
+  for (std::size_t r = 0; r < m; ++r) {
+    scalar_mul_acc(coeffs[r], src, dsts[r], n);
+  }
+}
+
+namespace {
+
+// Per-byte doubling in GF(256)/0x11D across a 64-bit lane: shift each byte
+// left and fold the carried-out high bit back in as the reduction 0x1D.
+// (hi >> 7) has 0x01 in every byte that overflowed; * 0x1D spreads the
+// polynomial into those bytes without cross-byte carries.
+inline std::uint64_t swar_double(std::uint64_t a) {
+  const std::uint64_t hi = a & 0x8080808080808080ull;
+  return ((a << 1) & 0xFEFEFEFEFEFEFEFEull) ^ ((hi >> 7) * 0x1D);
+}
+
+}  // namespace
+
+namespace {
+
+// Multiply every byte of `a` by `c` (c != 0): XOR together a * x^b for the
+// set bits b of c, walking the doubling chain only up to the top set bit.
+// The bit pattern of c is loop-invariant, so the branches predict
+// perfectly after the first word.
+inline std::uint64_t swar_mul_word(std::uint64_t a, Byte c) {
+  std::uint64_t acc = 0;
+  unsigned bits = c;
+  for (;;) {
+    if (bits & 1) acc ^= a;
+    bits >>= 1;
+    if (bits == 0) return acc;
+    a = swar_double(a);
+  }
+}
+
+}  // namespace
+
+void swar_mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) return;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, d;
+    std::memcpy(&a, src + i, 8);
+    std::memcpy(&d, dst + i, 8);
+    d ^= swar_mul_word(a, c);
+    std::memcpy(dst + i, &d, 8);
+  }
+  scalar_mul_acc(c, src + i, dst + i, n - i);
+}
+
+void swar_mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a;
+    std::memcpy(&a, src + i, 8);
+    const std::uint64_t acc = swar_mul_word(a, c);
+    std::memcpy(dst + i, &acc, 8);
+  }
+  scalar_mul_region(c, src + i, dst + i, n - i);
+}
+
+void swar_xor_region(const Byte* src, Byte* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, d;
+    std::memcpy(&a, src + i, 8);
+    std::memcpy(&d, dst + i, 8);
+    d ^= a;
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void swar_mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                        Byte* const* dsts, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // src * x^b for b = 0..7, computed once and shared by every output row.
+    std::uint64_t pw[8];
+    std::memcpy(&pw[0], src + i, 8);
+    for (int b = 1; b < 8; ++b) pw[b] = swar_double(pw[b - 1]);
+    for (std::size_t r = 0; r < m; ++r) {
+      const Byte c = coeffs[r];
+      if (c == 0) continue;
+      std::uint64_t acc = 0;
+      for (int b = 0; b < 8; ++b) {
+        if ((c >> b) & 1) acc ^= pw[b];
+      }
+      std::uint64_t d;
+      std::memcpy(&d, dsts[r] + i, 8);
+      d ^= acc;
+      std::memcpy(dsts[r] + i, &d, 8);
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    scalar_mul_acc(coeffs[r], src + i, dsts[r] + i, n - i);
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr Kernels kScalarKernels{
+    KernelVariant::kScalar, "scalar",          detail::scalar_mul_acc,
+    detail::scalar_mul_region, detail::scalar_xor_region,
+    detail::scalar_mul_acc_multi};
+
+constexpr Kernels kSwarKernels{
+    KernelVariant::kSwar, "swar",          detail::swar_mul_acc,
+    detail::swar_mul_region, detail::swar_xor_region,
+    detail::swar_mul_acc_multi};
+
+#ifdef ECF_GF_HAVE_SSSE3
+constexpr Kernels kSsse3Kernels{
+    KernelVariant::kSsse3, "ssse3",          detail::ssse3_mul_acc,
+    detail::ssse3_mul_region, detail::ssse3_xor_region,
+    detail::ssse3_mul_acc_multi};
+#endif
+
+#ifdef ECF_GF_HAVE_AVX2
+constexpr Kernels kAvx2Kernels{
+    KernelVariant::kAvx2, "avx2",          detail::avx2_mul_acc,
+    detail::avx2_mul_region, detail::avx2_xor_region,
+    detail::avx2_mul_acc_multi};
+#endif
+
+#ifdef ECF_GF_HAVE_GFNI
+constexpr Kernels kGfniKernels{
+    KernelVariant::kGfni, "gfni",          detail::gfni_mul_acc,
+    detail::gfni_mul_region, detail::gfni_xor_region,
+    detail::gfni_mul_acc_multi};
+#endif
+
+bool cpu_supports(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kScalar:
+    case KernelVariant::kSwar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case KernelVariant::kSsse3:
+      return __builtin_cpu_supports("ssse3");
+    case KernelVariant::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case KernelVariant::kGfni:
+      // VEX-encoded vgf2p8affineqb needs both GFNI and AVX state.
+      return __builtin_cpu_supports("gfni") && __builtin_cpu_supports("avx2");
+#endif
+    default:
+      return false;
+  }
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+}  // namespace
+
+const char* to_string(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kScalar: return "scalar";
+    case KernelVariant::kSwar: return "swar";
+    case KernelVariant::kSsse3: return "ssse3";
+    case KernelVariant::kAvx2: return "avx2";
+    case KernelVariant::kGfni: return "gfni";
+  }
+  return "?";
+}
+
+bool variant_supported(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kScalar:
+    case KernelVariant::kSwar:
+      return true;
+    case KernelVariant::kSsse3:
+#ifdef ECF_GF_HAVE_SSSE3
+      return cpu_supports(v);
+#else
+      return false;
+#endif
+    case KernelVariant::kAvx2:
+#ifdef ECF_GF_HAVE_AVX2
+      return cpu_supports(v);
+#else
+      return false;
+#endif
+    case KernelVariant::kGfni:
+#ifdef ECF_GF_HAVE_GFNI
+      return cpu_supports(v);
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<KernelVariant> supported_variants() {
+  std::vector<KernelVariant> out;
+  for (const KernelVariant v :
+       {KernelVariant::kScalar, KernelVariant::kSwar, KernelVariant::kSsse3,
+        KernelVariant::kAvx2, KernelVariant::kGfni}) {
+    if (variant_supported(v)) out.push_back(v);
+  }
+  return out;
+}
+
+KernelVariant best_variant() {
+  // Preference order: GFNI > AVX2 > SSSE3 > SWAR. The affine instruction
+  // does a full byte multiply per lane-byte with no table pressure at all.
+  for (const KernelVariant v : {KernelVariant::kGfni, KernelVariant::kAvx2,
+                                KernelVariant::kSsse3}) {
+    if (variant_supported(v)) return v;
+  }
+  return KernelVariant::kSwar;
+}
+
+const Kernels& kernels_for(KernelVariant v) {
+  if (!variant_supported(v)) {
+    throw std::invalid_argument(std::string("gf kernel variant '") +
+                                to_string(v) +
+                                "' not supported on this build/CPU");
+  }
+  switch (v) {
+    case KernelVariant::kScalar: return kScalarKernels;
+    case KernelVariant::kSwar: return kSwarKernels;
+#ifdef ECF_GF_HAVE_SSSE3
+    case KernelVariant::kSsse3: return kSsse3Kernels;
+#endif
+#ifdef ECF_GF_HAVE_AVX2
+    case KernelVariant::kAvx2: return kAvx2Kernels;
+#endif
+#ifdef ECF_GF_HAVE_GFNI
+    case KernelVariant::kGfni: return kGfniKernels;
+#endif
+    default:
+      throw std::invalid_argument("gf kernel variant not compiled in");
+  }
+}
+
+const Kernels& kernels() {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = &kernels_for(best_variant());
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+void select_kernels(KernelVariant v) {
+  g_active.store(&kernels_for(v), std::memory_order_release);
+}
+
+}  // namespace ecf::gf

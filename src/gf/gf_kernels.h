@@ -1,0 +1,71 @@
+// Runtime-dispatched GF(256) bulk kernels.
+//
+// Each variant implements the same four region operations; the fastest one
+// the CPU supports is selected once at startup (CPUID on x86) and installed
+// in a function-pointer table. Callers normally go through the gf::mul_acc /
+// gf::mul_region / gf::xor_region / gf::mul_acc_multi wrappers in gf256.h;
+// tests and benches can pin a specific variant with select_kernels() or call
+// one directly via kernels_for().
+//
+//   kScalar — 256-entry product-table lookup, one byte per step. The
+//             reference implementation every other variant is fuzzed
+//             against.
+//   kSwar   — portable 64-bit SWAR: multiplies 8 bytes at once by chaining
+//             the per-byte doubling map a -> (a<<1) ^ (0x1D if carry) over
+//             the bits of the coefficient. The non-x86 fallback.
+//   kSsse3  — nibble-split pshufb: two 16-entry tables per coefficient
+//             (low/high nibble products), 16 bytes per step.
+//   kAvx2   — same nibble scheme with vpshufb, 32 bytes per step.
+//   kGfni   — vgf2p8affineqb with a precomputed 8x8 bit matrix per
+//             coefficient (the instruction's fixed-polynomial multiply uses
+//             0x11B, not our 0x11D, so the affine form is required).
+//
+// All kernels accept any coefficient (including 0 and 1), any alignment,
+// and any length; vector bodies fall back to the scalar tail loop for the
+// last < vector-width bytes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gf/gf256.h"
+
+namespace ecf::gf {
+
+enum class KernelVariant { kScalar, kSwar, kSsse3, kAvx2, kGfni };
+
+const char* to_string(KernelVariant v);
+
+// The per-variant operation table.
+struct Kernels {
+  KernelVariant variant = KernelVariant::kScalar;
+  const char* name = "scalar";
+  void (*mul_acc)(Byte c, const Byte* src, Byte* dst, std::size_t n) = nullptr;
+  void (*mul_region)(Byte c, const Byte* src, Byte* dst,
+                     std::size_t n) = nullptr;
+  void (*xor_region)(const Byte* src, Byte* dst, std::size_t n) = nullptr;
+  void (*mul_acc_multi)(const Byte* coeffs, std::size_t m, const Byte* src,
+                        Byte* const* dsts, std::size_t n) = nullptr;
+};
+
+// True when the variant was compiled in and the CPU reports support.
+bool variant_supported(KernelVariant v);
+
+// All supported variants, scalar first (for cross-check loops in tests).
+std::vector<KernelVariant> supported_variants();
+
+// The fastest supported variant (what startup auto-selection picks).
+KernelVariant best_variant();
+
+// Operation table of a specific variant; throws std::invalid_argument when
+// !variant_supported(v).
+const Kernels& kernels_for(KernelVariant v);
+
+// The active table. First use selects best_variant().
+const Kernels& kernels();
+
+// Pin the active table to a variant (tests/benches); throws when
+// unsupported. select_kernels(best_variant()) restores the default.
+void select_kernels(KernelVariant v);
+
+}  // namespace ecf::gf

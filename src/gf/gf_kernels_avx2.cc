@@ -1,0 +1,110 @@
+// AVX2 nibble-split kernels: the SSSE3 scheme widened to 32 bytes with
+// vpshufb. The per-coefficient 32-byte nib row loads as [lo16 | hi16]; two
+// lane permutes broadcast each half across both lanes. Compiled with -mavx2
+// only; never executed unless CPUID reports AVX2.
+#include "gf/gf_kernels_impl.h"
+
+#ifdef ECF_GF_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace ecf::gf::detail {
+
+namespace {
+
+struct NibTables {
+  __m256i lo;
+  __m256i hi;
+};
+
+inline NibTables load_tables(Byte c) {
+  const __m256i both =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(tables().nib[c]));
+  return {_mm256_permute2x128_si256(both, both, 0x00),
+          _mm256_permute2x128_si256(both, both, 0x11)};
+}
+
+}  // namespace
+
+void avx2_mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) return;
+  const NibTables t = load_tables(c);
+  const __m256i maskf = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_and_si256(x, maskf);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(x, 4), maskf);
+    const __m256i p = _mm256_xor_si256(_mm256_shuffle_epi8(t.lo, lo),
+                                       _mm256_shuffle_epi8(t.hi, hi));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, p));
+  }
+  scalar_mul_acc(c, src + i, dst + i, n - i);
+}
+
+void avx2_mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) {
+    __builtin_memset(dst, 0, n);
+    return;
+  }
+  const NibTables t = load_tables(c);
+  const __m256i maskf = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_and_si256(x, maskf);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(x, 4), maskf);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(_mm256_shuffle_epi8(t.lo, lo),
+                                         _mm256_shuffle_epi8(t.hi, hi)));
+  }
+  scalar_mul_region(c, src + i, dst + i, n - i);
+}
+
+void avx2_xor_region(const Byte* src, Byte* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, x));
+  }
+  scalar_xor_region(src + i, dst + i, n - i);
+}
+
+void avx2_mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                        Byte* const* dsts, std::size_t n) {
+  const __m256i maskf = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    // Load and nibble-split the source block once for all m outputs.
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_and_si256(x, maskf);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(x, 4), maskf);
+    for (std::size_t r = 0; r < m; ++r) {
+      if (coeffs[r] == 0) continue;
+      const NibTables t = load_tables(coeffs[r]);
+      const __m256i p = _mm256_xor_si256(_mm256_shuffle_epi8(t.lo, lo),
+                                         _mm256_shuffle_epi8(t.hi, hi));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<__m256i*>(dsts[r] + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dsts[r] + i),
+                          _mm256_xor_si256(d, p));
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    scalar_mul_acc(coeffs[r], src + i, dsts[r] + i, n - i);
+  }
+}
+
+}  // namespace ecf::gf::detail
+
+#endif  // ECF_GF_HAVE_AVX2

@@ -1,0 +1,88 @@
+// GFNI kernels: vgf2p8affineqb computes, per byte, an 8x8 GF(2) bit-matrix
+// product — exactly a multiply-by-constant in any GF(256) representation.
+// (The sibling vgf2p8mulqb instruction is useless here: it hardwires the
+// AES polynomial 0x11B, and this library's field uses 0x11D.) The matrix
+// for each coefficient is precomputed in Tables::affine with the packing
+// the instruction expects: byte 7-i of the qword masks the source bits
+// feeding output bit i. Compiled with -mgfni -mavx2; never executed unless
+// CPUID reports GFNI+AVX2.
+#include "gf/gf_kernels_impl.h"
+
+#ifdef ECF_GF_HAVE_GFNI
+
+#include <immintrin.h>
+
+namespace ecf::gf::detail {
+
+void gfni_mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) return;
+  const __m256i a =
+      _mm256_set1_epi64x(static_cast<long long>(tables().affine[c]));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i p = _mm256_gf2p8affine_epi64_epi8(x, a, 0);
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, p));
+  }
+  scalar_mul_acc(c, src + i, dst + i, n - i);
+}
+
+void gfni_mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) {
+    __builtin_memset(dst, 0, n);
+    return;
+  }
+  const __m256i a =
+      _mm256_set1_epi64x(static_cast<long long>(tables().affine[c]));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_gf2p8affine_epi64_epi8(x, a, 0));
+  }
+  scalar_mul_region(c, src + i, dst + i, n - i);
+}
+
+void gfni_xor_region(const Byte* src, Byte* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, x));
+  }
+  scalar_xor_region(src + i, dst + i, n - i);
+}
+
+void gfni_mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                        Byte* const* dsts, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    for (std::size_t r = 0; r < m; ++r) {
+      if (coeffs[r] == 0) continue;
+      const __m256i a = _mm256_set1_epi64x(
+          static_cast<long long>(tables().affine[coeffs[r]]));
+      const __m256i p = _mm256_gf2p8affine_epi64_epi8(x, a, 0);
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<__m256i*>(dsts[r] + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dsts[r] + i),
+                          _mm256_xor_si256(d, p));
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    scalar_mul_acc(coeffs[r], src + i, dsts[r] + i, n - i);
+  }
+}
+
+}  // namespace ecf::gf::detail
+
+#endif  // ECF_GF_HAVE_GFNI

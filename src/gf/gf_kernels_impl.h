@@ -1,0 +1,50 @@
+// Internal: per-variant kernel entry points, shared between the dispatch
+// unit (gf_kernels.cc) and the separately-flagged SIMD translation units.
+// The SSSE3/AVX2/GFNI symbols exist only when the corresponding
+// ECF_GF_HAVE_* macro is defined by the build (x86 with a capable
+// compiler); the dispatcher guards every reference with the same macros.
+#pragma once
+
+#include "gf/gf256.h"
+
+namespace ecf::gf::detail {
+
+// Scalar reference kernels (always present).
+void scalar_mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n);
+void scalar_mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n);
+void scalar_xor_region(const Byte* src, Byte* dst, std::size_t n);
+void scalar_mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                          Byte* const* dsts, std::size_t n);
+
+// Portable 64-bit SWAR kernels (always present).
+void swar_mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n);
+void swar_mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n);
+void swar_xor_region(const Byte* src, Byte* dst, std::size_t n);
+void swar_mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                        Byte* const* dsts, std::size_t n);
+
+#ifdef ECF_GF_HAVE_SSSE3
+void ssse3_mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n);
+void ssse3_mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n);
+void ssse3_xor_region(const Byte* src, Byte* dst, std::size_t n);
+void ssse3_mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                         Byte* const* dsts, std::size_t n);
+#endif
+
+#ifdef ECF_GF_HAVE_AVX2
+void avx2_mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n);
+void avx2_mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n);
+void avx2_xor_region(const Byte* src, Byte* dst, std::size_t n);
+void avx2_mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                        Byte* const* dsts, std::size_t n);
+#endif
+
+#ifdef ECF_GF_HAVE_GFNI
+void gfni_mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n);
+void gfni_mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n);
+void gfni_xor_region(const Byte* src, Byte* dst, std::size_t n);
+void gfni_mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                        Byte* const* dsts, std::size_t n);
+#endif
+
+}  // namespace ecf::gf::detail

@@ -1,0 +1,105 @@
+// SSSE3 nibble-split kernels: product = pshufb(lo_table, x & 0xF) ^
+// pshufb(hi_table, x >> 4), 16 bytes per step. Compiled with -mssse3 only;
+// never executed unless CPUID reports SSSE3 (see gf_kernels.cc dispatch).
+#include "gf/gf_kernels_impl.h"
+
+#ifdef ECF_GF_HAVE_SSSE3
+
+#include <immintrin.h>
+
+namespace ecf::gf::detail {
+
+namespace {
+
+struct NibTables {
+  __m128i lo;
+  __m128i hi;
+};
+
+inline NibTables load_tables(Byte c) {
+  const Byte* nib = tables().nib[c];
+  return {_mm_load_si128(reinterpret_cast<const __m128i*>(nib)),
+          _mm_load_si128(reinterpret_cast<const __m128i*>(nib + 16))};
+}
+
+inline __m128i product16(const NibTables& t, __m128i x, __m128i maskf) {
+  const __m128i lo = _mm_and_si128(x, maskf);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi64(x, 4), maskf);
+  return _mm_xor_si128(_mm_shuffle_epi8(t.lo, lo), _mm_shuffle_epi8(t.hi, hi));
+}
+
+}  // namespace
+
+void ssse3_mul_acc(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) return;
+  const NibTables t = load_tables(c);
+  const __m128i maskf = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, product16(t, x, maskf)));
+  }
+  scalar_mul_acc(c, src + i, dst + i, n - i);
+}
+
+void ssse3_mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n) {
+  if (c == 0) {
+    __builtin_memset(dst, 0, n);
+    return;
+  }
+  const NibTables t = load_tables(c);
+  const __m128i maskf = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     product16(t, x, maskf));
+  }
+  scalar_mul_region(c, src + i, dst + i, n - i);
+}
+
+void ssse3_xor_region(const Byte* src, Byte* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, x));
+  }
+  scalar_xor_region(src + i, dst + i, n - i);
+}
+
+void ssse3_mul_acc_multi(const Byte* coeffs, std::size_t m, const Byte* src,
+                         Byte* const* dsts, std::size_t n) {
+  const __m128i maskf = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // Load and nibble-split the source block once for all m outputs.
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_and_si128(x, maskf);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(x, 4), maskf);
+    for (std::size_t r = 0; r < m; ++r) {
+      if (coeffs[r] == 0) continue;
+      const NibTables t = load_tables(coeffs[r]);
+      const __m128i p = _mm_xor_si128(_mm_shuffle_epi8(t.lo, lo),
+                                      _mm_shuffle_epi8(t.hi, hi));
+      const __m128i d =
+          _mm_loadu_si128(reinterpret_cast<__m128i*>(dsts[r] + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dsts[r] + i),
+                       _mm_xor_si128(d, p));
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    scalar_mul_acc(coeffs[r], src + i, dsts[r] + i, n - i);
+  }
+}
+
+}  // namespace ecf::gf::detail
+
+#endif  // ECF_GF_HAVE_SSSE3

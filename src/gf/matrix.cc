@@ -1,8 +1,13 @@
 #include "gf/matrix.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstring>
+#include <numeric>
 #include <stdexcept>
+
+#include "gf/gf_kernels.h"
 
 namespace ecf::gf {
 
@@ -158,17 +163,42 @@ std::string Matrix::to_string() const {
   return out;
 }
 
+void Matrix::apply_rows(const std::vector<std::size_t>& rows,
+                        const std::vector<const Byte*>& in,
+                        const std::vector<Byte*>& out, std::size_t len) const {
+  assert(in.size() == cols_);
+  assert(out.size() == rows.size());
+  const Kernels& k = kernels();
+  const std::size_t m = rows.size();
+  // Block size tuned so the m output blocks stay L1-resident while the
+  // cols_ source blocks stream through once each.
+  constexpr std::size_t kBlock = 4096;
+  std::vector<Byte> coeffs(m);
+  std::vector<Byte*> dsts(m);
+  for (std::size_t ofs = 0; ofs < len; ofs += kBlock) {
+    const std::size_t bn = std::min(kBlock, len - ofs);
+    for (std::size_t r = 0; r < m; ++r) {
+      dsts[r] = out[r] + ofs;
+      std::memset(dsts[r], 0, bn);
+    }
+    for (std::size_t c = 0; c < cols_; ++c) {
+      bool any = false;
+      for (std::size_t r = 0; r < m; ++r) {
+        coeffs[r] = at(rows[r], c);
+        any = any || coeffs[r] != 0;
+      }
+      if (any) k.mul_acc_multi(coeffs.data(), m, in[c] + ofs, dsts.data(), bn);
+    }
+  }
+}
+
 void matrix_apply(const Matrix& m, const std::vector<const Byte*>& in,
                   const std::vector<Byte*>& out, std::size_t len) {
   assert(in.size() == m.cols());
   assert(out.size() == m.rows());
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    Byte* dst = out[r];
-    for (std::size_t i = 0; i < len; ++i) dst[i] = 0;
-    for (std::size_t c = 0; c < m.cols(); ++c) {
-      mul_acc(m.at(r, c), in[c], dst, len);
-    }
-  }
+  std::vector<std::size_t> rows(m.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  m.apply_rows(rows, in, out, len);
 }
 
 }  // namespace ecf::gf

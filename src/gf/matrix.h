@@ -60,6 +60,15 @@ class Matrix {
   // Returns false if the leading block is singular.
   bool make_systematic(std::size_t k);
 
+  // Batched bulk apply of a row subset: out[i] = sum_c M[rows[i]][c] * in[c]
+  // over data regions of length len. Cache-blocked so every output block
+  // stays resident while the source chunks stream through once, feeding all
+  // selected rows per pass via gf::mul_acc_multi — the batched encode/decode
+  // kernel (vs. rows x cols independent mul_acc sweeps).
+  void apply_rows(const std::vector<std::size_t>& rows,
+                  const std::vector<const Byte*>& in,
+                  const std::vector<Byte*>& out, std::size_t len) const;
+
   bool operator==(const Matrix& o) const {
     return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
   }
@@ -74,7 +83,8 @@ class Matrix {
 
 // y = M * x where x is a vector of column pointers to data regions of
 // length len: out[r] = sum_c M[r][c] * in[c]. The core bulk encode/decode
-// kernel — every code funnels through this.
+// kernel — every code funnels through this (or through apply_rows for a
+// row subset). Delegates to Matrix::apply_rows over all rows.
 void matrix_apply(const Matrix& m, const std::vector<const Byte*>& in,
                   const std::vector<Byte*>& out, std::size_t len);
 

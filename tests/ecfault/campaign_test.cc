@@ -71,6 +71,41 @@ TEST(Campaign, TableRendersAllRows) {
   EXPECT_NE(table.find("normalized"), std::string::npos);
 }
 
+TEST(Campaign, ParallelRunMatchesSerialByteForByte) {
+  // 4 variants on 4 workers must produce the identical result table, in
+  // declaration order, as a serial run — every variant owns its own sim
+  // engine and derives its seeds from the profile alone.
+  const auto variants = cross(code_axis(), pg_axis({4, 16}));
+  Campaign serial(tiny_base());
+  serial.add_all(variants).parallelism(1);
+  Campaign parallel(tiny_base());
+  parallel.add_all(variants).parallelism(4);
+
+  const auto a = serial.run();
+  const auto b = parallel.run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_DOUBLE_EQ(a[i].campaign.mean_total, b[i].campaign.mean_total);
+    EXPECT_DOUBLE_EQ(a[i].campaign.mean_checking,
+                     b[i].campaign.mean_checking);
+    EXPECT_DOUBLE_EQ(a[i].campaign.mean_recovery,
+                     b[i].campaign.mean_recovery);
+    EXPECT_DOUBLE_EQ(a[i].normalized, b[i].normalized);
+  }
+  EXPECT_EQ(Campaign::to_table(a), Campaign::to_table(b));
+}
+
+TEST(Campaign, ParallelismManyWorkersOnFewVariants) {
+  // More workers than variants must not deadlock or reorder results.
+  Campaign campaign(tiny_base());
+  campaign.add_all(pg_axis({16, 4})).parallelism(8);
+  const auto results = campaign.run("pg=16");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].label, "pg=16");
+  EXPECT_DOUBLE_EQ(results[0].normalized, 1.0);
+}
+
 TEST(CampaignJson, BuildsCrossedAxes) {
   const auto spec = campaign_from_json(util::Json::parse(R"({
     "base": {"runs": 1, "cluster": {"num_hosts": 15,

@@ -1,0 +1,189 @@
+// Cross-checks every compiled-and-supported kernel variant against the
+// scalar reference across random coefficients, unaligned src/dst offsets,
+// and lengths 0–257 (covering empty regions, sub-vector-width regions,
+// exact multiples of every vector width, and ragged tails).
+#include "gf/gf_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ecf::gf {
+namespace {
+
+constexpr std::size_t kMaxLen = 257;
+constexpr std::size_t kMaxOffset = 16;
+
+// Restores the auto-selected kernel after a test pins one.
+struct KernelGuard {
+  ~KernelGuard() { select_kernels(best_variant()); }
+};
+
+std::vector<Byte> random_bytes(util::Rng& rng, std::size_t n) {
+  std::vector<Byte> out(n);
+  for (auto& b : out) b = static_cast<Byte>(rng.uniform(256));
+  return out;
+}
+
+// A coefficient schedule that hits 0, 1 and random values.
+Byte coefficient(util::Rng& rng, std::size_t trial) {
+  if (trial % 7 == 0) return 0;
+  if (trial % 7 == 1) return 1;
+  return static_cast<Byte>(rng.uniform(256));
+}
+
+TEST(GfKernels, PortableVariantsAlwaysSupported) {
+  EXPECT_TRUE(variant_supported(KernelVariant::kScalar));
+  EXPECT_TRUE(variant_supported(KernelVariant::kSwar));
+  const auto all = supported_variants();
+  ASSERT_GE(all.size(), 2u);
+  EXPECT_EQ(all.front(), KernelVariant::kScalar);
+}
+
+TEST(GfKernels, SelectOverridesAndRestores) {
+  KernelGuard guard;
+  select_kernels(KernelVariant::kScalar);
+  EXPECT_EQ(kernels().variant, KernelVariant::kScalar);
+  select_kernels(KernelVariant::kSwar);
+  EXPECT_EQ(kernels().variant, KernelVariant::kSwar);
+  select_kernels(best_variant());
+  EXPECT_EQ(kernels().variant, best_variant());
+}
+
+TEST(GfKernels, UnsupportedVariantThrows) {
+  for (const KernelVariant v :
+       {KernelVariant::kSsse3, KernelVariant::kAvx2, KernelVariant::kGfni}) {
+    if (!variant_supported(v)) {
+      EXPECT_THROW(kernels_for(v), std::invalid_argument);
+      EXPECT_THROW(select_kernels(v), std::invalid_argument);
+    }
+  }
+}
+
+TEST(GfKernels, CrossCheckMulAcc) {
+  for (const KernelVariant v : supported_variants()) {
+    const Kernels& k = kernels_for(v);
+    util::Rng rng(0x11D);
+    for (std::size_t len = 0; len <= kMaxLen; ++len) {
+      const std::size_t soff = rng.uniform(kMaxOffset);
+      const std::size_t doff = rng.uniform(kMaxOffset);
+      const Byte c = coefficient(rng, len);
+      const auto src = random_bytes(rng, soff + len);
+      auto dst = random_bytes(rng, doff + len);
+      auto expect = dst;
+      for (std::size_t i = 0; i < len; ++i) {
+        expect[doff + i] =
+            add(expect[doff + i], mul(c, src[soff + i]));
+      }
+      k.mul_acc(c, src.data() + soff, dst.data() + doff, len);
+      EXPECT_EQ(dst, expect)
+          << "variant=" << to_string(v) << " len=" << len << " c=" << int(c)
+          << " soff=" << soff << " doff=" << doff;
+    }
+  }
+}
+
+TEST(GfKernels, CrossCheckMulRegion) {
+  for (const KernelVariant v : supported_variants()) {
+    const Kernels& k = kernels_for(v);
+    util::Rng rng(0x2B);
+    for (std::size_t len = 0; len <= kMaxLen; ++len) {
+      const std::size_t soff = rng.uniform(kMaxOffset);
+      const std::size_t doff = rng.uniform(kMaxOffset);
+      const Byte c = coefficient(rng, len);
+      const auto src = random_bytes(rng, soff + len);
+      auto dst = random_bytes(rng, doff + len);
+      auto expect = dst;
+      for (std::size_t i = 0; i < len; ++i) {
+        expect[doff + i] = mul(c, src[soff + i]);
+      }
+      k.mul_region(c, src.data() + soff, dst.data() + doff, len);
+      EXPECT_EQ(dst, expect)
+          << "variant=" << to_string(v) << " len=" << len << " c=" << int(c);
+    }
+  }
+}
+
+TEST(GfKernels, CrossCheckXorRegion) {
+  for (const KernelVariant v : supported_variants()) {
+    const Kernels& k = kernels_for(v);
+    util::Rng rng(0x3C);
+    for (std::size_t len = 0; len <= kMaxLen; ++len) {
+      const std::size_t soff = rng.uniform(kMaxOffset);
+      const std::size_t doff = rng.uniform(kMaxOffset);
+      const auto src = random_bytes(rng, soff + len);
+      auto dst = random_bytes(rng, doff + len);
+      auto expect = dst;
+      for (std::size_t i = 0; i < len; ++i) {
+        expect[doff + i] ^= src[soff + i];
+      }
+      k.xor_region(src.data() + soff, dst.data() + doff, len);
+      EXPECT_EQ(dst, expect)
+          << "variant=" << to_string(v) << " len=" << len;
+    }
+  }
+}
+
+TEST(GfKernels, CrossCheckMulAccMulti) {
+  for (const KernelVariant v : supported_variants()) {
+    const Kernels& k = kernels_for(v);
+    util::Rng rng(0x5A);
+    for (const std::size_t m : {1u, 2u, 3u, 5u, 8u}) {
+      for (const std::size_t len :
+           {0u, 1u, 7u, 8u, 15u, 16u, 31u, 32u, 33u, 63u, 64u, 100u, 255u,
+            256u, 257u}) {
+        const std::size_t soff = rng.uniform(kMaxOffset);
+        const auto src = random_bytes(rng, soff + len);
+        std::vector<Byte> coeffs(m);
+        for (std::size_t r = 0; r < m; ++r) coeffs[r] = coefficient(rng, r);
+        std::vector<std::vector<Byte>> dst(m), expect(m);
+        std::vector<Byte*> dsts(m);
+        for (std::size_t r = 0; r < m; ++r) {
+          dst[r] = random_bytes(rng, len);
+          expect[r] = dst[r];
+          for (std::size_t i = 0; i < len; ++i) {
+            expect[r][i] =
+                add(expect[r][i], mul(coeffs[r], src[soff + i]));
+          }
+          dsts[r] = dst[r].data();
+        }
+        k.mul_acc_multi(coeffs.data(), m, src.data() + soff, dsts.data(), len);
+        for (std::size_t r = 0; r < m; ++r) {
+          EXPECT_EQ(dst[r], expect[r])
+              << "variant=" << to_string(v) << " m=" << m << " len=" << len
+              << " row=" << r << " c=" << int(coeffs[r]);
+        }
+      }
+    }
+  }
+}
+
+// The dispatched free functions must agree with the scalar reference no
+// matter which variant is active — run the whole matrix once per variant.
+TEST(GfKernels, DispatchedWrappersFollowSelectedVariant) {
+  KernelGuard guard;
+  util::Rng rng(0x77);
+  const auto src = random_bytes(rng, 200);
+  std::vector<Byte> base(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    base[i] = static_cast<Byte>(rng.uniform(256));
+  }
+  std::vector<Byte> reference;
+  for (const KernelVariant v : supported_variants()) {
+    select_kernels(v);
+    auto dst = base;
+    mul_acc(0xB7, src.data(), dst.data(), dst.size());
+    mul_region(0x1F, src.data(), dst.data(), 100);
+    xor_region(src.data() + 100, dst.data() + 100, 100);
+    if (reference.empty()) {
+      reference = dst;  // first variant is scalar
+    } else {
+      EXPECT_EQ(dst, reference) << "variant=" << to_string(v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecf::gf
