@@ -3,16 +3,34 @@
 #include <algorithm>
 
 #include "util/bytes.h"
+#include "util/check.h"
 
 namespace ecf::cluster {
 
 void BlueStore::ensure_ratios() const {
   if (ratios_init_) return;
+  // A misconfigured partition split would silently skew every hit rate the
+  // recovery model consults; reject it at first use instead.
+  ECF_CHECK_GE(cache_.kv_ratio, 0.0) << " bluestore kv cache ratio";
+  ECF_CHECK_GE(cache_.meta_ratio, 0.0) << " bluestore meta cache ratio";
+  ECF_CHECK_GE(cache_.data_ratio, 0.0) << " bluestore data cache ratio";
+  ECF_CHECK_LE(cache_.kv_ratio + cache_.meta_ratio + cache_.data_ratio,
+               1.0 + 1e-6)
+      << " bluestore cache ratios oversubscribe the cache";
   auto* self = const_cast<BlueStore*>(this);
   self->kv_ratio_ = cache_.kv_ratio;
   self->meta_ratio_ = cache_.meta_ratio;
   self->data_ratio_ = cache_.data_ratio;
   self->ratios_init_ = true;
+}
+
+void BlueStore::override_ratios(double kv, double meta, double data) {
+  // Deliberately unchecked: lets tests plant a broken partition split that
+  // the SimInvariantChecker's cache-accounting invariant must catch.
+  kv_ratio_ = kv;
+  meta_ratio_ = meta;
+  data_ratio_ = data;
+  ratios_init_ = true;
 }
 
 namespace {
@@ -104,6 +122,18 @@ void BlueStore::autotune_step() {
   kv_ratio_ += rate * (kv - kv_ratio_);
   meta_ratio_ += rate * (meta - meta_ratio_);
   data_ratio_ = std::max(0.05, 1.0 - kv_ratio_ - meta_ratio_);
+  // While converging from an extreme starting split (kv+meta > 0.95) the
+  // midpoint plus the 0.05 data floor can overshoot the budget; shrink
+  // kv/meta to fit rather than oversubscribe the cache.
+  if (kv_ratio_ + meta_ratio_ + data_ratio_ > 1.0) {
+    const double scale = (1.0 - data_ratio_) / (kv_ratio_ + meta_ratio_);
+    kv_ratio_ *= scale;
+    meta_ratio_ *= scale;
+  }
+  // The step must preserve the partition budget regardless of the demand
+  // inputs.
+  ECF_DCHECK_LE(kv_ratio_ + meta_ratio_ + data_ratio_, 1.0 + 1e-6)
+      << " autotune oversubscribed the cache";
 }
 
 }  // namespace ecf::cluster

@@ -73,6 +73,11 @@ class BlueStore {
   // autotuner assigns data the remainder). No-op when autotune is off.
   void autotune_step();
 
+  // Test-only raw mutator: sets the effective ratios without validation so
+  // negative tests can plant a broken partition split for the invariant
+  // checker to catch. Production code must never call this.
+  void override_ratios(double kv, double meta, double data);
+
   const CacheConfig& cache_config() const { return cache_; }
 
  private:

@@ -4,9 +4,11 @@
 #include <stdexcept>
 
 #include "cluster/impl_types.h"
+#include "cluster/invariants.h"
 #include "ec/registry.h"
 #include "ec/stripe.h"
 #include "util/bytes.h"
+#include "util/check.h"
 
 namespace ecf::cluster {
 
@@ -52,9 +54,24 @@ Cluster::Cluster(ClusterConfig config, LogSinkFn sink)
   log("mon.0", "mon",
       "cluster up: " + std::to_string(config_.num_hosts) + " hosts, " +
           std::to_string(osds_.size()) + " osds");
+  if (config_.check_invariants) enable_invariant_checks();
 }
 
 Cluster::~Cluster() = default;
+
+void Cluster::enable_invariant_checks() {
+  if (inv_checker_) return;
+  inv_checker_ = std::make_unique<sim::SimInvariantChecker>(engine_);
+  invariants_ = std::make_unique<ClusterInvariants>(*this);
+  invariants_->install(*inv_checker_);
+}
+
+BlueStore& Cluster::mutable_store(OsdId osd) {
+  ECF_CHECK_GE(osd, 0) << " invalid osd id";
+  ECF_CHECK_LT(static_cast<std::size_t>(osd), osds_.size())
+      << " invalid osd id";
+  return osds_[static_cast<std::size_t>(osd)]->store;
+}
 
 void Cluster::log(const std::string& node, const std::string& subsys,
                   const std::string& message) {

@@ -43,10 +43,13 @@
 #include "ec/code.h"
 #include "nvmeof/nvmeof.h"
 #include "sim/engine.h"
+#include "sim/invariant_checker.h"
 #include "sim/resources.h"
 #include "util/rng.h"
 
 namespace ecf::cluster {
+
+class ClusterInvariants;
 
 // Measurements of one recovery cycle, in the paper's Fig. 3 vocabulary.
 struct RecoveryReport {
@@ -121,6 +124,22 @@ class Cluster {
   // Start the periodic deep-scrub process (config.scrub must be enabled).
   void start_scrub();
 
+  // --- correctness tooling ----------------------------------------------------
+  // Attach a SimInvariantChecker that validates PG state-machine legality,
+  // object/byte conservation, cache accounting and reservation slots after
+  // every event (see cluster/invariants.h). Called automatically from the
+  // constructor when config.check_invariants is set; idempotent.
+  void enable_invariant_checks();
+  bool invariant_checks_enabled() const { return inv_checker_ != nullptr; }
+  // Events validated so far (0 when checks are disabled).
+  std::size_t invariant_events_checked() const {
+    return inv_checker_ ? inv_checker_->events_checked() : 0;
+  }
+
+  // Mutable store access for tests and fault injection (e.g. planting a
+  // broken cache-accounting mutation the invariant checker must catch).
+  BlueStore& mutable_store(OsdId osd);
+
   // --- run --------------------------------------------------------------------
   sim::Engine& engine() { return engine_; }
   // Convenience: run the engine until recovery completes (or events run
@@ -168,6 +187,8 @@ class Cluster {
   std::vector<OsdId> pg_acting(PgId pg) const;
 
  private:
+  friend class ClusterInvariants;
+
   struct Osd;
   struct Host;
   struct Pg;
@@ -224,6 +245,11 @@ class Cluster {
   int scrub_passes_done_ = 0;
   bool pool_created_ = false;
   bool workload_applied_ = false;
+
+  // Correctness tooling (enable_invariant_checks); declaration order makes
+  // the checker's engine hook outlive nothing it references.
+  std::unique_ptr<ClusterInvariants> invariants_;
+  std::unique_ptr<sim::SimInvariantChecker> inv_checker_;
 };
 
 }  // namespace ecf::cluster

@@ -184,6 +184,11 @@ struct ClusterConfig {
   ClientLoadConfig client;
   ScrubConfig scrub;
   std::uint64_t seed = 1;
+  // Validate simulator invariants (PG state machine, conservation, cache
+  // accounting) after every event — see cluster/invariants.h. Enabled in
+  // the tier-1 cluster/integration tests; off by default in benches where
+  // the per-event sweep would skew timing.
+  bool check_invariants = false;
 
   int num_osds() const { return num_hosts * osds_per_host; }
 };

@@ -1,0 +1,169 @@
+#include "cluster/invariants.h"
+
+#include <algorithm>
+
+#include "cluster/cluster.h"
+#include "cluster/impl_types.h"
+#include "sim/invariant_checker.h"
+#include "util/check.h"
+
+namespace ecf::cluster {
+
+ClusterInvariants::ClusterInvariants(const Cluster& cluster)
+    : cluster_(&cluster) {}
+
+void ClusterInvariants::install(sim::SimInvariantChecker& checker) {
+  checker.add_invariant("pg-state-machine", [this] { check_pg_states(); });
+  checker.add_invariant("conservation", [this] { check_conservation(); });
+  checker.add_invariant("cache-accounting",
+                        [this] { check_cache_accounting(); });
+  checker.add_invariant("reservation-slots", [this] { check_reservations(); });
+}
+
+// Transitions are observed at event granularity: one event may drive a PG
+// through several protocol steps (peering completes AND the reservation is
+// granted), so the edge set is the within-one-event closure of the
+// single-step machine — not just its raw edges.
+bool ClusterInvariants::legal_transition(PgState from, PgState to) {
+  if (from == to) return true;
+  switch (from) {
+    case PgState::kActiveClean:
+      // Failure noticed (mark_down), or straight to peering when the PG is
+      // first touched by an osdmap epoch.
+      return to == PgState::kDegraded || to == PgState::kPeering;
+    case PgState::kDegraded:
+      // The epoch publish peers the PG; a PG with no survivors is declared
+      // lost/complete within the same event.
+      return to == PgState::kPeering || to == PgState::kActiveClean;
+    case PgState::kPeering:
+      // Peering completes into the reservation queue; the grant can land in
+      // the same event (-> kRecovering), or the PG finishes outright.
+      return to == PgState::kWaitReservation || to == PgState::kRecovering ||
+             to == PgState::kActiveClean;
+    case PgState::kWaitReservation:
+      // Reservation granted, superseded by a new epoch, or abandoned.
+      return to == PgState::kRecovering || to == PgState::kPeering ||
+             to == PgState::kActiveClean;
+    case PgState::kRecovering:
+      // Recovery finishes, or a new epoch forces a re-peer.
+      return to == PgState::kActiveClean || to == PgState::kPeering;
+  }
+  return false;
+}
+
+void ClusterInvariants::check_pg_states() {
+  const auto& pgs = cluster_->pgs_;
+  if (last_states_.size() != pgs.size()) {
+    // Pool (re)created since the last pass; re-baseline.
+    last_states_.clear();
+    last_states_.reserve(pgs.size());
+    for (const auto& pg : pgs) last_states_.push_back(pg->state);
+  }
+  const std::size_t n =
+      cluster_->code_ ? cluster_->code_->n() : std::size_t{0};
+  const int max_active = cluster_->config_.protocol.osd_recovery_max_active;
+  for (std::size_t i = 0; i < pgs.size(); ++i) {
+    const Cluster::Pg& pg = *pgs[i];
+    ECF_CHECK(legal_transition(last_states_[i], pg.state))
+        << " pg " << pg.id << ": illegal transition "
+        << to_string(last_states_[i]) << " -> " << to_string(pg.state);
+    last_states_[i] = pg.state;
+
+    ECF_CHECK_EQ(pg.missing_positions.size(), pg.remap_targets.size())
+        << " pg " << pg.id << ": missing shards without remap targets";
+    for (std::size_t j = 0; j < pg.missing_positions.size(); ++j) {
+      ECF_CHECK_LT(pg.missing_positions[j], n)
+          << " pg " << pg.id << ": missing position out of stripe";
+      if (j > 0) {
+        ECF_CHECK_LT(pg.missing_positions[j - 1], pg.missing_positions[j])
+            << " pg " << pg.id << ": missing positions unsorted/duplicated";
+      }
+    }
+    ECF_CHECK_GE(pg.inflight, 0) << " pg " << pg.id;
+    ECF_CHECK_LE(pg.inflight, max_active)
+        << " pg " << pg.id << ": repairs in flight exceed"
+        << " osd_recovery_max_active";
+    ECF_CHECK(pg.state == PgState::kRecovering || !pg.reserved)
+        << " pg " << pg.id << ": reservation held outside recovery ("
+        << to_string(pg.state) << ")";
+    ECF_CHECK(pg.state != PgState::kRecovering || pg.reserved)
+        << " pg " << pg.id << ": recovering without a reservation";
+  }
+}
+
+void ClusterInvariants::check_conservation() {
+  // Placed objects are conserved: failures remap chunks but never create or
+  // destroy objects, so Σ pg.num_objects must equal the applied workload
+  // through every osdmap epoch.
+  if (cluster_->workload_applied_) {
+    std::uint64_t placed = 0;
+    for (const auto& pg : cluster_->pgs_) placed += pg->num_objects;
+    ECF_CHECK_EQ(placed, cluster_->config_.workload.num_objects)
+        << " placed objects not conserved across osd maps";
+  }
+  // Stored chunk/byte accounting only grows: the recovery path writes
+  // rebuilt chunks to their new homes and nothing in the paper's
+  // experiments deletes them.
+  std::uint64_t onodes = 0;
+  std::uint64_t stored = 0;
+  for (const auto& osd : cluster_->osds_) {
+    onodes += osd->store.onode_count();
+    stored += osd->store.stored_bytes();
+  }
+  ECF_CHECK_GE(onodes, last_total_onodes_)
+      << " stored chunk count went backwards";
+  ECF_CHECK_GE(stored, last_total_stored_)
+      << " stored byte accounting went backwards";
+  last_total_onodes_ = onodes;
+  last_total_stored_ = stored;
+}
+
+void ClusterInvariants::check_cache_accounting() {
+  // BlueStore partitions one cache across KV/meta/data by ratio; the
+  // partitions must never claim more than the cache (KV+meta+data ≤ size)
+  // and hit rates derived from them must be probabilities.
+  constexpr double kEps = 1e-6;
+  for (const auto& osd : cluster_->osds_) {
+    const BlueStore& store = osd->store;
+    const double kv = store.kv_ratio();
+    const double meta = store.meta_ratio();
+    const double data = store.data_ratio();
+    ECF_CHECK_GE(kv, 0.0) << " osd." << osd->id << " kv cache ratio";
+    ECF_CHECK_GE(meta, 0.0) << " osd." << osd->id << " meta cache ratio";
+    ECF_CHECK_GE(data, 0.0) << " osd." << osd->id << " data cache ratio";
+    ECF_CHECK_LE(kv + meta + data, 1.0 + kEps)
+        << " osd." << osd->id
+        << ": cache partitions exceed the cache (kv=" << kv
+        << " meta=" << meta << " data=" << data << ")";
+    for (const double rate :
+         {store.kv_hit_rate(), store.meta_hit_rate(), store.data_hit_rate()}) {
+      ECF_CHECK_GE(rate, 0.0) << " osd." << osd->id << " cache hit rate";
+      ECF_CHECK_LE(rate, 1.0) << " osd." << osd->id << " cache hit rate";
+    }
+  }
+}
+
+void ClusterInvariants::check_reservations() {
+  const int max_backfills = cluster_->config_.protocol.osd_max_backfills;
+  // Slots actually held by reserved PGs, per OSD.
+  std::vector<int> held(cluster_->osds_.size(), 0);
+  for (const auto& pg : cluster_->pgs_) {
+    if (!pg->reserved) continue;
+    for (const OsdId o : pg->reserved_targets) {
+      ECF_CHECK_GE(o, 0) << " pg " << pg->id << " reserved an invalid osd";
+      ECF_CHECK_LT(static_cast<std::size_t>(o), held.size())
+          << " pg " << pg->id << " reserved an invalid osd";
+      ++held[static_cast<std::size_t>(o)];
+    }
+  }
+  for (const auto& osd : cluster_->osds_) {
+    ECF_CHECK_GE(osd->backfills_in_use, 0) << " osd." << osd->id;
+    ECF_CHECK_LE(osd->backfills_in_use, max_backfills)
+        << " osd." << osd->id << ": backfill slots oversubscribed";
+    ECF_CHECK_EQ(osd->backfills_in_use,
+                 held[static_cast<std::size_t>(osd->id)])
+        << " osd." << osd->id << ": leaked or double-counted backfill slot";
+  }
+}
+
+}  // namespace ecf::cluster

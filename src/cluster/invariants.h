@@ -1,0 +1,60 @@
+// Cluster-level invariants for the SimInvariantChecker.
+//
+// Validated after every simulation event (ClusterConfig::check_invariants):
+//
+//   pg-state-machine   — every PG state transition follows the legal edge
+//                        set of the peering/recovery protocol, and per-PG
+//                        structural invariants hold (missing positions
+//                        sorted/unique/in-range and paired 1:1 with remap
+//                        targets, inflight within osd_recovery_max_active,
+//                        recovering implies reserved);
+//   conservation       — placed objects are conserved across osdmap epochs
+//                        (Σ pg.num_objects equals the applied workload) and
+//                        stored chunk/byte accounting never runs backwards;
+//   cache-accounting   — each BlueStore's KV+meta+data cache partitions sum
+//                        to at most the cache size and every hit rate stays
+//                        in [0, 1];
+//   reservation-slots  — per-OSD backfill reservations stay within
+//                        osd_max_backfills and are exactly the slots held
+//                        by reserved PGs.
+//
+// Violations fail ECF_CHECK contracts (throw in tests, abort in tools).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace ecf::sim {
+class SimInvariantChecker;
+}
+
+namespace ecf::cluster {
+
+class Cluster;
+
+class ClusterInvariants {
+ public:
+  explicit ClusterInvariants(const Cluster& cluster);
+
+  // Register the four invariant groups with `checker`.
+  void install(sim::SimInvariantChecker& checker);
+
+  // Run one full validation pass (also called per-event once installed).
+  void check_pg_states();
+  void check_conservation();
+  void check_cache_accounting();
+  void check_reservations();
+
+  // The legal edge set of the PG recovery state machine.
+  static bool legal_transition(PgState from, PgState to);
+
+ private:
+  const Cluster* cluster_;
+  std::vector<PgState> last_states_;       // per-PG, for transition edges
+  std::uint64_t last_total_onodes_ = 0;    // monotone accounting floors
+  std::uint64_t last_total_stored_ = 0;
+};
+
+}  // namespace ecf::cluster

@@ -13,6 +13,24 @@ namespace ecf::ecfault {
 
 namespace {
 
+// Joins the owned workers on every exit path — including an exception from
+// a pool emplace_back or from the calling thread's own work share. Leaving
+// scope with unjoined std::threads would std::terminate.
+class ThreadJoiner {
+ public:
+  explicit ThreadJoiner(std::vector<std::thread>& pool) : pool_(pool) {}
+  ~ThreadJoiner() {
+    for (std::thread& t : pool_) {
+      if (t.joinable()) t.join();
+    }
+  }
+  ThreadJoiner(const ThreadJoiner&) = delete;
+  ThreadJoiner& operator=(const ThreadJoiner&) = delete;
+
+ private:
+  std::vector<std::thread>& pool_;
+};
+
 std::size_t resolve_parallelism(std::size_t requested, std::size_t variants) {
   std::size_t threads = requested;
   if (threads == 0) {
@@ -65,9 +83,11 @@ std::vector<VariantResult> Campaign::run(
     };
     std::vector<std::thread> pool;
     pool.reserve(nthreads - 1);
-    for (std::size_t t = 0; t + 1 < nthreads; ++t) pool.emplace_back(work);
-    work();  // the calling thread participates
-    for (std::thread& t : pool) t.join();
+    {
+      ThreadJoiner joiner(pool);
+      for (std::size_t t = 0; t + 1 < nthreads; ++t) pool.emplace_back(work);
+      work();  // the calling thread participates
+    }
     for (const std::exception_ptr& e : errors) {
       if (e) std::rethrow_exception(e);
     }

@@ -60,6 +60,7 @@ util::Json ExperimentProfile::to_json() const {
   cl.set("num_hosts", cluster.num_hosts);
   cl.set("osds_per_host", cluster.osds_per_host);
   cl.set("seed", cluster.seed);
+  cl.set("check_invariants", cluster.check_invariants);
 
   util::Json ec = util::Json::object();
   for (const auto& [key, value] : cluster.pool.ec_profile) ec.set(key, value);
@@ -115,6 +116,7 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
         static_cast<int>(cl.get_or("osds_per_host", std::int64_t{2}));
     p.cluster.seed = static_cast<std::uint64_t>(
         cl.get_or("seed", std::int64_t{1}));
+    p.cluster.check_invariants = cl.get_or("check_invariants", false);
     if (cl.has("ec_profile")) {
       p.cluster.pool.ec_profile.clear();
       for (const auto& [key, value] : cl.at("ec_profile").members()) {

@@ -188,8 +188,6 @@ bool cpu_supports(KernelVariant v) {
   }
 }
 
-std::atomic<const Kernels*> g_active{nullptr};
-
 }  // namespace
 
 const char* to_string(KernelVariant v) {
@@ -273,17 +271,28 @@ const Kernels& kernels_for(KernelVariant v) {
   }
 }
 
+namespace {
+
+// Active-kernel slot. A function-local static (not a namespace-scope
+// global) so the first call — even from another TU's static initializer or
+// from concurrent threads — runs the CPU probe exactly once under the
+// compiler's thread-safe magic-static guard; afterwards reads are plain
+// atomic loads.
+std::atomic<const Kernels*>& active_kernels_slot() {
+  static std::atomic<const Kernels*> slot{&kernels_for(best_variant())};
+  return slot;
+}
+
+}  // namespace
+
 const Kernels& kernels() {
-  const Kernels* k = g_active.load(std::memory_order_acquire);
-  if (k == nullptr) {
-    k = &kernels_for(best_variant());
-    g_active.store(k, std::memory_order_release);
-  }
-  return *k;
+  return *active_kernels_slot().load(std::memory_order_acquire);
 }
 
 void select_kernels(KernelVariant v) {
-  g_active.store(&kernels_for(v), std::memory_order_release);
+  // Resolve first: an unsupported variant throws without clobbering the slot.
+  const Kernels& k = kernels_for(v);
+  active_kernels_slot().store(&k, std::memory_order_release);
 }
 
 }  // namespace ecf::gf

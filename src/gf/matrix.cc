@@ -1,13 +1,13 @@
 #include "gf/matrix.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
 
 #include "gf/gf_kernels.h"
+#include "util/check.h"
 
 namespace ecf::gf {
 
@@ -42,7 +42,7 @@ Matrix Matrix::cauchy(const std::vector<Byte>& x, const std::vector<Byte>& y) {
 }
 
 Matrix Matrix::multiply(const Matrix& rhs) const {
-  assert(cols_ == rhs.rows_);
+  ECF_CHECK_EQ(cols_, rhs.rows_) << " matrix multiply dimension mismatch";
   Matrix out(rows_, rhs.cols_);
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t i = 0; i < cols_; ++i) {
@@ -107,7 +107,7 @@ std::size_t Matrix::rank() const {
 Matrix Matrix::select_rows(const std::vector<std::size_t>& rows) const {
   Matrix out(rows.size(), cols_);
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    assert(rows[i] < rows_);
+    ECF_CHECK_LT(rows[i], rows_) << " select_rows: row out of range";
     for (std::size_t c = 0; c < cols_; ++c) out.at(i, c) = at(rows[i], c);
   }
   return out;
@@ -132,7 +132,8 @@ bool Matrix::make_systematic(std::size_t k) {
   // Column-reduce so the top k x k block becomes identity. We do this by
   // inverting the top block and right-multiplying the whole matrix — the
   // standard construction for systematic RS from a Vandermonde generator.
-  assert(k <= rows_ && k <= cols_);
+  ECF_CHECK_LE(k, rows_) << " make_systematic: k exceeds generator rows";
+  ECF_CHECK_LE(k, cols_) << " make_systematic: k exceeds generator cols";
   Matrix top(k, cols_);
   for (std::size_t r = 0; r < k; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) top.at(r, c) = at(r, c);
@@ -166,8 +167,8 @@ std::string Matrix::to_string() const {
 void Matrix::apply_rows(const std::vector<std::size_t>& rows,
                         const std::vector<const Byte*>& in,
                         const std::vector<Byte*>& out, std::size_t len) const {
-  assert(in.size() == cols_);
-  assert(out.size() == rows.size());
+  ECF_CHECK_EQ(in.size(), cols_) << " apply_rows: source buffer count";
+  ECF_CHECK_EQ(out.size(), rows.size()) << " apply_rows: dest buffer count";
   const Kernels& k = kernels();
   const std::size_t m = rows.size();
   // Block size tuned so the m output blocks stay L1-resident while the
@@ -194,8 +195,8 @@ void Matrix::apply_rows(const std::vector<std::size_t>& rows,
 
 void matrix_apply(const Matrix& m, const std::vector<const Byte*>& in,
                   const std::vector<Byte*>& out, std::size_t len) {
-  assert(in.size() == m.cols());
-  assert(out.size() == m.rows());
+  ECF_CHECK_EQ(in.size(), m.cols()) << " matrix_apply: source buffer count";
+  ECF_CHECK_EQ(out.size(), m.rows()) << " matrix_apply: dest buffer count";
   std::vector<std::size_t> rows(m.rows());
   std::iota(rows.begin(), rows.end(), std::size_t{0});
   m.apply_rows(rows, in, out, len);

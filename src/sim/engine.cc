@@ -1,17 +1,26 @@
 #include "sim/engine.h"
 
 #include <limits>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace ecf::sim {
 
 EventId Engine::schedule(SimTime delay, std::function<void()> fn) {
-  if (delay < 0) throw std::invalid_argument("negative event delay");
+  ECF_CHECK_GE(delay, 0.0) << " negative event delay at t=" << now_;
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 EventId Engine::schedule_at(SimTime when, std::function<void()> fn) {
-  if (when < now_) throw std::invalid_argument("event scheduled in the past");
+  ECF_CHECK_GE(when, now_) << " event scheduled in the past";
+  return push_event(when, std::move(fn));
+}
+
+EventId Engine::schedule_at_unchecked(SimTime when, std::function<void()> fn) {
+  return push_event(when, std::move(fn));
+}
+
+EventId Engine::push_event(SimTime when, std::function<void()> fn) {
   const EventId id = next_id_++;
   queue_.push(Event{when, id, std::move(fn)});
   pending_.insert(id);
@@ -40,6 +49,7 @@ std::size_t Engine::run_until(SimTime horizon) {
     now_ = ev.when;
     ev.fn();
     ++executed;
+    if (post_event_hook_) post_event_hook_();
   }
   // The clock does not advance past the last executed event when idle.
   return executed;

@@ -37,11 +37,17 @@ class Engine {
   SimTime now() const { return now_; }
 
   // Schedule `fn` to run at now() + delay (delay >= 0). Returns an id
-  // usable with cancel().
+  // usable with cancel(). A negative delay violates an ECF_CHECK contract.
   EventId schedule(SimTime delay, std::function<void()> fn);
 
-  // Schedule at an absolute time (>= now()).
+  // Schedule at an absolute time (>= now()); scheduling in the past
+  // violates an ECF_CHECK contract.
   EventId schedule_at(SimTime when, std::function<void()> fn);
+
+  // Test-only backdoor: schedule without the time-ordering contract. Exists
+  // so negative tests can plant a non-monotonic event and prove the
+  // SimInvariantChecker backstop catches it; never call from product code.
+  EventId schedule_at_unchecked(SimTime when, std::function<void()> fn);
 
   // Cancel a pending event; no-op if it already ran or was cancelled.
   void cancel(EventId id);
@@ -54,8 +60,16 @@ class Engine {
   bool empty() const { return pending() == 0; }
   std::size_t pending() const { return pending_.size(); }
 
-  // Reset clock and queue (for reusing an engine across experiments).
+  // Reset clock and queue (for reusing an engine across experiments). The
+  // post-event hook is preserved.
   void reset();
+
+  // Hook invoked after every executed event (with the clock at the event's
+  // time). Used by SimInvariantChecker to validate simulator state between
+  // events; pass nullptr to remove. At most one hook is active.
+  void set_post_event_hook(std::function<void()> hook) {
+    post_event_hook_ = std::move(hook);
+  }
 
  private:
   struct Event {
@@ -68,8 +82,11 @@ class Engine {
     }
   };
 
+  EventId push_event(SimTime when, std::function<void()> fn);
+
   SimTime now_ = 0;
   EventId next_id_ = 1;
+  std::function<void()> post_event_hook_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::unordered_set<EventId> pending_;    // scheduled, not yet run/cancelled
   std::unordered_set<EventId> cancelled_;

@@ -1,0 +1,40 @@
+#include "sim/invariant_checker.h"
+
+#include "util/check.h"
+
+namespace ecf::sim {
+
+SimInvariantChecker::SimInvariantChecker(Engine& engine) : engine_(&engine) {
+  engine_->set_post_event_hook([this] { check_now(); });
+}
+
+SimInvariantChecker::~SimInvariantChecker() {
+  engine_->set_post_event_hook(nullptr);
+}
+
+void SimInvariantChecker::add_invariant(std::string name,
+                                        std::function<void()> fn) {
+  ECF_CHECK(fn != nullptr) << " invariant '" << name << "' has no body";
+  invariants_.emplace_back(std::move(name), std::move(fn));
+}
+
+void SimInvariantChecker::observe_time(SimTime now) {
+  if (has_last_time_) {
+    ECF_CHECK_GE(now, last_time_)
+        << " simulated clock moved backwards (non-monotonic event)";
+  }
+  last_time_ = now;
+  has_last_time_ = true;
+}
+
+void SimInvariantChecker::check_now() {
+  observe_time(engine_->now());
+  for (const auto& [name, fn] : invariants_) {
+    current_invariant_ = name;
+    fn();
+  }
+  current_invariant_.clear();
+  ++events_checked_;
+}
+
+}  // namespace ecf::sim

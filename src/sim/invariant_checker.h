@@ -1,0 +1,69 @@
+// SimInvariantChecker: opt-in runtime validation of simulator state.
+//
+// The simulator's results are only as trustworthy as its internal
+// invariants; this checker makes them machine-checked instead of assumed.
+// Hooked into an Engine, it runs after *every* executed event:
+//
+//   * built in — simulated time is monotone non-decreasing (the backstop
+//     for clock corruption that slips past the Engine::schedule contracts,
+//     e.g. an event planted with schedule_at_unchecked);
+//   * registered — arbitrary named invariants added by higher layers.
+//     src/cluster/invariants.h registers PG state-machine legality,
+//     chunk/byte conservation, and BlueStore cache accounting.
+//
+// Invariant functions report violations through ECF_CHECK, so the failure
+// policy follows the installed check handler (throw in tests, abort+
+// backtrace in tools). The checker is enabled in all tier-1 cluster and
+// integration tests via ClusterConfig::check_invariants.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace ecf::sim {
+
+class SimInvariantChecker {
+ public:
+  // Installs itself as the engine's post-event hook; the destructor removes
+  // it. The engine must outlive the checker.
+  explicit SimInvariantChecker(Engine& engine);
+  ~SimInvariantChecker();
+
+  SimInvariantChecker(const SimInvariantChecker&) = delete;
+  SimInvariantChecker& operator=(const SimInvariantChecker&) = delete;
+
+  // Register a named invariant; `fn` must ECF_CHECK what it validates.
+  void add_invariant(std::string name, std::function<void()> fn);
+
+  // Run the time check plus every registered invariant against the current
+  // state. Called automatically after each event; callable directly from
+  // tests.
+  void check_now();
+
+  // The monotonic-time invariant, exposed for direct testing: fails an
+  // ECF_CHECK when `now` is earlier than the last observed time.
+  void observe_time(SimTime now);
+
+  // Forget the last observed time (for engines reset between experiments).
+  void reset_clock() { has_last_time_ = false; }
+
+  std::size_t events_checked() const { return events_checked_; }
+  std::size_t num_invariants() const { return invariants_.size(); }
+  const std::string& current_invariant() const { return current_invariant_; }
+
+ private:
+  Engine* engine_;
+  SimTime last_time_ = 0;
+  bool has_last_time_ = false;
+  std::size_t events_checked_ = 0;
+  // Name of the invariant being evaluated (for failure context).
+  std::string current_invariant_;
+  std::vector<std::pair<std::string, std::function<void()>>> invariants_;
+};
+
+}  // namespace ecf::sim

@@ -1,0 +1,84 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#include <unistd.h>
+#endif
+
+namespace ecf::util {
+
+namespace {
+
+CheckFailure make_failure(const char* file, int line, const char* condition,
+                          const std::string& message) {
+  return CheckFailure(file, line, condition, message);
+}
+
+std::atomic<CheckFailureHandler> g_handler{&aborting_check_failure_handler};
+
+std::string render(const char* file, int line, const char* condition,
+                   const std::string& message) {
+  std::string out = "contract violated at ";
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  out += ": ";
+  out += condition;
+  out += message;
+  return out;
+}
+
+}  // namespace
+
+CheckFailure::CheckFailure(const char* file, int line, std::string condition,
+                           std::string message)
+    : std::logic_error(render(file, line, condition.c_str(), message)),
+      file_(file),
+      line_(line),
+      condition_(std::move(condition)),
+      message_(std::move(message)) {}
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
+  if (handler == nullptr) handler = &aborting_check_failure_handler;
+  return g_handler.exchange(handler);
+}
+
+CheckFailureHandler check_failure_handler() { return g_handler.load(); }
+
+void aborting_check_failure_handler(const char* file, int line,
+                                    const char* condition,
+                                    const std::string& message) {
+  const std::string text = render(file, line, condition, message);
+  std::fprintf(stderr, "[FATAL] %s\n", text.c_str());
+#if defined(__GLIBC__)
+  void* frames[64];
+  const int depth = backtrace(frames, 64);
+  std::fprintf(stderr, "backtrace (%d frames):\n", depth);
+  backtrace_symbols_fd(frames, depth, STDERR_FILENO);
+#endif
+  std::fflush(stderr);
+  std::abort();
+}
+
+void throwing_check_failure_handler(const char* file, int line,
+                                    const char* condition,
+                                    const std::string& message) {
+  throw make_failure(file, line, condition, message);
+}
+
+void check_failed(const char* file, int line, const char* condition,
+                  const std::string& message) {
+  g_handler.load()(file, line, condition, message);
+  // Handlers must not return; if a custom one does, failing open would let
+  // execution continue past a violated contract.
+  std::fprintf(stderr,
+               "[FATAL] check failure handler returned; aborting (%s:%d)\n",
+               file, line);
+  std::abort();
+}
+
+}  // namespace ecf::util

@@ -1,0 +1,204 @@
+// Runtime contract framework: ECF_CHECK / ECF_DCHECK and friends.
+//
+// The simulator's credibility rests on internal invariants (monotonic event
+// time, legal PG transitions, conservation of placed bytes, cache-ratio
+// accounting). These macros turn "should never happen" comments into
+// machine-checked contracts:
+//
+//   ECF_CHECK(cond) << "context";          // always on, release included
+//   ECF_CHECK_EQ/NE/LT/LE/GT/GE(a, b);     // prints both operands on failure
+//   ECF_DCHECK(cond), ECF_DCHECK_EQ(...);  // compiled out unless
+//                                          // ECF_ENABLE_DCHECKS (CMake)
+//
+// Cost model: a passing check is a single predictable branch; the failure
+// message (including streamed operands) is only formatted on the cold path,
+// so checks are safe on hot paths like Engine::schedule and the GF matrix
+// kernels.
+//
+// Failure policy is pluggable via set_check_failure_handler():
+//   * aborting_check_failure_handler (default) — prints the message and a
+//     backtrace to stderr, then aborts. Right for tools and benches where a
+//     violated invariant means the results are garbage.
+//   * throwing_check_failure_handler — throws CheckFailure. Installed by the
+//     test suite (tests/testing/scoped_checks.h) so contract violations are
+//     assertable with EXPECT_THROW.
+// A handler must not return; if one does, check_failed() aborts anyway.
+#pragma once
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ecf::util {
+
+// Exception thrown by throwing_check_failure_handler.
+class CheckFailure : public std::logic_error {
+ public:
+  CheckFailure(const char* file, int line, std::string condition,
+               std::string message);
+
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+  const std::string& condition() const { return condition_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string file_;
+  int line_;
+  std::string condition_;
+  std::string message_;
+};
+
+using CheckFailureHandler = void (*)(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message);
+
+// Install a handler; returns the previous one. Thread-safe.
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
+CheckFailureHandler check_failure_handler();
+
+// The two stock policies (see header comment).
+[[noreturn]] void aborting_check_failure_handler(const char* file, int line,
+                                                 const char* condition,
+                                                 const std::string& message);
+[[noreturn]] void throwing_check_failure_handler(const char* file, int line,
+                                                 const char* condition,
+                                                 const std::string& message);
+
+// Dispatches to the installed handler; aborts if the handler returns.
+[[noreturn]] void check_failed(const char* file, int line,
+                               const char* condition,
+                               const std::string& message);
+
+namespace detail {
+
+// Cold-path message collector. Constructed only after a check has already
+// failed; the destructor hands the accumulated message to check_failed().
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+  CheckStream(const char* file, int line, const char* condition,
+              std::unique_ptr<std::string> operands)
+      : file_(file), line_(line), condition_(condition) {
+    if (operands) os_ << *operands;
+  }
+  CheckStream(const CheckStream&) = delete;
+  CheckStream& operator=(const CheckStream&) = delete;
+
+  // Never returns normally: check_failed() throws or terminates.
+  // noexcept(false) because the installed handler may throw (test policy).
+  ~CheckStream() noexcept(false) {
+    check_failed(file_, line_, condition_, os_.str());
+  }
+
+  template <typename T>
+  CheckStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream os_;
+};
+
+// Turns the CheckStream temporary into void so ECF_CHECK parses as the
+// false arm of a ternary (the glog voidify idiom).
+struct Voidify {
+  // const&: binds both the bare temporary and the result of a << chain.
+  void operator&(const CheckStream&) {}
+};
+
+// Formats "  (lhs vs. rhs)" for the CHECK_OP macros. Only called on the
+// cold path; returning a heap string keeps the hot path allocation-free.
+template <typename A, typename B>
+[[gnu::cold, gnu::noinline]] std::unique_ptr<std::string> format_check_op(
+    const A& a, const B& b) {
+  std::ostringstream os;
+  os << " (" << a << " vs. " << b << ")";
+  return std::make_unique<std::string>(os.str());
+}
+
+// uint8_t streams as a character; widen integral types so operands print as
+// numbers in failure messages.
+inline int printable(signed char v) { return v; }
+inline unsigned printable(unsigned char v) { return v; }
+inline int printable(char v) { return v; }
+template <typename T>
+const T& printable(const T& v) {
+  return v;
+}
+
+// One function per operator so each check evaluates its operands exactly
+// once: returns null on success, the formatted operand text on failure.
+#define ECF_DETAIL_DEFINE_CHECK_OP(name, op)                         \
+  template <typename A, typename B>                                  \
+  std::unique_ptr<std::string> name(const A& a, const B& b) {        \
+    if (__builtin_expect(static_cast<bool>(a op b), 1)) return nullptr; \
+    return format_check_op(printable(a), printable(b));              \
+  }
+ECF_DETAIL_DEFINE_CHECK_OP(check_eq_impl, ==)
+ECF_DETAIL_DEFINE_CHECK_OP(check_ne_impl, !=)
+ECF_DETAIL_DEFINE_CHECK_OP(check_lt_impl, <)
+ECF_DETAIL_DEFINE_CHECK_OP(check_le_impl, <=)
+ECF_DETAIL_DEFINE_CHECK_OP(check_gt_impl, >)
+ECF_DETAIL_DEFINE_CHECK_OP(check_ge_impl, >=)
+#undef ECF_DETAIL_DEFINE_CHECK_OP
+
+}  // namespace detail
+}  // namespace ecf::util
+
+#define ECF_CHECK(cond)                                            \
+  (__builtin_expect(static_cast<bool>(cond), 1))                   \
+      ? (void)0                                                    \
+      : ::ecf::util::detail::Voidify() &                           \
+            ::ecf::util::detail::CheckStream(__FILE__, __LINE__,   \
+                                             "ECF_CHECK(" #cond ")")
+
+// The while-loop runs at most once: CheckStream's destructor never returns
+// normally (the failure handler throws or terminates).
+#define ECF_CHECK_OP_(name, impl, a, b)                                  \
+  while (auto ecf_check_result_ =                                        \
+             ::ecf::util::detail::impl((a), (b)))                        \
+  ::ecf::util::detail::CheckStream(__FILE__, __LINE__,                   \
+                                   name "(" #a ", " #b ")",              \
+                                   std::move(ecf_check_result_))
+
+#define ECF_CHECK_EQ(a, b) ECF_CHECK_OP_("ECF_CHECK_EQ", check_eq_impl, a, b)
+#define ECF_CHECK_NE(a, b) ECF_CHECK_OP_("ECF_CHECK_NE", check_ne_impl, a, b)
+#define ECF_CHECK_LT(a, b) ECF_CHECK_OP_("ECF_CHECK_LT", check_lt_impl, a, b)
+#define ECF_CHECK_LE(a, b) ECF_CHECK_OP_("ECF_CHECK_LE", check_le_impl, a, b)
+#define ECF_CHECK_GT(a, b) ECF_CHECK_OP_("ECF_CHECK_GT", check_gt_impl, a, b)
+#define ECF_CHECK_GE(a, b) ECF_CHECK_OP_("ECF_CHECK_GE", check_ge_impl, a, b)
+
+// Debug-only contracts: full checks when ECF_DCHECKS_ENABLED (the
+// ECF_ENABLE_DCHECKS CMake option, on by default), otherwise compiled to
+// nothing while still type-checking their operands.
+#if defined(ECF_DCHECKS_ENABLED) && ECF_DCHECKS_ENABLED
+#define ECF_DCHECK(cond) ECF_CHECK(cond)
+#define ECF_DCHECK_EQ(a, b) ECF_CHECK_EQ(a, b)
+#define ECF_DCHECK_NE(a, b) ECF_CHECK_NE(a, b)
+#define ECF_DCHECK_LT(a, b) ECF_CHECK_LT(a, b)
+#define ECF_DCHECK_LE(a, b) ECF_CHECK_LE(a, b)
+#define ECF_DCHECK_GT(a, b) ECF_CHECK_GT(a, b)
+#define ECF_DCHECK_GE(a, b) ECF_CHECK_GE(a, b)
+#else
+#define ECF_DCHECK(cond) \
+  while (false) ECF_CHECK(cond)
+#define ECF_DCHECK_EQ(a, b) \
+  while (false) ECF_CHECK_EQ(a, b)
+#define ECF_DCHECK_NE(a, b) \
+  while (false) ECF_CHECK_NE(a, b)
+#define ECF_DCHECK_LT(a, b) \
+  while (false) ECF_CHECK_LT(a, b)
+#define ECF_DCHECK_LE(a, b) \
+  while (false) ECF_CHECK_LE(a, b)
+#define ECF_DCHECK_GT(a, b) \
+  while (false) ECF_CHECK_GT(a, b)
+#define ECF_DCHECK_GE(a, b) \
+  while (false) ECF_CHECK_GE(a, b)
+#endif

@@ -21,6 +21,7 @@ ClusterConfig client_config(double ops_per_s) {
   cfg.protocol.heartbeat_grace_s = 5.0;
   cfg.client.ops_per_s = ops_per_s;
   cfg.client.horizon_s = 120.0;
+  cfg.check_invariants = true;  // per-event validation in all tier-1 tests
   return cfg;
 }
 

@@ -21,6 +21,7 @@ ClusterConfig small_config() {
   cfg.pool.pg_num = 32;
   cfg.workload.num_objects = 300;
   cfg.workload.object_size = 16 * MiB;
+  cfg.check_invariants = true;  // per-event validation in all tier-1 tests
   return cfg;
 }
 

@@ -1,0 +1,130 @@
+// ClusterInvariants: per-event validation of the cluster simulator, plus
+// the negative tests proving the checker actually catches corrupted state.
+#include "cluster/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "util/bytes.h"
+#include "util/check.h"
+
+namespace ecf::cluster {
+namespace {
+
+using util::MiB;
+
+ClusterConfig checked_config() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 15;
+  cfg.osds_per_host = 2;
+  cfg.pool.pg_num = 16;
+  cfg.workload.num_objects = 100;
+  cfg.workload.object_size = 16 * MiB;
+  cfg.protocol.down_out_interval_s = 20.0;
+  cfg.protocol.heartbeat_grace_s = 5.0;
+  cfg.check_invariants = true;
+  return cfg;
+}
+
+TEST(ClusterInvariants, FullRecoveryPassesUnderPerEventValidation) {
+  Cluster cl(checked_config());
+  ASSERT_TRUE(cl.invariant_checks_enabled());
+  cl.create_pool();
+  cl.apply_workload();
+  cl.engine().schedule(1.0, [&cl] { cl.fail_host(2); });
+  const RecoveryReport r = cl.run_to_recovery();
+  EXPECT_TRUE(r.complete);
+  // Every event of the run went through the four invariant groups.
+  EXPECT_GT(cl.invariant_events_checked(), 100u);
+}
+
+TEST(ClusterInvariants, EnableIsIdempotentAndOptIn) {
+  ClusterConfig cfg = checked_config();
+  cfg.check_invariants = false;
+  Cluster cl(cfg);
+  EXPECT_FALSE(cl.invariant_checks_enabled());
+  EXPECT_EQ(cl.invariant_events_checked(), 0u);
+  cl.enable_invariant_checks();
+  cl.enable_invariant_checks();  // second call is a no-op
+  EXPECT_TRUE(cl.invariant_checks_enabled());
+}
+
+TEST(ClusterInvariants, LegalTransitionEdgeSet) {
+  using S = PgState;
+  const auto ok = ClusterInvariants::legal_transition;
+  for (const S s : {S::kActiveClean, S::kDegraded, S::kPeering,
+                    S::kWaitReservation, S::kRecovering}) {
+    EXPECT_TRUE(ok(s, s));  // self-loops always legal
+  }
+  EXPECT_TRUE(ok(S::kActiveClean, S::kDegraded));
+  EXPECT_TRUE(ok(S::kActiveClean, S::kPeering));
+  EXPECT_TRUE(ok(S::kDegraded, S::kPeering));
+  EXPECT_TRUE(ok(S::kPeering, S::kWaitReservation));
+  EXPECT_TRUE(ok(S::kWaitReservation, S::kRecovering));
+  EXPECT_TRUE(ok(S::kRecovering, S::kActiveClean));
+  // Re-peer edges on a new osdmap epoch.
+  EXPECT_TRUE(ok(S::kWaitReservation, S::kPeering));
+  EXPECT_TRUE(ok(S::kRecovering, S::kPeering));
+  // Within-one-event closure: peering can complete and win its reservation
+  // in the same event; a PG with no survivors is declared complete during
+  // the epoch publish.
+  EXPECT_TRUE(ok(S::kPeering, S::kRecovering));
+  EXPECT_TRUE(ok(S::kDegraded, S::kActiveClean));
+  // A PG cannot skip peering, recover without a reservation, or move
+  // backwards into kDegraded.
+  EXPECT_FALSE(ok(S::kActiveClean, S::kRecovering));
+  EXPECT_FALSE(ok(S::kActiveClean, S::kWaitReservation));
+  EXPECT_FALSE(ok(S::kDegraded, S::kRecovering));
+  EXPECT_FALSE(ok(S::kDegraded, S::kWaitReservation));
+  EXPECT_FALSE(ok(S::kPeering, S::kDegraded));
+  EXPECT_FALSE(ok(S::kWaitReservation, S::kDegraded));
+  EXPECT_FALSE(ok(S::kRecovering, S::kDegraded));
+  EXPECT_FALSE(ok(S::kRecovering, S::kWaitReservation));
+}
+
+TEST(ClusterInvariants, CatchesBrokenCacheAccountingMutation) {
+  // Negative test: plant a partition split that oversubscribes the cache
+  // (the kind of bug a broken autotune step would introduce) and prove the
+  // cache-accounting invariant catches it on the very next event.
+  Cluster cl(checked_config());
+  cl.create_pool();
+  cl.apply_workload();
+  cl.engine().schedule(1.0, [&cl] {
+    cl.mutable_store(0).override_ratios(0.7, 0.7, 0.7);  // sums to 2.1
+  });
+  EXPECT_THROW(cl.engine().run(), util::CheckFailure);
+}
+
+TEST(ClusterInvariants, CatchesNegativeCacheRatioMutation) {
+  Cluster cl(checked_config());
+  cl.create_pool();
+  cl.engine().schedule(1.0, [&cl] {
+    cl.mutable_store(3).override_ratios(-0.1, 0.5, 0.5);
+  });
+  EXPECT_THROW(cl.engine().run(), util::CheckFailure);
+}
+
+TEST(ClusterInvariants, BadCacheConfigRejectedAtFirstUse) {
+  // A misconfigured partition split fails the ensure_ratios contract the
+  // first time any consumer asks for a ratio or hit rate.
+  ClusterConfig cfg = checked_config();
+  cfg.cache.autotune = false;
+  cfg.cache.kv_ratio = 0.8;
+  cfg.cache.meta_ratio = 0.8;  // 1.6 + data oversubscribes the cache
+  BlueStore store(cfg.store, cfg.cache);
+  EXPECT_THROW(store.kv_ratio(), util::CheckFailure);
+
+  cfg.cache.meta_ratio = -0.2;  // negative ratios are contract violations too
+  BlueStore negative(cfg.store, cfg.cache);
+  EXPECT_THROW(negative.meta_hit_rate(), util::CheckFailure);
+}
+
+TEST(ClusterInvariants, MutableStoreBoundsChecked) {
+  Cluster cl(checked_config());
+  EXPECT_THROW(cl.mutable_store(-1), util::CheckFailure);
+  EXPECT_THROW(cl.mutable_store(30 * 2), util::CheckFailure);
+  EXPECT_NO_THROW(cl.mutable_store(0));
+}
+
+}  // namespace
+}  // namespace ecf::cluster

@@ -22,6 +22,7 @@ ClusterConfig fast_config() {
   // Shrink the protocol timers so tests run the full pipeline quickly.
   cfg.protocol.down_out_interval_s = 30.0;
   cfg.protocol.heartbeat_grace_s = 5.0;
+  cfg.check_invariants = true;  // per-event validation in all tier-1 tests
   return cfg;
 }
 

@@ -20,6 +20,7 @@ ClusterConfig scrub_config() {
   cfg.scrub.enabled = true;
   cfg.scrub.interval_s = 2.0;
   cfg.scrub.max_passes = 2;
+  cfg.check_invariants = true;  // per-event validation in all tier-1 tests
   return cfg;
 }
 

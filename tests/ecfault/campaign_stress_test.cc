@@ -1,0 +1,72 @@
+// Threaded campaign stress: 16 variants drained by 8 workers. Exists to be
+// run under ThreadSanitizer (the tsan CMake preset / tools/run_sanitizers.sh)
+// so data races in the worker pool, the GF kernel dispatch table, or any
+// state shared across concurrently-running sims are caught, not assumed
+// away. It also pins down the pool's failure semantics: an exception in one
+// variant must join every worker before propagating.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "ecfault/campaign.h"
+#include "gf/gf_kernels.h"
+#include "util/bytes.h"
+
+namespace ecf::ecfault {
+namespace {
+
+ExperimentProfile stress_base() {
+  // Deliberately tiny per-variant work: the point is many concurrent sims,
+  // not long ones (this runs on single-core CI under TSan's ~10x slowdown).
+  ExperimentProfile p;
+  p.cluster.num_hosts = 15;
+  p.cluster.osds_per_host = 2;
+  p.cluster.pool.pg_num = 8;
+  p.cluster.workload.num_objects = 40;
+  p.cluster.workload.object_size = 16 * util::MiB;
+  p.cluster.protocol.down_out_interval_s = 20.0;
+  p.cluster.protocol.heartbeat_grace_s = 5.0;
+  p.cluster.check_invariants = true;  // validated concurrently in every sim
+  p.fault.level = FaultLevel::kNode;
+  p.runs = 1;
+  return p;
+}
+
+TEST(CampaignStress, SixteenVariantsOnEightThreads) {
+  // Touch the GF kernel dispatch from the main thread first and again from
+  // every worker (each sim encodes/decodes); under TSan this exercises the
+  // once-initialized dispatch slot from 9 threads.
+  (void)gf::kernels();
+
+  Campaign campaign(stress_base());
+  campaign.add_all(cross(cross(code_axis(), pg_axis({4, 8})),
+                         failure_axis({1, 2})));  // 2 x 2 x 4 = 16 variants
+  campaign.parallelism(8);
+  const auto results = campaign.run();
+
+  ASSERT_EQ(results.size(), 16u);
+  std::set<std::string> labels;
+  for (const auto& r : results) {
+    EXPECT_GT(r.campaign.mean_total, 0.0) << r.label;
+    EXPECT_GT(r.normalized, 0.0) << r.label;
+    labels.insert(r.label);
+  }
+  EXPECT_EQ(labels.size(), 16u);  // every variant ran exactly once
+}
+
+TEST(CampaignStress, WorkerExceptionJoinsPoolAndPropagates) {
+  // Variant 0 recovers; the EC-width variant cannot even build its pool
+  // (k+m wider than the cluster). The campaign must join all 8 workers and
+  // rethrow the failure instead of terminating or leaking threads.
+  Campaign campaign(stress_base());
+  campaign.add_all(pg_axis({8, 4}));
+  campaign.add({"too-wide", [](ExperimentProfile& p) {
+                  p.cluster.num_hosts = 2;  // 4 OSDs < n=12 chunks
+                }});
+  campaign.parallelism(8);
+  EXPECT_THROW(campaign.run(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecf::ecfault

@@ -23,6 +23,7 @@ ExperimentProfile fast_profile() {
   p.fault.level = FaultLevel::kNode;
   p.fault.count = 1;
   p.runs = 2;
+  p.cluster.check_invariants = true;  // per-event validation in tier-1 tests
   return p;
 }
 

@@ -22,6 +22,9 @@ ExperimentProfile paper_default(bool clay) {
   p.cluster.workload.num_objects = 10000;
   p.fault.level = FaultLevel::kNode;
   p.runs = 1;
+  // The reproduction runs double as invariant soaks: every event of the
+  // full paper-scale experiments is validated by the SimInvariantChecker.
+  p.cluster.check_invariants = true;
   return p;
 }
 

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "util/check.h"
+
 namespace ecf::sim {
 namespace {
 
@@ -71,14 +73,16 @@ TEST(Engine, RunUntilHorizonStops) {
 
 TEST(Engine, RejectsNegativeDelay) {
   Engine eng;
-  EXPECT_THROW(eng.schedule(-1.0, [] {}), std::invalid_argument);
+  // Scheduling contracts are ECF_CHECKs; the test harness installs the
+  // throwing failure handler, so violations surface as CheckFailure.
+  EXPECT_THROW(eng.schedule(-1.0, [] {}), util::CheckFailure);
 }
 
 TEST(Engine, RejectsPastAbsoluteTime) {
   Engine eng;
   eng.schedule(5.0, [] {});
   eng.run();
-  EXPECT_THROW(eng.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(eng.schedule_at(1.0, [] {}), util::CheckFailure);
 }
 
 TEST(Engine, ResetClearsState) {

@@ -1,0 +1,100 @@
+#include "sim/invariant_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/check.h"
+
+namespace ecf::sim {
+namespace {
+
+TEST(SimInvariantChecker, RunsAfterEveryEvent) {
+  Engine eng;
+  SimInvariantChecker checker(eng);
+  int validations = 0;
+  checker.add_invariant("count", [&validations] { ++validations; });
+  eng.schedule(1.0, [] {});
+  eng.schedule(2.0, [] {});
+  eng.schedule(3.0, [] {});
+  eng.run();
+  EXPECT_EQ(checker.events_checked(), 3u);
+  EXPECT_EQ(validations, 3);
+  EXPECT_EQ(checker.num_invariants(), 1u);
+}
+
+TEST(SimInvariantChecker, DetectorRemovedOnDestruction) {
+  Engine eng;
+  {
+    SimInvariantChecker checker(eng);
+    eng.schedule(1.0, [] {});
+    eng.run();
+    EXPECT_EQ(checker.events_checked(), 1u);
+  }
+  // With the checker gone its hook must be gone too.
+  eng.schedule(1.0, [] {});
+  EXPECT_EQ(eng.run(), 1u);
+}
+
+TEST(SimInvariantChecker, InvariantViolationSurfacesWithEventContext) {
+  Engine eng;
+  SimInvariantChecker checker(eng);
+  int balance = 0;
+  checker.add_invariant("balance-nonnegative",
+                        [&balance] { ECF_CHECK_GE(balance, 0); });
+  eng.schedule(1.0, [&balance] { balance = 5; });
+  eng.schedule(2.0, [&balance] { balance = -1; });  // the corrupting event
+  EXPECT_THROW(eng.run(), util::CheckFailure);
+  // The violation fired right after the corrupting event, not at the end.
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+  EXPECT_EQ(checker.current_invariant(), "balance-nonnegative");
+}
+
+TEST(SimInvariantChecker, RejectsInvariantWithoutBody) {
+  Engine eng;
+  SimInvariantChecker checker(eng);
+  EXPECT_THROW(checker.add_invariant("empty", nullptr), util::CheckFailure);
+}
+
+TEST(SimInvariantChecker, CatchesNonMonotonicEventInjection) {
+  // Negative test of the backstop layer: an event planted in the past with
+  // the unchecked backdoor bypasses the Engine::schedule contracts. Because
+  // the queue is a min-heap, the past event pops first and drags the clock
+  // backwards — which the checker's built-in time invariant must catch.
+  Engine eng;
+  SimInvariantChecker checker(eng);
+  eng.schedule(5.0, [] {});
+  eng.run();  // checker's time baseline is now t=5
+  ASSERT_DOUBLE_EQ(eng.now(), 5.0);
+
+  eng.schedule_at_unchecked(2.0, [] {});  // in the past, bypassing contracts
+  EXPECT_THROW(eng.run(), util::CheckFailure);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);  // clock really did go backwards
+}
+
+TEST(SimInvariantChecker, ObserveTimeDirectly) {
+  Engine eng;
+  SimInvariantChecker checker(eng);
+  checker.observe_time(1.0);
+  checker.observe_time(1.0);  // equal is fine (simultaneous events)
+  checker.observe_time(2.0);
+  EXPECT_THROW(checker.observe_time(1.5), util::CheckFailure);
+  checker.reset_clock();
+  checker.observe_time(0.0);  // legal again after an engine reset
+}
+
+TEST(SimInvariantChecker, SurvivesEngineReset) {
+  Engine eng;
+  SimInvariantChecker checker(eng);
+  eng.schedule(10.0, [] {});
+  eng.run();
+  eng.reset();
+  checker.reset_clock();
+  eng.schedule(1.0, [] {});  // earlier absolute time than before the reset
+  EXPECT_EQ(eng.run(), 1u);
+  EXPECT_EQ(checker.events_checked(), 2u);
+}
+
+}  // namespace
+}  // namespace ecf::sim

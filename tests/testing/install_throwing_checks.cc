@@ -1,0 +1,14 @@
+// Linked into every test binary (see tests/CMakeLists.txt ecf_test()):
+// makes ECF_CHECK failures throw util::CheckFailure so tests can assert on
+// contract violations with EXPECT_THROW instead of dying.
+#include "util/check.h"
+
+namespace {
+
+const bool kInstalled = [] {
+  ecf::util::set_check_failure_handler(
+      &ecf::util::throwing_check_failure_handler);
+  return true;
+}();
+
+}  // namespace

@@ -1,0 +1,32 @@
+// Test-side helpers for the ECF_CHECK contract framework.
+//
+// Every test binary links tests/testing/install_throwing_checks.cc, whose
+// static initializer installs throwing_check_failure_handler so contract
+// violations surface as catchable util::CheckFailure exceptions instead of
+// aborting the whole gtest process. The helpers here let individual tests
+// switch policy locally:
+//
+//   ScopedCheckHandler guard(&util::aborting_check_failure_handler);
+//
+// restores the previous handler on scope exit (used inside EXPECT_DEATH
+// statements to exercise the abort+backtrace path).
+#pragma once
+
+#include "util/check.h"
+
+namespace ecf::testing {
+
+class ScopedCheckHandler {
+ public:
+  explicit ScopedCheckHandler(util::CheckFailureHandler handler)
+      : previous_(util::set_check_failure_handler(handler)) {}
+  ~ScopedCheckHandler() { util::set_check_failure_handler(previous_); }
+
+  ScopedCheckHandler(const ScopedCheckHandler&) = delete;
+  ScopedCheckHandler& operator=(const ScopedCheckHandler&) = delete;
+
+ private:
+  util::CheckFailureHandler previous_;
+};
+
+}  // namespace ecf::testing

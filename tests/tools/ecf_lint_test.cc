@@ -1,0 +1,152 @@
+// Unit tests for the ecf_lint rule engine: one test per rule class, plus
+// the comment/string stripper and the inline suppression mechanism. These
+// lint *synthetic snippets*, not the real tree — the tree itself is linted
+// by the ecf_lint ctest (label `lint`).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tools/ecf_lint_core.h"
+
+namespace ecf::lint {
+namespace {
+
+std::vector<Finding> lint_snippet(const std::string& path,
+                                  const std::string& code) {
+  return lint_source(path, code, make_default_rules());
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const auto& f : findings) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(LintStrip, CommentsAndStringsBecomeSpaces) {
+  const std::string src =
+      "int x = 1; // new Foo()\n"
+      "const char* s = \"delete this\";\n"
+      "/* assert(\n"
+      "   rand() */ int y = 2;\n";
+  const std::string stripped = strip_comments_and_strings(src);
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_EQ(stripped.find("delete"), std::string::npos);
+  EXPECT_EQ(stripped.find("assert"), std::string::npos);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  // Line structure preserved: same number of newlines.
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_NE(stripped.find("int y = 2;"), std::string::npos);
+}
+
+TEST(LintStrip, RawStringsAndCharLiterals) {
+  const std::string src =
+      "auto r = R\"(new delete assert)\"; char c = 'n';\n"
+      "int big = 1'000'000;  // digit separators stay code\n";
+  const std::string stripped = strip_comments_and_strings(src);
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_EQ(stripped.find("delete"), std::string::npos);
+  EXPECT_NE(stripped.find("1'000'000"), std::string::npos);
+}
+
+TEST(LintRule, NakedNewAndDeleteFlagged) {
+  const auto f1 = lint_snippet("src/sim/engine.cc", "auto* p = new Foo();\n");
+  EXPECT_TRUE(has_rule(f1, "naked-new"));
+  const auto f2 = lint_snippet("src/sim/engine.cc", "delete p;\n");
+  EXPECT_TRUE(has_rule(f2, "naked-new"));
+}
+
+TEST(LintRule, DeletedFunctionsAndTestsAllowed) {
+  const auto f1 = lint_snippet("src/sim/engine.cc",
+                               "Engine(const Engine&) = delete;\n");
+  EXPECT_FALSE(has_rule(f1, "naked-new"));
+  // Rules scope to src/; test code may use whatever gtest needs.
+  const auto f2 = lint_snippet("tests/sim/engine_test.cc",
+                               "auto* p = new Foo();\n");
+  EXPECT_TRUE(f2.empty());
+}
+
+TEST(LintRule, RawAssertFlaggedButStaticAssertAllowed) {
+  const auto f1 = lint_snippet("src/gf/matrix.cc", "assert(rows_ > 0);\n");
+  EXPECT_TRUE(has_rule(f1, "raw-assert"));
+  const auto f2 = lint_snippet("src/gf/matrix.cc",
+                               "static_assert(sizeof(int) == 4);\n");
+  EXPECT_FALSE(has_rule(f2, "raw-assert"));
+}
+
+TEST(LintRule, IostreamOutputFlaggedInLibraryCode) {
+  const auto f1 =
+      lint_snippet("src/cluster/cluster.cc", "std::cout << \"hi\";\n");
+  EXPECT_TRUE(has_rule(f1, "iostream-output"));
+  const auto f2 = lint_snippet("src/cluster/cluster.cc",
+                               "printf(\"%d\", x);\n");
+  EXPECT_TRUE(has_rule(f2, "iostream-output"));
+  // snprintf into a buffer is formatting, not output.
+  const auto f3 = lint_snippet("src/cluster/cluster.cc",
+                               "std::snprintf(buf, sizeof buf, \"%d\", x);\n");
+  EXPECT_FALSE(has_rule(f3, "iostream-output"));
+}
+
+TEST(LintRule, NondeterminismFlaggedOnlyInSimCode) {
+  const auto f1 = lint_snippet("src/sim/engine.cc",
+                               "int r = rand() % 6;\n");
+  EXPECT_TRUE(has_rule(f1, "nondeterminism"));
+  const auto f2 = lint_snippet("src/ecfault/campaign.cc",
+                               "std::random_device rd;\n");
+  EXPECT_TRUE(has_rule(f2, "nondeterminism"));
+  const auto f3 = lint_snippet(
+      "src/sim/engine.cc",
+      "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_TRUE(has_rule(f3, "nondeterminism"));
+  // The same tokens outside sim code are someone else's problem.
+  const auto f4 = lint_snippet("src/util/rng.cc", "int r = rand();\n");
+  EXPECT_FALSE(has_rule(f4, "nondeterminism"));
+  // Identifiers containing the tokens are fine.
+  const auto f5 = lint_snippet("src/sim/engine.cc",
+                               "double detection_time = now_;\n");
+  EXPECT_FALSE(has_rule(f5, "nondeterminism"));
+}
+
+TEST(LintRule, UsingNamespaceStdFlagged) {
+  const auto f1 =
+      lint_snippet("src/util/json.cc", "using namespace std;\n");
+  EXPECT_TRUE(has_rule(f1, "using-namespace-std"));
+  const auto f2 = lint_snippet("src/util/json.cc",
+                               "using namespace ecf::util;\n");
+  EXPECT_FALSE(has_rule(f2, "using-namespace-std"));
+  const auto f3 = lint_snippet("src/util/json.cc",
+                               "namespace std_helpers {\n");
+  EXPECT_FALSE(has_rule(f3, "using-namespace-std"));
+}
+
+TEST(LintSuppress, InlineAllowSilencesOneRuleOnOneLine) {
+  const std::string code =
+      "auto* p = new Foo();  // ecf-lint: allow(naked-new)\n"
+      "auto* q = new Bar();\n";
+  const auto findings = lint_snippet("src/sim/engine.cc", code);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].rule, "naked-new");
+}
+
+TEST(LintFinding, CarriesFileLineAndExcerpt) {
+  const auto findings =
+      lint_snippet("src/gf/matrix.cc", "int a;\n  assert(a == 0);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/gf/matrix.cc");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].excerpt, "assert(a == 0);");
+}
+
+TEST(LintEngine, CleanFileYieldsNoFindings) {
+  const std::string code =
+      "#include <memory>\n"
+      "auto p = std::make_unique<int>(3);\n"
+      "ECF_CHECK_GE(*p, 0) << \" bad\";\n";
+  EXPECT_TRUE(lint_snippet("src/sim/engine.cc", code).empty());
+}
+
+}  // namespace
+}  // namespace ecf::lint

@@ -1,0 +1,136 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/testing/scoped_checks.h"
+
+namespace ecf::util {
+namespace {
+
+TEST(Check, PassingCheckHasNoEffect) {
+  ECF_CHECK(1 + 1 == 2);
+  ECF_CHECK(true) << "never formatted";
+  ECF_CHECK_EQ(2, 2);
+  ECF_CHECK_NE(1, 2);
+  ECF_CHECK_LT(1, 2);
+  ECF_CHECK_LE(2, 2);
+  ECF_CHECK_GT(2, 1);
+  ECF_CHECK_GE(2, 2);
+}
+
+TEST(Check, FailingCheckThrowsUnderTestHandler) {
+  EXPECT_THROW(ECF_CHECK(false), CheckFailure);
+}
+
+TEST(Check, FailureCarriesConditionAndMessage) {
+  try {
+    ECF_CHECK(2 < 1) << " extra context " << 42;
+    FAIL() << "check did not fire";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(e.condition().find("2 < 1"), std::string::npos);
+    EXPECT_NE(e.message().find("extra context 42"), std::string::npos);
+    EXPECT_NE(e.file().find("check_test.cc"), std::string::npos);
+    EXPECT_GT(e.line(), 0);
+    EXPECT_NE(std::string(e.what()).find("contract violated"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, CheckOpFormatsBothOperands) {
+  try {
+    const int lhs = 3, rhs = 7;
+    ECF_CHECK_EQ(lhs, rhs) << " widgets";
+    FAIL() << "check did not fire";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(e.message().find("(3 vs. 7)"), std::string::npos);
+    EXPECT_NE(e.message().find("widgets"), std::string::npos);
+  }
+}
+
+TEST(Check, ByteOperandsPrintAsNumbers) {
+  try {
+    const unsigned char a = 7, b = 9;
+    ECF_CHECK_EQ(a, b);
+    FAIL() << "check did not fire";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(e.message().find("(7 vs. 9)"), std::string::npos);
+  }
+}
+
+TEST(Check, OperandsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto count = [&calls] { return ++calls; };
+  ECF_CHECK_GE(count(), 1);
+  EXPECT_EQ(calls, 1);
+  calls = 0;
+  EXPECT_THROW(ECF_CHECK_LT(count(), 0), CheckFailure);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, DanglingElseSafe) {
+  // Both forms must parse as a single statement inside an unbraced if.
+  bool reached_else = false;
+  if (false)
+    ECF_CHECK(true);
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+
+  reached_else = false;
+  if (false)
+    ECF_CHECK_EQ(1, 1);
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+TEST(Check, HandlerSwapRestores) {
+  const CheckFailureHandler before = check_failure_handler();
+  {
+    testing::ScopedCheckHandler guard(&aborting_check_failure_handler);
+    EXPECT_EQ(check_failure_handler(), &aborting_check_failure_handler);
+  }
+  EXPECT_EQ(check_failure_handler(), before);
+}
+
+#if defined(ECF_DCHECKS_ENABLED) && ECF_DCHECKS_ENABLED
+TEST(Check, DchecksActiveInThisBuild) {
+  EXPECT_THROW(ECF_DCHECK(false), CheckFailure);
+  EXPECT_THROW(ECF_DCHECK_EQ(1, 2), CheckFailure);
+}
+#else
+TEST(Check, DchecksCompiledOutButTypechecked) {
+  ECF_DCHECK(false) << "never evaluated";
+  ECF_DCHECK_EQ(1, 2);
+}
+#endif
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, AbortingHandlerDiesWithDiagnostics) {
+  // The aborting policy (the default outside tests) must print the contract
+  // and terminate; exercised for the paths tools and benches rely on.
+  EXPECT_DEATH(
+      {
+        testing::ScopedCheckHandler guard(&aborting_check_failure_handler);
+        ECF_CHECK_EQ(1, 2) << " from death test";
+      },
+      "ECF_CHECK_EQ.*1 vs. 2.*from death test");
+}
+
+TEST(CheckDeathTest, HandlerThatReturnsStillAborts) {
+  // A buggy handler that returns must not let execution continue past a
+  // failed contract.
+  EXPECT_DEATH(
+      {
+        testing::ScopedCheckHandler guard(
+            +[](const char*, int, const char*, const std::string&) {});
+        ECF_CHECK(false);
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace ecf::util

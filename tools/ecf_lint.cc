@@ -1,0 +1,81 @@
+// ecf_lint: project lint pass over the ecfault source tree.
+//
+// Usage: ecf_lint <repo-root> [more roots...]
+//
+// Walks src/ and tools/ under each root, applies the token-level rules in
+// ecf_lint_core.h, and prints findings as file:line: [rule] message. Exits
+// nonzero iff any finding survives. Registered as a ctest (label `lint`) so
+// the rules are enforced on every test run without needing libclang.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/ecf_lint_core.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string relative_slash_path(const fs::path& file, const fs::path& root) {
+  std::string rel = fs::relative(file, root).generic_string();
+  return rel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <repo-root> [more roots...]\n", argv[0]);
+    return 2;
+  }
+
+  const std::vector<ecf::lint::Rule> rules = ecf::lint::make_default_rules();
+  std::vector<ecf::lint::Finding> findings;
+  std::size_t files_scanned = 0;
+
+  for (int a = 1; a < argc; ++a) {
+    const fs::path root(argv[a]);
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "ecf_lint: no such directory: %s\n", argv[a]);
+      return 2;
+    }
+    for (const char* subtree : {"src", "tools"}) {
+      const fs::path dir = root / subtree;
+      if (!fs::exists(dir)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file() || !is_cpp_source(entry.path())) {
+          continue;
+        }
+        const std::string rel = relative_slash_path(entry.path(), root);
+        const auto file_findings =
+            ecf::lint::lint_source(rel, read_file(entry.path()), rules);
+        findings.insert(findings.end(), file_findings.begin(),
+                        file_findings.end());
+        ++files_scanned;
+      }
+    }
+  }
+
+  for (const auto& f : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n    %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str(), f.excerpt.c_str());
+  }
+  std::fprintf(stderr, "ecf_lint: %zu file(s) scanned, %zu finding(s)\n",
+               files_scanned, findings.size());
+  return findings.empty() ? 0 : 1;
+}

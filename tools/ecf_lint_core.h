@@ -1,0 +1,349 @@
+// ecf_lint: fast token-level lint rules for the ecfault tree.
+//
+// Not a compiler plugin — a single-pass scanner that strips comments and
+// string literals, then matches word-boundary tokens against a small set of
+// project rules. That keeps it dependency-free (no libclang), fast enough
+// to run as a ctest on every build, and trivially extensible.
+//
+// Rules (see make_default_rules):
+//   naked-new            no `new`/`delete` outside smart-pointer factories
+//   raw-assert           no <cassert> assert() in src/ (use ECF_CHECK)
+//   iostream-output      no std::cout/std::cerr/printf in src/ libraries
+//   nondeterminism       no rand()/random_device/wall-clock in src/sim,
+//                        src/ecfault (simulations must be replayable)
+//   using-namespace-std  no `using namespace std;`
+//
+// Suppression: append `// ecf-lint: allow(<rule>)` to the offending line.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ecf::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  std::string excerpt;  // the offending source line, trimmed
+};
+
+struct Rule {
+  std::string name;
+  std::string message;
+  // Tokens that trigger the rule (word-boundary matched on stripped code).
+  std::vector<std::string> tokens;
+  // Applies to a path? (paths are repo-relative with forward slashes)
+  std::function<bool(const std::string&)> applies;
+  // Veto a specific match given (line text, token position): return true to
+  // keep the finding. Lets rules allow `= delete`, `static_assert`, etc.
+  std::function<bool(const std::string&, std::size_t)> keep = nullptr;
+};
+
+inline bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Replace comments and string/char literals with spaces, preserving line
+// structure so findings carry real line numbers. Handles // and /**/
+// comments, escape sequences, and raw strings R"tag(...)tag".
+std::string strip_comments_and_strings(const std::string& src);
+
+// Scan one already-stripped line for `token` at word boundaries; calls
+// `on_hit` with the column of each occurrence.
+void for_each_token(const std::string& line, const std::string& token,
+                    const std::function<void(std::size_t)>& on_hit);
+
+// Lint one file's contents against the rules; `path` is the repo-relative
+// path used for rule applicability and reporting.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& contents,
+                                 const std::vector<Rule>& rules);
+
+// The project rule set.
+std::vector<Rule> make_default_rules();
+
+// ---------------------------------------------------------------------------
+
+inline std::string strip_comments_and_strings(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: )tag"
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_word_char(src[i - 1]))) {
+          // Raw string literal: R"tag( ... )tag"
+          std::size_t p = i + 2;
+          std::string tag;
+          while (p < src.size() && src[p] != '(') tag += src[p++];
+          raw_delim = ")" + tag + "\"";
+          state = State::kRaw;
+          out.append(p - i + 1, ' ');
+          i = p;  // at the '('
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'' && !(i > 0 && is_word_char(src[i - 1]))) {
+          // Apostrophe starts a char literal only outside identifiers
+          // (C++14 digit separators like 1'000 stay code).
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kRaw:
+        if (c == ')' && src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          out.append(raw_delim.size(), ' ');
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+inline void for_each_token(const std::string& line, const std::string& token,
+                           const std::function<void(std::size_t)>& on_hit) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    // Tokens ending in '(' or ':' bind their own right edge.
+    const char last = token.back();
+    const bool right_ok = is_word_char(last)
+                              ? end >= line.size() || !is_word_char(line[end])
+                              : true;
+    if (left_ok && right_ok) on_hit(pos);
+    pos += token.size();
+  }
+}
+
+namespace detail {
+
+inline std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+inline bool suppressed(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("ecf-lint: allow(" + rule + ")") != std::string::npos;
+}
+
+inline std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace detail
+
+inline std::vector<Finding> lint_source(const std::string& path,
+                                        const std::string& contents,
+                                        const std::vector<Rule>& rules) {
+  std::vector<Finding> findings;
+  std::vector<const Rule*> active;
+  for (const Rule& r : rules) {
+    if (r.applies(path)) active.push_back(&r);
+  }
+  if (active.empty()) return findings;
+
+  const std::string stripped = strip_comments_and_strings(contents);
+  const std::vector<std::string> code_lines = detail::split_lines(stripped);
+  const std::vector<std::string> raw_lines = detail::split_lines(contents);
+
+  for (std::size_t ln = 0; ln < code_lines.size(); ++ln) {
+    const std::string& code = code_lines[ln];
+    const std::string& raw = ln < raw_lines.size() ? raw_lines[ln] : code;
+    for (const Rule* rule : active) {
+      if (detail::suppressed(raw, rule->name)) continue;
+      bool hit = false;
+      for (const std::string& token : rule->tokens) {
+        for_each_token(code, token, [&](std::size_t col) {
+          if (hit) return;
+          if (rule->keep && !rule->keep(code, col)) return;
+          hit = true;
+        });
+        if (hit) break;
+      }
+      if (hit) {
+        findings.push_back({path, ln + 1, rule->name, rule->message,
+                            detail::trim(raw)});
+      }
+    }
+  }
+  return findings;
+}
+
+inline std::vector<Rule> make_default_rules() {
+  const auto in_src = [](const std::string& p) {
+    return p.rfind("src/", 0) == 0;
+  };
+  const auto in_sim_or_ecfault = [](const std::string& p) {
+    return p.rfind("src/sim/", 0) == 0 || p.rfind("src/ecfault/", 0) == 0;
+  };
+  const auto in_src_or_tools = [](const std::string& p) {
+    return p.rfind("src/", 0) == 0 || p.rfind("tools/", 0) == 0;
+  };
+
+  std::vector<Rule> rules;
+
+  rules.push_back(Rule{
+      "naked-new",
+      "raw new/delete; use std::make_unique/std::make_shared or containers",
+      {"new", "delete"},
+      in_src,
+      [](const std::string& line, std::size_t col) {
+        // `= delete` / `= delete;` declarations are idiomatic, as is
+        // `delete` in a deleter type name context we don't use. Allow
+        // `noexcept(...)` false hits by requiring the keyword itself.
+        if (line.compare(col, 6, "delete") == 0) {
+          std::size_t p = col;
+          while (p > 0 && (line[p - 1] == ' ' || line[p - 1] == '\t')) --p;
+          if (p > 0 && line[p - 1] == '=') return false;  // "= delete"
+        }
+        // Placement-new-free tree: every `new` outside "= delete" counts.
+        return true;
+      }});
+
+  rules.push_back(Rule{
+      "raw-assert",
+      "assert() from <cassert>; use ECF_CHECK/ECF_DCHECK so the contract "
+      "survives release builds and reports context",
+      {"assert"},
+      in_src,
+      [](const std::string& line, std::size_t col) {
+        // static_assert is fine (compile-time); only call-site assert( hits.
+        const std::size_t end = col + 6;
+        return end < line.size() && line[end] == '(';
+      }});
+
+  rules.push_back(Rule{
+      "iostream-output",
+      "direct std::cout/std::cerr/printf in library code; route output "
+      "through the log sink or return values",
+      {"cout", "cerr", "printf", "puts"},
+      in_src,
+      [](const std::string& line, std::size_t col) {
+        // fprintf/snprintf/printf-to-buffer style helpers are allowed when
+        // they target a buffer: snprintf is the common one.
+        if (line.compare(col, 6, "printf") == 0) {
+          if (col >= 1 && line[col - 1] == 's') return false;   // snprintf
+          if (col >= 1 && line[col - 1] == 'f') return false;   // fprintf
+          if (col >= 2 && line.compare(col - 2, 2, "vs") == 0) return false;
+        }
+        return true;
+      }});
+
+  rules.push_back(Rule{
+      "nondeterminism",
+      "non-deterministic API in simulation code; use util::Rng (seeded) and "
+      "sim time so runs replay bit-identically",
+      {"rand", "srand", "random_device", "system_clock", "steady_clock",
+       "high_resolution_clock", "time"},
+      in_sim_or_ecfault,
+      [](const std::string& line, std::size_t col) {
+        // `time` only counts as the libc call `time(`; identifiers like
+        // sim_time/now_time are fine (word boundaries already exclude
+        // them, but `time (` with space is matched here too).
+        if (line.compare(col, 4, "time") == 0 &&
+            (col + 4 >= line.size() || line[col + 4] != '(')) {
+          return false;
+        }
+        return true;
+      }});
+
+  rules.push_back(Rule{
+      "using-namespace-std",
+      "`using namespace std` pollutes every including scope",
+      {"namespace"},
+      in_src_or_tools,
+      [](const std::string& line, std::size_t col) {
+        // Only `using namespace std` (any spacing) is flagged.
+        const std::size_t end = col + 9;
+        std::size_t p = line.find_first_not_of(" \t", end);
+        if (p == std::string::npos || line.compare(p, 3, "std") != 0) {
+          return false;
+        }
+        // Require `using` immediately before.
+        std::size_t q = col;
+        while (q > 0 && (line[q - 1] == ' ' || line[q - 1] == '\t')) --q;
+        return q >= 5 && line.compare(q - 5, 5, "using") == 0;
+      }});
+
+  return rules;
+}
+
+}  // namespace ecf::lint
