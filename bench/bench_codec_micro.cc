@@ -66,7 +66,7 @@ void BM_RsDecode3(benchmark::State& state) {
   auto chunks = make_chunks(code, chunk);
   code.encode(chunks);
   for (auto _ : state) {
-    code.decode(chunks, {0, 5, 11});
+    benchmark::DoNotOptimize(code.decode(chunks, {0, 5, 11}));
     benchmark::DoNotOptimize(chunks[0].data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -94,7 +94,7 @@ void BM_ClayDecode1(benchmark::State& state) {
   auto chunks = make_chunks(code, chunk);
   code.encode(chunks);
   for (auto _ : state) {
-    code.decode(chunks, {3});
+    benchmark::DoNotOptimize(code.decode(chunks, {3}));
     benchmark::DoNotOptimize(chunks[3].data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -135,7 +135,7 @@ void BM_LrcLocalRepair(benchmark::State& state) {
   auto chunks = make_chunks(code, chunk);
   code.encode(chunks);
   for (auto _ : state) {
-    code.decode(chunks, {2});
+    benchmark::DoNotOptimize(code.decode(chunks, {2}));
     benchmark::DoNotOptimize(chunks[2].data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *

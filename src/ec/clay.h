@@ -51,10 +51,12 @@ class ClayCode : public ErasureCode {
   std::size_t alpha() const override { return alpha_; }
 
   void encode(std::vector<Buffer>& chunks) const override;
-  bool decode(std::vector<Buffer>& chunks,
-              const std::vector<std::size_t>& erased) const override;
+  [[nodiscard]] bool decode(
+      std::vector<Buffer>& chunks,
+      const std::vector<std::size_t>& erased) const override;
 
-  RepairPlan repair_plan(const std::vector<std::size_t>& erased) const override;
+  [[nodiscard]] RepairPlan repair_plan(
+      const std::vector<std::size_t>& erased) const override;
 
   // --- bandwidth-optimal single-failure repair (d = n-1) ------------------
   // The plane indices (z values, ascending) helpers must supply to repair

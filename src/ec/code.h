@@ -87,11 +87,13 @@ class ErasureCode {
   // Reconstruct the chunks listed in `erased` (buffers must be sized; their
   // contents are overwritten) from the remaining chunks. Returns false when
   // the pattern is unrecoverable (|erased| > m, or non-MDS pattern for LRC).
-  virtual bool decode(std::vector<Buffer>& chunks,
-                      const std::vector<std::size_t>& erased) const = 0;
+  [[nodiscard]] virtual bool decode(
+      std::vector<Buffer>& chunks,
+      const std::vector<std::size_t>& erased) const = 0;
 
   // I/O plan for repairing `erased`. Default: read any k survivors fully.
-  virtual RepairPlan repair_plan(const std::vector<std::size_t>& erased) const;
+  [[nodiscard]] virtual RepairPlan repair_plan(
+      const std::vector<std::size_t>& erased) const;
 
   // Theoretical storage amplification n/k (the value the paper shows the
   // real system exceeding).
@@ -109,7 +111,8 @@ void check_erasures(const ErasureCode& code,
                     const std::vector<std::size_t>& erased);
 
 // Convenience for tests/examples: erase (zero + forget) chunks and repair.
-bool erase_and_decode(const ErasureCode& code, std::vector<Buffer>& chunks,
-                      const std::vector<std::size_t>& erased);
+[[nodiscard]] bool erase_and_decode(const ErasureCode& code,
+                                    std::vector<Buffer>& chunks,
+                                    const std::vector<std::size_t>& erased);
 
 }  // namespace ecf::ec

@@ -35,9 +35,11 @@ class LrcCode : public ErasureCode {
   std::vector<std::size_t> group_members(std::size_t group) const;
 
   void encode(std::vector<Buffer>& chunks) const override;
-  bool decode(std::vector<Buffer>& chunks,
-              const std::vector<std::size_t>& erased) const override;
-  RepairPlan repair_plan(const std::vector<std::size_t>& erased) const override;
+  [[nodiscard]] bool decode(
+      std::vector<Buffer>& chunks,
+      const std::vector<std::size_t>& erased) const override;
+  [[nodiscard]] RepairPlan repair_plan(
+      const std::vector<std::size_t>& erased) const override;
 
   // True when the erasure pattern is decodable (rank test).
   bool recoverable(const std::vector<std::size_t>& erased) const;

@@ -16,9 +16,11 @@ class ReplicationCode : public ErasureCode {
   std::size_t k() const override { return 1; }
 
   void encode(std::vector<Buffer>& chunks) const override;
-  bool decode(std::vector<Buffer>& chunks,
-              const std::vector<std::size_t>& erased) const override;
-  RepairPlan repair_plan(const std::vector<std::size_t>& erased) const override;
+  [[nodiscard]] bool decode(
+      std::vector<Buffer>& chunks,
+      const std::vector<std::size_t>& erased) const override;
+  [[nodiscard]] RepairPlan repair_plan(
+      const std::vector<std::size_t>& erased) const override;
 
  private:
   std::size_t copies_;

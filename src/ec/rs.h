@@ -36,8 +36,9 @@ class RsCode : public ErasureCode {
   std::size_t k() const override { return k_; }
 
   void encode(std::vector<Buffer>& chunks) const override;
-  bool decode(std::vector<Buffer>& chunks,
-              const std::vector<std::size_t>& erased) const override;
+  [[nodiscard]] bool decode(
+      std::vector<Buffer>& chunks,
+      const std::vector<std::size_t>& erased) const override;
 
   RsTechnique technique() const { return technique_; }
 

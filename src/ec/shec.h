@@ -33,9 +33,11 @@ class ShecCode : public ErasureCode {
   std::vector<std::size_t> parity_window(std::size_t p) const;
 
   void encode(std::vector<Buffer>& chunks) const override;
-  bool decode(std::vector<Buffer>& chunks,
-              const std::vector<std::size_t>& erased) const override;
-  RepairPlan repair_plan(const std::vector<std::size_t>& erased) const override;
+  [[nodiscard]] bool decode(
+      std::vector<Buffer>& chunks,
+      const std::vector<std::size_t>& erased) const override;
+  [[nodiscard]] RepairPlan repair_plan(
+      const std::vector<std::size_t>& erased) const override;
 
   // Rank test: is this erasure pattern decodable?
   bool recoverable(const std::vector<std::size_t>& erased) const;

@@ -48,9 +48,19 @@ std::size_t resolve_parallelism(std::size_t requested, std::size_t variants) {
 
 }  // namespace
 
+void Campaign::note_variant_done(const std::string& label) const {
+  std::lock_guard<std::mutex> lk(progress_mu_);
+  ++completed_;
+  if (progress_) progress_(completed_, variants_.size(), label);
+}
+
 std::vector<VariantResult> Campaign::run(
     const std::string& reference_label) const {
   if (variants_.empty()) throw std::logic_error("campaign has no variants");
+  {
+    std::lock_guard<std::mutex> lk(progress_mu_);
+    completed_ = 0;
+  }
   std::vector<VariantResult> results(variants_.size());
   auto run_one = [this, &results](std::size_t i) {
     ExperimentProfile p = base_;
@@ -58,6 +68,7 @@ std::vector<VariantResult> Campaign::run(
     p.name = variants_[i].label;
     results[i].label = variants_[i].label;
     results[i].campaign = Coordinator::run_profile(p);
+    note_variant_done(variants_[i].label);
   };
   const std::size_t nthreads =
       resolve_parallelism(parallelism_, variants_.size());

@@ -14,12 +14,15 @@
 // serial run regardless of thread count.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ecfault/coordinator.h"
 #include "util/json.h"
+#include "util/thread_annotations.h"
 
 namespace ecf::ecfault {
 
@@ -37,6 +40,24 @@ struct VariantResult {
 class Campaign {
  public:
   explicit Campaign(ExperimentProfile base) : base_(std::move(base)) {}
+
+  // Movable (campaign_from_json returns one by value); the mutex and the
+  // per-run progress counter are deliberately not transferred — moving a
+  // Campaign mid-run is a caller bug, and a fresh object starts at 0 done.
+  Campaign(Campaign&& other) noexcept
+      : base_(std::move(other.base_)),
+        variants_(std::move(other.variants_)),
+        parallelism_(other.parallelism_),
+        progress_(std::move(other.progress_)) {}
+  Campaign& operator=(Campaign&& other) noexcept {
+    base_ = std::move(other.base_);
+    variants_ = std::move(other.variants_);
+    parallelism_ = other.parallelism_;
+    progress_ = std::move(other.progress_);
+    return *this;
+  }
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
 
   Campaign& add(Variant v) {
     variants_.push_back(std::move(v));
@@ -56,6 +77,17 @@ class Campaign {
     return *this;
   }
 
+  // Progress observer: invoked once per finished variant with the number
+  // done so far, the total, and the finished variant's label. Workers call
+  // it from the pool, serialized under an internal mutex, so the callback
+  // needs no locking of its own (but must not call back into run()).
+  using ProgressFn = std::function<void(
+      std::size_t done, std::size_t total, const std::string& label)>;
+  Campaign& on_progress(ProgressFn fn) {
+    progress_ = std::move(fn);
+    return *this;
+  }
+
   // Run every variant; normalize to `reference_label` (empty = first).
   // Results are in declaration order and independent of parallelism.
   std::vector<VariantResult> run(const std::string& reference_label = "") const;
@@ -66,9 +98,19 @@ class Campaign {
   std::size_t size() const { return variants_.size(); }
 
  private:
+  // Bumps completed_ and fires progress_ under progress_mu_.
+  void note_variant_done(const std::string& label) const
+      ECF_EXCLUDES(progress_mu_);
+
   ExperimentProfile base_;
   std::vector<Variant> variants_;
   std::size_t parallelism_ = 0;
+  ProgressFn progress_;
+  // Run-shared progress state: every pool worker bumps the counter, so it
+  // lives behind a mutex (mutable: run() is const and reentrant-safe
+  // serially; concurrent run() calls on one Campaign share the counter).
+  mutable std::mutex progress_mu_;
+  mutable std::size_t completed_ ECF_GUARDED_BY(progress_mu_) = 0;
 };
 
 // --- standard axes (the paper's Table 1 subset) -----------------------------

@@ -29,11 +29,12 @@ class FaultInjector {
   // Select victims per the spec. Throws std::invalid_argument when the
   // spec is unsatisfiable (not enough hosts / OSDs) or std::runtime_error
   // when every candidate set would exceed the code's tolerance.
-  InjectionPlan plan(const FaultSpec& spec) const;
+  [[nodiscard]] InjectionPlan plan(const FaultSpec& spec) const;
 
   // Would failing these OSDs stay within every PG's tolerance (<= n-k
   // losses per PG, counting already-failed shards)?
-  bool within_tolerance(const std::vector<cluster::OsdId>& victims) const;
+  [[nodiscard]] bool within_tolerance(
+      const std::vector<cluster::OsdId>& victims) const;
 
  private:
   std::vector<cluster::OsdId> candidates_with_data() const;

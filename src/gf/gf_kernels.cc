@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 #include "gf/gf_kernels_impl.h"
+#include "util/check.h"
+#include "util/thread_annotations.h"
 
 namespace ecf::gf {
 
@@ -283,6 +286,12 @@ std::atomic<const Kernels*>& active_kernels_slot() {
   return slot;
 }
 
+// Writers (select_kernels, ScopedKernelOverride) are serialized so a
+// save/select/restore sequence can't interleave with another writer;
+// readers keep loading the atomic slot lock-free.
+std::mutex g_select_mu;
+int g_override_depth ECF_GUARDED_BY(g_select_mu) = 0;
+
 }  // namespace
 
 const Kernels& kernels() {
@@ -292,7 +301,23 @@ const Kernels& kernels() {
 void select_kernels(KernelVariant v) {
   // Resolve first: an unsupported variant throws without clobbering the slot.
   const Kernels& k = kernels_for(v);
+  std::lock_guard<std::mutex> lk(g_select_mu);
   active_kernels_slot().store(&k, std::memory_order_release);
+}
+
+ScopedKernelOverride::ScopedKernelOverride(KernelVariant v)
+    : saved_(&kernels()) {
+  const Kernels& k = kernels_for(v);  // may throw; nothing pinned yet
+  std::lock_guard<std::mutex> lk(g_select_mu);
+  ++g_override_depth;
+  active_kernels_slot().store(&k, std::memory_order_release);
+}
+
+ScopedKernelOverride::~ScopedKernelOverride() {
+  std::lock_guard<std::mutex> lk(g_select_mu);
+  ECF_CHECK_GT(g_override_depth, 0) << " unbalanced kernel override";
+  --g_override_depth;
+  active_kernels_slot().store(saved_, std::memory_order_release);
 }
 
 }  // namespace ecf::gf

@@ -66,6 +66,22 @@ const Kernels& kernels();
 
 // Pin the active table to a variant (tests/benches); throws when
 // unsupported. select_kernels(best_variant()) restores the default.
+// Writers are serialized internally; readers stay lock-free.
 void select_kernels(KernelVariant v);
+
+// RAII pin: selects `v` on construction, restores the previously active
+// table on destruction — so a test or bench section can never leak a
+// pinned variant past its scope. Overrides from different threads are
+// serialized; nested overrides must unwind LIFO (enforced by contract).
+class ScopedKernelOverride {
+ public:
+  explicit ScopedKernelOverride(KernelVariant v);
+  ~ScopedKernelOverride();
+  ScopedKernelOverride(const ScopedKernelOverride&) = delete;
+  ScopedKernelOverride& operator=(const ScopedKernelOverride&) = delete;
+
+ private:
+  const Kernels* saved_;
+};
 
 }  // namespace ecf::gf

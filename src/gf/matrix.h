@@ -30,25 +30,27 @@ class Matrix {
   const Byte* row(std::size_t r) const { return data_.data() + r * cols_; }
   Byte* row(std::size_t r) { return data_.data() + r * cols_; }
 
-  static Matrix identity(std::size_t n);
+  [[nodiscard]] static Matrix identity(std::size_t n);
 
   // Vandermonde matrix V[r][c] = evals[r]^c  (rows x cols).
-  static Matrix vandermonde(const std::vector<Byte>& evals, std::size_t cols);
+  [[nodiscard]] static Matrix vandermonde(const std::vector<Byte>& evals,
+                                          std::size_t cols);
 
   // Cauchy matrix C[r][c] = 1 / (x[r] + y[c]); requires x,y disjoint and
   // all pairwise sums nonzero (automatic when x,y are disjoint in GF(2^8)).
-  static Matrix cauchy(const std::vector<Byte>& x, const std::vector<Byte>& y);
+  [[nodiscard]] static Matrix cauchy(const std::vector<Byte>& x,
+                                     const std::vector<Byte>& y);
 
-  Matrix multiply(const Matrix& rhs) const;
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
 
   // Gauss-Jordan inverse; nullopt if singular. Only square matrices.
-  std::optional<Matrix> inverted() const;
+  [[nodiscard]] std::optional<Matrix> inverted() const;
 
   // Rank via Gaussian elimination (destructive on a copy).
-  std::size_t rank() const;
+  [[nodiscard]] std::size_t rank() const;
 
   // Select a subset of rows (for building decode matrices from survivors).
-  Matrix select_rows(const std::vector<std::size_t>& rows) const;
+  [[nodiscard]] Matrix select_rows(const std::vector<std::size_t>& rows) const;
 
   // In-place elementary row ops used by the systematic-form construction.
   void scale_row(std::size_t r, Byte c);
@@ -58,7 +60,7 @@ class Matrix {
   // Reduce the leading rows x rows block to identity by column operations on
   // the whole matrix — turns a Vandermonde generator into systematic form.
   // Returns false if the leading block is singular.
-  bool make_systematic(std::size_t k);
+  [[nodiscard]] bool make_systematic(std::size_t k);
 
   // Batched bulk apply of a row subset: out[i] = sum_c M[rows[i]][c] * in[c]
   // over data regions of length len. Cache-blocked so every output block

@@ -1,0 +1,50 @@
+// Clang thread-safety annotation macros (ECF_GUARDED_BY and friends).
+//
+// Two checkers consume these annotations:
+//   * clang's -Wthread-safety (wired into the build when the compiler is
+//     clang and ECF_THREAD_SAFETY_ANALYSIS is ON) — the macros expand to
+//     the real attributes;
+//   * tools/ecf_analyze's lock-discipline pass, which parses the macro
+//     names textually, so the discipline is enforced even on GCC builds
+//     where the attributes expand to nothing.
+//
+// Conventions (DESIGN.md §9): every member mutated by more than one thread
+// is either std::atomic or carries ECF_GUARDED_BY(mu); every function that
+// assumes a caller-held lock carries ECF_REQUIRES(mu); functions that
+// acquire a lock the caller must not already hold carry ECF_EXCLUDES(mu).
+#pragma once
+
+#if defined(__clang__)
+#define ECF_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ECF_THREAD_ANNOTATION_(x)
+#endif
+
+// On a member: only read/written with `mu` held.
+#define ECF_GUARDED_BY(mu) ECF_THREAD_ANNOTATION_(guarded_by(mu))
+
+// On a pointer member: the pointee (not the pointer) is protected by `mu`.
+#define ECF_PT_GUARDED_BY(mu) ECF_THREAD_ANNOTATION_(pt_guarded_by(mu))
+
+// On a function: caller must hold `mu` (exclusively / shared).
+#define ECF_REQUIRES(...) \
+  ECF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define ECF_REQUIRES_SHARED(...) \
+  ECF_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// On a function: caller must NOT hold `mu` (the function acquires it).
+#define ECF_EXCLUDES(...) ECF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On a function: acquires / releases `mu` before returning.
+#define ECF_ACQUIRE(...) \
+  ECF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ECF_RELEASE(...) \
+  ECF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// On a class: it is a lockable type / a scoped lock-holder.
+#define ECF_CAPABILITY(name) ECF_THREAD_ANNOTATION_(capability(name))
+#define ECF_SCOPED_CAPABILITY ECF_THREAD_ANNOTATION_(scoped_lockable)
+
+// Escape hatch for code the analysis cannot model; pair with a comment.
+#define ECF_NO_THREAD_SAFETY_ANALYSIS \
+  ECF_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/bytes.h"
 
 namespace ecf::ecfault {
@@ -30,6 +32,54 @@ TEST(Campaign, RunsAllVariantsAndNormalizes) {
   EXPECT_DOUBLE_EQ(results[0].normalized, 1.0);
   EXPECT_GT(results[1].campaign.mean_total, 0.0);
   EXPECT_GT(results[1].normalized, 0.0);
+}
+
+TEST(Campaign, ProgressObserverSeesEveryVariantExactlyOnce) {
+  Campaign campaign(tiny_base());
+  campaign.add_all(pg_axis({16, 4, 8}));
+  std::vector<std::size_t> dones;
+  std::vector<std::string> labels;
+  campaign.on_progress([&](std::size_t done, std::size_t total,
+                           const std::string& label) {
+    EXPECT_EQ(total, 3u);
+    dones.push_back(done);
+    labels.push_back(label);
+  });
+  // Serial run: callbacks arrive in declaration order with done = 1, 2, 3.
+  campaign.parallelism(1);
+  (void)campaign.run();
+  EXPECT_EQ(dones, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(labels, (std::vector<std::string>{"pg=16", "pg=4", "pg=8"}));
+}
+
+TEST(Campaign, ProgressUnderParallelRunCountsEveryVariant) {
+  Campaign campaign(tiny_base());
+  campaign.add_all(pg_axis({16, 4, 8, 32}));
+  std::vector<std::size_t> dones;
+  campaign.on_progress(
+      [&](std::size_t done, std::size_t, const std::string&) {
+        // Serialized under the campaign's progress mutex, so no locking here.
+        dones.push_back(done);
+      });
+  campaign.parallelism(2);
+  (void)campaign.run();
+  // Completion order is nondeterministic but each count appears once.
+  std::sort(dones.begin(), dones.end());
+  EXPECT_EQ(dones, (std::vector<std::size_t>{1, 2, 3, 4}));
+}
+
+TEST(Campaign, MovedFromSpecRunsWithFreshProgressState) {
+  // campaign_from_json returns a Campaign by value; the move must carry
+  // variants and the observer but start the completion counter at zero.
+  Campaign source(tiny_base());
+  source.add_all(pg_axis({16, 4}));
+  std::size_t calls = 0;
+  source.on_progress(
+      [&](std::size_t, std::size_t, const std::string&) { ++calls; });
+  Campaign moved(std::move(source));
+  EXPECT_EQ(moved.size(), 2u);
+  (void)moved.run();
+  EXPECT_EQ(calls, 2u);
 }
 
 TEST(Campaign, EmptyCampaignRejected) {

@@ -52,6 +52,34 @@ TEST(GfKernels, SelectOverridesAndRestores) {
   EXPECT_EQ(kernels().variant, best_variant());
 }
 
+TEST(GfKernels, ScopedOverridePinsAndRestores) {
+  KernelGuard guard;
+  select_kernels(KernelVariant::kSwar);
+  {
+    ScopedKernelOverride pin(KernelVariant::kScalar);
+    EXPECT_EQ(kernels().variant, KernelVariant::kScalar);
+    {
+      // Nested overrides unwind LIFO.
+      ScopedKernelOverride inner(KernelVariant::kSwar);
+      EXPECT_EQ(kernels().variant, KernelVariant::kSwar);
+    }
+    EXPECT_EQ(kernels().variant, KernelVariant::kScalar);
+  }
+  EXPECT_EQ(kernels().variant, KernelVariant::kSwar);
+}
+
+TEST(GfKernels, ScopedOverrideUnsupportedVariantThrowsWithoutPinning) {
+  KernelGuard guard;
+  select_kernels(KernelVariant::kScalar);
+  for (const KernelVariant v :
+       {KernelVariant::kSsse3, KernelVariant::kAvx2, KernelVariant::kGfni}) {
+    if (!variant_supported(v)) {
+      EXPECT_THROW(ScopedKernelOverride pin(v), std::invalid_argument);
+      EXPECT_EQ(kernels().variant, KernelVariant::kScalar);
+    }
+  }
+}
+
 TEST(GfKernels, UnsupportedVariantThrows) {
   for (const KernelVariant v :
        {KernelVariant::kSsse3, KernelVariant::kAvx2, KernelVariant::kGfni}) {

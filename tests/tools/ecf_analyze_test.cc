@@ -1,0 +1,370 @@
+// Unit tests for the ecf_analyze rule engine: per-family tests over
+// synthetic in-memory snippets, baseline/suppression mechanics, JSON
+// output, and golden-file tests over the fixture trees in
+// tests/tools/fixtures/ (positive + suppressed-negative per rule family).
+// The real tree is analyzed by the ecf_analyze ctest (label `analyze`).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/ecf_analyze_core.h"
+
+namespace ecf::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- model plumbing ---------------------------------------------------------
+
+TEST(AnalyzeModel, ModuleAndLayerRank) {
+  EXPECT_EQ(module_of_path("src/gf/matrix.h"), "gf");
+  EXPECT_EQ(module_of_path("src/ecfault/campaign.cc"), "ecfault");
+  EXPECT_EQ(module_of_path("tools/ecf_lint.cc"), "");
+  EXPECT_LT(layer_rank("util"), layer_rank("gf"));
+  EXPECT_LT(layer_rank("gf"), layer_rank("ec"));
+  EXPECT_LT(layer_rank("ec"), layer_rank("sim"));
+  EXPECT_LT(layer_rank("sim"), layer_rank("nvmeof"));
+  EXPECT_LT(layer_rank("nvmeof"), layer_rank("cluster"));
+  EXPECT_LT(layer_rank("cluster"), layer_rank("ecfault"));
+  EXPECT_EQ(layer_rank("tests"), -1);
+}
+
+TEST(AnalyzeModel, ExtractsFunctionsIncludesAndGuards) {
+  const std::string code =
+      "#include \"util/check.h\"\n"
+      "#include <mutex>\n"
+      "namespace ecf {\n"
+      "class Widget {\n"
+      " public:\n"
+      "  Widget() : n_(0) {}\n"
+      "  int get() const { return helper(n_); }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int n_ ECF_GUARDED_BY(mu_);\n"
+      "};\n"
+      "int helper(int x) { return x + 1; }\n"
+      "}  // namespace ecf\n";
+  const TranslationUnit tu = parse_tu("src/util/widget.h", code);
+  ASSERT_EQ(tu.includes.size(), 1u);  // system includes don't count
+  EXPECT_EQ(tu.includes[0].target, "util/check.h");
+  ASSERT_EQ(tu.functions.size(), 3u);  // ctor, get, helper
+  EXPECT_EQ(tu.functions[1].name, "get");
+  EXPECT_EQ(tu.functions[1].class_name, "Widget");
+  ASSERT_EQ(tu.functions[1].callees.size(), 1u);
+  EXPECT_EQ(tu.functions[1].callees[0], "helper");
+  EXPECT_EQ(tu.functions[2].name, "helper");
+  EXPECT_EQ(tu.functions[2].class_name, "");
+  ASSERT_EQ(tu.guarded.size(), 1u);
+  EXPECT_EQ(tu.guarded[0].member, "n_");
+  EXPECT_EQ(tu.guarded[0].mutex, "mu_");
+  EXPECT_EQ(tu.guarded[0].class_name, "Widget");
+}
+
+TEST(AnalyzeModel, CommentedOutIncludeIgnored) {
+  const TranslationUnit tu = parse_tu(
+      "src/gf/a.h", "// #include \"ec/code.h\"\n#include \"util/b.h\"\n");
+  ASSERT_EQ(tu.includes.size(), 1u);
+  EXPECT_EQ(tu.includes[0].target, "util/b.h");
+}
+
+// --- rule family 1: layering ------------------------------------------------
+
+TEST(AnalyzeLayering, UpwardIncludeFlaggedDownwardAllowed) {
+  Analyzer a;
+  a.add_file("src/gf/field.h", "#include \"ec/code.h\"\n");
+  a.add_file("src/ec/code.h", "#include \"gf/other.h\"\n");
+  a.add_file("src/gf/other.h", "\n");
+  const auto findings = a.check_layering();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].file, "src/gf/field.h");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[0].detail, "ec/code.h");
+}
+
+TEST(AnalyzeLayering, ToolsAndTestsUnconstrained) {
+  Analyzer a;
+  a.add_file("tools/ecf_x.cc", "#include \"ecfault/campaign.h\"\n");
+  a.add_file("tests/gf/t.cc", "#include \"cluster/cluster.h\"\n");
+  EXPECT_TRUE(a.check_layering().empty());
+}
+
+TEST(AnalyzeLayering, CycleDetectedOnceDiamondIsNot) {
+  Analyzer a;
+  // Diamond: d -> b -> a, d -> c -> a. No cycle.
+  a.add_file("src/sim/a.h", "\n");
+  a.add_file("src/sim/b.h", "#include \"sim/a.h\"\n");
+  a.add_file("src/sim/c.h", "#include \"sim/a.h\"\n");
+  a.add_file("src/sim/d.h", "#include \"sim/b.h\"\n#include \"sim/c.h\"\n");
+  EXPECT_TRUE(a.check_layering().empty());
+
+  Analyzer b;
+  b.add_file("src/sim/a.h", "#include \"sim/b.h\"\n");
+  b.add_file("src/sim/b.h", "#include \"sim/a.h\"\n");
+  const auto findings = b.check_layering();
+  ASSERT_EQ(findings.size(), 1u);  // one report per cycle, not per entry
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  ASSERT_EQ(findings[0].chain.size(), 3u);
+  EXPECT_EQ(findings[0].chain.front(), findings[0].chain.back());
+}
+
+TEST(AnalyzeLayering, InlineAllowSuppresses) {
+  Analyzer a;
+  a.add_file("src/gf/field.h",
+             "#include \"ec/code.h\"  // ecf-analyze: allow(layering)\n");
+  EXPECT_TRUE(a.check_layering().empty());
+}
+
+// --- rule family 2: transitive determinism ----------------------------------
+
+TEST(AnalyzeDeterminism, HelperHiddenRandReportedWithChain) {
+  Analyzer a;
+  a.add_file("src/util/jitter.h",
+             "inline int jitter() { return rand() % 7; }\n");
+  a.add_file("src/sim/engine.cc",
+             "double step() { return jitter() * 0.5; }\n");
+  const auto findings = a.check_determinism();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "nondeterminism");
+  EXPECT_EQ(findings[0].file, "src/util/jitter.h");
+  EXPECT_EQ(findings[0].detail, "rand()");
+  ASSERT_EQ(findings[0].chain.size(), 2u);
+  EXPECT_EQ(findings[0].chain[0], "step");
+  EXPECT_EQ(findings[0].chain[1], "jitter");
+}
+
+TEST(AnalyzeDeterminism, UnreachableBannedUseNotReported) {
+  Analyzer a;
+  a.add_file("src/util/entropy.h",
+             "inline int entropy() { return rand(); }\n");
+  a.add_file("src/sim/engine.cc", "double step() { return 1.0; }\n");
+  EXPECT_TRUE(a.check_determinism().empty());
+}
+
+TEST(AnalyzeDeterminism, DirectUsesInEntryModulesReported) {
+  Analyzer a;
+  a.add_file("src/cluster/osd.cc",
+             "long seed() { return std::random_device{}(); }\n");
+  a.add_file("src/ecfault/run.cc",
+             "auto t0() { return std::chrono::steady_clock::now(); }\n");
+  const auto findings = a.check_determinism();
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(std::any_of(findings.begin(), findings.end(), [](const auto& f) {
+    return f.detail == "std::random_device";
+  }));
+  EXPECT_TRUE(std::any_of(findings.begin(), findings.end(), [](const auto& f) {
+    return f.detail == "std::chrono::steady_clock";
+  }));
+}
+
+TEST(AnalyzeDeterminism, UnorderedIterationFlaggedLookupIsNot) {
+  const std::string iterating =
+      "#include <unordered_map>\n"
+      "class T {\n"
+      " public:\n"
+      "  int sum() const { int s = 0; for (auto& kv : m_) s += kv.second;\n"
+      "                    return s; }\n"
+      " private:\n"
+      "  std::unordered_map<int, int> m_;\n"
+      "};\n";
+  Analyzer a;
+  a.add_file("src/sim/t.h", iterating);
+  const auto f1 = a.check_determinism();
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_EQ(f1[0].detail, "unordered iteration over 'm_'");
+
+  Analyzer b;
+  b.add_file("src/sim/t.h",
+             "#include <unordered_map>\n"
+             "class T {\n"
+             "  int at(int k) const { return m_.count(k); }\n"
+             "  std::unordered_map<int, int> m_;\n"
+             "};\n");
+  EXPECT_TRUE(b.check_determinism().empty());
+}
+
+TEST(AnalyzeDeterminism, InlineAllowSuppresses) {
+  Analyzer a;
+  a.add_file("src/sim/engine.cc",
+             "long t() { return time(nullptr); "
+             "// ecf-analyze: allow(nondeterminism)\n}\n");
+  EXPECT_TRUE(a.check_determinism().empty());
+}
+
+// --- rule family 3: lock discipline -----------------------------------------
+
+constexpr const char* kCounterPrefix =
+    "#include <mutex>\n"
+    "class C {\n"
+    " public:\n";
+constexpr const char* kCounterSuffix =
+    " private:\n"
+    "  std::mutex mu_;\n"
+    "  int n_ ECF_GUARDED_BY(mu_);\n"
+    "};\n";
+
+std::vector<Finding> check_counter(const std::string& accessor) {
+  Analyzer a;
+  a.add_file("src/util/c.h", kCounterPrefix + accessor + kCounterSuffix);
+  return a.check_locks();
+}
+
+TEST(AnalyzeLocks, UnlockedTouchFlagged) {
+  const auto findings = check_counter("  void bump() { ++n_; }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "guarded-by");
+  EXPECT_EQ(findings[0].detail, "n_");
+  EXPECT_NE(findings[0].message.find("bump"), std::string::npos);
+}
+
+TEST(AnalyzeLocks, LockGuardBeforeTouchAccepted) {
+  EXPECT_TRUE(check_counter("  void bump() {\n"
+                            "    std::lock_guard<std::mutex> lk(mu_);\n"
+                            "    ++n_;\n"
+                            "  }\n")
+                  .empty());
+  EXPECT_TRUE(check_counter("  void bump() {\n"
+                            "    std::scoped_lock lk(mu_, other_);\n"
+                            "    ++n_;\n"
+                            "  }\n")
+                  .empty());
+  EXPECT_TRUE(check_counter("  void bump() { mu_.lock(); ++n_; "
+                            "mu_.unlock(); }\n")
+                  .empty());
+}
+
+TEST(AnalyzeLocks, TouchBeforeLockStillFlagged) {
+  const auto findings =
+      check_counter("  void bump() {\n"
+                    "    ++n_;\n"
+                    "    std::lock_guard<std::mutex> lk(mu_);\n"
+                    "  }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5u);
+}
+
+TEST(AnalyzeLocks, RequiresAnnotationAccepted) {
+  EXPECT_TRUE(
+      check_counter("  void bump() ECF_REQUIRES(mu_) { ++n_; }\n").empty());
+}
+
+TEST(AnalyzeLocks, HeaderDeclAnnotationMergedIntoDefinition) {
+  Analyzer a;
+  a.add_file("src/util/c.h",
+             "class C {\n"
+             "  void bump() ECF_REQUIRES(mu_);\n"
+             "  std::mutex mu_;\n"
+             "  int n_ ECF_GUARDED_BY(mu_);\n"
+             "};\n");
+  a.add_file("src/util/c.cc", "void C::bump() { ++n_; }\n");
+  EXPECT_TRUE(a.check_locks().empty());
+}
+
+TEST(AnalyzeLocks, ConstructorAndDestructorExempt) {
+  EXPECT_TRUE(check_counter("  C() : n_(0) {}\n"
+                            "  ~C() { n_ = 0; }\n")
+                  .empty());
+}
+
+TEST(AnalyzeLocks, OtherClassSameMemberNameNotConfused) {
+  Analyzer a;
+  a.add_file("src/util/c.h",
+             "class C {\n"
+             "  std::mutex mu_;\n"
+             "  int n_ ECF_GUARDED_BY(mu_);\n"
+             "};\n"
+             "class D {\n"
+             " public:\n"
+             "  void bump() { ++n_; }  // D::n_ is unguarded\n"
+             " private:\n"
+             "  int n_ = 0;\n"
+             "};\n");
+  EXPECT_TRUE(a.check_locks().empty());
+}
+
+TEST(AnalyzeLocks, InlineAllowSuppresses) {
+  EXPECT_TRUE(check_counter("  int peek() const { return n_; }  "
+                            "// ecf-analyze: allow(guarded-by)\n")
+                  .empty());
+}
+
+// --- baseline & JSON --------------------------------------------------------
+
+TEST(AnalyzeBaseline, ParseSkipsCommentsAndNormalizesSpace) {
+  const auto keys = parse_baseline(
+      "# grandfathered debt\n"
+      "\n"
+      "layering src/gf/field.h ec/code.h  # why: historical\n"
+      "guarded-by   src/util/c.h   n_\n");
+  EXPECT_EQ(keys.size(), 2u);
+  EXPECT_TRUE(keys.count("layering src/gf/field.h ec/code.h"));
+  EXPECT_TRUE(keys.count("guarded-by src/util/c.h n_"));
+}
+
+TEST(AnalyzeBaseline, FiltersMatchingFindingsOnly) {
+  Finding keep{"src/a.h", 1, "layering", "x/y.h", "m", {}};
+  Finding drop{"src/b.h", 2, "layering", "z/w.h", "m", {}};
+  const auto kept = apply_baseline(
+      {keep, drop}, parse_baseline("layering src/b.h z/w.h\n"));
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].file, "src/a.h");
+}
+
+TEST(AnalyzeJson, ShapeAndEscaping) {
+  Finding f{"src/a.h", 3, "layering", "b\"c", "line1\nline2", {"p", "q"}};
+  const std::string js = to_json({f}, 42);
+  EXPECT_NE(js.find("\"files_scanned\": 42"), std::string::npos);
+  EXPECT_NE(js.find("\"detail\": \"b\\\"c\""), std::string::npos);
+  EXPECT_NE(js.find("line1\\nline2"), std::string::npos);
+  EXPECT_NE(js.find("\"chain\": [\"p\", \"q\"]"), std::string::npos);
+  EXPECT_NE(to_json({}, 0).find("\"findings\": []"), std::string::npos);
+}
+
+// --- golden-file tests over the checked-in fixtures -------------------------
+
+#ifndef ECF_ANALYZE_FIXTURES
+#error "build must define ECF_ANALYZE_FIXTURES (see tests/CMakeLists.txt)"
+#endif
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Mirror of the ecf_analyze CLI: scan <family>/src recursively (sorted,
+// repo-relative paths), run all rules, render JSON; compare byte-for-byte
+// with the checked-in expected.json.
+void run_golden(const std::string& family) {
+  const fs::path root = fs::path(ECF_ANALYZE_FIXTURES) / family;
+  ASSERT_TRUE(fs::exists(root / "src")) << root;
+  Analyzer analyzer;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& p : files) {
+    analyzer.add_file(fs::relative(p, root).generic_string(), slurp(p));
+  }
+  const std::string got = to_json(analyzer.run(), analyzer.file_count());
+  const std::string want = slurp(root / "expected.json");
+  ASSERT_FALSE(want.empty()) << "missing golden: " << root / "expected.json";
+  EXPECT_EQ(got, want) << "analyzer drift for fixture '" << family
+                       << "': regenerate with build/tools/ecf_analyze --json "
+                          "tests/tools/fixtures/"
+                       << family << " > .../expected.json after review";
+}
+
+TEST(AnalyzeGolden, Layering) { run_golden("layering"); }
+TEST(AnalyzeGolden, Determinism) { run_golden("determinism"); }
+TEST(AnalyzeGolden, Locks) { run_golden("locks"); }
+
+}  // namespace
+}  // namespace ecf::analyze

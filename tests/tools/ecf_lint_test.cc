@@ -51,6 +51,76 @@ TEST(LintStrip, RawStringsAndCharLiterals) {
   EXPECT_NE(stripped.find("1'000'000"), std::string::npos);
 }
 
+TEST(LintStrip, PrefixedRawStringsStripped) {
+  // LR"(...)" / uR / UR / u8R are raw strings too; an identifier that merely
+  // ends in R is not (VERR"(x)" is ident + ordinary string).
+  const std::string src =
+      "auto a = LR\"(new delete)\";\n"
+      "auto b = u8R\"x(assert(1))x\";\n"
+      "auto c = uR\"(rand())\"; auto d = UR\"(throw)\";\n"
+      "auto e = VERR\"(new)\"; int live = 1;\n";
+  const std::string stripped = strip_comments_and_strings(src);
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_EQ(stripped.find("assert"), std::string::npos);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("throw"), std::string::npos);
+  // The non-prefix identifier survives as code; its string content does not.
+  EXPECT_NE(stripped.find("VERR"), std::string::npos);
+  EXPECT_NE(stripped.find("int live = 1;"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+}
+
+TEST(LintStrip, BackslashContinuedLineCommentStaysComment) {
+  // A // comment ending in a backslash continues onto the next physical
+  // line; code there must be stripped, and line structure preserved.
+  const std::string src =
+      "int a = 1; // hidden \\\n"
+      "rand() still comment\n"
+      "int b = 2;\n";
+  const std::string stripped = strip_comments_and_strings(src);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("still"), std::string::npos);
+  EXPECT_NE(stripped.find("int a = 1;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b = 2;"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+}
+
+TEST(LintStrip, PrefixedCharLiteralsStripped) {
+  // L'"' must be recognized as a char literal — otherwise the quote inside
+  // it opens a phantom string that swallows the rest of the file.
+  const std::string src =
+      "wchar_t q = L'\"'; int live1 = 1;\n"
+      "char16_t u = u'x'; char32_t v = U'y'; char w = u8'z';\n"
+      "int big = 1'000'000; int live2 = 2;\n";
+  const std::string stripped = strip_comments_and_strings(src);
+  EXPECT_NE(stripped.find("int live1 = 1;"), std::string::npos);
+  EXPECT_NE(stripped.find("int live2 = 2;"), std::string::npos);
+  EXPECT_EQ(stripped.find('x'), std::string::npos);
+  // Digit separators are not char literals.
+  EXPECT_NE(stripped.find("1'000'000"), std::string::npos);
+}
+
+TEST(LintStrip, SplicedStringLiteralKeepsLineCount) {
+  // A backslash-newline inside a string literal continues the literal; the
+  // newline must survive stripping so later findings keep their lines.
+  const std::string src =
+      "const char* s = \"first \\\n"
+      "second new delete\";\n"
+      "assert(1);\n";
+  const std::string stripped = strip_comments_and_strings(src);
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  // The assert is on line 3 of both source and stripped text.
+  const auto findings =
+      lint_snippet("src/gf/matrix.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-assert");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
 TEST(LintRule, NakedNewAndDeleteFlagged) {
   const auto f1 = lint_snippet("src/sim/engine.cc", "auto* p = new Foo();\n");
   EXPECT_TRUE(has_rule(f1, "naked-new"));

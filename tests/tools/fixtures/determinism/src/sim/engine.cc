@@ -1,0 +1,17 @@
+// Fixture: sim entry points for the determinism rule. step_delay() reaches
+// rand() through two util helpers; wall_anchor() touches a wall clock but
+// carries an inline suppression (suppressed negative). Never compiled.
+#include <chrono>
+
+#include "util/helper.h"
+
+namespace fix::sim {
+
+double step_delay() { return fix::util::double_jitter(); }
+
+long wall_anchor() {
+  auto t = std::chrono::system_clock::now();  // ecf-analyze: allow(nondeterminism)
+  return t.time_since_epoch().count();
+}
+
+}  // namespace fix::sim

@@ -1,0 +1,26 @@
+// Fixture: unordered-iteration escape. Declaring an unordered_map member is
+// fine; iterating it from sim code lets hash order leak into results.
+// Never compiled.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+namespace fix::sim {
+
+class Table {
+ public:
+  std::size_t total() const {
+    std::size_t sum = 0;
+    for (const auto& kv : cells_) sum += kv.second;
+    return sum;
+  }
+
+  // Point lookup: order never escapes, must NOT be reported.
+  std::size_t at(std::size_t key) const { return cells_.count(key); }
+
+ private:
+  std::unordered_map<std::size_t, std::size_t> cells_;
+};
+
+}  // namespace fix::sim

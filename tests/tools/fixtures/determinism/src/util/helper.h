@@ -1,0 +1,8 @@
+// Fixture: the middle link of the hidden-rand call chain. Never compiled.
+#pragma once
+
+#include "util/jitter.h"
+
+namespace fix::util {
+inline double double_jitter() { return 2.0 * jitter_percent(); }
+}  // namespace fix::util

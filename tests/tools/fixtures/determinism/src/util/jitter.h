@@ -1,0 +1,18 @@
+// Fixture: the seeded helper-hidden nondeterminism. rand() lives two calls
+// below a sim entry point (engine.cc: step_delay -> double_jitter ->
+// jitter_percent); ecf_lint's direct-call rule cannot see it from src/sim,
+// the analyzer's call graph must. Never compiled.
+#pragma once
+
+#include <cstdlib>
+
+namespace fix::util {
+
+inline double jitter_percent() {
+  return static_cast<double>(rand() % 100) / 100.0;
+}
+
+// Defined but never called from sim/ecfault/cluster: must NOT be reported.
+inline int unreachable_entropy() { return rand(); }
+
+}  // namespace fix::util

@@ -1,0 +1,7 @@
+// Fixture: top-ish layer target for the suppressed upward edge in
+// sim/display.h. Includes nothing itself. Never compiled.
+#pragma once
+
+namespace fix::cluster {
+inline int map() { return 4; }
+}  // namespace fix::cluster

@@ -1,0 +1,8 @@
+// Fixture: ec layer legitimately includes downward (util). Never compiled.
+#pragma once
+
+#include "util/strings.h"
+
+namespace fix::ec {
+inline int encode(int x) { return fix::util::id(x) + 1; }
+}  // namespace fix::ec

@@ -1,0 +1,10 @@
+// Fixture: the seeded layering violation. gf (layer 1) must not include
+// ec (layer 2); the analyzer reports the edge below. Never compiled.
+#pragma once
+
+#include "ec/code.h"
+#include "util/strings.h"
+
+namespace fix::gf {
+inline int mul(int x) { return fix::ec::encode(x); }
+}  // namespace fix::gf

@@ -1,0 +1,9 @@
+// Fixture: half of a same-layer include cycle (alpha -> beta -> alpha).
+// Same-layer includes are allowed; the *cycle* is the defect. Never compiled.
+#pragma once
+
+#include "sim/beta.h"
+
+namespace fix::sim {
+inline int alpha() { return 1; }
+}  // namespace fix::sim

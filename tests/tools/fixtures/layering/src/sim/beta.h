@@ -1,0 +1,8 @@
+// Fixture: second half of the include cycle. Never compiled.
+#pragma once
+
+#include "sim/alpha.h"
+
+namespace fix::sim {
+inline int beta() { return 2; }
+}  // namespace fix::sim

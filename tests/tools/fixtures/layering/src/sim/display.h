@@ -1,0 +1,9 @@
+// Fixture: an upward include with an inline suppression — the analyzer
+// must stay silent on this edge (suppressed negative). Never compiled.
+#pragma once
+
+#include "cluster/map.h"  // ecf-analyze: allow(layering)
+
+namespace fix::sim {
+inline int display() { return 3; }
+}  // namespace fix::sim

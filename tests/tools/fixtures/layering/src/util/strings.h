@@ -1,0 +1,7 @@
+// Fixture: bottom layer, includes nothing. Never compiled — exists only so
+// the layering fixture has a resolvable util/ target.
+#pragma once
+
+namespace fix::util {
+inline int id(int x) { return x; }
+}  // namespace fix::util

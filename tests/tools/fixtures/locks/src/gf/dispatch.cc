@@ -1,0 +1,26 @@
+// Fixture: lock-discipline rule over a file-scope guarded variable, the
+// shape of the real GF kernel dispatch override depth. peek_depth() is the
+// seeded violation; the annotated declaration for nudge_depth() lives in
+// dispatch.h and must be merged into the definition here. Never compiled.
+#include <mutex>
+
+#include "gf/dispatch.h"
+#include "util/thread_annotations.h"
+
+namespace fix::gf {
+
+namespace {
+std::mutex g_mu;
+int g_depth ECF_GUARDED_BY(g_mu) = 0;
+}  // namespace
+
+void push_depth() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  ++g_depth;
+}
+
+int peek_depth() { return g_depth; }  // the seeded violation
+
+void nudge_depth() { ++g_depth; }  // ECF_REQUIRES(g_mu) on the header decl
+
+}  // namespace fix::gf

@@ -1,0 +1,14 @@
+// Fixture: header declarations for dispatch.cc. nudge_depth() carries the
+// ECF_REQUIRES annotation here only — the analyzer must merge it into the
+// definition, like clang does. Never compiled.
+#pragma once
+
+#include "util/thread_annotations.h"
+
+namespace fix::gf {
+
+void push_depth();
+int peek_depth();
+void nudge_depth() ECF_REQUIRES(g_mu);
+
+}  // namespace fix::gf

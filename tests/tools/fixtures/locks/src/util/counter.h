@@ -1,0 +1,36 @@
+// Fixture: lock-discipline rule over a class-scope guarded member. One
+// seeded violation (bump_unlocked touches count_ with no lock and no
+// annotation); the other accessors model the three accepted disciplines:
+// scoped holder, ECF_REQUIRES annotation, inline suppression. Never compiled.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace fix::util {
+
+class Counter {
+ public:
+  Counter() : count_(0) {}  // ctor exempt, as under -Wthread-safety
+
+  void bump() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++count_;
+  }
+
+  void bump_unlocked() { ++count_; }  // the seeded violation
+
+  void bump_presumed_held() ECF_REQUIRES(mu_) { ++count_; }
+
+  std::size_t racy_read() const {
+    return count_;  // ecf-analyze: allow(guarded-by)
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t count_ ECF_GUARDED_BY(mu_);
+};
+
+}  // namespace fix::util

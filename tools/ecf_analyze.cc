@@ -1,0 +1,134 @@
+// ecf_analyze: semantic static analysis over the ecfault source tree.
+//
+// Usage: ecf_analyze [--json[=PATH]] [--baseline PATH] <repo-root> [roots...]
+//
+// Loads every C++ source file under src/ (and tools/, for cycle detection
+// — layering ranks only constrain src/ modules) of each root, runs the
+// three rule families in ecf_analyze_core.h (layering + include cycles,
+// transitive determinism, lock discipline), and prints findings as
+// file:line: [rule] message. With --json the report is also emitted as
+// JSON to stdout (or PATH). --baseline suppresses grandfathered findings
+// by `<rule> <file> <detail>` key. Exits nonzero iff any finding survives.
+// Registered as a ctest (label `analyze`).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/ecf_analyze_core.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool emit_json = false;
+  std::string json_path;
+  std::string baseline_path;
+  std::vector<std::string> roots;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--json") {
+      emit_json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      emit_json = true;
+      json_path = arg.substr(7);
+    } else if (arg == "--baseline") {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "ecf_analyze: --baseline needs a path\n");
+        return 2;
+      }
+      baseline_path = argv[++a];
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: %s [--json[=PATH]] [--baseline PATH] "
+                   "<repo-root> [roots...]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--json[=PATH]] [--baseline PATH] "
+                 "<repo-root> [roots...]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  ecf::analyze::Analyzer analyzer;
+  for (const std::string& root_str : roots) {
+    const fs::path root(root_str);
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "ecf_analyze: no such directory: %s\n",
+                   root_str.c_str());
+      return 2;
+    }
+    for (const char* subtree : {"src", "tools"}) {
+      const fs::path dir = root / subtree;
+      if (!fs::exists(dir)) continue;
+      // Sorted load order so reports and cycle entry points are stable.
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() && is_cpp_source(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+      std::sort(files.begin(), files.end());
+      for (const fs::path& file : files) {
+        const std::string rel = fs::relative(file, root).generic_string();
+        analyzer.add_file(rel, read_file(file));
+      }
+    }
+  }
+
+  std::vector<ecf::analyze::Finding> findings = analyzer.run();
+  if (!baseline_path.empty()) {
+    const std::string text = read_file(baseline_path);
+    findings = ecf::analyze::apply_baseline(
+        std::move(findings), ecf::analyze::parse_baseline(text));
+  }
+
+  for (const auto& f : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr, "ecf_analyze: %zu file(s) analyzed, %zu finding(s)\n",
+               analyzer.file_count(), findings.size());
+
+  if (emit_json) {
+    const std::string json =
+        ecf::analyze::to_json(findings, analyzer.file_count());
+    if (json_path.empty() || json_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      out << json;
+      if (!out) {
+        std::fprintf(stderr, "ecf_analyze: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+      }
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}

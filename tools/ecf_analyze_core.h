@@ -1,0 +1,1139 @@
+// ecf_analyze: semantic static analysis for the ecfault tree.
+//
+// Where ecf_lint matches tokens line-by-line, this pass builds a model of
+// the whole source tree — include graph, per-TU function definitions, an
+// intra-repo call graph, and lock annotations — and enforces three rule
+// families (DESIGN.md §9):
+//
+//   layering        modules obey the dependency order
+//                   util < gf < ec < sim < nvmeof < cluster < ecfault;
+//                   a file may only include same-or-lower layers. Include
+//                   cycles are reported separately (rule `include-cycle`).
+//   nondeterminism  no function *reachable from* code in src/sim,
+//                   src/ecfault or src/cluster may call a banned
+//                   nondeterministic API (rand/srand, std::random_device,
+//                   wall clocks, time(), or iterate an unordered
+//                   container whose order would escape). This upgrades
+//                   ecf_lint's direct-call rule: a rand() hidden behind a
+//                   helper in src/util is caught with the full call chain.
+//   guarded-by      members annotated ECF_GUARDED_BY(mu) (see
+//                   src/util/thread_annotations.h) are only touched in
+//                   functions annotated ECF_REQUIRES(mu) or after locking
+//                   mu (std::lock_guard/scoped_lock/unique_lock/
+//                   shared_lock or mu.lock()) in the same body.
+//                   Constructors and destructors are exempt, as in
+//                   clang's -Wthread-safety.
+//
+// Still no libclang: the front end is the ecf_lint comment/string
+// stripper plus a lightweight tokenizer and a heuristic function-def
+// matcher (qualified names, ctor init lists, trailing return types,
+// annotation macros). The extractor is deliberately conservative: what it
+// cannot parse it skips, so findings are high-confidence.
+//
+// Suppression: `// ecf-analyze: allow(<rule>)` on the offending line, or
+// a baseline file of `<rule> <file> <detail>` lines (see parse_baseline).
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/ecf_lint_core.h"
+
+namespace ecf::analyze {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;     // layering | include-cycle | nondeterminism | guarded-by
+  std::string detail;   // the symbol: include target, banned API, member name
+  std::string message;
+  std::vector<std::string> chain;  // call chain / cycle path, outermost first
+};
+
+// --- layering order ---------------------------------------------------------
+
+// Rank in the dependency order; -1 for paths outside the layered modules
+// (tools/, tests/, bench/ may include anything).
+inline int layer_rank(const std::string& module) {
+  static const char* const kOrder[] = {"util",   "gf",      "ec",     "sim",
+                                       "nvmeof", "cluster", "ecfault"};
+  for (int i = 0; i < 7; ++i) {
+    if (module == kOrder[i]) return i;
+  }
+  return -1;
+}
+
+// "src/gf/matrix.h" -> "gf"; anything not under src/ -> "".
+inline std::string module_of_path(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return "";
+  const std::size_t start = 4;
+  const std::size_t slash = path.find('/', start);
+  if (slash == std::string::npos) return "";
+  return path.substr(start, slash - start);
+}
+
+// --- tokenizer --------------------------------------------------------------
+
+namespace detail {
+
+struct Token {
+  std::string text;
+  std::size_t offset = 0;  // byte offset into the stripped source
+  bool ident = false;      // identifier (or number) vs. punctuation
+};
+
+inline std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (ecf::lint::is_word_char(c)) {
+      std::size_t j = i;
+      while (j < code.size() && ecf::lint::is_word_char(code[j])) ++j;
+      out.push_back({code.substr(i, j - i), i, true});
+      i = j;
+    } else {
+      out.push_back({std::string(1, c), i, false});
+      ++i;
+    }
+  }
+  return out;
+}
+
+// Blank every preprocessor line (and its backslash continuations) so
+// directives never look like code to the function matcher. Operates on the
+// already-stripped text; newlines are preserved.
+inline std::string blank_preprocessor_lines(const std::string& stripped) {
+  std::string out = stripped;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) eol = out.size();
+    std::size_t first = pos;
+    while (first < eol && (out[first] == ' ' || out[first] == '\t')) ++first;
+    if (first < eol && out[first] == '#') {
+      bool cont = true;
+      while (cont && pos < out.size()) {
+        if (eol == std::string::npos) eol = out.size();
+        cont = eol > pos && out[eol - 1] == '\\';
+        for (std::size_t k = pos; k < eol; ++k) out[k] = ' ';
+        pos = eol < out.size() ? eol + 1 : eol;
+        eol = out.find('\n', pos);
+        if (eol == std::string::npos) eol = out.size();
+      }
+    } else {
+      pos = eol < out.size() ? eol + 1 : eol;
+    }
+  }
+  return out;
+}
+
+inline bool is_control_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",      "for",     "while",   "switch",   "catch",    "return",
+      "sizeof",  "alignof", "decltype", "noexcept", "throw",   "new",
+      "delete",  "static_assert", "alignas", "co_await", "co_return",
+      "co_yield", "assert", "defined", "requires"};
+  return kKeywords.count(s) != 0;
+}
+
+}  // namespace detail
+
+// --- per-TU model -----------------------------------------------------------
+
+struct IncludeEdge {
+  std::string target;  // as written between the quotes
+  std::size_t line = 0;
+};
+
+struct BannedUse {
+  std::string api;   // "rand()", "std::random_device", ...
+  std::size_t line = 0;
+};
+
+struct FunctionDef {
+  std::string name;        // unqualified ("run", "~Campaign", "operator==")
+  std::string class_name;  // enclosing class or A::B qualifier's last part
+  std::string file;
+  std::size_t line = 0;
+  std::size_t body_begin = 0, body_end = 0;  // token indices [begin, end)
+  std::vector<std::string> requires_mutexes;
+  std::vector<std::string> excludes_mutexes;
+  std::vector<std::string> callees;    // unqualified callee names
+  std::vector<BannedUse> banned_uses;  // nondeterministic APIs in the body
+};
+
+struct GuardedMember {
+  std::string class_name;  // "" for file-scope variables
+  std::string member;
+  std::string mutex;
+  std::string file;
+  std::size_t line = 0;
+};
+
+// A declaration (no body) that carries ECF_REQUIRES — merged into the
+// definition's annotation set, so annotating only the header declaration
+// works just like it does under clang.
+struct AnnotatedDecl {
+  std::string name;
+  std::string class_name;
+  std::vector<std::string> requires_mutexes;
+};
+
+struct TranslationUnit {
+  std::string path;
+  std::string contents;                  // raw
+  std::string code;                      // stripped + preprocessor-blanked
+  std::vector<std::size_t> line_starts;  // offset of each line's first char
+  std::vector<std::string> raw_lines;
+  std::vector<IncludeEdge> includes;
+  std::vector<FunctionDef> functions;
+  std::vector<GuardedMember> guarded;
+  std::vector<AnnotatedDecl> annotated_decls;
+  std::vector<std::string> unordered_vars;  // unordered_{map,set} variables
+};
+
+namespace detail {
+
+inline std::vector<std::size_t> index_line_starts(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+inline std::size_t line_of_offset(const std::vector<std::size_t>& starts,
+                                  std::size_t offset) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<std::size_t>(it - starts.begin());  // 1-based
+}
+
+inline bool line_allows(const TranslationUnit& tu, std::size_t line,
+                        const std::string& rule) {
+  if (line == 0 || line > tu.raw_lines.size()) return false;
+  return tu.raw_lines[line - 1].find("ecf-analyze: allow(" + rule + ")") !=
+         std::string::npos;
+}
+
+// Skip a balanced group starting at tokens[i] (which must be open); returns
+// the index one past the matching close, or tokens.size() on imbalance.
+inline std::size_t skip_balanced(const std::vector<Token>& toks,
+                                 std::size_t i, char open, char close) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (!toks[i].ident) {
+      if (toks[i].text[0] == open) ++depth;
+      if (toks[i].text[0] == close && --depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+// Last identifier inside tokens (start, end) — used to normalize mutex
+// arguments: `mu_`, `this->mu_` and `other.mu_` all normalize to `mu_`.
+inline std::string last_ident_in(const std::vector<Token>& toks,
+                                 std::size_t start, std::size_t end) {
+  std::string last;
+  for (std::size_t i = start; i < end && i < toks.size(); ++i) {
+    if (toks[i].ident) last = toks[i].text;
+  }
+  return last;
+}
+
+inline bool is_annotation_macro(const std::string& s) {
+  return s == "ECF_REQUIRES" || s == "ECF_REQUIRES_SHARED" ||
+         s == "ECF_EXCLUDES" || s == "ECF_ACQUIRE" || s == "ECF_RELEASE" ||
+         s == "ECF_NO_THREAD_SAFETY_ANALYSIS";
+}
+
+}  // namespace detail
+
+// Parse one file into a TranslationUnit. `path` must be repo-relative with
+// forward slashes (it drives module assignment and reporting).
+TranslationUnit parse_tu(const std::string& path, const std::string& contents);
+
+// --- the analyzer -----------------------------------------------------------
+
+class Analyzer {
+ public:
+  void add_file(const std::string& path, const std::string& contents) {
+    tus_.push_back(parse_tu(path, contents));
+  }
+
+  std::size_t file_count() const { return tus_.size(); }
+
+  // Run all three rule families; findings sorted by (file, line, rule).
+  std::vector<Finding> run() const;
+
+  // Individual families (unit tests target these).
+  std::vector<Finding> check_layering() const;
+  std::vector<Finding> check_determinism() const;
+  std::vector<Finding> check_locks() const;
+
+ private:
+  const TranslationUnit* tu_for(const std::string& path) const {
+    for (const auto& tu : tus_) {
+      if (tu.path == path) return &tu;
+    }
+    return nullptr;
+  }
+
+  std::vector<TranslationUnit> tus_;
+};
+
+// --- baseline & JSON --------------------------------------------------------
+
+// Baseline file: one `<rule> <file> <detail>` triple per line; `#` starts a
+// comment. A finding whose key matches a baseline entry is suppressed —
+// the mechanism for grandfathering known debt without blocking the ctest.
+std::set<std::string> parse_baseline(const std::string& text);
+
+inline std::string finding_key(const Finding& f) {
+  return f.rule + " " + f.file + " " + f.detail;
+}
+
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const std::set<std::string>& baseline);
+
+// Machine-readable report: {"files_scanned": N, "findings": [...]}.
+std::string to_json(const std::vector<Finding>& findings,
+                    std::size_t files_scanned);
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+// Try to match a function definition (or annotated declaration) whose name
+// token is at index `i` (an identifier followed by `(`). On success fills
+// `def` and returns the token index of the body-open `{`; returns 0 when
+// the construct is not a function definition. `decl_only` is set when the
+// match ended at `;` but carried annotations.
+inline std::size_t match_function(const std::vector<Token>& toks,
+                                  std::size_t i, FunctionDef* def,
+                                  bool* decl_only) {
+  *decl_only = false;
+  std::string name = toks[i].text;
+  std::size_t open = i + 1;
+  if (name == "operator") {
+    // operator== / operator() / operator[] / operator+ ...: fold the
+    // punctuation into the name; for operator() the first () pair is part
+    // of the name and the parameter list follows.
+    std::size_t j = i + 1;
+    if (j + 1 < toks.size() && toks[j].text == "(" && toks[j + 1].text == ")") {
+      name += "()";
+      j += 2;
+    } else {
+      while (j < toks.size() && !toks[j].ident && toks[j].text != "(") {
+        name += toks[j].text;
+        ++j;
+      }
+    }
+    if (j >= toks.size() || toks[j].text != "(") return 0;
+    open = j;
+  } else if (is_control_keyword(name)) {
+    return 0;
+  }
+
+  // Destructor / qualified name: walk back over `~` and `A::B::` chains.
+  std::string class_name;
+  {
+    std::size_t b = i;
+    if (b >= 1 && toks[b - 1].text == "~") {
+      name = "~" + name;
+      --b;
+    }
+    while (b >= 2 && toks[b - 1].text == ":" && toks[b - 2].text == ":") {
+      // Skip optional template argument list of the qualifier.
+      std::size_t q = b - 2;
+      if (q >= 1 && toks[q - 1].text == ">") {
+        int depth = 0;
+        while (q >= 1) {
+          --q;
+          if (toks[q].text == ">") ++depth;
+          if (toks[q].text == "<" && --depth == 0) break;
+        }
+      }
+      if (q >= 1 && toks[q - 1].ident) {
+        if (class_name.empty()) class_name = toks[q - 1].text;
+        b = q - 1;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::size_t after_params = skip_balanced(toks, open, '(', ')');
+  if (after_params >= toks.size() || after_params == 0) return 0;
+
+  std::vector<std::string> requires_m, excludes_m;
+  std::size_t j = after_params;
+  bool in_init_list = false;
+  while (j < toks.size()) {
+    const Token& t = toks[j];
+    if (t.text == "{") {
+      def->name = name;
+      def->class_name = class_name;
+      def->requires_mutexes = requires_m;
+      def->excludes_mutexes = excludes_m;
+      return j;
+    }
+    if (t.text == ";") {
+      if (!requires_m.empty() || !excludes_m.empty()) {
+        def->name = name;
+        def->class_name = class_name;
+        def->requires_mutexes = requires_m;
+        def->excludes_mutexes = excludes_m;
+        *decl_only = true;
+      }
+      return 0;
+    }
+    if (t.text == "=") return 0;  // = default / = delete / = 0
+    if (is_annotation_macro(t.text)) {
+      std::vector<std::string>* into = nullptr;
+      if (t.text == "ECF_REQUIRES" || t.text == "ECF_REQUIRES_SHARED") {
+        into = &requires_m;
+      } else if (t.text == "ECF_EXCLUDES") {
+        into = &excludes_m;
+      }
+      ++j;
+      if (j < toks.size() && toks[j].text == "(") {
+        const std::size_t close = skip_balanced(toks, j, '(', ')');
+        if (into) {
+          // Comma-split the arguments, normalizing each to its last ident.
+          std::size_t arg_start = j + 1;
+          for (std::size_t k = j + 1; k < close; ++k) {
+            if (k + 1 == close || toks[k].text == ",") {
+              const std::string m = last_ident_in(toks, arg_start, k + 1);
+              if (!m.empty()) into->push_back(m);
+              arg_start = k + 1;
+            }
+          }
+        }
+        j = close;
+      }
+      continue;
+    }
+    if (t.text == "noexcept" || t.text == "throw") {
+      ++j;
+      if (j < toks.size() && toks[j].text == "(") {
+        j = skip_balanced(toks, j, '(', ')');
+      }
+      continue;
+    }
+    if (t.text == "const" || t.text == "override" || t.text == "final" ||
+        t.text == "mutable" || t.text == "volatile" || t.text == "&" ||
+        t.text == "&&" || t.text == "try") {
+      ++j;
+      continue;
+    }
+    if (t.text == "-" && j + 1 < toks.size() && toks[j + 1].text == ">") {
+      // Trailing return type: consume up to the body `{`, `;` or `=`,
+      // skipping balanced parens (decltype(...) etc.).
+      j += 2;
+      while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";" &&
+             toks[j].text != "=") {
+        if (toks[j].text == "(") {
+          j = skip_balanced(toks, j, '(', ')');
+        } else {
+          ++j;
+        }
+      }
+      continue;
+    }
+    if (t.text == ":") {
+      in_init_list = true;
+      ++j;
+      continue;
+    }
+    if (in_init_list) {
+      // member-name ( ... ) or member-name { ... }, comma-separated.
+      if (t.text == "(") {
+        j = skip_balanced(toks, j, '(', ')');
+        continue;
+      }
+      if (t.text == "{") {
+        // Brace-init of a member only when directly attached to a name;
+        // a `{` after `)`/`}`/ `,`-group end is the body (handled above
+        // because we check body-`{` first — here the previous token is an
+        // identifier or `>`).
+        if (j >= 1 && (toks[j - 1].ident || toks[j - 1].text == ">")) {
+          j = skip_balanced(toks, j, '{', '}');
+          continue;
+        }
+        return 0;
+      }
+      if (t.ident || t.text == "," || t.text == "<" || t.text == ">" ||
+          t.text == ":") {
+        ++j;
+        continue;
+      }
+      return 0;
+    }
+    return 0;  // anything else: not a function definition
+  }
+  return 0;
+}
+
+inline bool is_unordered_type(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+// Scan a function body [begin, end) for callees and banned API uses.
+inline void scan_body(const std::vector<Token>& toks, std::size_t begin,
+                      std::size_t end,
+                      const std::vector<std::size_t>& line_starts,
+                      const std::set<std::string>& unordered_vars,
+                      FunctionDef* def) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (!t.ident) continue;
+    const std::size_t line = line_of_offset(line_starts, t.offset);
+    const bool call_like = i + 1 < end && toks[i + 1].text == "(";
+    if ((t.text == "rand" || t.text == "srand") && call_like) {
+      def->banned_uses.push_back({t.text + "()", line});
+      continue;
+    }
+    if (t.text == "random_device") {
+      def->banned_uses.push_back({"std::random_device", line});
+      continue;
+    }
+    if (t.text == "system_clock" || t.text == "steady_clock" ||
+        t.text == "high_resolution_clock") {
+      def->banned_uses.push_back({"std::chrono::" + t.text, line});
+      continue;
+    }
+    if (t.text == "time" && call_like) {
+      def->banned_uses.push_back({"time()", line});
+      continue;
+    }
+    if (unordered_vars.count(t.text) != 0) {
+      // Iteration order escapes: `for (... : var)` or `var.begin()`.
+      const bool range_for =
+          i + 1 < end && toks[i + 1].text == ")" && i >= 1 &&
+          toks[i - 1].text == ":";
+      const bool begin_call = i + 2 < end && toks[i + 1].text == "." &&
+                              (toks[i + 2].text == "begin" ||
+                               toks[i + 2].text == "cbegin");
+      if (range_for || begin_call) {
+        def->banned_uses.push_back(
+            {"unordered iteration over '" + t.text + "'", line});
+        continue;
+      }
+    }
+    if (call_like && !is_control_keyword(t.text) &&
+        !is_annotation_macro(t.text)) {
+      def->callees.push_back(t.text);
+    }
+  }
+  std::sort(def->callees.begin(), def->callees.end());
+  def->callees.erase(std::unique(def->callees.begin(), def->callees.end()),
+                     def->callees.end());
+}
+
+}  // namespace detail
+
+inline TranslationUnit parse_tu(const std::string& path,
+                                const std::string& contents) {
+  using detail::Token;
+  TranslationUnit tu;
+  tu.path = path;
+  tu.contents = contents;
+  const std::string stripped = ecf::lint::strip_comments_and_strings(contents);
+  tu.code = detail::blank_preprocessor_lines(stripped);
+  tu.line_starts = detail::index_line_starts(tu.code);
+  tu.raw_lines = ecf::lint::detail::split_lines(contents);
+
+  // Includes: directive recognized on the stripped line (so commented-out
+  // includes don't count), target read from the raw line (the stripper
+  // blanks string literals).
+  {
+    const std::vector<std::string> code_lines =
+        ecf::lint::detail::split_lines(stripped);
+    for (std::size_t ln = 0; ln < code_lines.size(); ++ln) {
+      const std::string& cl = code_lines[ln];
+      const std::size_t hash = cl.find_first_not_of(" \t");
+      if (hash == std::string::npos || cl[hash] != '#') continue;
+      const std::size_t inc = cl.find("include", hash + 1);
+      if (inc == std::string::npos) continue;
+      const std::string& raw =
+          ln < tu.raw_lines.size() ? tu.raw_lines[ln] : cl;
+      const std::size_t q1 = raw.find('"', inc);
+      if (q1 == std::string::npos) continue;
+      const std::size_t q2 = raw.find('"', q1 + 1);
+      if (q2 == std::string::npos) continue;
+      tu.includes.push_back({raw.substr(q1 + 1, q2 - q1 - 1), ln + 1});
+    }
+  }
+
+  const std::vector<Token> toks = detail::tokenize(tu.code);
+
+  // One linear pass with an explicit scope stack. Function bodies are
+  // consumed by match_function; class bodies are walked for guarded
+  // members and unordered-container declarations.
+  struct Scope {
+    char kind;  // 'n'amespace, 'c'lass, 'f'unction, 'o'ther
+    std::string name;
+  };
+  std::vector<Scope> scopes;
+  char pending_kind = 0;
+  std::string pending_name;
+  std::set<std::string> unordered_vars;
+
+  auto declarative = [&]() {
+    for (const Scope& s : scopes) {
+      if (s.kind != 'n' && s.kind != 'c') return false;
+    }
+    return true;
+  };
+  auto enclosing_class = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == 'c') return it->name;
+    }
+    return "";
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.text == "{") {
+      scopes.push_back({pending_kind ? pending_kind : 'o', pending_name});
+      pending_kind = 0;
+      pending_name.clear();
+      continue;
+    }
+    if (t.text == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      continue;
+    }
+    if (t.text == ";" || t.text == "=" || t.text == "(" || t.text == ")") {
+      pending_kind = 0;
+      pending_name.clear();
+      if (t.text == "(") i = detail::skip_balanced(toks, i, '(', ')') - 1;
+      continue;
+    }
+    if (!t.ident) continue;
+
+    if (t.text == "namespace") {
+      pending_kind = 'n';
+      pending_name =
+          i + 1 < toks.size() && toks[i + 1].ident ? toks[i + 1].text : "";
+      continue;
+    }
+    if (t.text == "class" || t.text == "struct" || t.text == "union") {
+      pending_kind = 'c';
+      pending_name =
+          i + 1 < toks.size() && toks[i + 1].ident ? toks[i + 1].text : "";
+      continue;
+    }
+    if (t.text == "enum") {
+      pending_kind = 'o';
+      pending_name.clear();
+      continue;
+    }
+
+    if (!declarative()) continue;
+
+    // Guarded members: `<type> name ECF_GUARDED_BY(mu);` at class or
+    // namespace scope.
+    if (t.text == "ECF_GUARDED_BY" || t.text == "ECF_PT_GUARDED_BY") {
+      if (i >= 1 && toks[i - 1].ident && i + 1 < toks.size() &&
+          toks[i + 1].text == "(") {
+        const std::size_t close =
+            detail::skip_balanced(toks, i + 1, '(', ')');
+        GuardedMember g;
+        g.class_name = enclosing_class();
+        g.member = toks[i - 1].text;
+        g.mutex = detail::last_ident_in(toks, i + 2, close - 1);
+        g.file = path;
+        g.line = detail::line_of_offset(tu.line_starts, t.offset);
+        tu.guarded.push_back(g);
+        i = close - 1;
+      }
+      continue;
+    }
+
+    // Unordered container member/variable declarations:
+    // `std::unordered_set<K> name` — record `name`.
+    if (detail::is_unordered_type(t.text)) {
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "<") {
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+          if (toks[j].text == "<") ++depth;
+          if (toks[j].text == ">" && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      if (j < toks.size() && toks[j].ident) unordered_vars.insert(toks[j].text);
+      continue;
+    }
+
+    // Candidate function definition / annotated declaration.
+    if (i + 1 < toks.size() &&
+        (toks[i + 1].text == "(" ||
+         (t.text == "operator" && !toks[i + 1].ident))) {
+      FunctionDef def;
+      bool decl_only = false;
+      const std::size_t body_open = detail::match_function(toks, i, &def,
+                                                           &decl_only);
+      if (decl_only) {
+        if (def.class_name.empty()) def.class_name = enclosing_class();
+        tu.annotated_decls.push_back(
+            {def.name, def.class_name, def.requires_mutexes});
+        continue;
+      }
+      if (body_open != 0) {
+        const std::size_t body_close =
+            detail::skip_balanced(toks, body_open, '{', '}');
+        def.file = path;
+        def.line = detail::line_of_offset(tu.line_starts, t.offset);
+        if (def.class_name.empty()) def.class_name = enclosing_class();
+        def.body_begin = body_open + 1;
+        def.body_end = body_close > 0 ? body_close - 1 : toks.size();
+        tu.functions.push_back(std::move(def));
+        i = body_close - 1;  // resume after the body
+        pending_kind = 0;
+        pending_name.clear();
+        continue;
+      }
+    }
+  }
+
+  tu.unordered_vars.assign(unordered_vars.begin(), unordered_vars.end());
+
+  // Second pass: with the full unordered-variable set known, scan bodies
+  // for callees + banned uses (a member may be declared after its use).
+  for (FunctionDef& f : tu.functions) {
+    detail::scan_body(toks, f.body_begin, f.body_end, tu.line_starts,
+                      unordered_vars, &f);
+  }
+  return tu;
+}
+
+// --- rule family 1: layering ------------------------------------------------
+
+inline std::vector<Finding> Analyzer::check_layering() const {
+  std::vector<Finding> findings;
+
+  // Path -> TU for cycle detection; include targets are written relative
+  // to src/ (or repo root for tools/).
+  std::map<std::string, const TranslationUnit*> by_path;
+  for (const auto& tu : tus_) by_path[tu.path] = &tu;
+  auto resolve = [&](const std::string& target) -> std::string {
+    if (by_path.count("src/" + target)) return "src/" + target;
+    if (by_path.count(target)) return target;
+    return "";
+  };
+
+  for (const auto& tu : tus_) {
+    const int my_rank = layer_rank(module_of_path(tu.path));
+    if (my_rank < 0) continue;  // tools/, tests/, bench/: unconstrained
+    for (const IncludeEdge& inc : tu.includes) {
+      const std::size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;
+      const int target_rank = layer_rank(inc.target.substr(0, slash));
+      if (target_rank < 0 || target_rank <= my_rank) continue;
+      if (detail::line_allows(tu, inc.line, "layering")) continue;
+      Finding f;
+      f.file = tu.path;
+      f.line = inc.line;
+      f.rule = "layering";
+      f.detail = inc.target;
+      f.message = "layering violation: " + module_of_path(tu.path) +
+                  " (layer " + std::to_string(my_rank) + ") includes \"" +
+                  inc.target + "\" (layer " + std::to_string(target_rank) +
+                  "); the dependency order is util < gf < ec < sim < "
+                  "nvmeof < cluster < ecfault";
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // Include cycles over the scanned file set (any modules, same layer
+  // included): iterative DFS with colors; report each cycle once, at the
+  // edge that closes it.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& p) {
+    color[p] = 1;
+    stack.push_back(p);
+    const TranslationUnit* tu = by_path.at(p);
+    for (const IncludeEdge& inc : tu->includes) {
+      const std::string q = resolve(inc.target);
+      if (q.empty()) continue;
+      if (color[q] == 1) {
+        // Found a cycle: stack suffix from q to p, plus the closing edge.
+        std::vector<std::string> cycle;
+        auto it = std::find(stack.begin(), stack.end(), q);
+        for (; it != stack.end(); ++it) cycle.push_back(*it);
+        cycle.push_back(q);
+        std::string key;
+        {
+          // Canonical key: sorted member set, so the cycle reports once
+          // regardless of entry point.
+          std::vector<std::string> members(cycle.begin(), cycle.end() - 1);
+          std::sort(members.begin(), members.end());
+          for (const auto& m : members) key += m + "|";
+        }
+        if (reported.insert(key).second &&
+            !detail::line_allows(*tu, inc.line, "include-cycle")) {
+          Finding f;
+          f.file = p;
+          f.line = inc.line;
+          f.rule = "include-cycle";
+          f.detail = inc.target;
+          f.message = "include cycle: ";
+          for (std::size_t i = 0; i < cycle.size(); ++i) {
+            f.message += (i ? " -> " : "") + cycle[i];
+          }
+          f.chain = cycle;
+          findings.push_back(std::move(f));
+        }
+      } else if (color[q] == 0) {
+        dfs(q);
+      }
+    }
+    stack.pop_back();
+    color[p] = 2;
+  };
+  for (const auto& [p, tu] : by_path) {
+    (void)tu;
+    if (color[p] == 0) dfs(p);
+  }
+  return findings;
+}
+
+// --- rule family 2: transitive determinism ----------------------------------
+
+inline std::vector<Finding> Analyzer::check_determinism() const {
+  static const std::set<std::string> kEntryModules = {"sim", "ecfault",
+                                                      "cluster"};
+  // Name-level call graph: conservative merging of same-named functions
+  // across TUs (overload sets and ODR copies collapse into one node).
+  struct Node {
+    std::vector<const FunctionDef*> defs;
+    std::set<std::string> callees;
+  };
+  std::map<std::string, Node> graph;
+  for (const auto& tu : tus_) {
+    for (const FunctionDef& f : tu.functions) {
+      Node& n = graph[f.name];
+      n.defs.push_back(&f);
+      for (const std::string& c : f.callees) n.callees.insert(c);
+    }
+  }
+
+  // BFS from every function defined in an entry module; remember the
+  // parent edge so violations report a witness chain.
+  std::map<std::string, std::string> parent;  // name -> caller name
+  std::vector<std::string> queue;
+  for (const auto& [name, node] : graph) {
+    for (const FunctionDef* d : node.defs) {
+      if (kEntryModules.count(module_of_path(d->file)) != 0) {
+        if (parent.emplace(name, "").second) queue.push_back(name);
+        break;
+      }
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::string cur = queue[head];
+    for (const std::string& callee : graph[cur].callees) {
+      if (graph.count(callee) == 0) continue;  // external/library call
+      if (parent.emplace(callee, cur).second) queue.push_back(callee);
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& [name, node] : graph) {
+    const auto pit = parent.find(name);
+    if (pit == parent.end()) continue;  // not reachable from sim code
+    for (const FunctionDef* d : node.defs) {
+      const TranslationUnit* tu = tu_for(d->file);
+      for (const BannedUse& use : d->banned_uses) {
+        if (tu && detail::line_allows(*tu, use.line, "nondeterminism")) {
+          continue;
+        }
+        Finding f;
+        f.file = d->file;
+        f.line = use.line;
+        f.rule = "nondeterminism";
+        f.detail = use.api;
+        // Witness chain entry -> ... -> offender.
+        std::vector<std::string> chain{name};
+        for (std::string p = pit->second; !p.empty(); p = parent[p]) {
+          chain.push_back(p);
+        }
+        std::reverse(chain.begin(), chain.end());
+        f.chain = chain;
+        f.message = "nondeterministic API " + use.api + " reachable from " +
+                    "sim/ecfault/cluster entry points via ";
+        for (std::size_t i = 0; i < chain.size(); ++i) {
+          f.message += (i ? " -> " : "") + chain[i] + "()";
+        }
+        f.message += "; use util::Rng (seeded) and sim time instead";
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  return findings;
+}
+
+// --- rule family 3: lock discipline -----------------------------------------
+
+namespace detail {
+
+// Offsets (token indices) in a body where each mutex is acquired:
+// std::lock_guard/scoped_lock/unique_lock/shared_lock construction or a
+// direct mu.lock() call.
+inline std::map<std::string, std::size_t> lock_acquisitions(
+    const std::vector<Token>& toks, std::size_t begin, std::size_t end) {
+  static const std::set<std::string> kHolders = {"lock_guard", "scoped_lock",
+                                                 "unique_lock", "shared_lock"};
+  std::map<std::string, std::size_t> acquired;  // mutex -> first token idx
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!toks[i].ident) continue;
+    if (kHolders.count(toks[i].text) != 0) {
+      std::size_t j = i + 1;
+      if (j < end && toks[j].text == "<") {
+        int depth = 0;
+        for (; j < end; ++j) {
+          if (toks[j].text == "<") ++depth;
+          if (toks[j].text == ">" && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      if (j < end && toks[j].ident) ++j;  // the holder variable name
+      if (j < end && (toks[j].text == "(" || toks[j].text == "{")) {
+        const char open = toks[j].text[0];
+        const std::size_t close =
+            skip_balanced(toks, j, open, open == '(' ? ')' : '}');
+        // Every argument is a lockable (scoped_lock takes several).
+        std::size_t arg_start = j + 1;
+        for (std::size_t k = j + 1; k < close; ++k) {
+          if (k + 1 == close || toks[k].text == ",") {
+            const std::string m = last_ident_in(toks, arg_start, k + 1);
+            if (!m.empty()) acquired.emplace(m, i);
+            arg_start = k + 1;
+          }
+        }
+        i = close - 1;
+      }
+      continue;
+    }
+    if (i + 3 < end && toks[i + 1].text == "." &&
+        toks[i + 2].text == "lock" && toks[i + 3].text == "(") {
+      acquired.emplace(toks[i].text, i);
+    }
+  }
+  return acquired;
+}
+
+}  // namespace detail
+
+inline std::vector<Finding> Analyzer::check_locks() const {
+  std::vector<Finding> findings;
+  // Union of per-class guarded members and file-scope guarded variables.
+  struct Guard {
+    const GuardedMember* g;
+  };
+  std::vector<Guard> guards;
+  for (const auto& tu : tus_) {
+    for (const GuardedMember& g : tu.guarded) guards.push_back({&g});
+  }
+  if (guards.empty()) return findings;
+
+  // requires-annotations from declarations, merged by (class, name).
+  std::map<std::string, std::vector<std::string>> decl_requires;
+  for (const auto& tu : tus_) {
+    for (const AnnotatedDecl& d : tu.annotated_decls) {
+      auto& v = decl_requires[d.class_name + "::" + d.name];
+      v.insert(v.end(), d.requires_mutexes.begin(), d.requires_mutexes.end());
+    }
+  }
+
+  for (const auto& tu : tus_) {
+    // Tokens are re-derived per TU; body offsets index into this vector.
+    const std::vector<detail::Token> toks = detail::tokenize(tu.code);
+    for (const FunctionDef& f : tu.functions) {
+      for (const Guard& guard : guards) {
+        const GuardedMember& g = *guard.g;
+        const bool same_class =
+            !g.class_name.empty() && f.class_name == g.class_name;
+        const bool same_file_global = g.class_name.empty() && g.file == f.file;
+        if (!same_class && !same_file_global) continue;
+        // Constructors/destructors are exempt (no concurrent access while
+        // the object is being built/torn down), as in -Wthread-safety.
+        if (same_class &&
+            (f.name == g.class_name || f.name == "~" + g.class_name)) {
+          continue;
+        }
+        // Does this function hold the mutex by annotation?
+        bool held_by_annotation =
+            std::find(f.requires_mutexes.begin(), f.requires_mutexes.end(),
+                      g.mutex) != f.requires_mutexes.end();
+        if (!held_by_annotation) {
+          const auto it = decl_requires.find(f.class_name + "::" + f.name);
+          if (it != decl_requires.end() &&
+              std::find(it->second.begin(), it->second.end(), g.mutex) !=
+                  it->second.end()) {
+            held_by_annotation = true;
+          }
+        }
+        if (held_by_annotation) continue;
+        // Otherwise every touch of the member must come after an
+        // acquisition of the mutex in the same body.
+        std::map<std::string, std::size_t> acquired;
+        bool acquired_computed = false;
+        for (std::size_t i = f.body_begin; i < f.body_end && i < toks.size();
+             ++i) {
+          if (!toks[i].ident || toks[i].text != g.member) continue;
+          if (!acquired_computed) {
+            acquired = detail::lock_acquisitions(toks, f.body_begin,
+                                                 f.body_end);
+            acquired_computed = true;
+          }
+          const auto a = acquired.find(g.mutex);
+          if (a != acquired.end() && a->second < i) continue;
+          const std::size_t line =
+              detail::line_of_offset(tu.line_starts, toks[i].offset);
+          if (detail::line_allows(tu, line, "guarded-by")) continue;
+          Finding fin;
+          fin.file = f.file;
+          fin.line = line;
+          fin.rule = "guarded-by";
+          fin.detail = g.member;
+          fin.message = "member '" + g.member + "' is ECF_GUARDED_BY(" +
+                        g.mutex + ") but '" + f.name +
+                        "' touches it without holding the mutex (annotate "
+                        "with ECF_REQUIRES(" +
+                        g.mutex + ") or lock it first)";
+          findings.push_back(std::move(fin));
+          break;  // one finding per (function, member)
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+inline std::vector<Finding> Analyzer::run() const {
+  std::vector<Finding> findings = check_layering();
+  {
+    std::vector<Finding> d = check_determinism();
+    findings.insert(findings.end(), d.begin(), d.end());
+    std::vector<Finding> l = check_locks();
+    findings.insert(findings.end(), l.begin(), l.end());
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+// --- baseline & JSON --------------------------------------------------------
+
+inline std::set<std::string> parse_baseline(const std::string& text) {
+  std::set<std::string> keys;
+  for (const std::string& raw : ecf::lint::detail::split_lines(text)) {
+    std::string line = raw;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = ecf::lint::detail::trim(line);
+    if (line.empty()) continue;
+    // Normalize interior whitespace to single spaces.
+    std::string norm;
+    bool prev_space = false;
+    for (const char c : line) {
+      const bool sp = c == ' ' || c == '\t';
+      if (sp && prev_space) continue;
+      norm += sp ? ' ' : c;
+      prev_space = sp;
+    }
+    keys.insert(norm);
+  }
+  return keys;
+}
+
+inline std::vector<Finding> apply_baseline(
+    std::vector<Finding> findings, const std::set<std::string>& baseline) {
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) {
+                                  return baseline.count(finding_key(f)) != 0;
+                                }),
+                 findings.end());
+  return findings;
+}
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+inline std::string to_json(const std::vector<Finding>& findings,
+                           std::size_t files_scanned) {
+  std::string out = "{\n  \"files_scanned\": " +
+                    std::to_string(files_scanned) + ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"rule\": \"" + detail::json_escape(f.rule) + "\", ";
+    out += "\"file\": \"" + detail::json_escape(f.file) + "\", ";
+    out += "\"line\": " + std::to_string(f.line) + ", ";
+    out += "\"detail\": \"" + detail::json_escape(f.detail) + "\", ";
+    out += "\"message\": \"" + detail::json_escape(f.message) + "\"";
+    if (!f.chain.empty()) {
+      out += ", \"chain\": [";
+      for (std::size_t j = 0; j < f.chain.size(); ++j) {
+        out += (j ? ", \"" : "\"") + detail::json_escape(f.chain[j]) + "\"";
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace ecf::analyze

@@ -49,6 +49,27 @@ inline bool is_word_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
+namespace detail {
+
+// True when the character before position `i` permits a literal to start
+// there, counting the optional encoding prefixes u8 / u / U / L as part of
+// the literal. `i` is the position of the opening quote (or of the R of a
+// raw string).
+inline bool literal_prefix_ok(const std::string& src, std::size_t i) {
+  if (i == 0) return true;
+  const char p = src[i - 1];
+  if (!is_word_char(p)) return true;
+  if (p == 'u' || p == 'U' || p == 'L') {
+    return i < 2 || !is_word_char(src[i - 2]);
+  }
+  if (p == '8' && i >= 2 && src[i - 2] == 'u') {
+    return i < 3 || !is_word_char(src[i - 3]);
+  }
+  return false;
+}
+
+}  // namespace detail
+
 // Replace comments and string/char literals with spaces, preserving line
 // structure so findings carry real line numbers. Handles // and /**/
 // comments, escape sequences, and raw strings R"tag(...)tag".
@@ -89,8 +110,7 @@ inline std::string strip_comments_and_strings(const std::string& src) {
           state = State::kBlockComment;
           out += "  ";
           ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !is_word_char(src[i - 1]))) {
+        } else if (c == 'R' && next == '"' && detail::literal_prefix_ok(src, i)) {
           // Raw string literal: R"tag( ... )tag"
           std::size_t p = i + 2;
           std::string tag;
@@ -102,9 +122,11 @@ inline std::string strip_comments_and_strings(const std::string& src) {
         } else if (c == '"') {
           state = State::kString;
           out += ' ';
-        } else if (c == '\'' && !(i > 0 && is_word_char(src[i - 1]))) {
+        } else if (c == '\'' && detail::literal_prefix_ok(src, i)) {
           // Apostrophe starts a char literal only outside identifiers
-          // (C++14 digit separators like 1'000 stay code).
+          // (C++14 digit separators like 1'000 stay code) — but encoding
+          // prefixes L'"' / u'x' / u8'x' do open a literal, else the
+          // quoted character would leak into the code stream.
           state = State::kChar;
           out += ' ';
         } else {
@@ -112,7 +134,13 @@ inline std::string strip_comments_and_strings(const std::string& src) {
         }
         break;
       case State::kLineComment:
-        if (c == '\n') {
+        if (c == '\\' && next == '\n') {
+          // Backslash-newline splices the next physical line into the
+          // comment; keep the newline for line numbering but stay in
+          // comment state.
+          out += " \n";
+          ++i;
+        } else if (c == '\n') {
           state = State::kCode;
           out += '\n';
         } else {
@@ -130,7 +158,9 @@ inline std::string strip_comments_and_strings(const std::string& src) {
         break;
       case State::kString:
         if (c == '\\') {
-          out += "  ";
+          // An escape eats the next character — but a spliced newline must
+          // survive as '\n' so line numbers stay aligned.
+          out += next == '\n' ? " \n" : "  ";
           ++i;
         } else if (c == '"') {
           state = State::kCode;
@@ -141,7 +171,7 @@ inline std::string strip_comments_and_strings(const std::string& src) {
         break;
       case State::kChar:
         if (c == '\\') {
-          out += "  ";
+          out += next == '\n' ? " \n" : "  ";
           ++i;
         } else if (c == '\'') {
           state = State::kCode;

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Full check matrix for ecfault: lint, semantic static analysis, sanitizers.
+#
+#   tools/run_checks.sh [lint|analyze|asan|tsan|all]
+#
+# lint    : run the ecf_lint ctest from the dev build (token-level rules).
+# analyze : run the ecf_analyze ctest from the dev build (layering, call-graph
+#           determinism, ECF_GUARDED_BY lock discipline — see DESIGN.md §9).
+# asan    : configure + build the asan-ubsan preset, run the full tier-1
+#           suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+# tsan    : configure + build the tsan preset, run the threaded campaign
+#           tests (Campaign*/CampaignStress.*) under ThreadSanitizer.
+# all     : lint, analyze, asan, tsan — the CI order: cheap source-level
+#           checks fail fast before any sanitized rebuild starts.
+#
+# Each sanitizer preset uses its own binary dir (build-asan, build-tsan) so
+# sanitized objects never mix with the dev build. Under clang, the dev build
+# additionally compiles the ECF_GUARDED_BY annotations with -Wthread-safety
+# (ECF_THREAD_SAFETY_ANALYSIS, on by default).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-all}"
+
+run_lint() {
+  echo "== ecf_lint: project lint pass =="
+  cmake --preset dev
+  cmake --build --preset dev -j "${JOBS}" --target ecf_lint
+  ctest --preset lint
+}
+
+run_analyze() {
+  echo "== ecf_analyze: semantic static analysis =="
+  cmake --preset dev
+  cmake --build --preset dev -j "${JOBS}" --target ecf_analyze
+  ctest --preset analyze
+}
+
+run_asan() {
+  echo "== ASan + UBSan: full test suite =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "${JOBS}"
+  ctest --preset asan-ubsan -j "${JOBS}"
+}
+
+run_tsan() {
+  echo "== TSan: threaded campaign stress =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${JOBS}" --target test_ecfault
+  ctest --preset tsan -j "${JOBS}"
+}
+
+case "${MODE}" in
+  lint)    run_lint ;;
+  analyze) run_analyze ;;
+  asan)    run_asan ;;
+  tsan)    run_tsan ;;
+  all)     run_lint; run_analyze; run_asan; run_tsan ;;
+  *)
+    echo "usage: $0 [lint|analyze|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "== check matrix (${MODE}) passed =="

@@ -1,52 +1,4 @@
 #!/usr/bin/env bash
-# Sanitizer CI matrix for ecfault.
-#
-#   tools/run_sanitizers.sh [asan|tsan|lint|all]
-#
-# asan : configure + build the asan-ubsan preset, run the full tier-1 suite
-#        under AddressSanitizer + UndefinedBehaviorSanitizer.
-# tsan : configure + build the tsan preset, run the threaded campaign tests
-#        (CampaignStress.*) under ThreadSanitizer.
-# lint : run the ecf_lint ctest from the dev build.
-# all  : lint, then asan, then tsan (the CI order).
-#
-# Each preset uses its own binary dir (build-asan, build-tsan) so sanitized
-# objects never mix with the dev build.
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
-JOBS="${JOBS:-$(nproc)}"
-MODE="${1:-all}"
-
-run_asan() {
-  echo "== ASan + UBSan: full test suite =="
-  cmake --preset asan-ubsan
-  cmake --build --preset asan-ubsan -j "${JOBS}"
-  ctest --preset asan-ubsan -j "${JOBS}"
-}
-
-run_tsan() {
-  echo "== TSan: threaded campaign stress =="
-  cmake --preset tsan
-  cmake --build --preset tsan -j "${JOBS}" --target test_ecfault
-  ctest --preset tsan -j "${JOBS}"
-}
-
-run_lint() {
-  echo "== ecf_lint: project lint pass =="
-  cmake --preset dev
-  cmake --build --preset dev -j "${JOBS}" --target ecf_lint
-  ctest --preset lint
-}
-
-case "${MODE}" in
-  asan) run_asan ;;
-  tsan) run_tsan ;;
-  lint) run_lint ;;
-  all)  run_lint; run_asan; run_tsan ;;
-  *)
-    echo "usage: $0 [asan|tsan|lint|all]" >&2
-    exit 2
-    ;;
-esac
-echo "== sanitizer matrix (${MODE}) passed =="
+# Kept for muscle memory: the sanitizer matrix grew a static-analysis stage
+# and moved to tools/run_checks.sh. This wrapper forwards verbatim.
+exec "$(dirname "$0")/run_checks.sh" "$@"
