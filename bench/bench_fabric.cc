@@ -1,0 +1,69 @@
+// Fabric transport bench: the default experiment run over the three
+// transport models — the ideal zero-latency fabric (the pre-fabric
+// baseline), NVMe/TCP, and NVMe/RDMA — for RS(12,9) and Clay(12,9,11).
+//
+// Prints a comparison table and emits a machine-readable perf record
+// (BENCH_fabric.json, or the path given as argv[1]) with absolute recovery
+// times and the transport-wait attribution, so CI can track how much of
+// recovery each transport model charges to the wire.
+#include <cstdio>
+#include <fstream>
+
+#include "bench/bench_common.h"
+#include "util/json.h"
+
+using namespace ecf;
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_fabric.json";
+  bench::print_header("NVMe-oF transport models (default experiment, 10%)");
+
+  struct Transport {
+    const char* name;
+    sim::FabricParams params;
+  };
+  const Transport transports[] = {
+      {"ideal", sim::FabricParams{}},
+      {"tcp", sim::tcp_fabric()},
+      {"rdma", sim::rdma_fabric()},
+  };
+
+  util::Json runs = util::Json::array();
+  util::TextTable table({"transport", "code", "total(s)", "recovery(s)",
+                         "transport wait(s)", "wait/recovery %"});
+  for (const Transport& t : transports) {
+    for (const bool clay : {false, true}) {
+      ecfault::ExperimentProfile p = bench::default_profile(clay, 0.1);
+      p.cluster.hw.fabric = t.params;
+      p.runs = 1;
+      const auto r = ecfault::Coordinator::run_experiment(p);
+      const double wait = r.report.fabric_transport_wait_s;
+      const double rec = r.report.ec_recovery_period();
+      table.add_row({t.name, clay ? "Clay(12,9,11)" : "RS(12,9)",
+                     bench::fmt(r.report.total(), 1), bench::fmt(rec, 1),
+                     bench::fmt(wait, 1),
+                     bench::fmt(rec > 0 ? 100 * wait / rec : 0, 1)});
+
+      util::Json row = util::Json::object();
+      row.set("transport", std::string(t.name));
+      row.set("code", std::string(clay ? "clay(12,9,11)" : "rs(12,9)"));
+      row.set("total_s", r.report.total());
+      row.set("recovery_s", rec);
+      row.set("transport_wait_s", wait);
+      row.set("fabric_retries", static_cast<std::int64_t>(
+                                    r.report.fabric_retries));
+      row.set("fabric_reconnects", static_cast<std::int64_t>(
+                                       r.report.fabric_reconnects));
+      runs.push_back(row);
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  util::Json doc = util::Json::object();
+  doc.set("bench", std::string("fabric_transports"));
+  doc.set("runs", runs);
+  std::ofstream out(out_path);
+  out << doc.dump(2) << "\n";
+  std::printf("\nwrote %s\n", out_path);
+  return out.good() ? 0 : 1;
+}

@@ -77,7 +77,7 @@ void Cluster::issue_client_op() {
           const auto& store = o.store;
           const auto bytes = static_cast<std::uint64_t>(
               static_cast<double>(per_shard) * (1.0 - store.data_hit_rate()));
-          done = std::max(done, o.disk->read(engine_, bytes, 1));
+          done = std::max(done, osd_read(pg.acting[pos], bytes, 1));
         }
         done = std::max(done, phost->nic.send(engine_, c.op_bytes, 1));
         engine_.schedule_at(done, [finish, this] { finish(engine_.now()); });
@@ -104,7 +104,7 @@ void Cluster::issue_client_op() {
                         static_cast<double>(layout.chunk_size) * r.fraction *
                         extent_fraction));
           const sim::SimTime t_read =
-              helper.disk->read(engine_, bytes, r.subchunk_ios);
+              osd_read(pg.acting[r.chunk], bytes, r.subchunk_ios);
           engine_.schedule_at(t_read, [this, bytes, hhost, phost, pending,
                                        finish, primary, plan] {
             const sim::SimTime t_tx = hhost->nic.send(engine_, bytes, 1);
@@ -136,8 +136,7 @@ void Cluster::issue_client_op() {
         sim::SimTime done = engine_.now();
         for (std::size_t pos = 0; pos < pg2.acting.size(); ++pos) {
           if (!osd_alive(pg2.acting[pos])) continue;
-          Osd& o = *osds_[static_cast<std::size_t>(pg2.acting[pos])];
-          done = std::max(done, o.disk->write(engine_, shard_bytes, 1));
+          done = std::max(done, osd_write(pg2.acting[pos], shard_bytes, 1));
         }
         done = std::max(done, phost->nic.send(engine_, config_.client.op_bytes, 2));
         engine_.schedule_at(done, [finish, this] { finish(engine_.now()); });

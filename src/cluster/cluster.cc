@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "cluster/impl_types.h"
@@ -20,11 +21,22 @@ Cluster::Cluster(ClusterConfig config, LogSinkFn sink)
   if (config_.num_hosts < 1 || config_.osds_per_host < 1) {
     throw std::invalid_argument("cluster needs at least one host and OSD");
   }
+  fabric_ = std::make_unique<nvmeof::Fabric>(&engine_, config_.hw.fabric,
+                                             config_.seed ^ 0xFAB51C);
+  fabric_->set_on_event(
+      [this](nvmeof::ConnectionId conn, const std::string& message) {
+        const OsdId o = conn_osd_[static_cast<std::size_t>(conn)];
+        log("host" + std::to_string(host_of(o)), "fabric",
+            "fabric: osd." + std::to_string(o) + " " + message);
+      });
+  fabric_->set_on_failed(
+      [this](nvmeof::ConnectionId conn) { on_fabric_failed(conn); });
   util::Rng phase_rng = rng_.child(0xbeef);
   std::vector<HostId> host_of;
   for (HostId h = 0; h < config_.num_hosts; ++h) {
     hosts_.push_back(std::make_unique<Host>(h, config_.hw));
     hosts_.back()->hb_phase = phase_rng.uniform01();
+    fabric_->add_host("host" + std::to_string(h));
     for (int d = 0; d < config_.osds_per_host; ++d) {
       const OsdId id = static_cast<OsdId>(osds_.size());
       auto osd = std::make_unique<Osd>(config_.store, config_.cache, config_.hw);
@@ -34,10 +46,14 @@ Cluster::Cluster(ClusterConfig config, LogSinkFn sink)
                                   static_cast<std::size_t>(d));
       osd->hb_offset = phase_rng.uniform01() * 0.5;
       // Provision the virtual disk through the host's NVMe-oF target — the
-      // paper's §3.1 lever for device-state control.
+      // paper's §3.1 lever for device-state control — and open the
+      // initiator-side fabric path the OSD's I/O will flow over.
       hosts_.back()->target.create_subsystem(osd->nqn, config_.osd_capacity,
-                                             osd->disk.get());
-      hosts_.back()->target.connect(osd->nqn);
+                                             osd->disk.get(), engine_.now());
+      hosts_.back()->target.connect(osd->nqn, engine_.now());
+      osd->fabric_conn =
+          fabric_->connect(h, osd->nqn, osd->disk.get(), engine_.now());
+      conn_osd_.push_back(id);
       hosts_.back()->osds.push_back(id);
       host_of.push_back(h);
       osds_.push_back(std::move(osd));
@@ -133,6 +149,7 @@ void Cluster::fail_device(OsdId osd_id) {
   if (!osd.device_ok) return;
   Host& host = *hosts_[static_cast<std::size_t>(osd.host)];
   host.target.remove_subsystem(osd.nqn, engine_.now());
+  fabric_->disconnect(osd.fabric_conn, engine_.now());
   osd.device_ok = false;
   if (report_.failure_time < 0) report_.failure_time = engine_.now();
   log(host.target.node(), "nvmeof", "subsystem removed: " + osd.nqn);
@@ -159,7 +176,100 @@ void Cluster::fail_host(HostId host_id) {
 
 RecoveryReport Cluster::run_to_recovery() {
   engine_.run();
+  report_.fabric_reconnects = fabric_->totals().reconnects;
   return report_;
+}
+
+sim::SimTime Cluster::osd_read(OsdId osd_id, std::uint64_t bytes,
+                               std::uint64_t ios, sim::SimTime extra_seconds) {
+  Osd& o = *osds_[static_cast<std::size_t>(osd_id)];
+  const auto res = fabric_->read(o.fabric_conn, bytes, ios, extra_seconds);
+  if (!res) {
+    // Path torn down mid-operation (device fault racing in-flight work):
+    // commands the DSS already queued run out against the backing store,
+    // matching the pre-fabric model where only upper layers gate on
+    // osd_alive().
+    return o.disk->read(engine_, bytes, ios, extra_seconds);
+  }
+  report_.fabric_transport_wait_s += res->transport_wait_s;
+  report_.fabric_retries += res->retries;
+  return res->complete;
+}
+
+sim::SimTime Cluster::osd_write(OsdId osd_id, std::uint64_t bytes,
+                                std::uint64_t ios, sim::SimTime extra_seconds) {
+  Osd& o = *osds_[static_cast<std::size_t>(osd_id)];
+  const auto res = fabric_->write(o.fabric_conn, bytes, ios, extra_seconds);
+  if (!res) {
+    return o.disk->write(engine_, bytes, ios, extra_seconds);
+  }
+  report_.fabric_transport_wait_s += res->transport_wait_s;
+  report_.fabric_retries += res->retries;
+  return res->complete;
+}
+
+void Cluster::on_fabric_failed(nvmeof::ConnectionId conn) {
+  // The fabric exhausted ctrl_loss_tmo: the initiator-side device is gone
+  // for good. The cluster reacts exactly as if the subsystem was removed.
+  const OsdId osd = conn_osd_[static_cast<std::size_t>(conn)];
+  log("host" + std::to_string(host_of(osd)), "fabric",
+      "fabric: osd." + std::to_string(osd) +
+          " connection failed permanently; treating as device loss");
+  fail_device(osd);
+}
+
+void Cluster::set_link_latency(HostId host, double latency_s,
+                               double jitter_s) {
+  fabric_->set_link_latency(host, latency_s, jitter_s);
+  char msg[128];
+  std::snprintf(msg, sizeof(msg),
+                "fabric: link latency injected: +%.3fms jitter=%.3fms",
+                latency_s * 1e3, jitter_s * 1e3);
+  log("host" + std::to_string(host), "fabric", msg);
+}
+
+void Cluster::set_link_bandwidth_cap(HostId host, double bytes_per_s) {
+  fabric_->set_link_bandwidth_cap(host, bytes_per_s);
+  char msg[128];
+  if (bytes_per_s > 0) {
+    std::snprintf(msg, sizeof(msg), "fabric: link bandwidth capped at %.1fMB/s",
+                  bytes_per_s / 1e6);
+  } else {
+    std::snprintf(msg, sizeof(msg), "fabric: link bandwidth cap removed");
+  }
+  log("host" + std::to_string(host), "fabric", msg);
+}
+
+void Cluster::set_packet_loss(HostId host, double rate) {
+  fabric_->set_packet_loss(host, rate);
+  char msg[128];
+  std::snprintf(msg, sizeof(msg),
+                "fabric: packet loss injected: rate=%.4f (retries expected)",
+                rate);
+  log("host" + std::to_string(host), "fabric", msg);
+}
+
+void Cluster::flap_link(HostId host, double down_for_s) {
+  fabric_->set_link_down(host, down_for_s);
+  char msg[128];
+  std::snprintf(msg, sizeof(msg), "fabric: link flap: down for %.3fs",
+                down_for_s);
+  log("host" + std::to_string(host), "fabric", msg);
+}
+
+void Cluster::partition_host(HostId host, double down_for_s) {
+  fabric_->set_link_down(host, down_for_s);
+  char msg[128];
+  std::snprintf(msg, sizeof(msg),
+                "fabric: network partition: host unreachable for %.1fs",
+                down_for_s);
+  log("host" + std::to_string(host), "fabric", msg);
+}
+
+void Cluster::heal_partition(HostId host) {
+  fabric_->restore_link(host);
+  log("host" + std::to_string(host), "fabric",
+      "fabric: network partition healed; link restored");
 }
 
 std::uint64_t Cluster::total_stored_bytes() const {
@@ -225,6 +335,11 @@ const BlueStore& Cluster::store(OsdId osd) const {
 
 nvmeof::Target& Cluster::target(HostId host) {
   return hosts_.at(static_cast<std::size_t>(host))->target;
+}
+
+const nvmeof::ConnectionStats& Cluster::fabric_stats(OsdId osd) const {
+  return fabric_->stats(
+      osds_.at(static_cast<std::size_t>(osd))->fabric_conn);
 }
 
 Cluster::DeviceStats Cluster::disk_stats(OsdId osd) const {

@@ -41,6 +41,7 @@
 #include "cluster/crush.h"
 #include "cluster/types.h"
 #include "ec/code.h"
+#include "nvmeof/fabric.h"
 #include "nvmeof/nvmeof.h"
 #include "sim/engine.h"
 #include "sim/invariant_checker.h"
@@ -93,6 +94,14 @@ struct RecoveryReport {
   std::uint64_t objects_repaired = 0;
   std::uint64_t repairs_wasted = 0;  // in-flight work discarded by re-peering
   int epochs_published = 0;
+
+  // NVMe-oF fabric attribution: time OSD I/O spent on the wire (latency,
+  // serialization, qpair backpressure, down-window stalls) rather than at
+  // the device, plus retransmissions and connection re-establishments.
+  // All three are exactly zero on the default ideal fabric.
+  double fabric_transport_wait_s = 0;
+  std::uint64_t fabric_retries = 0;
+  std::uint64_t fabric_reconnects = 0;
 };
 
 class Cluster {
@@ -123,6 +132,21 @@ class Cluster {
   std::uint64_t corrupt_chunks(OsdId osd, double fraction);
   // Start the periodic deep-scrub process (config.scrub must be enabled).
   void start_scrub();
+
+  // Network-level fault levers: degrade the NVMe-oF fabric link of one
+  // host. Every OSD on the host shares the link, so all of its device
+  // traffic pays the injected cost. All are timeline-logged.
+  void set_link_latency(HostId host, double latency_s, double jitter_s = 0);
+  void set_link_bandwidth_cap(HostId host, double bytes_per_s);
+  void set_packet_loss(HostId host, double rate);
+  // Short outage: commands stall and retransmit; the connection survives
+  // when the window closes before the keep-alive interval expires.
+  void flap_link(HostId host, double down_for_s);
+  // Long outage: drives the fabric keep-alive/reconnect machine. A window
+  // past the controller-loss timeout fails the host's connections, which
+  // the cluster handles as device losses.
+  void partition_host(HostId host, double down_for_s);
+  void heal_partition(HostId host);
 
   // --- correctness tooling ----------------------------------------------------
   // Attach a SimInvariantChecker that validates PG state-machine legality,
@@ -166,6 +190,11 @@ class Cluster {
   int num_failed_osds() const;
   const BlueStore& store(OsdId osd) const;
   nvmeof::Target& target(HostId host);
+  nvmeof::Fabric& fabric() { return *fabric_; }
+  const nvmeof::Fabric& fabric() const { return *fabric_; }
+  // Per-OSD fabric connection counters (commands, retries, transport wait,
+  // qpair depth) for iostat-style sampling.
+  const nvmeof::ConnectionStats& fabric_stats(OsdId osd) const;
   // Device / NIC counters for iostat-style sampling.
   struct DeviceStats {
     std::uint64_t bytes_read = 0;
@@ -224,12 +253,23 @@ class Cluster {
   RepairShape compute_repair_shape(const Pg& pg) const;
   OsdId primary_of(const Pg& pg) const;
 
+  // All OSD disk I/O funnels through these: the fabric charges qpair
+  // backpressure + transport cost around the device reservation and the
+  // transport share is attributed to report_.fabric_transport_wait_s.
+  sim::SimTime osd_read(OsdId osd, std::uint64_t bytes, std::uint64_t ios,
+                        sim::SimTime extra_seconds = 0);
+  sim::SimTime osd_write(OsdId osd, std::uint64_t bytes, std::uint64_t ios,
+                         sim::SimTime extra_seconds = 0);
+  void on_fabric_failed(nvmeof::ConnectionId conn);
+
   ClusterConfig config_;
   LogSinkFn sink_;
   sim::Engine engine_;
   util::Rng rng_;
   std::unique_ptr<ec::ErasureCode> code_;
   std::unique_ptr<Crush> crush_;
+  std::unique_ptr<nvmeof::Fabric> fabric_;
+  std::vector<OsdId> conn_osd_;  // fabric ConnectionId -> OSD
 
   std::vector<std::unique_ptr<Osd>> osds_;
   std::vector<std::unique_ptr<Host>> hosts_;

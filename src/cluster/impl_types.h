@@ -14,6 +14,8 @@ struct Cluster::Osd {
   OsdId id = kNoOsd;
   HostId host = -1;
   nvmeof::Nqn nqn;
+  // Initiator-side NVMe-oF path to the device; all data I/O goes through it.
+  nvmeof::ConnectionId fabric_conn = nvmeof::kNoConnection;
   std::unique_ptr<sim::Disk> disk;  // referenced by the host's nvmeof target
   BlueStore store;
   sim::Cpu cpu;

@@ -217,7 +217,7 @@ void Cluster::start_peering(Pg& pg) {
       static_cast<double>(pg.num_objects) * kv_miss);
   sim::SimTime t_disk = engine_.now();
   if (kv_bytes > 0) {
-    t_disk = posd.disk->read(engine_, kv_bytes, std::max<std::uint64_t>(1, kv_ios));
+    t_disk = osd_read(primary, kv_bytes, std::max<std::uint64_t>(1, kv_ios));
   }
   // Sub-packetized pools track per-sub-chunk shard extents, making the
   // log/missing scan heavier (visible at pg_num=1, where one primary scans
@@ -523,22 +523,23 @@ void Cluster::issue_repair_round(PgId pgid, int gen,
         engine_.schedule_at(t_tx, [this, pgid, gen, shape, w, writes_pending,
                                    batch, round, rounds, slice, wbytes,
                                    primary] {
-          Osd* tosd = osds_[static_cast<std::size_t>(w.osd)].get();
-          Host* thost = hosts_[static_cast<std::size_t>(tosd->host)].get();
+          Host* thost =
+              hosts_[static_cast<std::size_t>(
+                         osds_[static_cast<std::size_t>(w.osd)]->host)]
+                  .get();
           const sim::SimTime t_rx =
               thost->nic.recv(engine_, wbytes, slice(w.msgs));
-          engine_.schedule_at(t_rx, [this, pgid, gen, shape, w, tosd,
+          engine_.schedule_at(t_rx, [this, pgid, gen, shape, w,
                                      writes_pending, batch, round, rounds,
                                      slice, wbytes, primary] {
             const std::uint64_t eff = static_cast<std::uint64_t>(
                 static_cast<double>(wbytes) /
                 config_.protocol.recovery_bw_fraction);
-            const sim::SimTime t_wr =
-                tosd->disk->write(engine_, eff, slice(w.ios));
+            const sim::SimTime t_wr = osd_write(w.osd, eff, slice(w.ios));
             // mClock grant latency: completion visible after the delay.
             engine_.schedule_at(
                 t_wr + config_.protocol.mclock_queue_delay_s,
-                [this, pgid, gen, shape, w, tosd, writes_pending, batch, round,
+                [this, pgid, gen, shape, writes_pending, batch, round,
                  rounds, primary] {
                   if (--*writes_pending != 0) return;
                   if (round + 1 < rounds) {
@@ -571,8 +572,7 @@ void Cluster::issue_repair_round(PgId pgid, int gen,
     Host* hhost = hosts_[static_cast<std::size_t>(hosd->host)].get();
     const std::uint64_t eff = static_cast<std::uint64_t>(
         static_cast<double>(slice(r.disk_bytes)) / proto.recovery_bw_fraction);
-    const sim::SimTime t_read =
-        hosd->disk->read(engine_, eff, slice(r.ios), r.extra_s);
+    const sim::SimTime t_read = osd_read(r.osd, eff, slice(r.ios), r.extra_s);
     engine_.schedule_at(
         t_read + proto.mclock_queue_delay_s,
         [this, r, reads_pending, after_decode, hhost, phost, slice] {

@@ -76,13 +76,11 @@ void Cluster::scrub_tick(PgId next) {
   sim::SimTime done = engine_.now();
   for (const OsdId member : pg.acting) {
     if (!osd_alive(member)) continue;
-    Osd& o = *osds_[static_cast<std::size_t>(member)];
     const std::uint64_t bytes = per_chunk * pg.num_objects;
     const std::uint64_t ios = std::max<std::uint64_t>(
         1, util::ceil_div(bytes, config_.protocol.max_io_bytes));
-    done = std::max(done,
-                    o.disk->read(engine_, bytes, ios,
-                                 config_.protocol.mclock_queue_delay_s));
+    done = std::max(done, osd_read(member, bytes, ios,
+                                   config_.protocol.mclock_queue_delay_s));
   }
 
   const PgId pgid = pg.id;
@@ -140,12 +138,10 @@ void Cluster::repair_corrupted_shard(PgId pgid, std::size_t position) {
       --*pending;
       continue;
     }
-    Osd& helper = *osds_[static_cast<std::size_t>(pg.acting[r.chunk])];
     const auto bytes = static_cast<std::uint64_t>(
         static_cast<double>(chunk) * r.fraction);
-    const sim::SimTime t_read =
-        helper.disk->read(engine_, bytes, 1,
-                          config_.protocol.mclock_queue_delay_s);
+    const sim::SimTime t_read = osd_read(
+        pg.acting[r.chunk], bytes, 1, config_.protocol.mclock_queue_delay_s);
     engine_.schedule_at(t_read, [this, pending, bytes, phost, pgid, position,
                                  target, chunk, primary, plan] {
       phost->nic.recv(engine_, bytes, 1);
@@ -154,10 +150,8 @@ void Cluster::repair_corrupted_shard(PgId pgid, std::size_t position) {
       const sim::SimTime t_cpu =
           p.cpu.compute(engine_, chunk, plan.decode_cost_factor);
       engine_.schedule_at(t_cpu, [this, pgid, target, chunk] {
-        Osd& t = *osds_[static_cast<std::size_t>(target)];
-        const sim::SimTime t_wr =
-            t.disk->write(engine_, chunk, 2,
-                          config_.protocol.mclock_queue_delay_s);
+        const sim::SimTime t_wr = osd_write(
+            target, chunk, 2, config_.protocol.mclock_queue_delay_s);
         engine_.schedule_at(t_wr, [this, pgid] {
           ++report_.corruptions_repaired;
           log(osd_name_for_scrub(pgid), "scrub",

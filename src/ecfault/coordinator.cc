@@ -9,7 +9,13 @@ namespace ecf::ecfault {
 ExperimentResult Coordinator::run_experiment(const ExperimentProfile& profile) {
   MsgBus bus;
   LoggerFleet loggers(&bus);
-  cluster::Cluster cl(profile.cluster, loggers.sink());
+  cluster::ClusterConfig cfg = profile.cluster;
+  if (profile.fabric == "tcp") {
+    cfg.hw.fabric = sim::tcp_fabric();
+  } else if (profile.fabric == "rdma") {
+    cfg.hw.fabric = sim::rdma_fabric();
+  }
+  cluster::Cluster cl(cfg, loggers.sink());
   cl.create_pool();
   cl.apply_workload();
   cl.start_client_load();  // no-op unless configured
@@ -49,6 +55,35 @@ ExperimentResult Coordinator::run_experiment(const ExperimentProfile& profile) {
         break;
     }
   });
+
+  // Network faults ride alongside the device/node fault: plan the victim
+  // hosts up front (tolerance-checked for partitions), then let each
+  // host's Worker pull its own lever at the scheduled time.
+  for (const NetworkFaultSpec& nspec : profile.network_faults) {
+    const std::vector<cluster::HostId> victims = injector.plan_network(nspec);
+    cl.engine().schedule(nspec.inject_at_s, [&workers, nspec, victims] {
+      for (const cluster::HostId h : victims) {
+        Worker& w = workers[static_cast<std::size_t>(h)];
+        switch (nspec.kind) {
+          case NetFaultKind::kLinkLatency:
+            w.apply_link_latency(nspec.latency_s, nspec.jitter_s);
+            break;
+          case NetFaultKind::kBandwidthCap:
+            w.apply_bandwidth_cap(nspec.bandwidth_bytes_per_s);
+            break;
+          case NetFaultKind::kPacketLoss:
+            w.apply_packet_loss(nspec.loss_rate);
+            break;
+          case NetFaultKind::kLinkFlap:
+            w.apply_link_flap(nspec.down_for_s);
+            break;
+          case NetFaultKind::kPartition:
+            w.apply_partition(nspec.down_for_s);
+            break;
+        }
+      }
+    });
+  }
 
   cl.engine().run();
 

@@ -36,6 +36,48 @@ bool FaultInjector::within_tolerance(
   return true;
 }
 
+std::vector<cluster::HostId> FaultInjector::plan_network(
+    const NetworkFaultSpec& spec) const {
+  std::vector<cluster::HostId> hosts;
+  if (spec.count == 0) {
+    // Cluster-wide dirty network: every host, data-bearing or not.
+    for (cluster::HostId h = 0; h < cluster_->config().num_hosts; ++h) {
+      hosts.push_back(h);
+    }
+  } else {
+    for (cluster::HostId h = 0;
+         h < cluster_->config().num_hosts &&
+         static_cast<int>(hosts.size()) < spec.count;
+         ++h) {
+      for (const cluster::OsdId o : cluster_->osds_on_host(h)) {
+        if (cluster_->osd_alive(o) && !cluster_->pgs_on_osd(o).empty()) {
+          hosts.push_back(h);
+          break;
+        }
+      }
+    }
+    if (static_cast<int>(hosts.size()) < spec.count) {
+      throw std::invalid_argument(
+          "not enough data-bearing hosts for network faults");
+    }
+  }
+  if (spec.kind == NetFaultKind::kPartition) {
+    // A partition outlasting ctrl_loss_tmo fails every OSD behind the
+    // link; refuse plans that could exceed the code's tolerance.
+    std::vector<cluster::OsdId> would_fail;
+    for (const cluster::HostId h : hosts) {
+      for (const cluster::OsdId o : cluster_->osds_on_host(h)) {
+        if (cluster_->osd_alive(o)) would_fail.push_back(o);
+      }
+    }
+    if (!within_tolerance(would_fail)) {
+      throw std::runtime_error(
+          "partition plan could exceed EC tolerance; refuse to inject");
+    }
+  }
+  return hosts;
+}
+
 InjectionPlan FaultInjector::plan(const FaultSpec& spec) const {
   InjectionPlan out;
   out.level = spec.level;

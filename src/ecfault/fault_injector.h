@@ -31,6 +31,14 @@ class FaultInjector {
   // when every candidate set would exceed the code's tolerance.
   [[nodiscard]] InjectionPlan plan(const FaultSpec& spec) const;
 
+  // Select the hosts a network fault hits. count == 0 means every host;
+  // otherwise the first `count` data-bearing hosts (deterministic order).
+  // Partitions can escalate into device losses (controller-loss timeout),
+  // so a partition plan is additionally checked against EC tolerance as if
+  // every OSD on the chosen hosts failed.
+  [[nodiscard]] std::vector<cluster::HostId> plan_network(
+      const NetworkFaultSpec& spec) const;
+
   // Would failing these OSDs stay within every PG's tolerance (<= n-k
   // losses per PG, counting already-failed shards)?
   [[nodiscard]] bool within_tolerance(

@@ -13,8 +13,10 @@ IostatCollector::IostatCollector(cluster::Cluster* cluster, double interval_s,
       sink_(std::move(sink)) {
   const int n = cluster_->config().num_osds();
   last_.resize(static_cast<std::size_t>(n));
+  last_fabric_.resize(static_cast<std::size_t>(n));
   for (cluster::OsdId o = 0; o < n; ++o) {
     last_[static_cast<std::size_t>(o)] = cluster_->disk_stats(o);
+    last_fabric_[static_cast<std::size_t>(o)] = cluster_->fabric_stats(o);
   }
   cluster_->engine().schedule(interval_, [this] { tick(); });
 }
@@ -36,16 +38,33 @@ void IostatCollector::tick() {
     s.util =
         std::min(1.0, (cur.busy_seconds - prev.busy_seconds) / interval_);
     prev = cur;
+    const auto& fcur = cluster_->fabric_stats(o);
+    auto& fprev = last_fabric_[static_cast<std::size_t>(o)];
+    s.fabric_wait_s = fcur.transport_wait_s - fprev.transport_wait_s;
+    s.fabric_retries = fcur.retries - fprev.retries;
+    fprev = fcur;
     // Quiet devices are skipped, like iostat with a filter — keeps the log
     // volume proportional to activity.
-    if (s.read_bps == 0 && s.write_bps == 0 && s.iops == 0) continue;
+    if (s.read_bps == 0 && s.write_bps == 0 && s.iops == 0 &&
+        s.fabric_wait_s == 0 && s.fabric_retries == 0) {
+      continue;
+    }
     samples_.push_back(s);
     if (sink_) {
-      char msg[160];
-      std::snprintf(msg, sizeof(msg),
-                    "iostat: rMB/s=%.1f wMB/s=%.1f iops=%.0f util=%.0f%%",
-                    s.read_bps / 1e6, s.write_bps / 1e6, s.iops,
-                    100.0 * s.util);
+      char msg[200];
+      if (s.fabric_wait_s > 0 || s.fabric_retries > 0) {
+        std::snprintf(msg, sizeof(msg),
+                      "iostat: rMB/s=%.1f wMB/s=%.1f iops=%.0f util=%.0f%% "
+                      "fwait=%.3fs fretry=%llu",
+                      s.read_bps / 1e6, s.write_bps / 1e6, s.iops,
+                      100.0 * s.util, s.fabric_wait_s,
+                      static_cast<unsigned long long>(s.fabric_retries));
+      } else {
+        std::snprintf(msg, sizeof(msg),
+                      "iostat: rMB/s=%.1f wMB/s=%.1f iops=%.0f util=%.0f%%",
+                      s.read_bps / 1e6, s.write_bps / 1e6, s.iops,
+                      100.0 * s.util);
+      }
       sink_({now, "osd." + std::to_string(o), "iostat", msg});
     }
   }

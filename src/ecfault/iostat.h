@@ -23,6 +23,11 @@ struct IostatSample {
   double write_bps = 0;
   double iops = 0;
   double util = 0;        // busy fraction of the interval
+  // NVMe-oF fabric counters (per-interval deltas; zero on the default
+  // zero-cost transport, so the iostat log format only changes when a
+  // transport model or network fault is active).
+  double fabric_wait_s = 0;        // transport wait accumulated this tick
+  std::uint64_t fabric_retries = 0;  // packet-loss / link-down retries
 };
 
 class IostatCollector {
@@ -48,6 +53,7 @@ class IostatCollector {
   double horizon_;
   cluster::LogSinkFn sink_;
   std::vector<cluster::Cluster::DeviceStats> last_;
+  std::vector<nvmeof::ConnectionStats> last_fabric_;
   std::vector<IostatSample> samples_;
 };
 

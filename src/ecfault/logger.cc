@@ -20,7 +20,11 @@ LogClass classify(const std::string& message) {
   }
   if (util::contains(m, "fail") || util::contains(m, "down") ||
       util::contains(m, "marked out") || util::contains(m, "eio") ||
-      util::contains(m, "removed")) {
+      util::contains(m, "removed") || util::contains(m, "link") ||
+      util::contains(m, "partition") || util::contains(m, "packet loss") ||
+      util::contains(m, "keep-alive timeout") ||
+      util::contains(m, "controller loss") ||
+      util::contains(m, "reconnect")) {
     return LogClass::kFailure;
   }
   if (util::contains(m, "peering") || util::contains(m, "missing") ||

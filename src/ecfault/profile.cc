@@ -36,6 +36,26 @@ FaultTopology fault_topology_from_string(const std::string& s) {
   throw std::invalid_argument("unknown fault topology '" + s + "'");
 }
 
+const char* to_string(NetFaultKind kind) {
+  switch (kind) {
+    case NetFaultKind::kLinkLatency: return "link_latency";
+    case NetFaultKind::kBandwidthCap: return "bandwidth_cap";
+    case NetFaultKind::kPacketLoss: return "packet_loss";
+    case NetFaultKind::kLinkFlap: return "link_flap";
+    case NetFaultKind::kPartition: return "partition";
+  }
+  return "?";
+}
+
+NetFaultKind net_fault_kind_from_string(const std::string& s) {
+  if (s == "link_latency") return NetFaultKind::kLinkLatency;
+  if (s == "bandwidth_cap") return NetFaultKind::kBandwidthCap;
+  if (s == "packet_loss") return NetFaultKind::kPacketLoss;
+  if (s == "link_flap") return NetFaultKind::kLinkFlap;
+  if (s == "partition") return NetFaultKind::kPartition;
+  throw std::invalid_argument("unknown network fault kind '" + s + "'");
+}
+
 namespace {
 
 const char* domain_name(cluster::FailureDomain d) {
@@ -93,6 +113,24 @@ util::Json ExperimentProfile::to_json() const {
   f.set("inject_at_s", fault.inject_at_s);
   f.set("corrupt_fraction", fault.corrupt_fraction);
   doc.set("fault", f);
+
+  if (!network_faults.empty()) {
+    util::Json nf = util::Json::array();
+    for (const auto& spec : network_faults) {
+      util::Json n = util::Json::object();
+      n.set("kind", to_string(spec.kind));
+      n.set("count", spec.count);
+      n.set("inject_at_s", spec.inject_at_s);
+      n.set("latency_s", spec.latency_s);
+      n.set("jitter_s", spec.jitter_s);
+      n.set("bandwidth_bytes_per_s", spec.bandwidth_bytes_per_s);
+      n.set("loss_rate", spec.loss_rate);
+      n.set("down_for_s", spec.down_for_s);
+      nf.push_back(n);
+    }
+    doc.set("network_faults", nf);
+  }
+  doc.set("fabric", fabric);
 
   util::Json scrub = util::Json::object();
   scrub.set("enabled", cluster.scrub.enabled);
@@ -179,6 +217,35 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
     if (p.fault.corrupt_fraction <= 0 || p.fault.corrupt_fraction > 1.0) {
       throw std::invalid_argument("profile: corrupt_fraction in (0,1]");
     }
+  }
+  if (doc.has("network_faults")) {
+    for (const util::Json& n : doc.at("network_faults").as_array()) {
+      NetworkFaultSpec spec;
+      spec.kind = net_fault_kind_from_string(
+          n.get_or("kind", std::string("link_latency")));
+      spec.count = static_cast<int>(n.get_or("count", std::int64_t{0}));
+      if (spec.count < 0) {
+        throw std::invalid_argument("profile: network fault count must be >= 0");
+      }
+      spec.inject_at_s = n.get_or("inject_at_s", 10.0);
+      spec.latency_s = n.get_or("latency_s", 0.005);
+      spec.jitter_s = n.get_or("jitter_s", 0.0);
+      spec.bandwidth_bytes_per_s = n.get_or("bandwidth_bytes_per_s", 100e6);
+      spec.loss_rate = n.get_or("loss_rate", 0.01);
+      spec.down_for_s = n.get_or("down_for_s", 0.2);
+      if (spec.latency_s < 0 || spec.jitter_s < 0 || spec.down_for_s < 0 ||
+          spec.bandwidth_bytes_per_s < 0) {
+        throw std::invalid_argument("profile: network fault values must be >= 0");
+      }
+      if (spec.loss_rate < 0 || spec.loss_rate >= 1.0) {
+        throw std::invalid_argument("profile: loss_rate in [0,1)");
+      }
+      p.network_faults.push_back(spec);
+    }
+  }
+  p.fabric = doc.get_or("fabric", std::string("none"));
+  if (p.fabric != "none" && p.fabric != "tcp" && p.fabric != "rdma") {
+    throw std::invalid_argument("profile: fabric must be none|tcp|rdma");
   }
   if (doc.has("scrub")) {
     const util::Json& scrub = doc.at("scrub");

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "cluster/config.h"
 #include "util/json.h"
@@ -31,10 +32,40 @@ struct FaultSpec {
   double corrupt_fraction = 0.05;  // kCorruption: fraction of shards hit
 };
 
+// Network-level fault levers operating on the NVMe-oF fabric links (one
+// link per host; every OSD on the host shares it). These degrade rather
+// than destroy: latency/bandwidth/loss make all device I/O slower, a flap
+// stalls it for a window, and a partition long enough to exhaust the
+// controller-loss timeout escalates into device losses.
+enum class NetFaultKind {
+  kLinkLatency,
+  kBandwidthCap,
+  kPacketLoss,
+  kLinkFlap,
+  kPartition,
+};
+
+struct NetworkFaultSpec {
+  NetFaultKind kind = NetFaultKind::kLinkLatency;
+  int count = 0;  // hosts hit; 0 = every host (cluster-wide dirty network)
+  double inject_at_s = 10.0;
+  double latency_s = 0.005;   // kLinkLatency: added per hop
+  double jitter_s = 0;        // kLinkLatency: uniform extra per hop
+  double bandwidth_bytes_per_s = 100e6;  // kBandwidthCap
+  double loss_rate = 0.01;    // kPacketLoss: expected losses per command
+  double down_for_s = 0.2;    // kLinkFlap / kPartition window
+};
+
 struct ExperimentProfile {
   std::string name = "default";
   cluster::ClusterConfig cluster;
   FaultSpec fault;
+  // Network faults applied on top of (or instead of) the device/node
+  // fault; empty by default. The cluster's transport model is selected by
+  // `fabric` ("none" keeps the ideal zero-cost transport; "tcp"/"rdma"
+  // install the corresponding sim::FabricParams profile).
+  std::vector<NetworkFaultSpec> network_faults;
+  std::string fabric = "none";
   int runs = 3;  // the paper averages three runs
 
   // Serialize to / parse from JSON. parse() validates field values and
@@ -49,7 +80,9 @@ struct ExperimentProfile {
 
 const char* to_string(FaultLevel level);
 const char* to_string(FaultTopology topo);
+const char* to_string(NetFaultKind kind);
 FaultLevel fault_level_from_string(const std::string& s);
 FaultTopology fault_topology_from_string(const std::string& s);
+NetFaultKind net_fault_kind_from_string(const std::string& s);
 
 }  // namespace ecf::ecfault

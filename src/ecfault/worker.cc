@@ -1,5 +1,7 @@
 #include "ecfault/worker.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace ecf::ecfault {
@@ -35,8 +37,56 @@ std::uint64_t Worker::apply_corruption_fault(cluster::OsdId osd,
   return cluster_->corrupt_chunks(osd, fraction);
 }
 
+void Worker::apply_link_latency(double extra_s, double jitter_s) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "apply link latency: +%.3fms jitter=%.3fms",
+                extra_s * 1e3, jitter_s * 1e3);
+  announce(buf);
+  cluster_->set_link_latency(host_, extra_s, jitter_s);
+}
+
+void Worker::apply_bandwidth_cap(double bytes_per_s) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "apply bandwidth cap: %.1fMB/s",
+                bytes_per_s / 1e6);
+  announce(buf);
+  cluster_->set_link_bandwidth_cap(host_, bytes_per_s);
+}
+
+void Worker::apply_packet_loss(double rate) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "apply packet loss: rate=%.4f", rate);
+  announce(buf);
+  cluster_->set_packet_loss(host_, rate);
+}
+
+void Worker::apply_link_flap(double down_for_s) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "apply link flap: down %.3fs", down_for_s);
+  announce(buf);
+  cluster_->flap_link(host_, down_for_s);
+}
+
+void Worker::apply_partition(double down_for_s) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "apply network partition: %.1fs",
+                down_for_s);
+  announce(buf);
+  cluster_->partition_host(host_, down_for_s);
+}
+
+void Worker::heal_partition() {
+  announce("heal network partition");
+  cluster_->heal_partition(host_);
+}
+
 std::vector<nvmeof::SubsystemInfo> Worker::list_subsystems() {
-  return cluster_->target(host_).list();
+  auto list = cluster_->target(host_).list();
+  std::sort(list.begin(), list.end(),
+            [](const nvmeof::SubsystemInfo& a, const nvmeof::SubsystemInfo& b) {
+              return a.nqn < b.nqn;
+            });
+  return list;
 }
 
 }  // namespace ecf::ecfault

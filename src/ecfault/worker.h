@@ -34,7 +34,17 @@ class Worker {
   // `osd` (must live on this worker's host).
   std::uint64_t apply_corruption_fault(cluster::OsdId osd, double fraction);
 
-  // Provisioning inventory, as nvmetcli would list it.
+  // Network-level levers on this node's NVMe-oF fabric link. Like the
+  // device/node faults above, each acts only on the worker's own host.
+  void apply_link_latency(double extra_s, double jitter_s = 0);
+  void apply_bandwidth_cap(double bytes_per_s);
+  void apply_packet_loss(double rate);
+  void apply_link_flap(double down_for_s);
+  void apply_partition(double down_for_s);
+  void heal_partition();
+
+  // Provisioning inventory, as nvmetcli would list it — sorted by NQN so
+  // the listing is deterministic regardless of provisioning history.
   std::vector<nvmeof::SubsystemInfo> list_subsystems();
 
  private:

@@ -1,8 +1,39 @@
 #include "nvmeof/nvmeof.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace ecf::nvmeof {
+
+namespace {
+
+// Admin-log timestamps come from the simulation clock and must never run
+// backwards; a violation means a caller passed a stale or defaulted time.
+void append_log(std::vector<AdminLogEntry>& log, double now,
+                const char* op, const Nqn& nqn) {
+  if (!log.empty()) {
+    ECF_CHECK_GE(now, log.back().time)
+        << " admin log must be monotone (op=" << op << " nqn=" << nqn << ")";
+  }
+  log.push_back({now, op, nqn});
+}
+
+}  // namespace
+
+bool valid_nqn(const Nqn& nqn) {
+  // Shape: "nqn.<date>.<reversed-domain>:<identifier>", all parts
+  // non-empty; e.g. "nqn.2024-04.io.ecfault:host3.nvme1".
+  constexpr const char kPrefix[] = "nqn.";
+  if (nqn.size() <= sizeof(kPrefix) - 1) return false;
+  if (nqn.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
+  const std::size_t colon = nqn.find(':');
+  if (colon == Nqn::npos) return false;            // no identifier part
+  if (colon == sizeof(kPrefix) - 1) return false;  // empty authority
+  if (colon + 1 >= nqn.size()) return false;       // empty identifier
+  return nqn.find(':', colon + 1) == Nqn::npos;    // single separator
+}
 
 Target::Subsystem* Target::find(const Nqn& nqn) {
   for (auto& s : subsystems_) {
@@ -20,6 +51,7 @@ const Target::Subsystem* Target::find(const Nqn& nqn) const {
 
 void Target::create_subsystem(const Nqn& nqn, std::uint64_t capacity_bytes,
                               sim::Disk* disk, double now) {
+  if (!valid_nqn(nqn)) throw std::invalid_argument("malformed NQN " + nqn);
   if (find(nqn)) throw std::invalid_argument("duplicate NQN " + nqn);
   if (disk == nullptr) throw std::invalid_argument("null backing disk");
   Subsystem s;
@@ -27,22 +59,27 @@ void Target::create_subsystem(const Nqn& nqn, std::uint64_t capacity_bytes,
   s.info.ns.capacity_bytes = capacity_bytes;
   s.disk = disk;
   subsystems_.push_back(s);
-  admin_log_.push_back({now, "create", nqn});
+  append_log(admin_log_, now, "create", nqn);
 }
 
 void Target::connect(const Nqn& nqn, double now) {
   Subsystem* s = find(nqn);
   if (!s) throw std::invalid_argument("connect: unknown NQN " + nqn);
   s->info.connected = true;
-  admin_log_.push_back({now, "connect", nqn});
+  append_log(admin_log_, now, "connect", nqn);
 }
 
 void Target::remove_subsystem(const Nqn& nqn, double now) {
-  Subsystem* s = find(nqn);
-  if (!s) throw std::invalid_argument("remove: unknown NQN " + nqn);
-  s->info.connected = false;
-  s->disk = nullptr;  // device gone; namespace unbound
-  admin_log_.push_back({now, "remove", nqn});
+  const auto it = std::find_if(
+      subsystems_.begin(), subsystems_.end(),
+      [&nqn](const Subsystem& s) { return s.info.nqn == nqn; });
+  if (it == subsystems_.end()) {
+    throw std::invalid_argument("remove: unknown NQN " + nqn);
+  }
+  // Erase rather than tombstone: a removed NQN is free for re-creation
+  // (replacing a failed device re-provisions under the same name).
+  subsystems_.erase(it);
+  append_log(admin_log_, now, "remove", nqn);
 }
 
 std::optional<sim::SimTime> Target::read(sim::Engine& eng, const Nqn& nqn,

@@ -52,16 +52,20 @@ class Target {
   const std::string& node() const { return node_; }
 
   // nvmetcli create: define a subsystem + namespace backed by `disk`.
-  // Throws std::invalid_argument on duplicate NQN.
+  // Throws std::invalid_argument on a malformed or duplicate NQN. `now` is
+  // the simulation clock (engine.now()) — admin-log timestamps must be
+  // monotone, so callers may not default it.
   void create_subsystem(const Nqn& nqn, std::uint64_t capacity_bytes,
-                        sim::Disk* disk, double now = 0);
+                        sim::Disk* disk, double now);
 
   // Host connects the subsystem (device appears as /dev/nvmeXnY).
-  void connect(const Nqn& nqn, double now = 0);
+  void connect(const Nqn& nqn, double now);
 
   // nvmetcli remove: the fault injector's device-failure lever. The device
-  // disappears; in-flight and future I/O fail.
-  void remove_subsystem(const Nqn& nqn, double now = 0);
+  // disappears; in-flight and future I/O fail. The subsystem entry is
+  // erased, so the NQN may be re-created later (a replacement device
+  // provisioned under the same name).
+  void remove_subsystem(const Nqn& nqn, double now);
 
   // Device I/O entry points used by the OSD layer. Returns the completion
   // time, or nullopt when the device is gone (EIO).
@@ -87,7 +91,12 @@ class Target {
   std::vector<AdminLogEntry> admin_log_;
 };
 
-// Helper to build the conventional NQN for host h, device d.
+// Syntactic validity per the NVMe spec shape we emit: non-empty, "nqn."
+// prefix, and a date.domain authority followed by a ":identifier" suffix.
+bool valid_nqn(const Nqn& nqn);
+
+// Helper to build the conventional NQN for host h, device d. The result
+// always satisfies valid_nqn().
 Nqn make_nqn(std::size_t host, std::size_t device);
 
 }  // namespace ecf::nvmeof

@@ -1,0 +1,52 @@
+#include "nvmeof/qpair.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ecf::nvmeof {
+
+QueuePair::QueuePair(int id, int depth) : id_(id), depth_(depth) {
+  ECF_CHECK_GE(depth, 1) << " qpair depth";
+  slot_free_.assign(static_cast<std::size_t>(depth), 0.0);
+  // Buckets 0..depth inclusive; the last bucket catches "submitted at full
+  // depth" (only reachable when the bound is not enforced).
+  depth_hist_.assign(static_cast<std::size_t>(depth) + 1, 0);
+}
+
+int QueuePair::in_flight(sim::SimTime now) const {
+  int n = 0;
+  for (const sim::SimTime t : slot_free_) {
+    if (t > now) ++n;
+  }
+  return n;
+}
+
+sim::SimTime QueuePair::earliest_free(sim::SimTime now) const {
+  const auto it = std::min_element(slot_free_.begin(), slot_free_.end());
+  return std::max(now, *it);
+}
+
+QueuePair::Slot QueuePair::submit(sim::SimTime now, bool enforce) {
+  ++submitted_;
+  Slot out;
+  out.depth_at_submit = in_flight(now);
+  const std::size_t bucket =
+      std::min(static_cast<std::size_t>(out.depth_at_submit),
+               depth_hist_.size() - 1);
+  ++depth_hist_[bucket];
+
+  // Lowest-index free (or earliest-freeing) slot keeps ties deterministic.
+  const auto it = std::min_element(slot_free_.begin(), slot_free_.end());
+  out.index = static_cast<std::size_t>(it - slot_free_.begin());
+  out.start = enforce ? std::max(now, *it) : now;
+  queued_seconds_ += out.start - now;
+  return out;
+}
+
+void QueuePair::commit(const Slot& slot, sim::SimTime complete) {
+  ECF_CHECK_LT(slot.index, slot_free_.size()) << " qpair slot index";
+  slot_free_[slot.index] = std::max(slot_free_[slot.index], complete);
+}
+
+}  // namespace ecf::nvmeof

@@ -1,0 +1,86 @@
+#include "nvmeof/transport.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bytes.h"
+
+namespace ecf::nvmeof {
+
+double Transport::hop_latency(const Link& link) {
+  double lat = params_.hop_latency_s + link.extra_latency_s;
+  if (link.jitter_s > 0) lat += link.jitter_s * rng_.uniform01();
+  return lat;
+}
+
+Transport::HopResult Transport::transfer(sim::Engine& eng, Link& link,
+                                         bool to_target, sim::SimTime depart,
+                                         std::uint64_t payload_bytes) {
+  HopResult out;
+
+  // Down window: the command stalls until the link is back, paying one
+  // retransmission per elapsed retry timeout (the host keeps resending
+  // until a path exists).
+  sim::SimTime t = depart;
+  if (link.down_at(t)) {
+    const double stall = link.down_until - t;
+    if (params_.retry_timeout_s > 0) {
+      out.retries += static_cast<std::uint32_t>(
+          std::ceil(stall / params_.retry_timeout_s));
+    } else {
+      out.retries += 1;
+    }
+    t = link.down_until;
+  }
+
+  // Deterministic packet loss: each loss costs a full retransmission
+  // timeout before the transfer goes through.
+  if (link.loss_rate > 0) {
+    link.loss_accum += link.loss_rate;
+    while (link.loss_accum >= 1.0) {
+      link.loss_accum -= 1.0;
+      ++out.retries;
+      t += params_.retry_timeout_s;
+    }
+  }
+
+  // Framing overhead: requests carry the command capsule; responses split
+  // data into PDUs, each with a header.
+  std::uint64_t wire_bytes = payload_bytes;
+  if (to_target) {
+    wire_bytes += params_.capsule_bytes;
+  } else if (params_.pdu_header_bytes > 0) {
+    const std::uint64_t pdus =
+        params_.max_data_pdu_bytes > 0
+            ? std::max<std::uint64_t>(
+                  1, util::ceil_div(payload_bytes, params_.max_data_pdu_bytes))
+            : 1;
+    wire_bytes += pdus * params_.pdu_header_bytes;
+  }
+
+  // Serialization: the effective rate is the tighter of the transport's
+  // base bandwidth and the injected cap; 0 everywhere means no
+  // serialization cost (infinite bandwidth).
+  double bw = params_.bw_bytes_per_s;
+  if (link.bw_cap_bytes_per_s > 0) {
+    bw = bw > 0 ? std::min(bw, link.bw_cap_bytes_per_s)
+                : link.bw_cap_bytes_per_s;
+  }
+  sim::SimTime sent = t;
+  if (bw > 0) {
+    sim::FifoServer& server = to_target ? link.tx : link.rx;
+    sent = server.reserve_at(eng, t, static_cast<double>(wire_bytes) / bw);
+  }
+
+  // Propagation after the last byte leaves the port.
+  out.arrive = sent + hop_latency(link);
+  out.wait_s = out.arrive - depart;
+  if (to_target) {
+    link.bytes_tx += wire_bytes;
+  } else {
+    link.bytes_rx += wire_bytes;
+  }
+  return out;
+}
+
+}  // namespace ecf::nvmeof

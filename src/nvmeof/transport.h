@@ -1,0 +1,88 @@
+// NVMe-oF transport cost model: per-hop latency, bandwidth sharing,
+// capsule/PDU overhead, and the network-level fault levers.
+//
+// Every initiator host owns one fabric Link (its port onto the fabric).
+// All of that host's connections share the link, so a bandwidth cap or
+// latency injection on the link degrades every path through it — the
+// "dirty network" scenario family. The link carries two FifoServers (tx
+// for request capsules, rx for response data) so serialization contends
+// the way a real duplex port does, plus the mutable fault state the
+// ECFault levers flip at runtime: extra latency/jitter, a bandwidth cap,
+// a deterministic packet-loss rate, and down windows (flap/partition).
+//
+// Transport time is evaluated synchronously at submission (busy-until
+// semantics, like sim::resources): with the ideal default parameters every
+// component is exactly zero and the caller can skip the model entirely.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.h"
+#include "sim/hardware_profiles.h"
+#include "sim/resources.h"
+#include "util/rng.h"
+
+namespace ecf::nvmeof {
+
+// One host's port onto the fabric, shared by its connections.
+struct Link {
+  // Injected fault state (ECFault network levers).
+  double extra_latency_s = 0;   // added per hop, both directions
+  double jitter_s = 0;          // uniform [0, jitter_s) per direction
+  double bw_cap_bytes_per_s = 0;  // 0 = no cap
+  double loss_rate = 0;         // expected command losses per command
+  sim::SimTime down_until = 0;  // link unusable before this instant
+
+  // Serialization servers (bandwidth sharing across the host's paths).
+  sim::FifoServer tx;  // initiator -> target (capsules, write data)
+  sim::FifoServer rx;  // target -> initiator (read data, completions)
+
+  // Deterministic loss accumulator: command i is "lost" when the running
+  // sum of loss_rate crosses an integer — an evenly-spaced loss pattern
+  // that keeps campaigns replayable (no RNG on the loss path).
+  double loss_accum = 0;
+
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+
+  bool down_at(sim::SimTime t) const { return t < down_until; }
+};
+
+class Transport {
+ public:
+  Transport(sim::FabricParams params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  const sim::FabricParams& params() const { return params_; }
+
+  // True when no transport component can charge time on this link right
+  // now — the bit-identical fast path for the default ideal fabric.
+  bool inert(const Link& link, sim::SimTime now) const {
+    return !params_.active() && link.extra_latency_s == 0 &&
+           link.jitter_s == 0 && link.bw_cap_bytes_per_s == 0 &&
+           link.loss_rate == 0 && !link.down_at(now);
+  }
+
+  struct HopResult {
+    sim::SimTime arrive = 0;  // payload fully delivered
+    double wait_s = 0;        // latency + serialization + stall time spent
+    std::uint32_t retries = 0;  // lost-command retransmissions
+  };
+
+  // Move `payload_bytes` across `link` starting no earlier than `depart`.
+  // `to_target` selects the tx (request) or rx (response) server. Framing
+  // overhead (capsule / PDU headers) is added here; a down window stalls
+  // the transfer to link.down_until with one retransmission per
+  // retry_timeout elapsed; packet loss adds whole-command retransmission
+  // delays via the deterministic accumulator.
+  HopResult transfer(sim::Engine& eng, Link& link, bool to_target,
+                     sim::SimTime depart, std::uint64_t payload_bytes);
+
+ private:
+  double hop_latency(const Link& link);
+
+  sim::FabricParams params_;
+  util::Rng rng_;  // jitter only; never drawn on the inert path
+};
+
+}  // namespace ecf::nvmeof

@@ -2,6 +2,28 @@
 
 namespace ecf::sim {
 
+FabricParams tcp_fabric() {
+  FabricParams f;
+  f.hop_latency_s = 30e-6;        // kernel TCP + NIC per hop
+  f.bw_bytes_per_s = 1.2e9;       // shares the ~10 Gb/s effective host link
+  f.capsule_bytes = 72;           // ICReq-sized command capsule PDU
+  f.pdu_header_bytes = 24;        // C2HData common header per PDU
+  f.max_data_pdu_bytes = 128 * 1024;  // MAXH2CDATA-scale data PDUs
+  f.enforce_qpair_depth = true;
+  return f;
+}
+
+FabricParams rdma_fabric() {
+  FabricParams f;
+  f.hop_latency_s = 5e-6;         // RoCE-class hop
+  f.bw_bytes_per_s = 2.5e9;       // 25 Gb/s-class fabric port
+  f.capsule_bytes = 16;           // in-capsule command, minimal framing
+  f.pdu_header_bytes = 0;         // RDMA writes carry data without PDUs
+  f.max_data_pdu_bytes = 0;
+  f.enforce_qpair_depth = true;
+  return f;
+}
+
 HardwareProfile aws_m5_like() {
   HardwareProfile p;
   p.disk.read_bw_bytes_per_s = 250e6;   // GP SSD throughput cap

@@ -11,10 +11,58 @@
 
 namespace ecf::sim {
 
+// NVMe-oF transport model parameters (consumed by src/nvmeof's fabric).
+//
+// The default-constructed value is an *ideal* fabric: zero per-hop latency,
+// infinite bandwidth, no capsule/PDU overhead, unbounded queue depth. With
+// it the fabric layer is timing-inert — every command completes exactly
+// when a direct sim::Disk call would — so pre-fabric campaign results are
+// reproduced bit-identically. tcp_fabric()/rdma_fabric() switch on the
+// transport cost model.
+struct FabricParams {
+  // --- transport cost model -------------------------------------------------
+  double hop_latency_s = 0;         // one-way propagation per hop
+  double bw_bytes_per_s = 0;        // link serialization rate; 0 = infinite
+  std::uint32_t capsule_bytes = 0;  // command capsule overhead (request)
+  std::uint32_t pdu_header_bytes = 0;  // per-data-PDU header (response)
+  std::uint32_t max_data_pdu_bytes = 0;  // data split into PDUs; 0 = one PDU
+
+  // --- queue pairs ----------------------------------------------------------
+  int io_qpairs = 4;          // I/O queue pairs per connection
+  int qpair_depth = 128;      // max outstanding commands per qpair
+  // Backpressure off by default: the ideal fabric imposes no queue limit
+  // (depth histograms are still recorded). TCP/RDMA profiles enable it.
+  bool enforce_qpair_depth = false;
+
+  // --- keep-alive / reconnect state machine --------------------------------
+  double keepalive_interval_s = 5.0;   // KATO: link-loss detection latency
+  double ctrl_loss_timeout_s = 600.0;  // give up reconnecting (ctrl_loss_tmo)
+  double reconnect_backoff_s = 1.0;    // first retry delay; doubles per try
+  double reconnect_backoff_max_s = 60.0;
+  double retry_timeout_s = 0.5;        // retransmit delay per lost command
+
+  // True when the cost model can ever charge time (levers can still
+  // activate an inert fabric per-path at runtime).
+  bool active() const {
+    return hop_latency_s > 0 || bw_bytes_per_s > 0 || capsule_bytes > 0 ||
+           pdu_header_bytes > 0 || enforce_qpair_depth;
+  }
+};
+
+// NVMe/TCP: kernel TCP stack — tens of microseconds per hop, capsules and
+// data carried in PDUs with 24-byte common headers, bandwidth shared on
+// the host link.
+FabricParams tcp_fabric();
+
+// NVMe/RDMA (RoCE-like): single-digit-microsecond hops, tiny capsule
+// overhead, no PDU framing on the data path, higher effective bandwidth.
+FabricParams rdma_fabric();
+
 struct HardwareProfile {
   DiskParams disk;
   NicParams nic;
   CpuParams cpu;
+  FabricParams fabric;  // default: ideal (timing-inert) NVMe-oF transport
 };
 
 // The paper's AWS-like testbed.

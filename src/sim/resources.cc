@@ -12,6 +12,16 @@ SimTime FifoServer::reserve(Engine& eng, SimTime service) {
   return busy_until_;
 }
 
+SimTime FifoServer::reserve_at(Engine& eng, SimTime not_before,
+                               SimTime service) {
+  const SimTime arrival = std::max(eng.now(), not_before);
+  const SimTime start = std::max(arrival, busy_until_);
+  queued_seconds_ += start - arrival;
+  busy_until_ = start + service;
+  busy_seconds_ += service;
+  return busy_until_;
+}
+
 void FifoServer::reset() {
   busy_until_ = 0;
   busy_seconds_ = 0;
@@ -40,6 +50,22 @@ SimTime Disk::write(Engine& eng, std::uint64_t bytes, std::uint64_t ios,
   bytes_written_ += bytes;
   io_count_ += ios;
   return server_.reserve(eng, write_service(bytes, ios) + extra_seconds);
+}
+
+SimTime Disk::read_at(Engine& eng, SimTime not_before, std::uint64_t bytes,
+                      std::uint64_t ios, SimTime extra_seconds) {
+  bytes_read_ += bytes;
+  io_count_ += ios;
+  return server_.reserve_at(eng, not_before,
+                            read_service(bytes, ios) + extra_seconds);
+}
+
+SimTime Disk::write_at(Engine& eng, SimTime not_before, std::uint64_t bytes,
+                       std::uint64_t ios, SimTime extra_seconds) {
+  bytes_written_ += bytes;
+  io_count_ += ios;
+  return server_.reserve_at(eng, not_before,
+                            write_service(bytes, ios) + extra_seconds);
 }
 
 void Disk::reset() {

@@ -26,6 +26,12 @@ class FifoServer {
   // completion time.
   SimTime reserve(Engine& eng, SimTime service);
 
+  // Reserve `service` seconds starting no earlier than max(now, not_before).
+  // Used by the NVMe-oF fabric: a request that spends transport time in
+  // flight reaches its device at a future instant, and the device queue
+  // must serialize from that arrival, not from the submission time.
+  SimTime reserve_at(Engine& eng, SimTime not_before, SimTime service);
+
   SimTime busy_until() const { return busy_until_; }
   SimTime busy_seconds() const { return busy_seconds_; }
   // Queueing delay accumulated by requests (time spent waiting to start).
@@ -57,6 +63,13 @@ class Disk {
                SimTime extra_seconds = 0);
   SimTime write(Engine& eng, std::uint64_t bytes, std::uint64_t ios = 1,
                 SimTime extra_seconds = 0);
+
+  // Fabric variants: the command reaches the device no earlier than
+  // `not_before` (request capsule still in flight until then).
+  SimTime read_at(Engine& eng, SimTime not_before, std::uint64_t bytes,
+                  std::uint64_t ios = 1, SimTime extra_seconds = 0);
+  SimTime write_at(Engine& eng, SimTime not_before, std::uint64_t bytes,
+                   std::uint64_t ios = 1, SimTime extra_seconds = 0);
 
   // Pure service-time queries (no reservation) for planning.
   SimTime read_service(std::uint64_t bytes, std::uint64_t ios = 1) const;

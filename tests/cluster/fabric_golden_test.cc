@@ -1,0 +1,239 @@
+// Fabric acceptance tests.
+//
+// 1. Golden-compare: with the default (ideal) FabricParams, routing every
+//    OSD disk access through the NVMe-oF fabric must reproduce pre-fabric
+//    campaign results BIT-IDENTICALLY. The constants below were captured
+//    at the commit immediately before the fabric was introduced, printed
+//    with %a; any drift in the event stream shows up as an exact-equality
+//    failure here.
+// 2. Dirty network: injected link latency must slow recovery down
+//    monotonically, with the slowdown attributed to the new transport-wait
+//    counters rather than to device time.
+// 3. Partition escalation: a network partition outliving the
+//    controller-loss timeout must fail the host's devices through the
+//    fabric state machine, and recovery must still complete.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "util/bytes.h"
+
+namespace ecf::cluster {
+namespace {
+
+ClusterConfig golden_cfg() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 15;
+  cfg.osds_per_host = 2;
+  cfg.pool.pg_num = 32;
+  cfg.workload.num_objects = 200;
+  cfg.workload.object_size = 16 * util::MiB;
+  cfg.protocol.down_out_interval_s = 30.0;
+  cfg.protocol.heartbeat_grace_s = 5.0;
+  cfg.check_invariants = true;
+  return cfg;
+}
+
+struct GoldenRun {
+  RecoveryReport report;
+  double wa = 0;
+};
+
+GoldenRun run_golden(ClusterConfig cfg, bool host_fault) {
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  if (host_fault) {
+    cl.engine().schedule(1.0, [&cl] { cl.fail_host(2); });
+  } else {
+    cl.engine().schedule(1.0, [&cl] { cl.fail_device(9); });
+  }
+  GoldenRun out;
+  out.report = cl.run_to_recovery();
+  out.wa = cl.actual_wa();
+  return out;
+}
+
+TEST(FabricGolden, HostFaultRsBitIdentical) {
+  const GoldenRun g = run_golden(golden_cfg(), /*host_fault=*/true);
+  ASSERT_TRUE(g.report.complete);
+  EXPECT_EQ(g.report.recovery_end_time, 0x1.0950027a59b9cp+7);
+  EXPECT_EQ(g.report.bytes_read_for_recovery, 6266290176u);
+  EXPECT_EQ(g.report.bytes_written_for_recovery, 696254464u);
+  EXPECT_EQ(g.report.objects_repaired, 166u);
+  EXPECT_EQ(g.wa, 0x1.0d6e147ae147bp+2);
+  // The ideal fabric never charges transport time.
+  EXPECT_EQ(g.report.fabric_transport_wait_s, 0.0);
+  EXPECT_EQ(g.report.fabric_retries, 0u);
+  EXPECT_EQ(g.report.fabric_reconnects, 0u);
+}
+
+TEST(FabricGolden, DeviceFaultRsBitIdentical) {
+  const GoldenRun g = run_golden(golden_cfg(), /*host_fault=*/false);
+  ASSERT_TRUE(g.report.complete);
+  EXPECT_EQ(g.report.recovery_end_time, 0x1.9b0a4ec5df236p+6);
+  EXPECT_EQ(g.report.bytes_read_for_recovery, 4492099584u);
+  EXPECT_EQ(g.report.bytes_written_for_recovery, 499122176u);
+  EXPECT_EQ(g.report.objects_repaired, 119u);
+  EXPECT_EQ(g.wa, 0x1.087eb851eb852p+2);
+}
+
+TEST(FabricGolden, HostFaultClayBitIdentical) {
+  ClusterConfig cfg = golden_cfg();
+  cfg.pool.ec_profile = {
+      {"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}};
+  const GoldenRun g = run_golden(cfg, /*host_fault=*/true);
+  ASSERT_TRUE(g.report.complete);
+  EXPECT_EQ(g.report.recovery_end_time, 0x1.08e021c85ac5p+7);
+  EXPECT_EQ(g.report.bytes_read_for_recovery, 2552956164u);
+  EXPECT_EQ(g.report.bytes_written_for_recovery, 696260772u);
+  EXPECT_EQ(g.report.objects_repaired, 166u);
+  EXPECT_EQ(g.wa, 0x1.0d71666666666p+2);
+}
+
+ClusterConfig dirty_cfg() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 8;
+  cfg.osds_per_host = 2;
+  // RS(6,4): placeable across 8 hosts with a host failure domain.
+  cfg.pool.ec_profile = {{"plugin", "jerasure"}, {"k", "4"}, {"m", "2"}};
+  cfg.pool.pg_num = 16;
+  cfg.workload.num_objects = 60;
+  cfg.workload.object_size = 8 * util::MiB;
+  cfg.protocol.down_out_interval_s = 10.0;
+  cfg.protocol.heartbeat_grace_s = 5.0;
+  return cfg;
+}
+
+TEST(DirtyNetwork, RecoveryTimeMonotoneInLinkLatency) {
+  const std::vector<double> latencies = {0.0, 0.001, 0.005, 0.020};
+  std::vector<RecoveryReport> reports;
+  double total_busy_base = -1;
+  for (const double lat : latencies) {
+    Cluster cl(dirty_cfg());
+    cl.create_pool();
+    cl.apply_workload();
+    if (lat > 0) {
+      for (HostId h = 0; h < cl.config().num_hosts; ++h) {
+        cl.set_link_latency(h, lat);
+      }
+    }
+    cl.engine().schedule(1.0, [&cl] { cl.fail_device(3); });
+    reports.push_back(cl.run_to_recovery());
+    ASSERT_TRUE(reports.back().complete);
+
+    double busy = 0;
+    for (OsdId o = 0; o < cl.config().num_osds(); ++o) {
+      busy += cl.disk_stats(o).busy_seconds;
+    }
+    if (total_busy_base < 0) total_busy_base = busy;
+    // The network lever must not change device service time: the same
+    // chunks move, only the wire gets slower.
+    EXPECT_NEAR(busy, total_busy_base, 1e-6 * total_busy_base);
+  }
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    // Strictly slower recovery per latency step...
+    EXPECT_GT(reports[i].recovery_end_time, reports[i - 1].recovery_end_time);
+    // ...with the slowdown showing up in the transport-wait attribution.
+    EXPECT_GT(reports[i].fabric_transport_wait_s,
+              reports[i - 1].fabric_transport_wait_s);
+    // Identical recovery work regardless of network quality.
+    EXPECT_EQ(reports[i].bytes_read_for_recovery,
+              reports[0].bytes_read_for_recovery);
+    EXPECT_EQ(reports[i].bytes_written_for_recovery,
+              reports[0].bytes_written_for_recovery);
+  }
+  EXPECT_EQ(reports[0].fabric_transport_wait_s, 0.0);
+  // The wall-clock delta cannot exceed the summed per-command wait.
+  EXPECT_LE(reports.back().recovery_end_time - reports[0].recovery_end_time,
+            reports.back().fabric_transport_wait_s);
+}
+
+TEST(DirtyNetwork, PacketLossAddsRetriesAndSlowdown) {
+  auto run = [](double loss) {
+    Cluster cl(dirty_cfg());
+    cl.create_pool();
+    cl.apply_workload();
+    if (loss > 0) {
+      for (HostId h = 0; h < cl.config().num_hosts; ++h) {
+        cl.set_packet_loss(h, loss);
+      }
+    }
+    cl.engine().schedule(1.0, [&cl] { cl.fail_device(3); });
+    return cl.run_to_recovery();
+  };
+  const RecoveryReport clean = run(0.0);
+  const RecoveryReport lossy = run(0.05);
+  ASSERT_TRUE(clean.complete);
+  ASSERT_TRUE(lossy.complete);
+  EXPECT_EQ(clean.fabric_retries, 0u);
+  EXPECT_GT(lossy.fabric_retries, 0u);
+  EXPECT_GT(lossy.recovery_end_time, clean.recovery_end_time);
+}
+
+TEST(FabricFault, PartitionEscalatesToDeviceLoss) {
+  ClusterConfig cfg = dirty_cfg();
+  // Shorten the fabric state machine so the partition exhausts
+  // ctrl_loss_tmo quickly (transport costs stay zero).
+  cfg.hw.fabric.keepalive_interval_s = 1.0;
+  cfg.hw.fabric.ctrl_loss_timeout_s = 5.0;
+  cfg.hw.fabric.reconnect_backoff_s = 1.0;
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  cl.engine().schedule(1.0, [&cl] { cl.partition_host(2, 1000.0); });
+  const RecoveryReport r = cl.run_to_recovery();
+  ASSERT_TRUE(r.complete);
+  // Both devices behind the partitioned link went FAILED and were
+  // recovered elsewhere.
+  for (const OsdId o : cl.osds_on_host(2)) {
+    EXPECT_FALSE(cl.osd_alive(o));
+  }
+  EXPECT_GT(r.objects_repaired, 0u);
+  EXPECT_GT(r.bytes_written_for_recovery, 0u);
+}
+
+TEST(FabricFault, ShortFlapDoesNotFailDevices) {
+  ClusterConfig cfg = dirty_cfg();
+  cfg.hw.fabric.keepalive_interval_s = 5.0;
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  // 0.5s flap, well under the keep-alive interval: traffic stalls and
+  // retries, but every connection survives.
+  cl.engine().schedule(1.0, [&cl] { cl.flap_link(2, 0.5); });
+  cl.engine().schedule(2.0, [&cl] { cl.fail_device(3); });
+  const RecoveryReport r = cl.run_to_recovery();
+  ASSERT_TRUE(r.complete);
+  for (const OsdId o : cl.osds_on_host(2)) {
+    EXPECT_TRUE(cl.osd_alive(o));
+  }
+  EXPECT_EQ(r.fabric_reconnects, 0u);
+}
+
+TEST(FabricFault, DeviceRemovalMidRecoveryWithDirtyNetwork) {
+  // A second device yanked while recovery from the first is in flight,
+  // on a cluster-wide 1 ms dirty network: re-peering must discard the
+  // stale work and still converge.
+  ClusterConfig cfg = dirty_cfg();
+  cfg.check_invariants = true;
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  for (HostId h = 0; h < cl.config().num_hosts; ++h) {
+    cl.set_link_latency(h, 0.001);
+  }
+  cl.engine().schedule(1.0, [&cl] { cl.fail_device(3); });
+  cl.engine().schedule(20.0, [&cl] { cl.fail_device(8); });
+  const RecoveryReport r = cl.run_to_recovery();
+  ASSERT_TRUE(r.complete);
+  EXPECT_FALSE(cl.osd_alive(3));
+  EXPECT_FALSE(cl.osd_alive(8));
+  EXPECT_GT(r.objects_repaired, 0u);
+  EXPECT_GT(r.fabric_transport_wait_s, 0.0);
+  EXPECT_GT(cl.invariant_events_checked(), 0u);
+}
+
+}  // namespace
+}  // namespace ecf::cluster

@@ -1,0 +1,230 @@
+// Network-level fault injection through the ECFault control plane:
+// profile round-trip, topology-aware planning, per-node Worker levers,
+// Coordinator scheduling, and log classification of fabric events.
+#include <gtest/gtest.h>
+
+#include "ecfault/coordinator.h"
+#include "ecfault/logger.h"
+#include "util/bytes.h"
+
+namespace ecf::ecfault {
+namespace {
+
+ExperimentProfile net_profile() {
+  ExperimentProfile p;
+  p.name = "dirty-network";
+  p.cluster.num_hosts = 8;
+  p.cluster.osds_per_host = 2;
+  // RS(6,4): placeable across 8 hosts with a host failure domain.
+  p.cluster.pool.ec_profile = {{"plugin", "jerasure"}, {"k", "4"}, {"m", "2"}};
+  p.cluster.pool.pg_num = 16;
+  p.cluster.workload.num_objects = 60;
+  p.cluster.workload.object_size = 8 * util::MiB;
+  p.cluster.protocol.down_out_interval_s = 10.0;
+  p.cluster.protocol.heartbeat_grace_s = 5.0;
+  p.fault.level = FaultLevel::kDevice;
+  p.fault.count = 1;
+  p.fault.inject_at_s = 1.0;
+  p.runs = 1;
+  return p;
+}
+
+TEST(NetworkProfile, JsonRoundTrip) {
+  ExperimentProfile p = net_profile();
+  p.fabric = "tcp";
+  NetworkFaultSpec lat;
+  lat.kind = NetFaultKind::kLinkLatency;
+  lat.count = 0;
+  lat.inject_at_s = 0.5;
+  lat.latency_s = 0.002;
+  lat.jitter_s = 0.0005;
+  NetworkFaultSpec part;
+  part.kind = NetFaultKind::kPartition;
+  part.count = 1;
+  part.down_for_s = 42.0;
+  p.network_faults = {lat, part};
+
+  const ExperimentProfile q = ExperimentProfile::parse(p.dump());
+  EXPECT_EQ(q.fabric, "tcp");
+  ASSERT_EQ(q.network_faults.size(), 2u);
+  EXPECT_EQ(q.network_faults[0].kind, NetFaultKind::kLinkLatency);
+  EXPECT_DOUBLE_EQ(q.network_faults[0].latency_s, 0.002);
+  EXPECT_DOUBLE_EQ(q.network_faults[0].jitter_s, 0.0005);
+  EXPECT_DOUBLE_EQ(q.network_faults[0].inject_at_s, 0.5);
+  EXPECT_EQ(q.network_faults[1].kind, NetFaultKind::kPartition);
+  EXPECT_EQ(q.network_faults[1].count, 1);
+  EXPECT_DOUBLE_EQ(q.network_faults[1].down_for_s, 42.0);
+}
+
+TEST(NetworkProfile, DefaultsOmitNetworkFaults) {
+  const ExperimentProfile p = net_profile();
+  const ExperimentProfile q = ExperimentProfile::parse(p.dump());
+  EXPECT_TRUE(q.network_faults.empty());
+  EXPECT_EQ(q.fabric, "none");
+}
+
+TEST(NetworkProfile, RejectsMalformedSpecs) {
+  EXPECT_THROW(ExperimentProfile::parse(R"({"fabric": "carrier-pigeon"})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"network_faults": [{"kind": "wormhole"}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"network_faults": [{"kind": "packet_loss",
+                       "loss_rate": 1.5}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"network_faults": [{"kind": "link_latency",
+                       "latency_s": -1}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"network_faults": [{"kind": "link_flap",
+                       "count": -2}]})"),
+               std::invalid_argument);
+}
+
+TEST(NetworkProfile, KindNamesRoundTrip) {
+  for (const NetFaultKind k :
+       {NetFaultKind::kLinkLatency, NetFaultKind::kBandwidthCap,
+        NetFaultKind::kPacketLoss, NetFaultKind::kLinkFlap,
+        NetFaultKind::kPartition}) {
+    EXPECT_EQ(net_fault_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(net_fault_kind_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(FaultInjector, PlanNetworkCountZeroHitsEveryHost) {
+  ExperimentProfile p = net_profile();
+  cluster::Cluster cl(p.cluster);
+  cl.create_pool();
+  cl.apply_workload();
+  FaultInjector injector(cl);
+  NetworkFaultSpec spec;
+  spec.kind = NetFaultKind::kLinkLatency;
+  spec.count = 0;
+  const auto hosts = injector.plan_network(spec);
+  ASSERT_EQ(hosts.size(), 8u);
+  for (cluster::HostId h = 0; h < 8; ++h) EXPECT_EQ(hosts[h], h);
+}
+
+TEST(FaultInjector, PlanNetworkPicksDataBearingHosts) {
+  ExperimentProfile p = net_profile();
+  cluster::Cluster cl(p.cluster);
+  cl.create_pool();
+  cl.apply_workload();
+  FaultInjector injector(cl);
+  NetworkFaultSpec spec;
+  spec.kind = NetFaultKind::kBandwidthCap;
+  spec.count = 2;
+  const auto hosts = injector.plan_network(spec);
+  ASSERT_EQ(hosts.size(), 2u);
+  EXPECT_NE(hosts[0], hosts[1]);
+  for (const cluster::HostId h : hosts) {
+    bool has_data = false;
+    for (const cluster::OsdId o : cl.osds_on_host(h)) {
+      if (!cl.pgs_on_osd(o).empty()) has_data = true;
+    }
+    EXPECT_TRUE(has_data);
+  }
+}
+
+TEST(FaultInjector, PartitionPlanRespectsTolerance) {
+  ExperimentProfile p = net_profile();
+  cluster::Cluster cl(p.cluster);
+  cl.create_pool();
+  cl.apply_workload();
+  FaultInjector injector(cl);
+  NetworkFaultSpec spec;
+  spec.kind = NetFaultKind::kPartition;
+  // Partitioning every host would fail 16 OSDs — far beyond m=2.
+  spec.count = 0;
+  EXPECT_THROW(injector.plan_network(spec), std::runtime_error);
+  // A single host (2 OSDs, different PIs) is within tolerance.
+  spec.count = 1;
+  EXPECT_EQ(injector.plan_network(spec).size(), 1u);
+}
+
+TEST(Worker, NetworkLeversActOnOwnHostOnly) {
+  ExperimentProfile p = net_profile();
+  MsgBus bus;
+  cluster::Cluster cl(p.cluster);
+  cl.create_pool();
+  cl.apply_workload();
+  Worker w(&cl, /*host=*/3, &bus);
+  w.apply_link_latency(0.002, 0.0);
+  w.apply_bandwidth_cap(50e6);
+  w.apply_packet_loss(0.01);
+  EXPECT_DOUBLE_EQ(cl.fabric().link(3).extra_latency_s, 0.002);
+  EXPECT_DOUBLE_EQ(cl.fabric().link(3).bw_cap_bytes_per_s, 50e6);
+  EXPECT_DOUBLE_EQ(cl.fabric().link(3).loss_rate, 0.01);
+  // Other hosts untouched.
+  EXPECT_DOUBLE_EQ(cl.fabric().link(0).extra_latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(cl.fabric().link(0).loss_rate, 0.0);
+  // Every lever announced on the control topic.
+  EXPECT_EQ(bus.topic_log("ecfault.control").size(), 3u);
+}
+
+TEST(Worker, ListSubsystemsSortedByNqn) {
+  ExperimentProfile p = net_profile();
+  MsgBus bus;
+  cluster::Cluster cl(p.cluster);
+  Worker w(&cl, 0, &bus);
+  const auto subsystems = w.list_subsystems();
+  ASSERT_EQ(subsystems.size(), 2u);
+  EXPECT_LT(subsystems[0].nqn, subsystems[1].nqn);
+}
+
+TEST(Coordinator, DirtyNetworkExperimentAttributesTransportWait) {
+  ExperimentProfile p = net_profile();
+  NetworkFaultSpec lat;
+  lat.kind = NetFaultKind::kLinkLatency;
+  lat.count = 0;
+  lat.inject_at_s = 0.5;  // before the device fault at t=1
+  lat.latency_s = 0.002;
+  p.network_faults = {lat};
+
+  const ExperimentResult clean = Coordinator::run_experiment(net_profile());
+  const ExperimentResult dirty = Coordinator::run_experiment(p);
+  ASSERT_TRUE(clean.report.complete);
+  ASSERT_TRUE(dirty.report.complete);
+  EXPECT_EQ(clean.report.fabric_transport_wait_s, 0.0);
+  EXPECT_GT(dirty.report.fabric_transport_wait_s, 0.0);
+  EXPECT_GT(dirty.report.recovery_end_time, clean.report.recovery_end_time);
+}
+
+TEST(Coordinator, TcpFabricProfileChargesTransport) {
+  ExperimentProfile p = net_profile();
+  p.fabric = "tcp";
+  const ExperimentResult r = Coordinator::run_experiment(p);
+  ASSERT_TRUE(r.report.complete);
+  EXPECT_GT(r.report.fabric_transport_wait_s, 0.0);
+}
+
+TEST(Coordinator, LinkFlapExperimentSurvives) {
+  ExperimentProfile p = net_profile();
+  NetworkFaultSpec flap;
+  flap.kind = NetFaultKind::kLinkFlap;
+  flap.count = 1;
+  flap.inject_at_s = 2.0;
+  flap.down_for_s = 0.2;
+  p.network_faults = {flap};
+  const ExperimentResult r = Coordinator::run_experiment(p);
+  ASSERT_TRUE(r.report.complete);
+  EXPECT_EQ(r.report.fabric_reconnects, 0u);
+}
+
+TEST(LoggerClassify, FabricEventsAreFailureClass) {
+  EXPECT_EQ(classify("fabric: link latency injected: +2.000ms jitter=0.000ms"),
+            LogClass::kFailure);
+  EXPECT_EQ(classify("fabric: network partition: host unreachable for 42.0s"),
+            LogClass::kFailure);
+  EXPECT_EQ(classify("fabric: packet loss injected: rate=0.0100"),
+            LogClass::kFailure);
+  EXPECT_EQ(
+      classify("fabric: osd.3 keep-alive timeout, controller lost; "
+               "state=TIMED_OUT"),
+      LogClass::kFailure);
+}
+
+}  // namespace
+}  // namespace ecf::ecfault

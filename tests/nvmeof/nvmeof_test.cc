@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace ecf::nvmeof {
 namespace {
 
@@ -13,9 +15,9 @@ class NvmeofTest : public ::testing::Test {
 };
 
 TEST_F(NvmeofTest, CreateConnectRead) {
-  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_);
+  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_, 0.0);
   EXPECT_FALSE(target_.is_connected("nqn.test:a"));
-  target_.connect("nqn.test:a");
+  target_.connect("nqn.test:a", 0.0);
   EXPECT_TRUE(target_.is_connected("nqn.test:a"));
   const auto t = target_.read(eng_, "nqn.test:a", 4096);
   ASSERT_TRUE(t.has_value());
@@ -24,35 +26,83 @@ TEST_F(NvmeofTest, CreateConnectRead) {
 }
 
 TEST_F(NvmeofTest, RemoveSubsystemFailsIo) {
-  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_);
-  target_.connect("nqn.test:a");
-  target_.remove_subsystem("nqn.test:a");
+  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_, 0.0);
+  target_.connect("nqn.test:a", 0.0);
+  target_.remove_subsystem("nqn.test:a", 0.0);
   EXPECT_FALSE(target_.is_connected("nqn.test:a"));
   EXPECT_FALSE(target_.read(eng_, "nqn.test:a", 4096).has_value());
   EXPECT_FALSE(target_.write(eng_, "nqn.test:a", 4096).has_value());
 }
 
+TEST_F(NvmeofTest, RemovedNqnCanBeRecreated) {
+  // A replacement device re-provisioned under the same name must work: the
+  // remove erases the subsystem entry rather than tombstoning it.
+  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_, 0.0);
+  target_.connect("nqn.test:a", 1.0);
+  target_.remove_subsystem("nqn.test:a", 2.0);
+  sim::Disk replacement{sim::DiskParams{}};
+  target_.create_subsystem("nqn.test:a", 2u << 30, &replacement, 3.0);
+  target_.connect("nqn.test:a", 4.0);
+  EXPECT_TRUE(target_.is_connected("nqn.test:a"));
+  const auto t = target_.read(eng_, "nqn.test:a", 4096);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(replacement.bytes_read(), 4096u);
+  EXPECT_EQ(disk_.bytes_read(), 0u);  // old device untouched
+  ASSERT_EQ(target_.list().size(), 1u);
+  EXPECT_EQ(target_.list()[0].ns.capacity_bytes, 2u << 30);
+}
+
 TEST_F(NvmeofTest, IoOnDisconnectedDeviceFails) {
-  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_);
+  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_, 0.0);
   // Created but never connected: host does not see it.
   EXPECT_FALSE(target_.write(eng_, "nqn.test:a", 512).has_value());
 }
 
 TEST_F(NvmeofTest, UnknownNqnFails) {
   EXPECT_FALSE(target_.read(eng_, "nqn.test:ghost", 1).has_value());
-  EXPECT_THROW(target_.connect("nqn.test:ghost"), std::invalid_argument);
-  EXPECT_THROW(target_.remove_subsystem("nqn.test:ghost"),
+  EXPECT_THROW(target_.connect("nqn.test:ghost", 0.0), std::invalid_argument);
+  EXPECT_THROW(target_.remove_subsystem("nqn.test:ghost", 0.0),
                std::invalid_argument);
 }
 
 TEST_F(NvmeofTest, DuplicateNqnRejected) {
-  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_);
-  EXPECT_THROW(target_.create_subsystem("nqn.test:a", 1 << 30, &disk_),
+  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_, 0.0);
+  EXPECT_THROW(target_.create_subsystem("nqn.test:a", 1 << 30, &disk_, 0.0),
                std::invalid_argument);
 }
 
+TEST_F(NvmeofTest, MalformedNqnRejected) {
+  EXPECT_THROW(target_.create_subsystem("", 1, &disk_, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(target_.create_subsystem("disk1", 1, &disk_, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(target_.create_subsystem("nqn.", 1, &disk_, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(target_.create_subsystem("nqn.test", 1, &disk_, 0.0),
+               std::invalid_argument);  // no identifier part
+  EXPECT_THROW(target_.create_subsystem("nqn.:id", 1, &disk_, 0.0),
+               std::invalid_argument);  // empty authority
+  EXPECT_THROW(target_.create_subsystem("nqn.test:", 1, &disk_, 0.0),
+               std::invalid_argument);  // empty identifier
+  EXPECT_THROW(target_.create_subsystem("nqn.test:a:b", 1, &disk_, 0.0),
+               std::invalid_argument);  // double separator
+  EXPECT_TRUE(target_.list().empty());
+}
+
+TEST(NvmeofNqnValidity, Shapes) {
+  EXPECT_TRUE(valid_nqn("nqn.2024-04.io.ecfault:host3.nvme1"));
+  EXPECT_TRUE(valid_nqn("nqn.test:a"));
+  EXPECT_FALSE(valid_nqn(""));
+  EXPECT_FALSE(valid_nqn("nqn."));
+  EXPECT_FALSE(valid_nqn("qnq.test:a"));
+  EXPECT_FALSE(valid_nqn("nqn.test"));
+  EXPECT_FALSE(valid_nqn("nqn.test:"));
+  EXPECT_FALSE(valid_nqn("nqn.:x"));
+  EXPECT_FALSE(valid_nqn("nqn.a:b:c"));
+}
+
 TEST_F(NvmeofTest, NullDiskRejected) {
-  EXPECT_THROW(target_.create_subsystem("nqn.test:x", 1, nullptr),
+  EXPECT_THROW(target_.create_subsystem("nqn.test:x", 1, nullptr, 0.0),
                std::invalid_argument);
 }
 
@@ -68,11 +118,22 @@ TEST_F(NvmeofTest, AdminLogRecordsLifecycle) {
   EXPECT_DOUBLE_EQ(log[2].time, 3.0);
 }
 
+TEST_F(NvmeofTest, AdminLogRejectsBackwardsTime) {
+  // The admin log mirrors the simulation timeline; a timestamp running
+  // backwards means a caller passed a stale clock and violates the
+  // ECF_CHECK contract.
+  target_.create_subsystem("nqn.test:a", 1 << 30, &disk_, 5.0);
+  EXPECT_THROW(target_.connect("nqn.test:a", 4.0), std::logic_error);
+  // Equal timestamps are fine (several admin ops in one event).
+  target_.connect("nqn.test:a", 5.0);
+  EXPECT_EQ(target_.admin_log().size(), 2u);
+}
+
 TEST_F(NvmeofTest, ListShowsSubsystems) {
   sim::Disk d2{sim::DiskParams{}};
-  target_.create_subsystem("nqn.test:a", 100, &disk_);
-  target_.create_subsystem("nqn.test:b", 200, &d2);
-  target_.connect("nqn.test:b");
+  target_.create_subsystem("nqn.test:a", 100, &disk_, 0.0);
+  target_.create_subsystem("nqn.test:b", 200, &d2, 0.0);
+  target_.connect("nqn.test:b", 0.0);
   const auto list = target_.list();
   ASSERT_EQ(list.size(), 2u);
   EXPECT_EQ(list[0].nqn, "nqn.test:a");
@@ -83,6 +144,8 @@ TEST_F(NvmeofTest, ListShowsSubsystems) {
 
 TEST(NvmeofNqn, MakeNqnFormat) {
   EXPECT_EQ(make_nqn(3, 1), "nqn.2024-04.io.ecfault:host3.nvme1");
+  EXPECT_TRUE(valid_nqn(make_nqn(0, 0)));
+  EXPECT_TRUE(valid_nqn(make_nqn(29, 2)));
 }
 
 }  // namespace
