@@ -80,7 +80,8 @@ void Cluster::issue_client_op() {
           done = std::max(done, osd_read(pg.acting[pos], bytes, 1));
         }
         done = std::max(done, phost->nic.send(engine_, c.op_bytes, 1));
-        engine_.schedule_at(done, [finish, this] { finish(engine_.now()); });
+        engine_.schedule_at(done, [finish, this] { finish(engine_.now()); },
+                            sim::EventTag::kClient);
       } else {
         // Degraded read: gather per the code's repair plan and decode
         // inline. Clay turns this into a sub-chunk gather; RS reads k full
@@ -118,10 +119,11 @@ void Cluster::issue_client_op() {
                 const sim::SimTime t_cpu = p.cpu.compute(
                     engine_, config_.client.op_bytes, plan.decode_cost_factor);
                 engine_.schedule_at(t_cpu,
-                                    [finish, this] { finish(engine_.now()); });
-              });
-            });
-          });
+                                    [finish, this] { finish(engine_.now()); },
+                                    sim::EventTag::kClient);
+              }, sim::EventTag::kClient);
+            }, sim::EventTag::kClient);
+          }, sim::EventTag::kClient);
         }
       }
     } else {
@@ -139,11 +141,12 @@ void Cluster::issue_client_op() {
           done = std::max(done, osd_write(pg2.acting[pos], shard_bytes, 1));
         }
         done = std::max(done, phost->nic.send(engine_, config_.client.op_bytes, 2));
-        engine_.schedule_at(done, [finish, this] { finish(engine_.now()); });
-      });
+        engine_.schedule_at(done, [finish, this] { finish(engine_.now()); },
+                            sim::EventTag::kClient);
+      }, sim::EventTag::kClient);
     }
     issue_client_op();
-  });
+  }, sim::EventTag::kClient);
 }
 
 }  // namespace ecf::cluster

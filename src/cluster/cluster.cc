@@ -177,6 +177,7 @@ void Cluster::fail_host(HostId host_id) {
 RecoveryReport Cluster::run_to_recovery() {
   engine_.run();
   report_.fabric_reconnects = fabric_->totals().reconnects;
+  report_.engine_stats = engine_.stats();
   return report_;
 }
 

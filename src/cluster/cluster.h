@@ -42,6 +42,7 @@
 #include "cluster/types.h"
 #include "ec/code.h"
 #include "nvmeof/fabric.h"
+#include "sim/engine.h"
 #include "nvmeof/nvmeof.h"
 #include "sim/engine.h"
 #include "sim/invariant_checker.h"
@@ -102,6 +103,10 @@ struct RecoveryReport {
   double fabric_transport_wait_s = 0;
   std::uint64_t fabric_retries = 0;
   std::uint64_t fabric_reconnects = 0;
+
+  // Event-core profile of the run (events executed/cancelled, queue depth,
+  // callback spills, per-subsystem tags). Filled by run_to_recovery().
+  sim::EngineStats engine_stats;
 };
 
 class Cluster {

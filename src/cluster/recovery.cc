@@ -32,7 +32,8 @@ void Cluster::schedule_detection(OsdId osd_id) {
                             config_.protocol.detection_spread_factor +
                         osd.hb_offset;
   engine_.schedule(config_.protocol.heartbeat_grace_s + jitter,
-                   [this, osd_id] { mark_down(osd_id); });
+                   [this, osd_id] { mark_down(osd_id); },
+                   sim::EventTag::kHeartbeat);
 }
 
 void Cluster::mark_down(OsdId osd_id) {
@@ -68,9 +69,9 @@ void Cluster::mark_down(OsdId osd_id) {
         std::vector<OsdId> batch;
         batch.swap(pending_out_);
         mark_out_batch(std::move(batch));
-      });
+      }, sim::EventTag::kMonitor);
     }
-  });
+  }, sim::EventTag::kMonitor);
 }
 
 void Cluster::emit_checking_logs(OsdId osd_id, double until) {
@@ -82,7 +83,7 @@ void Cluster::emit_checking_logs(OsdId osd_id, double until) {
       log("mgr.0", "mgr", "receiving heartbeats; " + osd_name(osd_id) +
                               " still down, awaiting out interval");
       log(osd_name(osd_id == 0 ? 1 : 0), "osd", "check recovery resource");
-    });
+    }, sim::EventTag::kMonitor);
   }
 }
 
@@ -237,7 +238,7 @@ void Cluster::start_peering(Pg& pg) {
     Pg& p = *pgs_[static_cast<std::size_t>(pgid)];
     if (p.generation != gen) return;  // superseded by a newer epoch
     finish_peering(p);
-  });
+  }, sim::EventTag::kRecovery);
 }
 
 void Cluster::finish_peering(Pg& pg) {
@@ -300,7 +301,8 @@ void Cluster::try_reserve(Pg& pg) {
                      Pg& p = *pgs_[static_cast<std::size_t>(pgid)];
                      if (p.generation != gen) return;
                      pump_recovery(p);
-                   });
+                   },
+                   sim::EventTag::kRecovery);
 }
 
 void Cluster::release_reservation(Pg& pg) {
@@ -480,7 +482,7 @@ void Cluster::start_object_repair(Pg& pg) {
       }
     }
     issue_repair_round(pgid, gen, shape, primary, batch, 0, rounds);
-  });
+  }, sim::EventTag::kRecovery);
 }
 
 void Cluster::issue_repair_round(PgId pgid, int gen,
@@ -504,7 +506,10 @@ void Cluster::issue_repair_round(PgId pgid, int gen,
   };
 
   auto reads_pending = std::make_shared<std::size_t>(shape->reads.size());
-  std::function<void()> after_decode = [this, pgid, gen, shape, primary, phost,
+  // Copied into every per-shard read continuation below, so it needs a
+  // copyable callable; sim::EventFn is move-only. One allocation per
+  // repaired object, not per event.
+  std::function<void()> after_decode = [this, pgid, gen, shape, primary, phost,  // ecf-analyze: allow(std-function)
                                         batch, round, rounds, slice] {
     Osd& p = *osds_[static_cast<std::size_t>(primary)];
     sim::SimTime t_cpu = p.cpu.compute(
@@ -558,11 +563,12 @@ void Cluster::issue_repair_round(PgId pgid, int gen,
                     }
                   }
                   complete_object_repair(done_pg, gen, batch);
-                });
-          });
-        });
+                },
+                sim::EventTag::kRecovery);
+          }, sim::EventTag::kRecovery);
+        }, sim::EventTag::kRecovery);
       }
-    });
+    }, sim::EventTag::kRecovery);
   };
 
   for (const auto& r : shape->reads) {
@@ -584,9 +590,10 @@ void Cluster::issue_repair_round(PgId pgid, int gen,
                 phost->nic.recv(engine_, slice(r.bytes), slice(r.msgs));
             engine_.schedule_at(t_rx, [reads_pending, after_decode] {
               if (--*reads_pending == 0) after_decode();
-            });
-          });
-        });
+            }, sim::EventTag::kRecovery);
+          }, sim::EventTag::kRecovery);
+        },
+        sim::EventTag::kRecovery);
   }
   if (shape->reads.empty()) after_decode();
 }

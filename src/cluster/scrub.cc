@@ -49,7 +49,8 @@ std::uint64_t Cluster::corrupt_chunks(OsdId osd_id, double fraction) {
 void Cluster::start_scrub() {
   if (!config_.scrub.enabled) return;
   if (!workload_applied_) throw std::logic_error("apply_workload first");
-  engine_.schedule(config_.scrub.interval_s, [this] { scrub_tick(0); });
+  engine_.schedule(config_.scrub.interval_s, [this] { scrub_tick(0); },
+                   sim::EventTag::kScrub);
 }
 
 void Cluster::scrub_tick(PgId next) {
@@ -57,7 +58,8 @@ void Cluster::scrub_tick(PgId next) {
     // Full pass complete; scrubbing is continuous in Ceph, but the
     // simulation stops after the configured number of passes.
     if (++scrub_passes_done_ < config_.scrub.max_passes) {
-      engine_.schedule(config_.scrub.interval_s, [this] { scrub_tick(0); });
+      engine_.schedule(config_.scrub.interval_s, [this] { scrub_tick(0); },
+                       sim::EventTag::kScrub);
     }
     return;
   }
@@ -103,8 +105,9 @@ void Cluster::scrub_tick(PgId next) {
     }
     // Next PG after the inter-PG interval.
     engine_.schedule(config_.scrub.interval_s,
-                     [this, pgid] { scrub_tick(pgid + 1); });
-  });
+                     [this, pgid] { scrub_tick(pgid + 1); },
+                     sim::EventTag::kScrub);
+  }, sim::EventTag::kScrub);
 }
 
 std::string Cluster::osd_name_for_scrub(PgId pg) const {
@@ -157,9 +160,9 @@ void Cluster::repair_corrupted_shard(PgId pgid, std::size_t position) {
           log(osd_name_for_scrub(pgid), "scrub",
               "pg " + std::to_string(pgid) +
                   " inconsistent shard repaired in place");
-        });
-      });
-    });
+        }, sim::EventTag::kScrub);
+      }, sim::EventTag::kScrub);
+    }, sim::EventTag::kScrub);
   }
 }
 

@@ -54,7 +54,7 @@ ExperimentResult Coordinator::run_experiment(const ExperimentProfile& profile) {
         }
         break;
     }
-  });
+  }, sim::EventTag::kFault);
 
   // Network faults ride alongside the device/node fault: plan the victim
   // hosts up front (tolerance-checked for partitions), then let each
@@ -82,13 +82,13 @@ ExperimentResult Coordinator::run_experiment(const ExperimentProfile& profile) {
             break;
         }
       }
-    });
+    }, sim::EventTag::kFault);
   }
 
-  cl.engine().run();
-
   ExperimentResult result;
-  result.report = cl.report();
+  // run_to_recovery (not a bare engine().run()) so the report's fabric
+  // reconnect total and engine-core statistics are filled in.
+  result.report = cl.run_to_recovery();
   result.timeline = analyze_timeline(loggers.merged());
   result.injected = plan;
   result.actual_wa = cl.actual_wa();

@@ -18,7 +18,8 @@ IostatCollector::IostatCollector(cluster::Cluster* cluster, double interval_s,
     last_[static_cast<std::size_t>(o)] = cluster_->disk_stats(o);
     last_fabric_[static_cast<std::size_t>(o)] = cluster_->fabric_stats(o);
   }
-  cluster_->engine().schedule(interval_, [this] { tick(); });
+  cluster_->engine().schedule(interval_, [this] { tick(); },
+                              sim::EventTag::kIostat);
 }
 
 void IostatCollector::tick() {
@@ -69,7 +70,8 @@ void IostatCollector::tick() {
     }
   }
   if (now + interval_ <= horizon_) {
-    cluster_->engine().schedule(interval_, [this] { tick(); });
+    cluster_->engine().schedule(interval_, [this] { tick(); },
+                              sim::EventTag::kIostat);
   }
 }
 

@@ -205,7 +205,8 @@ void Fabric::arm_keepalive(ConnectionId id) {
   Connection& c = connections_[static_cast<std::size_t>(id)];
   c.ka_armed = true;
   engine_->schedule(transport_.params().keepalive_interval_s,
-                    [this, id] { keepalive_fire(id); });
+                    [this, id] { keepalive_fire(id); },
+                    sim::EventTag::kKeepAlive);
 }
 
 void Fabric::keepalive_fire(ConnectionId id) {
@@ -226,7 +227,8 @@ void Fabric::keepalive_fire(ConnectionId id) {
   c.next_backoff_s = transport_.params().reconnect_backoff_s;
   emit(id, "keep-alive timeout, controller lost; state=TIMED_OUT");
   c.state = ConnState::kReconnecting;
-  engine_->schedule(c.next_backoff_s, [this, id] { reconnect_attempt(id); });
+  engine_->schedule(c.next_backoff_s, [this, id] { reconnect_attempt(id); },
+                    sim::EventTag::kReconnect);
 }
 
 void Fabric::reconnect_attempt(ConnectionId id) {
@@ -255,7 +257,8 @@ void Fabric::reconnect_attempt(ConnectionId id) {
     return;
   }
   c.next_backoff_s = std::min(c.next_backoff_s * 2, p.reconnect_backoff_max_s);
-  engine_->schedule(c.next_backoff_s, [this, id] { reconnect_attempt(id); });
+  engine_->schedule(c.next_backoff_s, [this, id] { reconnect_attempt(id); },
+                    sim::EventTag::kReconnect);
 }
 
 void Fabric::emit(ConnectionId id, const std::string& message) {

@@ -1,37 +1,312 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "util/check.h"
 
 namespace ecf::sim {
 
-EventId Engine::schedule(SimTime delay, std::function<void()> fn) {
+const char* to_string(EventTag tag) {
+  switch (tag) {
+    case EventTag::kGeneric:   return "generic";
+    case EventTag::kHeartbeat: return "heartbeat";
+    case EventTag::kMonitor:   return "monitor";
+    case EventTag::kRecovery:  return "recovery";
+    case EventTag::kScrub:     return "scrub";
+    case EventTag::kClient:    return "client";
+    case EventTag::kKeepAlive: return "keepalive";
+    case EventTag::kReconnect: return "reconnect";
+    case EventTag::kIostat:    return "iostat";
+    case EventTag::kFault:     return "fault";
+  }
+  return "?";
+}
+
+EventId Engine::schedule(SimTime delay, EventFn fn, EventTag tag) {
   ECF_CHECK_GE(delay, 0.0) << " negative event delay at t=" << now_;
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn), tag);
 }
 
-EventId Engine::schedule_at(SimTime when, std::function<void()> fn) {
+EventId Engine::schedule_at(SimTime when, EventFn fn, EventTag tag) {
   ECF_CHECK_GE(when, now_) << " event scheduled in the past";
-  return push_event(when, std::move(fn));
+  return push_event(when, std::move(fn), tag);
 }
 
-EventId Engine::schedule_at_unchecked(SimTime when, std::function<void()> fn) {
-  return push_event(when, std::move(fn));
+EventId Engine::schedule_at_unchecked(SimTime when, EventFn fn, EventTag tag) {
+  return push_event(when, std::move(fn), tag);
 }
 
-EventId Engine::push_event(SimTime when, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
-  pending_.insert(id);
+std::uint32_t Engine::acquire_slot(EventFn fn, EventTag tag) {
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.fn = std::move(fn);
+  s.tag = tag;
+  s.live = true;
+  return idx;
+}
+
+void Engine::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  s.live = false;
+  ++s.gen;  // invalidate every EventId minted for the previous occupant
+  free_slots_.push_back(slot);
+}
+
+EventId Engine::push_event(SimTime when, EventFn fn, EventTag tag) {
+  ++stats_.scheduled;
+  if (fn && !fn.is_inline()) ++stats_.spilled_callbacks;
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t slot = acquire_slot(std::move(fn), tag);
+  const EventId id =
+      (static_cast<std::uint64_t>(slots_[slot].gen) << 32) | slot;
+  ++live_;
+  stats_.peak_queue_depth = std::max<std::uint64_t>(stats_.peak_queue_depth,
+                                                    live_);
+  if (route(Entry{when, seq, slot})) ++stats_.wheel_parked;
   return id;
 }
 
 void Engine::cancel(EventId id) {
   // Cancelling an event that already ran (or was never scheduled) is a
-  // no-op; only live events join the cancelled set.
-  if (pending_.erase(id)) cancelled_.insert(id);
+  // no-op: either the slot index is stale or the generation mismatches.
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) return;
+  s.live = false;
+  s.fn = nullptr;  // release the capture now; the heap entry dies lazily
+  --live_;
+  ++stats_.cancelled;
 }
+
+// --- 4-ary min-heap ---------------------------------------------------------
+
+void Engine::heap_push(Entry e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i != 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!entry_less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Engine::Entry Engine::heap_pop() {
+  const Entry top = heap_.front();
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n != 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (entry_less(heap_[c], heap_[best])) best = c;
+      }
+      if (!entry_less(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void Engine::heap_prune() {
+  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
+    release_slot(heap_pop().slot);
+  }
+}
+
+// --- hierarchical timer wheel ----------------------------------------------
+//
+// Positions and bucket bounds are in "ticks" (floor(when / resolution)).
+// wheel_pos_ is the flush frontier: every wheel entry has tick > wheel_pos_
+// and is reachable from it (level L holds ticks sharing the frontier's
+// level-(L+1) digit but not its level-L digit). Entries always pass through
+// the (when, seq) heap before executing, so the wheel is invisible to
+// execution order; it only defers heap insertion for far-future timers.
+
+std::uint64_t Engine::tick_of(SimTime when) {
+  const double t = when / kWheelResolution;
+  // NaN, negative or overflowing ticks are heap-only. 4.6e18 < 2^62 keeps
+  // the uint64 conversion and the shift arithmetic below well-defined.
+  if (!(t >= 0.0) || t >= 4.6e18) return kNoTick;
+  return static_cast<std::uint64_t>(t);
+}
+
+bool Engine::route(Entry e) {
+  const std::uint64_t tick = tick_of(e.when);
+  if (tick == kNoTick || tick <= wheel_pos_) {
+    heap_push(e);
+    return false;
+  }
+  int level;
+  std::uint64_t idx;
+  if ((tick >> 6) == (wheel_pos_ >> 6)) {
+    level = 0;
+    idx = tick & 63;
+  } else if ((tick >> 12) == (wheel_pos_ >> 12)) {
+    level = 1;
+    idx = (tick >> 6) & 63;
+  } else if ((tick >> 18) == (wheel_pos_ >> 18)) {
+    level = 2;
+    idx = (tick >> 12) & 63;
+  } else {
+    heap_push(e);  // beyond the wheel span (~18 h of simulated time)
+    return false;
+  }
+  buckets_[level][idx].push_back(e);
+  occupancy_[level] |= std::uint64_t{1} << idx;
+  ++wheel_count_;
+  return true;
+}
+
+std::uint64_t Engine::next_bound_tick() const {
+  // The earliest L0 tick always precedes every L1 bound, which precedes
+  // every L2 bound (outer levels hold strictly later digit groups), so the
+  // first occupied level wins.
+  {
+    const std::uint64_t sh = wheel_pos_ & 63;
+    const std::uint64_t mask = (occupancy_[0] >> sh) << sh;
+    if (mask != 0) {
+      return (wheel_pos_ & ~std::uint64_t{63}) |
+             static_cast<std::uint64_t>(std::countr_zero(mask));
+    }
+  }
+  {
+    const std::uint64_t sh = ((wheel_pos_ >> 6) & 63) + 1;
+    const std::uint64_t mask =
+        sh >= 64 ? 0 : (occupancy_[1] >> sh) << sh;
+    if (mask != 0) {
+      return ((wheel_pos_ >> 12) << 12) |
+             (static_cast<std::uint64_t>(std::countr_zero(mask)) << 6);
+    }
+  }
+  {
+    const std::uint64_t sh = ((wheel_pos_ >> 12) & 63) + 1;
+    const std::uint64_t mask =
+        sh >= 64 ? 0 : (occupancy_[2] >> sh) << sh;
+    if (mask != 0) {
+      return ((wheel_pos_ >> 18) << 18) |
+             (static_cast<std::uint64_t>(std::countr_zero(mask)) << 12);
+    }
+  }
+  return kNoTick;
+}
+
+void Engine::flush_until(std::uint64_t bound) {
+  bool frontier_done = false;
+  while (!frontier_done && wheel_count_ != 0) {
+    // L0: drain the earliest occupied bucket in the frontier's group.
+    {
+      const std::uint64_t sh = wheel_pos_ & 63;
+      const std::uint64_t mask = (occupancy_[0] >> sh) << sh;
+      if (mask != 0) {
+        const int idx = std::countr_zero(mask);
+        const std::uint64_t t0 =
+            (wheel_pos_ & ~std::uint64_t{63}) | static_cast<unsigned>(idx);
+        if (t0 > bound) break;
+        auto& bucket = buckets_[0][idx];
+        wheel_count_ -= bucket.size();
+        for (const Entry& e : bucket) {
+          if (slots_[e.slot].live) {
+            heap_push(e);
+          } else {
+            release_slot(e.slot);  // cancelled while parked
+          }
+        }
+        bucket.clear();
+        occupancy_[0] &= ~(std::uint64_t{1} << idx);
+        wheel_pos_ = t0;
+        continue;
+      }
+    }
+    // L1/L2: cascade the earliest occupied outer bucket whose bound is
+    // within reach; its entries re-route against the advanced frontier.
+    bool cascaded = false;
+    for (int level = 1; level < kWheelLevels; ++level) {
+      const int digit_shift = 6 * level;
+      const std::uint64_t sh = ((wheel_pos_ >> digit_shift) & 63) + 1;
+      const std::uint64_t mask =
+          sh >= 64 ? 0 : (occupancy_[level] >> sh) << sh;
+      if (mask == 0) continue;
+      const int idx = std::countr_zero(mask);
+      const std::uint64_t bucket_bound =
+          ((wheel_pos_ >> (digit_shift + 6)) << (digit_shift + 6)) |
+          (static_cast<std::uint64_t>(idx) << digit_shift);
+      if (bucket_bound > bound) {
+        frontier_done = true;
+        cascaded = true;  // exit cleanly; the tail still advances wheel_pos_
+        break;
+      }
+      wheel_pos_ = bucket_bound;
+      auto& bucket = buckets_[level][idx];
+      wheel_count_ -= bucket.size();
+      occupancy_[level] &= ~(std::uint64_t{1} << idx);
+      ++stats_.wheel_cascades;
+      // route() below never appends back into this same bucket: every
+      // entry here shares the frontier's level-(L) digit now, so it lands
+      // in a lower level or the heap.
+      for (const Entry& e : bucket) {
+        if (slots_[e.slot].live) {
+          route(e);
+        } else {
+          release_slot(e.slot);
+        }
+      }
+      bucket.clear();
+      cascaded = true;
+      break;
+    }
+    if (cascaded) continue;
+    ECF_DCHECK(false) << " timer wheel entries unreachable from frontier";
+    break;
+  }
+  if (bound != kNoTick && bound > wheel_pos_) wheel_pos_ = bound;
+}
+
+bool Engine::next_event_time(SimTime* when) {
+  for (;;) {
+    heap_prune();
+    const SimTime heap_top = heap_.empty()
+                                 ? std::numeric_limits<SimTime>::infinity()
+                                 : heap_.front().when;
+    if (wheel_count_ != 0) {
+      const std::uint64_t bt = next_bound_tick();
+      ECF_DCHECK(bt != kNoTick) << " timer wheel occupancy out of sync";
+      // (bt - 1) * resolution is a conservative lower bound on the `when`
+      // of any parked entry (one-tick slack absorbs the floating-point
+      // rounding in tick_of). Flushing early is harmless — the heap still
+      // orders execution by (when, seq).
+      if (bt != kNoTick &&
+          (static_cast<double>(bt) - 1.0) * kWheelResolution <= heap_top) {
+        flush_until(bt);
+        continue;
+      }
+    }
+    if (heap_.empty()) return false;
+    *when = heap_top;
+    return true;
+  }
+}
+
+// --- run loop ---------------------------------------------------------------
 
 std::size_t Engine::run() {
   return run_until(std::numeric_limits<SimTime>::infinity());
@@ -39,15 +314,21 @@ std::size_t Engine::run() {
 
 std::size_t Engine::run_until(SimTime horizon) {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > horizon) break;
-    Event ev{top.when, top.id, std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
-    if (cancelled_.erase(ev.id)) continue;
-    pending_.erase(ev.id);
-    now_ = ev.when;
-    ev.fn();
+  SimTime when;
+  while (next_event_time(&when)) {
+    if (when > horizon) break;
+    const Entry e = heap_pop();
+    Slot& s = slots_[e.slot];
+    EventFn fn = std::move(s.fn);
+    const EventTag tag = s.tag;
+    // Retire the slot before invoking: the callback may schedule into it,
+    // and the generation bump keeps the old EventId cancel-proof.
+    release_slot(e.slot);
+    --live_;
+    now_ = e.when;
+    ++stats_.executed;
+    ++stats_.executed_by_tag[static_cast<std::size_t>(tag)];
+    fn();
     ++executed;
     if (post_event_hook_) post_event_hook_();
   }
@@ -57,10 +338,19 @@ std::size_t Engine::run_until(SimTime horizon) {
 
 void Engine::reset() {
   now_ = 0;
-  next_id_ = 1;
-  queue_ = {};
-  pending_.clear();
-  cancelled_.clear();
+  next_seq_ = 1;
+  live_ = 0;
+  slots_.clear();
+  free_slots_.clear();
+  heap_.clear();
+  wheel_pos_ = 0;
+  wheel_count_ = 0;
+  for (int level = 0; level < kWheelLevels; ++level) {
+    occupancy_[level] = 0;
+    for (auto& bucket : buckets_[level]) bucket.clear();
+  }
+  post_event_hook_ = nullptr;
+  stats_ = EngineStats{};
 }
 
 }  // namespace ecf::sim

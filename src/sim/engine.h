@@ -6,30 +6,77 @@
 // queue and the virtual clock; resources (src/sim/resources.h) translate
 // work (bytes, IOs) into event delays.
 //
-// Design notes:
+// Design notes (see DESIGN.md §11 for the full determinism argument):
 //  * Time is double seconds. Events scheduled at equal times fire in
 //    schedule order (a monotonically increasing sequence number breaks
 //    ties), which keeps runs deterministic.
-//  * Callbacks are std::function<void()>; processes are expressed as
-//    chains of callbacks (continuation style). This is simpler and more
-//    debuggable than coroutines for the protocol state machines we model.
+//  * Callbacks are sim::EventFn — a small-buffer-optimized move-only
+//    callable (event_fn.h); processes are expressed as chains of
+//    callbacks (continuation style). This is simpler and more debuggable
+//    than coroutines for the protocol state machines we model.
 //  * An event can be cancelled through its EventId (e.g. a heartbeat
-//    timeout disarmed by the heartbeat arriving).
+//    timeout disarmed by the heartbeat arriving). EventIds are
+//    generation-tagged slot handles, so cancel() is an O(1) slot
+//    invalidation — no hash sets, and stale ids from a previous use of
+//    the slot are rejected by the generation check.
+//  * Storage is an indexed event-slot table + a 4-ary min-heap ordered by
+//    (when, seq), fronted by a hierarchical timer wheel (3 levels × 64
+//    buckets, kWheelResolution per tick) that keeps far-future periodic
+//    timers (heartbeats, keep-alives, iostat ticks) out of the heap until
+//    the clock approaches them. Wheel entries always funnel through the
+//    heap before execution, so the execution order is exactly the
+//    (when, seq) order of a plain heap — bit-identical results.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
+
+#include "sim/event_fn.h"
 
 namespace ecf::sim {
 
 using SimTime = double;  // seconds
 using EventId = std::uint64_t;
 
+// Per-subsystem labels for executed-event accounting (EngineStats). The
+// default kGeneric costs nothing to pass; subsystems opt in at their
+// schedule() call sites.
+enum class EventTag : std::uint8_t {
+  kGeneric = 0,
+  kHeartbeat,   // OSD heartbeat + failure detection timers
+  kMonitor,     // monitor batching / down-out escalation
+  kRecovery,    // peering, reservations, repair rounds
+  kScrub,       // scrub passes and per-PG scrub completions
+  kClient,      // foreground client load
+  kKeepAlive,   // NVMe-oF keep-alive probes
+  kReconnect,   // NVMe-oF controller-loss reconnect machine
+  kIostat,      // ecfault iostat sampling ticks
+  kFault,       // fault-injection triggers
+};
+inline constexpr std::size_t kNumEventTags = 10;
+const char* to_string(EventTag tag);
+
+// Cheap always-on engine profile, reset by Engine::reset(). Surfaced
+// through RecoveryReport and `ecfault run --engine-stats`.
+struct EngineStats {
+  std::uint64_t scheduled = 0;          // events accepted
+  std::uint64_t executed = 0;           // callbacks run
+  std::uint64_t cancelled = 0;          // live events cancelled
+  std::uint64_t spilled_callbacks = 0;  // captures too big for EventFn SBO
+  std::uint64_t peak_queue_depth = 0;   // max simultaneous live events
+  std::uint64_t wheel_parked = 0;       // events first routed to the wheel
+  std::uint64_t wheel_cascades = 0;     // L1/L2 bucket re-distributions
+  std::uint64_t executed_by_tag[kNumEventTags] = {};
+};
+
 class Engine {
  public:
+  // Timer-wheel tick resolution in simulated seconds. One L0 rotation
+  // spans 16 s; the full 3-level wheel covers ~18 h of simulated time
+  // (64^3 ticks), past which events sit in the heap directly.
+  static constexpr SimTime kWheelResolution = 0.25;
+
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -38,18 +85,22 @@ class Engine {
 
   // Schedule `fn` to run at now() + delay (delay >= 0). Returns an id
   // usable with cancel(). A negative delay violates an ECF_CHECK contract.
-  EventId schedule(SimTime delay, std::function<void()> fn);
+  EventId schedule(SimTime delay, EventFn fn, EventTag tag = EventTag::kGeneric);
 
   // Schedule at an absolute time (>= now()); scheduling in the past
   // violates an ECF_CHECK contract.
-  EventId schedule_at(SimTime when, std::function<void()> fn);
+  EventId schedule_at(SimTime when, EventFn fn,
+                      EventTag tag = EventTag::kGeneric);
 
   // Test-only backdoor: schedule without the time-ordering contract. Exists
   // so negative tests can plant a non-monotonic event and prove the
   // SimInvariantChecker backstop catches it; never call from product code.
-  EventId schedule_at_unchecked(SimTime when, std::function<void()> fn);
+  EventId schedule_at_unchecked(SimTime when, EventFn fn,
+                                EventTag tag = EventTag::kGeneric);
 
   // Cancel a pending event; no-op if it already ran or was cancelled.
+  // O(1): flips the slot dead and destroys the callback immediately; the
+  // heap/wheel entry is dropped lazily when it surfaces.
   void cancel(EventId id);
 
   // Run until the queue empties or the optional horizon is reached.
@@ -58,38 +109,88 @@ class Engine {
   std::size_t run_until(SimTime horizon);
 
   bool empty() const { return pending() == 0; }
-  std::size_t pending() const { return pending_.size(); }
+  std::size_t pending() const { return live_; }
 
-  // Reset clock and queue (for reusing an engine across experiments). The
-  // post-event hook is preserved.
+  // Reset clock, queue, statistics AND the post-event hook (a hook from a
+  // previous campaign variant must not observe the next one; the checker
+  // re-installs its hook when it is re-attached).
   void reset();
 
   // Hook invoked after every executed event (with the clock at the event's
   // time). Used by SimInvariantChecker to validate simulator state between
   // events; pass nullptr to remove. At most one hook is active.
-  void set_post_event_hook(std::function<void()> hook) {
-    post_event_hook_ = std::move(hook);
-  }
+  void set_post_event_hook(EventFn hook) { post_event_hook_ = std::move(hook); }
+
+  const EngineStats& stats() const { return stats_; }
 
  private:
-  struct Event {
-    SimTime when;
-    EventId id;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      if (when != o.when) return when > o.when;
-      return id > o.id;
-    }
+  // One scheduled callback. Slots are recycled through a free list; `gen`
+  // is bumped when the slot dies so stale EventIds can't resurrect it.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;
+    EventTag tag = EventTag::kGeneric;
+    bool live = false;
   };
 
-  EventId push_event(SimTime when, std::function<void()> fn);
+  // Heap / wheel entry: the (when, seq) sort key plus the slot index. The
+  // callback itself stays in the slot so sift operations move 24 bytes.
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  static constexpr std::uint64_t kNoTick = ~std::uint64_t{0};
+  static constexpr int kWheelLevels = 3;
+  static constexpr std::uint64_t kBucketsPerLevel = 64;
+
+  EventId push_event(SimTime when, EventFn fn, EventTag tag);
+  std::uint32_t acquire_slot(EventFn fn, EventTag tag);
+  void release_slot(std::uint32_t slot);
+
+  // --- 4-ary min-heap over (when, seq) ---
+  static bool entry_less(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+  void heap_push(Entry e);
+  Entry heap_pop();
+  // Drop cancelled entries off the heap top, releasing their slots.
+  void heap_prune();
+
+  // --- hierarchical timer wheel ---
+  static std::uint64_t tick_of(SimTime when);
+  // Add to the right wheel bucket (returns true), or to the heap when the
+  // tick is at or behind the flush position / beyond the wheel span.
+  bool route(Entry e);
+  // Tick bound of the earliest occupied wheel bucket, or kNoTick.
+  std::uint64_t next_bound_tick() const;
+  // Move every wheel entry with tick <= bound into the heap, cascading
+  // outer levels as the position crosses their bucket boundaries.
+  void flush_until(std::uint64_t bound);
+
+  // Make the globally earliest live event the heap top (flushing wheel
+  // buckets whose bound could precede the heap top). Returns false when no
+  // live events remain.
+  bool next_event_time(SimTime* when);
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
-  std::function<void()> post_event_hook_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<EventId> pending_;    // scheduled, not yet run/cancelled
-  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 1;  // tie-break order; monotone per engine run
+  std::size_t live_ = 0;        // scheduled, not yet run/cancelled
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+
+  std::vector<Entry> heap_;
+
+  std::uint64_t wheel_pos_ = 0;  // flush position, in ticks
+  std::size_t wheel_count_ = 0;  // entries parked in buckets (incl. dead)
+  std::uint64_t occupancy_[kWheelLevels] = {};
+  std::vector<Entry> buckets_[kWheelLevels][kBucketsPerLevel];
+
+  EventFn post_event_hook_;
+  EngineStats stats_;
 };
 
 }  // namespace ecf::sim

@@ -1,0 +1,105 @@
+#include "sim/event_fn.h"
+
+#include <cstddef>
+#include <new>  // ecf-lint: allow(naked-new)
+
+namespace ecf::sim::detail {
+namespace {
+
+// Block layout: [Header | payload...]; the header is max_align_t-sized so
+// the payload keeps max_align_t alignment. Freed blocks are threaded onto
+// per-thread free lists through the header storage itself.
+struct alignas(std::max_align_t) Header {
+  std::uint32_t size_class;  // index into kClassBytes, or kUnpooled
+};
+
+constexpr std::size_t kClassBytes[] = {64, 128, 256, 512};
+constexpr std::uint32_t kNumClasses = 4;
+constexpr std::uint32_t kUnpooled = 0xffffffffu;
+// Cap per-class cache so a transient burst doesn't pin memory for the
+// whole campaign. The cap must exceed the steady-state spilled-event
+// population (campaigns run thousands of in-flight recovery continuations)
+// or most spills pay operator new PLUS the slab bookkeeping; 8Ki blocks of
+// the largest class is ~4.5 MiB per thread, only reached if the campaign
+// actually held that many callbacks live at once.
+constexpr std::size_t kMaxCachedPerClass = 8192;
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+struct Pool {
+  FreeNode* free_list[kNumClasses] = {};
+  std::size_t cached[kNumClasses] = {};
+
+  ~Pool() {
+    for (std::uint32_t c = 0; c < kNumClasses; ++c) {
+      FreeNode* node = free_list[c];
+      while (node != nullptr) {
+        FreeNode* next = node->next;
+        ::operator delete(static_cast<void*>(node));  // ecf-lint: allow(naked-new)
+        node = next;
+      }
+      free_list[c] = nullptr;
+      cached[c] = 0;
+    }
+  }
+};
+
+// Thread-local: campaign workers each drive a private Engine, so the free
+// lists need no locking; a block is always freed on the thread that owns
+// the engine draining it.
+thread_local Pool tls_pool;
+
+Header* header_of(void* payload) noexcept {
+  return reinterpret_cast<Header*>(static_cast<char*>(payload) -
+                                   sizeof(Header));
+}
+
+}  // namespace
+
+void* spill_alloc(std::size_t bytes) {
+  Pool& pool = tls_pool;
+  for (std::uint32_t c = 0; c < kNumClasses; ++c) {
+    if (bytes > kClassBytes[c]) continue;
+    void* base;
+    if (pool.free_list[c] != nullptr) {
+      FreeNode* node = pool.free_list[c];
+      pool.free_list[c] = node->next;
+      --pool.cached[c];
+      base = static_cast<void*>(node);
+    } else {
+      base = ::operator new(sizeof(Header) + kClassBytes[c]);  // ecf-lint: allow(naked-new)
+    }
+    ::new (base) Header{c};  // ecf-lint: allow(naked-new)
+    return static_cast<char*>(base) + sizeof(Header);
+  }
+  // Oversized captures (> 512 bytes) bypass the recycler entirely.
+  void* base = ::operator new(sizeof(Header) + bytes);  // ecf-lint: allow(naked-new)
+  ::new (base) Header{kUnpooled};  // ecf-lint: allow(naked-new)
+  return static_cast<char*>(base) + sizeof(Header);
+}
+
+void spill_free(void* payload) noexcept {
+  Header* hdr = header_of(payload);
+  const std::uint32_t c = hdr->size_class;
+  void* base = static_cast<void*>(hdr);
+  Pool& pool = tls_pool;
+  if (c >= kNumClasses || pool.cached[c] >= kMaxCachedPerClass) {
+    ::operator delete(base);  // ecf-lint: allow(naked-new)
+    return;
+  }
+  FreeNode* node = ::new (base) FreeNode{pool.free_list[c]};  // ecf-lint: allow(naked-new)
+  pool.free_list[c] = node;
+  ++pool.cached[c];
+}
+
+std::size_t spill_cached_blocks() noexcept {
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < kNumClasses; ++c) {
+    total += tls_pool.cached[c];
+  }
+  return total;
+}
+
+}  // namespace ecf::sim::detail

@@ -1,0 +1,197 @@
+// EventFn: a small-buffer-optimized, move-only callable for simulator
+// events. Replaces std::function<void()> on the engine hot path.
+//
+// Why not std::function? A discrete-event campaign schedules millions of
+// callbacks, and libstdc++'s std::function spills any capture larger than
+// two pointers to a fresh heap allocation — one malloc/free pair per
+// heartbeat, keep-alive, iostat tick and recovery I/O. EventFn gives the
+// common case (captures up to kInlineSize bytes, nothrow-movable) inline
+// storage inside the event slot itself, and routes the rare large capture
+// through a thread-local slab recycler (size-class free lists) instead of
+// the general-purpose allocator.
+//
+// Semantics:
+//  * move-only (events are scheduled once; copying a callback is a bug),
+//  * repeat-invocable (the post-event hook fires once per event),
+//  * empty state is falsy; invoking an empty EventFn is a contract
+//    violation (ECF_DCHECK).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>  // ecf-lint: allow(naked-new)
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ecf::sim {
+
+namespace detail {
+
+// Thread-local slab recycler for spilled captures. Returns storage with
+// alignof(std::max_align_t) alignment; blocks are recycled per-thread in
+// power-of-two size classes. Exposed (rather than hidden in EventFn) so
+// tests and the engine's spill accounting can observe it.
+void* spill_alloc(std::size_t bytes);
+void spill_free(void* payload) noexcept;
+
+// Introspection for tests: number of blocks currently cached on this
+// thread's free lists, and total slab allocations served.
+std::size_t spill_cached_blocks() noexcept;
+
+}  // namespace detail
+
+class EventFn {
+ public:
+  // Inline capture budget. 48 bytes holds a this-pointer plus five words
+  // of ids/times — every callback in src/cluster, src/nvmeof and
+  // src/ecfault today. Measured via Engine stats (spilled_callbacks).
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  // Implicit by design, mirroring std::function: every existing
+  // `schedule(delay, [this] { ... })` call site compiles unchanged.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (stores_inline<Fn>()) {
+      ::new (static_cast<void*>(inline_buf_)) Fn(std::forward<F>(f));  // ecf-lint: allow(naked-new)
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                    "over-aligned captures are not supported; the slab "
+                    "recycler only guarantees max_align_t alignment");
+      void* mem = detail::spill_alloc(sizeof(Fn));
+      struct Guard {  // free the slab block if Fn's constructor throws
+        void* p;
+        ~Guard() {
+          if (p != nullptr) detail::spill_free(p);
+        }
+      } guard{mem};
+      ::new (mem) Fn(std::forward<F>(f));  // ecf-lint: allow(naked-new)
+      guard.p = nullptr;
+      spilled_ = mem;
+      ops_ = &kSpilledOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { steal(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      steal(other);
+    }
+    return *this;
+  }
+
+  EventFn& operator=(std::nullptr_t) noexcept {
+    destroy();
+    ops_ = nullptr;
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { destroy(); }
+
+  void operator()() {
+    ECF_DCHECK(ops_ != nullptr) << " invoking an empty EventFn";
+    ops_->invoke(*this);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // True when the capture lives in the inline buffer (no slab block).
+  // Engine stats count the complement as `spilled_callbacks`.
+  bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_stored;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(EventFn& self);
+    // Move the representation out of `src` into raw storage in `dst`
+    // (dst's previous value already destroyed); leaves src empty.
+    void (*relocate)(EventFn& dst, EventFn& src) noexcept;
+    void (*destroy)(EventFn& self) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static constexpr bool stores_inline() {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  Fn* inline_target() noexcept {
+    return std::launder(reinterpret_cast<Fn*>(inline_buf_));
+  }
+
+  template <typename Fn>
+  static void inline_invoke(EventFn& self) {
+    (*self.inline_target<Fn>())();
+  }
+  template <typename Fn>
+  static void inline_relocate(EventFn& dst, EventFn& src) noexcept {
+    ::new (static_cast<void*>(dst.inline_buf_))  // ecf-lint: allow(naked-new)
+        Fn(std::move(*src.inline_target<Fn>()));
+    src.inline_target<Fn>()->~Fn();
+  }
+  template <typename Fn>
+  static void inline_destroy(EventFn& self) noexcept {
+    self.inline_target<Fn>()->~Fn();
+  }
+
+  template <typename Fn>
+  static void spilled_invoke(EventFn& self) {
+    (*static_cast<Fn*>(self.spilled_))();
+  }
+  static void spilled_relocate(EventFn& dst, EventFn& src) noexcept {
+    dst.spilled_ = src.spilled_;
+  }
+  template <typename Fn>
+  static void spilled_destroy(EventFn& self) noexcept {
+    static_cast<Fn*>(self.spilled_)->~Fn();
+    detail::spill_free(self.spilled_);
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {&inline_invoke<Fn>, &inline_relocate<Fn>,
+                                     &inline_destroy<Fn>,
+                                     /*inline_stored=*/true};
+  template <typename Fn>
+  static constexpr Ops kSpilledOps = {&spilled_invoke<Fn>, &spilled_relocate,
+                                      &spilled_destroy<Fn>,
+                                      /*inline_stored=*/false};
+
+  void steal(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(*this, other);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void destroy() noexcept {
+    if (ops_ != nullptr) ops_->destroy(*this);
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char inline_buf_[kInlineSize];
+    void* spilled_;
+  };
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ecf::sim

@@ -5,16 +5,19 @@
 namespace ecf::sim {
 
 SimInvariantChecker::SimInvariantChecker(Engine& engine) : engine_(&engine) {
-  engine_->set_post_event_hook([this] { check_now(); });
+  reattach();
 }
 
 SimInvariantChecker::~SimInvariantChecker() {
   engine_->set_post_event_hook(nullptr);
 }
 
-void SimInvariantChecker::add_invariant(std::string name,
-                                        std::function<void()> fn) {
-  ECF_CHECK(fn != nullptr) << " invariant '" << name << "' has no body";
+void SimInvariantChecker::reattach() {
+  engine_->set_post_event_hook([this] { check_now(); });
+}
+
+void SimInvariantChecker::add_invariant(std::string name, EventFn fn) {
+  ECF_CHECK(static_cast<bool>(fn)) << " invariant '" << name << "' has no body";
   invariants_.emplace_back(std::move(name), std::move(fn));
 }
 
@@ -29,7 +32,7 @@ void SimInvariantChecker::observe_time(SimTime now) {
 
 void SimInvariantChecker::check_now() {
   observe_time(engine_->now());
-  for (const auto& [name, fn] : invariants_) {
+  for (auto& [name, fn] : invariants_) {
     current_invariant_ = name;
     fn();
   }

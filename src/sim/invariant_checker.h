@@ -18,12 +18,12 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/engine.h"
+#include "sim/event_fn.h"
 
 namespace ecf::sim {
 
@@ -38,7 +38,15 @@ class SimInvariantChecker {
   SimInvariantChecker& operator=(const SimInvariantChecker&) = delete;
 
   // Register a named invariant; `fn` must ECF_CHECK what it validates.
-  void add_invariant(std::string name, std::function<void()> fn);
+  // EventFn (not std::function): invariants run after every event, which
+  // puts them squarely on the engine hot path.
+  void add_invariant(std::string name, EventFn fn);
+
+  // Engine::reset() drops the post-event hook (so a checker from one
+  // campaign variant can't observe the next); call this to re-install the
+  // hook when intentionally reusing a checker across a reset. Pair with
+  // reset_clock().
+  void reattach();
 
   // Run the time check plus every registered invariant against the current
   // state. Called automatically after each event; callable directly from
@@ -63,7 +71,7 @@ class SimInvariantChecker {
   std::size_t events_checked_ = 0;
   // Name of the invariant being evaluated (for failure context).
   std::string current_invariant_;
-  std::vector<std::pair<std::string, std::function<void()>>> invariants_;
+  std::vector<std::pair<std::string, EventFn>> invariants_;
 };
 
 }  // namespace ecf::sim

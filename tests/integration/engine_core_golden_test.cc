@@ -1,0 +1,122 @@
+// Golden test for the event-core rewrite (EventFn + indexed 4-ary heap +
+// timer wheel): a full recovery campaign with network faults enabled must
+// produce BIT-IDENTICAL results to the pre-rewrite engine (std::function +
+// std::priority_queue + pending/cancelled hash sets).
+//
+// The expected values below were captured from the old engine immediately
+// before the rewrite, printed with %a (exact hexfloat) — the same pattern
+// as tests/cluster/fabric_golden_test.cc. The scenario deliberately works
+// every event class the engine serves: heartbeats and failure detection
+// (device fault at t=1), NVMe-oF keep-alives and the reconnect machine (a
+// 6 s link flap at t=12 outlives the 5 s keep-alive interval), per-chunk
+// recovery I/O, retry timers (2% packet loss), and latency-shifted
+// completions (cluster-wide 2 ms at t=0.5).
+//
+// If this test fails after an engine change, the change reordered event
+// execution (the (when, seq) tie-break) or perturbed timing arithmetic —
+// both break run-to-run comparability of every published figure. Don't
+// re-capture the goldens unless the reordering is intentional and
+// understood; see DESIGN.md §11.
+#include <gtest/gtest.h>
+
+#include "ecfault/coordinator.h"
+#include "ecfault/profile.h"
+#include "sim/engine.h"
+#include "util/bytes.h"
+
+namespace ecf {
+namespace {
+
+ecfault::ExperimentProfile engine_golden_profile(bool clay) {
+  ecfault::ExperimentProfile p;
+  p.name = clay ? "clay(12,9,11)" : "rs(12,9)";
+  p.cluster.num_hosts = 15;
+  p.cluster.osds_per_host = 2;
+  p.cluster.pool.pg_num = 32;
+  if (clay) {
+    p.cluster.pool.ec_profile = {
+        {"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}};
+  }
+  p.cluster.workload.num_objects = 200;
+  p.cluster.workload.object_size = 16 * util::MiB;
+  p.cluster.protocol.down_out_interval_s = 30.0;
+  p.cluster.protocol.heartbeat_grace_s = 5.0;
+  p.cluster.check_invariants = true;
+  p.fault.level = ecfault::FaultLevel::kDevice;
+  p.fault.count = 1;
+  p.fault.inject_at_s = 1.0;
+  p.runs = 1;
+
+  ecfault::NetworkFaultSpec lat;
+  lat.kind = ecfault::NetFaultKind::kLinkLatency;
+  lat.count = 0;  // cluster-wide
+  lat.inject_at_s = 0.5;
+  lat.latency_s = 0.002;
+  lat.jitter_s = 0.0005;
+  ecfault::NetworkFaultSpec loss;
+  loss.kind = ecfault::NetFaultKind::kPacketLoss;
+  loss.count = 0;
+  loss.inject_at_s = 0.5;
+  loss.loss_rate = 0.02;
+  ecfault::NetworkFaultSpec flap;
+  flap.kind = ecfault::NetFaultKind::kLinkFlap;
+  flap.count = 2;
+  flap.inject_at_s = 12.0;
+  flap.down_for_s = 6.0;
+  p.network_faults = {lat, loss, flap};
+  return p;
+}
+
+TEST(EngineCoreGolden, RsRecoveryCampaignBitIdentical) {
+  const auto r = ecfault::Coordinator::run_experiment(
+      engine_golden_profile(/*clay=*/false));
+  EXPECT_TRUE(r.report.complete);
+  EXPECT_EQ(r.report.detection_time, 0x1.6713fd63d94b4p+3);
+  EXPECT_EQ(r.report.recovery_end_time, 0x1.50f3396d1fbc3p+6);
+  EXPECT_EQ(r.report.bytes_read_for_recovery, 2604662784u);
+  EXPECT_EQ(r.report.bytes_written_for_recovery, 289406976u);
+  EXPECT_EQ(r.report.objects_repaired, 69u);
+  EXPECT_EQ(r.report.fabric_transport_wait_s, 0x1.93518ab56566p+3);
+  EXPECT_EQ(r.report.fabric_retries, 19u);
+  EXPECT_EQ(r.report.fabric_reconnects, 3u);
+  EXPECT_EQ(r.actual_wa, 0x1.033eb851eb852p+2);
+  EXPECT_EQ(r.log_records_published, 135u);
+
+  // The rewrite's accounting must agree with what actually happened.
+  const auto& es = r.report.engine_stats;
+  EXPECT_GT(es.executed, 0u);
+  EXPECT_EQ(es.scheduled, es.executed + es.cancelled);  // campaign drains
+  EXPECT_GT(es.peak_queue_depth, 0u);
+  // Deep recovery continuations (10+ captures) legitimately spill to the
+  // slab recycler — in this recovery-heavy scenario they are the majority.
+  // Spill accounting is per scheduled event, so it can never exceed it.
+  EXPECT_LE(es.spilled_callbacks, es.scheduled);
+  EXPECT_GT(es.spilled_callbacks, 0u);
+  // Recovery I/O dominates the tagged profile of a recovery campaign.
+  const auto tag_count = [&es](sim::EventTag t) {
+    return es.executed_by_tag[static_cast<std::size_t>(t)];
+  };
+  EXPECT_GT(tag_count(sim::EventTag::kRecovery), 0u);
+  EXPECT_GT(tag_count(sim::EventTag::kKeepAlive), 0u);   // keep-alives armed
+  EXPECT_GT(tag_count(sim::EventTag::kReconnect), 0u);   // flap outlived KATO
+  EXPECT_EQ(tag_count(sim::EventTag::kFault), 4u);  // device + 3 net levers
+}
+
+TEST(EngineCoreGolden, ClayRecoveryCampaignBitIdentical) {
+  const auto r = ecfault::Coordinator::run_experiment(
+      engine_golden_profile(/*clay=*/true));
+  EXPECT_TRUE(r.report.complete);
+  EXPECT_EQ(r.report.detection_time, 0x1.6713fd63d94b4p+3);
+  EXPECT_EQ(r.report.recovery_end_time, 0x1.53a0abfaacb85p+6);
+  EXPECT_EQ(r.report.bytes_read_for_recovery, 1061168526u);
+  EXPECT_EQ(r.report.bytes_written_for_recovery, 289409598u);
+  EXPECT_EQ(r.report.objects_repaired, 69u);
+  EXPECT_EQ(r.report.fabric_transport_wait_s, 0x1.0b908aab06d98p+4);
+  EXPECT_EQ(r.report.fabric_retries, 26u);
+  EXPECT_EQ(r.report.fabric_reconnects, 3u);
+  EXPECT_EQ(r.actual_wa, 0x1.034019999999ap+2);
+  EXPECT_EQ(r.log_records_published, 135u);
+}
+
+}  // namespace
+}  // namespace ecf

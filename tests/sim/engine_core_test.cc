@@ -1,0 +1,422 @@
+// Targeted tests for the rewritten event core: the EventFn SBO callable,
+// generation-tagged EventIds, the 4-ary heap + timer wheel queue, and the
+// EngineStats profile. The behavioral contracts shared with the old engine
+// live in engine_test.cc / engine_stress_test.cc; this file covers what is
+// new or was previously untestable.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/event_fn.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ecf::sim {
+namespace {
+
+// --- EventFn ----------------------------------------------------------------
+
+TEST(EventFn, EmptyIsFalsyAndAssignable) {
+  EventFn fn;
+  EXPECT_FALSE(fn);
+  fn = [] {};
+  EXPECT_TRUE(fn);
+  fn = nullptr;
+  EXPECT_FALSE(fn);
+}
+
+TEST(EventFn, SmallCaptureStaysInline) {
+  int hits = 0;
+  int* p = &hits;
+  EventFn fn([p] { ++*p; });
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();  // repeat-invocable
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, LargeCaptureSpillsAndStillRuns) {
+  std::array<std::uint64_t, 16> payload{};  // 128 bytes > kInlineSize
+  payload[0] = 7;
+  payload[15] = 9;
+  int sum = 0;
+  EventFn fn([payload, &sum] {
+    sum += static_cast<int>(payload[0] + payload[15]);
+  });
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(sum, 16);
+}
+
+TEST(EventFn, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  EventFn a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  EventFn b(std::move(a));
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move) — contract under test
+  EXPECT_TRUE(b);
+  EXPECT_EQ(counter.use_count(), 2);  // moved, not copied
+  b();
+  EXPECT_EQ(*counter, 1);
+  b = nullptr;
+  EXPECT_EQ(counter.use_count(), 1);  // capture destroyed
+}
+
+TEST(EventFn, MoveAssignDestroysPreviousCapture) {
+  auto old_capture = std::make_shared<int>(0);
+  EventFn fn([old_capture] {});
+  EXPECT_EQ(old_capture.use_count(), 2);
+  fn = EventFn([] {});
+  EXPECT_EQ(old_capture.use_count(), 1);
+}
+
+TEST(EventFn, SpillBlocksRecycleThroughThreadLocalPool) {
+  struct Big {
+    std::array<std::uint64_t, 20> words{};
+    void operator()() const {}
+  };
+  {
+    EventFn a{Big{}};
+    EXPECT_FALSE(a.is_inline());
+  }
+  const std::size_t cached_after_free = detail::spill_cached_blocks();
+  EXPECT_GE(cached_after_free, 1u);  // the freed block joined the free list
+  {
+    EventFn b{Big{}};  // same size class: must come from the free list
+    EXPECT_EQ(detail::spill_cached_blocks(), cached_after_free - 1);
+  }
+  EXPECT_EQ(detail::spill_cached_blocks(), cached_after_free);
+}
+
+// --- EventId generation tags ------------------------------------------------
+
+TEST(EngineCore, EventIdReuseAfterCancelIsInert) {
+  Engine eng;
+  int first = 0, second = 0;
+  const EventId a = eng.schedule(1.0, [&first] { ++first; });
+  eng.cancel(a);
+  // Drain so slot `a` is recycled, then schedule a new event: with a slot
+  // allocator the new event may reuse a's slot, and the stale id must not
+  // be able to cancel it.
+  eng.run();
+  const EventId b = eng.schedule(1.0, [&second] { ++second; });
+  EXPECT_NE(a, b);  // generation tag differs even if the slot is reused
+  eng.cancel(a);    // stale id: must be a no-op
+  eng.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(EngineCore, CancelAfterExecutionCannotKillSlotReuser) {
+  Engine eng;
+  int ran = 0;
+  const EventId a = eng.schedule(1.0, [] {});
+  eng.run();  // slot freed by execution
+  const EventId b = eng.schedule(1.0, [&ran] { ++ran; });
+  eng.cancel(a);  // id from the executed event; b may occupy the same slot
+  EXPECT_EQ(eng.run(), 1u);
+  EXPECT_EQ(ran, 1);
+  (void)b;
+}
+
+TEST(EngineCore, DoubleCancelCountsOnce) {
+  Engine eng;
+  const EventId a = eng.schedule(1.0, [] {});
+  eng.cancel(a);
+  eng.cancel(a);
+  EXPECT_EQ(eng.stats().cancelled, 1u);
+  EXPECT_EQ(eng.pending(), 0u);
+  EXPECT_EQ(eng.run(), 0u);
+}
+
+// --- horizon boundary -------------------------------------------------------
+
+TEST(EngineCore, EventExactlyAtHorizonFires) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(2.0, [&fired] { ++fired; });
+  eng.schedule_at(2.0000001, [&fired] { fired += 100; });
+  EXPECT_EQ(eng.run_until(2.0), 1u);  // when == horizon executes
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+  EXPECT_EQ(eng.pending(), 1u);  // the later event stays queued
+  EXPECT_EQ(eng.run(), 1u);
+  EXPECT_EQ(fired, 101);
+}
+
+// --- equal-time FIFO + cancel semantics (regression for any reordering) -----
+
+TEST(EngineCore, EqualTimeFifoSurvivesCancellationHoles) {
+  // Schedule N same-time events, cancel a pseudo-random subset, and check
+  // the survivors still run in exact schedule order. Catches any future
+  // queue change that breaks the (when, seq) tie-break — including lazy-
+  // deletion bugs where a cancelled entry's slot is resurrected.
+  Engine eng;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  constexpr int kN = 300;
+  for (int i = 0; i < kN; ++i) {
+    ids.push_back(eng.schedule(1.0, [&order, i] { order.push_back(i); }));
+  }
+  util::Rng rng(20260807);
+  std::vector<int> expected;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.4)) {
+      eng.cancel(ids[static_cast<std::size_t>(i)]);
+    } else {
+      expected.push_back(i);
+    }
+  }
+  eng.run();
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(eng.stats().executed + eng.stats().cancelled,
+            static_cast<std::uint64_t>(kN));
+}
+
+// --- randomized differential test vs a reference model ----------------------
+
+// Reference model: a plain sorted list with (when, seq) keys — the simplest
+// possible correct implementation of the engine's ordering contract.
+class ReferenceEngine {
+ public:
+  std::uint64_t schedule_at(double when, int payload) {
+    items_.push_back({when, next_seq_++, payload, true});
+    return items_.back().seq;
+  }
+  void cancel(std::uint64_t seq) {
+    for (auto& it : items_) {
+      if (it.seq == seq) it.live = false;
+    }
+  }
+  // Executes events with when <= horizon in (when, seq) order; returns
+  // payloads in execution order.
+  std::vector<int> run_until(double horizon, double* now) {
+    std::vector<int> out;
+    for (;;) {
+      Item* best = nullptr;
+      for (auto& it : items_) {
+        if (!it.live || it.when > horizon) continue;
+        if (best == nullptr || it.when < best->when ||
+            (it.when == best->when && it.seq < best->seq)) {
+          best = &it;
+        }
+      }
+      if (best == nullptr) break;
+      best->live = false;
+      *now = best->when;
+      out.push_back(best->payload);
+    }
+    return out;
+  }
+  std::size_t pending() const {
+    std::size_t n = 0;
+    for (const auto& it : items_) n += it.live ? 1 : 0;
+    return n;
+  }
+
+ private:
+  struct Item {
+    double when;
+    std::uint64_t seq;
+    int payload;
+    bool live;
+  };
+  std::uint64_t next_seq_ = 1;
+  std::vector<Item> items_;
+};
+
+TEST(EngineCore, DifferentialAgainstReferenceModel) {
+  // Seeded, deterministic interleavings of schedule / cancel / run_until.
+  // Delays are drawn across six scales so events land in the same-tick heap
+  // fast path, every wheel level, and the beyond-wheel-span overflow path.
+  for (const std::uint64_t seed : {1ull, 42ull, 20260807ull}) {
+    Engine eng;
+    ReferenceEngine ref;
+    util::Rng rng(seed);
+    std::vector<int> got;       // engine execution order
+    std::vector<int> expected;  // reference execution order
+    std::vector<EventId> eng_ids;
+    std::vector<std::uint64_t> ref_ids;
+    int payload = 0;
+    double ref_now = 0;
+
+    for (int step = 0; step < 2000; ++step) {
+      const double roll = rng.uniform01();
+      if (roll < 0.55) {
+        static constexpr double kScales[] = {0.0,    0.1,     10.0,
+                                             300.0, 30000.0, 2.0e6};
+        const double delay = kScales[rng.uniform(6)] * rng.uniform01();
+        const double when = eng.now() + delay;
+        const int p = payload++;
+        eng_ids.push_back(
+            eng.schedule_at(when, [&got, p] { got.push_back(p); }));
+        ref_ids.push_back(ref.schedule_at(when, p));
+      } else if (roll < 0.75) {
+        if (!eng_ids.empty()) {
+          const std::size_t k = rng.uniform(eng_ids.size());
+          eng.cancel(eng_ids[k]);
+          ref.cancel(ref_ids[k]);
+        }
+      } else {
+        const double horizon = eng.now() + 200.0 * rng.uniform01();
+        eng.run_until(horizon);
+        const std::vector<int> step_out = ref.run_until(horizon, &ref_now);
+        expected.insert(expected.end(), step_out.begin(), step_out.end());
+        ASSERT_EQ(got, expected) << "diverged at step " << step << " (seed "
+                                 << seed << ")";
+        ASSERT_DOUBLE_EQ(eng.now(),
+                         step_out.empty() ? eng.now() : ref_now);
+      }
+    }
+    eng.run();
+    const std::vector<int> tail = ref.run_until(
+        std::numeric_limits<double>::infinity(), &ref_now);
+    expected.insert(expected.end(), tail.begin(), tail.end());
+    EXPECT_EQ(got, expected) << "final drain diverged (seed " << seed << ")";
+    EXPECT_EQ(eng.pending(), ref.pending());
+    EXPECT_EQ(eng.pending(), 0u);
+  }
+}
+
+// --- engine stats -----------------------------------------------------------
+
+TEST(EngineCore, StatsCountExecutedCancelledAndTags) {
+  Engine eng;
+  eng.schedule(1.0, [] {}, EventTag::kHeartbeat);
+  eng.schedule(2.0, [] {}, EventTag::kHeartbeat);
+  const EventId c = eng.schedule(3.0, [] {}, EventTag::kScrub);
+  eng.cancel(c);
+  eng.run();
+  const EngineStats& s = eng.stats();
+  EXPECT_EQ(s.scheduled, 3u);
+  EXPECT_EQ(s.executed, 2u);
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.peak_queue_depth, 3u);
+  EXPECT_EQ(s.executed_by_tag[static_cast<std::size_t>(EventTag::kHeartbeat)],
+            2u);
+  EXPECT_EQ(s.executed_by_tag[static_cast<std::size_t>(EventTag::kScrub)], 0u);
+}
+
+TEST(EngineCore, StatsTrackWheelParkingForPeriodicTimers) {
+  Engine eng;
+  // A periodic 5 s keep-alive style chain: far enough ahead of the clock
+  // to park in the wheel rather than the heap.
+  int remaining = 50;
+  std::function<void()> chain;
+  chain = [&eng, &remaining, &chain] {
+    if (--remaining > 0) eng.schedule(5.0, [&chain] { chain(); });
+  };
+  eng.schedule(5.0, [&chain] { chain(); });
+  eng.run();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_GT(eng.stats().wheel_parked, 0u);
+}
+
+TEST(EngineCore, ResetClearsStatsAndHook) {
+  Engine eng;
+  int hook_runs = 0;
+  eng.set_post_event_hook([&hook_runs] { ++hook_runs; });
+  eng.schedule(1.0, [] {});
+  eng.run();
+  EXPECT_EQ(hook_runs, 1);
+  EXPECT_EQ(eng.stats().executed, 1u);
+  eng.reset();
+  EXPECT_EQ(eng.stats().executed, 0u);
+  EXPECT_EQ(eng.stats().scheduled, 0u);
+  eng.schedule(1.0, [] {});
+  eng.run();
+  EXPECT_EQ(hook_runs, 1);  // hook did not survive the reset
+}
+
+TEST(EngineCore, TagNamesAreStable) {
+  EXPECT_STREQ(to_string(EventTag::kGeneric), "generic");
+  EXPECT_STREQ(to_string(EventTag::kKeepAlive), "keepalive");
+  EXPECT_STREQ(to_string(EventTag::kIostat), "iostat");
+}
+
+// --- timer wheel edge cases -------------------------------------------------
+
+TEST(EngineCore, WheelSpanningDelaysExecuteInOrder) {
+  // One event per wheel level plus one beyond the span, scheduled out of
+  // order; execution must be strictly by time.
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(2.0e6, [&order] { order.push_back(4); });   // beyond wheel
+  eng.schedule(40000.0, [&order] { order.push_back(3); }); // L2
+  eng.schedule(500.0, [&order] { order.push_back(2); });   // L1
+  eng.schedule(3.0, [&order] { order.push_back(1); });     // L0
+  eng.schedule(0.01, [&order] { order.push_back(0); });    // same-tick heap
+  EXPECT_EQ(eng.run(), 5u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_GT(eng.stats().wheel_cascades, 0u);
+}
+
+TEST(EngineCore, CancelledWheelEntriesAreReaped) {
+  Engine eng;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(eng.schedule(1000.0 + i, [] {}));
+  }
+  for (const EventId id : ids) eng.cancel(id);
+  EXPECT_EQ(eng.pending(), 0u);
+  EXPECT_TRUE(eng.empty());
+  EXPECT_EQ(eng.run(), 0u);  // flushing dead entries executes nothing
+  EXPECT_DOUBLE_EQ(eng.now(), 0.0);
+}
+
+TEST(EngineCore, UncheckedPastEventStillRunsFirst) {
+  // schedule_at_unchecked plants an event behind the clock; the engine must
+  // surface it before later events even though the wheel frontier has
+  // advanced past its tick.
+  Engine eng;
+  eng.schedule(50.0, [] {});
+  eng.run();
+  ASSERT_DOUBLE_EQ(eng.now(), 50.0);
+  std::vector<int> order;
+  eng.schedule_at_unchecked(2.0, [&order] { order.push_back(0); });
+  eng.schedule(10.0, [&order] { order.push_back(1); });  // t=60
+  EXPECT_EQ(eng.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+// --- 1M-event stress (also exercised under asan-ubsan / tsan presets) -------
+
+TEST(EngineCoreStress, MillionEventScheduleCancelDrain) {
+  Engine eng;
+  util::Rng rng(0xEC0DE);
+  std::uint64_t executed_payloads = 0;
+  constexpr int kEvents = 1'000'000;
+  std::vector<EventId> window;
+  for (int i = 0; i < kEvents; ++i) {
+    const double delay = rng.uniform01() * 100.0;
+    window.push_back(
+        eng.schedule(delay, [&executed_payloads] { ++executed_payloads; }));
+    if (window.size() >= 64) {
+      // Cancel one of the last 64 — keeps a live cancellation mix without
+      // quadratic bookkeeping.
+      eng.cancel(window[rng.uniform(window.size())]);
+      window.clear();
+    }
+    if ((i & 0xFFF) == 0 && i != 0) {
+      eng.run_until(eng.now() + 1.0);
+    }
+  }
+  const std::size_t left = eng.pending();
+  eng.run();
+  EXPECT_EQ(eng.pending(), 0u);
+  const EngineStats& s = eng.stats();
+  EXPECT_EQ(s.scheduled, static_cast<std::uint64_t>(kEvents));
+  EXPECT_EQ(s.executed + s.cancelled, s.scheduled);
+  EXPECT_EQ(s.executed, executed_payloads);
+  EXPECT_GT(left, 0u);
+}
+
+}  // namespace
+}  // namespace ecf::sim

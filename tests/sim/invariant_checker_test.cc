@@ -84,16 +84,35 @@ TEST(SimInvariantChecker, ObserveTimeDirectly) {
   checker.observe_time(0.0);  // legal again after an engine reset
 }
 
-TEST(SimInvariantChecker, SurvivesEngineReset) {
+TEST(SimInvariantChecker, ReattachAfterEngineReset) {
   Engine eng;
   SimInvariantChecker checker(eng);
   eng.schedule(10.0, [] {});
   eng.run();
-  eng.reset();
+  eng.reset();  // drops the checker's hook along with the queue
   checker.reset_clock();
+  checker.reattach();
   eng.schedule(1.0, [] {});  // earlier absolute time than before the reset
   EXPECT_EQ(eng.run(), 1u);
   EXPECT_EQ(checker.events_checked(), 2u);
+}
+
+TEST(SimInvariantChecker, EngineResetDetachesStaleChecker) {
+  // Regression: Engine::reset() used to preserve the post-event hook, so a
+  // checker wired up for one campaign variant kept observing the next one
+  // (and, worse, a destroyed checker's hook could dangle until someone
+  // remembered to overwrite it). reset() must drop the hook.
+  Engine eng;
+  SimInvariantChecker checker(eng);
+  eng.schedule(1.0, [] {});
+  eng.run();
+  EXPECT_EQ(checker.events_checked(), 1u);
+
+  eng.reset();
+  eng.schedule(1.0, [] {});
+  EXPECT_EQ(eng.run(), 1u);
+  // The stale checker saw nothing after the reset.
+  EXPECT_EQ(checker.events_checked(), 1u);
 }
 
 }  // namespace

@@ -293,6 +293,59 @@ TEST(AnalyzeLocks, InlineAllowSuppresses) {
                   .empty());
 }
 
+// --- rule family 4: sim hot path --------------------------------------------
+
+TEST(AnalyzeHotPath, SimAndNvmeofFlaggedAnywhere) {
+  Analyzer a;
+  a.add_file("src/sim/timer.h",
+             "class Timer {\n"
+             "  std::function<void()> cb_;\n"
+             "};\n");
+  a.add_file("src/nvmeof/qp.h",
+             "inline void arm(std::function<void()> fn) { fn(); }\n");
+  const auto f = a.check_hot_path();
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "std-function");
+  EXPECT_EQ(f[0].file, "src/sim/timer.h");
+  EXPECT_EQ(f[0].line, 2u);
+  EXPECT_EQ(f[1].file, "src/nvmeof/qp.h");
+}
+
+TEST(AnalyzeHotPath, ClusterOnlySchedulingFunctionsFlagged) {
+  Analyzer a;
+  a.add_file("src/cluster/pg.cc",
+             "class Pg {\n"
+             "  void repair() {\n"
+             "    std::function<void()> done = [] {};\n"
+             "    engine_->schedule(1.0, done);\n"
+             "  }\n"
+             "  void describe(const std::function<int()>& f) { f(); }\n"
+             "};\n");
+  const auto f = a.check_hot_path();
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 3u);
+  EXPECT_NE(f[0].message.find("'repair' schedules events"),
+            std::string::npos);
+}
+
+TEST(AnalyzeHotPath, LowerLayersAndToolsUnconstrained) {
+  Analyzer a;
+  a.add_file("src/util/callback.h", "std::function<void()> cb;\n");
+  a.add_file("src/ecfault/campaign.h",
+             "struct V { std::function<void()> apply; };\n");
+  a.add_file("tools/driver.cc",
+             "void run(std::function<void()> f) { f(); }\n");
+  EXPECT_TRUE(a.check_hot_path().empty());
+}
+
+TEST(AnalyzeHotPath, InlineAllowSuppresses) {
+  Analyzer a;
+  a.add_file("src/sim/hooks.h",
+             "using LogFn = std::function<void(int)>;  "
+             "// ecf-analyze: allow(std-function)\n");
+  EXPECT_TRUE(a.check_hot_path().empty());
+}
+
 // --- baseline & JSON --------------------------------------------------------
 
 TEST(AnalyzeBaseline, ParseSkipsCommentsAndNormalizesSpace) {
@@ -365,6 +418,7 @@ void run_golden(const std::string& family) {
 TEST(AnalyzeGolden, Layering) { run_golden("layering"); }
 TEST(AnalyzeGolden, Determinism) { run_golden("determinism"); }
 TEST(AnalyzeGolden, Locks) { run_golden("locks"); }
+TEST(AnalyzeGolden, HotPath) { run_golden("hotpath"); }
 
 }  // namespace
 }  // namespace ecf::analyze

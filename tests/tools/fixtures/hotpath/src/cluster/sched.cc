@@ -1,0 +1,33 @@
+// Fixture: std-function rule, cluster module — only functions that
+// schedule events are hot path. repair() schedules and builds a
+// std::function continuation (violation); describe() uses std::function
+// without scheduling (clean); the Hooks member lives at class scope, not
+// in a scheduling function body (clean). Never compiled.
+#include <functional>
+#include <string>
+
+namespace fix::cluster {
+
+struct Hooks {
+  std::function<void(int)> progress;
+};
+
+class Engine;
+
+class Pg {
+ public:
+  void repair(double delay) {
+    std::function<void()> done = [this] { finished_ = true; };
+    engine_->schedule(delay, done);
+  }
+
+  std::string describe(const std::function<std::string()>& fmt) {
+    return fmt();
+  }
+
+ private:
+  Engine* engine_ = nullptr;
+  bool finished_ = false;
+};
+
+}  // namespace fix::cluster

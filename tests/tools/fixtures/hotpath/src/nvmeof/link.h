@@ -1,0 +1,21 @@
+// Fixture: std-function rule, nvmeof module — one violation plus an
+// inline-allowed cold-path callback (suppressed negative). Never compiled.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace fix::nvmeof {
+
+class Link {
+ public:
+  // Cold path: fires on state transitions, not per event.
+  using LogFn = std::function<void(const std::string&)>;  // ecf-analyze: allow(std-function)
+
+  void set_retry(std::function<void()> retry) { retry_ = retry; }
+
+ private:
+  std::function<void()> retry_;  // ecf-analyze: allow(std-function)
+};
+
+}  // namespace fix::nvmeof

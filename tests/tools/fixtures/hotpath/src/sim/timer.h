@@ -1,0 +1,18 @@
+// Fixture: std-function rule, sim module — any std::function in src/sim
+// is hot path, even a plain member declaration. Never compiled.
+#pragma once
+
+#include <functional>
+
+namespace fix::sim {
+
+class Timer {
+ public:
+  void arm(double delay);
+
+ private:
+  std::function<void()> on_fire_;
+  double when_ = 0;
+};
+
+}  // namespace fix::sim

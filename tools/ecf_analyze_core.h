@@ -23,6 +23,13 @@
 //                   shared_lock or mu.lock()) in the same body.
 //                   Constructors and destructors are exempt, as in
 //                   clang's -Wthread-safety.
+//   std-function    no std::function on the simulator hot path: anywhere
+//                   in src/sim or src/nvmeof, and in src/cluster inside
+//                   any function that schedules events. Event callbacks
+//                   must use sim::EventFn (48-byte SBO + slab spill);
+//                   std::function heap-allocates per event and undoes the
+//                   event-core rewrite. Cold-path callbacks (config hooks,
+//                   log sinks) escape with an inline allow.
 //
 // Still no libclang: the front end is the ecf_lint comment/string
 // stripper plus a lightweight tokenizer and a heuristic function-def
@@ -281,6 +288,7 @@ class Analyzer {
   std::vector<Finding> check_layering() const;
   std::vector<Finding> check_determinism() const;
   std::vector<Finding> check_locks() const;
+  std::vector<Finding> check_hot_path() const;
 
  private:
   const TranslationUnit* tu_for(const std::string& path) const {
@@ -1034,6 +1042,65 @@ inline std::vector<Finding> Analyzer::check_locks() const {
   return findings;
 }
 
+// --- rule family 4: sim hot path --------------------------------------------
+
+inline std::vector<Finding> Analyzer::check_hot_path() const {
+  static const std::set<std::string> kScheduleCalls = {
+      "schedule", "schedule_at", "schedule_at_unchecked"};
+  std::vector<Finding> findings;
+  for (const auto& tu : tus_) {
+    const std::string module = module_of_path(tu.path);
+    // src/sim and src/nvmeof are hot path wholesale; in src/cluster only
+    // functions that schedule events are (a cluster config struct holding
+    // a std::function progress hook is fine, a recovery continuation is
+    // not). Lower layers never see events; ecfault drives campaigns, not
+    // per-event work.
+    const bool whole_file = module == "sim" || module == "nvmeof";
+    if (!whole_file && module != "cluster") continue;
+    const std::vector<detail::Token> toks = detail::tokenize(tu.code);
+
+    auto scan_range = [&](std::size_t begin, std::size_t end,
+                          const std::string& context) {
+      for (std::size_t i = begin; i + 3 < end && i + 3 < toks.size(); ++i) {
+        if (toks[i].text != "std" || toks[i + 1].text != ":" ||
+            toks[i + 2].text != ":" || toks[i + 3].text != "function") {
+          continue;
+        }
+        const std::size_t line =
+            detail::line_of_offset(tu.line_starts, toks[i].offset);
+        if (detail::line_allows(tu, line, "std-function")) continue;
+        Finding f;
+        f.file = tu.path;
+        f.line = line;
+        f.rule = "std-function";
+        f.detail = "std::function";
+        f.message = "std::function on the sim hot path" + context +
+                    ": event callbacks must use sim::EventFn (48-byte "
+                    "inline buffer + slab spill); std::function heap-"
+                    "allocates per event. Cold-path callbacks may carry "
+                    "an inline `// ecf-analyze: allow(std-function)`";
+        findings.push_back(std::move(f));
+      }
+    };
+
+    if (whole_file) {
+      scan_range(0, toks.size(), "");
+    } else {
+      for (const FunctionDef& fn : tu.functions) {
+        const bool schedules =
+            std::any_of(fn.callees.begin(), fn.callees.end(),
+                        [](const std::string& c) {
+                          return kScheduleCalls.count(c) != 0;
+                        });
+        if (!schedules) continue;
+        scan_range(fn.body_begin, fn.body_end,
+                   " (function '" + fn.name + "' schedules events)");
+      }
+    }
+  }
+  return findings;
+}
+
 inline std::vector<Finding> Analyzer::run() const {
   std::vector<Finding> findings = check_layering();
   {
@@ -1041,6 +1108,8 @@ inline std::vector<Finding> Analyzer::run() const {
     findings.insert(findings.end(), d.begin(), d.end());
     std::vector<Finding> l = check_locks();
     findings.insert(findings.end(), l.begin(), l.end());
+    std::vector<Finding> h = check_hot_path();
+    findings.insert(findings.end(), h.begin(), h.end());
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

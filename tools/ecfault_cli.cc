@@ -7,7 +7,9 @@
 //
 // `run` prints the Fig.-3-style timeline and the experiment metrics;
 // `sweep` prints the normalized comparison table (the shape of the paper's
-// Fig. 2). With --json, machine-readable output for both.
+// Fig. 2). With --json, machine-readable output for both. `run
+// --engine-stats` appends the event-core profile of the last run (events
+// scheduled/executed/cancelled, queue depth, per-subsystem tag counts).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +20,7 @@
 #include "ec/wa_model.h"
 #include "ecfault/campaign.h"
 #include "ecfault/coordinator.h"
+#include "sim/engine.h"
 #include "util/bytes.h"
 
 using namespace ecf;
@@ -27,7 +30,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  ecfault run <profile.json> [--json]\n"
+               "  ecfault run <profile.json> [--json] [--engine-stats]\n"
                "  ecfault sweep <campaign.json> [--json]\n"
                "  ecfault wa <object_bytes> <k> <m> <stripe_unit>\n"
                "  ecfault plugins\n");
@@ -49,10 +52,53 @@ bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+// Renders the event-core profile of the last run: how many events each
+// subsystem scheduled and where the engine's time structurally went.
+void print_engine_stats(const sim::EngineStats& es) {
+  std::printf("engine: %llu scheduled, %llu executed, %llu cancelled\n",
+              static_cast<unsigned long long>(es.scheduled),
+              static_cast<unsigned long long>(es.executed),
+              static_cast<unsigned long long>(es.cancelled));
+  std::printf("  peak queue depth %llu, spilled callbacks %llu, "
+              "wheel parked %llu (cascades %llu)\n",
+              static_cast<unsigned long long>(es.peak_queue_depth),
+              static_cast<unsigned long long>(es.spilled_callbacks),
+              static_cast<unsigned long long>(es.wheel_parked),
+              static_cast<unsigned long long>(es.wheel_cascades));
+  std::printf("  executed by tag:");
+  for (std::size_t t = 0; t < sim::kNumEventTags; ++t) {
+    if (es.executed_by_tag[t] == 0) continue;
+    std::printf(" %s=%llu", sim::to_string(static_cast<sim::EventTag>(t)),
+                static_cast<unsigned long long>(es.executed_by_tag[t]));
+  }
+  std::printf("\n");
+}
+
+util::Json engine_stats_json(const sim::EngineStats& es) {
+  util::Json stats = util::Json::object();
+  stats.set("scheduled", static_cast<std::int64_t>(es.scheduled));
+  stats.set("executed", static_cast<std::int64_t>(es.executed));
+  stats.set("cancelled", static_cast<std::int64_t>(es.cancelled));
+  stats.set("spilled_callbacks",
+            static_cast<std::int64_t>(es.spilled_callbacks));
+  stats.set("peak_queue_depth",
+            static_cast<std::int64_t>(es.peak_queue_depth));
+  stats.set("wheel_parked", static_cast<std::int64_t>(es.wheel_parked));
+  stats.set("wheel_cascades", static_cast<std::int64_t>(es.wheel_cascades));
+  util::Json by_tag = util::Json::object();
+  for (std::size_t t = 0; t < sim::kNumEventTags; ++t) {
+    by_tag.set(sim::to_string(static_cast<sim::EventTag>(t)),
+               static_cast<std::int64_t>(es.executed_by_tag[t]));
+  }
+  stats.set("executed_by_tag", by_tag);
+  return stats;
+}
+
 int cmd_run(int argc, char** argv) {
   if (argc < 1) return usage();
   const auto profile = ecfault::ExperimentProfile::parse(slurp(argv[0]));
   const bool json = has_flag(argc, argv, "--json");
+  const bool engine_stats = has_flag(argc, argv, "--engine-stats");
   const auto campaign = ecfault::Coordinator::run_profile(profile);
   const auto& r = campaign.last;
   if (json) {
@@ -74,6 +120,9 @@ int cmd_run(int argc, char** argv) {
             static_cast<std::int64_t>(r.report.fabric_retries));
     out.set("fabric_reconnects",
             static_cast<std::int64_t>(r.report.fabric_reconnects));
+    if (engine_stats) {
+      out.set("engine_stats", engine_stats_json(r.report.engine_stats));
+    }
     std::printf("%s\n", out.dump(2).c_str());
     return 0;
   }
@@ -83,6 +132,7 @@ int cmd_run(int argc, char** argv) {
               "%.0f), actual WA %.2f\n",
               campaign.runs, campaign.mean_total, campaign.mean_checking,
               campaign.mean_recovery, r.actual_wa);
+  if (engine_stats) print_engine_stats(r.report.engine_stats);
   return 0;
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full check matrix for ecfault: lint, semantic static analysis, sanitizers.
 #
-#   tools/run_checks.sh [lint|analyze|asan|tsan|all]
+#   tools/run_checks.sh [lint|analyze|asan|tsan|bench|all]
 #
 # lint    : run the ecf_lint ctest from the dev build (token-level rules).
 # analyze : run the ecf_analyze ctest from the dev build (layering, call-graph
@@ -10,8 +10,12 @@
 #           suite under AddressSanitizer + UndefinedBehaviorSanitizer.
 # tsan    : configure + build the tsan preset, run the threaded campaign
 #           tests (Campaign*/CampaignStress.*) under ThreadSanitizer.
-# all     : lint, analyze, asan, tsan — the CI order: cheap source-level
-#           checks fail fast before any sanitized rebuild starts.
+# bench   : run the bench-smoke ctest label from the dev build — codec,
+#           fabric, and event-core microbenches; bench_engine fails if the
+#           engine rewrite's 3x schedule/cancel/drain speedup regresses.
+# all     : lint, analyze, asan, tsan, bench — the CI order: cheap
+#           source-level checks fail fast before any sanitized rebuild
+#           starts; perf smoke runs last on the already-built dev tree.
 #
 # Each sanitizer preset uses its own binary dir (build-asan, build-tsan) so
 # sanitized objects never mix with the dev build. Under clang, the dev build
@@ -37,6 +41,14 @@ run_analyze() {
   ctest --preset analyze
 }
 
+run_bench() {
+  echo "== bench-smoke: perf smoke (codec, fabric, event core) =="
+  cmake --preset dev
+  cmake --build --preset dev -j "${JOBS}" --target bench_codec_micro \
+    bench_fabric bench_engine
+  ctest --preset bench-smoke
+}
+
 run_asan() {
   echo "== ASan + UBSan: full test suite =="
   cmake --preset asan-ubsan
@@ -56,9 +68,10 @@ case "${MODE}" in
   analyze) run_analyze ;;
   asan)    run_asan ;;
   tsan)    run_tsan ;;
-  all)     run_lint; run_analyze; run_asan; run_tsan ;;
+  bench)   run_bench ;;
+  all)     run_lint; run_analyze; run_asan; run_tsan; run_bench ;;
   *)
-    echo "usage: $0 [lint|analyze|asan|tsan|all]" >&2
+    echo "usage: $0 [lint|analyze|asan|tsan|bench|all]" >&2
     exit 2
     ;;
 esac
