@@ -42,7 +42,7 @@ int main() {
                      std::to_string(r.client_ops),
                      std::to_string(r.degraded_reads),
                      bench::fmt(1e3 * r.mean_client_latency(), 1),
-                     bench::fmt(1e3 * r.client_latency_max, 1)});
+                     bench::fmt(1e3 * r.max_client_latency(), 1)});
     }
   }
   std::printf("%s", table.to_string().c_str());

@@ -3,8 +3,20 @@
 // into inline reconstructions (gather k survivors, decode at the primary),
 // so failures surface as client latency — and client traffic competes with
 // recovery for the same disks and NICs.
+//
+// Ops pick an *object* — zipfian-skewed when client.zipf_theta > 0 — and
+// route to its PG through obj_pg_, so popularity concentrates on real
+// placement groups. Arrivals are either an open-loop Poisson stream at
+// ops_per_s or a closed loop of `clients` workers that re-issue after
+// completion (+ think time). All randomness flows through client_rng_
+// (seeded once from the cluster seed) consumed sequentially at issue time,
+// so a fixed seed replays a bit-identical op trace.
+//
+// Per-op state lives in pooled ClientOp slabs (no per-op heap allocation:
+// a 1M-op campaign touches O(max in-flight) slabs, not O(ops)); latencies
+// land in the RecoveryReport log2 histograms split clean-read / degraded-
+// read / write so recovery interference shows up as a p99/p999 shift.
 #include <algorithm>
-#include <memory>
 
 #include "cluster/cluster.h"
 #include "cluster/impl_types.h"
@@ -14,139 +26,199 @@
 namespace ecf::cluster {
 
 void Cluster::start_client_load() {
-  if (config_.client.ops_per_s <= 0) return;
+  const auto& cc = config_.client;
+  if (cc.ops_per_s <= 0) return;
   if (!workload_applied_) throw std::logic_error("apply_workload first");
-  issue_client_op();
+  client_rng_ = rng_.child(0xC11E57);
+  client_zipf_ = util::ZipfianSampler(
+      std::max<std::uint64_t>(1, config_.workload.num_objects),
+      cc.zipf_theta);
+  if (cc.closed_loop) {
+    // Ramp the workers in over one mean inter-arrival window each, so the
+    // closed loop doesn't fire `clients` simultaneous ops at t=0.
+    const int workers = std::max(1, cc.clients);
+    for (int w = 0; w < workers; ++w) {
+      const double delay =
+          client_rng_.uniform01() * static_cast<double>(workers) / cc.ops_per_s;
+      engine_.schedule(delay, [this] { issue_client_op(); },
+                       sim::EventTag::kClient);
+    }
+  } else {
+    schedule_next_client_op();
+  }
+}
+
+// Open-loop arrivals: Poisson stream at ops_per_s, independent of
+// completions (offered load does NOT back off when the cluster degrades —
+// that is the point of an open loop).
+void Cluster::schedule_next_client_op() {
+  const auto& cc = config_.client;
+  if (engine_.now() >= cc.horizon_s) return;
+  const double gap = client_rng_.exponential(1.0 / cc.ops_per_s);
+  engine_.schedule(gap, [this] {
+    issue_client_op();
+    schedule_next_client_op();
+  }, sim::EventTag::kClient);
+}
+
+void Cluster::finish_client_op(ClientOp* op) {
+  const double latency = engine_.now() - op->start;
+  switch (op->kind) {
+    case ClientOp::Kind::kCleanRead:
+      report_.client_clean_read_lat.record(latency);
+      break;
+    case ClientOp::Kind::kDegradedRead:
+      report_.client_degraded_read_lat.record(latency);
+      break;
+    case ClientOp::Kind::kWrite:
+      report_.client_write_lat.record(latency);
+      break;
+  }
+  client_op_pool_.release(op);
+  if (config_.client.closed_loop && engine_.now() < config_.client.horizon_s) {
+    engine_.schedule(config_.client.think_time_s,
+                     [this] { issue_client_op(); }, sim::EventTag::kClient);
+  }
 }
 
 void Cluster::issue_client_op() {
-  const auto& cc = config_.client;
-  if (engine_.now() >= cc.horizon_s) return;
-  // Poisson arrivals.
-  util::Rng op_rng = rng_.child(0xC11E57 ^ static_cast<std::uint64_t>(
-                                               engine_.now() * 1e6) ^
-                                report_.client_ops);
-  const double gap = op_rng.exponential(1.0 / cc.ops_per_s);
-  engine_.schedule(gap, [this] {
-    const auto& c = config_.client;
-    util::Rng rng = rng_.child(0x0D0A ^ report_.client_ops);
-    const auto pgid = static_cast<PgId>(
-        rng.uniform(static_cast<std::uint64_t>(config_.pool.pg_num)));
-    Pg& pg = *pgs_[static_cast<std::size_t>(pgid)];
-    const double start = engine_.now();
-    ++report_.client_ops;
+  const auto& c = config_.client;
+  if (engine_.now() >= c.horizon_s) return;
 
-    const bool is_read = rng.uniform01() < c.read_fraction;
-    const ec::StripeLayout layout = ec::compute_stripe_layout(
-        config_.workload.object_size, code_->n(), code_->k(),
-        config_.pool.stripe_unit);
-    const OsdId primary = primary_of(pg);
-    if (primary == kNoOsd) {
-      issue_client_op();
-      return;
+  // Pick the object (zipfian popularity) and route to its PG. obj_pg_ is
+  // built by apply_workload when client load is configured; fall back to a
+  // uniform PG pick if it is absent (defensive — config is fixed at
+  // construction, so normally it is populated whenever we run).
+  PgId pgid;
+  if (!obj_pg_.empty()) {
+    const std::uint64_t obj = client_zipf_.sample(client_rng_);
+    pgid = static_cast<PgId>(obj_pg_[obj]);
+  } else {
+    pgid = static_cast<PgId>(
+        client_rng_.uniform(static_cast<std::uint64_t>(config_.pool.pg_num)));
+  }
+  Pg& pg = *pgs_[static_cast<std::size_t>(pgid)];
+  ++report_.client_ops;
+
+  const bool is_read = client_rng_.uniform01() < c.read_fraction;
+  const ec::StripeLayout layout = ec::compute_stripe_layout(
+      config_.workload.object_size, code_->n(), code_->k(),
+      config_.pool.stripe_unit);
+  const OsdId primary = primary_of(pg);
+  if (primary == kNoOsd) {
+    // No live primary: the op can't be served; closed-loop workers retry
+    // after think time so the loop doesn't die with the PG.
+    if (c.closed_loop && engine_.now() < c.horizon_s) {
+      engine_.schedule(std::max(c.think_time_s, 0.001),
+                       [this] { issue_client_op(); }, sim::EventTag::kClient);
     }
-    Host* phost = hosts_[static_cast<std::size_t>(
-                             osds_[static_cast<std::size_t>(primary)]->host)]
-                      .get();
+    return;
+  }
+  Host* phost = hosts_[static_cast<std::size_t>(
+                           osds_[static_cast<std::size_t>(primary)]->host)]
+                    .get();
 
-    auto finish = [this, start](sim::SimTime done) {
-      const double latency = done - start;
-      report_.client_latency_sum += latency;
-      report_.client_latency_max =
-          std::max(report_.client_latency_max, latency);
-    };
+  // Keep the whole op chain — shard reads, NIC hops, decode, completion —
+  // in the PG's event lane.
+  sim::Engine::LaneScope lane(engine_, 0x50470000ull +
+                                           static_cast<std::uint64_t>(pgid));
 
-    if (is_read) {
-      // Read c.op_bytes: lands on ceil(op/su) consecutive data shards.
-      const std::size_t shards = std::max<std::uint64_t>(
-          1, std::min<std::uint64_t>(
-                 code_->k(),
-                 util::ceil_div(c.op_bytes, config_.pool.stripe_unit)));
-      bool degraded = false;
+  if (is_read) {
+    // Read c.op_bytes: lands on ceil(op/su) consecutive data shards.
+    const std::size_t shards = std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(
+               code_->k(),
+               util::ceil_div(c.op_bytes, config_.pool.stripe_unit)));
+    bool degraded = false;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t pos = client_rng_.uniform(code_->k());
+      if (!osd_alive(pg.acting[pos])) degraded = true;
+    }
+    if (!degraded) {
+      // Normal path: shard reads in parallel, reply through the primary.
+      ClientOp* op = client_op_pool_.acquire();
+      op->start = engine_.now();
+      op->kind = ClientOp::Kind::kCleanRead;
+      sim::SimTime done = engine_.now();
+      const std::uint64_t per_shard = c.op_bytes / shards;
       for (std::size_t s = 0; s < shards; ++s) {
-        const std::size_t pos = rng.uniform(code_->k());
-        if (!osd_alive(pg.acting[pos])) degraded = true;
+        const std::size_t pos = client_rng_.uniform(code_->k());
+        Osd& o = *osds_[static_cast<std::size_t>(pg.acting[pos])];
+        const auto& store = o.store;
+        const auto bytes = static_cast<std::uint64_t>(
+            static_cast<double>(per_shard) * (1.0 - store.data_hit_rate()));
+        done = std::max(done, osd_read(pg.acting[pos], bytes, 1));
       }
-      if (!degraded) {
-        // Normal path: shard reads in parallel, reply through the primary.
-        sim::SimTime done = engine_.now();
-        const std::uint64_t per_shard = c.op_bytes / shards;
-        for (std::size_t s = 0; s < shards; ++s) {
-          const std::size_t pos = rng.uniform(code_->k());
-          Osd& o = *osds_[static_cast<std::size_t>(pg.acting[pos])];
-          const auto& store = o.store;
-          const auto bytes = static_cast<std::uint64_t>(
-              static_cast<double>(per_shard) * (1.0 - store.data_hit_rate()));
-          done = std::max(done, osd_read(pg.acting[pos], bytes, 1));
-        }
-        done = std::max(done, phost->nic.send(engine_, c.op_bytes, 1));
-        engine_.schedule_at(done, [finish, this] { finish(engine_.now()); },
-                            sim::EventTag::kClient);
-      } else {
-        // Degraded read: gather per the code's repair plan and decode
-        // inline. Clay turns this into a sub-chunk gather; RS reads k full
-        // shard extents.
-        ++report_.degraded_reads;
-        std::vector<std::size_t> dead;
-        for (std::size_t pos = 0; pos < pg.acting.size(); ++pos) {
-          if (!osd_alive(pg.acting[pos])) dead.push_back(pos);
-        }
-        const ec::RepairPlan plan = code_->repair_plan(dead);
-        const double extent_fraction =
-            static_cast<double>(c.op_bytes) /
-            static_cast<double>(layout.chunk_size * code_->k());
-        auto pending = std::make_shared<std::size_t>(plan.reads.size());
-        for (const auto& r : plan.reads) {
-          Osd& helper = *osds_[static_cast<std::size_t>(pg.acting[r.chunk])];
-          Host* hhost =
-              hosts_[static_cast<std::size_t>(helper.host)].get();
-          const auto bytes = std::max<std::uint64_t>(
-              4096, static_cast<std::uint64_t>(
-                        static_cast<double>(layout.chunk_size) * r.fraction *
-                        extent_fraction));
-          const sim::SimTime t_read =
-              osd_read(pg.acting[r.chunk], bytes, r.subchunk_ios);
-          engine_.schedule_at(t_read, [this, bytes, hhost, phost, pending,
-                                       finish, primary, plan] {
-            const sim::SimTime t_tx = hhost->nic.send(engine_, bytes, 1);
-            engine_.schedule_at(t_tx, [this, bytes, phost, pending, finish,
-                                       primary, plan] {
-              const sim::SimTime t_rx = phost->nic.recv(engine_, bytes, 1);
-              engine_.schedule_at(t_rx, [this, pending, finish, primary,
-                                         plan] {
-                if (--*pending != 0) return;
-                Osd& p = *osds_[static_cast<std::size_t>(primary)];
-                const sim::SimTime t_cpu = p.cpu.compute(
-                    engine_, config_.client.op_bytes, plan.decode_cost_factor);
-                engine_.schedule_at(t_cpu,
-                                    [finish, this] { finish(engine_.now()); },
-                                    sim::EventTag::kClient);
-              }, sim::EventTag::kClient);
+      done = std::max(done, phost->nic.send(engine_, c.op_bytes, 1));
+      engine_.schedule_at(done, [this, op] { finish_client_op(op); },
+                          sim::EventTag::kClient);
+    } else {
+      // Degraded read: gather per the code's repair plan and decode
+      // inline. Clay turns this into a sub-chunk gather; RS reads k full
+      // shard extents.
+      ++report_.degraded_reads;
+      scratch_dead_.clear();
+      for (std::size_t pos = 0; pos < pg.acting.size(); ++pos) {
+        if (!osd_alive(pg.acting[pos])) scratch_dead_.push_back(pos);
+      }
+      const ec::RepairPlan plan = code_->repair_plan(scratch_dead_);
+      const double extent_fraction =
+          static_cast<double>(c.op_bytes) /
+          static_cast<double>(layout.chunk_size * code_->k());
+      ClientOp* op = client_op_pool_.acquire();
+      op->start = engine_.now();
+      op->kind = ClientOp::Kind::kDegradedRead;
+      op->primary = primary;
+      op->decode_cost_factor = plan.decode_cost_factor;
+      op->pending = static_cast<int>(plan.reads.size());
+      for (const auto& r : plan.reads) {
+        Osd& helper = *osds_[static_cast<std::size_t>(pg.acting[r.chunk])];
+        Host* hhost = hosts_[static_cast<std::size_t>(helper.host)].get();
+        const auto bytes = std::max<std::uint64_t>(
+            4096, static_cast<std::uint64_t>(
+                      static_cast<double>(layout.chunk_size) * r.fraction *
+                      extent_fraction));
+        const sim::SimTime t_read =
+            osd_read(pg.acting[r.chunk], bytes, r.subchunk_ios);
+        engine_.schedule_at(t_read, [this, bytes, hhost, phost, op] {
+          const sim::SimTime t_tx = hhost->nic.send(engine_, bytes, 1);
+          engine_.schedule_at(t_tx, [this, bytes, phost, op] {
+            const sim::SimTime t_rx = phost->nic.recv(engine_, bytes, 1);
+            engine_.schedule_at(t_rx, [this, op] {
+              if (--op->pending != 0) return;
+              Osd& p = *osds_[static_cast<std::size_t>(op->primary)];
+              const sim::SimTime t_cpu = p.cpu.compute(
+                  engine_, config_.client.op_bytes, op->decode_cost_factor);
+              engine_.schedule_at(t_cpu,
+                                  [this, op] { finish_client_op(op); },
+                                  sim::EventTag::kClient);
             }, sim::EventTag::kClient);
           }, sim::EventTag::kClient);
-        }
+        }, sim::EventTag::kClient);
       }
-    } else {
-      // Full-stripe write: encode at the primary, push all n shards.
-      const sim::SimTime t_cpu =
-          osds_[static_cast<std::size_t>(primary)]->cpu.compute(engine_,
-                                                                c.op_bytes, 1.0);
-      engine_.schedule_at(t_cpu, [this, pgid, finish, phost] {
-        Pg& pg2 = *pgs_[static_cast<std::size_t>(pgid)];
-        const auto shard_bytes = std::max<std::uint64_t>(
-            4096, config_.client.op_bytes / code_->k());
-        sim::SimTime done = engine_.now();
-        for (std::size_t pos = 0; pos < pg2.acting.size(); ++pos) {
-          if (!osd_alive(pg2.acting[pos])) continue;
-          done = std::max(done, osd_write(pg2.acting[pos], shard_bytes, 1));
-        }
-        done = std::max(done, phost->nic.send(engine_, config_.client.op_bytes, 2));
-        engine_.schedule_at(done, [finish, this] { finish(engine_.now()); },
-                            sim::EventTag::kClient);
-      }, sim::EventTag::kClient);
     }
-    issue_client_op();
-  }, sim::EventTag::kClient);
+  } else {
+    // Full-stripe write: encode at the primary, push all n shards.
+    ClientOp* op = client_op_pool_.acquire();
+    op->start = engine_.now();
+    op->kind = ClientOp::Kind::kWrite;
+    const sim::SimTime t_cpu =
+        osds_[static_cast<std::size_t>(primary)]->cpu.compute(engine_,
+                                                              c.op_bytes, 1.0);
+    engine_.schedule_at(t_cpu, [this, pgid, op, phost] {
+      Pg& pg2 = *pgs_[static_cast<std::size_t>(pgid)];
+      const auto shard_bytes = std::max<std::uint64_t>(
+          4096, config_.client.op_bytes / code_->k());
+      sim::SimTime done = engine_.now();
+      for (std::size_t pos = 0; pos < pg2.acting.size(); ++pos) {
+        if (!osd_alive(pg2.acting[pos])) continue;
+        done = std::max(done, osd_write(pg2.acting[pos], shard_bytes, 1));
+      }
+      done = std::max(done, phost->nic.send(engine_, config_.client.op_bytes, 2));
+      engine_.schedule_at(done, [this, op] { finish_client_op(op); },
+                          sim::EventTag::kClient);
+    }, sim::EventTag::kClient);
+  }
 }
 
 }  // namespace ecf::cluster

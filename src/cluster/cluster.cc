@@ -21,6 +21,13 @@ Cluster::Cluster(ClusterConfig config, LogSinkFn sink)
   if (config_.num_hosts < 1 || config_.osds_per_host < 1) {
     throw std::invalid_argument("cluster needs at least one host and OSD");
   }
+  if (config_.engine_lanes < 1 ||
+      static_cast<std::size_t>(config_.engine_lanes) > sim::Engine::kMaxLanes) {
+    throw std::invalid_argument("engine_lanes must be in 1..64");
+  }
+  // Before anything can schedule: lanes can only be repartitioned on an
+  // empty queue.
+  engine_.set_lane_count(static_cast<std::size_t>(config_.engine_lanes));
   fabric_ = std::make_unique<nvmeof::Fabric>(&engine_, config_.hw.fabric,
                                              config_.seed ^ 0xFAB51C);
   fabric_->set_on_event(
@@ -121,11 +128,16 @@ void Cluster::apply_workload() {
   const ec::StripeLayout layout = ec::compute_stripe_layout(
       wl.object_size, code_->n(), code_->k(), config_.pool.stripe_unit);
   util::Rng place = rng_.child(0x0b7ec7);
+  // Object → PG routing table for the client-load generator; only
+  // materialized when client load is configured (4 bytes x num_objects).
+  const bool track_obj_pg = config_.client.ops_per_s > 0;
+  if (track_obj_pg) obj_pg_.reserve(wl.num_objects);
   for (std::uint64_t obj = 0; obj < wl.num_objects; ++obj) {
     // Objects hash uniformly over PGs (rjenkins in Ceph; any uniform
     // deterministic map works here).
     const auto pgid = static_cast<PgId>(
         place.uniform(static_cast<std::uint64_t>(config_.pool.pg_num)));
+    if (track_obj_pg) obj_pg_.push_back(static_cast<std::uint32_t>(pgid));
     Pg& pg = *pgs_[static_cast<std::size_t>(pgid)];
     ++pg.num_objects;
     for (std::size_t pos = 0; pos < code_->n(); ++pos) {
@@ -350,6 +362,15 @@ Cluster::DeviceStats Cluster::disk_stats(OsdId osd) const {
   stats.bytes_written = o.disk->bytes_written();
   stats.io_count = o.disk->io_count();
   stats.busy_seconds = o.disk->server().busy_seconds();
+  return stats;
+}
+
+Cluster::PoolStats Cluster::pool_stats() const {
+  PoolStats stats;
+  stats.client_op_slabs = client_op_pool_.slab_count();
+  stats.client_op_acquired = client_op_pool_.acquired_count();
+  stats.repair_batch_slabs = repair_batch_pool_.slab_count();
+  stats.repair_batch_acquired = repair_batch_pool_.acquired_count();
   return stats;
 }
 

@@ -47,7 +47,10 @@
 #include "sim/engine.h"
 #include "sim/invariant_checker.h"
 #include "sim/resources.h"
+#include "util/arena.h"
+#include "util/histogram.h"
 #include "util/rng.h"
+#include "util/zipf.h"
 
 namespace ecf::cluster {
 
@@ -80,13 +83,25 @@ struct RecoveryReport {
   std::uint64_t pgs_scrubbed = 0;
 
   // Client traffic served during the experiment (when client load is on).
+  // Latencies are recorded in fixed-bucket log2 histograms (quarter-octave
+  // resolution, exact count/sum/max) split by op class, so p50/p95/p99/p999
+  // survive million-op campaigns without per-op logs.
   std::uint64_t client_ops = 0;
   std::uint64_t degraded_reads = 0;  // reads that needed an inline decode
-  double client_latency_sum = 0;     // seconds
-  double client_latency_max = 0;
-  double mean_client_latency() const {
-    return client_ops ? client_latency_sum / static_cast<double>(client_ops)
-                      : 0;
+  util::LatencyHistogram client_clean_read_lat;
+  util::LatencyHistogram client_degraded_read_lat;
+  util::LatencyHistogram client_write_lat;
+  util::LatencyHistogram client_latency_all() const {
+    util::LatencyHistogram all = client_clean_read_lat;
+    all.merge(client_degraded_read_lat);
+    all.merge(client_write_lat);
+    return all;
+  }
+  // NaN-safe: all three return 0 when client_ops == 0.
+  double mean_client_latency() const { return client_latency_all().mean(); }
+  double max_client_latency() const { return client_latency_all().max(); }
+  double client_percentile(double q) const {
+    return client_latency_all().percentile(q);
   }
 
   // Work accounting.
@@ -215,6 +230,17 @@ class Cluster {
     double rx_busy_seconds = 0;
   };
   NicStats nic_stats(HostId host) const;
+  // Slab-pool accounting for the scale bench: slabs is each pool's
+  // high-water mark of simultaneously-live op state, acquired the op
+  // count it served — proof that per-op memory stayed O(high-water),
+  // not O(ops).
+  struct PoolStats {
+    std::size_t client_op_slabs = 0;
+    std::size_t client_op_acquired = 0;
+    std::size_t repair_batch_slabs = 0;
+    std::size_t repair_batch_acquired = 0;
+  };
+  PoolStats pool_stats() const;
   // PGs whose acting set contains `osd`.
   std::vector<PgId> pgs_on_osd(OsdId osd) const;
   std::size_t objects_in_pg(PgId pg) const;
@@ -227,6 +253,8 @@ class Cluster {
   struct Host;
   struct Pg;
   struct RepairShape;
+  struct RepairBatch;
+  struct ClientOp;
 
   void log(const std::string& node, const std::string& subsys,
            const std::string& message);
@@ -243,14 +271,15 @@ class Cluster {
   void release_reservation(Pg& pg);
   void pump_recovery(Pg& pg);
   void start_object_repair(Pg& pg);
-  void issue_repair_round(PgId pgid, int gen, std::shared_ptr<RepairShape> shape,
-                          OsdId primary, std::uint64_t batch,
-                          std::uint64_t round, std::uint64_t rounds);
+  void issue_repair_round(RepairBatch* b);
+  void repair_after_decode(RepairBatch* b);
   void complete_object_repair(Pg& pg, int generation, std::size_t batch);
   void finish_pg(Pg& pg);
   void maybe_finish_recovery();
   void emit_checking_logs(OsdId osd, double until);
   void issue_client_op();
+  void schedule_next_client_op();
+  void finish_client_op(ClientOp* op);
   void scrub_tick(PgId next);
   void repair_corrupted_shard(PgId pg, std::size_t position);
   std::string osd_name_for_scrub(PgId pg) const;
@@ -290,6 +319,23 @@ class Cluster {
   int scrub_passes_done_ = 0;
   bool pool_created_ = false;
   bool workload_applied_ = false;
+
+  // Client-load generator state (client.cc). The RNG is consumed
+  // sequentially at issue time so op traces replay bit-identically;
+  // obj_pg_ maps object id -> PG (built during apply_workload, only when
+  // client load is configured) so popularity skew lands on real PGs; the
+  // op pool recycles per-op state without per-op heap allocations.
+  util::Rng client_rng_{0};
+  util::ZipfianSampler client_zipf_{1, 0.0};  // rebuilt by start_client_load
+  std::vector<std::uint32_t> obj_pg_;
+  util::Pool<ClientOp> client_op_pool_;
+  util::Pool<RepairBatch> repair_batch_pool_;
+
+  // Scratch buffers reused across recovery/protocol rounds (avoid per-call
+  // allocations on hot paths).
+  std::vector<OsdId> scratch_needed_;
+  std::vector<Pg*> scratch_waiting_;
+  std::vector<std::size_t> scratch_dead_;
 
   // Correctness tooling (enable_invariant_checks); declaration order makes
   // the checker's engine hook outlive nothing it references.

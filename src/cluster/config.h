@@ -39,6 +39,8 @@ struct CacheConfig {
 
 // Erasure-coded pool configuration (Table 1 subset).
 struct PoolConfig {
+  // Config-time key/value profile, never touched per object.
+  // ecf-analyze: allow(per-object-map)
   std::map<std::string, std::string> ec_profile = {
       {"plugin", "jerasure"}, {"technique", "reed_sol_van"},
       {"k", "9"}, {"m", "3"}};
@@ -166,6 +168,17 @@ struct ClientLoadConfig {
   double read_fraction = 1.0;      // remainder are (full-stripe) writes
   std::uint64_t op_bytes = 4 * util::MiB;
   double horizon_s = 4000.0;       // stop issuing after this sim time
+  // Object popularity skew: 0 = uniform over objects; (0, 1) = YCSB-style
+  // zipfian (0.99 ≈ classic "zipfian" skew). Ops pick an *object* and are
+  // routed to its PG, so hot objects concentrate load on their PGs.
+  double zipf_theta = 0.0;
+  // Arrival process. Open loop (default): a Poisson stream at ops_per_s
+  // regardless of completions. Closed loop: `clients` workers each keep
+  // one op in flight and re-issue think_time_s after completion, so
+  // offered load backs off when the cluster degrades.
+  bool closed_loop = false;
+  int clients = 64;
+  double think_time_s = 0.0;
 };
 
 struct ClusterConfig {
@@ -184,6 +197,11 @@ struct ClusterConfig {
   ClientLoadConfig client;
   ScrubConfig scrub;
   std::uint64_t seed = 1;
+  // Event lanes for the simulation engine (sim::Engine::set_lane_count).
+  // Purely a throughput/footprint knob for million-object campaigns:
+  // execution order — and therefore every result — is bit-identical for
+  // any value (1..sim::Engine::kMaxLanes).
+  int engine_lanes = 1;
   // Validate simulator invariants (PG state machine, conservation, cache
   // accounting) after every event — see cluster/invariants.h. Enabled in
   // the tier-1 cluster/integration tests; off by default in benches where

@@ -4,6 +4,7 @@
 
 #include <map>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -46,6 +47,66 @@ struct Cluster::Host {
       : id(h), nic(hw.nic), target("host" + std::to_string(h)) {}
 };
 
+// Precomputed per-(PG, erasure-set) resource recipe for one object repair.
+struct Cluster::RepairShape {
+  struct HelperRead {
+    OsdId osd = kNoOsd;
+    std::uint64_t bytes = 0;      // payload requested from this helper
+    std::uint64_t disk_bytes = 0; // after data-cache hits
+    std::uint64_t ios = 0;        // disk IOs (sub-chunk runs + meta misses)
+    std::uint64_t msgs = 0;       // network messages
+    double extra_s = 0;           // expected RocksDB miss time per op
+  };
+  std::vector<HelperRead> reads;
+  double decode_cost_factor = 1.0;
+  std::uint64_t decode_bytes = 0;  // reconstructed payload
+  // Fixed CPU overhead of sub-packetized decode (GF region-call overhead).
+  double decode_extra_s = 0;
+  struct TargetWrite {
+    OsdId osd = kNoOsd;
+    std::uint64_t bytes = 0;
+    std::uint64_t ios = 0;
+    std::uint64_t msgs = 0;
+  };
+  std::vector<TargetWrite> writes;
+  std::uint64_t chunk_size = 0;
+  std::size_t fetch_stages = 1;
+};
+
+// In-flight state of one pushed recovery batch: the event chain from
+// pacing through helper reads, decode and target writes threads a single
+// pooled RepairBatch* through every continuation — no shared_ptr control
+// blocks, no per-round counter allocations, and every capture fits the
+// EventFn small-buffer. Trivially destructible (fixed write array, scalars
+// only) so batches orphaned by teardown free wholesale with the pool.
+// Per-helper read amounts come from the owning PG's shape_base, which is
+// stable for the batch's generation (every round re-checks the generation
+// before touching it).
+struct Cluster::RepairBatch {
+  static constexpr std::size_t kMaxShards = 64;  // >= any EC code width
+  PgId pg = -1;
+  int gen = -1;
+  OsdId primary = kNoOsd;
+  std::uint64_t batch = 1;   // objects per push op
+  std::uint64_t round = 0;   // current push round
+  std::uint64_t rounds = 1;  // osd_recovery_max_chunk x fetch_stages rounds
+  std::size_t reads_pending = 0;
+  std::size_t writes_pending = 0;
+  // Decode recipe captured at issue time, batch-scaled where the old
+  // per-batch shape was.
+  double decode_cost_factor = 1.0;
+  double decode_extra_s = 0;
+  std::uint64_t decode_bytes = 0;
+  // Writes narrowed to the work item's positions, batch-scaled.
+  std::size_t num_writes = 0;
+  RepairShape::TargetWrite writes[kMaxShards];
+
+  static void check_layout() {
+    static_assert(std::is_trivially_destructible_v<RepairBatch>,
+                  "pooled repair batches must free wholesale with the arena");
+  }
+};
+
 struct Cluster::Pg {
   PgId id = -1;
   std::vector<OsdId> acting;  // chunk position -> OSD (original placement)
@@ -74,36 +135,37 @@ struct Cluster::Pg {
   bool counted_recovering = false;     // contributes to pgs_recovering_
   bool logged_first_io = false;
 
-  // Silent corruption: shard position -> number of corrupted object chunks
-  // (planted by corrupt_chunks, discovered by scrub or checksum-verifying
-  // reads, repaired in place).
-  std::map<std::size_t, std::uint64_t> corrupted;
+  // Silent corruption: (shard position, corrupted object chunks) pairs,
+  // sorted by position (planted by corrupt_chunks, discovered by scrub or
+  // checksum-verifying reads, repaired in place). A sorted vector instead
+  // of a map: at most n entries, and million-PG campaigns cannot afford a
+  // red-black tree header per PG member.
+  std::vector<std::pair<std::size_t, std::uint64_t>> corrupted;
+
+  // Cached repair recipe for the current generation (recomputed when the
+  // erasure set changes). One repair_plan + stripe-layout computation per
+  // (PG, epoch) instead of per pushed batch.
+  RepairShape shape_base;
+  int shape_base_gen = -1;
 };
 
-// Precomputed per-(PG, erasure-set) resource recipe for one object repair.
-struct Cluster::RepairShape {
-  struct HelperRead {
-    OsdId osd = kNoOsd;
-    std::uint64_t bytes = 0;      // payload requested from this helper
-    std::uint64_t disk_bytes = 0; // after data-cache hits
-    std::uint64_t ios = 0;        // disk IOs (sub-chunk runs + meta misses)
-    std::uint64_t msgs = 0;       // network messages
-    double extra_s = 0;           // expected RocksDB miss time per op
-  };
-  std::vector<HelperRead> reads;
-  double decode_cost_factor = 1.0;
-  std::uint64_t decode_bytes = 0;  // reconstructed payload
-  // Fixed CPU overhead of sub-packetized decode (GF region-call overhead).
-  double decode_extra_s = 0;
-  struct TargetWrite {
-    OsdId osd = kNoOsd;
-    std::uint64_t bytes = 0;
-    std::uint64_t ios = 0;
-    std::uint64_t msgs = 0;
-  };
-  std::vector<TargetWrite> writes;
-  std::uint64_t chunk_size = 0;
-  std::size_t fetch_stages = 1;
+// Per-op state of the client-load generator (client.cc), recycled through
+// client_op_pool_ so a million-op campaign performs a bounded number of
+// heap allocations. Scalars only — trivially destructible — so ops still
+// in flight when the cluster tears down free wholesale with the pool's
+// arena instead of leaking.
+struct Cluster::ClientOp {
+  enum class Kind : std::uint8_t { kCleanRead, kDegradedRead, kWrite };
+  double start = 0;                // issue time (latency = finish - start)
+  double decode_cost_factor = 1.0; // from the repair plan (degraded reads)
+  OsdId primary = kNoOsd;
+  int pending = 0;                 // outstanding helper reads (degraded)
+  Kind kind = Kind::kCleanRead;
+
+  static void check_layout() {
+    static_assert(std::is_trivially_destructible_v<ClientOp>,
+                  "pooled client ops must free wholesale with the arena");
+  }
 };
 
 }  // namespace ecf::cluster

@@ -3,12 +3,12 @@
 // pipeline overview.
 #include <algorithm>
 #include <cmath>
-#include <memory>
 
 #include "cluster/cluster.h"
 #include "cluster/impl_types.h"
 #include "ec/stripe.h"
 #include "util/bytes.h"
+#include "util/check.h"
 
 namespace ecf::cluster {
 
@@ -31,6 +31,9 @@ void Cluster::schedule_detection(OsdId osd_id) {
                             config_.protocol.heartbeat_interval_s *
                             config_.protocol.detection_spread_factor +
                         osd.hb_offset;
+  // Detection + the monitor machinery it kicks off stay in the host's lane.
+  sim::Engine::LaneScope lane(engine_, 0x484F5400ull +
+                                           static_cast<std::uint64_t>(osd.host));
   engine_.schedule(config_.protocol.heartbeat_grace_s + jitter,
                    [this, osd_id] { mark_down(osd_id); },
                    sim::EventTag::kHeartbeat);
@@ -234,6 +237,10 @@ void Cluster::start_peering(Pg& pg) {
   const sim::SimTime done = std::max(t_disk, t_cpu) + rtt_cost;
   const int gen = pg.generation;
   PgId pgid = pg.id;
+  // The peering completion — and through it the whole reservation/repair
+  // chain — runs in the PG's lane.
+  sim::Engine::LaneScope lane(engine_, 0x50470000ull +
+                                           static_cast<std::uint64_t>(pgid));
   engine_.schedule_at(done, [this, pgid, gen] {
     Pg& p = *pgs_[static_cast<std::size_t>(pgid)];
     if (p.generation != gen) return;  // superseded by a newer epoch
@@ -262,8 +269,12 @@ void Cluster::try_reserve(Pg& pg) {
   }
   // Local + remote recovery reservations: the primary, every distinct
   // remap target, and (with reserve_remote_shards) the surviving shards
-  // all need a free backfill slot (osd_max_backfills).
-  std::vector<OsdId> needed{primary};
+  // all need a free backfill slot (osd_max_backfills). Scratch buffer —
+  // try_reserve runs once per PG per release tick, so a fresh vector here
+  // would be the hottest allocation in contended recovery.
+  std::vector<OsdId>& needed = scratch_needed_;
+  needed.clear();
+  needed.push_back(primary);
   for (const OsdId t : pg.remap_targets) {
     if (t != kNoOsd &&
         std::find(needed.begin(), needed.end(), t) == needed.end()) {
@@ -289,13 +300,15 @@ void Cluster::try_reserve(Pg& pg) {
   }
   pg.reserved = true;
   pg.reserved_primary = primary;
-  pg.reserved_targets = needed;
+  pg.reserved_targets.assign(needed.begin(), needed.end());
   pg.state = PgState::kRecovering;
   log(osd_name(primary), "pg",
       "pg " + std::to_string(pg.id) + " recovery reservation granted");
   // Remote handshakes + backfill scan startup before the first push.
   const int gen = pg.generation;
   const PgId pgid = pg.id;
+  sim::Engine::LaneScope lane(engine_, 0x50470000ull +
+                                           static_cast<std::uint64_t>(pgid));
   engine_.schedule(config_.protocol.reservation_grant_delay_s,
                    [this, pgid, gen] {
                      Pg& p = *pgs_[static_cast<std::size_t>(pgid)];
@@ -316,7 +329,12 @@ void Cluster::release_reservation(Pg& pg) {
   // priority: a PG with several missing shards sits closest to data loss
   // (and, for EC pools, to dropping below min_size), so it must not starve
   // behind a queue of single-loss PGs.
-  std::vector<Pg*> waiting;
+  // Scratch buffer. Reuse is safe against reentrancy: try_reserve below
+  // can reach release_reservation again only through finish_pg on a
+  // kWaitReservation PG, which is never reserved, so the nested call
+  // early-returns before touching the buffer.
+  std::vector<Pg*>& waiting = scratch_waiting_;
+  waiting.clear();
   for (auto& other : pgs_) {
     if (other->state == PgState::kWaitReservation) waiting.push_back(other.get());
   }
@@ -414,8 +432,30 @@ void Cluster::start_object_repair(Pg& pg) {
   item.remaining -= batch;
   ++pg.inflight;
 
-  auto shape = std::make_shared<RepairShape>(compute_repair_shape(pg));
-  // Writes: only the positions this item still needs.
+  // One repair_plan + layout computation per (PG, epoch): the erasure set
+  // only changes with the generation, so every batch of the epoch shares
+  // the cached per-object recipe instead of recomputing (and heap-
+  // allocating) it per push.
+  if (pg.shape_base_gen != pg.generation) {
+    pg.shape_base = compute_repair_shape(pg);
+    pg.shape_base_gen = pg.generation;
+  }
+  const RepairShape& base = pg.shape_base;
+
+  RepairBatch* b = repair_batch_pool_.acquire();
+  b->pg = pg.id;
+  b->gen = pg.generation;
+  b->primary = pg.reserved_primary;
+  b->batch = batch;
+  b->round = 0;
+  b->decode_cost_factor = base.decode_cost_factor;
+  b->decode_extra_s = base.decode_extra_s * static_cast<double>(batch);
+  b->decode_bytes = base.chunk_size * item.positions.size() * batch;
+
+  // Writes: only the positions this item still needs, batch-scaled.
+  ECF_CHECK_LE(item.positions.size(), RepairBatch::kMaxShards)
+      << " EC width exceeds RepairBatch::kMaxShards";
+  b->num_writes = 0;
   for (const std::size_t pos : item.positions) {
     const auto it = std::find(pg.missing_positions.begin(),
                               pg.missing_positions.end(), pos);
@@ -423,31 +463,13 @@ void Cluster::start_object_repair(Pg& pg) {
         static_cast<std::size_t>(it - pg.missing_positions.begin());
     RepairShape::TargetWrite w;
     w.osd = pg.remap_targets[idx];
-    w.bytes = shape->chunk_size;
-    w.ios = util::ceil_div(w.bytes, proto.max_io_bytes) + 2;
+    w.bytes = base.chunk_size * batch;
+    w.ios = (util::ceil_div(base.chunk_size, proto.max_io_bytes) + 2) * batch;
     w.msgs = std::max<std::uint64_t>(
-        1, util::ceil_div(w.bytes, proto.max_io_bytes));
-    shape->writes.push_back(w);
+                 1, util::ceil_div(base.chunk_size, proto.max_io_bytes)) *
+             batch;
+    b->writes[b->num_writes++] = w;
   }
-  shape->decode_bytes = shape->chunk_size * item.positions.size();
-
-  // Scale the per-object recipe to the batch.
-  for (auto& r : shape->reads) {
-    r.bytes *= batch;
-    r.disk_bytes *= batch;
-    r.ios *= batch;
-    r.msgs *= batch;
-    // Lookups do not scale with the batch: the backfill scan walks onodes
-    // in key order, so the RocksDB iterator amortizes misses across the
-    // batch.
-  }
-  for (auto& w : shape->writes) {
-    w.bytes *= batch;
-    w.ios *= batch;
-    w.msgs *= batch;
-  }
-  shape->decode_bytes *= batch;
-  shape->decode_extra_s *= static_cast<double>(batch);
 
   // Push granularity: shards larger than osd_recovery_max_chunk move in
   // sequential rounds, each a full read->decode->write cycle. The
@@ -455,147 +477,158 @@ void Cluster::start_object_repair(Pg& pg) {
   const ec::StripeLayout layout = ec::compute_stripe_layout(
       config_.workload.object_size, code_->n(), code_->k(),
       config_.pool.stripe_unit);
-  const std::uint64_t rounds =
+  b->rounds =
       std::max<std::uint64_t>(
           1, util::ceil_div(layout.chunk_size, proto.osd_recovery_max_chunk)) *
-      static_cast<std::uint64_t>(shape->fetch_stages);
-
-  const int gen = pg.generation;
-  const PgId pgid = pg.id;
-  const OsdId primary = pg.reserved_primary;
+      static_cast<std::uint64_t>(base.fetch_stages);
 
   // Pacing: recovery ops are deprioritized; each slot waits before issuing.
+  // The pin keeps the batch's read/decode/write continuations in-lane.
+  sim::Engine::LaneScope lane(engine_, 0x50470000ull +
+                                           static_cast<std::uint64_t>(pg.id));
   const double pacing = proto.osd_recovery_sleep_s + proto.recovery_op_overhead_s;
-  engine_.schedule(pacing, [this, pgid, gen, shape, primary, batch, rounds] {
-    Pg& pg2 = *pgs_[static_cast<std::size_t>(pgid)];
-    if (pg2.generation != gen) {
-      report_.repairs_wasted += batch;  // invalidated before it was issued
+  engine_.schedule(pacing, [this, b] {
+    Pg& pg2 = *pgs_[static_cast<std::size_t>(b->pg)];
+    if (pg2.generation != b->gen) {
+      report_.repairs_wasted += b->batch;  // invalidated before it was issued
+      repair_batch_pool_.release(b);
       return;
     }
     if (!pg2.logged_first_io) {
       pg2.logged_first_io = true;
-      log(osd_name(primary), "recovery",
-          "pg " + std::to_string(pgid) + " start recovery I/O");
+      log(osd_name(b->primary), "recovery",
+          "pg " + std::to_string(b->pg) + " start recovery I/O");
       if (report_.recovery_start_time < 0) {
         report_.recovery_start_time = engine_.now();
         log("mgr.0", "mgr", "report recovery I/O in progress");
       }
     }
-    issue_repair_round(pgid, gen, shape, primary, batch, 0, rounds);
+    issue_repair_round(b);
   }, sim::EventTag::kRecovery);
 }
 
-void Cluster::issue_repair_round(PgId pgid, int gen,
-                                 std::shared_ptr<RepairShape> shape,
-                                 OsdId primary, std::uint64_t batch,
-                                 std::uint64_t round, std::uint64_t rounds) {
-  Pg& pg = *pgs_[static_cast<std::size_t>(pgid)];
-  if (pg.generation != gen) {
-    report_.repairs_wasted += batch;  // epoch change mid-object
+void Cluster::issue_repair_round(RepairBatch* b) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  if (pg.generation != b->gen) {
+    report_.repairs_wasted += b->batch;  // epoch change mid-object
+    repair_batch_pool_.release(b);
     return;
   }
   const auto& proto = config_.protocol;
-  Host* phost =
-      hosts_[static_cast<std::size_t>(
-                 osds_[static_cast<std::size_t>(primary)]->host)]
-          .get();
+  // Safe to read: the generation matched, so shape_base is the recipe this
+  // batch was issued against.
+  const RepairShape& base = pg.shape_base;
 
   // Per-round slices (bytes split across rounds; at least one IO each).
+  const std::uint64_t rounds = b->rounds;
   auto slice = [rounds](std::uint64_t v) {
     return std::max<std::uint64_t>(1, v / rounds);
   };
 
-  auto reads_pending = std::make_shared<std::size_t>(shape->reads.size());
-  // Copied into every per-shard read continuation below, so it needs a
-  // copyable callable; sim::EventFn is move-only. One allocation per
-  // repaired object, not per event.
-  std::function<void()> after_decode = [this, pgid, gen, shape, primary, phost,  // ecf-analyze: allow(std-function)
-                                        batch, round, rounds, slice] {
-    Osd& p = *osds_[static_cast<std::size_t>(primary)];
-    sim::SimTime t_cpu = p.cpu.compute(
-        engine_, slice(shape->decode_bytes), shape->decode_cost_factor);
-    if (shape->decode_extra_s > 0) {
-      t_cpu = p.cpu.busy_for(engine_,
-                             shape->decode_extra_s / static_cast<double>(rounds));
-    }
-    engine_.schedule_at(t_cpu, [this, pgid, gen, shape, phost, batch, round,
-                                rounds, slice, primary] {
-      auto writes_pending = std::make_shared<std::size_t>(shape->writes.size());
-      for (const auto& w : shape->writes) {
-        const std::uint64_t wbytes = slice(w.bytes);
-        report_.bytes_written_for_recovery += wbytes;
-        const sim::SimTime t_tx = phost->nic.send(engine_, wbytes, slice(w.msgs));
-        engine_.schedule_at(t_tx, [this, pgid, gen, shape, w, writes_pending,
-                                   batch, round, rounds, slice, wbytes,
-                                   primary] {
-          Host* thost =
-              hosts_[static_cast<std::size_t>(
-                         osds_[static_cast<std::size_t>(w.osd)]->host)]
-                  .get();
-          const sim::SimTime t_rx =
-              thost->nic.recv(engine_, wbytes, slice(w.msgs));
-          engine_.schedule_at(t_rx, [this, pgid, gen, shape, w,
-                                     writes_pending, batch, round, rounds,
-                                     slice, wbytes, primary] {
-            const std::uint64_t eff = static_cast<std::uint64_t>(
-                static_cast<double>(wbytes) /
-                config_.protocol.recovery_bw_fraction);
-            const sim::SimTime t_wr = osd_write(w.osd, eff, slice(w.ios));
-            // mClock grant latency: completion visible after the delay.
-            engine_.schedule_at(
-                t_wr + config_.protocol.mclock_queue_delay_s,
-                [this, pgid, gen, shape, writes_pending, batch, round,
-                 rounds, primary] {
-                  if (--*writes_pending != 0) return;
-                  if (round + 1 < rounds) {
-                    issue_repair_round(pgid, gen, shape, primary, batch,
-                                       round + 1, rounds);
-                    return;
-                  }
-                  // Account the rebuilt chunks on their new homes.
-                  Pg& done_pg = *pgs_[static_cast<std::size_t>(pgid)];
-                  if (done_pg.generation == gen) {
-                    for (const auto& ww : shape->writes) {
-                      for (std::uint64_t i = 0; i < batch; ++i) {
-                        osds_[static_cast<std::size_t>(ww.osd)]
-                            ->store.write_chunk(ww.bytes / batch);
-                      }
-                    }
-                  }
-                  complete_object_repair(done_pg, gen, batch);
-                },
-                sim::EventTag::kRecovery);
-          }, sim::EventTag::kRecovery);
-        }, sim::EventTag::kRecovery);
-      }
-    }, sim::EventTag::kRecovery);
-  };
-
-  for (const auto& r : shape->reads) {
-    const std::uint64_t rbytes = slice(r.bytes);
+  b->reads_pending = base.reads.size();
+  for (const auto& r : base.reads) {
+    const std::uint64_t rbytes = slice(r.bytes * b->batch);
+    const std::uint64_t rmsgs = slice(r.msgs * b->batch);
     report_.bytes_read_for_recovery += rbytes;
     Osd* hosd = osds_[static_cast<std::size_t>(r.osd)].get();
     Host* hhost = hosts_[static_cast<std::size_t>(hosd->host)].get();
+    // Lookups (r.extra_s) do not scale with the batch: the backfill scan
+    // walks onodes in key order, so the RocksDB iterator amortizes misses
+    // across the batch.
     const std::uint64_t eff = static_cast<std::uint64_t>(
-        static_cast<double>(slice(r.disk_bytes)) / proto.recovery_bw_fraction);
-    const sim::SimTime t_read = osd_read(r.osd, eff, slice(r.ios), r.extra_s);
+        static_cast<double>(slice(r.disk_bytes * b->batch)) /
+        proto.recovery_bw_fraction);
+    const sim::SimTime t_read =
+        osd_read(r.osd, eff, slice(r.ios * b->batch), r.extra_s);
     engine_.schedule_at(
         t_read + proto.mclock_queue_delay_s,
-        [this, r, reads_pending, after_decode, hhost, phost, slice] {
-          const sim::SimTime t_tx =
-              hhost->nic.send(engine_, slice(r.bytes), slice(r.msgs));
-          engine_.schedule_at(t_tx, [this, r, reads_pending, after_decode,
-                                     phost, slice] {
-            const sim::SimTime t_rx =
-                phost->nic.recv(engine_, slice(r.bytes), slice(r.msgs));
-            engine_.schedule_at(t_rx, [reads_pending, after_decode] {
-              if (--*reads_pending == 0) after_decode();
+        [this, b, hhost, rbytes, rmsgs] {
+          const sim::SimTime t_tx = hhost->nic.send(engine_, rbytes, rmsgs);
+          engine_.schedule_at(t_tx, [this, b, rbytes, rmsgs] {
+            Host* phost =
+                hosts_[static_cast<std::size_t>(
+                           osds_[static_cast<std::size_t>(b->primary)]->host)]
+                    .get();
+            const sim::SimTime t_rx = phost->nic.recv(engine_, rbytes, rmsgs);
+            engine_.schedule_at(t_rx, [this, b] {
+              if (--b->reads_pending == 0) repair_after_decode(b);
             }, sim::EventTag::kRecovery);
           }, sim::EventTag::kRecovery);
         },
         sim::EventTag::kRecovery);
   }
-  if (shape->reads.empty()) after_decode();
+  if (base.reads.empty()) repair_after_decode(b);
+}
+
+// Decode at the primary, then push the rebuilt shards to their new homes.
+// Reached from the last helper-read completion of the round; the batch
+// releases back to the pool at the single terminal of the chain (last
+// write of the last round, or a stale-generation bail-out).
+void Cluster::repair_after_decode(RepairBatch* b) {
+  Osd& p = *osds_[static_cast<std::size_t>(b->primary)];
+  sim::SimTime t_cpu = p.cpu.compute(
+      engine_, std::max<std::uint64_t>(1, b->decode_bytes / b->rounds),
+      b->decode_cost_factor);
+  if (b->decode_extra_s > 0) {
+    t_cpu = p.cpu.busy_for(engine_,
+                           b->decode_extra_s / static_cast<double>(b->rounds));
+  }
+  engine_.schedule_at(t_cpu, [this, b] {
+    const std::uint64_t rounds = b->rounds;
+    Host* phost = hosts_[static_cast<std::size_t>(
+                             osds_[static_cast<std::size_t>(b->primary)]->host)]
+                      .get();
+    b->writes_pending = b->num_writes;
+    for (std::size_t wi = 0; wi < b->num_writes; ++wi) {
+      const auto& w = b->writes[wi];
+      const std::uint64_t wbytes = std::max<std::uint64_t>(1, w.bytes / rounds);
+      report_.bytes_written_for_recovery += wbytes;
+      const sim::SimTime t_tx = phost->nic.send(
+          engine_, wbytes, std::max<std::uint64_t>(1, w.msgs / rounds));
+      engine_.schedule_at(t_tx, [this, b, wi, wbytes] {
+        const auto& w2 = b->writes[wi];
+        Host* thost =
+            hosts_[static_cast<std::size_t>(
+                       osds_[static_cast<std::size_t>(w2.osd)]->host)]
+                .get();
+        const sim::SimTime t_rx = thost->nic.recv(
+            engine_, wbytes,
+            std::max<std::uint64_t>(1, w2.msgs / b->rounds));
+        engine_.schedule_at(t_rx, [this, b, wi, wbytes] {
+          const auto& w3 = b->writes[wi];
+          const std::uint64_t eff = static_cast<std::uint64_t>(
+              static_cast<double>(wbytes) /
+              config_.protocol.recovery_bw_fraction);
+          const sim::SimTime t_wr = osd_write(
+              w3.osd, eff, std::max<std::uint64_t>(1, w3.ios / b->rounds));
+          // mClock grant latency: completion visible after the delay.
+          engine_.schedule_at(
+              t_wr + config_.protocol.mclock_queue_delay_s,
+              [this, b] {
+                if (--b->writes_pending != 0) return;
+                ++b->round;
+                if (b->round < b->rounds) {
+                  issue_repair_round(b);
+                  return;
+                }
+                // Account the rebuilt chunks on their new homes.
+                Pg& done_pg = *pgs_[static_cast<std::size_t>(b->pg)];
+                if (done_pg.generation == b->gen) {
+                  for (std::size_t i = 0; i < b->num_writes; ++i) {
+                    for (std::uint64_t j = 0; j < b->batch; ++j) {
+                      osds_[static_cast<std::size_t>(b->writes[i].osd)]
+                          ->store.write_chunk(b->writes[i].bytes / b->batch);
+                    }
+                  }
+                }
+                complete_object_repair(done_pg, b->gen, b->batch);
+                repair_batch_pool_.release(b);
+              },
+              sim::EventTag::kRecovery);
+        }, sim::EventTag::kRecovery);
+      }, sim::EventTag::kRecovery);
+    }
+  }, sim::EventTag::kRecovery);
 }
 
 void Cluster::complete_object_repair(Pg& pg, int generation,

@@ -36,7 +36,15 @@ std::uint64_t Cluster::corrupt_chunks(OsdId osd_id, double fraction) {
       if (rng.bernoulli(fraction)) ++hit;
     }
     if (hit == 0) continue;
-    pg.corrupted[position] += hit;
+    // Sorted-vector insert-or-add (position order = scrub repair order).
+    auto where = std::lower_bound(
+        pg.corrupted.begin(), pg.corrupted.end(), position,
+        [](const auto& entry, std::size_t pos) { return entry.first < pos; });
+    if (where != pg.corrupted.end() && where->first == position) {
+      where->second += hit;
+    } else {
+      pg.corrupted.insert(where, {position, hit});
+    }
     planted += hit;
   }
   report_.corruptions_injected += planted;
@@ -86,6 +94,8 @@ void Cluster::scrub_tick(PgId next) {
   }
 
   const PgId pgid = pg.id;
+  sim::Engine::LaneScope lane(engine_, 0x50470000ull +
+                                           static_cast<std::uint64_t>(pgid));
   engine_.schedule_at(done, [this, pgid] {
     Pg& p = *pgs_[static_cast<std::size_t>(pgid)];
     if (!p.corrupted.empty()) {

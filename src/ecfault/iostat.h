@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "util/histogram.h"
 
 namespace ecf::ecfault {
 
@@ -30,6 +31,17 @@ struct IostatSample {
   std::uint64_t fabric_retries = 0;  // packet-loss / link-down retries
 };
 
+// One per-tick slice of foreground client traffic: ops served in the
+// interval plus interval percentiles computed from histogram bucket
+// deltas (no raw samples kept). Only recorded when a client load ran and
+// completed at least one op that tick.
+struct ClientIntervalSample {
+  double time = 0;
+  double ops_per_s = 0;
+  double p50_s = 0;
+  double p99_s = 0;
+};
+
 class IostatCollector {
  public:
   // Samples every `interval_s` until the engine runs out of events or
@@ -39,6 +51,9 @@ class IostatCollector {
                   double horizon_s, cluster::LogSinkFn sink = nullptr);
 
   const std::vector<IostatSample>& samples() const { return samples_; }
+  const std::vector<ClientIntervalSample>& client_samples() const {
+    return client_samples_;
+  }
 
   // Post-experiment summaries.
   double peak_util(cluster::OsdId osd) const;
@@ -54,7 +69,9 @@ class IostatCollector {
   cluster::LogSinkFn sink_;
   std::vector<cluster::Cluster::DeviceStats> last_;
   std::vector<nvmeof::ConnectionStats> last_fabric_;
+  util::LatencyHistogram last_client_;
   std::vector<IostatSample> samples_;
+  std::vector<ClientIntervalSample> client_samples_;
 };
 
 }  // namespace ecf::ecfault

@@ -104,6 +104,19 @@ util::Json ExperimentProfile::to_json() const {
   wl.set("num_objects", cluster.workload.num_objects);
   wl.set("object_size", cluster.workload.object_size);
   cl.set("workload", wl);
+
+  cl.set("engine_lanes", cluster.engine_lanes);
+
+  util::Json client = util::Json::object();
+  client.set("ops_per_s", cluster.client.ops_per_s);
+  client.set("read_fraction", cluster.client.read_fraction);
+  client.set("op_bytes", cluster.client.op_bytes);
+  client.set("horizon_s", cluster.client.horizon_s);
+  client.set("zipf_theta", cluster.client.zipf_theta);
+  client.set("closed_loop", cluster.client.closed_loop);
+  client.set("clients", cluster.client.clients);
+  client.set("think_time_s", cluster.client.think_time_s);
+  cl.set("client", client);
   doc.set("cluster", cl);
 
   util::Json f = util::Json::object();
@@ -199,6 +212,42 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
       p.cluster.workload.object_size = static_cast<std::uint64_t>(wl.get_or(
           "object_size",
           static_cast<std::int64_t>(p.cluster.workload.object_size)));
+    }
+    p.cluster.engine_lanes =
+        static_cast<int>(cl.get_or("engine_lanes", std::int64_t{1}));
+    if (p.cluster.engine_lanes < 1 || p.cluster.engine_lanes > 64) {
+      throw std::invalid_argument("profile: engine_lanes in 1..64");
+    }
+    if (cl.has("client")) {
+      const util::Json& client = cl.at("client");
+      auto& cc = p.cluster.client;
+      cc.ops_per_s = client.get_or("ops_per_s", 0.0);
+      if (cc.ops_per_s < 0) {
+        throw std::invalid_argument("profile: client ops_per_s must be >= 0");
+      }
+      cc.read_fraction = client.get_or("read_fraction", 1.0);
+      if (cc.read_fraction < 0 || cc.read_fraction > 1.0) {
+        throw std::invalid_argument("profile: client read_fraction in [0,1]");
+      }
+      cc.op_bytes = static_cast<std::uint64_t>(client.get_or(
+          "op_bytes", static_cast<std::int64_t>(cc.op_bytes)));
+      cc.horizon_s = client.get_or("horizon_s", cc.horizon_s);
+      if (cc.horizon_s <= 0) {
+        throw std::invalid_argument("profile: client horizon_s must be > 0");
+      }
+      cc.zipf_theta = client.get_or("zipf_theta", 0.0);
+      if (cc.zipf_theta < 0 || cc.zipf_theta >= 1.0) {
+        throw std::invalid_argument("profile: client zipf_theta in [0,1)");
+      }
+      cc.closed_loop = client.get_or("closed_loop", false);
+      cc.clients = static_cast<int>(client.get_or("clients", std::int64_t{64}));
+      if (cc.clients < 1) {
+        throw std::invalid_argument("profile: client clients must be >= 1");
+      }
+      cc.think_time_s = client.get_or("think_time_s", 0.0);
+      if (cc.think_time_s < 0) {
+        throw std::invalid_argument("profile: client think_time_s must be >= 0");
+      }
     }
   }
 

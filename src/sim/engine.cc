@@ -38,51 +38,61 @@ EventId Engine::schedule_at_unchecked(SimTime when, EventFn fn, EventTag tag) {
   return push_event(when, std::move(fn), tag);
 }
 
-std::uint32_t Engine::acquire_slot(EventFn fn, EventTag tag) {
+std::uint32_t Engine::acquire_slot(Lane& lane, EventFn fn, EventTag tag) {
   std::uint32_t idx;
-  if (!free_slots_.empty()) {
-    idx = free_slots_.back();
-    free_slots_.pop_back();
+  if (!lane.free_slots.empty()) {
+    idx = lane.free_slots.back();
+    lane.free_slots.pop_back();
   } else {
-    idx = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
+    idx = static_cast<std::uint32_t>(lane.slots.size());
+    ECF_CHECK_LE(idx, static_cast<std::uint32_t>(kIdSlotMask))
+        << " per-lane event slot index overflows the EventId layout";
+    lane.slots.emplace_back();
   }
-  Slot& s = slots_[idx];
+  Slot& s = lane.slots[idx];
   s.fn = std::move(fn);
   s.tag = tag;
   s.live = true;
   return idx;
 }
 
-void Engine::release_slot(std::uint32_t slot) {
-  Slot& s = slots_[slot];
+void Engine::release_slot(Lane& lane, std::uint32_t slot) {
+  Slot& s = lane.slots[slot];
   s.fn = nullptr;
   s.live = false;
   ++s.gen;  // invalidate every EventId minted for the previous occupant
-  free_slots_.push_back(slot);
+  lane.free_slots.push_back(slot);
 }
 
 EventId Engine::push_event(SimTime when, EventFn fn, EventTag tag) {
   ++stats_.scheduled;
   if (fn && !fn.is_inline()) ++stats_.spilled_callbacks;
   const std::uint64_t seq = next_seq_++;
-  const std::uint32_t slot = acquire_slot(std::move(fn), tag);
-  const EventId id =
-      (static_cast<std::uint64_t>(slots_[slot].gen) << 32) | slot;
+  Lane& lane = lanes_[current_lane_];
+  const std::uint32_t slot = acquire_slot(lane, std::move(fn), tag);
+  const EventId id = (static_cast<std::uint64_t>(lane.slots[slot].gen) << 32) |
+                     (static_cast<std::uint64_t>(current_lane_) << kIdLaneShift) |
+                     slot;
   ++live_;
   stats_.peak_queue_depth = std::max<std::uint64_t>(stats_.peak_queue_depth,
                                                     live_);
-  if (route(Entry{when, seq, slot})) ++stats_.wheel_parked;
+  if (route(lane, Entry{when, seq, slot})) {
+    ++stats_.wheel_parked;
+  }
   return id;
 }
 
 void Engine::cancel(EventId id) {
   // Cancelling an event that already ran (or was never scheduled) is a
   // no-op: either the slot index is stale or the generation mismatches.
-  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::size_t lane_idx =
+      static_cast<std::size_t>((id >> kIdLaneShift) & (kMaxLanes - 1));
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & kIdSlotMask);
   const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
-  if (slot >= slots_.size()) return;
-  Slot& s = slots_[slot];
+  if (lane_idx >= lanes_.size()) return;
+  Lane& lane = lanes_[lane_idx];
+  if (slot >= lane.slots.size()) return;
+  Slot& s = lane.slots[slot];
   if (!s.live || s.gen != gen) return;
   s.live = false;
   s.fn = nullptr;  // release the capture now; the heap entry dies lazily
@@ -90,24 +100,53 @@ void Engine::cancel(EventId id) {
   ++stats_.cancelled;
 }
 
+// --- event lanes ------------------------------------------------------------
+
+std::size_t Engine::lane_of(std::uint64_t key) const {
+  // splitmix64 finalizer: full avalanche, so dense PG/host id ranges
+  // spread evenly over any lane count.
+  key += 0x9e3779b97f4a7c15ull;
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+  key ^= key >> 31;
+  return static_cast<std::size_t>(key % lanes_.size());
+}
+
+void Engine::set_lane_count(std::size_t n) {
+  ECF_CHECK_GE(n, std::size_t{1}) << " engine needs at least one lane";
+  ECF_CHECK_LE(n, kMaxLanes) << " lane count above kMaxLanes";
+  ECF_CHECK_EQ(pending(), std::size_t{0})
+      << " lane count change with events pending";
+  // With no live events every remaining slot is dead (cancelled entries
+  // may still sit in lane heaps/wheels, but their captures were already
+  // destroyed), so the per-lane tables can simply be rebuilt.
+  lanes_.clear();
+  lanes_.resize(n);
+  heads_.assign(n, LaneHead{});
+  current_lane_ = 0;
+  stats_.lane_count = n;
+}
+
 // --- 4-ary min-heap ---------------------------------------------------------
 
-void Engine::heap_push(Entry e) {
-  heap_.push_back(e);
-  std::size_t i = heap_.size() - 1;
+void Engine::heap_push(Lane& lane, Entry e) {
+  auto& heap = lane.heap;
+  heap.push_back(e);
+  std::size_t i = heap.size() - 1;
   while (i != 0) {
     const std::size_t parent = (i - 1) >> 2;
-    if (!entry_less(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
+    if (!entry_less(heap[i], heap[parent])) break;
+    std::swap(heap[i], heap[parent]);
     i = parent;
   }
 }
 
-Engine::Entry Engine::heap_pop() {
-  const Entry top = heap_.front();
-  const Entry last = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
+Engine::Entry Engine::heap_pop(Lane& lane) {
+  auto& heap = lane.heap;
+  const Entry top = heap.front();
+  const Entry last = heap.back();
+  heap.pop_back();
+  const std::size_t n = heap.size();
   if (n != 0) {
     std::size_t i = 0;
     for (;;) {
@@ -116,31 +155,26 @@ Engine::Entry Engine::heap_pop() {
       std::size_t best = first;
       const std::size_t end = std::min(first + 4, n);
       for (std::size_t c = first + 1; c < end; ++c) {
-        if (entry_less(heap_[c], heap_[best])) best = c;
+        if (entry_less(heap[c], heap[best])) best = c;
       }
-      if (!entry_less(heap_[best], last)) break;
-      heap_[i] = heap_[best];
+      if (!entry_less(heap[best], last)) break;
+      heap[i] = heap[best];
       i = best;
     }
-    heap_[i] = last;
+    heap[i] = last;
   }
   return top;
-}
-
-void Engine::heap_prune() {
-  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
-    release_slot(heap_pop().slot);
-  }
 }
 
 // --- hierarchical timer wheel ----------------------------------------------
 //
 // Positions and bucket bounds are in "ticks" (floor(when / resolution)).
-// wheel_pos_ is the flush frontier: every wheel entry has tick > wheel_pos_
-// and is reachable from it (level L holds ticks sharing the frontier's
-// level-(L+1) digit but not its level-L digit). Entries always pass through
-// the (when, seq) heap before executing, so the wheel is invisible to
-// execution order; it only defers heap insertion for far-future timers.
+// Each lane's wheel_pos is its flush frontier: every wheel entry has
+// tick > wheel_pos and is reachable from it (level L holds ticks sharing
+// the frontier's level-(L+1) digit but not its level-L digit). Entries
+// always pass through the lane's (when, seq) heap before executing, so the
+// wheel is invisible to execution order; it only defers heap insertion for
+// far-future timers.
 
 std::uint64_t Engine::tick_of(SimTime when) {
   const double t = when / kWheelResolution;
@@ -150,90 +184,100 @@ std::uint64_t Engine::tick_of(SimTime when) {
   return static_cast<std::uint64_t>(t);
 }
 
-bool Engine::route(Entry e) {
+bool Engine::route(Lane& lane, Entry e) {
+  // The heads_ digest is maintained conservatively here: a heap insert can
+  // only lower the head, a wheel insert can only lower the wheel bound. A
+  // stale-low wheel bound merely sends the merge scan through the slow
+  // peek path once, which recomputes it exactly.
+  LaneHead& h = heads_[static_cast<std::size_t>(&lane - lanes_.data())];
   const std::uint64_t tick = tick_of(e.when);
-  if (tick == kNoTick || tick <= wheel_pos_) {
-    heap_push(e);
+  if (tick == kNoTick || tick <= lane.wheel_pos) {
+    heap_push(lane, e);
+    if (entry_less(e, h.head)) h.head = e;
     return false;
   }
   int level;
   std::uint64_t idx;
-  if ((tick >> 6) == (wheel_pos_ >> 6)) {
+  if ((tick >> 6) == (lane.wheel_pos >> 6)) {
     level = 0;
     idx = tick & 63;
-  } else if ((tick >> 12) == (wheel_pos_ >> 12)) {
+  } else if ((tick >> 12) == (lane.wheel_pos >> 12)) {
     level = 1;
     idx = (tick >> 6) & 63;
-  } else if ((tick >> 18) == (wheel_pos_ >> 18)) {
+  } else if ((tick >> 18) == (lane.wheel_pos >> 18)) {
     level = 2;
     idx = (tick >> 12) & 63;
   } else {
-    heap_push(e);  // beyond the wheel span (~18 h of simulated time)
+    heap_push(lane, e);  // beyond the wheel span (~18 h of simulated time)
+    if (entry_less(e, h.head)) h.head = e;
     return false;
   }
-  buckets_[level][idx].push_back(e);
-  occupancy_[level] |= std::uint64_t{1} << idx;
-  ++wheel_count_;
+  lane.buckets[level][idx].push_back(e);
+  lane.occupancy[level] |= std::uint64_t{1} << idx;
+  ++lane.wheel_count;
+  const SimTime bound =
+      (static_cast<double>(tick) - 1.0) * kWheelResolution;
+  if (bound < h.wheel_bound) h.wheel_bound = bound;
   return true;
 }
 
-std::uint64_t Engine::next_bound_tick() const {
+std::uint64_t Engine::next_bound_tick(const Lane& lane) const {
   // The earliest L0 tick always precedes every L1 bound, which precedes
   // every L2 bound (outer levels hold strictly later digit groups), so the
   // first occupied level wins.
   {
-    const std::uint64_t sh = wheel_pos_ & 63;
-    const std::uint64_t mask = (occupancy_[0] >> sh) << sh;
+    const std::uint64_t sh = lane.wheel_pos & 63;
+    const std::uint64_t mask = (lane.occupancy[0] >> sh) << sh;
     if (mask != 0) {
-      return (wheel_pos_ & ~std::uint64_t{63}) |
+      return (lane.wheel_pos & ~std::uint64_t{63}) |
              static_cast<std::uint64_t>(std::countr_zero(mask));
     }
   }
   {
-    const std::uint64_t sh = ((wheel_pos_ >> 6) & 63) + 1;
+    const std::uint64_t sh = ((lane.wheel_pos >> 6) & 63) + 1;
     const std::uint64_t mask =
-        sh >= 64 ? 0 : (occupancy_[1] >> sh) << sh;
+        sh >= 64 ? 0 : (lane.occupancy[1] >> sh) << sh;
     if (mask != 0) {
-      return ((wheel_pos_ >> 12) << 12) |
+      return ((lane.wheel_pos >> 12) << 12) |
              (static_cast<std::uint64_t>(std::countr_zero(mask)) << 6);
     }
   }
   {
-    const std::uint64_t sh = ((wheel_pos_ >> 12) & 63) + 1;
+    const std::uint64_t sh = ((lane.wheel_pos >> 12) & 63) + 1;
     const std::uint64_t mask =
-        sh >= 64 ? 0 : (occupancy_[2] >> sh) << sh;
+        sh >= 64 ? 0 : (lane.occupancy[2] >> sh) << sh;
     if (mask != 0) {
-      return ((wheel_pos_ >> 18) << 18) |
+      return ((lane.wheel_pos >> 18) << 18) |
              (static_cast<std::uint64_t>(std::countr_zero(mask)) << 12);
     }
   }
   return kNoTick;
 }
 
-void Engine::flush_until(std::uint64_t bound) {
+void Engine::flush_until(Lane& lane, std::uint64_t bound) {
   bool frontier_done = false;
-  while (!frontier_done && wheel_count_ != 0) {
+  while (!frontier_done && lane.wheel_count != 0) {
     // L0: drain the earliest occupied bucket in the frontier's group.
     {
-      const std::uint64_t sh = wheel_pos_ & 63;
-      const std::uint64_t mask = (occupancy_[0] >> sh) << sh;
+      const std::uint64_t sh = lane.wheel_pos & 63;
+      const std::uint64_t mask = (lane.occupancy[0] >> sh) << sh;
       if (mask != 0) {
         const int idx = std::countr_zero(mask);
         const std::uint64_t t0 =
-            (wheel_pos_ & ~std::uint64_t{63}) | static_cast<unsigned>(idx);
+            (lane.wheel_pos & ~std::uint64_t{63}) | static_cast<unsigned>(idx);
         if (t0 > bound) break;
-        auto& bucket = buckets_[0][idx];
-        wheel_count_ -= bucket.size();
+        auto& bucket = lane.buckets[0][idx];
+        lane.wheel_count -= bucket.size();
         for (const Entry& e : bucket) {
-          if (slots_[e.slot].live) {
-            heap_push(e);
+          if (lane.slots[e.slot].live) {
+            heap_push(lane, e);
           } else {
-            release_slot(e.slot);  // cancelled while parked
+            release_slot(lane, e.slot);  // cancelled while parked
           }
         }
         bucket.clear();
-        occupancy_[0] &= ~(std::uint64_t{1} << idx);
-        wheel_pos_ = t0;
+        lane.occupancy[0] &= ~(std::uint64_t{1} << idx);
+        lane.wheel_pos = t0;
         continue;
       }
     }
@@ -242,32 +286,32 @@ void Engine::flush_until(std::uint64_t bound) {
     bool cascaded = false;
     for (int level = 1; level < kWheelLevels; ++level) {
       const int digit_shift = 6 * level;
-      const std::uint64_t sh = ((wheel_pos_ >> digit_shift) & 63) + 1;
+      const std::uint64_t sh = ((lane.wheel_pos >> digit_shift) & 63) + 1;
       const std::uint64_t mask =
-          sh >= 64 ? 0 : (occupancy_[level] >> sh) << sh;
+          sh >= 64 ? 0 : (lane.occupancy[level] >> sh) << sh;
       if (mask == 0) continue;
       const int idx = std::countr_zero(mask);
       const std::uint64_t bucket_bound =
-          ((wheel_pos_ >> (digit_shift + 6)) << (digit_shift + 6)) |
+          ((lane.wheel_pos >> (digit_shift + 6)) << (digit_shift + 6)) |
           (static_cast<std::uint64_t>(idx) << digit_shift);
       if (bucket_bound > bound) {
         frontier_done = true;
-        cascaded = true;  // exit cleanly; the tail still advances wheel_pos_
+        cascaded = true;  // exit cleanly; the tail still advances wheel_pos
         break;
       }
-      wheel_pos_ = bucket_bound;
-      auto& bucket = buckets_[level][idx];
-      wheel_count_ -= bucket.size();
-      occupancy_[level] &= ~(std::uint64_t{1} << idx);
+      lane.wheel_pos = bucket_bound;
+      auto& bucket = lane.buckets[level][idx];
+      lane.wheel_count -= bucket.size();
+      lane.occupancy[level] &= ~(std::uint64_t{1} << idx);
       ++stats_.wheel_cascades;
       // route() below never appends back into this same bucket: every
       // entry here shares the frontier's level-(L) digit now, so it lands
       // in a lower level or the heap.
       for (const Entry& e : bucket) {
-        if (slots_[e.slot].live) {
-          route(e);
+        if (lane.slots[e.slot].live) {
+          route(lane, e);
         } else {
-          release_slot(e.slot);
+          release_slot(lane, e.slot);
         }
       }
       bucket.clear();
@@ -278,32 +322,52 @@ void Engine::flush_until(std::uint64_t bound) {
     ECF_DCHECK(false) << " timer wheel entries unreachable from frontier";
     break;
   }
-  if (bound != kNoTick && bound > wheel_pos_) wheel_pos_ = bound;
+  if (bound != kNoTick && bound > lane.wheel_pos) lane.wheel_pos = bound;
 }
 
-bool Engine::next_event_time(SimTime* when) {
-  for (;;) {
-    heap_prune();
-    const SimTime heap_top = heap_.empty()
-                                 ? std::numeric_limits<SimTime>::infinity()
-                                 : heap_.front().when;
-    if (wheel_count_ != 0) {
-      const std::uint64_t bt = next_bound_tick();
-      ECF_DCHECK(bt != kNoTick) << " timer wheel occupancy out of sync";
-      // (bt - 1) * resolution is a conservative lower bound on the `when`
-      // of any parked entry (one-tick slack absorbs the floating-point
-      // rounding in tick_of). Flushing early is harmless — the heap still
-      // orders execution by (when, seq).
-      if (bt != kNoTick &&
-          (static_cast<double>(bt) - 1.0) * kWheelResolution <= heap_top) {
-        flush_until(bt);
-        continue;
-      }
-    }
-    if (heap_.empty()) return false;
-    *when = heap_top;
-    return true;
+void Engine::refresh_heap_head(std::size_t i) {
+  Lane& lane = lanes_[i];
+  heads_[i].head = lane.heap.empty() ? Entry{kInfTime, ~std::uint64_t{0}, 0}
+                                     : lane.heap.front();
+}
+
+void Engine::refresh_head(std::size_t i) {
+  refresh_heap_head(i);
+  Lane& lane = lanes_[i];
+  LaneHead& h = heads_[i];
+  if (lane.wheel_count == 0) {
+    h.wheel_bound = kInfTime;
+  } else {
+    const std::uint64_t bt = next_bound_tick(lane);
+    ECF_DCHECK(bt != kNoTick) << " timer wheel occupancy out of sync";
+    // (bt - 1) * resolution is a conservative lower bound on the `when`
+    // of any parked entry (one-tick slack absorbs the floating-point
+    // rounding in tick_of).
+    h.wheel_bound = (static_cast<double>(bt) - 1.0) * kWheelResolution;
   }
+}
+
+void Engine::flush_lane_for_peek(std::size_t i) {
+  // Deliberately does NOT check heads for liveness: the heap front is a
+  // valid (when, seq) lower bound on every live event in the lane whether
+  // or not it was cancelled, and skipping the check keeps the per-event
+  // k-way merge scan from touching a random slot cache line per lane. The
+  // run loop verifies liveness for the winning head only and re-peeks the
+  // lane when it turns out dead.
+  Lane& lane = lanes_[i];
+  while (lane.wheel_count != 0) {
+    const SimTime heap_top =
+        lane.heap.empty() ? kInfTime : lane.heap.front().when;
+    const std::uint64_t bt = next_bound_tick(lane);
+    ECF_DCHECK(bt != kNoTick) << " timer wheel occupancy out of sync";
+    // Flushing early is harmless — the heap still orders execution by
+    // (when, seq).
+    if (!((static_cast<double>(bt) - 1.0) * kWheelResolution <= heap_top)) {
+      break;
+    }
+    flush_until(lane, bt);
+  }
+  refresh_head(i);
 }
 
 // --- run loop ---------------------------------------------------------------
@@ -314,16 +378,45 @@ std::size_t Engine::run() {
 
 std::size_t Engine::run_until(SimTime horizon) {
   std::size_t executed = 0;
-  SimTime when;
-  while (next_event_time(&when)) {
-    if (when > horizon) break;
-    const Entry e = heap_pop();
-    Slot& s = slots_[e.slot];
+  const std::size_t n = lanes_.size();
+  for (;;) {
+    // Deterministic k-way merge over the dense heads_ digest: every lane
+    // surfaces its earliest entry; the global (when, seq) minimum wins.
+    // seq values are unique, so the winner — and thus the execution order
+    // — is independent of how events were assigned to lanes.
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      LaneHead& h = heads_[i];
+      if (h.wheel_bound <= h.head.when) {
+        if (h.wheel_bound == kInfTime) continue;  // lane fully empty
+        flush_lane_for_peek(i);
+        if (heads_[i].head.when == kInfTime) continue;  // only dead parked
+      }
+      if (best == n || entry_less(heads_[i].head, heads_[best].head)) {
+        best = i;
+      }
+    }
+    if (best == n) break;
+    Lane& lane = lanes_[best];
+    const Entry best_entry = heads_[best].head;
+    if (!lane.slots[best_entry.slot].live) {
+      // Cancelled while queued; drop it and re-merge. A live winner is <=
+      // every lane's lower bound, so it is the global live minimum.
+      release_slot(lane, heap_pop(lane).slot);
+      refresh_heap_head(best);
+      continue;
+    }
+    if (best_entry.when > horizon) break;
+    const Entry e = heap_pop(lane);
+    refresh_heap_head(best);
+    // Events scheduled by this callback inherit its lane.
+    current_lane_ = best;
+    Slot& s = lane.slots[e.slot];
     EventFn fn = std::move(s.fn);
     const EventTag tag = s.tag;
     // Retire the slot before invoking: the callback may schedule into it,
     // and the generation bump keeps the old EventId cancel-proof.
-    release_slot(e.slot);
+    release_slot(lane, e.slot);
     --live_;
     now_ = e.when;
     ++stats_.executed;
@@ -340,17 +433,14 @@ void Engine::reset() {
   now_ = 0;
   next_seq_ = 1;
   live_ = 0;
-  slots_.clear();
-  free_slots_.clear();
-  heap_.clear();
-  wheel_pos_ = 0;
-  wheel_count_ = 0;
-  for (int level = 0; level < kWheelLevels; ++level) {
-    occupancy_[level] = 0;
-    for (auto& bucket : buckets_[level]) bucket.clear();
-  }
+  const std::size_t lanes = lanes_.size();
+  lanes_.clear();
+  lanes_.resize(lanes);  // keep the lane layout across campaigns
+  heads_.assign(lanes, LaneHead{});
+  current_lane_ = 0;
   post_event_hook_ = nullptr;
   stats_ = EngineStats{};
+  stats_.lane_count = lanes;
 }
 
 }  // namespace ecf::sim

@@ -6,7 +6,7 @@
 // queue and the virtual clock; resources (src/sim/resources.h) translate
 // work (bytes, IOs) into event delays.
 //
-// Design notes (see DESIGN.md §11 for the full determinism argument):
+// Design notes (see DESIGN.md §11/§12 for the full determinism argument):
 //  * Time is double seconds. Events scheduled at equal times fire in
 //    schedule order (a monotonically increasing sequence number breaks
 //    ties), which keeps runs deterministic.
@@ -19,17 +19,23 @@
 //    generation-tagged slot handles, so cancel() is an O(1) slot
 //    invalidation — no hash sets, and stale ids from a previous use of
 //    the slot are rejected by the generation check.
-//  * Storage is an indexed event-slot table + a 4-ary min-heap ordered by
-//    (when, seq), fronted by a hierarchical timer wheel (3 levels × 64
+//  * Storage is N independent "lanes" (set_lane_count; default 1). Each
+//    lane owns an indexed event-slot table plus a 4-ary min-heap ordered
+//    by (when, seq) fronted by a hierarchical timer wheel (3 levels × 64
 //    buckets, kWheelResolution per tick) that keeps far-future periodic
-//    timers (heartbeats, keep-alives, iostat ticks) out of the heap until
-//    the clock approaches them. Wheel entries always funnel through the
-//    heap before execution, so the execution order is exactly the
-//    (when, seq) order of a plain heap — bit-identical results.
+//    timers out of the heap until the clock approaches them. The run loop
+//    is a deterministic k-way merge: it peeks every lane's earliest live
+//    entry and pops the global (when, seq) minimum, so execution order is
+//    bit-identical to a single monolithic heap for ANY lane assignment.
+//    Lanes exist purely to shard scheduling work and cache footprint at
+//    million-event queue depths; callers pin related entities (a PG, a
+//    host) to a lane with LaneScope so bursts of nearby-in-time events
+//    stay within one small, cache-resident heap.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/event_fn.h"
@@ -67,6 +73,7 @@ struct EngineStats {
   std::uint64_t peak_queue_depth = 0;   // max simultaneous live events
   std::uint64_t wheel_parked = 0;       // events first routed to the wheel
   std::uint64_t wheel_cascades = 0;     // L1/L2 bucket re-distributions
+  std::uint64_t lane_count = 1;         // event lanes (set_lane_count)
   std::uint64_t executed_by_tag[kNumEventTags] = {};
 };
 
@@ -76,6 +83,10 @@ class Engine {
   // spans 16 s; the full 3-level wheel covers ~18 h of simulated time
   // (64^3 ticks), past which events sit in the heap directly.
   static constexpr SimTime kWheelResolution = 0.25;
+
+  // Upper bound on set_lane_count: past this the per-event k-way merge
+  // scan costs more than the per-lane heaps save.
+  static constexpr std::size_t kMaxLanes = 64;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -111,9 +122,44 @@ class Engine {
   bool empty() const { return pending() == 0; }
   std::size_t pending() const { return live_; }
 
+  // --- event lanes ---
+  //
+  // Repartition the queue into `n` lanes (1..kMaxLanes). Only legal while
+  // no events are pending; the lane layout survives reset() so a campaign
+  // can configure lanes once and reuse the engine. Slot tables are
+  // rebuilt, so EventIds minted before the call must not be cancelled
+  // after it (like reset(), this is a campaign-setup operation). Execution
+  // order is independent of the lane count (deterministic k-way merge) —
+  // lanes are a throughput knob, never a semantics knob.
+  void set_lane_count(std::size_t n);
+  std::size_t lane_count() const { return lanes_.size(); }
+
+  // Stable key → lane mapping (splitmix64 finalizer mod lane_count), so
+  // adjacent PG/host ids spread across lanes.
+  std::size_t lane_of(std::uint64_t key) const;
+
+  // RAII lane pin: events scheduled while a LaneScope is alive land in
+  // lane_of(key)'s lane. Events scheduled by an executing callback inherit
+  // that event's lane, so one scope at the root of an I/O chain keeps the
+  // whole continuation in-lane.
+  class LaneScope {
+   public:
+    LaneScope(Engine& engine, std::uint64_t key)
+        : engine_(engine), saved_(engine.current_lane_) {
+      engine.current_lane_ = engine.lane_of(key);
+    }
+    ~LaneScope() { engine_.current_lane_ = saved_; }
+    LaneScope(const LaneScope&) = delete;
+    LaneScope& operator=(const LaneScope&) = delete;
+
+   private:
+    Engine& engine_;
+    std::size_t saved_;
+  };
+
   // Reset clock, queue, statistics AND the post-event hook (a hook from a
   // previous campaign variant must not observe the next one; the checker
-  // re-installs its hook when it is re-attached).
+  // re-installs its hook when it is re-attached). Keeps the lane count.
   void reset();
 
   // Hook invoked after every executed event (with the clock at the event's
@@ -124,8 +170,9 @@ class Engine {
   const EngineStats& stats() const { return stats_; }
 
  private:
-  // One scheduled callback. Slots are recycled through a free list; `gen`
-  // is bumped when the slot dies so stale EventIds can't resurrect it.
+  // One scheduled callback. Slots are recycled through a per-lane free
+  // list; `gen` is bumped when the slot dies so stale EventIds can't
+  // resurrect it.
   struct Slot {
     EventFn fn;
     std::uint32_t gen = 1;
@@ -133,61 +180,92 @@ class Engine {
     bool live = false;
   };
 
-  // Heap / wheel entry: the (when, seq) sort key plus the slot index. The
-  // callback itself stays in the slot so sift operations move 24 bytes.
+  // Heap / wheel entry: the (when, seq) sort key plus the slot index
+  // within the owning lane. The callback itself stays in the slot so sift
+  // operations move 24 bytes.
   struct Entry {
     SimTime when;
     std::uint64_t seq;
     std::uint32_t slot;
   };
 
+  // EventId layout: gen(32) | lane(6) | slot(26). Slot tables are sharded
+  // per lane so a pinned entity's whole schedule/cancel/execute working
+  // set — heap, wheel AND callback slots — lives in one lane-sized arena
+  // instead of one engine-sized one.
+  static constexpr std::uint64_t kIdLaneShift = 26;
+  static constexpr std::uint64_t kIdSlotMask = (std::uint64_t{1} << 26) - 1;
+  static_assert(kMaxLanes <= 64, "lane index must fit the 6-bit id field");
+
   static constexpr std::uint64_t kNoTick = ~std::uint64_t{0};
   static constexpr int kWheelLevels = 3;
   static constexpr std::uint64_t kBucketsPerLevel = 64;
 
+  // One event lane: an independent (heap, timer wheel, slot table) triple.
+  // The global (when, seq) order is recovered at pop time by scanning lane
+  // heads.
+  struct Lane {
+    std::vector<Entry> heap;
+    std::uint64_t wheel_pos = 0;  // flush position, in ticks
+    std::size_t wheel_count = 0;  // entries parked in buckets (incl. dead)
+    std::uint64_t occupancy[kWheelLevels] = {};
+    std::vector<Entry> buckets[kWheelLevels][kBucketsPerLevel];
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> free_slots;
+  };
+
+  static constexpr SimTime kInfTime =
+      std::numeric_limits<SimTime>::infinity();
+
+  // Hot per-lane digest scanned by the k-way merge: the lane's heap front
+  // (sentinel when = +inf if the heap is empty) plus a conservative lower
+  // bound on anything still parked in the lane's wheel (+inf if none).
+  // heads_ is a dense parallel array so the per-pop scan reads ~32 bytes
+  // per lane instead of chasing into each ~5 KB Lane struct.
+  struct LaneHead {
+    Entry head{kInfTime, ~std::uint64_t{0}, 0};
+    SimTime wheel_bound = kInfTime;
+  };
+
   EventId push_event(SimTime when, EventFn fn, EventTag tag);
-  std::uint32_t acquire_slot(EventFn fn, EventTag tag);
-  void release_slot(std::uint32_t slot);
+  std::uint32_t acquire_slot(Lane& lane, EventFn fn, EventTag tag);
+  void release_slot(Lane& lane, std::uint32_t slot);
 
   // --- 4-ary min-heap over (when, seq) ---
   static bool entry_less(const Entry& a, const Entry& b) {
     if (a.when != b.when) return a.when < b.when;
     return a.seq < b.seq;
   }
-  void heap_push(Entry e);
-  Entry heap_pop();
-  // Drop cancelled entries off the heap top, releasing their slots.
-  void heap_prune();
+  void heap_push(Lane& lane, Entry e);
+  Entry heap_pop(Lane& lane);
 
   // --- hierarchical timer wheel ---
   static std::uint64_t tick_of(SimTime when);
   // Add to the right wheel bucket (returns true), or to the heap when the
   // tick is at or behind the flush position / beyond the wheel span.
-  bool route(Entry e);
+  bool route(Lane& lane, Entry e);
   // Tick bound of the earliest occupied wheel bucket, or kNoTick.
-  std::uint64_t next_bound_tick() const;
+  std::uint64_t next_bound_tick(const Lane& lane) const;
   // Move every wheel entry with tick <= bound into the heap, cascading
   // outer levels as the position crosses their bucket boundaries.
-  void flush_until(std::uint64_t bound);
+  void flush_until(Lane& lane, std::uint64_t bound);
 
-  // Make the globally earliest live event the heap top (flushing wheel
-  // buckets whose bound could precede the heap top). Returns false when no
-  // live events remain.
-  bool next_event_time(SimTime* when);
+  // Recompute heads_[i].head from the lane's heap front (pops only touch
+  // the heap, so the cached wheel bound stays valid).
+  void refresh_heap_head(std::size_t i);
+  // Recompute heads_[i] exactly from the heap front and wheel occupancy.
+  void refresh_head(std::size_t i);
+  // Flush wheel buckets whose bound could precede the lane's heap top, so
+  // heads_[i].head is the lane's true earliest entry (dead or live).
+  void flush_lane_for_peek(std::size_t i);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;  // tie-break order; monotone per engine run
   std::size_t live_ = 0;        // scheduled, not yet run/cancelled
 
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
-
-  std::vector<Entry> heap_;
-
-  std::uint64_t wheel_pos_ = 0;  // flush position, in ticks
-  std::size_t wheel_count_ = 0;  // entries parked in buckets (incl. dead)
-  std::uint64_t occupancy_[kWheelLevels] = {};
-  std::vector<Entry> buckets_[kWheelLevels][kBucketsPerLevel];
+  std::vector<Lane> lanes_ = std::vector<Lane>(1);
+  std::vector<LaneHead> heads_ = std::vector<LaneHead>(1);
+  std::size_t current_lane_ = 0;  // lane for new events (LaneScope / pop)
 
   EventFn post_event_hook_;
   EngineStats stats_;

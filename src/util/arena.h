@@ -1,0 +1,155 @@
+// Bump arena and slab pool for campaign-scale simulator state.
+//
+// Million-object campaigns allocate the same few transient structures —
+// recovery op state, repair shapes, scratch vectors — millions of times.
+// Routing those through the general-purpose heap costs both time (malloc
+// metadata, locking) and memory (per-allocation headers, fragmentation).
+// The arena answers with two primitives:
+//
+//  * Arena — a bump allocator over geometrically-growing blocks. alloc()
+//    is a pointer increment; nothing is freed individually. Trivially-
+//    destructible payloads only (enforced by make<T>); release happens
+//    wholesale via the owner's destructor or reset().
+//  * Pool<T> — a typed slab free list on top of an Arena: acquire() hands
+//    out a constructed T (recycled slabs are destroyed+reconstructed, so
+//    each acquire sees a fresh object), release() returns it in O(1).
+//    For the per-op / per-round protocol state that churns at event rate.
+//
+// Neither is thread-safe; the simulator is single-threaded by design
+// (DESIGN.md §11) and campaign workers each own their cluster.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>  // ecf-lint: allow(naked-new)
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ecf::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 4096)
+      : next_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw aligned storage; never individually freed.
+  void* alloc(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    ECF_DCHECK((align & (align - 1)) == 0) << " alignment not a power of two";
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(std::uintptr_t{align} - 1);
+    if (p + bytes > limit_) {
+      grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(std::uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    allocated_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Placement-construct a T. Trivially destructible only: the arena never
+  // runs destructors, so anything owning memory would leak.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena payloads are never destroyed individually");
+    return ::new (alloc(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);  // ecf-lint: allow(naked-new)
+  }
+
+  // Drop every allocation but keep the blocks for reuse (campaign reruns
+  // hit a warm arena instead of re-growing from scratch).
+  void reset() {
+    blocks_.resize(blocks_.empty() ? 0 : 1);
+    if (!blocks_.empty()) {
+      cursor_ = reinterpret_cast<std::uintptr_t>(blocks_[0].data.get());
+      limit_ = cursor_ + blocks_[0].bytes;
+    } else {
+      cursor_ = limit_ = 0;
+    }
+    allocated_ = 0;
+  }
+
+  std::size_t allocated_bytes() const { return allocated_; }
+  std::size_t reserved_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.bytes;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t bytes;
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t bytes = next_block_bytes_;
+    while (bytes < at_least) bytes *= 2;
+    next_block_bytes_ = bytes * 2;  // geometric growth caps block count
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(bytes), bytes});
+    cursor_ = reinterpret_cast<std::uintptr_t>(blocks_.back().data.get());
+    limit_ = cursor_ + bytes;
+  }
+
+  std::vector<Block> blocks_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t next_block_bytes_;
+  std::size_t allocated_ = 0;
+};
+
+// Typed slab free list. acquire() returns a fresh, default-or-arg
+// constructed T; release() recycles the slab without touching the arena.
+// T may own memory (vectors, strings): destructors run on release-path
+// reconstruction and in the Pool destructor for outstanding slabs — the
+// slab memory itself comes from the arena and is reclaimed wholesale.
+template <typename T>
+class Pool {
+ public:
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+  ~Pool() {
+    // Destroy every slab ever handed out that is currently free; live
+    // objects must have been released (or leaked deliberately at teardown,
+    // in which case their memory still frees with the arena).
+    for (T* p : free_) p->~T();
+  }
+
+  template <typename... Args>
+  T* acquire(Args&&... args) {
+    ++acquired_;
+    if (!free_.empty()) {
+      T* p = free_.back();
+      free_.pop_back();
+      p->~T();
+      return ::new (static_cast<void*>(p)) T(std::forward<Args>(args)...);  // ecf-lint: allow(naked-new)
+    }
+    ++slabs_;
+    void* raw = arena_.alloc(sizeof(T), alignof(T));
+    return ::new (raw) T(std::forward<Args>(args)...);  // ecf-lint: allow(naked-new)
+  }
+
+  void release(T* p) {
+    if (p == nullptr) return;
+    free_.push_back(p);
+  }
+
+  // Total distinct slabs carved from the arena — the pool's high-water
+  // mark of simultaneously-live objects. Bench output uses this to show
+  // per-op allocations stayed O(high-water), not O(ops).
+  std::size_t slab_count() const { return slabs_; }
+  std::size_t acquired_count() const { return acquired_; }
+
+ private:
+  Arena arena_{sizeof(T) < 256 ? 4096 : sizeof(T) * 16};
+  std::vector<T*> free_;
+  std::size_t slabs_ = 0;
+  std::size_t acquired_ = 0;
+};
+
+}  // namespace ecf::util

@@ -1,0 +1,133 @@
+// Fixed-bucket log2 latency histogram.
+//
+// Client-latency accounting at campaign scale cannot keep raw samples
+// (util::Samples is exact but O(ops) memory — a 1M-op run would hold
+// megabytes per metric) and a running mean/max loses exactly the tail the
+// recovery-interference experiments care about. The histogram is the
+// classic fixed-size compromise: 4 sub-buckets per power of two from 1 µs
+// upward, so any percentile is off by at most ~19% of the value (one
+// quarter-octave), with O(1) record and a few hundred bytes of state.
+// Deterministic: bucket edges are pure functions of the value, and
+// percentile() interpolates linearly inside the winning bucket.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace ecf::util {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 4;        // per octave (power of two)
+  static constexpr int kOctaves = 36;          // 1 µs .. ~19 h
+  static constexpr double kMinLatency = 1e-6;  // seconds; below → bucket 0
+  static constexpr int kNumBuckets = kOctaves * kSubBuckets;
+
+  void record(double seconds) {
+    ++count_;
+    sum_ += seconds;
+    max_ = std::max(max_, seconds);
+    ++buckets_[bucket_of(seconds)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // NaN-safe: no samples → 0, not 0/0.
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double sum() const { return sum_; }
+
+  // q in [0, 1]; returns 0 with no samples. Linear interpolation within
+  // the winning bucket against its geometric [lower, upper) bounds.
+  double percentile(double q) const {
+    if (count_ == 0) return 0.0;
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      const std::uint64_t next = seen + buckets_[b];
+      if (static_cast<double>(next) >= target) {
+        const double lo = bucket_lower(b);
+        const double hi = std::min(bucket_upper(b), max_);
+        const double frac =
+            (target - static_cast<double>(seen)) / buckets_[b];
+        return lo + (hi > lo ? (hi - lo) * std::clamp(frac, 0.0, 1.0) : 0.0);
+      }
+      seen = next;
+    }
+    return max_;
+  }
+
+  // Number of samples recorded since `prev` (an earlier snapshot of this
+  // same histogram — counts are monotone, so plain subtraction is exact).
+  std::uint64_t count_since(const LatencyHistogram& prev) const {
+    return count_ - prev.count_;
+  }
+
+  // Percentile over only the samples recorded since `prev`: the classic
+  // iostat-style interval metric, computed from per-bucket count deltas.
+  // The interval max is unknown, so the winning bucket interpolates
+  // against min(bucket_upper, lifetime max) — same quarter-octave error
+  // bound as percentile().
+  double percentile_since(const LatencyHistogram& prev, double q) const {
+    const std::uint64_t dcount = count_since(prev);
+    if (dcount == 0) return 0.0;
+    const double target = q * static_cast<double>(dcount);
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const std::uint64_t d = buckets_[b] - prev.buckets_[b];
+      if (d == 0) continue;
+      const std::uint64_t next = seen + d;
+      if (static_cast<double>(next) >= target) {
+        const double lo = bucket_lower(b);
+        const double hi = std::min(bucket_upper(b), max_);
+        const double frac = (target - static_cast<double>(seen)) / d;
+        return lo + (hi > lo ? (hi - lo) * std::clamp(frac, 0.0, 1.0) : 0.0);
+      }
+      seen = next;
+    }
+    return max_;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  }
+
+  void reset() { *this = LatencyHistogram{}; }
+
+  // Raw bucket access for serialization (iostat deltas, campaign JSON).
+  std::uint64_t bucket_count(int b) const {
+    ECF_DCHECK(b >= 0 && b < kNumBuckets);
+    return buckets_[b];
+  }
+  static double bucket_lower(int b) {
+    return kMinLatency *
+           std::exp2(static_cast<double>(b) / kSubBuckets);
+  }
+  static double bucket_upper(int b) {
+    return kMinLatency *
+           std::exp2(static_cast<double>(b + 1) / kSubBuckets);
+  }
+
+  static int bucket_of(double seconds) {
+    if (!(seconds > kMinLatency)) return 0;  // NaN/negative/tiny → floor
+    const int b = static_cast<int>(
+        std::log2(seconds / kMinLatency) * kSubBuckets);
+    return std::clamp(b, 0, kNumBuckets - 1);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+  std::uint64_t buckets_[kNumBuckets] = {};
+};
+
+}  // namespace ecf::util

@@ -65,7 +65,7 @@ TEST(ClientLoad, FailureCausesDegradedReads) {
   EXPECT_GT(r.client_ops, 0u);
   EXPECT_GT(r.degraded_reads, 0u);
   // Degraded reads gather k shards + decode: tail latency above healthy.
-  EXPECT_GT(r.client_latency_max, 0.01);
+  EXPECT_GT(r.max_client_latency(), 0.01);
 }
 
 TEST(ClientLoad, WritesMixedIn) {
@@ -103,6 +103,85 @@ TEST(ClientLoad, ContentionSlowsRecovery) {
   ASSERT_TRUE(busy_report.complete);
   EXPECT_GT(busy_report.ec_recovery_period(),
             idle_report.ec_recovery_period());
+}
+
+TEST(ClientLoad, DeterministicAcrossRuns) {
+  // Same seed, same config ⇒ identical op counts AND identical latency
+  // distributions (histogram moments are a strong order-sensitive probe:
+  // any divergence in zipf draws, arrival gaps, or event interleaving
+  // shows up in the sum of latencies).
+  ClusterConfig cfg = client_config(50);
+  cfg.client.zipf_theta = 0.99;
+  cfg.client.read_fraction = 0.8;
+  RecoveryReport runs[2];
+  for (auto& r : runs) {
+    Cluster cl(cfg);
+    cl.create_pool();
+    cl.apply_workload();
+    cl.start_client_load();
+    cl.engine().schedule(1.0, [&cl] { cl.fail_host(2); });
+    r = cl.run_to_recovery();
+  }
+  EXPECT_EQ(runs[0].client_ops, runs[1].client_ops);
+  EXPECT_EQ(runs[0].degraded_reads, runs[1].degraded_reads);
+  const auto a = runs[0].client_latency_all();
+  const auto b = runs[1].client_latency_all();
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());  // bit-identical, not just close
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(runs[0].recovery_end_time, runs[1].recovery_end_time);
+}
+
+TEST(ClientLoad, ClosedLoopBacksOffUnderDegradation) {
+  // Closed-loop arrivals serve ops and stay deterministic.
+  ClusterConfig cfg = client_config(100);
+  cfg.client.closed_loop = true;
+  cfg.client.clients = 16;
+  cfg.client.think_time_s = 0.01;
+  cfg.client.horizon_s = 60.0;
+  std::uint64_t ops[2];
+  for (auto& o : ops) {
+    Cluster cl(cfg);
+    cl.create_pool();
+    cl.apply_workload();
+    cl.start_client_load();
+    cl.engine().run();
+    o = cl.report().client_ops;
+  }
+  EXPECT_GT(ops[0], 16u);  // every worker completed multiple rounds
+  EXPECT_EQ(ops[0], ops[1]);
+}
+
+TEST(ClientLoad, DegradedTailAboveCleanTail) {
+  // The headline split: during failure + recovery, degraded reads (k-shard
+  // gather + decode) carry a heavier tail than clean reads.
+  ClusterConfig cfg = client_config(50);
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_client_load();
+  cl.engine().schedule(1.0, [&cl] { cl.fail_host(2); });
+  cl.run_to_recovery();
+  const auto& r = cl.report();
+  ASSERT_FALSE(r.client_clean_read_lat.empty());
+  ASSERT_FALSE(r.client_degraded_read_lat.empty());
+  EXPECT_GT(r.client_degraded_read_lat.percentile(0.99),
+            r.client_clean_read_lat.percentile(0.99));
+}
+
+TEST(ClientLoad, ZipfSkewConcentratesLoad) {
+  // zipf_theta near 1 must still serve ops and hit many distinct PGs via
+  // the scrambled rank → object map (no degenerate all-one-PG hammering).
+  ClusterConfig cfg = client_config(100);
+  cfg.client.zipf_theta = 0.99;
+  cfg.client.horizon_s = 30.0;
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_client_load();
+  cl.engine().run();
+  EXPECT_GT(cl.report().client_ops, 100u);
+  EXPECT_EQ(cl.report().degraded_reads, 0u);
 }
 
 TEST(ClientLoad, StopsAtHorizon) {

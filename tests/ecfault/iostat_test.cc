@@ -63,6 +63,40 @@ TEST(Iostat, RecordsFlowThroughLoggerPipeline) {
   EXPECT_GT(io_records, 0u);
 }
 
+TEST(Iostat, ClientIntervalPercentilesTrackForegroundLoad) {
+  cluster::ClusterConfig cfg = tiny_config();
+  cfg.client.ops_per_s = 50.0;
+  cfg.client.horizon_s = 60.0;
+  cluster::Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_client_load();
+  IostatCollector iostat(&cl, 5.0, 600.0);
+  cl.engine().run();
+  ASSERT_FALSE(iostat.client_samples().empty());
+  double total_ops = 0;
+  for (const auto& cs : iostat.client_samples()) {
+    EXPECT_GT(cs.ops_per_s, 0.0);   // quiet ticks are skipped entirely
+    EXPECT_GT(cs.p99_s, 0.0);
+    EXPECT_GE(cs.p99_s, cs.p50_s);  // interval percentiles stay ordered
+    total_ops += cs.ops_per_s * 5.0;
+  }
+  // Interval deltas must re-add to the lifetime count (ops finishing
+  // after the last tick are the only loss).
+  EXPECT_LE(total_ops, static_cast<double>(cl.report().client_ops));
+  EXPECT_GT(total_ops, 0.5 * static_cast<double>(cl.report().client_ops));
+}
+
+TEST(Iostat, NoClientSamplesWithoutClientLoad) {
+  cluster::Cluster cl(tiny_config());
+  cl.create_pool();
+  cl.apply_workload();
+  IostatCollector iostat(&cl, 5.0, 600.0);
+  cl.engine().schedule(1.0, [&cl] { cl.fail_host(2); });
+  cl.run_to_recovery();
+  EXPECT_TRUE(iostat.client_samples().empty());
+}
+
 TEST(Iostat, BusiestOsdIsARecoveryParticipant) {
   cluster::Cluster cl(tiny_config());
   cl.create_pool();

@@ -90,6 +90,53 @@ TEST(Profile, RejectsBadCorruptFraction) {
       std::invalid_argument);
 }
 
+TEST(Profile, ClientLoadAndEngineLanesRoundTrip) {
+  ExperimentProfile p;
+  p.cluster.engine_lanes = 16;
+  p.cluster.client.ops_per_s = 500.0;
+  p.cluster.client.read_fraction = 0.75;
+  p.cluster.client.op_bytes = 65536;
+  p.cluster.client.horizon_s = 300.0;
+  p.cluster.client.zipf_theta = 0.99;
+  p.cluster.client.closed_loop = true;
+  p.cluster.client.clients = 64;
+  p.cluster.client.think_time_s = 0.002;
+  const ExperimentProfile q = ExperimentProfile::parse(p.dump());
+  EXPECT_EQ(q.cluster.engine_lanes, 16);
+  EXPECT_DOUBLE_EQ(q.cluster.client.ops_per_s, 500.0);
+  EXPECT_DOUBLE_EQ(q.cluster.client.read_fraction, 0.75);
+  EXPECT_EQ(q.cluster.client.op_bytes, 65536u);
+  EXPECT_DOUBLE_EQ(q.cluster.client.horizon_s, 300.0);
+  EXPECT_DOUBLE_EQ(q.cluster.client.zipf_theta, 0.99);
+  EXPECT_TRUE(q.cluster.client.closed_loop);
+  EXPECT_EQ(q.cluster.client.clients, 64);
+  EXPECT_DOUBLE_EQ(q.cluster.client.think_time_s, 0.002);
+}
+
+TEST(Profile, ValidatesEngineLanes) {
+  EXPECT_THROW(
+      ExperimentProfile::parse(R"({"cluster": {"engine_lanes": 0}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ExperimentProfile::parse(R"({"cluster": {"engine_lanes": 65}})"),
+      std::invalid_argument);
+}
+
+TEST(Profile, ValidatesClientLoad) {
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"cluster": {"client": {"read_fraction": 1.5}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"cluster": {"client": {"zipf_theta": 1.0}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"cluster": {"client": {"ops_per_s": -1}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"cluster": {"client": {"clients": 0}}})"),
+               std::invalid_argument);
+}
+
 TEST(Profile, EnumStringsRoundTrip) {
   EXPECT_EQ(fault_level_from_string(to_string(FaultLevel::kDevice)),
             FaultLevel::kDevice);

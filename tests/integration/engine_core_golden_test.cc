@@ -102,6 +102,27 @@ TEST(EngineCoreGolden, RsRecoveryCampaignBitIdentical) {
   EXPECT_EQ(tag_count(sim::EventTag::kFault), 4u);  // device + 3 net levers
 }
 
+// Event lanes are a throughput knob, never a semantics knob: the same
+// campaign sharded over 8 lanes (PG/host-pinned scheduling, per-lane slot
+// tables, k-way merge pop) must reproduce every golden value bit for bit.
+TEST(EngineCoreGolden, RsRecoveryCampaignBitIdenticalWithLanes) {
+  auto p = engine_golden_profile(/*clay=*/false);
+  p.cluster.engine_lanes = 8;
+  const auto r = ecfault::Coordinator::run_experiment(p);
+  EXPECT_TRUE(r.report.complete);
+  EXPECT_EQ(r.report.detection_time, 0x1.6713fd63d94b4p+3);
+  EXPECT_EQ(r.report.recovery_end_time, 0x1.50f3396d1fbc3p+6);
+  EXPECT_EQ(r.report.bytes_read_for_recovery, 2604662784u);
+  EXPECT_EQ(r.report.bytes_written_for_recovery, 289406976u);
+  EXPECT_EQ(r.report.objects_repaired, 69u);
+  EXPECT_EQ(r.report.fabric_transport_wait_s, 0x1.93518ab56566p+3);
+  EXPECT_EQ(r.report.fabric_retries, 19u);
+  EXPECT_EQ(r.report.fabric_reconnects, 3u);
+  EXPECT_EQ(r.actual_wa, 0x1.033eb851eb852p+2);
+  EXPECT_EQ(r.log_records_published, 135u);
+  EXPECT_EQ(r.report.engine_stats.lane_count, 8u);
+}
+
 TEST(EngineCoreGolden, ClayRecoveryCampaignBitIdentical) {
   const auto r = ecfault::Coordinator::run_experiment(
       engine_golden_profile(/*clay=*/true));

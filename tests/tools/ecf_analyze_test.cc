@@ -346,6 +346,53 @@ TEST(AnalyzeHotPath, InlineAllowSuppresses) {
   EXPECT_TRUE(a.check_hot_path().empty());
 }
 
+// --- rule family 5: per-object maps in src/cluster --------------------------
+
+TEST(AnalyzeClusterMaps, MapMembersInClusterStructsFlagged) {
+  Analyzer a;
+  a.add_file("src/cluster/state.h",
+             "struct Pg {\n"
+             "  std::map<std::uint64_t, int> per_object_;\n"
+             "  std::unordered_map<int, int> index_;\n"
+             "  std::vector<int> fine_;\n"
+             "};\n");
+  const auto f = a.check_cluster_maps();
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "per-object-map");
+  EXPECT_EQ(f[0].line, 2u);
+  EXPECT_EQ(f[0].detail, "Pg::per_object_");
+  EXPECT_EQ(f[1].line, 3u);
+  EXPECT_EQ(f[1].detail, "Pg::index_");
+}
+
+TEST(AnalyzeClusterMaps, LocalsAndOtherModulesUnconstrained) {
+  Analyzer a;
+  // A std::map local in a function body is working state, not a member.
+  a.add_file("src/cluster/calc.cc",
+             "int count() {\n"
+             "  std::map<int, int> tally;\n"
+             "  return tally.size();\n"
+             "}\n");
+  // The rule polices src/cluster only; ecfault drives campaigns.
+  a.add_file("src/ecfault/campaign.h",
+             "struct Campaign { std::map<int, int> results_; };\n");
+  // A variable merely named `map` is not a type use.
+  a.add_file("src/cluster/misc.h", "struct S { int map; };\n");
+  EXPECT_TRUE(a.check_cluster_maps().empty());
+}
+
+TEST(AnalyzeClusterMaps, InlineAndPrecedingLineAllowSuppress) {
+  Analyzer a;
+  a.add_file("src/cluster/cfg.h",
+             "struct PoolConfig {\n"
+             "  // ecf-analyze: allow(per-object-map)\n"
+             "  std::map<std::string, std::string> profile_;\n"
+             "  std::map<int, int> inline_ok_;  "
+             "// ecf-analyze: allow(per-object-map)\n"
+             "};\n");
+  EXPECT_TRUE(a.check_cluster_maps().empty());
+}
+
 // --- baseline & JSON --------------------------------------------------------
 
 TEST(AnalyzeBaseline, ParseSkipsCommentsAndNormalizesSpace) {
@@ -419,6 +466,7 @@ TEST(AnalyzeGolden, Layering) { run_golden("layering"); }
 TEST(AnalyzeGolden, Determinism) { run_golden("determinism"); }
 TEST(AnalyzeGolden, Locks) { run_golden("locks"); }
 TEST(AnalyzeGolden, HotPath) { run_golden("hotpath"); }
+TEST(AnalyzeGolden, ClusterMaps) { run_golden("clustermaps"); }
 
 }  // namespace
 }  // namespace ecf::analyze

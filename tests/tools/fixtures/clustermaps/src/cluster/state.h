@@ -1,0 +1,32 @@
+// Fixture: per-object-map rule, cluster module. Pg carries a per-object
+// std::map and a per-PG unordered_map index (both violations); the sorted
+// vector replacement is clean; lookup()'s local map is working state, not
+// a member (clean); PoolConfig's config-sized profile escapes with the
+// preceding-line allow. Never compiled.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fix::cluster {
+
+struct Pg {
+  std::map<std::uint64_t, int> per_object_state_;
+  std::unordered_map<int, int> position_index_;
+  std::vector<std::pair<std::size_t, std::uint64_t>> corrupted_;
+
+  int lookup(int key) {
+    std::map<int, int> scratch;
+    scratch[key] = 1;
+    return scratch.size();
+  }
+};
+
+struct PoolConfig {
+  // Config-time key/value profile, never touched per object.
+  // ecf-analyze: allow(per-object-map)
+  std::map<std::string, std::string> ec_profile_;
+};
+
+}  // namespace fix::cluster

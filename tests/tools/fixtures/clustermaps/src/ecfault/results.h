@@ -1,0 +1,13 @@
+// Fixture: the per-object-map rule polices src/cluster only — a campaign
+// results map in ecfault is config/report-sized and unconstrained. Never
+// compiled.
+#include <map>
+#include <string>
+
+namespace fix::ecfault {
+
+struct Campaign {
+  std::map<std::string, double> results_;
+};
+
+}  // namespace fix::ecfault

@@ -1,0 +1,100 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecf::util {
+namespace {
+
+TEST(Arena, BumpAllocatesAligned) {
+  Arena arena(128);
+  auto* a = static_cast<std::uint8_t*>(arena.alloc(1, 1));
+  auto* b = static_cast<std::uint64_t*>(arena.alloc(8, 8));
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  *a = 0xAB;
+  *b = 0x1122334455667788ull;
+  EXPECT_EQ(*a, 0xAB);
+  EXPECT_EQ(*b, 0x1122334455667788ull);
+}
+
+TEST(Arena, GrowsAcrossBlocks) {
+  Arena arena(64);
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    ptrs.push_back(arena.make<int>(i));
+  }
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(*ptrs[i], i);
+  EXPECT_GE(arena.reserved_bytes(), 1000 * sizeof(int));
+  EXPECT_EQ(arena.allocated_bytes(), 1000 * sizeof(int));
+}
+
+TEST(Arena, OversizedRequestGetsOwnBlock) {
+  Arena arena(64);
+  auto* big = static_cast<char*>(arena.alloc(10000));
+  big[0] = 'x';
+  big[9999] = 'y';
+  EXPECT_EQ(big[0], 'x');
+  EXPECT_EQ(big[9999], 'y');
+}
+
+TEST(Arena, ResetKeepsFirstBlockWarm) {
+  Arena arena(256);
+  arena.alloc(100);
+  const std::size_t reserved = arena.reserved_bytes();
+  arena.reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_LE(arena.reserved_bytes(), reserved);
+  auto* p = arena.make<int>(7);
+  EXPECT_EQ(*p, 7);
+}
+
+struct OpState {
+  std::size_t pending = 0;
+  std::vector<int> reads;
+};
+
+TEST(Pool, AcquireReleaseRecyclesSlabs) {
+  Pool<OpState> pool;
+  OpState* a = pool.acquire();
+  a->pending = 3;
+  a->reads = {1, 2, 3};
+  pool.release(a);
+  OpState* b = pool.acquire();
+  // Recycled slab, but freshly constructed: no state bleeds through.
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(b->pending, 0u);
+  EXPECT_TRUE(b->reads.empty());
+  pool.release(b);
+  EXPECT_EQ(pool.slab_count(), 1u);
+  EXPECT_EQ(pool.acquired_count(), 2u);
+}
+
+TEST(Pool, SlabCountTracksHighWaterNotOps) {
+  Pool<OpState> pool;
+  for (int round = 0; round < 100; ++round) {
+    OpState* x = pool.acquire();
+    OpState* y = pool.acquire();
+    x->reads.assign(16, round);
+    pool.release(x);
+    pool.release(y);
+  }
+  EXPECT_EQ(pool.acquired_count(), 200u);
+  EXPECT_LE(pool.slab_count(), 2u);
+}
+
+TEST(Pool, ConstructorArgsForwarded) {
+  Pool<std::string> pool;
+  std::string* s = pool.acquire("hello");
+  EXPECT_EQ(*s, "hello");
+  pool.release(s);
+  std::string* t = pool.acquire(5, 'z');
+  EXPECT_EQ(*t, "zzzzz");
+  pool.release(t);
+}
+
+}  // namespace
+}  // namespace ecf::util

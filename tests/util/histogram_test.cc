@@ -1,0 +1,118 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ecf::util {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsNaNSafe) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.percentile(0.999), 0.0);
+}
+
+TEST(LatencyHistogram, MeanAndMaxAreExact) {
+  LatencyHistogram h;
+  h.record(0.010);
+  h.record(0.020);
+  h.record(0.060);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.030);
+  EXPECT_DOUBLE_EQ(h.max(), 0.060);
+}
+
+TEST(LatencyHistogram, PercentileWithinBucketError) {
+  // Quarter-octave buckets: any percentile is within ~19% of the true
+  // value. Check against an exact uniform grid.
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 0.001);  // 1ms..1s uniform
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double exact = q;  // uniform on (0, 1]
+    const double got = h.percentile(q);
+    EXPECT_NEAR(got, exact, exact * 0.20) << "q=" << q;
+  }
+  // p100 degenerates to the exact max.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), h.max());
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) h.record(rng.exponential(1.0 / 0.05));
+  double prev = 0;
+  for (const double q : {0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+    const double v = h.percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_LE(prev, h.max());
+}
+
+TEST(LatencyHistogram, TinyAndHugeValuesClampToEdgeBuckets) {
+  LatencyHistogram h;
+  h.record(0.0);
+  h.record(1e-12);
+  h.record(1e9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1e9),
+            LatencyHistogram::kNumBuckets - 1);
+  // max is exact even when the sample overflows the bucket range.
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_LE(h.percentile(0.999), h.max());
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  LatencyHistogram a, b, both;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform01();
+    a.record(x);
+    both.record(x);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform01() * 10;
+    b.record(x);
+    both.record(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  for (const double q : {0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), both.percentile(q));
+  }
+}
+
+TEST(LatencyHistogram, PercentileSinceSeesOnlyNewSamples) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(0.001);  // fast epoch
+  const LatencyHistogram snap = h;                 // iostat-style snapshot
+  EXPECT_EQ(h.count_since(snap), 0u);
+  EXPECT_EQ(h.percentile_since(snap, 0.99), 0.0);  // nothing new yet
+  for (int i = 0; i < 1000; ++i) h.record(0.100);  // slow epoch
+  EXPECT_EQ(h.count_since(snap), 1000u);
+  // Lifetime p50 straddles both epochs; the interval p50 must see only
+  // the slow one.
+  EXPECT_NEAR(h.percentile_since(snap, 0.50), 0.100, 0.020);
+  LatencyHistogram fresh;
+  for (int i = 0; i < 1000; ++i) fresh.record(0.100);
+  EXPECT_DOUBLE_EQ(h.percentile_since(snap, 0.99), fresh.percentile(0.99));
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(1.0);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace ecf::util

@@ -23,6 +23,14 @@
 //                   shared_lock or mu.lock()) in the same body.
 //                   Constructors and destructors are exempt, as in
 //                   clang's -Wthread-safety.
+//   per-object-map  no std::map / std::unordered_map data members in
+//                   src/cluster structs: per-object and per-PG state is
+//                   instantiated a million times per campaign, and a
+//                   node-based map member costs ~48 B per node plus
+//                   pointer-chasing per access. Hot structs use pooled
+//                   slabs (util::Pool) or sorted vectors; genuinely
+//                   config-sized cold maps (an EC profile of six strings)
+//                   escape with an inline allow.
 //   std-function    no std::function on the simulator hot path: anywhere
 //                   in src/sim or src/nvmeof, and in src/cluster inside
 //                   any function that schedules events. Event callbacks
@@ -198,6 +206,16 @@ struct AnnotatedDecl {
   std::vector<std::string> requires_mutexes;
 };
 
+// An associative-map data member (std::map / std::unordered_map and the
+// multi variants) declared at class scope — the storage shape the
+// per-object-map rule polices in src/cluster.
+struct MapMember {
+  std::string class_name;
+  std::string member;
+  std::string type;  // "map", "unordered_map", ...
+  std::size_t line = 0;
+};
+
 struct TranslationUnit {
   std::string path;
   std::string contents;                  // raw
@@ -209,6 +227,7 @@ struct TranslationUnit {
   std::vector<GuardedMember> guarded;
   std::vector<AnnotatedDecl> annotated_decls;
   std::vector<std::string> unordered_vars;  // unordered_{map,set} variables
+  std::vector<MapMember> map_members;       // class-scope map members
 };
 
 namespace detail {
@@ -289,6 +308,7 @@ class Analyzer {
   std::vector<Finding> check_determinism() const;
   std::vector<Finding> check_locks() const;
   std::vector<Finding> check_hot_path() const;
+  std::vector<Finding> check_cluster_maps() const;
 
  private:
   const TranslationUnit* tu_for(const std::string& path) const {
@@ -675,10 +695,18 @@ inline TranslationUnit parse_tu(const std::string& path,
     }
 
     // Unordered container member/variable declarations:
-    // `std::unordered_set<K> name` — record `name`.
-    if (detail::is_unordered_type(t.text)) {
+    // `std::unordered_set<K> name` — record `name`. Ordered/unordered map
+    // members at class scope additionally feed the per-object-map rule;
+    // `<` is required there so a variable merely *named* `map` never
+    // registers as a type use.
+    const bool assoc_map = t.text == "map" || t.text == "multimap" ||
+                           t.text == "unordered_map" ||
+                           t.text == "unordered_multimap";
+    if (detail::is_unordered_type(t.text) || assoc_map) {
       std::size_t j = i + 1;
+      bool templated = false;
       if (j < toks.size() && toks[j].text == "<") {
+        templated = true;
         int depth = 0;
         for (; j < toks.size(); ++j) {
           if (toks[j].text == "<") ++depth;
@@ -688,7 +716,16 @@ inline TranslationUnit parse_tu(const std::string& path,
           }
         }
       }
-      if (j < toks.size() && toks[j].ident) unordered_vars.insert(toks[j].text);
+      if (j < toks.size() && toks[j].ident) {
+        if (detail::is_unordered_type(t.text)) {
+          unordered_vars.insert(toks[j].text);
+        }
+        if (assoc_map && templated && !enclosing_class().empty()) {
+          tu.map_members.push_back(
+              {enclosing_class(), toks[j].text, t.text,
+               detail::line_of_offset(tu.line_starts, t.offset)});
+        }
+      }
       continue;
     }
 
@@ -1101,6 +1138,38 @@ inline std::vector<Finding> Analyzer::check_hot_path() const {
   return findings;
 }
 
+// --- rule family 5: per-object maps in src/cluster --------------------------
+
+inline std::vector<Finding> Analyzer::check_cluster_maps() const {
+  std::vector<Finding> findings;
+  for (const auto& tu : tus_) {
+    if (module_of_path(tu.path) != "cluster") continue;
+    for (const MapMember& m : tu.map_members) {
+      // The allow may ride the declaration line or, since a templated
+      // member declaration rarely has room, a comment line directly above.
+      if (detail::line_allows(tu, m.line, "per-object-map") ||
+          (m.line > 1 && detail::line_allows(tu, m.line - 1,
+                                             "per-object-map"))) {
+        continue;
+      }
+      Finding f;
+      f.file = tu.path;
+      f.line = m.line;
+      f.rule = "per-object-map";
+      f.detail = m.class_name + "::" + m.member;
+      f.message =
+          "node-based std::" + m.type + " member '" + m.member +
+          "' in cluster struct '" + m.class_name +
+          "': per-object/per-PG state is instantiated at campaign scale — "
+          "use a util::Pool slab, a sorted std::vector, or a dense index "
+          "instead. A genuinely config-sized cold map may carry an inline "
+          "`// ecf-analyze: allow(per-object-map)`";
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
 inline std::vector<Finding> Analyzer::run() const {
   std::vector<Finding> findings = check_layering();
   {
@@ -1110,6 +1179,8 @@ inline std::vector<Finding> Analyzer::run() const {
     findings.insert(findings.end(), l.begin(), l.end());
     std::vector<Finding> h = check_hot_path();
     findings.insert(findings.end(), h.begin(), h.end());
+    std::vector<Finding> m = check_cluster_maps();
+    findings.insert(findings.end(), m.begin(), m.end());
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

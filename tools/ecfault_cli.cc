@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "cluster/cluster.h"
 #include "ec/registry.h"
 #include "ec/wa_model.h"
 #include "ecfault/campaign.h"
@@ -74,6 +75,51 @@ void print_engine_stats(const sim::EngineStats& es) {
   std::printf("\n");
 }
 
+// Client-load percentiles, split degraded vs clean so recovery
+// interference is visible as a tail shift. Printed whenever the profile
+// ran foreground traffic.
+void print_client_stats(const cluster::RecoveryReport& r) {
+  const auto all = r.client_latency_all();
+  std::printf("client: %llu ops (%llu degraded reads)\n",
+              static_cast<unsigned long long>(r.client_ops),
+              static_cast<unsigned long long>(r.degraded_reads));
+  const auto line = [](const char* label, const util::LatencyHistogram& h) {
+    if (h.empty()) return;
+    std::printf(
+        "  %-14s p50 %7.1f ms  p95 %7.1f ms  p99 %7.1f ms  p999 %7.1f ms  "
+        "max %7.1f ms\n",
+        label, 1e3 * h.percentile(0.50), 1e3 * h.percentile(0.95),
+        1e3 * h.percentile(0.99), 1e3 * h.percentile(0.999), 1e3 * h.max());
+  };
+  line("all", all);
+  line("clean reads", r.client_clean_read_lat);
+  line("degraded reads", r.client_degraded_read_lat);
+  line("writes", r.client_write_lat);
+}
+
+util::Json latency_json(const util::LatencyHistogram& h) {
+  util::Json j = util::Json::object();
+  j.set("count", static_cast<std::int64_t>(h.count()));
+  j.set("mean_s", h.mean());
+  j.set("p50_s", h.percentile(0.50));
+  j.set("p95_s", h.percentile(0.95));
+  j.set("p99_s", h.percentile(0.99));
+  j.set("p999_s", h.percentile(0.999));
+  j.set("max_s", h.max());
+  return j;
+}
+
+util::Json client_stats_json(const cluster::RecoveryReport& r) {
+  util::Json j = util::Json::object();
+  j.set("ops", static_cast<std::int64_t>(r.client_ops));
+  j.set("degraded_reads", static_cast<std::int64_t>(r.degraded_reads));
+  j.set("latency_all", latency_json(r.client_latency_all()));
+  j.set("latency_clean_read", latency_json(r.client_clean_read_lat));
+  j.set("latency_degraded_read", latency_json(r.client_degraded_read_lat));
+  j.set("latency_write", latency_json(r.client_write_lat));
+  return j;
+}
+
 util::Json engine_stats_json(const sim::EngineStats& es) {
   util::Json stats = util::Json::object();
   stats.set("scheduled", static_cast<std::int64_t>(es.scheduled));
@@ -120,6 +166,9 @@ int cmd_run(int argc, char** argv) {
             static_cast<std::int64_t>(r.report.fabric_retries));
     out.set("fabric_reconnects",
             static_cast<std::int64_t>(r.report.fabric_reconnects));
+    if (r.report.client_ops > 0) {
+      out.set("client", client_stats_json(r.report));
+    }
     if (engine_stats) {
       out.set("engine_stats", engine_stats_json(r.report.engine_stats));
     }
@@ -132,6 +181,7 @@ int cmd_run(int argc, char** argv) {
               "%.0f), actual WA %.2f\n",
               campaign.runs, campaign.mean_total, campaign.mean_checking,
               campaign.mean_recovery, r.actual_wa);
+  if (r.report.client_ops > 0) print_client_stats(r.report);
   if (engine_stats) print_engine_stats(r.report.engine_stats);
   return 0;
 }

@@ -11,8 +11,11 @@
 # tsan    : configure + build the tsan preset, run the threaded campaign
 #           tests (Campaign*/CampaignStress.*) under ThreadSanitizer.
 # bench   : run the bench-smoke ctest label from the dev build — codec,
-#           fabric, and event-core microbenches; bench_engine fails if the
-#           engine rewrite's 3x schedule/cancel/drain speedup regresses.
+#           fabric, event-core, and scale benches; bench_engine fails if
+#           the engine rewrite's 3x schedule/cancel/drain speedup
+#           regresses, bench_scale if the shard drain drops below 2x
+#           aggregate events/s or the 1M-object campaign leaves its
+#           30 s / 2 GiB budget.
 # all     : lint, analyze, asan, tsan, bench — the CI order: cheap
 #           source-level checks fail fast before any sanitized rebuild
 #           starts; perf smoke runs last on the already-built dev tree.
@@ -42,10 +45,10 @@ run_analyze() {
 }
 
 run_bench() {
-  echo "== bench-smoke: perf smoke (codec, fabric, event core) =="
+  echo "== bench-smoke: perf smoke (codec, fabric, event core, scale) =="
   cmake --preset dev
   cmake --build --preset dev -j "${JOBS}" --target bench_codec_micro \
-    bench_fabric bench_engine
+    bench_fabric bench_engine bench_scale
   ctest --preset bench-smoke
 }
 
