@@ -22,6 +22,7 @@
 #include "cluster/impl_types.h"
 #include "ec/stripe.h"
 #include "util/bytes.h"
+#include "util/hotpath.h"
 
 namespace ecf::cluster {
 
@@ -161,7 +162,18 @@ void Cluster::issue_client_op() {
       for (std::size_t pos = 0; pos < pg.acting.size(); ++pos) {
         if (!osd_alive(pg.acting[pos])) scratch_dead_.push_back(pos);
       }
-      const ec::RepairPlan plan = code_->repair_plan(scratch_dead_);
+      // Recompute the repair plan only when the PG's dead set changes: a
+      // zipfian client hammers the same degraded PGs with an identical dead
+      // set for the whole inter-failure window, so nearly every op is a
+      // vector compare instead of a plan construction. Keyed on the dead
+      // set itself, not the generation — osd_alive flips at failure time,
+      // before the epoch publish bumps the generation.
+      if (!pg.degraded_plan_valid || pg.degraded_plan_dead != scratch_dead_) {
+        pg.degraded_plan = code_->repair_plan(scratch_dead_);  ECF_ALLOC_OK("amortized: recomputed only when the dead set changes");
+        pg.degraded_plan_dead = scratch_dead_;  ECF_ALLOC_OK("amortized: recomputed only when the dead set changes");
+        pg.degraded_plan_valid = true;
+      }
+      const ec::RepairPlan& plan = pg.degraded_plan;
       const double extent_fraction =
           static_cast<double>(c.op_bytes) /
           static_cast<double>(layout.chunk_size * code_->k());

@@ -157,7 +157,9 @@ void Cluster::apply_workload() {
 }
 
 void Cluster::fail_device(OsdId osd_id) {
-  Osd& osd = *osds_.at(static_cast<std::size_t>(osd_id));
+  ECF_CHECK_LT(static_cast<std::size_t>(osd_id), osds_.size())
+      << " invalid osd id";
+  Osd& osd = *osds_[static_cast<std::size_t>(osd_id)];
   if (!osd.device_ok) return;
   Host& host = *hosts_[static_cast<std::size_t>(osd.host)];
   host.target.remove_subsystem(osd.nqn, engine_.now());
@@ -173,7 +175,9 @@ void Cluster::fail_device(OsdId osd_id) {
 }
 
 void Cluster::fail_host(HostId host_id) {
-  Host& host = *hosts_.at(static_cast<std::size_t>(host_id));
+  ECF_CHECK_LT(static_cast<std::size_t>(host_id), hosts_.size())
+      << " invalid host id";
+  Host& host = *hosts_[static_cast<std::size_t>(host_id)];
   if (!host.alive) return;
   host.alive = false;
   if (report_.failure_time < 0) report_.failure_time = engine_.now();
@@ -315,22 +319,29 @@ double Cluster::actual_wa() const {
 }
 
 HostId Cluster::host_of(OsdId osd) const {
-  return osds_.at(static_cast<std::size_t>(osd))->host;
+  ECF_CHECK_LT(static_cast<std::size_t>(osd), osds_.size())
+      << " invalid osd id";
+  return osds_[static_cast<std::size_t>(osd)]->host;
 }
 
 int Cluster::rack_of(HostId host) const {
   if (host < 0 || host >= config_.num_hosts) {
-    throw std::out_of_range("rack_of: bad host");
+    // Documented API contract (callers probe topology with raw ids); cold.
+    throw std::out_of_range("rack_of: bad host");  // ecf-analyze: allow(event-throw)
   }
   return host / std::max(1, config_.hosts_per_rack);
 }
 
 std::vector<OsdId> Cluster::osds_on_host(HostId host) const {
-  return hosts_.at(static_cast<std::size_t>(host))->osds;
+  ECF_CHECK_LT(static_cast<std::size_t>(host), hosts_.size())
+      << " invalid host id";
+  return hosts_[static_cast<std::size_t>(host)]->osds;
 }
 
 bool Cluster::osd_alive(OsdId osd) const {
-  const Osd& o = *osds_.at(static_cast<std::size_t>(osd));
+  ECF_DCHECK_LT(static_cast<std::size_t>(osd), osds_.size())
+      << " invalid osd id";
+  const Osd& o = *osds_[static_cast<std::size_t>(osd)];
   return o.device_ok && o.process_up;
 }
 
@@ -351,12 +362,16 @@ nvmeof::Target& Cluster::target(HostId host) {
 }
 
 const nvmeof::ConnectionStats& Cluster::fabric_stats(OsdId osd) const {
+  ECF_CHECK_LT(static_cast<std::size_t>(osd), osds_.size())
+      << " invalid osd id";
   return fabric_->stats(
-      osds_.at(static_cast<std::size_t>(osd))->fabric_conn);
+      osds_[static_cast<std::size_t>(osd)]->fabric_conn);
 }
 
 Cluster::DeviceStats Cluster::disk_stats(OsdId osd) const {
-  const Osd& o = *osds_.at(static_cast<std::size_t>(osd));
+  ECF_CHECK_LT(static_cast<std::size_t>(osd), osds_.size())
+      << " invalid osd id";
+  const Osd& o = *osds_[static_cast<std::size_t>(osd)];
   DeviceStats stats;
   stats.bytes_read = o.disk->bytes_read();
   stats.bytes_written = o.disk->bytes_written();

@@ -332,10 +332,14 @@ class Cluster {
   util::Pool<RepairBatch> repair_batch_pool_;
 
   // Scratch buffers reused across recovery/protocol rounds (avoid per-call
-  // allocations on hot paths).
+  // allocations on hot paths). The scratch_ prefix is load-bearing:
+  // tools/ecf_analyze treats growth through scratch_* receivers as
+  // amortized high-water capacity, not an event-path allocation.
   std::vector<OsdId> scratch_needed_;
   std::vector<Pg*> scratch_waiting_;
   std::vector<std::size_t> scratch_dead_;
+  std::vector<std::size_t> scratch_positions_;
+  std::vector<OsdId> scratch_occupied_;
 
   // Correctness tooling (enable_invariant_checks); declaration order makes
   // the checker's engine hook outlive nothing it references.

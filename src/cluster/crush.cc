@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/hotpath.h"
 #include "util/rng.h"
 
 namespace ecf::cluster {
@@ -98,7 +99,7 @@ OsdId Crush::remap_target(PgId pg, const std::vector<OsdId>& current,
   for (OsdId o = 0; o < static_cast<OsdId>(host_of_.size()); ++o) {
     if (!alive[static_cast<std::size_t>(o)]) continue;
     if (std::find(current.begin(), current.end(), o) != current.end()) continue;
-    ranked.emplace_back(draw(pg, o), o);
+    ranked.emplace_back(draw(pg, o), o);  ECF_ALLOC_OK("cold: once per lost shard at epoch publish");
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });

@@ -147,6 +147,15 @@ struct Cluster::Pg {
   // (PG, epoch) instead of per pushed batch.
   RepairShape shape_base;
   int shape_base_gen = -1;
+
+  // Cached degraded-read plan, keyed by the dead-position set it was built
+  // for (the set can change between epochs — an OSD is dead the moment its
+  // device fails, generations only bump at publish). Zipfian client load
+  // hammers the same degraded PGs, so this turns a per-op repair_plan
+  // (several vector allocations) into a vector compare.
+  ec::RepairPlan degraded_plan;
+  std::vector<std::size_t> degraded_plan_dead;
+  bool degraded_plan_valid = false;
 };
 
 // Per-op state of the client-load generator (client.cc), recycled through

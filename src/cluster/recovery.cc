@@ -9,6 +9,7 @@
 #include "ec/stripe.h"
 #include "util/bytes.h"
 #include "util/check.h"
+#include "util/hotpath.h"
 
 namespace ecf::cluster {
 
@@ -64,7 +65,7 @@ void Cluster::mark_down(OsdId osd_id) {
   // out and remapping its data — the bulk of the paper's "system checking
   // period".
   engine_.schedule(config_.protocol.down_out_interval_s, [this, osd_id] {
-    pending_out_.push_back(osd_id);
+    pending_out_.push_back(osd_id);  ECF_ALLOC_OK("cold: once per failed OSD");
     if (!out_batch_scheduled_) {
       out_batch_scheduled_ = true;
       engine_.schedule(config_.protocol.mon_tick_s, [this] {
@@ -107,8 +108,11 @@ void Cluster::publish_epoch(const std::vector<OsdId>& newly_out) {
 
   for (auto& pg_ptr : pgs_) {
     Pg& pg = *pg_ptr;
-    // Positions newly lost in this epoch.
-    std::vector<std::size_t> new_positions;
+    // Positions newly lost in this epoch. Scratch buffer: this loop runs
+    // over every PG per epoch, so per-PG vectors here would be the
+    // dominant allocation of the checking period.
+    std::vector<std::size_t>& new_positions = scratch_positions_;
+    new_positions.clear();
     for (std::size_t pos = 0; pos < pg.acting.size(); ++pos) {
       if (std::find(newly_out.begin(), newly_out.end(), pg.acting[pos]) !=
           newly_out.end()) {
@@ -119,7 +123,8 @@ void Cluster::publish_epoch(const std::vector<OsdId>& newly_out) {
 
     // Remap each lost chunk to a fresh target, respecting the failure
     // domain against the surviving members and earlier remaps.
-    std::vector<OsdId> occupied;
+    std::vector<OsdId>& occupied = scratch_occupied_;
+    occupied.clear();
     for (std::size_t pos = 0; pos < pg.acting.size(); ++pos) {
       if (alive_[static_cast<std::size_t>(pg.acting[pos])]) {
         occupied.push_back(pg.acting[pos]);
@@ -131,9 +136,9 @@ void Cluster::publish_epoch(const std::vector<OsdId>& newly_out) {
                                           pg.missing_positions.end(), pos);
       const auto idx = static_cast<std::size_t>(
           where - pg.missing_positions.begin());
-      pg.missing_positions.insert(where, pos);
+      pg.missing_positions.insert(where, pos);  ECF_ALLOC_OK("bounded: <= n shard positions per PG");
       const OsdId target = crush_->remap_target(pg.id, occupied, alive_);
-      pg.remap_targets.insert(
+      pg.remap_targets.insert(  ECF_ALLOC_OK("bounded: <= n remap targets per PG")
           pg.remap_targets.begin() + static_cast<std::ptrdiff_t>(idx), target);
       occupied.push_back(target);
     }
@@ -150,7 +155,7 @@ void Cluster::publish_epoch(const std::vector<OsdId>& newly_out) {
         Pg::WorkItem item;
         item.positions = pg.missing_positions;
         item.remaining = static_cast<std::uint64_t>(pg.inflight);
-        pg.work.push_back(std::move(item));
+        pg.work.push_back(std::move(item));  ECF_ALLOC_OK("cold: one work item per PG per epoch");
       }
       pg.inflight = 0;
     }
@@ -162,9 +167,10 @@ void Cluster::publish_epoch(const std::vector<OsdId>& newly_out) {
       for (const std::size_t pos : new_positions) {
         if (std::find(item.positions.begin(), item.positions.end(), pos) ==
             item.positions.end()) {
-          item.positions.insert(std::upper_bound(item.positions.begin(),
-                                                 item.positions.end(), pos),
-                                pos);
+          item.positions.insert(  ECF_ALLOC_OK("bounded: <= n positions per work item")
+              std::upper_bound(item.positions.begin(), item.positions.end(),
+                               pos),
+              pos);
         }
       }
     }
@@ -175,7 +181,7 @@ void Cluster::publish_epoch(const std::vector<OsdId>& newly_out) {
                            ? pg.num_objects
                            : pg.repaired_current;
       pg.repaired_current = 0;
-      if (item.remaining > 0) pg.work.push_back(std::move(item));
+      if (item.remaining > 0) pg.work.push_back(std::move(item));  ECF_ALLOC_OK("cold: one work item per PG per epoch");
     }
 
     if (!pg.counted_recovering) {
@@ -413,7 +419,7 @@ Cluster::RepairShape Cluster::compute_repair_shape(const Pg& pg) const {
     hr.extra_s = lookups * meta_miss * proto.kv_lookup_miss_s;
     hr.msgs = std::max<std::uint64_t>(
         1, util::ceil_div(hr.bytes, proto.max_io_bytes));
-    shape.reads.push_back(hr);
+    shape.reads.push_back(hr);  ECF_ALLOC_OK("cold: once per (PG, epoch), cached in shape_base");
   }
   return shape;
 }

@@ -15,13 +15,17 @@
 #include "cluster/impl_types.h"
 #include "ec/stripe.h"
 #include "util/bytes.h"
+#include "util/hotpath.h"
 
 namespace ecf::cluster {
 
 std::uint64_t Cluster::corrupt_chunks(OsdId osd_id, double fraction) {
-  if (!workload_applied_) throw std::logic_error("apply_workload first");
+  // Fault-injection contract checks: cold (once per corruption fault) and
+  // part of the tested API surface.
+  if (!workload_applied_) throw std::logic_error("apply_workload first");  // ecf-analyze: allow(event-throw)
   if (fraction <= 0 || fraction > 1.0) {
-    throw std::invalid_argument("corrupt_chunks: fraction in (0,1] required");
+    throw std::invalid_argument(  // ecf-analyze: allow(event-throw)
+        "corrupt_chunks: fraction in (0,1] required");
   }
   util::Rng rng = rng_.child(0xBADC0DE ^ static_cast<std::uint64_t>(osd_id));
   std::uint64_t planted = 0;
@@ -43,7 +47,7 @@ std::uint64_t Cluster::corrupt_chunks(OsdId osd_id, double fraction) {
     if (where != pg.corrupted.end() && where->first == position) {
       where->second += hit;
     } else {
-      pg.corrupted.insert(where, {position, hit});
+      pg.corrupted.insert(where, {position, hit});  ECF_ALLOC_OK("cold: corruption planting, once per (PG, position)");
     }
     planted += hit;
   }
@@ -145,7 +149,7 @@ void Cluster::repair_corrupted_shard(PgId pgid, std::size_t position) {
                            osds_[static_cast<std::size_t>(primary)]->host)]
                     .get();
 
-  auto pending = std::make_shared<std::size_t>(plan.reads.size());
+  auto pending = std::make_shared<std::size_t>(plan.reads.size());  ECF_ALLOC_OK("cold: per corrupted-shard repair");
   for (const auto& r : plan.reads) {
     if (!osd_alive(pg.acting[r.chunk])) {
       --*pending;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/hotpath.h"
+
 namespace ecf::ec {
 
 namespace {
@@ -343,7 +345,7 @@ RepairPlan ClayCode::repair_plan(const std::vector<std::size_t>& erased) const {
     std::size_t taken = 0;
     for (std::size_t i = 0; i < n_ && taken < d_; ++i) {
       if (i == erased[0]) continue;
-      plan.reads.push_back({i, 1.0 / static_cast<double>(q_), runs});
+      plan.reads.push_back({i, 1.0 / static_cast<double>(q_), runs});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
       ++taken;
     }
     // Pair transforms + plane solves cost more GF work per reconstructed
@@ -362,7 +364,7 @@ RepairPlan ClayCode::repair_plan(const std::vector<std::size_t>& erased) const {
     // (Fig. 2d).
     for (std::size_t i = 0; i < n_; ++i) {
       if (std::binary_search(erased.begin(), erased.end(), i)) continue;
-      plan.reads.push_back({i, 1.0, q_});
+      plan.reads.push_back({i, 1.0, q_});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
     }
     plan.decode_cost_factor = 3.0;
     plan.bandwidth_optimal = false;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/hotpath.h"
+
 namespace ecf::ec {
 
 void ErasureCode::check_chunks(const std::vector<Buffer>& chunks) const {
@@ -34,7 +36,7 @@ RepairPlan ErasureCode::repair_plan(
   std::size_t taken = 0;
   for (std::size_t i = 0; i < n() && taken < k(); ++i) {
     if (std::binary_search(erased.begin(), erased.end(), i)) continue;
-    plan.reads.push_back({i, 1.0, 1});
+    plan.reads.push_back({i, 1.0, 1});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
     ++taken;
   }
   plan.decode_cost_factor = 1.0;
@@ -44,14 +46,17 @@ RepairPlan ErasureCode::repair_plan(
 
 void check_erasures(const ErasureCode& code,
                     const std::vector<std::size_t>& erased) {
-  if (erased.empty()) throw std::invalid_argument("no erasures given");
+  // Input-contract checks on the erasure pattern: part of the tested API
+  // surface (callers rely on these throws), and amortized to plan-build
+  // frequency by the repair-plan caches.
+  if (erased.empty()) throw std::invalid_argument("no erasures given");  // ecf-analyze: allow(event-throw)
   if (erased.size() > code.m()) {
-    throw std::invalid_argument("more erasures than parity chunks");
+    throw std::invalid_argument("more erasures than parity chunks");  // ecf-analyze: allow(event-throw)
   }
   for (std::size_t i = 0; i < erased.size(); ++i) {
-    if (erased[i] >= code.n()) throw std::invalid_argument("erasure out of range");
+    if (erased[i] >= code.n()) throw std::invalid_argument("erasure out of range");  // ecf-analyze: allow(event-throw)
     if (i > 0 && erased[i] <= erased[i - 1]) {
-      throw std::invalid_argument("erasures must be sorted and unique");
+      throw std::invalid_argument("erasures must be sorted and unique");  // ecf-analyze: allow(event-throw)
     }
   }
 }

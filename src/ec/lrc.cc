@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/hotpath.h"
+
 namespace ecf::ec {
 
 LrcCode::LrcCode(std::size_t k, std::size_t l, std::size_t g)
@@ -42,7 +44,7 @@ std::vector<std::size_t> LrcCode::group_members(std::size_t group) const {
   std::vector<std::size_t> out;
   for (std::size_t d = group * group_size_;
        d < std::min(k_, (group + 1) * group_size_); ++d) {
-    out.push_back(d);
+    out.push_back(d);  ECF_ALLOC_OK("bounded: <= group_size members, plan-build frequency");
   }
   return out;
 }
@@ -91,7 +93,7 @@ std::vector<std::size_t> LrcCode::pick_rows(
     if (pivot == k_) continue;  // dependent
     const Byte inv_p = gf::inv(v[pivot]);
     for (std::size_t c = 0; c < k_; ++c) basis.at(rank, c) = gf::mul(v[c], inv_p);
-    chosen.push_back(row);
+    chosen.push_back(row);  ECF_ALLOC_OK("bounded: <= k rows, plan-build frequency");
     ++rank;
   }
   if (rank < k_) return {};
@@ -145,9 +147,9 @@ RepairPlan LrcCode::repair_plan(const std::vector<std::size_t>& erased) const {
       // Data chunk or local parity: read the rest of the local group.
       const std::size_t grp = e < k_ ? group_of(e) : e - k_;
       for (const std::size_t d : group_members(grp)) {
-        if (d != e) plan.reads.push_back({d, 1.0, 1});
+        if (d != e) plan.reads.push_back({d, 1.0, 1});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
       }
-      if (e != k_ + grp) plan.reads.push_back({k_ + grp, 1.0, 1});
+      if (e != k_ + grp) plan.reads.push_back({k_ + grp, 1.0, 1});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
       plan.decode_cost_factor = 0.5;  // pure XOR
       plan.bandwidth_optimal = true;  // locality-optimal
       return plan;
@@ -155,7 +157,7 @@ RepairPlan LrcCode::repair_plan(const std::vector<std::size_t>& erased) const {
   }
   // Global parity loss or multi-failure: general solve.
   const std::vector<std::size_t> rows = pick_rows(erased);
-  for (const std::size_t r : rows) plan.reads.push_back({r, 1.0, 1});
+  for (const std::size_t r : rows) plan.reads.push_back({r, 1.0, 1});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
   plan.decode_cost_factor = 1.0;
   return plan;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/hotpath.h"
+
 namespace ecf::ec {
 
 ReplicationCode::ReplicationCode(std::size_t copies) : copies_(copies) {
@@ -41,7 +43,7 @@ RepairPlan ReplicationCode::repair_plan(
   RepairPlan plan;
   for (std::size_t i = 0; i < copies_; ++i) {
     if (!std::binary_search(erased.begin(), erased.end(), i)) {
-      plan.reads.push_back({i, 1.0, 1});
+      plan.reads.push_back({i, 1.0, 1});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
       break;
     }
   }

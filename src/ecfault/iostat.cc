@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/hotpath.h"
+
 namespace ecf::ecfault {
 
 IostatCollector::IostatCollector(cluster::Cluster* cluster, double interval_s,
@@ -50,7 +52,7 @@ void IostatCollector::tick() {
         s.fabric_wait_s == 0 && s.fabric_retries == 0) {
       continue;
     }
-    samples_.push_back(s);
+    samples_.push_back(s);  ECF_ALLOC_OK("time-series accumulation: the collector's product, bounded by horizon/interval");
     if (sink_) {
       char msg[200];
       if (s.fabric_wait_s > 0 || s.fabric_retries > 0) {
@@ -81,7 +83,7 @@ void IostatCollector::tick() {
     cs.ops_per_s = static_cast<double>(dops) / interval_;
     cs.p50_s = client.percentile_since(last_client_, 0.50);
     cs.p99_s = client.percentile_since(last_client_, 0.99);
-    client_samples_.push_back(cs);
+    client_samples_.push_back(cs);  ECF_ALLOC_OK("time-series accumulation: the collector's product, bounded by horizon/interval");
     if (sink_) {
       char msg[160];
       std::snprintf(msg, sizeof(msg),

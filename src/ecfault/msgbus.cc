@@ -1,11 +1,13 @@
 #include "ecfault/msgbus.h"
 
+#include "util/hotpath.h"
+
 namespace ecf::ecfault {
 
 void MsgBus::publish(BusMessage msg) {
   ++total_;
   auto& log = logs_[msg.topic];
-  log.push_back(msg);
+  log.push_back(msg);  ECF_ALLOC_OK("message-log accumulation: the bus's product, control-plane rate");
   const auto it = handlers_.find(msg.topic);
   if (it != handlers_.end()) {
     for (const auto& handler : it->second) handler(log.back());

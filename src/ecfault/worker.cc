@@ -14,8 +14,10 @@ void Worker::announce(const std::string& what) {
 }
 
 void Worker::apply_device_fault(cluster::OsdId osd) {
+  // Ownership-contract check: cold (once per injected fault) and part of
+  // the tested API surface (coordinator tests expect the throw).
   if (cluster_->host_of(osd) != host_) {
-    throw std::invalid_argument("worker on host " + std::to_string(host_) +
+    throw std::invalid_argument("worker on host " + std::to_string(host_) +  // ecf-analyze: allow(event-throw)
                                 " cannot fault osd." + std::to_string(osd));
   }
   announce("apply device fault: osd." + std::to_string(osd));
@@ -30,7 +32,7 @@ void Worker::apply_node_fault() {
 std::uint64_t Worker::apply_corruption_fault(cluster::OsdId osd,
                                              double fraction) {
   if (cluster_->host_of(osd) != host_) {
-    throw std::invalid_argument("worker on host " + std::to_string(host_) +
+    throw std::invalid_argument("worker on host " + std::to_string(host_) +  // ecf-analyze: allow(event-throw)
                                 " cannot corrupt osd." + std::to_string(osd));
   }
   announce("apply corruption fault: osd." + std::to_string(osd));

@@ -8,6 +8,7 @@
 
 #include "gf/gf_kernels.h"
 #include "util/check.h"
+#include "util/hotpath.h"
 
 namespace ecf::gf {
 
@@ -157,9 +158,9 @@ std::string Matrix::to_string() const {
     for (std::size_t c = 0; c < cols_; ++c) {
       char buf[8];
       std::snprintf(buf, sizeof(buf), "%3u ", at(r, c));
-      out += buf;
+      out += buf;  ECF_ALLOC_OK("cold: debug formatting only");
     }
-    out += '\n';
+    out += '\n';  ECF_ALLOC_OK("cold: debug formatting only");
   }
   return out;
 }

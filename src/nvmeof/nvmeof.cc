@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/check.h"
+#include "util/hotpath.h"
 
 namespace ecf::nvmeof {
 
@@ -17,7 +18,7 @@ void append_log(std::vector<AdminLogEntry>& log, double now,
     ECF_CHECK_GE(now, log.back().time)
         << " admin log must be monotone (op=" << op << " nqn=" << nqn << ")";
   }
-  log.push_back({now, op, nqn});
+  log.push_back({now, op, nqn});  ECF_ALLOC_OK("admin-log accumulation: one entry per fabric admin op");
 }
 
 }  // namespace
@@ -74,7 +75,9 @@ void Target::remove_subsystem(const Nqn& nqn, double now) {
       subsystems_.begin(), subsystems_.end(),
       [&nqn](const Subsystem& s) { return s.info.nqn == nqn; });
   if (it == subsystems_.end()) {
-    throw std::invalid_argument("remove: unknown NQN " + nqn);
+    // Admin-contract check: cold (once per device removal) and part of the
+    // tested API surface.
+    throw std::invalid_argument("remove: unknown NQN " + nqn);  // ecf-analyze: allow(event-throw)
   }
   // Erase rather than tombstone: a removed NQN is free for re-creation
   // (replacing a failed device re-provisions under the same name).

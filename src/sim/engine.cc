@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/hotpath.h"
 
 namespace ecf::sim {
 
@@ -47,7 +48,7 @@ std::uint32_t Engine::acquire_slot(Lane& lane, EventFn fn, EventTag tag) {
     idx = static_cast<std::uint32_t>(lane.slots.size());
     ECF_CHECK_LE(idx, static_cast<std::uint32_t>(kIdSlotMask))
         << " per-lane event slot index overflows the EventId layout";
-    lane.slots.emplace_back();
+    lane.slots.emplace_back();  ECF_ALLOC_OK("amortized: slot table grows to in-flight high-water, then recycles via free_slots");
   }
   Slot& s = lane.slots[idx];
   s.fn = std::move(fn);
@@ -131,7 +132,7 @@ void Engine::set_lane_count(std::size_t n) {
 
 void Engine::heap_push(Lane& lane, Entry e) {
   auto& heap = lane.heap;
-  heap.push_back(e);
+  heap.push_back(e);  ECF_ALLOC_OK("amortized: heap storage grows to queue-depth high-water");
   std::size_t i = heap.size() - 1;
   while (i != 0) {
     const std::size_t parent = (i - 1) >> 2;
@@ -433,14 +434,27 @@ void Engine::reset() {
   now_ = 0;
   next_seq_ = 1;
   live_ = 0;
-  const std::size_t lanes = lanes_.size();
-  lanes_.clear();
-  lanes_.resize(lanes);  // keep the lane layout across campaigns
-  heads_.assign(lanes, LaneHead{});
+  // Reset every lane in place — wheel position/occupancy counters back to
+  // zero, queues emptied — but keep the heap, bucket, and slot-table
+  // capacity: the next campaign variant replays a similar schedule, so the
+  // high-water storage is about to be refilled (the event-path allocation
+  // discipline counts on that amortization holding across variants).
+  for (Lane& lane : lanes_) {
+    lane.heap.clear();
+    lane.wheel_pos = 0;
+    lane.wheel_count = 0;
+    for (int level = 0; level < kWheelLevels; ++level) {
+      lane.occupancy[level] = 0;
+      for (auto& bucket : lane.buckets[level]) bucket.clear();
+    }
+    lane.slots.clear();
+    lane.free_slots.clear();
+  }
+  heads_.assign(lanes_.size(), LaneHead{});
   current_lane_ = 0;
   post_event_hook_ = nullptr;
   stats_ = EngineStats{};
-  stats_.lane_count = lanes;
+  stats_.lane_count = lanes_.size();
 }
 
 }  // namespace ecf::sim

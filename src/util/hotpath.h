@@ -1,0 +1,22 @@
+// Event-path resource-discipline annotations, read by tools/ecf_analyze
+// (rule family `event-*`, DESIGN.md §13).
+//
+// ECF_ALLOC_OK(reason) marks a deliberate dynamic allocation on an
+// event-execution path — a site the analyzer would otherwise flag under
+// `event-alloc`. It expands to nothing; the reason string is the point:
+// it must say why the allocation cannot spike event latency, e.g.
+//
+//   lane.slots.emplace_back();  ECF_ALLOC_OK("amortized: slab high-water");
+//
+// Legitimate reasons are (1) amortized growth into capacity that is
+// reused across events (slab/free-list high-water marks), (2) setup-time
+// code that runs once per campaign before the event loop, and (3)
+// genuinely cold paths (fault handling that fires a handful of times per
+// run). Per-event allocations are never OK — route them through
+// util::Arena / util::Pool instead (src/util/arena.h).
+//
+// The other two event-path classes escape with comment allows:
+// `// ecf-analyze: allow(event-throw)` / `allow(event-block)`.
+#pragma once
+
+#define ECF_ALLOC_OK(reason)

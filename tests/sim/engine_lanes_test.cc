@@ -39,6 +39,50 @@ TEST(EngineLanes, LaneCountSurvivesReset) {
   EXPECT_EQ(eng.stats().lane_count, 4u);
 }
 
+TEST(EngineLanes, ResetZeroesStatsAndWheelCountersAcrossLanes) {
+  Engine eng;
+  eng.set_lane_count(4);
+  // Populate every counter class: near events (heap), far events (wheel),
+  // a cancellation, and a spread of lanes.
+  for (int i = 0; i < 32; ++i) {
+    Engine::LaneScope scope(eng, static_cast<std::size_t>(i % 4));
+    eng.schedule(0.5 * i, [] {});
+    eng.schedule(100.0 + i, [] {});  // parked in the timer wheel
+  }
+  eng.cancel(eng.schedule(1.0, [] {}));
+  eng.run();
+  ASSERT_GT(eng.stats().scheduled, 0u);
+  ASSERT_GT(eng.stats().wheel_parked, 0u);
+
+  eng.reset();
+  EXPECT_EQ(eng.stats().scheduled, 0u);
+  EXPECT_EQ(eng.stats().executed, 0u);
+  EXPECT_EQ(eng.stats().cancelled, 0u);
+  EXPECT_EQ(eng.stats().spilled_callbacks, 0u);
+  EXPECT_EQ(eng.stats().peak_queue_depth, 0u);
+  EXPECT_EQ(eng.stats().wheel_parked, 0u);
+  EXPECT_EQ(eng.stats().wheel_cascades, 0u);
+  EXPECT_EQ(eng.stats().lane_count, 4u);
+  for (std::size_t t = 0; t < kNumEventTags; ++t) {
+    EXPECT_EQ(eng.stats().executed_by_tag[t], 0u);
+  }
+  EXPECT_EQ(eng.now(), 0.0);
+  EXPECT_EQ(eng.pending(), 0u);
+
+  // The in-place lane reset (wheel position/occupancy back to zero, storage
+  // capacity kept) must leave a fully working engine: near + far events
+  // still execute in time order on every lane.
+  std::vector<int> order;
+  for (int i = 3; i >= 0; --i) {
+    Engine::LaneScope scope(eng, static_cast<std::size_t>(i));
+    eng.schedule(1.0 + i, [&order, i] { order.push_back(i); });
+    eng.schedule(200.0 + i, [&order, i] { order.push_back(100 + i); });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 100, 101, 102, 103}));
+  EXPECT_EQ(eng.stats().executed, 8u);
+}
+
 TEST(EngineLanes, SetLaneCountReleasesCancelledEntries) {
   Engine eng;
   // Cancelled events leave dead entries parked in heaps/wheels; changing

@@ -72,6 +72,33 @@ TEST(AnalyzeModel, CommentedOutIncludeIgnored) {
   EXPECT_EQ(tu.includes[0].target, "util/b.h");
 }
 
+TEST(AnalyzeModel, DigitSeparatorsStayOneToken) {
+  // 1'000'000 is one numeric literal; splitting it on the apostrophes used
+  // to shear every later token's receiver/callee pairing on the line.
+  const auto toks = detail::tokenize("n = 1'000'000 ;");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[2].text, "1'000'000");
+  EXPECT_TRUE(toks[2].ident);
+}
+
+TEST(AnalyzeModel, OperatorNewDeleteDefinitionsParsed) {
+  // `operator new` / `operator delete` fold the keyword into the function
+  // name. The extractor used to bail on the keyword and leak the body into
+  // the enclosing scope scan, hiding every later function in the class.
+  const std::string code =
+      "struct Slab {\n"
+      "  void* operator new(std::size_t n) { return pool_alloc(n); }\n"
+      "  void operator delete(void* p) { pool_free(p); }\n"
+      "  int size() const { return n_; }\n"
+      "};\n";
+  const TranslationUnit tu = parse_tu("src/util/slab.h", code);
+  ASSERT_EQ(tu.functions.size(), 3u);
+  EXPECT_EQ(tu.functions[0].name, "operator new");
+  EXPECT_EQ(tu.functions[1].name, "operator delete");
+  EXPECT_EQ(tu.functions[2].name, "size");
+  EXPECT_EQ(tu.functions[2].class_name, "Slab");
+}
+
 // --- rule family 1: layering ------------------------------------------------
 
 TEST(AnalyzeLayering, UpwardIncludeFlaggedDownwardAllowed) {
@@ -393,6 +420,173 @@ TEST(AnalyzeClusterMaps, InlineAndPrecedingLineAllowSuppress) {
   EXPECT_TRUE(a.check_cluster_maps().empty());
 }
 
+// --- rule family 6: event-path resource discipline --------------------------
+
+// Wrap a callback body in a scheduling class: everything inside the lambda
+// passed to schedule() is event-execution code, the straight-line body of
+// start() is setup time.
+std::vector<Finding> check_callback(const std::string& body,
+                                    const std::string& members) {
+  Analyzer a;
+  a.add_file("src/cluster/q.h",
+             "class Q {\n"
+             " public:\n"
+             "  void start() {\n"
+             "    engine_->schedule(1.0, [this] {\n" +
+                 body +
+             "    });\n"
+             "  }\n"
+             " private:\n"
+             "  Engine* engine_ = nullptr;\n" +
+                 members + "};\n");
+  return a.check_event_paths();
+}
+
+TEST(AnalyzeEventPaths, CallbackAllocFlaggedSetupBodyClean) {
+  Analyzer a;
+  a.add_file("src/cluster/q.h",
+             "class Q {\n"
+             " public:\n"
+             "  void start() {\n"
+             "    setup_.push_back(0);\n"
+             "    engine_->schedule(1.0, [this] { hot_.push_back(1); });\n"
+             "  }\n"
+             " private:\n"
+             "  Engine* engine_ = nullptr;\n"
+             "  std::vector<int> setup_, hot_;\n"
+             "};\n");
+  const auto f = a.check_event_paths();
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "event-alloc");
+  EXPECT_EQ(f[0].line, 5u);
+  EXPECT_EQ(f[0].detail, "hot_.push_back()");
+  ASSERT_EQ(f[0].chain.size(), 1u);
+  EXPECT_EQ(f[0].chain[0], "start");
+  EXPECT_NE(f[0].message.find("via start()"), std::string::npos);
+}
+
+TEST(AnalyzeEventPaths, HelperReachedFromCallbackGetsWitnessChain) {
+  // The helper lives in a lower layer (src/ec) and is clean setup code
+  // until a callback roots it into the event-execution BFS.
+  Analyzer a;
+  a.add_file("src/ec/helper.h",
+             "inline void grow(std::vector<int>& v) { v.push_back(1); }\n");
+  a.add_file("src/cluster/q.h",
+             "class Q {\n"
+             "  void start() {\n"
+             "    engine_->schedule(1.0, [this] { grow(tmp_); });\n"
+             "  }\n"
+             "  Engine* engine_ = nullptr;\n"
+             "  std::vector<int> tmp_;\n"
+             "};\n");
+  const auto f = a.check_event_paths();
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].file, "src/ec/helper.h");
+  EXPECT_EQ(f[0].detail, "v.push_back()");
+  ASSERT_EQ(f[0].chain.size(), 2u);
+  EXPECT_EQ(f[0].chain[0], "start");
+  EXPECT_EQ(f[0].chain[1], "grow");
+}
+
+TEST(AnalyzeEventPaths, UnrootedHelperNotReported) {
+  // Same helper, but nothing on an event path calls it.
+  Analyzer a;
+  a.add_file("src/ec/helper.h",
+             "inline void grow(std::vector<int>& v) { v.push_back(1); }\n");
+  a.add_file("src/cluster/q.h",
+             "class Q {\n"
+             "  void start() {\n"
+             "    engine_->schedule(1.0, [this] { n_ += 1; });\n"
+             "  }\n"
+             "  Engine* engine_ = nullptr;\n"
+             "  int n_ = 0;\n"
+             "};\n");
+  EXPECT_TRUE(a.check_event_paths().empty());
+}
+
+TEST(AnalyzeEventPaths, SanctionedReceiversAndAllowsExempt) {
+  // util::Pool receivers, scratch_-prefixed buffers (including reference
+  // aliases to them), ECF_ALLOC_OK sites, and inline allows all escape.
+  EXPECT_TRUE(check_callback(
+                  "      scratch_ids_.push_back(1);\n"
+                  "      std::vector<int>& out = scratch_out_;\n"
+                  "      out.push_back(2);\n"
+                  "      pool_.emplace(3);\n"
+                  "      cold_.push_back(4);  ECF_ALLOC_OK(\"test: cold\");\n"
+                  "      log_.push_back(5);  "
+                  "// ecf-analyze: allow(event-alloc)\n",
+                  "  Pool<int> pool_;\n"
+                  "  std::vector<int> scratch_ids_, scratch_out_;\n"
+                  "  std::vector<int> cold_, log_;\n")
+                  .empty());
+}
+
+TEST(AnalyzeEventPaths, MapBracketAndStringGrowthFlagged) {
+  const auto f = check_callback("      index_[k_] = 1;\n"
+                                "      name_ += suffix_;\n",
+                                "  std::map<int, int> index_;\n"
+                                "  std::string name_, suffix_;\n"
+                                "  int k_ = 0;\n");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "event-alloc");
+  EXPECT_EQ(f[0].detail, "index_[...] (map node insert)");
+  EXPECT_EQ(f[1].detail, "name_ += (string growth)");
+}
+
+TEST(AnalyzeEventPaths, ThrowingConstructsFlaggedMultiArgAtNot) {
+  // Std-container at() takes one argument; the two-argument at() is a
+  // matrix-style unchecked accessor and stays clean.
+  const auto f = check_callback("      if (xs_.at(0) < 0) throw 0;\n"
+                                "      v_ = m_.at(1, 2);\n"
+                                "      n_ = std::stoi(s_);\n",
+                                "  std::vector<int> xs_;\n"
+                                "  Matrix m_;\n"
+                                "  std::string s_;\n"
+                                "  int v_ = 0, n_ = 0;\n");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].rule, "event-throw");
+  EXPECT_EQ(f[0].detail, "xs_.at()");
+  EXPECT_EQ(f[1].detail, "throw");
+  EXPECT_EQ(f[2].detail, "std::stoi()");
+}
+
+TEST(AnalyzeEventPaths, BlockingFlaggedGuardedMutexExempt) {
+  // Locks declared into the ECF_GUARDED_BY discipline are check_locks'
+  // jurisdiction; any other lock, sleeps, and file I/O block the engine.
+  const auto f = check_callback(
+      "      std::lock_guard<std::mutex> lk(mu_);\n"
+      "      std::this_thread::sleep_for(pause_);\n"
+      "      fprintf(log_, \"x\");\n"
+      "      std::lock_guard<std::mutex> ok(gmu_);\n",
+      "  std::mutex mu_, gmu_;\n"
+      "  int inflight_ ECF_GUARDED_BY(gmu_);\n"
+      "  int pause_ = 0;\n"
+      "  void* log_ = nullptr;\n");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].rule, "event-block");
+  EXPECT_EQ(f[0].detail, "lock_guard on 'mu_'");
+  EXPECT_EQ(f[1].detail, "sleep_for()");
+  EXPECT_EQ(f[2].detail, "fprintf()");
+}
+
+// --- strip cache -------------------------------------------------------------
+
+TEST(AnalyzeCache, EntryNameFlattensPathSeparators) {
+  EXPECT_EQ(cache_entry_name("src/gf/matrix.cc"), "src_gf_matrix.cc.strip");
+}
+
+TEST(AnalyzeCache, RoundTripHitsOnMatchingStampOnly) {
+  const fs::path file =
+      fs::temp_directory_path() / "ecf_analyze_cache_test.strip";
+  store_strip_cache(file.string(), "123:456", "stripped body\n");
+  std::string got;
+  EXPECT_TRUE(load_strip_cache(file.string(), "123:456", &got));
+  EXPECT_EQ(got, "stripped body\n");
+  EXPECT_FALSE(load_strip_cache(file.string(), "999:456", &got));
+  EXPECT_FALSE(load_strip_cache(file.string() + ".missing", "123:456", &got));
+  fs::remove(file);
+}
+
 // --- baseline & JSON --------------------------------------------------------
 
 TEST(AnalyzeBaseline, ParseSkipsCommentsAndNormalizesSpace) {
@@ -423,6 +617,31 @@ TEST(AnalyzeJson, ShapeAndEscaping) {
   EXPECT_NE(js.find("line1\\nline2"), std::string::npos);
   EXPECT_NE(js.find("\"chain\": [\"p\", \"q\"]"), std::string::npos);
   EXPECT_NE(to_json({}, 0).find("\"findings\": []"), std::string::npos);
+}
+
+TEST(AnalyzeJson, StripCacheBlockOnlyWhenStatsProvided) {
+  CacheStats stats;
+  stats.hits = 3;
+  stats.misses = 1;
+  const std::string js = to_json({}, 4, &stats);
+  EXPECT_NE(js.find("\"strip_cache\": {\"hits\": 3, \"misses\": 1, "
+                    "\"hit_rate\": 0.7500}"),
+            std::string::npos);
+  // Cache-less runs (and the golden fixtures) keep the legacy shape.
+  EXPECT_EQ(to_json({}, 4).find("strip_cache"), std::string::npos);
+}
+
+TEST(AnalyzeSarif, CatalogAndResultShape) {
+  Finding f{"src/a.h", 7, "event-alloc", "new", "msg \"q\"", {"start"}};
+  const std::string s = to_sarif({f});
+  EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+  // The full rule catalog is always emitted, even for rules with no hits.
+  EXPECT_NE(s.find("\"id\": \"event-block\""), std::string::npos);
+  EXPECT_NE(s.find("\"ruleId\": \"event-alloc\""), std::string::npos);
+  EXPECT_NE(s.find("\"uri\": \"src/a.h\""), std::string::npos);
+  EXPECT_NE(s.find("\"startLine\": 7"), std::string::npos);
+  EXPECT_NE(s.find("msg \\\"q\\\""), std::string::npos);
+  EXPECT_NE(to_sarif({}).find("\"results\": []"), std::string::npos);
 }
 
 // --- golden-file tests over the checked-in fixtures -------------------------
@@ -467,6 +686,7 @@ TEST(AnalyzeGolden, Determinism) { run_golden("determinism"); }
 TEST(AnalyzeGolden, Locks) { run_golden("locks"); }
 TEST(AnalyzeGolden, HotPath) { run_golden("hotpath"); }
 TEST(AnalyzeGolden, ClusterMaps) { run_golden("clustermaps"); }
+TEST(AnalyzeGolden, EventPaths) { run_golden("eventpaths"); }
 
 }  // namespace
 }  // namespace ecf::analyze

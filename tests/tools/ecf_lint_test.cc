@@ -138,6 +138,22 @@ TEST(LintRule, DeletedFunctionsAndTestsAllowed) {
   EXPECT_TRUE(f2.empty());
 }
 
+TEST(LintRule, OperatorNewDeleteDefinitionsAllowed) {
+  // `operator new` / `operator delete` name the allocation function itself
+  // (pool hooks, deleted global overloads) — not a raw allocation site.
+  const auto f1 = lint_snippet(
+      "src/util/arena.h",
+      "void* operator new(std::size_t n);\n"
+      "void operator delete(void* p) noexcept;\n"
+      "static void* operator new[](std::size_t n) = delete;\n");
+  EXPECT_FALSE(has_rule(f1, "naked-new"));
+  // A real allocation elsewhere on an operator definition line still flags.
+  const auto f2 = lint_snippet(
+      "src/sim/engine.cc",
+      "Engine& operator=(Engine&& o) { p_ = new int; return *this; }\n");
+  EXPECT_TRUE(has_rule(f2, "naked-new"));
+}
+
 TEST(LintRule, RawAssertFlaggedButStaticAssertAllowed) {
   const auto f1 = lint_snippet("src/gf/matrix.cc", "assert(rows_ > 0);\n");
   EXPECT_TRUE(has_rule(f1, "raw-assert"));

@@ -1,0 +1,38 @@
+// Fixture: event-alloc class. Only the lambda passed to schedule() is
+// event-execution code: the vector growth in the scheduling function's own
+// straight-line body is setup time (clean), while growth inside the lambda
+// and inside the helper the lambda calls is hot (two findings, the helper
+// with a two-hop witness chain). scratch_-prefixed receivers and sites
+// annotated ECF_ALLOC_OK are exempt. Never compiled.
+#include <vector>
+
+namespace fix::cluster {
+
+class Engine;
+
+class RepairQueue {
+ public:
+  void grow_plan() {
+    plan_.push_back(1);
+  }
+
+  void start_repair(double delay) {
+    setup_.push_back(0);
+    engine_->schedule(delay, [this] {
+      done_.push_back(1);
+      grow_plan();
+      scratch_ids_.push_back(2);
+      slab_.push_back(3);  ECF_ALLOC_OK("fixture: annotated cold site");
+    });
+  }
+
+ private:
+  Engine* engine_ = nullptr;
+  std::vector<int> plan_;
+  std::vector<int> setup_;
+  std::vector<int> done_;
+  std::vector<int> scratch_ids_;
+  std::vector<int> slab_;
+};
+
+}  // namespace fix::cluster

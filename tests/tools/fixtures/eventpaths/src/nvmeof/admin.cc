@@ -1,0 +1,33 @@
+// Fixture: event-block class. The completion lambda acquires a mutex that
+// is not part of the ECF_GUARDED_BY lock discipline, sleeps on host time,
+// and writes to a file — three blocking findings. Taking the lock that IS
+// declared into the discipline is clean (check_locks polices it instead).
+// Never compiled.
+#include <mutex>
+
+namespace fix::nvmeof {
+
+class Engine;
+
+class Admin {
+ public:
+  void complete(double when) {
+    engine_->schedule_at(when, [this] {
+      std::lock_guard<std::mutex> lk(mu_);
+      std::this_thread::sleep_for(pause_);
+      fprintf(log_, "done");
+      std::lock_guard<std::mutex> ok(gmu_);
+      ++inflight_;
+    });
+  }
+
+ private:
+  Engine* engine_ = nullptr;
+  std::mutex mu_;
+  std::mutex gmu_;
+  int inflight_ ECF_GUARDED_BY(gmu_);
+  int pause_ = 0;
+  void* log_ = nullptr;
+};
+
+}  // namespace fix::nvmeof

@@ -1,0 +1,36 @@
+// Fixture: event-throw class. The lambda constructed as an EventFn is
+// event-execution code: `throw` and single-argument .at() inside it are
+// flagged, the two-argument at() (a matrix-style unchecked accessor) is
+// not, and the inline allow escape suppresses. Never compiled.
+#include <vector>
+
+namespace fix::sim {
+
+class Grid {
+ public:
+  int at(int r, int c) const { return cells_[r * 4 + c]; }
+
+ private:
+  std::vector<int> cells_;
+};
+
+class Ticker {
+ public:
+  void arm() {
+    EventFn fn = [this] {
+      if (ticks_.at(0) < 0) throw 0;
+      last_ = grid_.at(1, 2);
+      ok_ = ticks_.at(1);  // ecf-analyze: allow(event-throw)
+    };
+    post(fn);
+  }
+
+ private:
+  void post(const EventFn& fn);
+  std::vector<int> ticks_;
+  Grid grid_;
+  int last_ = 0;
+  int ok_ = 0;
+};
+
+}  // namespace fix::sim

@@ -1,17 +1,29 @@
 // ecf_analyze: semantic static analysis over the ecfault source tree.
 //
-// Usage: ecf_analyze [--json[=PATH]] [--baseline PATH] <repo-root> [roots...]
+// Usage: ecf_analyze [--json[=PATH]] [--sarif=PATH] [--cache DIR]
+//                    [--baseline PATH] [--update-baseline] <repo-root>
+//                    [roots...]
 //
 // Loads every C++ source file under src/ (and tools/, for cycle detection
 // — layering ranks only constrain src/ modules) of each root, runs the
-// three rule families in ecf_analyze_core.h (layering + include cycles,
-// transitive determinism, lock discipline), and prints findings as
-// file:line: [rule] message. With --json the report is also emitted as
-// JSON to stdout (or PATH). --baseline suppresses grandfathered findings
-// by `<rule> <file> <detail>` key. Exits nonzero iff any finding survives.
+// rule families in ecf_analyze_core.h (layering + include cycles,
+// transitive determinism, lock discipline, hot-path std::function,
+// cluster map members, event-path resource discipline), and prints
+// findings as file:line: [rule] message.
+//
+// --json emits the report as JSON to stdout (or PATH); --sarif writes a
+// SARIF 2.1.0 report for CI annotation. --cache DIR keeps an mtime-keyed
+// strip cache so repeated runs skip re-stripping unchanged TUs (the JSON
+// report shows the hit rate). --baseline suppresses grandfathered
+// findings by `<rule> <file> <detail>` key; a baseline entry that no
+// longer matches any finding is STALE and fails the run (suppressions
+// must shrink with the debt they cover). --update-baseline rewrites the
+// baseline file from the current findings instead of failing. Exits
+// nonzero iff any non-baseline finding or stale entry survives.
 // Registered as a ctest (label `analyze`).
 #include <cstdio>
 #include <cstring>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -36,11 +48,32 @@ std::string read_file(const fs::path& p) {
   return buf.str();
 }
 
+// Cache stamp: "<mtime-ns>:<size>". Content-exact enough for a dev tree —
+// any editor write bumps the mtime.
+std::string stamp_of(const fs::path& p, std::uintmax_t size) {
+  const auto mtime = fs::last_write_time(p).time_since_epoch();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(mtime).count();
+  return std::to_string(ns) + ":" + std::to_string(size);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json[=PATH]] [--sarif=PATH] [--cache DIR] "
+               "[--baseline PATH] [--update-baseline] <repo-root> "
+               "[roots...]\n",
+               argv0);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool emit_json = false;
+  bool update_baseline = false;
   std::string json_path;
+  std::string sarif_path;
+  std::string cache_dir;
   std::string baseline_path;
   std::vector<std::string> roots;
 
@@ -51,28 +84,50 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       emit_json = true;
       json_path = arg.substr(7);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (arg == "--sarif") {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "ecf_analyze: --sarif needs a path\n");
+        return 2;
+      }
+      sarif_path = argv[++a];
+    } else if (arg == "--cache") {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "ecf_analyze: --cache needs a directory\n");
+        return 2;
+      }
+      cache_dir = argv[++a];
     } else if (arg == "--baseline") {
       if (a + 1 >= argc) {
         std::fprintf(stderr, "ecf_analyze: --baseline needs a path\n");
         return 2;
       }
       baseline_path = argv[++a];
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: %s [--json[=PATH]] [--baseline PATH] "
-                   "<repo-root> [roots...]\n",
-                   argv[0]);
-      return 2;
+      return usage(argv[0]);
     } else {
       roots.push_back(arg);
     }
   }
-  if (roots.empty()) {
+  if (roots.empty()) return usage(argv[0]);
+  if (update_baseline && baseline_path.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--json[=PATH]] [--baseline PATH] "
-                 "<repo-root> [roots...]\n",
-                 argv[0]);
+                 "ecf_analyze: --update-baseline needs --baseline PATH\n");
     return 2;
+  }
+
+  ecf::analyze::CacheStats cache_stats;
+  if (!cache_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(cache_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "ecf_analyze: cannot create cache dir %s (%s)\n",
+                   cache_dir.c_str(), ec.message().c_str());
+      cache_dir.clear();  // best-effort: run uncached
+    }
   }
 
   ecf::analyze::Analyzer analyzer;
@@ -96,28 +151,89 @@ int main(int argc, char** argv) {
       std::sort(files.begin(), files.end());
       for (const fs::path& file : files) {
         const std::string rel = fs::relative(file, root).generic_string();
-        analyzer.add_file(rel, read_file(file));
+        const std::string contents = read_file(file);
+        if (cache_dir.empty()) {
+          analyzer.add_file(rel, contents);
+          continue;
+        }
+        const std::string stamp = stamp_of(file, contents.size());
+        const std::string entry_path =
+            (fs::path(cache_dir) / ecf::analyze::cache_entry_name(rel))
+                .string();
+        std::string stripped;
+        if (ecf::analyze::load_strip_cache(entry_path, stamp, &stripped)) {
+          ++cache_stats.hits;
+        } else {
+          ++cache_stats.misses;
+          stripped = ecf::lint::strip_comments_and_strings(contents);
+          ecf::analyze::store_strip_cache(entry_path, stamp, stripped);
+        }
+        analyzer.add_file_stripped(rel, contents, stripped);
       }
     }
   }
 
   std::vector<ecf::analyze::Finding> findings = analyzer.run();
-  if (!baseline_path.empty()) {
-    const std::string text = read_file(baseline_path);
-    findings = ecf::analyze::apply_baseline(
-        std::move(findings), ecf::analyze::parse_baseline(text));
+  std::vector<std::string> stale;
+  if (!baseline_path.empty() && !update_baseline) {
+    const std::set<std::string> baseline =
+        ecf::analyze::parse_baseline(read_file(baseline_path));
+    std::set<std::string> matched;
+    for (const auto& f : findings) {
+      const std::string key = ecf::analyze::finding_key(f);
+      if (baseline.count(key) != 0) matched.insert(key);
+    }
+    for (const std::string& key : baseline) {
+      if (matched.count(key) == 0) stale.push_back(key);
+    }
+    findings = ecf::analyze::apply_baseline(std::move(findings), baseline);
+  }
+
+  if (update_baseline) {
+    std::set<std::string> keys;
+    for (const auto& f : findings) keys.insert(ecf::analyze::finding_key(f));
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    out << "# ecf_analyze baseline: grandfathered findings, one per line as\n"
+           "#\n"
+           "#   <rule> <file> <detail>\n"
+           "#\n"
+           "# Regenerated by `ecf_analyze --update-baseline` (or\n"
+           "# `tools/run_checks.sh analyze --update-baseline`). Stale\n"
+           "# entries fail the analyze ctest, so this file only ever\n"
+           "# shrinks with the debt it covers. Prefer fixing the code or a\n"
+           "# targeted inline `// ecf-analyze: allow(<rule>)` over growing\n"
+           "# it.\n";
+    for (const std::string& key : keys) out << key << "\n";
+    if (!out) {
+      std::fprintf(stderr, "ecf_analyze: cannot write %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "ecf_analyze: baseline %s updated (%zu entries)\n",
+                 baseline_path.c_str(), keys.size());
+    return 0;
   }
 
   for (const auto& f : findings) {
     std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
                  f.rule.c_str(), f.message.c_str());
   }
-  std::fprintf(stderr, "ecf_analyze: %zu file(s) analyzed, %zu finding(s)\n",
-               analyzer.file_count(), findings.size());
+  for (const std::string& key : stale) {
+    std::fprintf(stderr,
+                 "stale baseline entry (no longer matches any finding — "
+                 "remove it or run --update-baseline): %s\n",
+                 key.c_str());
+  }
+  std::fprintf(stderr,
+               "ecf_analyze: %zu file(s) analyzed, %zu finding(s), "
+               "%zu stale baseline entr%s\n",
+               analyzer.file_count(), findings.size(), stale.size(),
+               stale.size() == 1 ? "y" : "ies");
 
   if (emit_json) {
-    const std::string json =
-        ecf::analyze::to_json(findings, analyzer.file_count());
+    const std::string json = ecf::analyze::to_json(
+        findings, analyzer.file_count(),
+        cache_dir.empty() ? nullptr : &cache_stats);
     if (json_path.empty() || json_path == "-") {
       std::fputs(json.c_str(), stdout);
     } else {
@@ -130,5 +246,14 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return findings.empty() ? 0 : 1;
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    out << ecf::analyze::to_sarif(findings);
+    if (!out) {
+      std::fprintf(stderr, "ecf_analyze: cannot write %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+  }
+  return findings.empty() && stale.empty() ? 0 : 1;
 }

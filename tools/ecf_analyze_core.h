@@ -38,6 +38,28 @@
 //                   std::function heap-allocates per event and undoes the
 //                   event-core rewrite. Cold-path callbacks (config hooks,
 //                   log sinks) escape with an inline allow.
+//   event-paths     interprocedural resource discipline on event-execution
+//                   paths (DESIGN.md §13). BFS over the intra-repo call
+//                   graph from every function in src/sim, src/nvmeof,
+//                   src/cluster or src/ecfault that schedules events
+//                   (Engine::schedule family) or constructs a sim::EventFn;
+//                   three violation classes, each its own rule:
+//                     event-alloc  dynamic allocation — new / malloc /
+//                                  make_unique / make_shared, growth-
+//                                  capable std-container mutations
+//                                  (push_back/insert/resize/emplace*,
+//                                  operator[] on map-typed receivers,
+//                                  std::string concatenation) unless the
+//                                  receiver is a util::Arena / util::Pool
+//                                  (the sanctioned slab allocators) or the
+//                                  site carries ECF_ALLOC_OK(reason).
+//                     event-throw  `throw` statements and known-throwing
+//                                  std calls (.at(), stoi family).
+//                     event-block  mutex acquisition outside the
+//                                  ECF_GUARDED_BY-declared lock discipline,
+//                                  sleeps, file/stream I/O, iostreams.
+//                   Findings carry the full entry -> offender witness
+//                   chain, exactly like the determinism pass.
 //
 // Still no libclang: the front end is the ecf_lint comment/string
 // stripper plus a lightweight tokenizer and a heuristic function-def
@@ -53,7 +75,9 @@
 #include <cctype>
 #include <cstddef>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <set>
 #include <string>
@@ -115,7 +139,23 @@ inline std::vector<Token> tokenize(const std::string& code) {
     }
     if (ecf::lint::is_word_char(c)) {
       std::size_t j = i;
-      while (j < code.size() && ecf::lint::is_word_char(code[j])) ++j;
+      while (j < code.size()) {
+        if (ecf::lint::is_word_char(code[j])) {
+          ++j;
+          continue;
+        }
+        // C++14 digit separator: 1'000'000 is ONE number token. By this
+        // point real char literals were blanked by the stripper, so an
+        // apostrophe directly between word characters can only be a
+        // separator; splitting it would leak stray `'` punctuation tokens
+        // into the function matcher.
+        if (code[j] == '\'' && j + 1 < code.size() &&
+            ecf::lint::is_word_char(code[j + 1])) {
+          ++j;
+          continue;
+        }
+        break;
+      }
       out.push_back({code.substr(i, j - i), i, true});
       i = j;
     } else {
@@ -281,14 +321,20 @@ inline std::string last_ident_in(const std::vector<Token>& toks,
 inline bool is_annotation_macro(const std::string& s) {
   return s == "ECF_REQUIRES" || s == "ECF_REQUIRES_SHARED" ||
          s == "ECF_EXCLUDES" || s == "ECF_ACQUIRE" || s == "ECF_RELEASE" ||
-         s == "ECF_NO_THREAD_SAFETY_ANALYSIS";
+         s == "ECF_NO_THREAD_SAFETY_ANALYSIS" || s == "ECF_ALLOC_OK";
 }
 
 }  // namespace detail
 
 // Parse one file into a TranslationUnit. `path` must be repo-relative with
-// forward slashes (it drives module assignment and reporting).
+// forward slashes (it drives module assignment and reporting). The second
+// form takes the already comment/string-stripped text (NOT preprocessor-
+// blanked) — the mtime-keyed strip cache feeds it so unchanged TUs skip
+// the stripper on repeat runs.
 TranslationUnit parse_tu(const std::string& path, const std::string& contents);
+TranslationUnit parse_tu_stripped(const std::string& path,
+                                  const std::string& contents,
+                                  const std::string& stripped);
 
 // --- the analyzer -----------------------------------------------------------
 
@@ -296,6 +342,13 @@ class Analyzer {
  public:
   void add_file(const std::string& path, const std::string& contents) {
     tus_.push_back(parse_tu(path, contents));
+  }
+
+  // Cache-fed variant: `stripped` is the comment/string-stripped text of
+  // `contents` (same byte length, newlines preserved).
+  void add_file_stripped(const std::string& path, const std::string& contents,
+                         const std::string& stripped) {
+    tus_.push_back(parse_tu_stripped(path, contents, stripped));
   }
 
   std::size_t file_count() const { return tus_.size(); }
@@ -309,6 +362,7 @@ class Analyzer {
   std::vector<Finding> check_locks() const;
   std::vector<Finding> check_hot_path() const;
   std::vector<Finding> check_cluster_maps() const;
+  std::vector<Finding> check_event_paths() const;
 
  private:
   const TranslationUnit* tu_for(const std::string& path) const {
@@ -335,9 +389,46 @@ inline std::string finding_key(const Finding& f) {
 std::vector<Finding> apply_baseline(std::vector<Finding> findings,
                                     const std::set<std::string>& baseline);
 
-// Machine-readable report: {"files_scanned": N, "findings": [...]}.
+// Strip-cache bookkeeping, surfaced in the JSON report so `ctest -L
+// analyze` runs show how much re-stripping the mtime key saved.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+// Machine-readable report: {"files_scanned": N, "findings": [...]}. When
+// `cache` is non-null a "strip_cache" block with hits/misses/hit_rate is
+// included (the golden fixtures run cache-less and keep the legacy shape).
 std::string to_json(const std::vector<Finding>& findings,
-                    std::size_t files_scanned);
+                    std::size_t files_scanned,
+                    const CacheStats* cache = nullptr);
+
+// SARIF 2.1.0 report for CI annotation (one run, one result per finding,
+// witness chains folded into the message text). Deterministic: rules are
+// listed in a fixed order, results in the findings' sorted order.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+// --- mtime-keyed strip cache ------------------------------------------------
+//
+// Comment/string stripping dominates cold analyzer startup and depends
+// only on the file's bytes, so ecf_analyze keeps one cache file per TU
+// under --cache DIR: a header line `ecf-strip-cache <stamp>` (the stamp is
+// "<mtime-ns>:<size>", computed by the CLI) followed by the stripped text
+// verbatim. Preprocessor blanking is recomputed per run — the include
+// scanner needs the pre-blank text.
+
+// "src/gf/matrix.h" -> "src_gf_matrix.h.strip": flat names keep the cache
+// directory listable and avoid mkdir -p logic.
+std::string cache_entry_name(const std::string& rel_path);
+
+// Load `cache_file` if its header stamp matches; on success fills
+// `stripped` and returns true.
+bool load_strip_cache(const std::string& cache_file, const std::string& stamp,
+                      std::string* stripped);
+
+// (Over)write `cache_file` with the stamp header + stripped text.
+void store_strip_cache(const std::string& cache_file, const std::string& stamp,
+                       const std::string& stripped);
 
 // ---------------------------------------------------------------------------
 // implementation
@@ -359,11 +450,23 @@ inline std::size_t match_function(const std::vector<Token>& toks,
   if (name == "operator") {
     // operator== / operator() / operator[] / operator+ ...: fold the
     // punctuation into the name; for operator() the first () pair is part
-    // of the name and the parameter list follows.
+    // of the name and the parameter list follows. operator new / operator
+    // delete (and the [] forms) fold the keyword in too — without this the
+    // extractor used to see `new (` / `delete (`, bail on the control
+    // keyword, and leak the definition's body into the scope scan.
     std::size_t j = i + 1;
     if (j + 1 < toks.size() && toks[j].text == "(" && toks[j + 1].text == ")") {
       name += "()";
       j += 2;
+    } else if (j < toks.size() && toks[j].ident &&
+               (toks[j].text == "new" || toks[j].text == "delete")) {
+      name += " " + toks[j].text;
+      ++j;
+      if (j + 1 < toks.size() && toks[j].text == "[" &&
+          toks[j + 1].text == "]") {
+        name += "[]";
+        j += 2;
+      }
     } else {
       while (j < toks.size() && !toks[j].ident && toks[j].text != "(") {
         name += toks[j].text;
@@ -577,11 +680,17 @@ inline void scan_body(const std::vector<Token>& toks, std::size_t begin,
 
 inline TranslationUnit parse_tu(const std::string& path,
                                 const std::string& contents) {
+  return parse_tu_stripped(path, contents,
+                           ecf::lint::strip_comments_and_strings(contents));
+}
+
+inline TranslationUnit parse_tu_stripped(const std::string& path,
+                                         const std::string& contents,
+                                         const std::string& stripped) {
   using detail::Token;
   TranslationUnit tu;
   tu.path = path;
   tu.contents = contents;
-  const std::string stripped = ecf::lint::strip_comments_and_strings(contents);
   tu.code = detail::blank_preprocessor_lines(stripped);
   tu.line_starts = detail::index_line_starts(tu.code);
   tu.raw_lines = ecf::lint::detail::split_lines(contents);
@@ -729,10 +838,14 @@ inline TranslationUnit parse_tu(const std::string& path,
       continue;
     }
 
-    // Candidate function definition / annotated declaration.
+    // Candidate function definition / annotated declaration. `operator`
+    // followed by punctuation (operator==, operator()) or by the new /
+    // delete keywords both start one.
     if (i + 1 < toks.size() &&
         (toks[i + 1].text == "(" ||
-         (t.text == "operator" && !toks[i + 1].ident))) {
+         (t.text == "operator" &&
+          (!toks[i + 1].ident || toks[i + 1].text == "new" ||
+           toks[i + 1].text == "delete")))) {
       FunctionDef def;
       bool decl_only = false;
       const std::size_t body_open = detail::match_function(toks, i, &def,
@@ -1170,6 +1283,495 @@ inline std::vector<Finding> Analyzer::check_cluster_maps() const {
   return findings;
 }
 
+// --- rule family 6: event-path resource discipline --------------------------
+//
+// PRs 5–6 made per-event cost the product's headline number; this family
+// keeps the next feature from quietly re-introducing a heap allocation, a
+// throwing path or a blocking call inside event execution. Entry points
+// are discovered, not listed: in src/sim, src/nvmeof, src/cluster and
+// src/ecfault, every lambda passed to the Engine::schedule family (or
+// constructed as a sim::EventFn) is an event callback. The lambda body is
+// scanned directly, every function it calls becomes a BFS root, and
+// everything reachable from a root through the intra-repo call graph is on
+// the hot path. Rooting at the lambda — not the enclosing function — keeps
+// setup-time code that merely *schedules* work (campaign drivers, pool
+// creation, fault planning) off the event paths. Callbacks are assumed to
+// be inline lambdas, the repo's continuation style; a named function
+// passed by reference would be missed.
+
+namespace detail {
+
+struct EventUse {
+  std::string rule;  // event-alloc | event-throw | event-block
+  std::string api;   // offending construct, e.g. "new", "ops_.push_back()"
+  std::size_t line = 0;
+};
+
+// Name-driven receiver classification for one TU, collected from every
+// declaration-shaped token run: names typed util::Arena / util::Pool (the
+// sanctioned slab allocators — mutations through them are the *fix*, not a
+// finding), std::string variables (concatenation detection) and map-typed
+// variables (operator[] inserts nodes). Deliberately name-based and
+// conservative: an unknown receiver simply doesn't widen any set.
+struct ReceiverSets {
+  std::set<std::string> pool;     // util::Arena / util::Pool<T> instances
+  std::set<std::string> strings;  // std::string variables
+  std::set<std::string> maps;     // std::map / std::unordered_map variables
+};
+
+// The repo's reusable-buffer convention: members named scratch_* hold
+// capacity that is cleared and refilled across events, so growth through
+// them amortizes to the high-water mark exactly like an Arena slab.
+inline bool is_scratch_name(const std::string& s) {
+  return s.rfind("scratch_", 0) == 0;
+}
+
+// Token ranges (inside the braces) of every event-callback body in one
+// function body: lambdas passed to an Engine::schedule-family call and
+// lambdas constructed as a sim::EventFn. Nested callbacks (continuation
+// chains scheduling further work) fall inside the outer region, so
+// contained duplicates are dropped.
+inline std::vector<std::pair<std::size_t, std::size_t>> callback_regions(
+    const std::vector<Token>& toks, std::size_t begin, std::size_t end) {
+  static const std::set<std::string> kScheduleCalls = {
+      "schedule", "schedule_at", "schedule_at_unchecked",
+      "set_post_event_hook"};
+  std::vector<std::pair<std::size_t, std::size_t>> regions;
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident) continue;
+    const bool schedule_site = kScheduleCalls.count(t.text) != 0 &&
+                               i + 1 < end && toks[i + 1].text == "(";
+    const bool eventfn_site = t.text == "EventFn";
+    if (!schedule_site && !eventfn_site) continue;
+    // Where to look for the lambda: the call's argument list for schedule
+    // sites; the next few tokens for an EventFn declaration
+    // (`EventFn fn = [..]{..}` / `EventFn([..]{..})`).
+    const std::size_t search_begin = i + 1;
+    const std::size_t search_end =
+        schedule_site ? skip_balanced(toks, i + 1, '(', ')')
+                      : std::min(end, i + 6);
+    for (std::size_t j = search_begin; j < search_end && j < end; ++j) {
+      if (toks[j].ident || toks[j].text != "[") continue;
+      // A subscript's `[` follows a value; a lambda introducer doesn't.
+      const Token& prev = toks[j - 1];
+      if (prev.ident || prev.text == "]" || prev.text == ")") continue;
+      std::size_t k = skip_balanced(toks, j, '[', ']');
+      if (k < end && !toks[k].ident && toks[k].text == "(") {
+        k = skip_balanced(toks, k, '(', ')');  // parameter list
+      }
+      if (k >= end || toks[k].ident || toks[k].text != "{") continue;
+      const std::size_t body_close = skip_balanced(toks, k, '{', '}');
+      regions.emplace_back(k + 1, body_close - 1);
+      j = body_close - 1;  // further lambdas in the same argument list
+    }
+  }
+  std::sort(regions.begin(), regions.end());
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  std::size_t covered_end = 0;
+  for (const auto& r : regions) {
+    if (r.second <= covered_end) continue;  // nested in an outer callback
+    out.push_back(r);
+    covered_end = r.second;
+  }
+  return out;
+}
+
+inline ReceiverSets collect_receivers(const std::vector<Token>& toks) {
+  ReceiverSets rs;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident) continue;
+    // A reference alias to a scratch buffer inherits the exemption:
+    // `std::vector<T>& needed = scratch_needed_;`.
+    if (is_scratch_name(toks[i].text) && i + 1 < toks.size() &&
+        toks[i + 1].text == ";" && i >= 3 && toks[i - 1].text == "=" &&
+        toks[i - 2].ident && toks[i - 3].text == "&") {
+      rs.pool.insert(toks[i - 2].text);
+    }
+    const std::string& t = toks[i].text;
+    const bool pool_type = t == "Arena" || t == "Pool";
+    const bool string_type = t == "string";
+    const bool map_type = t == "map" || t == "unordered_map" ||
+                          t == "multimap" || t == "unordered_multimap";
+    if (!pool_type && !string_type && !map_type) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<") {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (j < toks.size() && !toks[j].ident &&
+           (toks[j].text == "&" || toks[j].text == "*")) {
+      ++j;
+    }
+    if (j >= toks.size() || !toks[j].ident) continue;
+    if (pool_type) rs.pool.insert(toks[j].text);
+    if (string_type) rs.strings.insert(toks[j].text);
+    if (map_type) rs.maps.insert(toks[j].text);
+  }
+  return rs;
+}
+
+// Scan one function body [begin, end) for the three event-path violation
+// classes. Receiver-aware where it matters (growth methods, operator[],
+// string +=), token-list driven everywhere else.
+inline void scan_event_uses(const std::vector<Token>& toks, std::size_t begin,
+                            std::size_t end,
+                            const std::vector<std::size_t>& line_starts,
+                            const ReceiverSets& rs,
+                            const std::set<std::string>& guarded_mutexes,
+                            std::vector<EventUse>* out) {
+  static const std::set<std::string> kAllocCalls = {
+      "malloc", "calloc", "realloc", "aligned_alloc", "strdup"};
+  static const std::set<std::string> kMakeCalls = {"make_unique",
+                                                   "make_shared"};
+  static const std::set<std::string> kGrowthMethods = {
+      "push_back", "emplace_back", "push_front", "emplace_front",
+      "emplace",   "insert",       "resize"};
+  static const std::set<std::string> kThrowCalls = {
+      "stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod", "stold"};
+  static const std::set<std::string> kSleepCalls = {
+      "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until"};
+  static const std::set<std::string> kFileCalls = {
+      "fopen", "fclose", "fread",  "fwrite", "fflush", "fseek",
+      "fgets", "fputs",  "fscanf", "fprintf", "printf", "puts",
+      "system"};
+  static const std::set<std::string> kStreamIdents = {
+      "ifstream", "ofstream", "fstream", "cout", "cerr", "cin", "clog",
+      "endl"};
+  static const std::set<std::string> kLockHolders = {
+      "lock_guard", "scoped_lock", "unique_lock", "shared_lock"};
+
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident) continue;
+    const std::size_t line = line_of_offset(line_starts, t.offset);
+    const bool call_like = i + 1 < end && toks[i + 1].text == "(";
+    // Receiver of a member access: `recv.method` or `recv->method`
+    // (`->` tokenizes as '-' '>').
+    std::string receiver;
+    if (i >= 2 && toks[i - 1].text == "." && toks[i - 2].ident) {
+      receiver = toks[i - 2].text;
+    } else if (i >= 3 && toks[i - 1].text == ">" && toks[i - 2].text == "-" &&
+               toks[i - 3].ident) {
+      receiver = toks[i - 3].text;
+    }
+
+    // (a) allocation -------------------------------------------------------
+    if (t.text == "new") {
+      // Placement new constructs into existing storage — that IS the
+      // arena/pool idiom — so only non-placement forms count.
+      if (!(i + 1 < end && toks[i + 1].text == "(")) {
+        out->push_back({"event-alloc", "new", line});
+      }
+      continue;
+    }
+    if (call_like && kAllocCalls.count(t.text) != 0) {
+      out->push_back({"event-alloc", t.text + "()", line});
+      continue;
+    }
+    if (kMakeCalls.count(t.text) != 0 && i + 1 < end &&
+        (toks[i + 1].text == "<" || toks[i + 1].text == "(")) {
+      out->push_back({"event-alloc", "std::" + t.text, line});
+      continue;
+    }
+    if (call_like && kGrowthMethods.count(t.text) != 0 && !receiver.empty() &&
+        rs.pool.count(receiver) == 0 && !is_scratch_name(receiver)) {
+      out->push_back({"event-alloc", receiver + "." + t.text + "()", line});
+      continue;
+    }
+    if (rs.maps.count(t.text) != 0 && !is_scratch_name(t.text) &&
+        i + 1 < end && toks[i + 1].text == "[") {
+      out->push_back({"event-alloc", t.text + "[...] (map node insert)",
+                      line});
+      continue;
+    }
+    if (rs.strings.count(t.text) != 0 && !is_scratch_name(t.text) &&
+        i + 2 < end && toks[i + 1].text == "+" && toks[i + 2].text == "=") {
+      out->push_back({"event-alloc", t.text + " += (string growth)", line});
+      continue;
+    }
+    if (call_like && t.text == "append" && rs.strings.count(receiver) != 0 &&
+        !is_scratch_name(receiver)) {
+      out->push_back({"event-alloc", receiver + ".append()", line});
+      continue;
+    }
+
+    // (b) throw ------------------------------------------------------------
+    if (t.text == "throw") {
+      out->push_back({"event-throw", "throw", line});
+      continue;
+    }
+    if (call_like && t.text == "at" && !receiver.empty()) {
+      // Std-container at() — the throwing bounds-checked accessor — takes
+      // exactly one argument. A top-level comma in the argument list means
+      // a different at() overload (e.g. gf::Matrix::at(r, c), which is a
+      // raw unchecked index); don't flag those.
+      bool multi_arg = false;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < end; ++j) {
+        if (toks[j].text == "(" || toks[j].text == "[" ||
+            toks[j].text == "{") {
+          ++depth;
+        } else if (toks[j].text == ")" || toks[j].text == "]" ||
+                   toks[j].text == "}") {
+          if (--depth == 0) break;
+        } else if (toks[j].text == "," && depth == 1) {
+          multi_arg = true;
+          break;
+        }
+      }
+      if (!multi_arg) {
+        out->push_back({"event-throw", receiver + ".at()", line});
+      }
+      continue;
+    }
+    if (call_like && kThrowCalls.count(t.text) != 0) {
+      out->push_back({"event-throw", "std::" + t.text + "()", line});
+      continue;
+    }
+
+    // (c) blocking ---------------------------------------------------------
+    if (kLockHolders.count(t.text) != 0) {
+      // Same shape as lock_acquisitions: holder<...> var(mu[, mu2...]).
+      // Mutexes that appear in an ECF_GUARDED_BY annotation are declared
+      // fast-path locks policed by check_locks; anything else blocks.
+      std::size_t j = i + 1;
+      if (j < end && toks[j].text == "<") {
+        int depth = 0;
+        for (; j < end; ++j) {
+          if (toks[j].text == "<") ++depth;
+          if (toks[j].text == ">" && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      if (j < end && toks[j].ident) ++j;  // holder variable name
+      if (j < end && (toks[j].text == "(" || toks[j].text == "{")) {
+        const char open = toks[j].text[0];
+        const std::size_t close =
+            skip_balanced(toks, j, open, open == '(' ? ')' : '}');
+        std::size_t arg_start = j + 1;
+        for (std::size_t k = j + 1; k < close; ++k) {
+          if (k + 1 == close || toks[k].text == ",") {
+            const std::string m = last_ident_in(toks, arg_start, k + 1);
+            if (!m.empty() && guarded_mutexes.count(m) == 0) {
+              out->push_back(
+                  {"event-block", t.text + " on '" + m + "'", line});
+            }
+            arg_start = k + 1;
+          }
+        }
+        i = close - 1;
+      }
+      continue;
+    }
+    if (call_like &&
+        (t.text == "lock" || t.text == "unlock" || t.text == "try_lock") &&
+        !receiver.empty() && guarded_mutexes.count(receiver) == 0) {
+      out->push_back({"event-block", receiver + "." + t.text + "()", line});
+      continue;
+    }
+    if (call_like && kSleepCalls.count(t.text) != 0) {
+      out->push_back({"event-block", t.text + "()", line});
+      continue;
+    }
+    if (call_like && kFileCalls.count(t.text) != 0) {
+      out->push_back({"event-block", t.text + "()", line});
+      continue;
+    }
+    if (kStreamIdents.count(t.text) != 0) {
+      out->push_back({"event-block", "std::" + t.text, line});
+      continue;
+    }
+  }
+}
+
+// ECF_ALLOC_OK(reason) is real code (the macro expands to nothing), so the
+// allow rides the raw line just like an inline comment allow.
+inline bool line_has_alloc_ok(const TranslationUnit& tu, std::size_t line) {
+  if (line == 0 || line > tu.raw_lines.size()) return false;
+  return tu.raw_lines[line - 1].find("ECF_ALLOC_OK") != std::string::npos;
+}
+
+}  // namespace detail
+
+inline std::vector<Finding> Analyzer::check_event_paths() const {
+  static const std::set<std::string> kEntryModules = {"sim", "nvmeof",
+                                                      "cluster", "ecfault"};
+
+  // Name-level call graph, conservative merge (same as check_determinism).
+  struct Node {
+    std::vector<const FunctionDef*> defs;
+    std::set<std::string> callees;
+  };
+  std::map<std::string, Node> graph;
+  for (const auto& tu : tus_) {
+    for (const FunctionDef& f : tu.functions) {
+      Node& n = graph[f.name];
+      n.defs.push_back(&f);
+      for (const std::string& c : f.callees) n.callees.insert(c);
+    }
+  }
+
+  // Mutexes declared into the lock discipline anywhere in the tree.
+  std::set<std::string> guarded_mutexes;
+  for (const auto& tu : tus_) {
+    for (const GuardedMember& g : tu.guarded) guarded_mutexes.insert(g.mutex);
+  }
+
+  // Per-TU token scan. For every function: violations over the whole body
+  // (reported iff the function is BFS-reachable) and, when it schedules
+  // callbacks, violations inside just the callback regions plus the
+  // callees those regions invoke (the BFS roots). src/util/arena.h is the
+  // sanctioned allocator — its slab internals are exactly where fixes
+  // route allocations TO — so its defs are never scanned (the receiver
+  // exemption handles call sites; this handles the implementation).
+  struct FnScan {
+    std::vector<detail::EventUse> whole;     // entire body
+    std::vector<detail::EventUse> callback;  // callback regions only
+    bool schedules = false;
+  };
+  std::map<const FunctionDef*, FnScan> scans;
+  std::set<std::string> roots;
+  std::map<std::string, std::string> root_scheduler;  // root -> scheduler fn
+  for (const auto& tu : tus_) {
+    const std::string module = module_of_path(tu.path);
+    if (layer_rank(module) < 0) continue;  // only src/ executes events
+    const bool allocator_impl = tu.path == "src/util/arena.h";
+    const bool entry_module = kEntryModules.count(module) != 0;
+    const std::vector<detail::Token> toks = detail::tokenize(tu.code);
+    const detail::ReceiverSets rs = detail::collect_receivers(toks);
+    for (const FunctionDef& f : tu.functions) {
+      FnScan scan;
+      if (entry_module) {
+        const auto regions =
+            detail::callback_regions(toks, f.body_begin, f.body_end);
+        scan.schedules = !regions.empty();
+        for (const auto& [rb, re] : regions) {
+          for (std::size_t i = rb; i < re && i < toks.size(); ++i) {
+            if (toks[i].ident && i + 1 < re && toks[i + 1].text == "(" &&
+                !detail::is_control_keyword(toks[i].text) &&
+                !detail::is_annotation_macro(toks[i].text) &&
+                roots.insert(toks[i].text).second) {
+              root_scheduler.emplace(toks[i].text, f.name);
+            }
+          }
+          if (!allocator_impl) {
+            detail::scan_event_uses(toks, rb, re, tu.line_starts, rs,
+                                    guarded_mutexes, &scan.callback);
+          }
+        }
+      }
+      if (!allocator_impl) {
+        detail::scan_event_uses(toks, f.body_begin, f.body_end,
+                                tu.line_starts, rs, guarded_mutexes,
+                                &scan.whole);
+      }
+      if (!scan.whole.empty() || !scan.callback.empty()) {
+        scans.emplace(&f, std::move(scan));
+      }
+    }
+  }
+
+  // BFS with parent edges for witness chains. Roots enter with their
+  // scheduling function as chain context (its lambda literally makes the
+  // call); the scheduler itself is NOT enqueued — its straight-line body
+  // is setup code unless something else reaches it.
+  std::map<std::string, std::string> parent;
+  std::vector<std::string> queue;
+  for (const std::string& r : roots) {
+    if (graph.count(r) != 0 && parent.emplace(r, root_scheduler[r]).second) {
+      queue.push_back(r);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::string cur = queue[head];
+    for (const std::string& callee : graph[cur].callees) {
+      if (graph.count(callee) == 0) continue;  // external/library call
+      if (parent.emplace(callee, cur).second) queue.push_back(callee);
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& [name, node] : graph) {
+    const bool reachable = parent.count(name) != 0;
+    for (const FunctionDef* d : node.defs) {
+      const auto sit = scans.find(d);
+      if (sit == scans.end()) continue;
+      // Reachable functions execute entirely inside events; otherwise only
+      // the lambdas a scheduler wraps do.
+      const std::vector<detail::EventUse>* selected = nullptr;
+      if (reachable) {
+        selected = &sit->second.whole;
+      } else if (sit->second.schedules) {
+        selected = &sit->second.callback;
+      }
+      if (selected == nullptr || selected->empty()) continue;
+      const TranslationUnit* tu = tu_for(d->file);
+      for (const detail::EventUse& use : *selected) {
+        if (tu && detail::line_allows(*tu, use.line, use.rule)) continue;
+        if (tu && use.rule == "event-alloc" &&
+            detail::line_has_alloc_ok(*tu, use.line)) {
+          continue;
+        }
+        Finding f;
+        f.file = d->file;
+        f.line = use.line;
+        f.rule = use.rule;
+        f.detail = use.api;
+        // Walk parents up to the scheduling function. Scheduler edges can
+        // close cycles (a callback may call back into a function that
+        // schedules), so guard against revisits.
+        std::vector<std::string> chain{name};
+        std::set<std::string> seen{name};
+        if (reachable) {
+          for (std::string p = parent[name]; !p.empty(); ) {
+            if (!seen.insert(p).second) break;
+            chain.push_back(p);
+            const auto next = parent.find(p);
+            p = next == parent.end() ? std::string() : next->second;
+          }
+        }
+        std::reverse(chain.begin(), chain.end());
+        f.chain = chain;
+        std::string via;
+        for (std::size_t i = 0; i < chain.size(); ++i) {
+          via += (i ? " -> " : "") + chain[i] + "()";
+        }
+        if (use.rule == "event-alloc") {
+          f.message = "dynamic allocation (" + use.api +
+                      ") on an event-execution path via " + via +
+                      "; route it through util::Arena/util::Pool, hoist it "
+                      "to setup time, or annotate a genuinely cold site "
+                      "with ECF_ALLOC_OK(reason)";
+        } else if (use.rule == "event-throw") {
+          f.message = "throwing construct (" + use.api +
+                      ") reachable from event execution via " + via +
+                      "; event callbacks must not throw — use ECF_CHECK "
+                      "contracts or error returns (escape: `// ecf-analyze: "
+                      "allow(event-throw)`)";
+        } else {
+          f.message = "blocking call (" + use.api +
+                      ") on an event-execution path via " + via +
+                      "; the simulator is single-threaded and must never "
+                      "wait on host time, locks outside the ECF_GUARDED_BY "
+                      "discipline, or I/O (escape: `// ecf-analyze: "
+                      "allow(event-block)`)";
+        }
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  return findings;
+}
+
 inline std::vector<Finding> Analyzer::run() const {
   std::vector<Finding> findings = check_layering();
   {
@@ -1181,6 +1783,8 @@ inline std::vector<Finding> Analyzer::run() const {
     findings.insert(findings.end(), h.begin(), h.end());
     std::vector<Finding> m = check_cluster_maps();
     findings.insert(findings.end(), m.begin(), m.end());
+    std::vector<Finding> e = check_event_paths();
+    findings.insert(findings.end(), e.begin(), e.end());
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -1252,9 +1856,22 @@ inline std::string json_escape(const std::string& s) {
 }  // namespace detail
 
 inline std::string to_json(const std::vector<Finding>& findings,
-                           std::size_t files_scanned) {
-  std::string out = "{\n  \"files_scanned\": " +
-                    std::to_string(files_scanned) + ",\n  \"findings\": [";
+                           std::size_t files_scanned,
+                           const CacheStats* cache) {
+  std::string out =
+      "{\n  \"files_scanned\": " + std::to_string(files_scanned) + ",";
+  if (cache != nullptr) {
+    const std::size_t total = cache->hits + cache->misses;
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.4f",
+                  total == 0 ? 0.0
+                             : static_cast<double>(cache->hits) /
+                                   static_cast<double>(total));
+    out += "\n  \"strip_cache\": {\"hits\": " + std::to_string(cache->hits) +
+           ", \"misses\": " + std::to_string(cache->misses) +
+           ", \"hit_rate\": " + rate + "},";
+  }
+  out += "\n  \"findings\": [";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     out += i ? ",\n    {" : "\n    {";
@@ -1274,6 +1891,93 @@ inline std::string to_json(const std::vector<Finding>& findings,
   }
   out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
   return out;
+}
+
+inline std::string to_sarif(const std::vector<Finding>& findings) {
+  // Rule catalog in a fixed order so the report is byte-stable.
+  struct RuleMeta {
+    const char* id;
+    const char* text;
+  };
+  static const RuleMeta kRules[] = {
+      {"layering", "modules obey the dependency order util < gf < ec < sim "
+                   "< nvmeof < cluster < ecfault"},
+      {"include-cycle", "no include cycles"},
+      {"nondeterminism", "no nondeterministic API reachable from "
+                         "sim/ecfault/cluster entry points"},
+      {"guarded-by", "ECF_GUARDED_BY members are only touched under their "
+                     "mutex"},
+      {"std-function", "no std::function on the simulator hot path"},
+      {"per-object-map", "no node-based map members in cluster structs"},
+      {"event-alloc", "no dynamic allocation on event-execution paths"},
+      {"event-throw", "no throwing construct on event-execution paths"},
+      {"event-block", "no blocking call on event-execution paths"},
+  };
+  std::string out =
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\"name\": \"ecf_analyze\",\n"
+      "      \"informationUri\": \"DESIGN.md\",\n"
+      "      \"rules\": [";
+  bool first = true;
+  for (const RuleMeta& r : kRules) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += std::string("        {\"id\": \"") + r.id +
+           "\", \"shortDescription\": {\"text\": \"" + r.text + "\"}}";
+  }
+  out += "\n      ]}},\n    \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i ? ",\n" : "\n";
+    out += "      {\"ruleId\": \"" + detail::json_escape(f.rule) +
+           "\", \"level\": \"error\",\n"
+           "       \"message\": {\"text\": \"" +
+           detail::json_escape(f.message) +
+           "\"},\n"
+           "       \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           detail::json_escape(f.file) +
+           "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           "}}}]}";
+  }
+  out += findings.empty() ? "]\n  }]\n}\n" : "\n    ]\n  }]\n}\n";
+  return out;
+}
+
+// --- mtime-keyed strip cache ------------------------------------------------
+
+inline std::string cache_entry_name(const std::string& rel_path) {
+  std::string name = rel_path;
+  for (char& c : name) {
+    if (c == '/' || c == '\\' || c == ':') c = '_';
+  }
+  return name + ".strip";
+}
+
+inline bool load_strip_cache(const std::string& cache_file,
+                             const std::string& stamp,
+                             std::string* stripped) {
+  std::ifstream in(cache_file, std::ios::binary);
+  if (!in) return false;
+  std::string header;
+  if (!std::getline(in, header)) return false;
+  if (header != "ecf-strip-cache " + stamp) return false;
+  std::string rest((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  *stripped = std::move(rest);
+  return true;
+}
+
+inline void store_strip_cache(const std::string& cache_file,
+                              const std::string& stamp,
+                              const std::string& stripped) {
+  std::ofstream out(cache_file, std::ios::binary | std::ios::trunc);
+  if (!out) return;  // cache is best-effort; analysis proceeds without it
+  out << "ecf-strip-cache " << stamp << "\n" << stripped;
 }
 
 }  // namespace ecf::analyze

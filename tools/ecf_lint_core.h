@@ -304,6 +304,17 @@ inline std::vector<Rule> make_default_rules() {
           while (p > 0 && (line[p - 1] == ' ' || line[p - 1] == '\t')) --p;
           if (p > 0 && line[p - 1] == '=') return false;  // "= delete"
         }
+        // `operator new` / `operator delete` name the allocation function
+        // itself (class-local pool hooks, deleted global overloads) — a
+        // definition, not a raw allocation at a call site.
+        {
+          std::size_t p = col;
+          while (p > 0 && (line[p - 1] == ' ' || line[p - 1] == '\t')) --p;
+          if (p >= 8 && line.compare(p - 8, 8, "operator") == 0 &&
+              (p == 8 || !is_word_char(line[p - 9]))) {
+            return false;
+          }
+        }
         // Placement-new-free tree: every `new` outside "= delete" counts.
         return true;
       }});

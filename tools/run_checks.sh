@@ -2,10 +2,17 @@
 # Full check matrix for ecfault: lint, semantic static analysis, sanitizers.
 #
 #   tools/run_checks.sh [lint|analyze|asan|tsan|bench|all]
+#   tools/run_checks.sh analyze --update-baseline
 #
 # lint    : run the ecf_lint ctest from the dev build (token-level rules).
 # analyze : run the ecf_analyze ctest from the dev build (layering, call-graph
-#           determinism, ECF_GUARDED_BY lock discipline — see DESIGN.md §9).
+#           determinism, ECF_GUARDED_BY lock discipline, event-path resource
+#           discipline — see DESIGN.md §9 and §13). Fails on any stale
+#           baseline suppression (an entry no longer matched by a finding),
+#           so the baseline only ever shrinks with the debt it covers.
+#           `analyze --update-baseline` regenerates
+#           tools/ecf_analyze_baseline.txt from the current findings instead
+#           of failing — review the diff before committing it.
 # asan    : configure + build the asan-ubsan preset, run the full tier-1
 #           suite under AddressSanitizer + UndefinedBehaviorSanitizer.
 # tsan    : configure + build the tsan preset, run the threaded campaign
@@ -44,6 +51,16 @@ run_analyze() {
   ctest --preset analyze
 }
 
+run_analyze_update_baseline() {
+  echo "== ecf_analyze: regenerating baseline from current findings =="
+  cmake --preset dev
+  cmake --build --preset dev -j "${JOBS}" --target ecf_analyze
+  build/tools/ecf_analyze \
+    --baseline tools/ecf_analyze_baseline.txt --update-baseline \
+    --cache build/ecf_analyze_cache .
+  git --no-pager diff --stat -- tools/ecf_analyze_baseline.txt || true
+}
+
 run_bench() {
   echo "== bench-smoke: perf smoke (codec, fabric, event core, scale) =="
   cmake --preset dev
@@ -68,7 +85,13 @@ run_tsan() {
 
 case "${MODE}" in
   lint)    run_lint ;;
-  analyze) run_analyze ;;
+  analyze)
+    if [[ "${2:-}" == "--update-baseline" ]]; then
+      run_analyze_update_baseline
+    else
+      run_analyze
+    fi
+    ;;
   asan)    run_asan ;;
   tsan)    run_tsan ;;
   bench)   run_bench ;;
