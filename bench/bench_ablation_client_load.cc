@@ -21,8 +21,8 @@ int main() {
     for (const bool clay : {false, true}) {
       ecfault::ExperimentProfile p = bench::default_profile(clay, 0.2);
       p.cluster.client.ops_per_s = rate;
-      p.cluster.client.horizon_s = 4000.0;
-      p.cluster.client.op_bytes = 4 * util::MiB;
+      p.cluster.client.horizon_s = ecf::util::SimSec(4000.0);
+      p.cluster.client.op_bytes = ecf::util::Bytes(4 * util::MiB);
       p.runs = 1;
 
       // Coordinator does not know about client load; run manually.

@@ -43,11 +43,11 @@ int main() {
   for (const Profile& hw : profiles) {
     ecfault::ExperimentProfile pc = bench::default_profile(true, 1.0);
     pc.cluster.hw = hw.hw;
-    pc.cluster.pool.stripe_unit = 4 * util::KiB;
+    pc.cluster.pool.stripe_unit = ecf::util::Bytes(4 * util::KiB);
     pc.runs = 1;
     ecfault::ExperimentProfile pr = bench::default_profile(false, 1.0);
     pr.cluster.hw = hw.hw;
-    pr.cluster.pool.stripe_unit = 4 * util::KiB;
+    pr.cluster.pool.stripe_unit = ecf::util::Bytes(4 * util::KiB);
     pr.runs = 1;
     const auto rc = ecfault::Coordinator::run_experiment(pc);
     const auto rr = ecfault::Coordinator::run_experiment(pr);

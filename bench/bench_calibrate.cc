@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
   for (const std::uint64_t su : {4 * util::KiB, 4 * util::MiB, 64 * util::MiB}) {
     for (const bool clay : {false, true}) {
       auto p = prof(clay);
-      p.cluster.pool.stripe_unit = su;
+      p.cluster.pool.stripe_unit = ecf::util::Bytes(su);
       const double t = total_of(p);
       if (su == 4 * util::KiB && !clay) rs4k = t;
       std::printf("fig2c su=%-8s %-4s total=%.0f norm=%.2f\n",

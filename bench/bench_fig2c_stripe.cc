@@ -25,7 +25,7 @@ int main() {
   double base = 0;
   {
     ecfault::ExperimentProfile p = bench::default_profile(false, 1.0);
-    p.cluster.pool.stripe_unit = 4 * util::KiB;
+    p.cluster.pool.stripe_unit = ecf::util::Bytes(4 * util::KiB);
     base = ecfault::Coordinator::run_profile(p).mean_total;
   }
 
@@ -34,7 +34,7 @@ int main() {
   for (const Row& r : rows) {
     for (const bool clay : {false, true}) {
       ecfault::ExperimentProfile p = bench::default_profile(clay, 1.0);
-      p.cluster.pool.stripe_unit = r.su;
+      p.cluster.pool.stripe_unit = ecf::util::Bytes(r.su);
       const auto c = ecfault::Coordinator::run_profile(p);
       table.add_row({util::format_bytes(r.su),
                      clay ? "Clay(12,9,11)" : "RS(12,9)",

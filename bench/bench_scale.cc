@@ -129,15 +129,15 @@ CampaignRow run_campaign(std::uint64_t objects) {
   cfg.osds_per_host = 2;
   cfg.pool.pg_num = 2048;
   cfg.workload.num_objects = objects;
-  cfg.workload.object_size = 4 * util::MiB;
+  cfg.workload.object_size = ecf::util::Bytes(4 * util::MiB);
   cfg.protocol.down_out_interval_s = 30.0;
   cfg.protocol.heartbeat_grace_s = 5.0;
   cfg.engine_lanes = 16;
   cfg.client.ops_per_s = 2000.0;
   cfg.client.read_fraction = 0.9;
-  cfg.client.op_bytes = 64 * util::KiB;
+  cfg.client.op_bytes = ecf::util::Bytes(64 * util::KiB);
   cfg.client.zipf_theta = 0.99;
-  cfg.client.horizon_s = 180.0;
+  cfg.client.horizon_s = ecf::util::SimSec(180.0);
 
   cluster::Cluster cl(cfg);
   cl.create_pool();

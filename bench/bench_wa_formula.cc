@@ -41,9 +41,9 @@ int main() {
         cfg.pool.ec_profile = {{"plugin", "jerasure"},
                                {"k", std::to_string(k)},
                                {"m", std::to_string(n - k)}};
-        cfg.pool.stripe_unit = su;
+        cfg.pool.stripe_unit = ecf::util::Bytes(su);
         cfg.workload.num_objects = 200;  // enough for stable averages
-        cfg.workload.object_size = obj;
+        cfg.workload.object_size = ecf::util::Bytes(obj);
         cluster::Cluster cl(cfg);
         cl.create_pool();
         cl.apply_workload();

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     ecfault::ExperimentProfile p;
     p.cluster.pool.ec_profile = c.profile;
     p.cluster.pool.pg_num = c.pg_num;
-    p.cluster.pool.stripe_unit = c.su;
+    p.cluster.pool.stripe_unit = ecf::util::Bytes(c.su);
     p.cluster.workload.num_objects = objects;
     p.fault.level = ecfault::FaultLevel::kNode;
     p.runs = 1;

@@ -36,12 +36,12 @@ ecfault::ExperimentProfile base_profile(bool clay) {
   p.cluster.osds_per_host = 2;
   p.cluster.pool.pg_num = 32;
   p.cluster.workload.num_objects = 200;
-  p.cluster.workload.object_size = 16 * util::MiB;
+  p.cluster.workload.object_size = ecf::util::Bytes(16 * util::MiB);
   p.cluster.protocol.down_out_interval_s = 30.0;
   p.cluster.protocol.heartbeat_grace_s = 5.0;
   p.fault.level = ecfault::FaultLevel::kNode;
   p.fault.count = 1;
-  p.fault.inject_at_s = 2.0;
+  p.fault.inject_at_s = ecf::util::SimSec(2.0);
   p.runs = 1;
   return p;
 }
@@ -65,8 +65,8 @@ int main() {
         ecfault::NetworkFaultSpec lat;
         lat.kind = ecfault::NetFaultKind::kLinkLatency;
         lat.count = 0;  // every host: uniformly dirty network
-        lat.inject_at_s = 0.5;  // before the fault, so all recovery pays it
-        lat.latency_s = ms * 1e-3;
+        lat.inject_at_s = ecf::util::SimSec(0.5);  // before the fault, so all recovery pays it
+        lat.latency_s = ecf::util::SimSec(ms * 1e-3);
         p.network_faults = {lat};
       }
       const ecfault::ExperimentResult r =

@@ -44,7 +44,7 @@ ecfault::ExperimentProfile scale_profile(bool clay, std::uint64_t objects) {
   p.cluster.osds_per_host = 2;
   p.cluster.pool.pg_num = 2048;
   p.cluster.workload.num_objects = objects;
-  p.cluster.workload.object_size = 4 * util::MiB;
+  p.cluster.workload.object_size = ecf::util::Bytes(4 * util::MiB);
   p.cluster.engine_lanes = 16;
   // Shorten the checking period so the example turns around in seconds;
   // the interference shape is unchanged (see EXPERIMENTS.md).
@@ -53,12 +53,12 @@ ecfault::ExperimentProfile scale_profile(bool clay, std::uint64_t objects) {
   // Foreground clients, replayed while recovery runs.
   p.cluster.client.ops_per_s = 2000;
   p.cluster.client.read_fraction = 0.9;
-  p.cluster.client.op_bytes = 64 * util::KiB;
+  p.cluster.client.op_bytes = ecf::util::Bytes(64 * util::KiB);
   p.cluster.client.zipf_theta = 0.99;
-  p.cluster.client.horizon_s = 180.0;
+  p.cluster.client.horizon_s = ecf::util::SimSec(180.0);
   p.fault.level = ecfault::FaultLevel::kNode;
   p.fault.count = 1;
-  p.fault.inject_at_s = 2.0;
+  p.fault.inject_at_s = ecf::util::SimSec(2.0);
   p.runs = 1;
   return p;
 }

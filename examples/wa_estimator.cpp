@@ -29,9 +29,9 @@ void report(std::uint64_t object, std::size_t k, std::size_t m,
   cfg.pool.ec_profile = {{"plugin", "jerasure"},
                          {"k", std::to_string(k)},
                          {"m", std::to_string(m)}};
-  cfg.pool.stripe_unit = su;
+  cfg.pool.stripe_unit = ecf::util::Bytes(su);
   cfg.workload.num_objects = 100;
-  cfg.workload.object_size = object;
+  cfg.workload.object_size = ecf::util::Bytes(object);
   cluster::Cluster cl(cfg);
   cl.create_pool();
   cl.apply_workload();

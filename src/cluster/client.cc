@@ -110,7 +110,7 @@ void Cluster::issue_client_op() {
     // No live primary: the op can't be served; closed-loop workers retry
     // after think time so the loop doesn't die with the PG.
     if (c.closed_loop && engine_.now() < c.horizon_s) {
-      engine_.schedule(std::max(c.think_time_s, 0.001),
+      engine_.schedule(std::max(c.think_time_s.count(), 0.001),
                        [this] { issue_client_op(); }, sim::EventTag::kClient);
     }
     return;

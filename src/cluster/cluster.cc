@@ -165,7 +165,7 @@ void Cluster::fail_device(OsdId osd_id) {
   host.target.remove_subsystem(osd.nqn, engine_.now());
   fabric_->disconnect(osd.fabric_conn, engine_.now());
   osd.device_ok = false;
-  if (report_.failure_time < 0) report_.failure_time = engine_.now();
+  if (report_.failure_time < 0) report_.failure_time = ecf::util::SimSec(engine_.now());
   log(host.target.node(), "nvmeof", "subsystem removed: " + osd.nqn);
   // The OSD daemon hits EIO on the vanished device and aborts; peers stop
   // receiving its heartbeats.
@@ -180,7 +180,7 @@ void Cluster::fail_host(HostId host_id) {
   Host& host = *hosts_[static_cast<std::size_t>(host_id)];
   if (!host.alive) return;
   host.alive = false;
-  if (report_.failure_time < 0) report_.failure_time = engine_.now();
+  if (report_.failure_time < 0) report_.failure_time = ecf::util::SimSec(engine_.now());
   log(host.target.node(), "osd", "node failure injected (shutdown)");
   for (const OsdId o : host.osds) {
     Osd& osd = *osds_[static_cast<std::size_t>(o)];
@@ -208,7 +208,7 @@ sim::SimTime Cluster::osd_read(OsdId osd_id, std::uint64_t bytes,
     // osd_alive().
     return o.disk->read(engine_, bytes, ios, extra_seconds);
   }
-  report_.fabric_transport_wait_s += res->transport_wait_s;
+  report_.fabric_transport_wait_s += util::SimSec(res->transport_wait_s);
   report_.fabric_retries += res->retries;
   return res->complete;
 }
@@ -220,7 +220,7 @@ sim::SimTime Cluster::osd_write(OsdId osd_id, std::uint64_t bytes,
   if (!res) {
     return o.disk->write(engine_, bytes, ios, extra_seconds);
   }
-  report_.fabric_transport_wait_s += res->transport_wait_s;
+  report_.fabric_transport_wait_s += util::SimSec(res->transport_wait_s);
   report_.fabric_retries += res->retries;
   return res->complete;
 }

@@ -50,6 +50,7 @@
 #include "util/arena.h"
 #include "util/histogram.h"
 #include "util/rng.h"
+#include "util/units.h"
 #include "util/zipf.h"
 
 namespace ecf::cluster {
@@ -58,10 +59,11 @@ class ClusterInvariants;
 
 // Measurements of one recovery cycle, in the paper's Fig. 3 vocabulary.
 struct RecoveryReport {
-  double failure_time = -1;        // first injected fault
-  double detection_time = -1;      // first MON "down" mark (Fig. 3 t=0)
-  double recovery_start_time = -1; // first recovery I/O issued
-  double recovery_end_time = -1;   // last PG clean
+  // Timeline marks in simulated seconds; -1 = never happened.
+  util::SimSec failure_time{-1};        // first injected fault
+  util::SimSec detection_time{-1};      // first MON "down" (Fig. 3 t=0)
+  util::SimSec recovery_start_time{-1}; // first recovery I/O issued
+  util::SimSec recovery_end_time{-1};   // last PG clean
   bool complete = false;
 
   // Fig. 3's two periods (both measured from detection).
@@ -115,7 +117,7 @@ struct RecoveryReport {
   // serialization, qpair backpressure, down-window stalls) rather than at
   // the device, plus retransmissions and connection re-establishments.
   // All three are exactly zero on the default ideal fabric.
-  double fabric_transport_wait_s = 0;
+  util::SimSec fabric_transport_wait_s;
   std::uint64_t fabric_retries = 0;
   std::uint64_t fabric_reconnects = 0;
 

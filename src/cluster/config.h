@@ -14,6 +14,7 @@
 #include "cluster/types.h"
 #include "sim/hardware_profiles.h"
 #include "util/bytes.h"
+#include "util/units.h"
 
 namespace ecf::cluster {
 
@@ -23,17 +24,17 @@ struct CacheConfig {
   double kv_ratio = 0.45;     // initial values when autotune (C3)
   double meta_ratio = 0.45;
   double data_ratio = 0.10;
-  std::uint64_t cache_bytes = 1280 * util::MiB;  // per-OSD cache on a
-                                                 // 16 GiB m5.xlarge host
+  util::Bytes cache_bytes{1280 * util::MiB};  // per-OSD cache on a
+                                              // 16 GiB m5.xlarge host
 
   static CacheConfig kv_optimized() {        // C1
-    return {false, 0.70, 0.20, 0.10, 1280 * util::MiB};
+    return {false, 0.70, 0.20, 0.10, util::Bytes{1280 * util::MiB}};
   }
   static CacheConfig data_optimized() {      // C2
-    return {false, 0.20, 0.20, 0.60, 1280 * util::MiB};
+    return {false, 0.20, 0.20, 0.60, util::Bytes{1280 * util::MiB}};
   }
   static CacheConfig autotuned() {           // C3
-    return {true, 0.45, 0.45, 0.10, 1280 * util::MiB};
+    return {true, 0.45, 0.45, 0.10, util::Bytes{1280 * util::MiB}};
   }
 };
 
@@ -49,7 +50,7 @@ struct PoolConfig {
   // 4 KiB the Clay sub-chunks would be ~50 bytes and Fig. 2a/2b would show
   // the pathological Clay slowdown that the paper only reports in the
   // Fig. 2c stripe-unit sweep.
-  std::uint64_t stripe_unit = 4 * util::MiB;
+  util::Bytes stripe_unit{4 * util::MiB};
   FailureDomain failure_domain = FailureDomain::kHost;
 };
 
@@ -155,7 +156,7 @@ struct ScrubConfig {
 
 struct WorkloadConfig {
   std::uint64_t num_objects = 10000;
-  std::uint64_t object_size = 64 * util::MiB;
+  util::Bytes object_size{64 * util::MiB};
 };
 
 // Foreground client traffic replayed *during* the experiment (off by
@@ -166,8 +167,8 @@ struct WorkloadConfig {
 struct ClientLoadConfig {
   double ops_per_s = 0;            // 0 = disabled
   double read_fraction = 1.0;      // remainder are (full-stripe) writes
-  std::uint64_t op_bytes = 4 * util::MiB;
-  double horizon_s = 4000.0;       // stop issuing after this sim time
+  util::Bytes op_bytes{4 * util::MiB};
+  util::SimSec horizon_s{4000.0};  // stop issuing after this sim time
   // Object popularity skew: 0 = uniform over objects; (0, 1) = YCSB-style
   // zipfian (0.99 ≈ classic "zipfian" skew). Ops pick an *object* and are
   // routed to its PG, so hot objects concentrate load on their PGs.
@@ -178,7 +179,7 @@ struct ClientLoadConfig {
   // offered load backs off when the cluster degrades.
   bool closed_loop = false;
   int clients = 64;
-  double think_time_s = 0.0;
+  util::SimSec think_time_s{0.0};
 };
 
 struct ClusterConfig {
@@ -187,7 +188,7 @@ struct ClusterConfig {
   // Hosts are grouped into racks of this size (for the rack failure
   // domain); the paper's flat AWS cluster corresponds to 1 host per rack.
   int hosts_per_rack = 1;
-  std::uint64_t osd_capacity = 100 * util::GiB;
+  util::Bytes osd_capacity{100 * util::GiB};
   sim::HardwareProfile hw = sim::aws_m5_like();
   CacheConfig cache;
   PoolConfig pool;

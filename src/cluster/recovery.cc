@@ -44,7 +44,7 @@ void Cluster::mark_down(OsdId osd_id) {
   Osd& osd = *osds_[static_cast<std::size_t>(osd_id)];
   if (osd.marked_down) return;
   osd.marked_down = true;
-  if (report_.detection_time < 0) report_.detection_time = engine_.now();
+  if (report_.detection_time < 0) report_.detection_time = ecf::util::SimSec(engine_.now());
   log("mon.0", "mon",
       osd_name(osd_id) + " reported failed by peers; marked down (failure detected)");
   log("mgr.0", "mgr", "receiving heartbeats; cluster health degraded");
@@ -505,7 +505,7 @@ void Cluster::start_object_repair(Pg& pg) {
       log(osd_name(b->primary), "recovery",
           "pg " + std::to_string(b->pg) + " start recovery I/O");
       if (report_.recovery_start_time < 0) {
-        report_.recovery_start_time = engine_.now();
+        report_.recovery_start_time = ecf::util::SimSec(engine_.now());
         log("mgr.0", "mgr", "report recovery I/O in progress");
       }
     }
@@ -671,7 +671,7 @@ void Cluster::maybe_finish_recovery() {
     if ((!osd->device_ok || !osd->process_up) && !osd->marked_out) return;
   }
   if (report_.recovery_start_time < 0) return;  // nothing ever recovered
-  report_.recovery_end_time = engine_.now();
+  report_.recovery_end_time = ecf::util::SimSec(engine_.now());
   report_.complete = true;
   log("mgr.0", "mgr", "recovery completed; all pgs active+clean");
 }

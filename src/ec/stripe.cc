@@ -15,16 +15,18 @@ StripeLayout compute_stripe_layout(std::uint64_t object_size, std::size_t n,
     throw std::invalid_argument("compute_stripe_layout: bad arguments");  // ecf-analyze: allow(event-throw)
   }
   StripeLayout layout;
-  layout.object_size = object_size;
-  layout.stripe_unit = stripe_unit;
+  layout.object_size = util::Bytes(object_size);
+  layout.stripe_unit = util::Bytes(stripe_unit);
   layout.k = k;
   layout.n = n;
   layout.units_per_chunk =
       util::ceil_div(object_size, static_cast<std::uint64_t>(k) * stripe_unit);
-  layout.chunk_size = layout.units_per_chunk * stripe_unit;
-  layout.stored_total = static_cast<std::uint64_t>(n) * layout.chunk_size;
+  layout.chunk_size = util::Bytes(layout.units_per_chunk * stripe_unit);
+  layout.stored_total =
+      util::Bytes(static_cast<std::uint64_t>(n) * layout.chunk_size);
   layout.padding_bytes =
-      static_cast<std::uint64_t>(k) * layout.chunk_size - object_size;
+      util::Bytes(static_cast<std::uint64_t>(k) * layout.chunk_size -
+                  object_size);
   return layout;
 }
 

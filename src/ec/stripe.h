@@ -17,22 +17,26 @@
 #include <vector>
 
 #include "ec/code.h"
+#include "util/units.h"
 
 namespace ecf::ec {
 
+// All sizes are util::Bytes (explicit in, implicit out): the stripe
+// geometry is where a MiB-vs-bytes slip would silently rescale every
+// derived figure.
 struct StripeLayout {
-  std::uint64_t object_size = 0;
-  std::uint64_t stripe_unit = 0;
+  util::Bytes object_size;
+  util::Bytes stripe_unit;
   std::size_t k = 0;
   std::size_t n = 0;
   // Encoding units per chunk: ⌈S_object / (k·S_unit)⌉ (≥ 1 for S_object>0).
   std::uint64_t units_per_chunk = 0;
   // Stored bytes per chunk: S_unit · units_per_chunk.
-  std::uint64_t chunk_size = 0;
+  util::Bytes chunk_size;
   // Stored bytes over all n chunks.
-  std::uint64_t stored_total = 0;
+  util::Bytes stored_total;
   // Zero padding over all data chunks: k·chunk_size − S_object.
-  std::uint64_t padding_bytes = 0;
+  util::Bytes padding_bytes;
 };
 
 // Throws std::invalid_argument if any of object_size, k, n, stripe_unit is

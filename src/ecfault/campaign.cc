@@ -181,7 +181,9 @@ std::vector<Variant> stripe_axis(std::vector<std::uint64_t> values) {
   for (const std::uint64_t su : values) {
     out.push_back(
         {"su=" + util::format_bytes(su),
-         [su](ExperimentProfile& p) { p.cluster.pool.stripe_unit = su; }});
+         [su](ExperimentProfile& p) {
+           p.cluster.pool.stripe_unit = ecf::util::Bytes(su);
+         }});
   }
   return out;
 }

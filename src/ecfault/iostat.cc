@@ -31,19 +31,20 @@ void IostatCollector::tick() {
     const auto cur = cluster_->disk_stats(o);
     auto& prev = last_[static_cast<std::size_t>(o)];
     IostatSample s;
-    s.time = now;
+    s.time = ecf::util::SimSec(now);
     s.osd = o;
-    s.read_bps =
-        static_cast<double>(cur.bytes_read - prev.bytes_read) / interval_;
-    s.write_bps =
-        static_cast<double>(cur.bytes_written - prev.bytes_written) / interval_;
+    s.read_bps = ecf::util::Rate(
+        static_cast<double>(cur.bytes_read - prev.bytes_read) / interval_);
+    s.write_bps = ecf::util::Rate(
+        static_cast<double>(cur.bytes_written - prev.bytes_written) /
+        interval_);
     s.iops = static_cast<double>(cur.io_count - prev.io_count) / interval_;
     s.util =
         std::min(1.0, (cur.busy_seconds - prev.busy_seconds) / interval_);
     prev = cur;
     const auto& fcur = cluster_->fabric_stats(o);
     auto& fprev = last_fabric_[static_cast<std::size_t>(o)];
-    s.fabric_wait_s = fcur.transport_wait_s - fprev.transport_wait_s;
+    s.fabric_wait_s = ecf::util::SimSec(fcur.transport_wait_s - fprev.transport_wait_s);
     s.fabric_retries = fcur.retries - fprev.retries;
     fprev = fcur;
     // Quiet devices are skipped, like iostat with a filter — keeps the log
@@ -60,7 +61,7 @@ void IostatCollector::tick() {
                       "iostat: rMB/s=%.1f wMB/s=%.1f iops=%.0f util=%.0f%% "
                       "fwait=%.3fs fretry=%llu",
                       s.read_bps / 1e6, s.write_bps / 1e6, s.iops,
-                      100.0 * s.util, s.fabric_wait_s,
+                      100.0 * s.util, s.fabric_wait_s.count(),
                       static_cast<unsigned long long>(s.fabric_retries));
       } else {
         std::snprintf(msg, sizeof(msg),
@@ -79,10 +80,10 @@ void IostatCollector::tick() {
   const std::uint64_t dops = client.count_since(last_client_);
   if (dops > 0) {
     ClientIntervalSample cs;
-    cs.time = now;
+    cs.time = ecf::util::SimSec(now);
     cs.ops_per_s = static_cast<double>(dops) / interval_;
-    cs.p50_s = client.percentile_since(last_client_, 0.50);
-    cs.p99_s = client.percentile_since(last_client_, 0.99);
+    cs.p50_s = ecf::util::SimSec(client.percentile_since(last_client_, 0.50));
+    cs.p99_s = ecf::util::SimSec(client.percentile_since(last_client_, 0.99));
     client_samples_.push_back(cs);  ECF_ALLOC_OK("time-series accumulation: the collector's product, bounded by horizon/interval");
     if (sink_) {
       char msg[160];

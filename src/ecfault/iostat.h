@@ -14,20 +14,21 @@
 
 #include "cluster/cluster.h"
 #include "util/histogram.h"
+#include "util/units.h"
 
 namespace ecf::ecfault {
 
 struct IostatSample {
-  double time = 0;
+  util::SimSec time;
   cluster::OsdId osd = cluster::kNoOsd;
-  double read_bps = 0;    // bytes/s over the interval
-  double write_bps = 0;
+  util::Rate read_bps;    // bytes/s over the interval
+  util::Rate write_bps;
   double iops = 0;
   double util = 0;        // busy fraction of the interval
   // NVMe-oF fabric counters (per-interval deltas; zero on the default
   // zero-cost transport, so the iostat log format only changes when a
   // transport model or network fault is active).
-  double fabric_wait_s = 0;        // transport wait accumulated this tick
+  util::SimSec fabric_wait_s;      // transport wait accumulated this tick
   std::uint64_t fabric_retries = 0;  // packet-loss / link-down retries
 };
 
@@ -36,10 +37,10 @@ struct IostatSample {
 // deltas (no raw samples kept). Only recorded when a client load ran and
 // completed at least one op that tick.
 struct ClientIntervalSample {
-  double time = 0;
+  util::SimSec time;
   double ops_per_s = 0;
-  double p50_s = 0;
-  double p99_s = 0;
+  util::SimSec p50_s;
+  util::SimSec p99_s;
 };
 
 class IostatCollector {
@@ -64,8 +65,8 @@ class IostatCollector {
   void tick();
 
   cluster::Cluster* cluster_;
-  double interval_;
-  double horizon_;
+  util::SimSec interval_;
+  util::SimSec horizon_;
   cluster::LogSinkFn sink_;
   std::vector<cluster::Cluster::DeviceStats> last_;
   std::vector<nvmeof::ConnectionStats> last_fabric_;

@@ -88,7 +88,7 @@ util::Json ExperimentProfile::to_json() const {
 
   util::Json pool = util::Json::object();
   pool.set("pg_num", cluster.pool.pg_num);
-  pool.set("stripe_unit", cluster.pool.stripe_unit);
+  pool.set("stripe_unit", cluster.pool.stripe_unit.count());
   pool.set("failure_domain", domain_name(cluster.pool.failure_domain));
   cl.set("pool", pool);
 
@@ -97,12 +97,12 @@ util::Json ExperimentProfile::to_json() const {
   cache.set("kv_ratio", cluster.cache.kv_ratio);
   cache.set("meta_ratio", cluster.cache.meta_ratio);
   cache.set("data_ratio", cluster.cache.data_ratio);
-  cache.set("cache_bytes", cluster.cache.cache_bytes);
+  cache.set("cache_bytes", cluster.cache.cache_bytes.count());
   cl.set("bluestore_cache", cache);
 
   util::Json wl = util::Json::object();
   wl.set("num_objects", cluster.workload.num_objects);
-  wl.set("object_size", cluster.workload.object_size);
+  wl.set("object_size", cluster.workload.object_size.count());
   cl.set("workload", wl);
 
   cl.set("engine_lanes", cluster.engine_lanes);
@@ -110,12 +110,12 @@ util::Json ExperimentProfile::to_json() const {
   util::Json client = util::Json::object();
   client.set("ops_per_s", cluster.client.ops_per_s);
   client.set("read_fraction", cluster.client.read_fraction);
-  client.set("op_bytes", cluster.client.op_bytes);
-  client.set("horizon_s", cluster.client.horizon_s);
+  client.set("op_bytes", cluster.client.op_bytes.count());
+  client.set("horizon_s", cluster.client.horizon_s.count());
   client.set("zipf_theta", cluster.client.zipf_theta);
   client.set("closed_loop", cluster.client.closed_loop);
   client.set("clients", cluster.client.clients);
-  client.set("think_time_s", cluster.client.think_time_s);
+  client.set("think_time_s", cluster.client.think_time_s.count());
   cl.set("client", client);
   doc.set("cluster", cl);
 
@@ -123,7 +123,7 @@ util::Json ExperimentProfile::to_json() const {
   f.set("level", to_string(fault.level));
   f.set("count", fault.count);
   f.set("topology", to_string(fault.topology));
-  f.set("inject_at_s", fault.inject_at_s);
+  f.set("inject_at_s", fault.inject_at_s.count());
   f.set("corrupt_fraction", fault.corrupt_fraction);
   doc.set("fault", f);
 
@@ -133,12 +133,12 @@ util::Json ExperimentProfile::to_json() const {
       util::Json n = util::Json::object();
       n.set("kind", to_string(spec.kind));
       n.set("count", spec.count);
-      n.set("inject_at_s", spec.inject_at_s);
-      n.set("latency_s", spec.latency_s);
-      n.set("jitter_s", spec.jitter_s);
-      n.set("bandwidth_bytes_per_s", spec.bandwidth_bytes_per_s);
+      n.set("inject_at_s", spec.inject_at_s.count());
+      n.set("latency_s", spec.latency_s.count());
+      n.set("jitter_s", spec.jitter_s.count());
+      n.set("bandwidth_bytes_per_s", spec.bandwidth_bytes_per_s.count());
       n.set("loss_rate", spec.loss_rate);
-      n.set("down_for_s", spec.down_for_s);
+      n.set("down_for_s", spec.down_for_s.count());
       nf.push_back(n);
     }
     doc.set("network_faults", nf);
@@ -183,9 +183,10 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
       if (p.cluster.pool.pg_num < 1) {
         throw std::invalid_argument("profile: pg_num must be >= 1");
       }
-      p.cluster.pool.stripe_unit = static_cast<std::uint64_t>(pool.get_or(
-          "stripe_unit",
-          static_cast<std::int64_t>(p.cluster.pool.stripe_unit)));
+      p.cluster.pool.stripe_unit = util::Bytes(
+          static_cast<std::uint64_t>(pool.get_or(
+              "stripe_unit",
+              static_cast<std::int64_t>(p.cluster.pool.stripe_unit.count()))));
       p.cluster.pool.failure_domain = domain_from_string(
           pool.get_or("failure_domain", std::string("host")));
     }
@@ -195,9 +196,10 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
       p.cluster.cache.kv_ratio = cache.get_or("kv_ratio", 0.45);
       p.cluster.cache.meta_ratio = cache.get_or("meta_ratio", 0.45);
       p.cluster.cache.data_ratio = cache.get_or("data_ratio", 0.10);
-      p.cluster.cache.cache_bytes = static_cast<std::uint64_t>(cache.get_or(
-          "cache_bytes",
-          static_cast<std::int64_t>(p.cluster.cache.cache_bytes)));
+      p.cluster.cache.cache_bytes = util::Bytes(
+          static_cast<std::uint64_t>(cache.get_or(
+              "cache_bytes",
+              static_cast<std::int64_t>(p.cluster.cache.cache_bytes.count()))));
       const double sum = p.cluster.cache.kv_ratio + p.cluster.cache.meta_ratio +
                          p.cluster.cache.data_ratio;
       if (sum < 0.99 || sum > 1.01) {
@@ -209,9 +211,10 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
       p.cluster.workload.num_objects = static_cast<std::uint64_t>(wl.get_or(
           "num_objects",
           static_cast<std::int64_t>(p.cluster.workload.num_objects)));
-      p.cluster.workload.object_size = static_cast<std::uint64_t>(wl.get_or(
-          "object_size",
-          static_cast<std::int64_t>(p.cluster.workload.object_size)));
+      p.cluster.workload.object_size = util::Bytes(
+          static_cast<std::uint64_t>(wl.get_or(
+              "object_size",
+              static_cast<std::int64_t>(p.cluster.workload.object_size.count()))));
     }
     p.cluster.engine_lanes =
         static_cast<int>(cl.get_or("engine_lanes", std::int64_t{1}));
@@ -229,9 +232,10 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
       if (cc.read_fraction < 0 || cc.read_fraction > 1.0) {
         throw std::invalid_argument("profile: client read_fraction in [0,1]");
       }
-      cc.op_bytes = static_cast<std::uint64_t>(client.get_or(
-          "op_bytes", static_cast<std::int64_t>(cc.op_bytes)));
-      cc.horizon_s = client.get_or("horizon_s", cc.horizon_s);
+      cc.op_bytes = util::Bytes(static_cast<std::uint64_t>(client.get_or(
+          "op_bytes", static_cast<std::int64_t>(cc.op_bytes.count()))));
+      cc.horizon_s =
+          util::SimSec(client.get_or("horizon_s", cc.horizon_s.count()));
       if (cc.horizon_s <= 0) {
         throw std::invalid_argument("profile: client horizon_s must be > 0");
       }
@@ -244,7 +248,7 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
       if (cc.clients < 1) {
         throw std::invalid_argument("profile: client clients must be >= 1");
       }
-      cc.think_time_s = client.get_or("think_time_s", 0.0);
+      cc.think_time_s = util::SimSec(client.get_or("think_time_s", 0.0));
       if (cc.think_time_s < 0) {
         throw std::invalid_argument("profile: client think_time_s must be >= 0");
       }
@@ -261,7 +265,7 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
     }
     p.fault.topology = fault_topology_from_string(
         f.get_or("topology", std::string("anywhere")));
-    p.fault.inject_at_s = f.get_or("inject_at_s", 10.0);
+    p.fault.inject_at_s = util::SimSec(f.get_or("inject_at_s", 10.0));
     p.fault.corrupt_fraction = f.get_or("corrupt_fraction", 0.05);
     if (p.fault.corrupt_fraction <= 0 || p.fault.corrupt_fraction > 1.0) {
       throw std::invalid_argument("profile: corrupt_fraction in (0,1]");
@@ -276,12 +280,12 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
       if (spec.count < 0) {
         throw std::invalid_argument("profile: network fault count must be >= 0");
       }
-      spec.inject_at_s = n.get_or("inject_at_s", 10.0);
-      spec.latency_s = n.get_or("latency_s", 0.005);
-      spec.jitter_s = n.get_or("jitter_s", 0.0);
-      spec.bandwidth_bytes_per_s = n.get_or("bandwidth_bytes_per_s", 100e6);
+      spec.inject_at_s = util::SimSec(n.get_or("inject_at_s", 10.0));
+      spec.latency_s = util::SimSec(n.get_or("latency_s", 0.005));
+      spec.jitter_s = util::SimSec(n.get_or("jitter_s", 0.0));
+      spec.bandwidth_bytes_per_s = util::Rate(n.get_or("bandwidth_bytes_per_s", 100e6));
       spec.loss_rate = n.get_or("loss_rate", 0.01);
-      spec.down_for_s = n.get_or("down_for_s", 0.2);
+      spec.down_for_s = util::SimSec(n.get_or("down_for_s", 0.2));
       if (spec.latency_s < 0 || spec.jitter_s < 0 || spec.down_for_s < 0 ||
           spec.bandwidth_bytes_per_s < 0) {
         throw std::invalid_argument("profile: network fault values must be >= 0");

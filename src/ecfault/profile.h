@@ -13,6 +13,7 @@
 
 #include "cluster/config.h"
 #include "util/json.h"
+#include "util/units.h"
 
 namespace ecf::ecfault {
 
@@ -28,7 +29,7 @@ struct FaultSpec {
   FaultLevel level = FaultLevel::kDevice;
   int count = 1;
   FaultTopology topology = FaultTopology::kAnywhere;
-  double inject_at_s = 10.0;  // injection time after experiment start
+  util::SimSec inject_at_s{10.0};  // injection time after experiment start
   double corrupt_fraction = 0.05;  // kCorruption: fraction of shards hit
 };
 
@@ -48,12 +49,12 @@ enum class NetFaultKind {
 struct NetworkFaultSpec {
   NetFaultKind kind = NetFaultKind::kLinkLatency;
   int count = 0;  // hosts hit; 0 = every host (cluster-wide dirty network)
-  double inject_at_s = 10.0;
-  double latency_s = 0.005;   // kLinkLatency: added per hop
-  double jitter_s = 0;        // kLinkLatency: uniform extra per hop
-  double bandwidth_bytes_per_s = 100e6;  // kBandwidthCap
+  util::SimSec inject_at_s{10.0};
+  util::SimSec latency_s{0.005};  // kLinkLatency: added per hop
+  util::SimSec jitter_s{0};       // kLinkLatency: uniform extra per hop
+  util::Rate bandwidth_bytes_per_s{100e6};  // kBandwidthCap
   double loss_rate = 0.01;    // kPacketLoss: expected losses per command
-  double down_for_s = 0.2;    // kLinkFlap / kPartition window
+  util::SimSec down_for_s{0.2};   // kLinkFlap / kPartition window
 };
 
 struct ExperimentProfile {

@@ -157,14 +157,16 @@ std::optional<Fabric::IoResult> Fabric::submit(ConnectionId id, bool is_read,
 void Fabric::set_link_latency(int host, double latency_s, double jitter_s) {
   ECF_CHECK_GE(host, 0) << " fabric host";
   ECF_CHECK_LT(host, static_cast<int>(links_.size())) << " fabric host";
-  links_[static_cast<std::size_t>(host)].extra_latency_s = latency_s;
-  links_[static_cast<std::size_t>(host)].jitter_s = jitter_s;
+  links_[static_cast<std::size_t>(host)].extra_latency_s =
+      util::SimSec(latency_s);
+  links_[static_cast<std::size_t>(host)].jitter_s = util::SimSec(jitter_s);
 }
 
 void Fabric::set_link_bandwidth_cap(int host, double bytes_per_s) {
   ECF_CHECK_GE(host, 0) << " fabric host";
   ECF_CHECK_LT(host, static_cast<int>(links_.size())) << " fabric host";
-  links_[static_cast<std::size_t>(host)].bw_cap_bytes_per_s = bytes_per_s;
+  links_[static_cast<std::size_t>(host)].bw_cap_bytes_per_s =
+      util::Rate(bytes_per_s);
 }
 
 void Fabric::set_packet_loss(int host, double rate) {
@@ -256,7 +258,8 @@ void Fabric::reconnect_attempt(ConnectionId id) {
     if (on_failed_) on_failed_(id);
     return;
   }
-  c.next_backoff_s = std::min(c.next_backoff_s * 2, p.reconnect_backoff_max_s);
+  c.next_backoff_s =
+      std::min(c.next_backoff_s * 2, p.reconnect_backoff_max_s.count());
   engine_->schedule(c.next_backoff_s, [this, id] { reconnect_attempt(id); },
                     sim::EventTag::kReconnect);
 }

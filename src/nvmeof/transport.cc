@@ -63,8 +63,8 @@ Transport::HopResult Transport::transfer(sim::Engine& eng, Link& link,
   // serialization cost (infinite bandwidth).
   double bw = params_.bw_bytes_per_s;
   if (link.bw_cap_bytes_per_s > 0) {
-    bw = bw > 0 ? std::min(bw, link.bw_cap_bytes_per_s)
-                : link.bw_cap_bytes_per_s;
+    bw = bw > 0 ? std::min(bw, link.bw_cap_bytes_per_s.count())
+                : link.bw_cap_bytes_per_s.count();
   }
   sim::SimTime sent = t;
   if (bw > 0) {

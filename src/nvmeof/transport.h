@@ -21,17 +21,18 @@
 #include "sim/hardware_profiles.h"
 #include "sim/resources.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace ecf::nvmeof {
 
 // One host's port onto the fabric, shared by its connections.
 struct Link {
   // Injected fault state (ECFault network levers).
-  double extra_latency_s = 0;   // added per hop, both directions
-  double jitter_s = 0;          // uniform [0, jitter_s) per direction
-  double bw_cap_bytes_per_s = 0;  // 0 = no cap
-  double loss_rate = 0;         // expected command losses per command
-  sim::SimTime down_until = 0;  // link unusable before this instant
+  util::SimSec extra_latency_s;   // added per hop, both directions
+  util::SimSec jitter_s;          // uniform [0, jitter_s) per direction
+  util::Rate bw_cap_bytes_per_s;  // 0 = no cap
+  double loss_rate = 0;           // expected command losses per command
+  sim::SimTime down_until = 0;    // link unusable before this instant
 
   // Serialization servers (bandwidth sharing across the host's paths).
   sim::FifoServer tx;  // initiator -> target (capsules, write data)

@@ -1,62 +1,68 @@
 #include "sim/hardware_profiles.h"
 
+#include "util/units.h"
+
 namespace ecf::sim {
+
+using util::Bytes;
+using util::Rate;
+using util::SimSec;
 
 FabricParams tcp_fabric() {
   FabricParams f;
-  f.hop_latency_s = 30e-6;        // kernel TCP + NIC per hop
-  f.bw_bytes_per_s = 1.2e9;       // shares the ~10 Gb/s effective host link
-  f.capsule_bytes = 72;           // ICReq-sized command capsule PDU
-  f.pdu_header_bytes = 24;        // C2HData common header per PDU
-  f.max_data_pdu_bytes = 128 * 1024;  // MAXH2CDATA-scale data PDUs
+  f.hop_latency_s = SimSec(30e-6);   // kernel TCP + NIC per hop
+  f.bw_bytes_per_s = Rate(1.2e9);    // shares the ~10 Gb/s effective link
+  f.capsule_bytes = Bytes(72);       // ICReq-sized command capsule PDU
+  f.pdu_header_bytes = Bytes(24);    // C2HData common header per PDU
+  f.max_data_pdu_bytes = Bytes(128 * 1024);  // MAXH2CDATA-scale data PDUs
   f.enforce_qpair_depth = true;
   return f;
 }
 
 FabricParams rdma_fabric() {
   FabricParams f;
-  f.hop_latency_s = 5e-6;         // RoCE-class hop
-  f.bw_bytes_per_s = 2.5e9;       // 25 Gb/s-class fabric port
-  f.capsule_bytes = 16;           // in-capsule command, minimal framing
-  f.pdu_header_bytes = 0;         // RDMA writes carry data without PDUs
-  f.max_data_pdu_bytes = 0;
+  f.hop_latency_s = SimSec(5e-6);    // RoCE-class hop
+  f.bw_bytes_per_s = Rate(2.5e9);    // 25 Gb/s-class fabric port
+  f.capsule_bytes = Bytes(16);       // in-capsule command, minimal framing
+  f.pdu_header_bytes = Bytes(0);     // RDMA writes carry data without PDUs
+  f.max_data_pdu_bytes = Bytes(0);
   f.enforce_qpair_depth = true;
   return f;
 }
 
 HardwareProfile aws_m5_like() {
   HardwareProfile p;
-  p.disk.read_bw_bytes_per_s = 250e6;   // GP SSD throughput cap
-  p.disk.write_bw_bytes_per_s = 220e6;
-  p.disk.per_io_seconds = 120e-6;       // virtualized NVMe-oF round trip
-  p.nic.bw_bytes_per_s = 1.2e9;         // m5.xlarge effective (~10 Gb/s)
-  p.nic.per_msg_seconds = 40e-6;
-  p.cpu.gf_bytes_per_s = 2.0e9;
-  p.cpu.per_op_seconds = 20e-6;
+  p.disk.read_bw_bytes_per_s = Rate(250e6);   // GP SSD throughput cap
+  p.disk.write_bw_bytes_per_s = Rate(220e6);
+  p.disk.per_io_seconds = SimSec(120e-6);  // virtualized NVMe-oF round trip
+  p.nic.bw_bytes_per_s = Rate(1.2e9);  // m5.xlarge effective (~10 Gb/s)
+  p.nic.per_msg_seconds = SimSec(40e-6);
+  p.cpu.gf_bytes_per_s = Rate(2.0e9);
+  p.cpu.per_op_seconds = SimSec(20e-6);
   return p;
 }
 
 HardwareProfile fast_nvme() {
   HardwareProfile p;
-  p.disk.read_bw_bytes_per_s = 3.0e9;
-  p.disk.write_bw_bytes_per_s = 2.0e9;
-  p.disk.per_io_seconds = 15e-6;
-  p.nic.bw_bytes_per_s = 1.2e9;
-  p.nic.per_msg_seconds = 40e-6;
-  p.cpu.gf_bytes_per_s = 4.0e9;
-  p.cpu.per_op_seconds = 10e-6;
+  p.disk.read_bw_bytes_per_s = Rate(3.0e9);
+  p.disk.write_bw_bytes_per_s = Rate(2.0e9);
+  p.disk.per_io_seconds = SimSec(15e-6);
+  p.nic.bw_bytes_per_s = Rate(1.2e9);
+  p.nic.per_msg_seconds = SimSec(40e-6);
+  p.cpu.gf_bytes_per_s = Rate(4.0e9);
+  p.cpu.per_op_seconds = SimSec(10e-6);
   return p;
 }
 
 HardwareProfile hdd_cluster() {
   HardwareProfile p;
-  p.disk.read_bw_bytes_per_s = 150e6;
-  p.disk.write_bw_bytes_per_s = 140e6;
-  p.disk.per_io_seconds = 8e-3;  // seek-dominated
-  p.nic.bw_bytes_per_s = 1.2e9;
-  p.nic.per_msg_seconds = 40e-6;
-  p.cpu.gf_bytes_per_s = 2.0e9;
-  p.cpu.per_op_seconds = 20e-6;
+  p.disk.read_bw_bytes_per_s = Rate(150e6);
+  p.disk.write_bw_bytes_per_s = Rate(140e6);
+  p.disk.per_io_seconds = SimSec(8e-3);  // seek-dominated
+  p.nic.bw_bytes_per_s = Rate(1.2e9);
+  p.nic.per_msg_seconds = SimSec(40e-6);
+  p.cpu.gf_bytes_per_s = Rate(2.0e9);
+  p.cpu.per_op_seconds = SimSec(20e-6);
   return p;
 }
 

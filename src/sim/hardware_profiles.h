@@ -21,11 +21,11 @@ namespace ecf::sim {
 // transport cost model.
 struct FabricParams {
   // --- transport cost model -------------------------------------------------
-  double hop_latency_s = 0;         // one-way propagation per hop
-  double bw_bytes_per_s = 0;        // link serialization rate; 0 = infinite
-  std::uint32_t capsule_bytes = 0;  // command capsule overhead (request)
-  std::uint32_t pdu_header_bytes = 0;  // per-data-PDU header (response)
-  std::uint32_t max_data_pdu_bytes = 0;  // data split into PDUs; 0 = one PDU
+  util::SimSec hop_latency_s;       // one-way propagation per hop
+  util::Rate bw_bytes_per_s;        // link serialization rate; 0 = infinite
+  util::Bytes capsule_bytes;        // command capsule overhead (request)
+  util::Bytes pdu_header_bytes;     // per-data-PDU header (response)
+  util::Bytes max_data_pdu_bytes;   // data split into PDUs; 0 = one PDU
 
   // --- queue pairs ----------------------------------------------------------
   int io_qpairs = 4;          // I/O queue pairs per connection
@@ -35,11 +35,11 @@ struct FabricParams {
   bool enforce_qpair_depth = false;
 
   // --- keep-alive / reconnect state machine --------------------------------
-  double keepalive_interval_s = 5.0;   // KATO: link-loss detection latency
-  double ctrl_loss_timeout_s = 600.0;  // give up reconnecting (ctrl_loss_tmo)
-  double reconnect_backoff_s = 1.0;    // first retry delay; doubles per try
-  double reconnect_backoff_max_s = 60.0;
-  double retry_timeout_s = 0.5;        // retransmit delay per lost command
+  util::SimSec keepalive_interval_s{5.0};  // KATO: link-loss detection
+  util::SimSec ctrl_loss_timeout_s{600.0};  // give up (ctrl_loss_tmo)
+  util::SimSec reconnect_backoff_s{1.0};  // first retry delay; doubles
+  util::SimSec reconnect_backoff_max_s{60.0};
+  util::SimSec retry_timeout_s{0.5};  // retransmit delay per lost command
 
   // True when the cost model can ever charge time (levers can still
   // activate an inert fabric per-path at runtime).

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "sim/engine.h"
+#include "util/units.h"
 
 namespace ecf::sim {
 
@@ -45,9 +46,9 @@ class FifoServer {
 };
 
 struct DiskParams {
-  double read_bw_bytes_per_s = 250e6;   // GP-SSD-like sequential read
-  double write_bw_bytes_per_s = 220e6;  // sequential write
-  double per_io_seconds = 80e-6;        // submission + device overhead per IO
+  util::Rate read_bw_bytes_per_s{250e6};   // GP-SSD-like sequential read
+  util::Rate write_bw_bytes_per_s{220e6};  // sequential write
+  util::SimSec per_io_seconds{80e-6};  // submission + device overhead per IO
 };
 
 // A single storage device (one OSD's backing disk).
@@ -90,8 +91,8 @@ class Disk {
 };
 
 struct NicParams {
-  double bw_bytes_per_s = 1.2e9;   // effective host bandwidth
-  double per_msg_seconds = 30e-6;  // protocol + kernel overhead per message
+  util::Rate bw_bytes_per_s{1.2e9};   // effective host bandwidth
+  util::SimSec per_msg_seconds{30e-6};  // protocol + kernel overhead per msg
 };
 
 // A host NIC; duplex (independent tx and rx servers).
@@ -122,13 +123,13 @@ struct CpuParams {
   // decode touches each byte k times at most but table-driven kernels are
   // memory-bound, so we express cost as bytes/s of *reconstructed output*
   // scaled by the code's decode_cost_factor.
-  double gf_bytes_per_s = 2.0e9;
-  double per_op_seconds = 20e-6;  // fixed cost per decode operation
+  util::Rate gf_bytes_per_s{2.0e9};
+  util::SimSec per_op_seconds{20e-6};  // fixed cost per decode operation
   // Fixed cost of one GF region operation (mul_acc/mul_region call):
   // table setup + call overhead. Dominates when sub-packetized codes
   // operate on tiny sub-chunks (Clay at small stripe units processes
   // millions of ~50-byte regions per chunk).
-  double gf_region_op_seconds = 0.1e-6;
+  util::SimSec gf_region_op_seconds{0.1e-6};
 };
 
 class Cpu {

@@ -1,0 +1,169 @@
+// Strong quantity types for dimensioned values, read by tools/ecf_analyze
+// (rule family `unit-*`, DESIGN.md §14).
+//
+// Every number this simulator reports — chunk sizes, WA ratios, recovery
+// throughput, latency percentiles — is a dimensioned quantity, and the
+// paper's conclusions flip when a configuration parameter is scaled in the
+// wrong unit. A silent MiB-vs-bytes or s-vs-ms slip corrupts every figure
+// while all tests stay green, so the config/report spine of the codebase
+// declares its dimensions in the type system:
+//
+//   Bytes    integral byte count (sizes, capacities, transfer amounts)
+//   Mib      fractional mebibyte count (human-scale reporting)
+//   SimSec   simulated seconds (the engine's native time unit)
+//   Millis   fractional milliseconds (log/report formatting)
+//   ChunkIx  chunk index inside a stripe (0..n-1; an ordinal, not a size)
+//   Rate     bytes per second (bandwidths, throughputs)
+//
+// Construction from a raw number is ALWAYS explicit — writing
+// `SimSec{interval_ms}` forces the author to look at the unit — while
+// conversion back to the raw representation is implicit, so arithmetic,
+// comparisons and formatting at read sites stay byte-for-byte identical
+// to the pre-typed code (the sweep in PR 8 changed no golden digest).
+// Cross-unit conversions never happen implicitly: they are named factory
+// functions (Millis::of(SimSec), Mib::of(Bytes), Mib::to_bytes()) with
+// checked edges, so the only way to move a value between units is to name
+// the conversion.
+//
+// The types carry the static half of the discipline; the dynamic half is
+// tools/ecf_analyze's `check_units` pass, which also infers dimensions
+// from canonical name suffixes (_bytes, _mib, _ms, _s, _frac, …), literal
+// scale idioms (* 1024 * 1024, / 1e6) and a registry of known signatures
+// (Engine::schedule delays, LatencyHistogram::record, fabric bandwidth
+// fields). A deliberate cross-unit expression the analyzer would flag is
+// annotated in place:
+//
+//   double mbps = bps / 1e6;  ECF_UNIT_OK("decimal MB/s for the iostat row");
+//
+// ECF_UNIT_OK(reason) expands to nothing; the reason string is the point.
+// Prefer, in order: (1) fix the unit, (2) use a strong type or canonical
+// suffix so the inference is right, (3) ECF_UNIT_OK with a reason, and
+// only then (4) a baseline entry.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+#define ECF_UNIT_OK(reason)
+
+namespace ecf::util {
+
+// Integral byte count. The representation is exactly the uint64_t the
+// pre-typed code used, and the implicit conversion returns it unchanged.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  explicit constexpr Bytes(std::uint64_t v) : v_(v) {}
+  constexpr std::uint64_t count() const { return v_; }
+  constexpr operator std::uint64_t() const { return v_; }
+  constexpr Bytes& operator+=(Bytes o) { v_ += o.v_; return *this; }
+  constexpr Bytes& operator-=(Bytes o) {
+    ECF_DCHECK(v_ >= o.v_);
+    v_ -= o.v_;
+    return *this;
+  }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+// Fractional mebibyte count, for human-scale reporting (a 52.3 MiB shard).
+// Kept separate from Bytes so the 2^20 scale factor can never be applied
+// twice or forgotten: the only bridges are the named conversions below.
+class Mib {
+ public:
+  constexpr Mib() = default;
+  explicit constexpr Mib(double v) : v_(v) {}
+  constexpr double count() const { return v_; }
+  constexpr operator double() const { return v_; }
+
+  static constexpr Mib of(Bytes b) {
+    return Mib(static_cast<double>(b.count()) / kScale);
+  }
+  // Checked narrowing back to integral bytes: negative or too-large MiB
+  // counts are programming errors, not values to saturate silently.
+  Bytes to_bytes() const {
+    ECF_CHECK(v_ >= 0.0);
+    ECF_CHECK(v_ <= kMaxConvertible);
+    return Bytes(static_cast<std::uint64_t>(v_ * kScale));
+  }
+
+  static constexpr double kScale = 1024.0 * 1024.0;
+  // Largest MiB count whose byte equivalent round-trips through double
+  // into uint64_t without overflow (2^64 / 2^20, below the next rounding
+  // step of the double lattice at that magnitude).
+  static constexpr double kMaxConvertible = 17592186044415.0;  // 2^44 - 1
+
+ private:
+  double v_ = 0;
+};
+
+// Simulated seconds — the engine's native unit (sim::SimTime is the same
+// quantity as a raw double; SimSec is its declared-dimension spelling for
+// config and report fields).
+class SimSec {
+ public:
+  constexpr SimSec() = default;
+  explicit constexpr SimSec(double v) : v_(v) {}
+  constexpr double count() const { return v_; }
+  constexpr operator double() const { return v_; }
+  constexpr SimSec& operator+=(SimSec o) { v_ += o.v_; return *this; }
+  constexpr SimSec& operator-=(SimSec o) { v_ -= o.v_; return *this; }
+
+ private:
+  double v_ = 0;
+};
+
+// Fractional milliseconds, for log lines and latency tables. Like
+// Mib-vs-Bytes, the 1e3 factor lives only in the named conversions.
+class Millis {
+ public:
+  constexpr Millis() = default;
+  explicit constexpr Millis(double v) : v_(v) {}
+  constexpr double count() const { return v_; }
+  constexpr operator double() const { return v_; }
+
+  static constexpr Millis of(SimSec s) { return Millis(s.count() * 1e3); }
+  constexpr SimSec to_sim_sec() const { return SimSec(v_ * 1e-3); }
+
+ private:
+  double v_ = 0;
+};
+
+// Chunk index inside a stripe (0..n-1). An ordinal: adding two chunk
+// indices is meaningless, multiplying one by a chunk size yields bytes.
+// Implicitly usable anywhere a container index is expected.
+class ChunkIx {
+ public:
+  constexpr ChunkIx() = default;
+  explicit constexpr ChunkIx(std::uint32_t v) : v_(v) {}
+  constexpr std::uint32_t count() const { return v_; }
+  constexpr operator std::size_t() const { return v_; }
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+// Bytes per second: link bandwidths, device throughputs, iostat rates.
+// `bytes_over` is the one sanctioned rate × time product; it returns a
+// raw double because a partial transfer is genuinely fractional.
+class Rate {
+ public:
+  constexpr Rate() = default;
+  explicit constexpr Rate(double bytes_per_s) : v_(bytes_per_s) {}
+  constexpr double count() const { return v_; }
+  constexpr operator double() const { return v_; }
+
+  constexpr double bytes_over(SimSec t) const { return v_ * t.count(); }
+  static constexpr Rate of(Bytes b, SimSec t) {
+    return Rate(t.count() > 0 ? static_cast<double>(b.count()) / t.count()
+                              : 0.0);
+  }
+
+ private:
+  double v_ = 0;
+};
+
+}  // namespace ecf::util

@@ -52,7 +52,7 @@ TEST(BlueStore, HitRatesFollowRatios) {
   cache.kv_ratio = 0.5;
   cache.meta_ratio = 0.3;
   cache.data_ratio = 0.2;
-  cache.cache_bytes = 1 * MiB;
+  cache.cache_bytes = ecf::util::Bytes(1 * MiB);
   BlueStore bs(store, cache);
   // Empty store: everything fits, hit rates are 1.
   EXPECT_DOUBLE_EQ(bs.kv_hit_rate(), 1.0);
@@ -72,7 +72,7 @@ TEST(BlueStore, HitRatesFollowRatios) {
 TEST(BlueStore, AutotuneConvergesTowardDemand) {
   StoreConfig store = small_store();
   CacheConfig cache = CacheConfig::autotuned();
-  cache.cache_bytes = 8 * MiB;
+  cache.cache_bytes = ecf::util::Bytes(8 * MiB);
   BlueStore bs(store, cache);
   for (int i = 0; i < 2000; ++i) bs.write_chunk(64 * KiB);
   const double meta_before = bs.meta_hit_rate();

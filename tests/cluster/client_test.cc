@@ -16,11 +16,11 @@ ClusterConfig client_config(double ops_per_s) {
   cfg.osds_per_host = 2;
   cfg.pool.pg_num = 16;
   cfg.workload.num_objects = 100;
-  cfg.workload.object_size = 16 * MiB;
+  cfg.workload.object_size = ecf::util::Bytes(16 * MiB);
   cfg.protocol.down_out_interval_s = 20.0;
   cfg.protocol.heartbeat_grace_s = 5.0;
   cfg.client.ops_per_s = ops_per_s;
-  cfg.client.horizon_s = 120.0;
+  cfg.client.horizon_s = ecf::util::SimSec(120.0);
   cfg.check_invariants = true;  // per-event validation in all tier-1 tests
   return cfg;
 }
@@ -91,7 +91,7 @@ TEST(ClientLoad, ContentionSlowsRecovery) {
   const RecoveryReport idle_report = a.run_to_recovery();
 
   ClusterConfig busy = client_config(200);
-  busy.client.horizon_s = 1000.0;
+  busy.client.horizon_s = ecf::util::SimSec(1000.0);
   Cluster b(busy);
   b.create_pool();
   b.apply_workload();
@@ -137,8 +137,8 @@ TEST(ClientLoad, ClosedLoopBacksOffUnderDegradation) {
   ClusterConfig cfg = client_config(100);
   cfg.client.closed_loop = true;
   cfg.client.clients = 16;
-  cfg.client.think_time_s = 0.01;
-  cfg.client.horizon_s = 60.0;
+  cfg.client.think_time_s = ecf::util::SimSec(0.01);
+  cfg.client.horizon_s = ecf::util::SimSec(60.0);
   std::uint64_t ops[2];
   for (auto& o : ops) {
     Cluster cl(cfg);
@@ -174,7 +174,7 @@ TEST(ClientLoad, ZipfSkewConcentratesLoad) {
   // the scrambled rank → object map (no degenerate all-one-PG hammering).
   ClusterConfig cfg = client_config(100);
   cfg.client.zipf_theta = 0.99;
-  cfg.client.horizon_s = 30.0;
+  cfg.client.horizon_s = ecf::util::SimSec(30.0);
   Cluster cl(cfg);
   cl.create_pool();
   cl.apply_workload();
@@ -186,7 +186,7 @@ TEST(ClientLoad, ZipfSkewConcentratesLoad) {
 
 TEST(ClientLoad, StopsAtHorizon) {
   ClusterConfig cfg = client_config(50);
-  cfg.client.horizon_s = 10.0;
+  cfg.client.horizon_s = ecf::util::SimSec(10.0);
   Cluster cl(cfg);
   cl.create_pool();
   cl.apply_workload();

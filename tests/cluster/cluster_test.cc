@@ -20,7 +20,7 @@ ClusterConfig small_config() {
   cfg.osds_per_host = 2;
   cfg.pool.pg_num = 32;
   cfg.workload.num_objects = 300;
-  cfg.workload.object_size = 16 * MiB;
+  cfg.workload.object_size = ecf::util::Bytes(16 * MiB);
   cfg.check_invariants = true;  // per-event validation in all tier-1 tests
   return cfg;
 }

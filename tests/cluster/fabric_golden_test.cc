@@ -28,7 +28,7 @@ ClusterConfig golden_cfg() {
   cfg.osds_per_host = 2;
   cfg.pool.pg_num = 32;
   cfg.workload.num_objects = 200;
-  cfg.workload.object_size = 16 * util::MiB;
+  cfg.workload.object_size = ecf::util::Bytes(16 * util::MiB);
   cfg.protocol.down_out_interval_s = 30.0;
   cfg.protocol.heartbeat_grace_s = 5.0;
   cfg.check_invariants = true;
@@ -100,7 +100,7 @@ ClusterConfig dirty_cfg() {
   cfg.pool.ec_profile = {{"plugin", "jerasure"}, {"k", "4"}, {"m", "2"}};
   cfg.pool.pg_num = 16;
   cfg.workload.num_objects = 60;
-  cfg.workload.object_size = 8 * util::MiB;
+  cfg.workload.object_size = ecf::util::Bytes(8 * util::MiB);
   cfg.protocol.down_out_interval_s = 10.0;
   cfg.protocol.heartbeat_grace_s = 5.0;
   return cfg;
@@ -176,9 +176,9 @@ TEST(FabricFault, PartitionEscalatesToDeviceLoss) {
   ClusterConfig cfg = dirty_cfg();
   // Shorten the fabric state machine so the partition exhausts
   // ctrl_loss_tmo quickly (transport costs stay zero).
-  cfg.hw.fabric.keepalive_interval_s = 1.0;
-  cfg.hw.fabric.ctrl_loss_timeout_s = 5.0;
-  cfg.hw.fabric.reconnect_backoff_s = 1.0;
+  cfg.hw.fabric.keepalive_interval_s = ecf::util::SimSec(1.0);
+  cfg.hw.fabric.ctrl_loss_timeout_s = ecf::util::SimSec(5.0);
+  cfg.hw.fabric.reconnect_backoff_s = ecf::util::SimSec(1.0);
   Cluster cl(cfg);
   cl.create_pool();
   cl.apply_workload();
@@ -196,7 +196,7 @@ TEST(FabricFault, PartitionEscalatesToDeviceLoss) {
 
 TEST(FabricFault, ShortFlapDoesNotFailDevices) {
   ClusterConfig cfg = dirty_cfg();
-  cfg.hw.fabric.keepalive_interval_s = 5.0;
+  cfg.hw.fabric.keepalive_interval_s = ecf::util::SimSec(5.0);
   Cluster cl(cfg);
   cl.create_pool();
   cl.apply_workload();

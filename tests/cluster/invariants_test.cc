@@ -19,7 +19,7 @@ ClusterConfig checked_config() {
   cfg.osds_per_host = 2;
   cfg.pool.pg_num = 16;
   cfg.workload.num_objects = 100;
-  cfg.workload.object_size = 16 * MiB;
+  cfg.workload.object_size = ecf::util::Bytes(16 * MiB);
   cfg.protocol.down_out_interval_s = 20.0;
   cfg.protocol.heartbeat_grace_s = 5.0;
   cfg.check_invariants = true;

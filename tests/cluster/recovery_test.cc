@@ -18,7 +18,7 @@ ClusterConfig fast_config() {
   cfg.osds_per_host = 2;
   cfg.pool.pg_num = 32;
   cfg.workload.num_objects = 200;
-  cfg.workload.object_size = 16 * MiB;
+  cfg.workload.object_size = ecf::util::Bytes(16 * MiB);
   // Shrink the protocol timers so tests run the full pipeline quickly.
   cfg.protocol.down_out_interval_s = 30.0;
   cfg.protocol.heartbeat_grace_s = 5.0;

@@ -16,7 +16,7 @@ ClusterConfig scrub_config() {
   cfg.osds_per_host = 2;
   cfg.pool.pg_num = 16;
   cfg.workload.num_objects = 100;
-  cfg.workload.object_size = 16 * MiB;
+  cfg.workload.object_size = ecf::util::Bytes(16 * MiB);
   cfg.scrub.enabled = true;
   cfg.scrub.interval_s = 2.0;
   cfg.scrub.max_passes = 2;

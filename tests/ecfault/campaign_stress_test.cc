@@ -24,7 +24,7 @@ ExperimentProfile stress_base() {
   p.cluster.osds_per_host = 2;
   p.cluster.pool.pg_num = 8;
   p.cluster.workload.num_objects = 40;
-  p.cluster.workload.object_size = 16 * util::MiB;
+  p.cluster.workload.object_size = ecf::util::Bytes(16 * util::MiB);
   p.cluster.protocol.down_out_interval_s = 20.0;
   p.cluster.protocol.heartbeat_grace_s = 5.0;
   p.cluster.check_invariants = true;  // validated concurrently in every sim

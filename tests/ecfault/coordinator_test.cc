@@ -17,7 +17,7 @@ ExperimentProfile fast_profile() {
   p.cluster.osds_per_host = 2;
   p.cluster.pool.pg_num = 32;
   p.cluster.workload.num_objects = 150;
-  p.cluster.workload.object_size = 16 * util::MiB;
+  p.cluster.workload.object_size = ecf::util::Bytes(16 * util::MiB);
   p.cluster.protocol.down_out_interval_s = 40.0;
   p.cluster.protocol.heartbeat_grace_s = 5.0;
   p.fault.level = FaultLevel::kNode;

@@ -14,7 +14,7 @@ cluster::ClusterConfig test_config(int osds_per_host = 3) {
   cfg.pool.pg_num = 32;
   cfg.pool.failure_domain = cluster::FailureDomain::kOsd;
   cfg.workload.num_objects = 100;
-  cfg.workload.object_size = 4 * util::MiB;
+  cfg.workload.object_size = ecf::util::Bytes(4 * util::MiB);
   return cfg;
 }
 

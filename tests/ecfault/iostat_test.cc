@@ -14,7 +14,7 @@ cluster::ClusterConfig tiny_config() {
   cfg.osds_per_host = 2;
   cfg.pool.pg_num = 16;
   cfg.workload.num_objects = 100;
-  cfg.workload.object_size = 16 * util::MiB;
+  cfg.workload.object_size = ecf::util::Bytes(16 * util::MiB);
   cfg.protocol.down_out_interval_s = 20.0;
   cfg.protocol.heartbeat_grace_s = 5.0;
   return cfg;
@@ -66,7 +66,7 @@ TEST(Iostat, RecordsFlowThroughLoggerPipeline) {
 TEST(Iostat, ClientIntervalPercentilesTrackForegroundLoad) {
   cluster::ClusterConfig cfg = tiny_config();
   cfg.client.ops_per_s = 50.0;
-  cfg.client.horizon_s = 60.0;
+  cfg.client.horizon_s = ecf::util::SimSec(60.0);
   cluster::Cluster cl(cfg);
   cl.create_pool();
   cl.apply_workload();

@@ -19,12 +19,12 @@ ExperimentProfile net_profile() {
   p.cluster.pool.ec_profile = {{"plugin", "jerasure"}, {"k", "4"}, {"m", "2"}};
   p.cluster.pool.pg_num = 16;
   p.cluster.workload.num_objects = 60;
-  p.cluster.workload.object_size = 8 * util::MiB;
+  p.cluster.workload.object_size = ecf::util::Bytes(8 * util::MiB);
   p.cluster.protocol.down_out_interval_s = 10.0;
   p.cluster.protocol.heartbeat_grace_s = 5.0;
   p.fault.level = FaultLevel::kDevice;
   p.fault.count = 1;
-  p.fault.inject_at_s = 1.0;
+  p.fault.inject_at_s = ecf::util::SimSec(1.0);
   p.runs = 1;
   return p;
 }
@@ -35,13 +35,13 @@ TEST(NetworkProfile, JsonRoundTrip) {
   NetworkFaultSpec lat;
   lat.kind = NetFaultKind::kLinkLatency;
   lat.count = 0;
-  lat.inject_at_s = 0.5;
-  lat.latency_s = 0.002;
-  lat.jitter_s = 0.0005;
+  lat.inject_at_s = ecf::util::SimSec(0.5);
+  lat.latency_s = ecf::util::SimSec(0.002);
+  lat.jitter_s = ecf::util::SimSec(0.0005);
   NetworkFaultSpec part;
   part.kind = NetFaultKind::kPartition;
   part.count = 1;
-  part.down_for_s = 42.0;
+  part.down_for_s = ecf::util::SimSec(42.0);
   p.network_faults = {lat, part};
 
   const ExperimentProfile q = ExperimentProfile::parse(p.dump());
@@ -179,8 +179,8 @@ TEST(Coordinator, DirtyNetworkExperimentAttributesTransportWait) {
   NetworkFaultSpec lat;
   lat.kind = NetFaultKind::kLinkLatency;
   lat.count = 0;
-  lat.inject_at_s = 0.5;  // before the device fault at t=1
-  lat.latency_s = 0.002;
+  lat.inject_at_s = ecf::util::SimSec(0.5);  // before the device fault at t=1
+  lat.latency_s = ecf::util::SimSec(0.002);
   p.network_faults = {lat};
 
   const ExperimentResult clean = Coordinator::run_experiment(net_profile());
@@ -205,8 +205,8 @@ TEST(Coordinator, LinkFlapExperimentSurvives) {
   NetworkFaultSpec flap;
   flap.kind = NetFaultKind::kLinkFlap;
   flap.count = 1;
-  flap.inject_at_s = 2.0;
-  flap.down_for_s = 0.2;
+  flap.inject_at_s = ecf::util::SimSec(2.0);
+  flap.down_for_s = ecf::util::SimSec(0.2);
   p.network_faults = {flap};
   const ExperimentResult r = Coordinator::run_experiment(p);
   ASSERT_TRUE(r.report.complete);

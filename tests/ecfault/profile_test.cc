@@ -11,7 +11,7 @@ TEST(Profile, RoundTripThroughJson) {
   p.runs = 3;
   p.cluster.num_hosts = 30;
   p.cluster.pool.pg_num = 256;
-  p.cluster.pool.stripe_unit = 4096;
+  p.cluster.pool.stripe_unit = ecf::util::Bytes(4096);
   p.cluster.pool.ec_profile = {{"plugin", "clay"}, {"k", "9"}, {"m", "3"},
                                {"d", "11"}};
   p.cluster.cache = cluster::CacheConfig::kv_optimized();
@@ -95,12 +95,12 @@ TEST(Profile, ClientLoadAndEngineLanesRoundTrip) {
   p.cluster.engine_lanes = 16;
   p.cluster.client.ops_per_s = 500.0;
   p.cluster.client.read_fraction = 0.75;
-  p.cluster.client.op_bytes = 65536;
-  p.cluster.client.horizon_s = 300.0;
+  p.cluster.client.op_bytes = ecf::util::Bytes(65536);
+  p.cluster.client.horizon_s = ecf::util::SimSec(300.0);
   p.cluster.client.zipf_theta = 0.99;
   p.cluster.client.closed_loop = true;
   p.cluster.client.clients = 64;
-  p.cluster.client.think_time_s = 0.002;
+  p.cluster.client.think_time_s = ecf::util::SimSec(0.002);
   const ExperimentProfile q = ExperimentProfile::parse(p.dump());
   EXPECT_EQ(q.cluster.engine_lanes, 16);
   EXPECT_DOUBLE_EQ(q.cluster.client.ops_per_s, 500.0);

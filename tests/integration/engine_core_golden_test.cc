@@ -38,31 +38,31 @@ ecfault::ExperimentProfile engine_golden_profile(bool clay) {
         {"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}};
   }
   p.cluster.workload.num_objects = 200;
-  p.cluster.workload.object_size = 16 * util::MiB;
+  p.cluster.workload.object_size = ecf::util::Bytes(16 * util::MiB);
   p.cluster.protocol.down_out_interval_s = 30.0;
   p.cluster.protocol.heartbeat_grace_s = 5.0;
   p.cluster.check_invariants = true;
   p.fault.level = ecfault::FaultLevel::kDevice;
   p.fault.count = 1;
-  p.fault.inject_at_s = 1.0;
+  p.fault.inject_at_s = ecf::util::SimSec(1.0);
   p.runs = 1;
 
   ecfault::NetworkFaultSpec lat;
   lat.kind = ecfault::NetFaultKind::kLinkLatency;
   lat.count = 0;  // cluster-wide
-  lat.inject_at_s = 0.5;
-  lat.latency_s = 0.002;
-  lat.jitter_s = 0.0005;
+  lat.inject_at_s = ecf::util::SimSec(0.5);
+  lat.latency_s = ecf::util::SimSec(0.002);
+  lat.jitter_s = ecf::util::SimSec(0.0005);
   ecfault::NetworkFaultSpec loss;
   loss.kind = ecfault::NetFaultKind::kPacketLoss;
   loss.count = 0;
-  loss.inject_at_s = 0.5;
+  loss.inject_at_s = ecf::util::SimSec(0.5);
   loss.loss_rate = 0.02;
   ecfault::NetworkFaultSpec flap;
   flap.kind = ecfault::NetFaultKind::kLinkFlap;
   flap.count = 2;
-  flap.inject_at_s = 12.0;
-  flap.down_for_s = 6.0;
+  flap.inject_at_s = ecf::util::SimSec(12.0);
+  flap.down_for_s = ecf::util::SimSec(6.0);
   p.network_faults = {lat, loss, flap};
   return p;
 }

@@ -54,9 +54,9 @@ TEST(PaperShapes, Fig2bLargerPgNumRecoversFaster) {
 
 TEST(PaperShapes, Fig2cClayPathologicalAt4K) {
   ExperimentProfile rs4k = paper_default(false);
-  rs4k.cluster.pool.stripe_unit = 4 * util::KiB;
+  rs4k.cluster.pool.stripe_unit = ecf::util::Bytes(4 * util::KiB);
   ExperimentProfile clay4k = paper_default(true);
-  clay4k.cluster.pool.stripe_unit = 4 * util::KiB;
+  clay4k.cluster.pool.stripe_unit = ecf::util::Bytes(4 * util::KiB);
   const double ratio = total(clay4k) / total(rs4k);
   // Paper: 4.26x; we land in the same regime.
   EXPECT_GT(ratio, 3.0);
@@ -65,9 +65,9 @@ TEST(PaperShapes, Fig2cClayPathologicalAt4K) {
 
 TEST(PaperShapes, Fig2cHugeStripeUnitHurtsBothCodes) {
   ExperimentProfile rs4k = paper_default(false);
-  rs4k.cluster.pool.stripe_unit = 4 * util::KiB;
+  rs4k.cluster.pool.stripe_unit = ecf::util::Bytes(4 * util::KiB);
   ExperimentProfile rs64m = paper_default(false);
-  rs64m.cluster.pool.stripe_unit = 64 * util::MiB;
+  rs64m.cluster.pool.stripe_unit = ecf::util::Bytes(64 * util::MiB);
   const double ratio = total(rs64m) / total(rs4k);
   // Paper: 3.29x.
   EXPECT_GT(ratio, 2.5);

@@ -18,7 +18,7 @@ namespace {
 TEST(ScaleSmoke, MillionObjectsWithInvariantsAndClients) {
   ExperimentProfile p;
   p.cluster.workload.num_objects = 1000000;
-  p.cluster.workload.object_size = 1 * util::MiB;
+  p.cluster.workload.object_size = ecf::util::Bytes(1 * util::MiB);
   p.cluster.num_hosts = 30;
   p.cluster.osds_per_host = 2;
   p.cluster.pool.pg_num = 128;
@@ -27,13 +27,13 @@ TEST(ScaleSmoke, MillionObjectsWithInvariantsAndClients) {
   p.cluster.protocol.heartbeat_grace_s = 3.0;
   p.cluster.client.ops_per_s = 50;
   p.cluster.client.read_fraction = 0.9;
-  p.cluster.client.op_bytes = 64 * util::KiB;
+  p.cluster.client.op_bytes = ecf::util::Bytes(64 * util::KiB);
   p.cluster.client.zipf_theta = 0.99;
-  p.cluster.client.horizon_s = 60.0;
+  p.cluster.client.horizon_s = ecf::util::SimSec(60.0);
   p.cluster.check_invariants = true;  // full sweep after every event
   p.fault.level = FaultLevel::kNode;
   p.fault.count = 1;
-  p.fault.inject_at_s = 1.0;
+  p.fault.inject_at_s = ecf::util::SimSec(1.0);
   p.runs = 1;
 
   const auto r = Coordinator::run_experiment(p);

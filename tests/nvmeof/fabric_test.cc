@@ -10,11 +10,11 @@ namespace {
 
 sim::FabricParams fast_reconnect_params() {
   sim::FabricParams p;  // ideal transport; only the state machine timing
-  p.keepalive_interval_s = 1.0;
-  p.reconnect_backoff_s = 0.5;
-  p.reconnect_backoff_max_s = 2.0;
-  p.ctrl_loss_timeout_s = 10.0;
-  p.retry_timeout_s = 0.5;
+  p.keepalive_interval_s = ecf::util::SimSec(1.0);
+  p.reconnect_backoff_s = ecf::util::SimSec(0.5);
+  p.reconnect_backoff_max_s = ecf::util::SimSec(2.0);
+  p.ctrl_loss_timeout_s = ecf::util::SimSec(10.0);
+  p.retry_timeout_s = ecf::util::SimSec(0.5);
   return p;
 }
 
@@ -104,7 +104,7 @@ TEST_F(FabricTest, BandwidthSharingContendsOnTheLink) {
 
 TEST_F(FabricTest, PacketLossRetriesDeterministically) {
   sim::FabricParams p;
-  p.retry_timeout_s = 0.25;
+  p.retry_timeout_s = ecf::util::SimSec(0.25);
   Fabric fab(&eng_, p, 1);
   const ConnectionId id = connect(fab);
   fab.set_packet_loss(0, 0.5);
@@ -175,7 +175,7 @@ TEST_F(FabricTest, ReconnectBackoffTiming) {
 
 TEST_F(FabricTest, ControllerLossTimeoutFailsDevice) {
   sim::FabricParams p = fast_reconnect_params();
-  p.ctrl_loss_timeout_s = 3.0;
+  p.ctrl_loss_timeout_s = ecf::util::SimSec(3.0);
   Fabric fab(&eng_, p, 1);
   const ConnectionId id = connect(fab);
   ConnectionId failed = kNoConnection;

@@ -28,9 +28,9 @@ TEST(FifoServer, IdleGapsAreNotBusy) {
 
 TEST(Disk, ServiceTimeCombinesBandwidthAndIops) {
   DiskParams p;
-  p.read_bw_bytes_per_s = 100e6;
-  p.write_bw_bytes_per_s = 50e6;
-  p.per_io_seconds = 1e-3;
+  p.read_bw_bytes_per_s = ecf::util::Rate(100e6);
+  p.write_bw_bytes_per_s = ecf::util::Rate(50e6);
+  p.per_io_seconds = ecf::util::SimSec(1e-3);
   Disk d(p);
   EXPECT_NEAR(d.read_service(100'000'000, 1), 1.001, 1e-9);
   EXPECT_NEAR(d.read_service(0, 1000), 1.0, 1e-9);
@@ -50,8 +50,8 @@ TEST(Disk, TracksCounters) {
 TEST(Disk, ExtraSecondsExtendService) {
   Engine eng;
   DiskParams p;
-  p.read_bw_bytes_per_s = 1e9;
-  p.per_io_seconds = 0;
+  p.read_bw_bytes_per_s = ecf::util::Rate(1e9);
+  p.per_io_seconds = ecf::util::SimSec(0);
   Disk d(p);
   const SimTime t = d.read(eng, 1'000'000, 1, 0.5);
   EXPECT_NEAR(t, 0.501, 1e-9);
@@ -60,8 +60,8 @@ TEST(Disk, ExtraSecondsExtendService) {
 TEST(Disk, ConcurrentReadsQueue) {
   Engine eng;
   DiskParams p;
-  p.read_bw_bytes_per_s = 100e6;
-  p.per_io_seconds = 0;
+  p.read_bw_bytes_per_s = ecf::util::Rate(100e6);
+  p.per_io_seconds = ecf::util::SimSec(0);
   Disk d(p);
   const SimTime t1 = d.read(eng, 100'000'000);  // 1s
   const SimTime t2 = d.read(eng, 100'000'000);  // queues behind
@@ -72,8 +72,8 @@ TEST(Disk, ConcurrentReadsQueue) {
 TEST(Nic, DuplexDirectionsIndependent) {
   Engine eng;
   NicParams p;
-  p.bw_bytes_per_s = 1e9;
-  p.per_msg_seconds = 0;
+  p.bw_bytes_per_s = ecf::util::Rate(1e9);
+  p.per_msg_seconds = ecf::util::SimSec(0);
   Nic nic(p);
   const SimTime tx = nic.send(eng, 1'000'000'000);
   const SimTime rx = nic.recv(eng, 1'000'000'000);
@@ -87,8 +87,8 @@ TEST(Nic, DuplexDirectionsIndependent) {
 TEST(Cpu, CostFactorScalesService) {
   Engine eng;
   CpuParams p;
-  p.gf_bytes_per_s = 1e9;
-  p.per_op_seconds = 0;
+  p.gf_bytes_per_s = ecf::util::Rate(1e9);
+  p.per_op_seconds = ecf::util::SimSec(0);
   Cpu cpu(p);
   const SimTime t1 = cpu.compute(eng, 1'000'000'000, 1.0);
   EXPECT_NEAR(t1, 1.0, 1e-9);

@@ -587,6 +587,31 @@ TEST(AnalyzeCache, RoundTripHitsOnMatchingStampOnly) {
   fs::remove(file);
 }
 
+TEST(AnalyzeCache, ToolVersionBumpInvalidatesOlderEntries) {
+  // Entries stamped by an older tool version must read as misses: the
+  // stripper/tokenizer changed, so the cached body may be stale even when
+  // the file's mtime:size stamp still matches.
+  const fs::path file =
+      fs::temp_directory_path() / "ecf_analyze_cache_version_test.strip";
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << "ecf-strip-cache v" << (kStripCacheVersion - 1)
+        << " 123:456\nstale body\n";
+  }
+  std::string got;
+  EXPECT_FALSE(load_strip_cache(file.string(), "123:456", &got));
+  // A fresh store rewrites the header at the current version and hits.
+  store_strip_cache(file.string(), "123:456", "fresh body\n");
+  std::ifstream in(file);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "ecf-strip-cache v" +
+                        std::to_string(kStripCacheVersion) + " 123:456");
+  EXPECT_TRUE(load_strip_cache(file.string(), "123:456", &got));
+  EXPECT_EQ(got, "fresh body\n");
+  fs::remove(file);
+}
+
 // --- baseline & JSON --------------------------------------------------------
 
 TEST(AnalyzeBaseline, ParseSkipsCommentsAndNormalizesSpace) {
@@ -644,6 +669,144 @@ TEST(AnalyzeSarif, CatalogAndResultShape) {
   EXPECT_NE(to_sarif({}).find("\"results\": []"), std::string::npos);
 }
 
+// --- units (dimensional safety) ---------------------------------------------
+
+std::vector<Finding> units_for(const std::string& body) {
+  Analyzer a;
+  a.add_file("src/sim/u.cc", body);
+  return a.check_units();
+}
+
+TEST(AnalyzeUnits, CrossUnitAddAndCompareFlagged) {
+  const auto f = units_for(
+      "void f(double wait_s, double len_bytes) {\n"
+      "  double x = wait_s + len_bytes;\n"
+      "  if (wait_s < len_bytes) return;\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "unit-mismatch");
+  EXPECT_EQ(f[0].line, 2u);
+  EXPECT_EQ(f[0].detail, "wait_s (seconds) + len_bytes (bytes)");
+  EXPECT_EQ(f[1].rule, "unit-mismatch");
+  EXPECT_EQ(f[1].line, 3u);
+}
+
+TEST(AnalyzeUnits, SameDimensionArithmeticClean) {
+  EXPECT_TRUE(units_for("void f(double a_s, double b_s, double c_bytes,\n"
+                        "       double d_bytes) {\n"
+                        "  double t = a_s + b_s;\n"
+                        "  double r = c_bytes / (a_s + b_s);\n"
+                        "  double frac = c_bytes / d_bytes;\n"
+                        "}\n")
+                  .empty());
+}
+
+TEST(AnalyzeUnits, TimeUnitAssignmentNeedsExplicitScale) {
+  // Unscaled seconds -> millis assignment is the classic silent 1000x.
+  const auto f = units_for("void f(double t_s) {\n"
+                           "  double lat_ms = t_s;\n"
+                           "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unit-time-scale");
+  EXPECT_EQ(f[0].detail, "lat_ms (ms) = t_s (seconds)");
+  // Multiplying by a canonical time factor converts: clean.
+  EXPECT_TRUE(units_for("void f(double t_s) {\n"
+                        "  double lat_ms = 1e3 * t_s;\n"
+                        "}\n")
+                  .empty());
+}
+
+TEST(AnalyzeUnits, SizeScaleLiteralConverts) {
+  EXPECT_TRUE(units_for("void f(double size_mib) {\n"
+                        "  double n_bytes = size_mib * 1048576;\n"
+                        "}\n")
+                  .empty());
+}
+
+TEST(AnalyzeUnits, LossyNarrowingOfDimensionedFloatFlagged) {
+  const auto f = units_for(
+      "void f(double t_ms, double t_s) {\n"
+      "  long a = static_cast<long>(t_ms);\n"
+      "  double b = static_cast<double>(t_ms);\n"  // float target: fine
+      "  long c = static_cast<long>(t_s * 1e9);\n"  // scaled: fine
+      "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unit-narrow");
+  EXPECT_EQ(f[0].line, 2u);
+  EXPECT_EQ(f[0].detail, "static_cast<long>(t_ms ~ ms)");
+}
+
+TEST(AnalyzeUnits, SinkExpectsSecondsMismatchAndBadProduct) {
+  const auto f = units_for(
+      "void f(Engine& engine_, double delay_ms, double a_bytes,\n"
+      "       double b_bytes) {\n"
+      "  engine_.schedule(delay_ms, cb);\n"
+      "  engine_.schedule(a_bytes * b_bytes, cb);\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "unit-mismatch");
+  EXPECT_EQ(f[0].line, 3u);
+  EXPECT_EQ(f[0].detail, "schedule arg0: ms");
+  EXPECT_EQ(f[1].rule, "unit-sink");
+  EXPECT_EQ(f[1].line, 4u);
+}
+
+TEST(AnalyzeUnits, StrongTypeDeclarationTagsUsesAcrossFiles) {
+  // A SimSec field declared in a header dimension-tags same-named uses in
+  // every other TU — that is how header types reach the .cc scanners.
+  Analyzer a;
+  a.add_file("src/sim/t.h", "struct S { SimSec deadline; };\n");
+  a.add_file("src/cluster/u.cc",
+             "void f(S& s, double len_bytes) {\n"
+             "  s.deadline = len_bytes;\n"
+             "}\n");
+  const auto f = a.check_units();
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unit-mismatch");
+  EXPECT_EQ(f[0].file, "src/cluster/u.cc");
+  EXPECT_EQ(f[0].detail, "s.deadline (seconds) = len_bytes (bytes)");
+}
+
+TEST(AnalyzeUnits, ConflictingDeclarationsPoisonTheName) {
+  // The same name declared SimSec in one TU and Bytes in another is
+  // ambiguous; the typed map must drop it rather than guess.
+  Analyzer a;
+  a.add_file("src/sim/t.h", "struct S { SimSec budget; };\n");
+  a.add_file("src/cluster/t.h", "struct T { Bytes budget; };\n");
+  a.add_file("src/cluster/u.cc",
+             "void f(S& s, double len_bytes) {\n"
+             "  s.budget = len_bytes;\n"
+             "}\n");
+  EXPECT_TRUE(a.check_units().empty());
+}
+
+TEST(AnalyzeUnits, NamedConversionsAndRegistryReturnsClean) {
+  EXPECT_TRUE(units_for("void f(Engine& engine_, double t_s) {\n"
+                        "  double lat_ms = Millis::of(t_s);\n"
+                        "  engine_.schedule(engine_.now() + t_s, cb);\n"
+                        "}\n")
+                  .empty());
+}
+
+TEST(AnalyzeUnits, UnitOkAndInlineAllowSuppress) {
+  EXPECT_TRUE(units_for("void f(double wait_s, double len_bytes) {\n"
+                        "  double a = wait_s + len_bytes;  "
+                        "ECF_UNIT_OK(\"test: deliberate\");\n"
+                        "  double b = wait_s + len_bytes;  "
+                        "// ecf-analyze: allow(unit-mismatch)\n"
+                        "}\n")
+                  .empty());
+}
+
+TEST(AnalyzeUnits, NonLayerFilesSkipped) {
+  Analyzer a;
+  a.add_file("tests/sim/u_test.cc",
+             "void f(double wait_s, double len_bytes) {\n"
+             "  double x = wait_s + len_bytes;\n"
+             "}\n");
+  EXPECT_TRUE(a.check_units().empty());
+}
+
 // --- golden-file tests over the checked-in fixtures -------------------------
 
 #ifndef ECF_ANALYZE_FIXTURES
@@ -655,6 +818,15 @@ std::string slurp(const fs::path& p) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+// The CLI stamps volatile per-pass wall times into --json output; the
+// fixtures hold the deterministic shape, so a regenerated golden may carry
+// a pass_times line that must not participate in the comparison.
+std::string scrub_pass_times(std::string s) {
+  const auto pos = s.find("\n  \"pass_times\": {");
+  if (pos == std::string::npos) return s;
+  return s.erase(pos, s.find('\n', pos + 1) - pos);
 }
 
 // Mirror of the ecf_analyze CLI: scan <family>/src recursively (sorted,
@@ -673,7 +845,7 @@ void run_golden(const std::string& family) {
     analyzer.add_file(fs::relative(p, root).generic_string(), slurp(p));
   }
   const std::string got = to_json(analyzer.run(), analyzer.file_count());
-  const std::string want = slurp(root / "expected.json");
+  const std::string want = scrub_pass_times(slurp(root / "expected.json"));
   ASSERT_FALSE(want.empty()) << "missing golden: " << root / "expected.json";
   EXPECT_EQ(got, want) << "analyzer drift for fixture '" << family
                        << "': regenerate with build/tools/ecf_analyze --json "
@@ -687,6 +859,7 @@ TEST(AnalyzeGolden, Locks) { run_golden("locks"); }
 TEST(AnalyzeGolden, HotPath) { run_golden("hotpath"); }
 TEST(AnalyzeGolden, ClusterMaps) { run_golden("clustermaps"); }
 TEST(AnalyzeGolden, EventPaths) { run_golden("eventpaths"); }
+TEST(AnalyzeGolden, Units) { run_golden("units"); }
 
 }  // namespace
 }  // namespace ecf::analyze

@@ -1,0 +1,12 @@
+// Fixture: lossy narrowing and seconds-expecting sink violations.
+#include "sim/pacing.h"
+
+void report(Engine& engine_, Pacing& p, double lat_ms, double a_bytes,
+            double b_bytes) {
+  long whole = static_cast<long>(lat_ms);       // unit-narrow
+  double fine = static_cast<double>(lat_ms);    // float target: clean
+  engine_.schedule(lat_ms, cb);                 // unit-mismatch (sink arg)
+  engine_.schedule(a_bytes * b_bytes, cb);      // unit-sink (bad product)
+  engine_.schedule(engine_.now() + p.deadline, cb);  // seconds: clean
+  (void)whole; (void)fine;
+}

@@ -1,0 +1,15 @@
+// Fixture: one seeded violation per arithmetic/assignment rule, plus the
+// sanctioned escapes (scale literals, ECF_UNIT_OK, inline allow).
+#include "sim/pacing.h"
+
+void pace(Pacing& p, double wait_s, double len_bytes) {
+  double budget = wait_s + len_bytes;           // unit-mismatch (add)
+  if (wait_s < len_bytes) return;               // unit-mismatch (compare)
+  p.drain_ms = wait_s;                          // unit-time-scale
+  p.deadline = len_bytes;                       // unit-mismatch (assign)
+  double ok_ms = 1e3 * wait_s;                  // scaled: clean
+  double mb = len_bytes / 1048576;              // scaled: clean
+  double mixed = wait_s + len_bytes;  ECF_UNIT_OK("fixture: deliberate");
+  double mixed2 = wait_s + len_bytes;  // ecf-analyze: allow(unit-mismatch)
+  (void)budget; (void)ok_ms; (void)mb; (void)mixed; (void)mixed2;
+}

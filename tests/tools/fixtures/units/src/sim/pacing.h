@@ -1,0 +1,9 @@
+// Fixture: strong-type declarations whose dimensions must reach the .cc
+// scanners through the whole-tree typed map.
+#pragma once
+
+struct Pacing {
+  SimSec deadline;
+  Bytes window;
+  double drain_ms = 0.0;
+};

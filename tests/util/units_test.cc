@@ -1,0 +1,105 @@
+// Unit tests for the strong quantity types in util/units.h: raw-value
+// round-trips (the sweep must be byte-for-byte neutral), the named
+// cross-unit conversions, and the checked edges of Mib::to_bytes.
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <type_traits>
+
+#include "util/check.h"
+
+namespace ecf::util {
+namespace {
+
+TEST(Units, RawValueRoundTripsUnchanged) {
+  // The implicit conversion out must return exactly the stored
+  // representation: pre-typed arithmetic and formatting stay identical.
+  const Bytes b{4096};
+  const std::uint64_t raw_b = b;
+  EXPECT_EQ(raw_b, 4096u);
+  EXPECT_EQ(b.count(), 4096u);
+
+  const SimSec t{1.25e-3};
+  const double raw_t = t;
+  EXPECT_EQ(raw_t, 1.25e-3);
+
+  const Rate r{250e6};
+  EXPECT_EQ(r.count(), 250e6);
+  EXPECT_EQ(static_cast<double>(r), 250e6);
+}
+
+TEST(Units, ConstructionIsExplicit) {
+  static_assert(!std::is_convertible_v<std::uint64_t, Bytes>,
+                "raw -> Bytes must require an explicit constructor");
+  static_assert(!std::is_convertible_v<double, SimSec>,
+                "raw -> SimSec must require an explicit constructor");
+  static_assert(!std::is_convertible_v<double, Rate>,
+                "raw -> Rate must require an explicit constructor");
+  static_assert(!std::is_convertible_v<double, Mib>,
+                "raw -> Mib must require an explicit constructor");
+}
+
+TEST(Units, BytesCompoundArithmetic) {
+  Bytes b{100};
+  b += Bytes{28};
+  EXPECT_EQ(b.count(), 128u);
+  b -= Bytes{28};
+  EXPECT_EQ(b.count(), 100u);
+}
+
+TEST(Units, MibOfBytesAndBack) {
+  const Bytes b{64ull * 1024 * 1024};
+  const Mib m = Mib::of(b);
+  EXPECT_DOUBLE_EQ(m.count(), 64.0);
+  EXPECT_EQ(m.to_bytes().count(), b.count());
+
+  // Fractional MiB counts floor at the byte, like the pre-typed
+  // static_cast<uint64_t>(mib * kScale) did.
+  EXPECT_EQ(Mib{1.5}.to_bytes().count(), 3u * 512 * 1024);
+}
+
+TEST(Units, MibToBytesRejectsNegativeAndOverflow) {
+  EXPECT_THROW(Mib{-0.5}.to_bytes(), CheckFailure);
+  EXPECT_THROW(Mib{Mib::kMaxConvertible * 2.0}.to_bytes(), CheckFailure);
+  // The documented edge itself converts.
+  EXPECT_GT(Mib{Mib::kMaxConvertible}.to_bytes().count(), 0u);
+}
+
+TEST(Units, MillisOfSimSecRoundTrip) {
+  const SimSec s{0.080};
+  const Millis ms = Millis::of(s);
+  EXPECT_DOUBLE_EQ(ms.count(), 80.0);
+  EXPECT_DOUBLE_EQ(ms.to_sim_sec().count(), 0.080);
+}
+
+TEST(Units, SimSecCompoundArithmetic) {
+  SimSec t{1.0};
+  t += SimSec{0.5};
+  t -= SimSec{0.25};
+  EXPECT_DOUBLE_EQ(t.count(), 1.25);
+}
+
+TEST(Units, RateBytesOverAndOf) {
+  const Rate r{1000.0};
+  EXPECT_DOUBLE_EQ(r.bytes_over(SimSec{2.5}), 2500.0);
+  EXPECT_DOUBLE_EQ(Rate::of(Bytes{5000}, SimSec{2.0}).count(), 2500.0);
+  // Zero elapsed time is a degenerate interval, not a division: rate 0.
+  EXPECT_DOUBLE_EQ(Rate::of(Bytes{5000}, SimSec{0.0}).count(), 0.0);
+}
+
+TEST(Units, ChunkIxIndexesContainers) {
+  const ChunkIx ix{3};
+  const int xs[] = {10, 11, 12, 13, 14};
+  EXPECT_EQ(xs[ix], 13);
+  EXPECT_EQ(ix.count(), 3u);
+}
+
+TEST(Units, UnitOkMacroExpandsToNothing) {
+  const double mbps = 2.5e8 / 1e6;  ECF_UNIT_OK("test: decimal MB/s");
+  EXPECT_DOUBLE_EQ(mbps, 250.0);
+}
+
+}  // namespace
+}  // namespace ecf::util

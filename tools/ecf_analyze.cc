@@ -1,26 +1,33 @@
 // ecf_analyze: semantic static analysis over the ecfault source tree.
 //
 // Usage: ecf_analyze [--json[=PATH]] [--sarif=PATH] [--cache DIR]
-//                    [--baseline PATH] [--update-baseline] <repo-root>
+//                    [--baseline PATH] [--update-baseline]
+//                    [--only=PASSES] [--skip=PASSES] <repo-root>
 //                    [roots...]
 //
 // Loads every C++ source file under src/ (and tools/, for cycle detection
 // — layering ranks only constrain src/ modules) of each root, runs the
 // rule families in ecf_analyze_core.h (layering + include cycles,
 // transitive determinism, lock discipline, hot-path std::function,
-// cluster map members, event-path resource discipline), and prints
-// findings as file:line: [rule] message.
+// cluster map members, event-path resource discipline, unit flow), and
+// prints findings as file:line: [rule] message.
 //
-// --json emits the report as JSON to stdout (or PATH); --sarif writes a
-// SARIF 2.1.0 report for CI annotation. --cache DIR keeps an mtime-keyed
-// strip cache so repeated runs skip re-stripping unchanged TUs (the JSON
-// report shows the hit rate). --baseline suppresses grandfathered
-// findings by `<rule> <file> <detail>` key; a baseline entry that no
-// longer matches any finding is STALE and fails the run (suppressions
-// must shrink with the debt they cover). --update-baseline rewrites the
-// baseline file from the current findings instead of failing. Exits
-// nonzero iff any non-baseline finding or stale entry survives.
-// Registered as a ctest (label `analyze`).
+// --only=units / --skip=determinism,locks select passes by name (comma
+// lists; names from Analyzer::pass_names(); passes always run in
+// canonical order regardless of list order) — the dev loop for iterating
+// on one rule family without paying for the other six. --json emits the
+// report as JSON to stdout (or PATH), including per-pass wall-clock
+// seconds in a "pass_times" block; --sarif writes a SARIF 2.1.0 report
+// for CI annotation. --cache DIR keeps a versioned, mtime-keyed strip
+// cache so repeated runs skip re-stripping unchanged TUs (the JSON report
+// shows the hit rate). --baseline suppresses grandfathered findings by
+// `<rule> <file> <detail>` key; a baseline entry that no longer matches
+// any finding is STALE and fails the run (suppressions must shrink with
+// the debt they cover). --update-baseline rewrites the baseline file from
+// the current findings instead of failing. Exits nonzero iff any
+// non-baseline finding or stale entry survives. Registered as a ctest
+// (label `analyze`).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <chrono>
@@ -60,10 +67,40 @@ std::string stamp_of(const fs::path& p, std::uintmax_t size) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--json[=PATH]] [--sarif=PATH] [--cache DIR] "
-               "[--baseline PATH] [--update-baseline] <repo-root> "
-               "[roots...]\n",
+               "[--baseline PATH] [--update-baseline] [--only=PASSES] "
+               "[--skip=PASSES] <repo-root> [roots...]\n",
                argv0);
   return 2;
+}
+
+// Rule id -> pass name, for scoping stale-baseline detection to the
+// passes that actually ran (an entry for a skipped pass is not stale —
+// its pass never had the chance to match it).
+std::string pass_of_rule(const std::string& rule) {
+  if (rule == "layering" || rule == "include-cycle") return "layering";
+  if (rule == "nondeterminism") return "determinism";
+  if (rule == "guarded-by") return "locks";
+  if (rule == "std-function") return "hotpath";
+  if (rule == "per-object-map") return "clustermaps";
+  if (rule == "event-alloc" || rule == "event-throw" ||
+      rule == "event-block") {
+    return "eventpaths";
+  }
+  if (rule.rfind("unit-", 0) == 0) return "units";
+  return "";
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) parts.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
 }
 
 }  // namespace
@@ -75,11 +112,19 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   std::string cache_dir;
   std::string baseline_path;
+  std::vector<std::string> only_names;
+  std::vector<std::string> skip_names;
   std::vector<std::string> roots;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
-    if (arg == "--json") {
+    if (arg.rfind("--only=", 0) == 0) {
+      const std::vector<std::string> parts = split_commas(arg.substr(7));
+      only_names.insert(only_names.end(), parts.begin(), parts.end());
+    } else if (arg.rfind("--skip=", 0) == 0) {
+      const std::vector<std::string> parts = split_commas(arg.substr(7));
+      skip_names.insert(skip_names.end(), parts.begin(), parts.end());
+    } else if (arg == "--json") {
       emit_json = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       emit_json = true;
@@ -117,6 +162,38 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "ecf_analyze: --update-baseline needs --baseline PATH\n");
     return 2;
+  }
+  if (!only_names.empty() && !skip_names.empty()) {
+    std::fprintf(stderr, "ecf_analyze: --only and --skip are exclusive\n");
+    return 2;
+  }
+
+  const std::vector<std::string>& all_passes =
+      ecf::analyze::Analyzer::pass_names();
+  for (const std::vector<std::string>* list : {&only_names, &skip_names}) {
+    for (const std::string& name : *list) {
+      if (std::find(all_passes.begin(), all_passes.end(), name) ==
+          all_passes.end()) {
+        std::string known;
+        for (const std::string& p : all_passes) {
+          known += known.empty() ? p : ", " + p;
+        }
+        std::fprintf(stderr, "ecf_analyze: unknown pass '%s' (passes: %s)\n",
+                     name.c_str(), known.c_str());
+        return 2;
+      }
+    }
+  }
+  // Selected passes, always in canonical order.
+  std::vector<std::string> selected;
+  for (const std::string& p : all_passes) {
+    const bool in_only =
+        std::find(only_names.begin(), only_names.end(), p) !=
+        only_names.end();
+    const bool in_skip =
+        std::find(skip_names.begin(), skip_names.end(), p) !=
+        skip_names.end();
+    if (!only_names.empty() ? in_only : !in_skip) selected.push_back(p);
   }
 
   ecf::analyze::CacheStats cache_stats;
@@ -173,7 +250,34 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<ecf::analyze::Finding> findings = analyzer.run();
+  if (update_baseline && selected.size() != all_passes.size()) {
+    std::fprintf(stderr,
+                 "ecf_analyze: --update-baseline needs every pass (a "
+                 "subset run would drop the other passes' entries)\n");
+    return 2;
+  }
+
+  // Per-pass wall time is tooling diagnostics, not simulation state.
+  // ecf-analyze: allow(nondeterminism)
+  std::vector<std::pair<std::string, double>> pass_times;
+  std::vector<ecf::analyze::Finding> findings;
+  for (const std::string& pass : selected) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<ecf::analyze::Finding> f = analyzer.run_pass(pass);
+    const auto t1 = std::chrono::steady_clock::now();
+    pass_times.emplace_back(
+        pass, std::chrono::duration<double>(t1 - t0).count());
+    findings.insert(findings.end(), std::make_move_iterator(f.begin()),
+                    std::make_move_iterator(f.end()));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const ecf::analyze::Finding& a,
+               const ecf::analyze::Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
   std::vector<std::string> stale;
   if (!baseline_path.empty() && !update_baseline) {
     const std::set<std::string> baseline =
@@ -184,7 +288,16 @@ int main(int argc, char** argv) {
       if (baseline.count(key) != 0) matched.insert(key);
     }
     for (const std::string& key : baseline) {
-      if (matched.count(key) == 0) stale.push_back(key);
+      if (matched.count(key) != 0) continue;
+      // An entry belonging to a pass that did not run is not stale.
+      const std::string rule = key.substr(0, key.find(' '));
+      const std::string pass = pass_of_rule(rule);
+      if (!pass.empty() &&
+          std::find(selected.begin(), selected.end(), pass) ==
+              selected.end()) {
+        continue;
+      }
+      stale.push_back(key);
     }
     findings = ecf::analyze::apply_baseline(std::move(findings), baseline);
   }
@@ -233,7 +346,7 @@ int main(int argc, char** argv) {
   if (emit_json) {
     const std::string json = ecf::analyze::to_json(
         findings, analyzer.file_count(),
-        cache_dir.empty() ? nullptr : &cache_stats);
+        cache_dir.empty() ? nullptr : &cache_stats, &pass_times);
     if (json_path.empty() || json_path == "-") {
       std::fputs(json.c_str(), stdout);
     } else {

@@ -60,6 +60,22 @@
 //                                  sleeps, file/stream I/O, iostreams.
 //                   Findings carry the full entry -> offender witness
 //                   chain, exactly like the determinism pass.
+//   units           dimensional safety (DESIGN.md §14): per-statement
+//                   data-flow assigns dimension tags (bytes, MiB, chunks,
+//                   stripes, seconds, ms, ns, bytes/s, ratio) from declared
+//                   strong types (src/util/units.h, sim::SimTime), canonical
+//                   name suffixes (_bytes, _mib, _ms, _s, _frac, ...),
+//                   literal scale idioms (* 1024 * 1024, / 1e6) and a
+//                   signature registry (Engine::schedule delays,
+//                   LatencyHistogram::record, FifoServer::reserve);
+//                   four rules: unit-mismatch (cross-unit add/sub/compare/
+//                   assign and wrong dimension at a registry sink),
+//                   unit-time-scale (unscaled assignment across time
+//                   units), unit-narrow (lossy float->integer narrowing of
+//                   a dimensioned quantity) and unit-sink (dimensionally
+//                   meaningless product feeding a sim-path sink). Escape:
+//                   ECF_UNIT_OK(reason) on the line, inline allow, or a
+//                   baseline entry — in that preference order.
 //
 // Still no libclang: the front end is the ecf_lint comment/string
 // stripper plus a lightweight tokenizer and a heuristic function-def
@@ -75,6 +91,7 @@
 #include <cctype>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iterator>
@@ -321,7 +338,8 @@ inline std::string last_ident_in(const std::vector<Token>& toks,
 inline bool is_annotation_macro(const std::string& s) {
   return s == "ECF_REQUIRES" || s == "ECF_REQUIRES_SHARED" ||
          s == "ECF_EXCLUDES" || s == "ECF_ACQUIRE" || s == "ECF_RELEASE" ||
-         s == "ECF_NO_THREAD_SAFETY_ANALYSIS" || s == "ECF_ALLOC_OK";
+         s == "ECF_NO_THREAD_SAFETY_ANALYSIS" || s == "ECF_ALLOC_OK" ||
+         s == "ECF_UNIT_OK";
 }
 
 }  // namespace detail
@@ -353,8 +371,20 @@ class Analyzer {
 
   std::size_t file_count() const { return tus_.size(); }
 
-  // Run all three rule families; findings sorted by (file, line, rule).
-  std::vector<Finding> run() const;
+  // CLI-facing pass names, in canonical run order. `layering` covers both
+  // the layering and include-cycle rules; `units` covers the four unit-*
+  // rules. --only=/--skip= select by these names.
+  static const std::vector<std::string>& pass_names();
+
+  // Run one named pass; unknown names return no findings.
+  std::vector<Finding> run_pass(const std::string& pass) const;
+
+  // Run the named passes (canonical order recommended) and sort the merged
+  // findings by (file, line, rule).
+  std::vector<Finding> run(const std::vector<std::string>& passes) const;
+
+  // Run every rule family.
+  std::vector<Finding> run() const { return run(pass_names()); }
 
   // Individual families (unit tests target these).
   std::vector<Finding> check_layering() const;
@@ -363,6 +393,7 @@ class Analyzer {
   std::vector<Finding> check_hot_path() const;
   std::vector<Finding> check_cluster_maps() const;
   std::vector<Finding> check_event_paths() const;
+  std::vector<Finding> check_units() const;
 
  private:
   const TranslationUnit* tu_for(const std::string& path) const {
@@ -398,10 +429,13 @@ struct CacheStats {
 
 // Machine-readable report: {"files_scanned": N, "findings": [...]}. When
 // `cache` is non-null a "strip_cache" block with hits/misses/hit_rate is
-// included (the golden fixtures run cache-less and keep the legacy shape).
-std::string to_json(const std::vector<Finding>& findings,
-                    std::size_t files_scanned,
-                    const CacheStats* cache = nullptr);
+// included; when `pass_times` is non-null a "pass_times" block maps each
+// executed pass to its wall-clock seconds (the golden fixtures run
+// cache-less and time-less and keep the legacy shape).
+std::string to_json(
+    const std::vector<Finding>& findings, std::size_t files_scanned,
+    const CacheStats* cache = nullptr,
+    const std::vector<std::pair<std::string, double>>* pass_times = nullptr);
 
 // SARIF 2.1.0 report for CI annotation (one run, one result per finding,
 // witness chains folded into the message text). Deterministic: rules are
@@ -412,10 +446,17 @@ std::string to_sarif(const std::vector<Finding>& findings);
 //
 // Comment/string stripping dominates cold analyzer startup and depends
 // only on the file's bytes, so ecf_analyze keeps one cache file per TU
-// under --cache DIR: a header line `ecf-strip-cache <stamp>` (the stamp is
-// "<mtime-ns>:<size>", computed by the CLI) followed by the stripped text
-// verbatim. Preprocessor blanking is recomputed per run — the include
-// scanner needs the pre-blank text.
+// under --cache DIR: a header line `ecf-strip-cache v<N> <stamp>` (the
+// stamp is "<mtime-ns>:<size>", computed by the CLI) followed by the
+// stripped text verbatim. Preprocessor blanking is recomputed per run —
+// the include scanner needs the pre-blank text.
+//
+// kStripCacheVersion is part of the header: entries written by an older
+// analyzer miss and are rewritten, so a stripper upgrade can never serve
+// stale text to a newer tool (the file mtime does not change when the
+// TOOL changes). Bump it whenever strip_comments_and_strings or anything
+// upstream of the cached text changes behavior.
+inline constexpr int kStripCacheVersion = 2;
 
 // "src/gf/matrix.h" -> "src_gf_matrix.h.strip": flat names keep the cache
 // directory listable and avoid mkdir -p logic.
@@ -1772,19 +1813,1064 @@ inline std::vector<Finding> Analyzer::check_event_paths() const {
   return findings;
 }
 
-inline std::vector<Finding> Analyzer::run() const {
-  std::vector<Finding> findings = check_layering();
-  {
-    std::vector<Finding> d = check_determinism();
-    findings.insert(findings.end(), d.begin(), d.end());
-    std::vector<Finding> l = check_locks();
-    findings.insert(findings.end(), l.begin(), l.end());
-    std::vector<Finding> h = check_hot_path();
-    findings.insert(findings.end(), h.begin(), h.end());
-    std::vector<Finding> m = check_cluster_maps();
-    findings.insert(findings.end(), m.begin(), m.end());
-    std::vector<Finding> e = check_event_paths();
-    findings.insert(findings.end(), e.begin(), e.end());
+// --- rule family 7: dimensional safety (unit flow) ---------------------------
+//
+// Every quantity the simulator reports crosses several unit systems on its
+// way to a figure — device bytes/s to simulated seconds to MiB/s rows —
+// and a silent MiB-vs-bytes or s-vs-ms slip corrupts every result while
+// all tests stay green. This family runs a per-statement local data-flow:
+// each expression gets a dimension tag inferred from (a) strong quantity
+// types (src/util/units.h plus sim::SimTime), via a whole-tree typed-
+// declaration map (TUs are parsed standalone, so a field typed `Bytes` in
+// a header must tag uses in every .cc; same-name conflicts poison the
+// entry to unknown), (b) canonical name suffixes, (c) literal scale
+// factors (multiplying a time by 1e3/1e6/1e9 or a size by a power of 1024
+// yields an intentionally *scaled* quantity, wildcard-compatible within
+// its family), and (d) a registry of known signatures. The walker is
+// conservative by construction: any subexpression it cannot tag is
+// `unknown`, and findings require BOTH sides known — template noise,
+// generic helpers and untyped locals stay silent.
+
+namespace detail {
+
+enum class Dim {
+  kUnknown,
+  kScalar,      // dimensionless number (literals, booleans)
+  kRatio,       // dimensionless fraction: *_frac names, same-dim quotients
+  kBytes,
+  kMib,
+  kScaledSize,  // a size times an explicit power-of-1024 factor
+  kSeconds,
+  kMillis,
+  kNanos,
+  kScaledTime,  // a time times an explicit decimal factor
+  kRate,        // bytes per second
+  kPerSecond,   // generic events per second
+  kChunks,
+  kStripes,
+  kBadProduct,  // dimensionally meaningless product (bytes*seconds, ...)
+};
+
+inline const char* dim_name(Dim d) {
+  switch (d) {
+    case Dim::kScalar: return "scalar";
+    case Dim::kRatio: return "ratio";
+    case Dim::kBytes: return "bytes";
+    case Dim::kMib: return "MiB";
+    case Dim::kScaledSize: return "scaled-size";
+    case Dim::kSeconds: return "seconds";
+    case Dim::kMillis: return "ms";
+    case Dim::kNanos: return "ns";
+    case Dim::kScaledTime: return "scaled-time";
+    case Dim::kRate: return "bytes/s";
+    case Dim::kPerSecond: return "1/s";
+    case Dim::kChunks: return "chunks";
+    case Dim::kStripes: return "stripes";
+    case Dim::kBadProduct: return "bad-product";
+    default: return "unknown";
+  }
+}
+
+inline bool is_time_dim(Dim d) {
+  return d == Dim::kSeconds || d == Dim::kMillis || d == Dim::kNanos ||
+         d == Dim::kScaledTime;
+}
+inline bool is_size_dim(Dim d) {
+  return d == Dim::kBytes || d == Dim::kMib || d == Dim::kScaledSize;
+}
+inline bool is_count_dim(Dim d) {
+  return d == Dim::kChunks || d == Dim::kStripes;
+}
+// A dimension strong enough to anchor a finding (unknown, plain numbers,
+// ratios and already-poisoned products never do on their own).
+inline bool is_anchor_dim(Dim d) {
+  return d != Dim::kUnknown && d != Dim::kScalar && d != Dim::kRatio &&
+         d != Dim::kBadProduct;
+}
+
+// Strong quantity types (src/util/units.h) and the engine's time alias.
+inline Dim dim_of_strong_type(const std::string& s) {
+  if (s == "Bytes") return Dim::kBytes;
+  if (s == "Mib") return Dim::kMib;
+  if (s == "SimSec" || s == "SimTime") return Dim::kSeconds;
+  if (s == "Millis") return Dim::kMillis;
+  if (s == "ChunkIx") return Dim::kChunks;
+  if (s == "Rate") return Dim::kRate;
+  return Dim::kUnknown;
+}
+
+// Canonical-suffix inference; most specific first. Trailing underscores
+// (member convention) are stripped before matching.
+inline Dim dim_from_name(std::string name) {
+  while (!name.empty() && name.back() == '_') name.pop_back();
+  // `_suffix` at the end, or the bare suffix as the whole name: both
+  // `chunk_bytes` and a local named `bytes` are byte counts. Bare matching
+  // needs ≥3 characters (a lone `s` or `ms` is too generic) and skips
+  // `size` — every container has a .size() and it counts elements, not
+  // bytes.
+  auto ends = [&](const char* s) {
+    const std::string bare(s + 1);  // suffixes are spelled with their `_`
+    if (bare.size() >= 3 && bare != "size" && name == bare) return true;
+    const std::string suf(s);
+    return name.size() >= suf.size() &&
+           name.compare(name.size() - suf.size(), suf.size(), suf) == 0;
+  };
+  if (ends("_bytes_per_s") || ends("_bps")) return Dim::kRate;
+  if (ends("_per_s") || ends("_per_sec")) return Dim::kPerSecond;
+  if (ends("_bytes") || ends("_size") || name.rfind("bytes_", 0) == 0) {
+    return Dim::kBytes;
+  }
+  if (ends("_mib")) return Dim::kMib;
+  if (ends("_ms") || ends("_millis")) return Dim::kMillis;
+  if (ends("_ns") || ends("_nanos")) return Dim::kNanos;
+  if (ends("_frac") || ends("_fraction") || ends("_ratio")) {
+    return Dim::kRatio;
+  }
+  if (ends("_s") || ends("_sec") || ends("_secs") || ends("_seconds")) {
+    return Dim::kSeconds;
+  }
+  if (ends("_chunks")) return Dim::kChunks;
+  if (ends("_stripes")) return Dim::kStripes;
+  return Dim::kUnknown;
+}
+
+// Known-signature registry: argument positions that must receive simulated
+// seconds. FifoServer::reserve takes (Engine&, service); only position 1
+// is registered, so the one-argument std::vector::reserve(n) never
+// matches.
+inline const std::map<std::string, std::vector<int>>& unit_sinks() {
+  static const std::map<std::string, std::vector<int>> kSinks = {
+      {"schedule", {0}},     {"schedule_at", {0}},
+      {"schedule_at_unchecked", {0}},
+      {"record", {0}},       {"reserve", {1}},
+      {"reserve_at", {1, 2}}, {"busy_for", {1}},
+  };
+  return kSinks;
+}
+
+// Known return dimensions for calls whose declared type is a plain double.
+inline Dim call_return_dim(const std::string& name) {
+  static const std::map<std::string, Dim> kReturns = {
+      {"now", Dim::kSeconds},
+      {"busy_until", Dim::kSeconds},
+      {"read_service", Dim::kSeconds},
+      {"write_service", Dim::kSeconds},
+      {"percentile", Dim::kSeconds},
+      {"percentile_since", Dim::kSeconds},
+      {"hop_latency", Dim::kSeconds},
+      {"to_bytes", Dim::kBytes},
+      {"to_sim_sec", Dim::kSeconds},
+      {"bytes_over", Dim::kBytes},
+  };
+  const auto it = kReturns.find(name);
+  return it == kReturns.end() ? Dim::kUnknown : it->second;
+}
+
+// A tagged expression value flowing through the walker.
+struct DimVal {
+  Dim dim = Dim::kUnknown;
+  int factor = 0;  // literal scalars only: 1 decimal time factor, 2 binary
+                   // size factor
+  std::string head;    // source-ish expression text for reports
+  std::string source;  // inference provenance ("typed declaration", ...)
+};
+
+inline std::string dim_prov(const DimVal& v) {
+  std::string p = v.head + " ~ " + dim_name(v.dim);
+  if (!v.source.empty()) p += " (" + v.source + ")";
+  return p;
+}
+
+struct UnitUse {
+  std::string rule;
+  std::string detail;
+  std::string message;
+  std::size_t line = 0;
+  std::vector<std::string> chain;
+};
+
+// ECF_UNIT_OK(reason) is real code (the macro expands to nothing), so the
+// allow rides the raw line just like ECF_ALLOC_OK does for event-alloc.
+inline bool line_has_unit_ok(const TranslationUnit& tu, std::size_t line) {
+  if (line == 0 || line > tu.raw_lines.size()) return false;
+  return tu.raw_lines[line - 1].find("ECF_UNIT_OK") != std::string::npos;
+}
+
+// Statement-splitting recursive-descent walker. Statements are cut at `;`
+// `{` `}` wherever they appear (lambda and initializer bodies become their
+// own statements); each is checked for a top-level assignment, otherwise
+// every expression in it is evaluated. Truncated constructs (a call whose
+// lambda argument was cut at its `{`) degrade to unknown, never to a
+// false finding.
+class UnitScanner {
+ public:
+  UnitScanner(const std::vector<Token>& toks,
+              const std::vector<std::size_t>& line_starts,
+              const std::map<std::string, Dim>& typed,
+              std::vector<UnitUse>* out)
+      : toks_(toks), line_starts_(line_starts), typed_(typed), out_(out) {}
+
+  void scan_all() {
+    std::size_t stmt = 0;
+    for (std::size_t i = 0; i <= toks_.size(); ++i) {
+      const bool boundary =
+          i == toks_.size() ||
+          (!toks_[i].ident &&
+           (toks_[i].text == ";" || toks_[i].text == "{" ||
+            toks_[i].text == "}"));
+      if (!boundary) continue;
+      if (i > stmt) statement(stmt, i);
+      stmt = i + 1;
+    }
+  }
+
+ private:
+  const std::vector<Token>& toks_;
+  const std::vector<std::size_t>& line_starts_;
+  const std::map<std::string, Dim>& typed_;
+  std::vector<UnitUse>* out_;
+  std::size_t pos_ = 0, end_ = 0;
+
+  std::size_t line_at(std::size_t tok_index) const {
+    const std::size_t i = std::min(tok_index, toks_.size() - 1);
+    return line_of_offset(line_starts_, toks_[i].offset);
+  }
+
+  // --- statement dispatch ---------------------------------------------------
+
+  void statement(std::size_t b, std::size_t e) {
+    // Locate a top-level assignment: a depth-0 `=` that is not part of a
+    // comparison. `+=`/`-=` are additive assignments (checked like `+`);
+    // `*=`/`/=`/`%=` rescale and are unit-preserving by intent.
+    int depth = 0;
+    std::size_t assign = 0;
+    bool has_assign = false, add_assign = false;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks_[i];
+      if (t.ident) continue;
+      const char c = t.text[0];
+      if (c == '(' || c == '[') ++depth;
+      if (c == ')' || c == ']') --depth;
+      if (c != '=' || depth != 0) continue;
+      const std::string prev =
+          i > b && !toks_[i - 1].ident ? toks_[i - 1].text : "";
+      const std::string next =
+          i + 1 < e && !toks_[i + 1].ident ? toks_[i + 1].text : "";
+      if (next == "=") {  // `==`: skip both halves
+        ++i;
+        continue;
+      }
+      if (prev == "=" || prev == "<" || prev == ">" || prev == "!" ||
+          prev == "*" || prev == "/" || prev == "%" || prev == "&" ||
+          prev == "|" || prev == "^") {
+        continue;
+      }
+      add_assign = prev == "+" || prev == "-";
+      assign = i;
+      has_assign = true;
+      break;
+    }
+
+    if (!has_assign) {
+      walk_exprs(b, e);
+      return;
+    }
+    const std::size_t lend = assign - (add_assign ? 1 : 0);
+    const DimVal lhs = last_value_in(b, lend);
+    pos_ = assign + 1;
+    end_ = e;
+    const DimVal rhs = parse_cmp();
+    walk_exprs(pos_, e);  // anything past a stop token (`?:` arms etc.)
+    check_assign(lhs, rhs, line_at(assign), add_assign);
+  }
+
+  // Evaluate every expression in [b, e) — used for expression statements,
+  // conditions, and the type-keyword prefix of declarations (which
+  // harmlessly evaluates to unknown).
+  void walk_exprs(std::size_t b, std::size_t e) {
+    const std::size_t saved_pos = pos_, saved_end = end_;
+    pos_ = b;
+    end_ = e;
+    while (pos_ < end_) {
+      const std::size_t before = pos_;
+      parse_cmp();
+      if (pos_ == before) ++pos_;  // stop token: step over it
+    }
+    pos_ = saved_pos;
+    end_ = saved_end;
+  }
+
+  // The trailing value of a token range — the lvalue of an assignment.
+  // `double horizon_s` evaluates `double` (unknown) then `horizon_s`; the
+  // last parsed value wins.
+  DimVal last_value_in(std::size_t b, std::size_t e) {
+    const std::size_t saved_pos = pos_, saved_end = end_;
+    pos_ = b;
+    end_ = e;
+    DimVal last;
+    while (pos_ < end_) {
+      const std::size_t before = pos_;
+      const DimVal v = parse_cmp();
+      if (!v.head.empty()) last = v;
+      if (pos_ == before) ++pos_;
+    }
+    pos_ = saved_pos;
+    end_ = saved_end;
+    return last;
+  }
+
+  DimVal parse_range(std::size_t b, std::size_t e) {
+    const std::size_t saved_pos = pos_, saved_end = end_;
+    pos_ = b;
+    end_ = e;
+    const DimVal v = parse_cmp();
+    pos_ = saved_pos;
+    end_ = saved_end;
+    return v;
+  }
+
+  // --- expression grammar ---------------------------------------------------
+
+  DimVal parse_cmp() {
+    DimVal left = parse_arith();
+    while (pos_ < end_) {
+      const Token& t = toks_[pos_];
+      if (t.ident) break;
+      std::string op;
+      if (t.text == "<" || t.text == ">") {
+        // `<<`/`>>` are shifts or streams — stop, don't misread.
+        if (pos_ + 1 < end_ && !toks_[pos_ + 1].ident &&
+            toks_[pos_ + 1].text == t.text) {
+          break;
+        }
+        op = t.text;
+        ++pos_;
+        if (pos_ < end_ && !toks_[pos_].ident && toks_[pos_].text == "=") {
+          op += "=";
+          ++pos_;
+        }
+      } else if ((t.text == "=" || t.text == "!") && pos_ + 1 < end_ &&
+                 !toks_[pos_ + 1].ident && toks_[pos_ + 1].text == "=") {
+        op = t.text + "=";
+        pos_ += 2;
+      } else {
+        break;
+      }
+      const std::size_t op_line = line_at(pos_ - 1);
+      const DimVal right = parse_arith();
+      check_pair(left, right, op, "comparison", op_line);
+      DimVal res;
+      res.dim = Dim::kScalar;
+      res.head = left.head + " " + op + " " + right.head;
+      left = res;
+    }
+    return left;
+  }
+
+  DimVal parse_arith() {
+    DimVal left = parse_term();
+    while (pos_ < end_) {
+      const Token& t = toks_[pos_];
+      if (t.ident) break;
+      if (t.text != "+" && t.text != "-") break;
+      if (pos_ + 1 < end_ && !toks_[pos_ + 1].ident &&
+          (toks_[pos_ + 1].text == t.text || toks_[pos_ + 1].text == ">")) {
+        break;  // ++/-- or a stray ->
+      }
+      const std::string op = t.text;
+      const std::size_t op_line = line_at(pos_);
+      ++pos_;
+      const DimVal right = parse_term();
+      left = combine_add(left, right, op, op_line);
+    }
+    return left;
+  }
+
+  DimVal parse_term() {
+    DimVal left = parse_unary();
+    while (pos_ < end_) {
+      const Token& t = toks_[pos_];
+      if (t.ident) break;
+      if (t.text != "*" && t.text != "/" && t.text != "%") break;
+      if (pos_ + 1 < end_ && !toks_[pos_ + 1].ident &&
+          toks_[pos_ + 1].text == "=") {
+        break;  // *=, /=, %= belong to statement handling
+      }
+      const std::string op = t.text;
+      ++pos_;
+      const DimVal right = parse_unary();
+      if (op == "*") {
+        left = combine_mul(left, right);
+      } else if (op == "/") {
+        left = combine_div(left, right);
+      }  // `%` keeps the left dimension
+    }
+    return left;
+  }
+
+  DimVal parse_unary() {
+    while (pos_ < end_ && !toks_[pos_].ident &&
+           (toks_[pos_].text == "-" || toks_[pos_].text == "+" ||
+            toks_[pos_].text == "!" || toks_[pos_].text == "~" ||
+            toks_[pos_].text == "*" || toks_[pos_].text == "&")) {
+      ++pos_;
+    }
+    return parse_primary();
+  }
+
+  DimVal parse_primary() {
+    if (pos_ >= end_) return {};
+    const Token& t = toks_[pos_];
+    const std::size_t line = line_at(pos_);
+    if (!t.ident) {
+      if (t.text == "(") {
+        const std::size_t close =
+            std::min(skip_balanced(toks_, pos_, '(', ')'), end_);
+        ++pos_;
+        DimVal inner = parse_cmp();
+        pos_ = std::max(pos_, close);
+        return inner;
+      }
+      if (t.text == "." && pos_ + 1 < end_ && toks_[pos_ + 1].ident) {
+        return parse_number();  // `.5` style literal
+      }
+      return {};  // stop token; caller advances
+    }
+    if (std::isdigit(static_cast<unsigned char>(t.text[0]))) {
+      return parse_number();
+    }
+    if (is_control_keyword(t.text)) {
+      ++pos_;
+      if ((t.text == "sizeof" || t.text == "alignof" ||
+           t.text == "decltype" || t.text == "noexcept") &&
+          pos_ < end_ && !toks_[pos_].ident && toks_[pos_].text == "(") {
+        pos_ = std::min(skip_balanced(toks_, pos_, '(', ')'), end_);
+        DimVal v;
+        v.dim = Dim::kScalar;
+        v.head = t.text;
+        return v;
+      }
+      if (t.text == "return" || t.text == "throw" || t.text == "new" ||
+          t.text == "delete" || t.text == "co_return" ||
+          t.text == "co_await" || t.text == "co_yield") {
+        if (pos_ < end_) return parse_cmp();
+      }
+      return {};
+    }
+    if (t.text == "static_cast") return parse_static_cast(line);
+    return parse_chain();
+  }
+
+  // Number literal, reassembling what the tokenizer split: `4000.0` is
+  // three tokens, `1e-3` is `1e` `-` `3`.
+  DimVal parse_number() {
+    std::string text;
+    if (!toks_[pos_].ident && toks_[pos_].text == ".") {
+      text += ".";
+      ++pos_;
+    }
+    if (pos_ < end_ && toks_[pos_].ident) {
+      text += toks_[pos_].text;
+      ++pos_;
+    }
+    if (pos_ + 1 < end_ && !toks_[pos_].ident && toks_[pos_].text == "." &&
+        toks_[pos_ + 1].ident &&
+        std::isdigit(static_cast<unsigned char>(toks_[pos_ + 1].text[0]))) {
+      text += "." + toks_[pos_ + 1].text;
+      pos_ += 2;
+    }
+    if (!text.empty() && (text.back() == 'e' || text.back() == 'E') &&
+        pos_ + 1 < end_ && !toks_[pos_].ident &&
+        (toks_[pos_].text == "-" || toks_[pos_].text == "+") &&
+        toks_[pos_ + 1].ident) {
+      text += toks_[pos_].text + toks_[pos_ + 1].text;
+      pos_ += 2;
+    }
+    std::string plain;
+    for (const char c : text) {
+      if (c != '\'') plain += c;  // digit separators
+    }
+    DimVal v;
+    v.dim = Dim::kScalar;
+    v.head = text;
+    const double val = std::strtod(plain.c_str(), nullptr);
+    if (val == 1e3 || val == 1e6 || val == 1e9 || val == 1e-3 ||
+        val == 1e-6 || val == 1e-9) {
+      v.factor = 1;
+      v.source = "time-scale literal";
+    } else if (val == 1024.0 || val == 1048576.0 || val == 1073741824.0 ||
+               val == 1099511627776.0) {
+      v.factor = 2;
+      v.source = "size-scale literal";
+    }
+    return v;
+  }
+
+  // static_cast<T>(expr): the dimension passes through; casting a float-
+  // represented dimensioned quantity (time, rate, MiB) to an integer type
+  // silently truncates sub-unit precision — rule unit-narrow.
+  DimVal parse_static_cast(std::size_t line) {
+    ++pos_;  // static_cast
+    if (pos_ >= end_ || toks_[pos_].ident || toks_[pos_].text != "<") {
+      return {};
+    }
+    std::string type_text;
+    bool integer_target = false, float_target = false;
+    int depth = 0;
+    for (; pos_ < end_; ++pos_) {
+      const Token& t = toks_[pos_];
+      if (!t.ident && t.text == "<") ++depth;
+      if (!t.ident && t.text == ">" && --depth == 0) {
+        ++pos_;
+        break;
+      }
+      if (depth >= 1 && !(t.text == "<")) type_text += t.text;
+      if (t.ident) {
+        static const std::set<std::string> kInts = {
+            "int",      "long",     "short",    "unsigned", "signed",
+            "char",     "size_t",   "uint8_t",  "uint16_t", "uint32_t",
+            "uint64_t", "int8_t",   "int16_t",  "int32_t",  "int64_t",
+            "uintmax_t", "intmax_t", "ptrdiff_t"};
+        if (kInts.count(t.text) != 0) integer_target = true;
+        if (t.text == "double" || t.text == "float") float_target = true;
+      }
+    }
+    if (pos_ >= end_ || toks_[pos_].ident || toks_[pos_].text != "(") {
+      return {};
+    }
+    const std::size_t close =
+        std::min(skip_balanced(toks_, pos_, '(', ')'), end_);
+    const DimVal inner = parse_range(pos_ + 1, close > 0 ? close - 1 : end_);
+    pos_ = std::max(close, pos_ + 1);
+    if (integer_target && !float_target &&
+        (inner.dim == Dim::kSeconds || inner.dim == Dim::kMillis ||
+         inner.dim == Dim::kNanos || inner.dim == Dim::kRate ||
+         inner.dim == Dim::kMib)) {
+      UnitUse u;
+      u.rule = "unit-narrow";
+      u.line = line;
+      u.detail = "static_cast<" + type_text + ">(" + inner.head + " ~ " +
+                 dim_name(inner.dim) + ")";
+      u.message = "lossy float->integer narrowing: static_cast<" +
+                  type_text + "> truncates " + dim_prov(inner) +
+                  "; use a named conversion (Mib::to_bytes, "
+                  "Millis::to_sim_sec), round explicitly, or annotate with "
+                  "ECF_UNIT_OK(reason)";
+      u.chain = {dim_prov(inner)};
+      out_->push_back(std::move(u));
+    }
+    DimVal v = inner;
+    v.head = "static_cast(" + inner.head + ")";
+    return v;
+  }
+
+  // Identifier chain: `a.b`, `p->q`, `ns::f(...)`, subscripts, calls.
+  // Member access re-tags from the member's own name/type; calls re-tag
+  // from the registry, the typed map (return-typed functions) or the
+  // callee's name suffix — an unrecognized call wipes to unknown.
+  DimVal parse_chain() {
+    DimVal v;
+    std::string name = toks_[pos_].text;
+    std::string prev_name;
+    Dim recv = Dim::kUnknown;  // receiver dim before the last member step
+    v.head = name;
+    apply_name(name, &v);
+    ++pos_;
+    while (pos_ < end_) {
+      const Token& t = toks_[pos_];
+      if (t.ident) break;
+      if (t.text == ":" && pos_ + 2 < end_ && !toks_[pos_ + 1].ident &&
+          toks_[pos_ + 1].text == ":" && toks_[pos_ + 2].ident) {
+        prev_name = name;
+        name = toks_[pos_ + 2].text;
+        v.head += "::" + name;
+        apply_name(name, &v);
+        pos_ += 3;
+        continue;
+      }
+      if (t.text == "." && pos_ + 1 < end_ && toks_[pos_ + 1].ident) {
+        recv = v.dim;
+        prev_name = name;
+        name = toks_[pos_ + 1].text;
+        v.head += "." + name;
+        apply_name(name, &v);
+        pos_ += 2;
+        continue;
+      }
+      if (t.text == "-" && pos_ + 2 < end_ && !toks_[pos_ + 1].ident &&
+          toks_[pos_ + 1].text == ">" && toks_[pos_ + 2].ident) {
+        recv = v.dim;
+        prev_name = name;
+        name = toks_[pos_ + 2].text;
+        v.head += "->" + name;
+        apply_name(name, &v);
+        pos_ += 3;
+        continue;
+      }
+      if (t.text == "[") {
+        pos_ = std::min(skip_balanced(toks_, pos_, '[', ']'), end_);
+        continue;  // element of a dimension-named container keeps its tag
+      }
+      if (t.text == "(" || t.text == "{") {
+        const char open = t.text[0];
+        const std::size_t close = std::min(
+            skip_balanced(toks_, pos_, open, open == '(' ? ')' : '}'), end_);
+        const std::size_t call_line = line_at(pos_);
+        const Dim strong = dim_of_strong_type(name);
+        if (strong != Dim::kUnknown) {
+          // Explicit construction is the sanctioned unit crossing; the
+          // argument is deliberately unchecked.
+          v.dim = strong;
+          v.source = "explicit " + name + " construction";
+          pos_ = std::max(close, pos_ + 1);
+          continue;
+        }
+        if (name == "of" &&
+            (prev_name == "Millis" || prev_name == "Mib" ||
+             prev_name == "Rate")) {
+          v.dim = prev_name == "Millis"  ? Dim::kMillis
+                  : prev_name == "Mib"   ? Dim::kMib
+                                         : Dim::kRate;
+          v.source = "registry " + prev_name + "::of";
+          pos_ = std::max(close, pos_ + 1);
+          continue;
+        }
+        if (open == '(') {
+          const auto sink = unit_sinks().find(name);
+          if (sink != unit_sinks().end()) {
+            check_sink_args(name, pos_, close, sink->second, call_line);
+          }
+        }
+        if (name == "count") {
+          v.dim = recv;
+          v.source = recv == Dim::kUnknown ? "" : "count() of receiver";
+        } else {
+          const Dim rd = call_return_dim(name);
+          if (rd != Dim::kUnknown) {
+            v.dim = rd;
+            v.source = "registry " + name + "()";
+          } else if (typed_.count(name) == 0 &&
+                     dim_from_name(name) == Dim::kUnknown) {
+            v.dim = Dim::kUnknown;  // unknown call wipes the tag
+            v.source.clear();
+          }
+          // else: keep — return-typed function or suffixed accessor
+        }
+        pos_ = std::max(close, pos_ + 1);
+        continue;
+      }
+      break;
+    }
+    return v;
+  }
+
+  void apply_name(const std::string& n, DimVal* v) {
+    if (n == "KiB" || n == "MiB" || n == "GiB" || n == "TiB") {
+      v->dim = Dim::kBytes;
+      v->source = "util::" + n + " size constant";
+      return;
+    }
+    const auto it = typed_.find(n);
+    if (it != typed_.end() && it->second != Dim::kUnknown) {
+      v->dim = it->second;
+      v->source = "typed declaration";
+      return;
+    }
+    const Dim sd = dim_from_name(n);
+    if (sd != Dim::kUnknown) {
+      v->dim = sd;
+      v->source = "name suffix";
+      return;
+    }
+    v->dim = Dim::kUnknown;
+    v->source.clear();
+  }
+
+  // --- dimension algebra ----------------------------------------------------
+
+  DimVal combine_add(const DimVal& a, const DimVal& b, const std::string& op,
+                     std::size_t line) {
+    DimVal res;
+    res.head = a.head + " " + op + " " + b.head;
+    const Dim ra = a.dim, rb = b.dim;
+    if (ra == Dim::kUnknown || rb == Dim::kUnknown ||
+        ra == Dim::kBadProduct || rb == Dim::kBadProduct) {
+      return res;
+    }
+    if (ra == Dim::kScalar || rb == Dim::kScalar || ra == rb) {
+      res.dim = ra == Dim::kScalar ? rb : ra;
+      res.source = a.source.empty() ? b.source : a.source;
+      return res;
+    }
+    if (is_time_dim(ra) && is_time_dim(rb) &&
+        (ra == Dim::kScaledTime || rb == Dim::kScaledTime)) {
+      res.dim = ra == Dim::kScaledTime ? rb : ra;
+      return res;
+    }
+    if (is_size_dim(ra) && is_size_dim(rb) &&
+        (ra == Dim::kScaledSize || rb == Dim::kScaledSize)) {
+      res.dim = ra == Dim::kScaledSize ? rb : ra;
+      return res;
+    }
+    check_pair(a, b, op, "arithmetic", line, /*already_known=*/true);
+    res.dim = ra;
+    return res;
+  }
+
+  DimVal combine_mul(const DimVal& a, const DimVal& b) {
+    DimVal res;
+    res.head = a.head + " * " + b.head;
+    const Dim ra = a.dim, rb = b.dim;
+    if (ra == Dim::kUnknown || rb == Dim::kUnknown ||
+        ra == Dim::kBadProduct || rb == Dim::kBadProduct) {
+      return res;
+    }
+    if (ra == Dim::kScalar && rb == Dim::kScalar) {
+      res.dim = Dim::kScalar;
+      res.factor = a.factor == b.factor ? a.factor
+                   : a.factor == 0      ? b.factor
+                   : b.factor == 0      ? a.factor
+                                        : 0;
+      return res;
+    }
+    if (ra == Dim::kScalar || rb == Dim::kScalar) {
+      const DimVal& scalar = ra == Dim::kScalar ? a : b;
+      const DimVal& other = ra == Dim::kScalar ? b : a;
+      if (scalar.factor == 1 && is_time_dim(other.dim)) {
+        res.dim = Dim::kScaledTime;
+        res.source = "scaled " + std::string(dim_name(other.dim));
+      } else if (scalar.factor == 2 && is_size_dim(other.dim)) {
+        res.dim = Dim::kScaledSize;
+        res.source = "scaled " + std::string(dim_name(other.dim));
+      } else {
+        res.dim = other.dim;
+        res.source = other.source;
+      }
+      return res;
+    }
+    if (ra == Dim::kRatio || rb == Dim::kRatio) {
+      const DimVal& other = ra == Dim::kRatio ? b : a;
+      res.dim = other.dim;
+      res.source = other.source;
+      return res;
+    }
+    if (is_count_dim(ra) || is_count_dim(rb)) {
+      // A count times anything is that thing's dimension: n_chunks *
+      // chunk_size_bytes is a byte total. Count times count is a plain
+      // number.
+      res.dim = is_count_dim(ra) && is_count_dim(rb)
+                    ? Dim::kScalar
+                    : (is_count_dim(ra) ? rb : ra);
+      return res;
+    }
+    if ((ra == Dim::kRate && is_time_dim(rb)) ||
+        (rb == Dim::kRate && is_time_dim(ra))) {
+      const Dim td = ra == Dim::kRate ? rb : ra;
+      if (td == Dim::kSeconds || td == Dim::kScaledTime) {
+        res.dim = Dim::kBytes;
+        res.source = "bytes/s * time";
+        return res;
+      }
+      res.dim = Dim::kBadProduct;  // rate times an unconverted ms/ns
+      res.source = std::string(dim_name(ra)) + " * " + dim_name(rb);
+      return res;
+    }
+    if ((ra == Dim::kPerSecond && is_time_dim(rb)) ||
+        (rb == Dim::kPerSecond && is_time_dim(ra))) {
+      const Dim td = ra == Dim::kPerSecond ? rb : ra;
+      res.dim = td == Dim::kSeconds || td == Dim::kScaledTime
+                    ? Dim::kScalar
+                    : Dim::kBadProduct;
+      res.source = std::string(dim_name(ra)) + " * " + dim_name(rb);
+      return res;
+    }
+    res.dim = Dim::kBadProduct;
+    res.source = std::string(dim_name(ra)) + " * " + dim_name(rb);
+    return res;
+  }
+
+  DimVal combine_div(const DimVal& a, const DimVal& b) {
+    DimVal res;
+    res.head = a.head + " / " + b.head;
+    const Dim ra = a.dim, rb = b.dim;
+    if (ra == Dim::kBadProduct || rb == Dim::kBadProduct) return res;
+    if (rb == Dim::kScalar) {
+      if (b.factor == 1 && is_time_dim(ra)) {
+        res.dim = Dim::kScaledTime;
+      } else if (b.factor == 2 && is_size_dim(ra)) {
+        res.dim = Dim::kScaledSize;
+      } else {
+        res.dim = ra;
+        res.source = a.source;
+      }
+      return res;
+    }
+    if (ra == Dim::kUnknown || rb == Dim::kUnknown) return res;
+    if (rb == Dim::kRatio) {
+      res.dim = ra;
+      res.source = a.source;
+      return res;
+    }
+    if (ra == rb || (is_time_dim(ra) && is_time_dim(rb)) ||
+        (is_size_dim(ra) && is_size_dim(rb))) {
+      res.dim = Dim::kRatio;
+      res.source = "same-dimension quotient";
+      return res;
+    }
+    if (ra == Dim::kBytes &&
+        (rb == Dim::kSeconds || rb == Dim::kScaledTime)) {
+      res.dim = Dim::kRate;
+      res.source = "bytes / seconds";
+      return res;
+    }
+    if (ra == Dim::kBytes && rb == Dim::kRate) {
+      res.dim = Dim::kSeconds;
+      res.source = "bytes / (bytes/s)";
+      return res;
+    }
+    if (ra == Dim::kScalar && rb == Dim::kSeconds) {
+      res.dim = Dim::kPerSecond;
+      return res;
+    }
+    return res;  // anything else: unknown, stay silent
+  }
+
+  // --- checks ---------------------------------------------------------------
+
+  void check_pair(const DimVal& a, const DimVal& b, const std::string& op,
+                  const std::string& context, std::size_t line,
+                  bool already_known = false) {
+    if (!already_known) {
+      const Dim ra = a.dim, rb = b.dim;
+      if (!is_anchor_dim(ra) && !is_anchor_dim(rb)) return;
+      if (ra == Dim::kUnknown || rb == Dim::kUnknown ||
+          ra == Dim::kBadProduct || rb == Dim::kBadProduct ||
+          ra == Dim::kScalar || rb == Dim::kScalar || ra == rb) {
+        return;
+      }
+      if (is_time_dim(ra) && is_time_dim(rb) &&
+          (ra == Dim::kScaledTime || rb == Dim::kScaledTime)) {
+        return;
+      }
+      if (is_size_dim(ra) && is_size_dim(rb) &&
+          (ra == Dim::kScaledSize || rb == Dim::kScaledSize)) {
+        return;
+      }
+    }
+    UnitUse u;
+    u.rule = "unit-mismatch";
+    u.line = line;
+    u.detail = a.head + " (" + dim_name(a.dim) + ") " + op + " " + b.head +
+               " (" + dim_name(b.dim) + ")";
+    u.message = "cross-unit " + context + ": " + dim_prov(a) + " " + op +
+                " " + dim_prov(b) +
+                "; convert explicitly (Millis::of / Mib::of / a scale "
+                "factor) or annotate with ECF_UNIT_OK(reason)";
+    u.chain = {"left: " + dim_prov(a), "right: " + dim_prov(b)};
+    out_->push_back(std::move(u));
+  }
+
+  void check_assign(const DimVal& lhs, const DimVal& rhs, std::size_t line,
+                    bool add_assign) {
+    if (add_assign) {
+      // `+=`/`-=` carry the same compatibility contract as `+`.
+      check_pair(lhs, rhs, "+=", "arithmetic", line);
+      return;
+    }
+    const Dim rl = lhs.dim, rr = rhs.dim;
+    if (rl == Dim::kUnknown || rl == Dim::kScalar) return;
+    if (rr == Dim::kBadProduct) {
+      UnitUse u;
+      u.rule = "unit-mismatch";
+      u.line = line;
+      u.detail = lhs.head + " (" + dim_name(rl) + ") = " + rhs.head +
+                 " (bad-product)";
+      u.message = "dimensionally meaningless product assigned to " +
+                  dim_prov(lhs) + ": " + rhs.head + " is " + rhs.source +
+                  "; fix the expression or annotate with "
+                  "ECF_UNIT_OK(reason)";
+      u.chain = {"lhs: " + dim_prov(lhs), "rhs: " + dim_prov(rhs)};
+      out_->push_back(std::move(u));
+      return;
+    }
+    if (rr == Dim::kUnknown || rr == Dim::kScalar || rl == rr) return;
+    if (is_time_dim(rl) && is_time_dim(rr)) {
+      if (rl == Dim::kScaledTime || rr == Dim::kScaledTime) return;
+      UnitUse u;
+      u.rule = "unit-time-scale";
+      u.line = line;
+      u.detail = lhs.head + " (" + dim_name(rl) + ") = " + rhs.head + " (" +
+                 dim_name(rr) + ")";
+      u.message = "time-unit assignment without an explicit scale: " +
+                  dim_prov(lhs) + " = " + dim_prov(rhs) +
+                  "; multiply by the conversion factor (1e3/1e6/1e9) or "
+                  "use util::Millis conversions";
+      u.chain = {"lhs: " + dim_prov(lhs), "rhs: " + dim_prov(rhs)};
+      out_->push_back(std::move(u));
+      return;
+    }
+    if (is_size_dim(rl) && is_size_dim(rr) &&
+        (rl == Dim::kScaledSize || rr == Dim::kScaledSize)) {
+      return;
+    }
+    UnitUse u;
+    u.rule = "unit-mismatch";
+    u.line = line;
+    u.detail = lhs.head + " (" + dim_name(rl) + ") = " + rhs.head + " (" +
+               dim_name(rr) + ")";
+    u.message = "cross-unit assignment: " + dim_prov(lhs) + " = " +
+                dim_prov(rhs) +
+                "; convert explicitly (Millis::of / Mib::of / Mib::"
+                "to_bytes) or annotate with ECF_UNIT_OK(reason)";
+    u.chain = {"lhs: " + dim_prov(lhs), "rhs: " + dim_prov(rhs)};
+    out_->push_back(std::move(u));
+  }
+
+  // Registered sink call: evaluate the seconds-expecting argument
+  // positions. `open` indexes the `(`; `close` is one past the `)` (or
+  // clamped at a statement cut — truncated tails parse to unknown).
+  void check_sink_args(const std::string& sink, std::size_t open,
+                       std::size_t close, const std::vector<int>& positions,
+                       std::size_t line) {
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    int depth = 0;
+    std::size_t start = open + 1;
+    std::size_t stop = close;
+    if (stop > open && !toks_[stop - 1].ident &&
+        toks_[stop - 1].text == ")") {
+      --stop;  // exclude the closing paren itself
+    }
+    for (std::size_t i = open + 1; i < stop; ++i) {
+      const Token& t = toks_[i];
+      if (t.ident) continue;
+      const char c = t.text[0];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (c == ',' && depth == 0) {
+        args.emplace_back(start, i);
+        start = i + 1;
+      }
+    }
+    if (start < stop) args.emplace_back(start, stop);
+    for (const int p : positions) {
+      if (p < 0 || static_cast<std::size_t>(p) >= args.size()) continue;
+      const DimVal a = parse_range(args[p].first, args[p].second);
+      if (a.dim == Dim::kBadProduct) {
+        UnitUse u;
+        u.rule = "unit-sink";
+        u.line = line;
+        u.detail = sink + " arg" + std::to_string(p) + ": " + a.head;
+        u.message = "dimensionally meaningless product " + a.head + " (" +
+                    a.source + ") feeds " + sink +
+                    "() which expects simulated seconds; fix the "
+                    "expression or annotate with ECF_UNIT_OK(reason)";
+        u.chain = {"arg" + std::to_string(p) + ": " + dim_prov(a)};
+        out_->push_back(std::move(u));
+        continue;
+      }
+      if (a.dim == Dim::kUnknown || a.dim == Dim::kScalar ||
+          a.dim == Dim::kSeconds || a.dim == Dim::kScaledTime) {
+        continue;
+      }
+      UnitUse u;
+      u.rule = "unit-mismatch";
+      u.line = line;
+      u.detail = sink + " arg" + std::to_string(p) + ": " +
+                 dim_name(a.dim);
+      u.message = "passing " + dim_prov(a) + " to " + sink +
+                  "() which expects simulated seconds; convert explicitly "
+                  "or annotate with ECF_UNIT_OK(reason)";
+      u.chain = {"arg" + std::to_string(p) + ": " + dim_prov(a)};
+      out_->push_back(std::move(u));
+    }
+  }
+};
+
+}  // namespace detail
+
+inline std::vector<Finding> Analyzer::check_units() const {
+  // Whole-tree typed-declaration map: `Bytes chunk_size`, `SimSec when`,
+  // `SimTime delay` anywhere in src/ tags every same-named use. TUs are
+  // parsed standalone (includes are not followed), so this name-merged map
+  // is what carries a header's strong field types into the .cc files that
+  // use them. Same-name declarations with different dimensions poison the
+  // entry to unknown; one-character names and operator noise are skipped
+  // outright.
+  std::map<std::string, detail::Dim> typed;
+  for (const auto& tu : tus_) {
+    if (layer_rank(module_of_path(tu.path)) < 0) continue;
+    const std::vector<detail::Token> toks = detail::tokenize(tu.code);
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!toks[i].ident) continue;
+      const detail::Dim td = detail::dim_of_strong_type(toks[i].text);
+      if (td == detail::Dim::kUnknown) continue;
+      std::size_t j = i + 1;
+      while (j < toks.size() && !toks[j].ident &&
+             (toks[j].text == "&" || toks[j].text == "*")) {
+        ++j;
+      }
+      if (j >= toks.size() || !toks[j].ident) continue;
+      const std::string& name = toks[j].text;
+      if (name.size() < 2 || name == "operator" || name == "of" ||
+          name == "count" || detail::is_control_keyword(name) ||
+          detail::dim_of_strong_type(name) != detail::Dim::kUnknown) {
+        continue;
+      }
+      const auto ins = typed.emplace(name, td);
+      if (!ins.second && ins.first->second != td) {
+        ins.first->second = detail::Dim::kUnknown;  // conflicting: poison
+      }
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& tu : tus_) {
+    if (layer_rank(module_of_path(tu.path)) < 0) continue;
+    const std::vector<detail::Token> toks = detail::tokenize(tu.code);
+    std::vector<detail::UnitUse> uses;
+    detail::UnitScanner scanner(toks, tu.line_starts, typed, &uses);
+    scanner.scan_all();
+    for (const detail::UnitUse& use : uses) {
+      if (detail::line_allows(tu, use.line, use.rule)) continue;
+      if (detail::line_has_unit_ok(tu, use.line)) continue;
+      Finding f;
+      f.file = tu.path;
+      f.line = use.line;
+      f.rule = use.rule;
+      f.detail = use.detail;
+      f.message = use.message;
+      f.chain = use.chain;
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+inline const std::vector<std::string>& Analyzer::pass_names() {
+  static const std::vector<std::string> kPasses = {
+      "layering",    "determinism", "locks", "hotpath",
+      "clustermaps", "eventpaths",  "units"};
+  return kPasses;
+}
+
+inline std::vector<Finding> Analyzer::run_pass(const std::string& pass) const {
+  if (pass == "layering") return check_layering();
+  if (pass == "determinism") return check_determinism();
+  if (pass == "locks") return check_locks();
+  if (pass == "hotpath") return check_hot_path();
+  if (pass == "clustermaps") return check_cluster_maps();
+  if (pass == "eventpaths") return check_event_paths();
+  if (pass == "units") return check_units();
+  return {};
+}
+
+inline std::vector<Finding> Analyzer::run(
+    const std::vector<std::string>& passes) const {
+  std::vector<Finding> findings;
+  for (const std::string& pass : passes) {
+    std::vector<Finding> f = run_pass(pass);
+    findings.insert(findings.end(), std::make_move_iterator(f.begin()),
+                    std::make_move_iterator(f.end()));
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -1855,11 +2941,22 @@ inline std::string json_escape(const std::string& s) {
 
 }  // namespace detail
 
-inline std::string to_json(const std::vector<Finding>& findings,
-                           std::size_t files_scanned,
-                           const CacheStats* cache) {
+inline std::string to_json(
+    const std::vector<Finding>& findings, std::size_t files_scanned,
+    const CacheStats* cache,
+    const std::vector<std::pair<std::string, double>>* pass_times) {
   std::string out =
       "{\n  \"files_scanned\": " + std::to_string(files_scanned) + ",";
+  if (pass_times != nullptr) {
+    out += "\n  \"pass_times\": {";
+    for (std::size_t i = 0; i < pass_times->size(); ++i) {
+      char secs[32];
+      std::snprintf(secs, sizeof secs, "%.4f", (*pass_times)[i].second);
+      out += (i ? ", \"" : "\"") +
+             detail::json_escape((*pass_times)[i].first) + "\": " + secs;
+    }
+    out += "},";
+  }
   if (cache != nullptr) {
     const std::size_t total = cache->hits + cache->misses;
     char rate[32];
@@ -1912,6 +3009,14 @@ inline std::string to_sarif(const std::vector<Finding>& findings) {
       {"event-alloc", "no dynamic allocation on event-execution paths"},
       {"event-throw", "no throwing construct on event-execution paths"},
       {"event-block", "no blocking call on event-execution paths"},
+      {"unit-mismatch", "no arithmetic, comparison or assignment across "
+                        "incompatible dimensions"},
+      {"unit-time-scale", "no assignment across time units without an "
+                          "explicit scale factor"},
+      {"unit-narrow", "no lossy float->integer narrowing of a dimensioned "
+                      "quantity"},
+      {"unit-sink", "no dimensionally meaningless product feeding a "
+                    "seconds-expecting sink"},
   };
   std::string out =
       "{\n"
@@ -1965,7 +3070,10 @@ inline bool load_strip_cache(const std::string& cache_file,
   if (!in) return false;
   std::string header;
   if (!std::getline(in, header)) return false;
-  if (header != "ecf-strip-cache " + stamp) return false;
+  if (header != "ecf-strip-cache v" + std::to_string(kStripCacheVersion) +
+                    " " + stamp) {
+    return false;
+  }
   std::string rest((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   *stripped = std::move(rest);
@@ -1977,7 +3085,8 @@ inline void store_strip_cache(const std::string& cache_file,
                               const std::string& stripped) {
   std::ofstream out(cache_file, std::ios::binary | std::ios::trunc);
   if (!out) return;  // cache is best-effort; analysis proceeds without it
-  out << "ecf-strip-cache " << stamp << "\n" << stripped;
+  out << "ecf-strip-cache v" << kStripCacheVersion << " " << stamp << "\n"
+      << stripped;
 }
 
 }  // namespace ecf::analyze

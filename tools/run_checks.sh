@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Full check matrix for ecfault: lint, semantic static analysis, sanitizers.
 #
-#   tools/run_checks.sh [lint|analyze|asan|tsan|bench|all]
+#   tools/run_checks.sh [lint|analyze|units|asan|tsan|bench|all]
 #   tools/run_checks.sh analyze --update-baseline
 #
 # lint    : run the ecf_lint ctest from the dev build (token-level rules).
 # analyze : run the ecf_analyze ctest from the dev build (layering, call-graph
 #           determinism, ECF_GUARDED_BY lock discipline, event-path resource
-#           discipline — see DESIGN.md §9 and §13). Fails on any stale
-#           baseline suppression (an entry no longer matched by a finding),
-#           so the baseline only ever shrinks with the debt it covers.
-#           `analyze --update-baseline` regenerates
+#           discipline, dimensional safety — see DESIGN.md §9, §13 and §14).
+#           Fails on any stale baseline suppression (an entry no longer
+#           matched by a finding), so the baseline only ever shrinks with
+#           the debt it covers. `analyze --update-baseline` regenerates
 #           tools/ecf_analyze_baseline.txt from the current findings instead
 #           of failing — review the diff before committing it.
+# units   : fast dev loop for the dimensional-safety pass only
+#           (`ecf_analyze --only=units`) — seconds instead of the full
+#           7-pass run while iterating on unit annotations.
 # asan    : configure + build the asan-ubsan preset, run the full tier-1
 #           suite under AddressSanitizer + UndefinedBehaviorSanitizer.
 # tsan    : configure + build the tsan preset, run the threaded campaign
@@ -49,6 +52,15 @@ run_analyze() {
   cmake --preset dev
   cmake --build --preset dev -j "${JOBS}" --target ecf_analyze
   ctest --preset analyze
+}
+
+run_units() {
+  echo "== ecf_analyze --only=units: dimensional-safety fast loop =="
+  cmake --preset dev
+  cmake --build --preset dev -j "${JOBS}" --target ecf_analyze
+  build/tools/ecf_analyze --only=units \
+    --baseline tools/ecf_analyze_baseline.txt \
+    --cache build/ecf_analyze_cache .
 }
 
 run_analyze_update_baseline() {
@@ -92,12 +104,13 @@ case "${MODE}" in
       run_analyze
     fi
     ;;
+  units)   run_units ;;
   asan)    run_asan ;;
   tsan)    run_tsan ;;
   bench)   run_bench ;;
   all)     run_lint; run_analyze; run_asan; run_tsan; run_bench ;;
   *)
-    echo "usage: $0 [lint|analyze|asan|tsan|bench|all]" >&2
+    echo "usage: $0 [lint|analyze|units|asan|tsan|bench|all]" >&2
     exit 2
     ;;
 esac
