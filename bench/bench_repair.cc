@@ -1,0 +1,99 @@
+// Repair-bandwidth campaign across code families: one host failure over
+// the paper's default cluster, recovered with pool.dag_recovery on, so
+// structured repair DAGs (RS helper partial sums, LRC group relay) execute
+// stage by stage while repair-efficient reads (Hitchhiker half-chunks,
+// Clay sub-chunks) shrink what crosses the fabric at all.
+//
+// Prints bytes-on-wire / bytes-read / recovery time per family, normalized
+// against RS(12,9), and emits BENCH_repair.json (or argv[1]) for CI. Exits
+// nonzero if Hitchhiker(12,9) fails to ship measurably fewer bytes on the
+// wire than same-(n,k) RS — the ECDAG PR's acceptance gate.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "util/json.h"
+
+using namespace ecf;
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_repair.json";
+  bench::print_header(
+      "Repair bandwidth by code family (host failure, DAG-staged recovery)");
+
+  struct Family {
+    const char* name;
+    std::map<std::string, std::string> profile;
+  };
+  const Family families[] = {
+      {"rs(12,9)",
+       {{"plugin", "jerasure"}, {"technique", "reed_sol_van"},
+        {"k", "9"}, {"m", "3"}}},
+      {"clay(12,9,11)",
+       {{"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}}},
+      {"lrc(9,3,3)",
+       {{"plugin", "lrc"}, {"k", "9"}, {"l", "3"}, {"g", "3"}}},
+      {"shec(9,4,2)",
+       {{"plugin", "shec"}, {"k", "9"}, {"m", "4"}, {"c", "2"}}},
+      {"hitchhiker(12,9)",
+       {{"plugin", "hitchhiker"}, {"k", "9"}, {"m", "3"}}},
+  };
+
+  util::Json runs = util::Json::array();
+  util::TextTable table({"family", "wire(GB)", "read(GB)", "written(GB)",
+                         "wire vs RS", "recovery(s)"});
+  double rs_wire = 0;
+  double hh_wire = 0;
+  constexpr double kGB = 1e9;
+  for (const Family& f : families) {
+    ecfault::ExperimentProfile p = bench::default_profile(false, 0.1);
+    p.name = f.name;
+    p.cluster.pool.ec_profile = f.profile;
+    p.cluster.pool.dag_recovery = true;
+    p.runs = 1;
+    const auto r = ecfault::Coordinator::run_experiment(p);
+    const double wire =
+        static_cast<double>(r.report.bytes_on_wire_for_recovery);
+    const double read = static_cast<double>(r.report.bytes_read_for_recovery);
+    const double written =
+        static_cast<double>(r.report.bytes_written_for_recovery);
+    const double rec = r.report.ec_recovery_period();
+    if (std::string(f.name) == "rs(12,9)") rs_wire = wire;
+    if (std::string(f.name) == "hitchhiker(12,9)") hh_wire = wire;
+    table.add_row({f.name, bench::fmt(wire / kGB), bench::fmt(read / kGB),
+                   bench::fmt(written / kGB),
+                   bench::fmt(rs_wire > 0 ? wire / rs_wire : 1.0),
+                   bench::fmt(rec, 1)});
+
+    util::Json row = util::Json::object();
+    row.set("family", std::string(f.name));
+    row.set("bytes_on_wire", r.report.bytes_on_wire_for_recovery);
+    row.set("bytes_read", r.report.bytes_read_for_recovery);
+    row.set("bytes_written", r.report.bytes_written_for_recovery);
+    row.set("recovery_s", rec);
+    row.set("total_s", r.report.total());
+    row.set("objects_repaired", r.report.objects_repaired);
+    row.set("wire_vs_rs", rs_wire > 0 ? wire / rs_wire : 1.0);
+    runs.push_back(row);
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  util::Json doc = util::Json::object();
+  doc.set("bench", std::string("repair_bandwidth"));
+  doc.set("dag_recovery", true);
+  doc.set("runs", runs);
+  std::ofstream out(out_path);
+  out << doc.dump(2) << "\n";
+  std::printf("\nwrote %s\n", out_path);
+
+  if (!(hh_wire > 0) || !(rs_wire > 0) || hh_wire >= rs_wire) {
+    std::printf("FAIL: hitchhiker wire bytes (%.3e) not below RS (%.3e)\n",
+                hh_wire, rs_wire);
+    return 1;
+  }
+  std::printf("hitchhiker ships %.1f%% of RS repair bytes on the wire\n",
+              100.0 * hh_wire / rs_wire);
+  return out.good() ? 0 : 1;
+}

@@ -109,6 +109,12 @@ struct RecoveryReport {
   // Work accounting.
   std::uint64_t bytes_read_for_recovery = 0;
   std::uint64_t bytes_written_for_recovery = 0;
+  // Repair payload that crossed a host NIC: helper->primary shard reads
+  // (or, under pool.dag_recovery, only the forwarded partial-combine
+  // outputs) plus primary->target rebuilt-chunk pushes. The DAG executor's
+  // headline metric: helper-local combining shrinks this without touching
+  // bytes_read_for_recovery.
+  std::uint64_t bytes_on_wire_for_recovery = 0;
   std::uint64_t objects_repaired = 0;
   std::uint64_t repairs_wasted = 0;  // in-flight work discarded by re-peering
   int epochs_published = 0;
@@ -275,6 +281,15 @@ class Cluster {
   void start_object_repair(Pg& pg);
   void issue_repair_round(RepairBatch* b);
   void repair_after_decode(RepairBatch* b);
+  // DAG-staged execution (pool.dag_recovery): one fetch stage of the
+  // repair DAG — helper reads, helper-local combines, forwards — then the
+  // stage barrier at the primary.
+  void issue_dag_stage(RepairBatch* b);
+  void dag_helper_step(RepairBatch* b, std::size_t helper_index);
+  void dag_after_stage(RepairBatch* b);
+  // Write fan-out shared by the flat and DAG paths (the tail of
+  // repair_after_decode / the last DAG stage).
+  void issue_repair_writes(RepairBatch* b);
   void complete_object_repair(Pg& pg, int generation, std::size_t batch);
   void finish_pg(Pg& pg);
   void maybe_finish_recovery();
@@ -287,6 +302,12 @@ class Cluster {
   std::string osd_name_for_scrub(PgId pg) const;
 
   RepairShape compute_repair_shape(const Pg& pg) const;
+  // Lower a structured repair DAG into the shape's per-stage helper lists
+  // (pool.dag_recovery). chunk_size/units_per_chunk come from the stripe
+  // layout the caller already computed.
+  void lower_dag_stages(const ec::RepairDag& dag, std::uint64_t chunk_size,
+                        std::uint64_t units_per_chunk, const Pg& pg,
+                        RepairShape& shape) const;
   OsdId primary_of(const Pg& pg) const;
 
   // All OSD disk I/O funnels through these: the fabric charges qpair

@@ -52,6 +52,13 @@ struct PoolConfig {
   // Fig. 2c stripe-unit sweep.
   util::Bytes stripe_unit{4 * util::MiB};
   FailureDomain failure_domain = FailureDomain::kHost;
+  // Execute structured repair DAGs (ErasureCode::repair_dag) stage by
+  // stage: helper-local GF combines run on the helper's CPU and only the
+  // combined bytes cross the fabric, and staged fetches (Clay's
+  // plane-by-plane multi-erasure decode) issue per DAG stage instead of
+  // fetch-everything rounds. Off by default: flat repair keeps the paper
+  // reproduction (Fig. 2/3) byte- and event-identical to the seed.
+  bool dag_recovery = false;
 };
 
 // BlueStore on-disk accounting constants; these produce the paper's

@@ -71,6 +71,30 @@ struct Cluster::RepairShape {
   std::vector<TargetWrite> writes;
   std::uint64_t chunk_size = 0;
   std::size_t fetch_stages = 1;
+
+  // DAG-staged execution recipe (pool.dag_recovery + a structured DAG).
+  // One DagHelper per (fetch stage, surviving OSD): its reads for the
+  // stage, the helper-local GF combine run on its own CPU, and the single
+  // forward of the combined (or raw) bytes to the next hop. Empty stages
+  // vector = flat execution (the default path; bit-identical to the seed).
+  struct DagHelper {
+    OsdId osd = kNoOsd;
+    std::uint64_t read_bytes = 0;     // payload read at this helper
+    std::uint64_t disk_bytes = 0;     // after data-cache hits
+    std::uint64_t ios = 0;            // disk IOs (runs charged once/sweep)
+    double extra_s = 0;               // RocksDB miss time, first stage only
+    std::uint64_t combine_bytes = 0;  // helper-local GF combine output
+    double combine_cost = 0;          // GF work per combined byte
+    OsdId fwd_osd = kNoOsd;           // next hop; kNoOsd = repair primary
+    std::uint64_t fwd_bytes = 0;      // the only bytes this helper ships
+    std::uint64_t fwd_msgs = 0;
+  };
+  struct DagStage {
+    std::vector<DagHelper> helpers;
+    std::uint64_t target_bytes = 0;   // primary-side combine work
+    double target_cost = 0;           // byte-weighted GF cost of that work
+  };
+  std::vector<DagStage> stages;
 };
 
 // In-flight state of one pushed recovery batch: the event chain from
@@ -92,6 +116,12 @@ struct Cluster::RepairBatch {
   std::uint64_t rounds = 1;  // osd_recovery_max_chunk x fetch_stages rounds
   std::size_t reads_pending = 0;
   std::size_t writes_pending = 0;
+  // DAG-staged execution (shape_base.stages non-empty): the round's
+  // current fetch stage and its outstanding helper chains. Scalars only —
+  // the batch stays trivially destructible.
+  std::uint32_t stage = 0;
+  std::uint32_t num_stages = 0;
+  std::size_t stage_pending = 0;
   // Decode recipe captured at issue time, batch-scaled where the old
   // per-batch shape was.
   double decode_cost_factor = 1.0;

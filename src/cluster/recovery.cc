@@ -6,6 +6,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/impl_types.h"
+#include "ec/ecdag.h"
 #include "ec/stripe.h"
 #include "util/bytes.h"
 #include "util/check.h"
@@ -421,7 +422,159 @@ Cluster::RepairShape Cluster::compute_repair_shape(const Pg& pg) const {
         1, util::ceil_div(hr.bytes, proto.max_io_bytes));
     shape.reads.push_back(hr);  ECF_ALLOC_OK("cold: once per (PG, epoch), cached in shape_base");
   }
+
+  // DAG-staged execution: when the pool opts in and the code's repair DAG
+  // is genuinely structured (helper-local combines or staged fetches),
+  // lower it to per-stage helper lists. Flat DAGs (and the default) leave
+  // `stages` empty, keeping the seed's flat path event-identical.
+  if (config_.pool.dag_recovery) {
+    const ec::RepairDag dag = code_->repair_dag(pg.missing_positions);
+    if (dag.structured()) {
+      lower_dag_stages(dag, shape.chunk_size, layout.units_per_chunk, pg,
+                       shape);
+    }
+  }
   return shape;
+}
+
+// Lower a structured RepairDag into the shape's stage list. Reads group
+// per (fetch stage, helper OSD); combines charge their execution site;
+// each cross-location data edge becomes the producing helper's single
+// forward hop. The executor (issue_dag_stage) requires one destination per
+// helper per stage — relay chains (LRC's local-group XOR) are expressible,
+// broadcast fan-out is not; the ECF_CHECK below is that contract.
+void Cluster::lower_dag_stages(const ec::RepairDag& dag,
+                               std::uint64_t chunk_size,
+                               std::uint64_t units_per_chunk, const Pg& pg,
+                               RepairShape& shape) const {
+  using Dag = ec::RepairDag;
+  const std::vector<std::size_t> stage_of = dag.node_stages();  ECF_ALLOC_OK("cold: once per (PG, epoch), cached in shape_base");
+  shape.stages.assign(dag.fetch_stages(), {});  ECF_ALLOC_OK("cold: once per (PG, epoch), cached in shape_base");
+  const auto& proto = config_.protocol;
+
+  // Helper slot for (1-based stage, chunk position), created on first use.
+  const auto helper_at = [this, &shape, &pg](std::size_t stage,
+                                             std::size_t loc)
+      -> RepairShape::DagHelper& {
+    ECF_CHECK_GE(stage, std::size_t{1}) << " DAG node below any fetch stage";
+    ECF_CHECK_LT(loc, pg.acting.size()) << " DAG location outside the PG";
+    auto& helpers = shape.stages[stage - 1].helpers;
+    const OsdId osd = pg.acting[loc];
+    for (auto& h : helpers) {
+      if (h.osd == osd) return h;
+    }
+    RepairShape::DagHelper fresh;
+    fresh.osd = osd;
+    helpers.push_back(fresh);  ECF_ALLOC_OK("cold: once per (PG, epoch), cached in shape_base");
+    return helpers.back();
+  };
+
+  // Reads: accumulate bytes per (stage, helper); `ios` holds the raw
+  // sub-chunk run count until the conversion pass below.
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+    const Dag::Node& n = dag.nodes[i];
+    if (n.kind != Dag::NodeKind::kRead) continue;
+    RepairShape::DagHelper& h = helper_at(stage_of[i], n.loc);
+    h.read_bytes += static_cast<std::uint64_t>(
+        static_cast<double>(chunk_size) * n.fraction);
+    h.ios += n.subchunk_ios;
+  }
+
+  // Convert run counts to disk IOs and charge the metadata lookups once
+  // per helper (the backfill scan's iterator state survives the stages; a
+  // gated continuation read extends a scatter sweep whose per-unit runs
+  // were charged on its opening stage).
+  std::vector<bool> meta_seen(osds_.size(), false);  ECF_ALLOC_OK("cold: once per (PG, epoch), cached in shape_base");
+  for (auto& stage : shape.stages) {
+    for (auto& h : stage.helpers) {
+      const std::uint64_t runs = h.ios;
+      if (runs > 1) {
+        h.ios = units_per_chunk * runs;
+      } else if (runs == 1) {
+        h.ios = std::max<std::uint64_t>(
+            1, util::ceil_div(h.read_bytes, proto.max_io_bytes));
+      } else {
+        h.ios = 0;
+      }
+      const auto& store = osds_[static_cast<std::size_t>(h.osd)]->store;
+      h.disk_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(h.read_bytes) * (1.0 - store.data_hit_rate()));
+      if (h.read_bytes > 0 && !meta_seen[static_cast<std::size_t>(h.osd)]) {
+        meta_seen[static_cast<std::size_t>(h.osd)] = true;
+        const double meta_miss = 1.0 - store.meta_hit_rate();
+        h.ios += static_cast<std::uint64_t>(2.0 * meta_miss + 0.5);
+        const double lookups = 4.0 * (code_->alpha() > 1 ? 2.0 : 1.0);
+        h.extra_s = lookups * meta_miss * proto.kv_lookup_miss_s;
+      }
+    }
+  }
+
+  // Combines: charge the execution site (byte-weighted GF cost so one
+  // cpu.compute call per site per stage does the right total work).
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+    const Dag::Node& n = dag.nodes[i];
+    if (n.kind != Dag::NodeKind::kCombine) continue;
+    const auto out_b = static_cast<std::uint64_t>(
+        static_cast<double>(chunk_size) * n.bytes_out);
+    if (out_b == 0) continue;
+    const double work = static_cast<double>(out_b) * n.cost_weight;
+    if (n.loc == Dag::kTargetLoc) {
+      ECF_CHECK_GE(stage_of[i], std::size_t{1})
+          << " target combine below any fetch stage";
+      RepairShape::DagStage& st = shape.stages[stage_of[i] - 1];
+      st.target_cost =
+          (st.target_cost * static_cast<double>(st.target_bytes) + work) /
+          static_cast<double>(st.target_bytes + out_b);
+      st.target_bytes += out_b;
+    } else {
+      RepairShape::DagHelper& h = helper_at(stage_of[i], n.loc);
+      h.combine_cost =
+          (h.combine_cost * static_cast<double>(h.combine_bytes) + work) /
+          static_cast<double>(h.combine_bytes + out_b);
+      h.combine_bytes += out_b;
+    }
+  }
+
+  // Forwards: each producer ships its output once per distinct consumer
+  // location (gate edges into reads carry no bytes). The executor models
+  // exactly one hop per helper per stage.
+  std::vector<std::size_t> dests;  ECF_ALLOC_OK("cold: once per (PG, epoch), cached in shape_base");
+  for (std::size_t p = 0; p < dag.nodes.size(); ++p) {
+    const Dag::Node& np = dag.nodes[p];
+    if (np.kind == Dag::NodeKind::kWrite || np.bytes_out <= 0) continue;
+    dests.clear();
+    for (std::size_t c = p + 1; c < dag.nodes.size(); ++c) {
+      const Dag::Node& nc = dag.nodes[c];
+      if (nc.kind == Dag::NodeKind::kRead || nc.loc == np.loc) continue;
+      if (std::find(nc.inputs.begin(), nc.inputs.end(),
+                    static_cast<Dag::NodeId>(p)) == nc.inputs.end()) {
+        continue;
+      }
+      if (std::find(dests.begin(), dests.end(), nc.loc) == dests.end()) {
+        dests.push_back(nc.loc);  ECF_ALLOC_OK("bounded: <= n destinations per producer");
+      }
+    }
+    for (const std::size_t dloc : dests) {
+      ECF_CHECK(np.loc != Dag::kTargetLoc)
+          << " DAG ships target-side bytes back to a helper";
+      RepairShape::DagHelper& h = helper_at(stage_of[p], np.loc);
+      const OsdId dst =
+          dloc == Dag::kTargetLoc ? kNoOsd : pg.acting[dloc];
+      ECF_CHECK(h.fwd_bytes == 0 || h.fwd_osd == dst)
+          << " DAG helper forwards to more than one destination";
+      h.fwd_osd = dst;
+      h.fwd_bytes += static_cast<std::uint64_t>(
+          static_cast<double>(chunk_size) * np.bytes_out);
+    }
+  }
+  for (auto& stage : shape.stages) {
+    for (auto& h : stage.helpers) {
+      if (h.fwd_bytes > 0) {
+        h.fwd_msgs = std::max<std::uint64_t>(
+            1, util::ceil_div(h.fwd_bytes, proto.max_io_bytes));
+      }
+    }
+  }
 }
 
 void Cluster::start_object_repair(Pg& pg) {
@@ -454,6 +607,8 @@ void Cluster::start_object_repair(Pg& pg) {
   b->primary = pg.reserved_primary;
   b->batch = batch;
   b->round = 0;
+  b->stage = 0;
+  b->num_stages = 0;
   b->decode_cost_factor = base.decode_cost_factor;
   b->decode_extra_s = base.decode_extra_s * static_cast<double>(batch);
   b->decode_bytes = base.chunk_size * item.positions.size() * batch;
@@ -479,14 +634,16 @@ void Cluster::start_object_repair(Pg& pg) {
 
   // Push granularity: shards larger than osd_recovery_max_chunk move in
   // sequential rounds, each a full read->decode->write cycle. The
-  // sub-packetization rounding (a few bytes) must not add a round.
+  // sub-packetization rounding (a few bytes) must not add a round. Under
+  // DAG-staged execution the stage loop carries the fetch stages, so
+  // rounds carry only the chunk split.
   const ec::StripeLayout layout = ec::compute_stripe_layout(
       config_.workload.object_size, code_->n(), code_->k(),
       config_.pool.stripe_unit);
   b->rounds =
       std::max<std::uint64_t>(
           1, util::ceil_div(layout.chunk_size, proto.osd_recovery_max_chunk)) *
-      static_cast<std::uint64_t>(base.fetch_stages);
+      static_cast<std::uint64_t>(base.stages.empty() ? base.fetch_stages : 1);
 
   // Pacing: recovery ops are deprioritized; each slot waits before issuing.
   // The pin keeps the batch's read/decode/write continuations in-lane.
@@ -525,6 +682,15 @@ void Cluster::issue_repair_round(RepairBatch* b) {
   // batch was issued against.
   const RepairShape& base = pg.shape_base;
 
+  if (!base.stages.empty()) {
+    // DAG-staged execution: the stage loop replaces the flat read-all
+    // round body; this round's bytes flow stage by stage instead.
+    b->stage = 0;
+    b->num_stages = static_cast<std::uint32_t>(base.stages.size());
+    issue_dag_stage(b);
+    return;
+  }
+
   // Per-round slices (bytes split across rounds; at least one IO each).
   const std::uint64_t rounds = b->rounds;
   auto slice = [rounds](std::uint64_t v) {
@@ -549,6 +715,7 @@ void Cluster::issue_repair_round(RepairBatch* b) {
     engine_.schedule_at(
         t_read + proto.mclock_queue_delay_s,
         [this, b, hhost, rbytes, rmsgs] {
+          report_.bytes_on_wire_for_recovery += rbytes;
           const sim::SimTime t_tx = hhost->nic.send(engine_, rbytes, rmsgs);
           engine_.schedule_at(t_tx, [this, b, rbytes, rmsgs] {
             Host* phost =
@@ -566,6 +733,135 @@ void Cluster::issue_repair_round(RepairBatch* b) {
   if (base.reads.empty()) repair_after_decode(b);
 }
 
+// --- DAG-staged execution (pool.dag_recovery) -------------------------------
+// One fetch stage of the repair DAG: every helper of the stage reads its
+// slice, combines locally, and forwards one hop (to the next helper in a
+// relay, or to the primary). Relay hops within a stage run concurrently —
+// the data streams through pipelined, it does not store-and-forward. The
+// stage barrier (dag_after_stage) then charges the primary's combine work
+// and opens the next stage, so recovery time follows the DAG's critical
+// path instead of a fetch-everything round.
+void Cluster::issue_dag_stage(RepairBatch* b) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  if (pg.generation != b->gen) {
+    report_.repairs_wasted += b->batch;  // epoch change mid-object
+    repair_batch_pool_.release(b);
+    return;
+  }
+  const RepairShape::DagStage& st = pg.shape_base.stages[b->stage];
+  if (st.helpers.empty()) {  // defensive: every stage is opened by a read
+    dag_after_stage(b);
+    return;
+  }
+  const auto& proto = config_.protocol;
+  const std::uint64_t rounds = b->rounds;
+  const auto slice = [rounds](std::uint64_t v) {
+    return std::max<std::uint64_t>(1, v / rounds);
+  };
+  b->stage_pending = st.helpers.size();
+  for (std::size_t hi = 0; hi < st.helpers.size(); ++hi) {
+    const RepairShape::DagHelper& h = st.helpers[hi];
+    sim::SimTime t_ready = engine_.now();
+    if (h.read_bytes > 0) {
+      report_.bytes_read_for_recovery += slice(h.read_bytes * b->batch);
+      const std::uint64_t eff = static_cast<std::uint64_t>(
+          static_cast<double>(slice(h.disk_bytes * b->batch)) /
+          proto.recovery_bw_fraction);
+      // A continuation read of an already-open scatter sweep carries no
+      // further per-run IOs (h.ios == 0): it pays bytes only.
+      t_ready = osd_read(h.osd, eff,
+                         h.ios > 0 ? slice(h.ios * b->batch) : 0, h.extra_s) +
+                proto.mclock_queue_delay_s;
+    }
+    engine_.schedule_at(t_ready, [this, b, hi] { dag_helper_step(b, hi); },
+                        sim::EventTag::kRecovery);
+  }
+}
+
+// One helper's post-read work for the current stage: the helper-local GF
+// combine on its own CPU, then the single forward hop of only the combined
+// bytes. A stale generation skips the charging but still drains the stage
+// barrier, so the batch reaches its single release point in
+// dag_after_stage.
+void Cluster::dag_helper_step(RepairBatch* b, std::size_t helper_index) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  if (pg.generation != b->gen) {
+    if (--b->stage_pending == 0) dag_after_stage(b);
+    return;
+  }
+  const RepairShape::DagHelper& h =
+      pg.shape_base.stages[b->stage].helpers[helper_index];
+  const std::uint64_t rounds = b->rounds;
+  const auto slice = [rounds](std::uint64_t v) {
+    return std::max<std::uint64_t>(1, v / rounds);
+  };
+  Osd& hosd = *osds_[static_cast<std::size_t>(h.osd)];
+  sim::SimTime t_cpu = engine_.now();
+  if (h.combine_bytes > 0) {
+    t_cpu = hosd.cpu.compute(engine_, slice(h.combine_bytes * b->batch),
+                             h.combine_cost);
+  }
+  if (h.fwd_bytes == 0) {  // degenerate: nothing leaves this helper
+    engine_.schedule_at(t_cpu, [this, b] {
+      if (--b->stage_pending == 0) dag_after_stage(b);
+    }, sim::EventTag::kRecovery);
+    return;
+  }
+  Host* src = hosts_[static_cast<std::size_t>(hosd.host)].get();
+  const OsdId dst_osd = h.fwd_osd == kNoOsd ? b->primary : h.fwd_osd;
+  Host* dst = hosts_[static_cast<std::size_t>(
+                         osds_[static_cast<std::size_t>(dst_osd)]->host)]
+                  .get();
+  const std::uint64_t fbytes = slice(h.fwd_bytes * b->batch);
+  const std::uint64_t fmsgs = slice(h.fwd_msgs * b->batch);
+  engine_.schedule_at(t_cpu, [this, b, src, dst, fbytes, fmsgs] {
+    report_.bytes_on_wire_for_recovery += fbytes;
+    const sim::SimTime t_tx = src->nic.send(engine_, fbytes, fmsgs);
+    engine_.schedule_at(t_tx, [this, b, dst, fbytes, fmsgs] {
+      const sim::SimTime t_rx = dst->nic.recv(engine_, fbytes, fmsgs);
+      engine_.schedule_at(t_rx, [this, b] {
+        if (--b->stage_pending == 0) dag_after_stage(b);
+      }, sim::EventTag::kRecovery);
+    }, sim::EventTag::kRecovery);
+  }, sim::EventTag::kRecovery);
+}
+
+// Stage barrier at the primary: charge this stage's target-side combine
+// work (plus, on the round's last stage, the sub-packetized decode
+// overhead), then open the next stage or fall through to the write
+// fan-out. Also the batch's bail-out point for epoch changes discovered
+// mid-stage.
+void Cluster::dag_after_stage(RepairBatch* b) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  if (pg.generation != b->gen) {
+    report_.repairs_wasted += b->batch;
+    repair_batch_pool_.release(b);
+    return;
+  }
+  const RepairShape::DagStage& st = pg.shape_base.stages[b->stage];
+  Osd& p = *osds_[static_cast<std::size_t>(b->primary)];
+  sim::SimTime t_cpu = engine_.now();
+  if (st.target_bytes > 0) {
+    t_cpu = p.cpu.compute(
+        engine_,
+        std::max<std::uint64_t>(1, st.target_bytes * b->batch / b->rounds),
+        st.target_cost);
+  }
+  const bool last = b->stage + 1 >= b->num_stages;
+  if (last && b->decode_extra_s > 0) {
+    t_cpu = p.cpu.busy_for(engine_,
+                           b->decode_extra_s / static_cast<double>(b->rounds));
+  }
+  engine_.schedule_at(t_cpu, [this, b, last] {
+    if (last) {
+      issue_repair_writes(b);
+    } else {
+      ++b->stage;
+      issue_dag_stage(b);
+    }
+  }, sim::EventTag::kRecovery);
+}
+
 // Decode at the primary, then push the rebuilt shards to their new homes.
 // Reached from the last helper-read completion of the round; the batch
 // releases back to the pool at the single terminal of the chain (last
@@ -579,62 +875,71 @@ void Cluster::repair_after_decode(RepairBatch* b) {
     t_cpu = p.cpu.busy_for(engine_,
                            b->decode_extra_s / static_cast<double>(b->rounds));
   }
-  engine_.schedule_at(t_cpu, [this, b] {
-    const std::uint64_t rounds = b->rounds;
-    Host* phost = hosts_[static_cast<std::size_t>(
-                             osds_[static_cast<std::size_t>(b->primary)]->host)]
-                      .get();
-    b->writes_pending = b->num_writes;
-    for (std::size_t wi = 0; wi < b->num_writes; ++wi) {
-      const auto& w = b->writes[wi];
-      const std::uint64_t wbytes = std::max<std::uint64_t>(1, w.bytes / rounds);
-      report_.bytes_written_for_recovery += wbytes;
-      const sim::SimTime t_tx = phost->nic.send(
-          engine_, wbytes, std::max<std::uint64_t>(1, w.msgs / rounds));
-      engine_.schedule_at(t_tx, [this, b, wi, wbytes] {
-        const auto& w2 = b->writes[wi];
-        Host* thost =
-            hosts_[static_cast<std::size_t>(
-                       osds_[static_cast<std::size_t>(w2.osd)]->host)]
-                .get();
-        const sim::SimTime t_rx = thost->nic.recv(
-            engine_, wbytes,
-            std::max<std::uint64_t>(1, w2.msgs / b->rounds));
-        engine_.schedule_at(t_rx, [this, b, wi, wbytes] {
-          const auto& w3 = b->writes[wi];
-          const std::uint64_t eff = static_cast<std::uint64_t>(
-              static_cast<double>(wbytes) /
-              config_.protocol.recovery_bw_fraction);
-          const sim::SimTime t_wr = osd_write(
-              w3.osd, eff, std::max<std::uint64_t>(1, w3.ios / b->rounds));
-          // mClock grant latency: completion visible after the delay.
-          engine_.schedule_at(
-              t_wr + config_.protocol.mclock_queue_delay_s,
-              [this, b] {
-                if (--b->writes_pending != 0) return;
-                ++b->round;
-                if (b->round < b->rounds) {
-                  issue_repair_round(b);
-                  return;
-                }
-                // Account the rebuilt chunks on their new homes.
-                Pg& done_pg = *pgs_[static_cast<std::size_t>(b->pg)];
-                if (done_pg.generation == b->gen) {
-                  for (std::size_t i = 0; i < b->num_writes; ++i) {
-                    for (std::uint64_t j = 0; j < b->batch; ++j) {
-                      osds_[static_cast<std::size_t>(b->writes[i].osd)]
-                          ->store.write_chunk(b->writes[i].bytes / b->batch);
-                    }
+  engine_.schedule_at(t_cpu, [this, b] { issue_repair_writes(b); },
+                      sim::EventTag::kRecovery);
+}
+
+// Push the rebuilt shards to their new homes — the shared tail of the flat
+// path (after the primary's decode) and the DAG path (after the last
+// stage's barrier). The round advance at the terminal re-enters
+// issue_repair_round, which re-branches into whichever path the shape
+// prescribes.
+void Cluster::issue_repair_writes(RepairBatch* b) {
+  const std::uint64_t rounds = b->rounds;
+  Host* phost = hosts_[static_cast<std::size_t>(
+                           osds_[static_cast<std::size_t>(b->primary)]->host)]
+                    .get();
+  b->writes_pending = b->num_writes;
+  for (std::size_t wi = 0; wi < b->num_writes; ++wi) {
+    const auto& w = b->writes[wi];
+    const std::uint64_t wbytes = std::max<std::uint64_t>(1, w.bytes / rounds);
+    report_.bytes_written_for_recovery += wbytes;
+    report_.bytes_on_wire_for_recovery += wbytes;
+    const sim::SimTime t_tx = phost->nic.send(
+        engine_, wbytes, std::max<std::uint64_t>(1, w.msgs / rounds));
+    engine_.schedule_at(t_tx, [this, b, wi, wbytes] {
+      const auto& w2 = b->writes[wi];
+      Host* thost =
+          hosts_[static_cast<std::size_t>(
+                     osds_[static_cast<std::size_t>(w2.osd)]->host)]
+              .get();
+      const sim::SimTime t_rx = thost->nic.recv(
+          engine_, wbytes,
+          std::max<std::uint64_t>(1, w2.msgs / b->rounds));
+      engine_.schedule_at(t_rx, [this, b, wi, wbytes] {
+        const auto& w3 = b->writes[wi];
+        const std::uint64_t eff = static_cast<std::uint64_t>(
+            static_cast<double>(wbytes) /
+            config_.protocol.recovery_bw_fraction);
+        const sim::SimTime t_wr = osd_write(
+            w3.osd, eff, std::max<std::uint64_t>(1, w3.ios / b->rounds));
+        // mClock grant latency: completion visible after the delay.
+        engine_.schedule_at(
+            t_wr + config_.protocol.mclock_queue_delay_s,
+            [this, b] {
+              if (--b->writes_pending != 0) return;
+              ++b->round;
+              if (b->round < b->rounds) {
+                issue_repair_round(b);
+                return;
+              }
+              // Account the rebuilt chunks on their new homes.
+              Pg& done_pg = *pgs_[static_cast<std::size_t>(b->pg)];
+              if (done_pg.generation == b->gen) {
+                for (std::size_t i = 0; i < b->num_writes; ++i) {
+                  for (std::uint64_t j = 0; j < b->batch; ++j) {
+                    osds_[static_cast<std::size_t>(b->writes[i].osd)]
+                        ->store.write_chunk(b->writes[i].bytes / b->batch);
                   }
                 }
-                complete_object_repair(done_pg, b->gen, b->batch);
-                repair_batch_pool_.release(b);
-              },
-              sim::EventTag::kRecovery);
-        }, sim::EventTag::kRecovery);
+              }
+              complete_object_repair(done_pg, b->gen, b->batch);
+              repair_batch_pool_.release(b);
+            },
+            sim::EventTag::kRecovery);
       }, sim::EventTag::kRecovery);
-    }
-  }, sim::EventTag::kRecovery);
+    }, sim::EventTag::kRecovery);
+  }
 }
 
 void Cluster::complete_object_repair(Pg& pg, int generation,

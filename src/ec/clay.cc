@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "ec/ecdag.h"
 #include "util/hotpath.h"
 
 namespace ecf::ec {
@@ -336,41 +337,96 @@ Buffer ClayCode::repair_one(
   return out;
 }
 
-RepairPlan ClayCode::repair_plan(const std::vector<std::size_t>& erased) const {
+RepairDag ClayCode::repair_dag(const std::vector<std::size_t>& erased) const {
   check_erasures(*this, erased);
-  RepairPlan plan;
+  RepairDag dag;
   if (erased.size() == 1) {
-    // Bandwidth-optimal: read α/q sub-chunks from each of d helpers.
+    // Bandwidth-optimal: read α/q sub-chunks from each of d helpers, one
+    // target-side solve over all of them. Pair transforms + plane solves
+    // cost more GF work per reconstructed byte than a plain k-term RS
+    // decode.
     const std::size_t runs = repair_subchunk_runs(erased[0]);
+    std::vector<RepairDag::NodeId> reads;
+    reads.reserve(d_);
     std::size_t taken = 0;
     for (std::size_t i = 0; i < n_ && taken < d_; ++i) {
       if (i == erased[0]) continue;
-      plan.reads.push_back({i, 1.0 / static_cast<double>(q_), runs});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
+      reads.push_back(  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers")
+          dag.add_read(i, 1.0 / static_cast<double>(q_), runs));
       ++taken;
     }
-    // Pair transforms + plane solves cost more GF work per reconstructed
-    // byte than a plain k-term RS decode.
-    plan.decode_cost_factor = 2.0;
-    plan.bandwidth_optimal = (d_ == n_ - 1);
-  } else {
-    // Multi-failure: full-stripe decode. Unlike RS, the coupled-layer
-    // construction cannot decode from an arbitrary k-subset of chunks: the
-    // pairwise transforms need the partner sub-chunks of *every* surviving
-    // node (decode_internal consumes all n-e survivors). The engine also
-    // walks planes in intersection-score order — q scattered segments per
-    // encoding unit rather than one linear read — and pays the pair
-    // transforms on top of per-plane MDS solves. This is why Clay loses
-    // (and can invert) its advantage under multi-failure patterns
-    // (Fig. 2d).
-    for (std::size_t i = 0; i < n_; ++i) {
-      if (std::binary_search(erased.begin(), erased.end(), i)) continue;
-      plan.reads.push_back({i, 1.0, q_});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
-    }
-    plan.decode_cost_factor = 3.0;
-    plan.bandwidth_optimal = false;
-    plan.fetch_stages = erased.size();
+    const RepairDag::NodeId solve =
+        dag.add_combine(RepairDag::kTargetLoc, reads, 1.0, 2.0);
+    dag.add_write({solve});
+    dag.decode_cost_factor = 2.0;
+    dag.bandwidth_optimal = (d_ == n_ - 1);
+    return dag;
   }
-  return plan;
+  // Multi-failure: full-stripe decode. Unlike RS, the coupled-layer
+  // construction cannot decode from an arbitrary k-subset of chunks: the
+  // pairwise transforms need the partner sub-chunks of *every* surviving
+  // node (decode_internal consumes all n-e survivors). The engine also
+  // walks planes in intersection-score order — level s+1's pair transforms
+  // need level s's solved partners, so each non-empty IS level is a
+  // dependent fetch stage of |level|/α of every survivor, read as q
+  // scattered segments per encoding unit rather than one linear pass — and
+  // pays the pair transforms on top of per-plane MDS solves. This is why
+  // Clay loses (and can invert) its advantage under multi-failure patterns
+  // (Fig. 2d).
+  std::vector<std::size_t> survivors;
+  survivors.reserve(n_ - erased.size());
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (std::binary_search(erased.begin(), erased.end(), i)) continue;
+    survivors.push_back(i);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+  }
+  // Plane population per intersection score, as decode_internal walks it.
+  std::vector<std::size_t> level_sizes(t_ + 1, 0);
+  for (std::size_t z = 0; z < alpha_; ++z) {
+    std::size_t is = 0;
+    for (const std::size_t e : erased) {
+      if (digit(z, e / q_) == e % q_) ++is;
+    }
+    ++level_sizes[is];
+  }
+  std::vector<double> level_fracs;
+  level_fracs.reserve(level_sizes.size());
+  for (const std::size_t sz : level_sizes) {
+    if (sz == 0) continue;
+    level_fracs.push_back(static_cast<double>(sz) /  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers")
+                          static_cast<double>(alpha_));
+  }
+  const double e_count = static_cast<double>(erased.size());
+  RepairDag::NodeId prev = 0;
+  double cum = 0;
+  std::vector<RepairDag::NodeId> inputs;
+  for (std::size_t lvl = 0; lvl < level_fracs.size(); ++lvl) {
+    const double frac = level_fracs[lvl];
+    const bool last = lvl + 1 == level_fracs.size();
+    inputs.clear();
+    if (lvl > 0) inputs.push_back(prev);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+    for (const std::size_t s : survivors) {
+      // The first level opens the q-segment scatter sweep over each
+      // survivor (charged once); later gated reads continue it.
+      const RepairDag::NodeId r =
+          lvl == 0 ? dag.add_read(s, frac, q_)
+                   : dag.add_staged_read(s, frac, 0, {prev});
+      inputs.push_back(r);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+    }
+    cum += frac;
+    // Cumulative reconstructed fraction of the e erased chunks; per-level
+    // cost weights sum to the plan-level 3.0 per reconstructed byte.
+    const double out = last ? e_count : e_count * cum;
+    const double cost = last ? 3.0 * frac : 3.0 * frac / cum;
+    prev = dag.add_combine(RepairDag::kTargetLoc, inputs, out, cost);
+  }
+  dag.add_write({prev});
+  dag.decode_cost_factor = 3.0;
+  dag.bandwidth_optimal = false;
+  return dag;
+}
+
+RepairPlan ClayCode::repair_plan(const std::vector<std::size_t>& erased) const {
+  return repair_dag(erased).to_repair_plan();
 }
 
 }  // namespace ecf::ec

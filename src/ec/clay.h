@@ -55,6 +55,12 @@ class ClayCode : public ErasureCode {
       std::vector<Buffer>& chunks,
       const std::vector<std::size_t>& erased) const override;
 
+  // Single failure: d sub-chunk reads feeding one target-side solve.
+  // Multi-failure: reads staged per intersection-score level (level s+1's
+  // planes need level s's solved partners), so fetch_stages is the number
+  // of non-empty IS levels — derived from the DAG, not hand-set.
+  [[nodiscard]] RepairDag repair_dag(
+      const std::vector<std::size_t>& erased) const override;
   [[nodiscard]] RepairPlan repair_plan(
       const std::vector<std::size_t>& erased) const override;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ec/ecdag.h"
 #include "util/hotpath.h"
 
 namespace ecf::ec {
@@ -42,6 +43,13 @@ RepairPlan ErasureCode::repair_plan(
   plan.decode_cost_factor = 1.0;
   plan.bandwidth_optimal = false;
   return plan;
+}
+
+RepairDag ErasureCode::repair_dag(
+    const std::vector<std::size_t>& erased) const {
+  // Flat fetch-all-then-decode wrap of the plan; overriders express real
+  // structure (helper-local combines, staged fetches) directly instead.
+  return RepairDag::from_plan(repair_plan(erased), erased.size());
 }
 
 void check_erasures(const ErasureCode& code,

@@ -66,6 +66,8 @@ struct RepairPlan {
   }
 };
 
+struct RepairDag;
+
 class ErasureCode {
  public:
   virtual ~ErasureCode() = default;
@@ -93,6 +95,14 @@ class ErasureCode {
 
   // I/O plan for repairing `erased`. Default: read any k survivors fully.
   [[nodiscard]] virtual RepairPlan repair_plan(
+      const std::vector<std::size_t>& erased) const;
+
+  // Structured repair description for `erased` (see ec/ecdag.h). The
+  // default wraps repair_plan() in a flat fetch-all-then-decode DAG;
+  // codes with helper-local combines or staged fetches override this
+  // (and derive repair_plan from it via RepairDag::to_repair_plan so the
+  // two views can never drift).
+  [[nodiscard]] virtual RepairDag repair_dag(
       const std::vector<std::size_t>& erased) const;
 
   // Theoretical storage amplification n/k (the value the paper shows the

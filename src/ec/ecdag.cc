@@ -1,0 +1,278 @@
+#include "ec/ecdag.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hotpath.h"
+#include "util/units.h"
+
+namespace ecf::ec {
+
+namespace {
+
+// Snap a merged fraction to a whole number of chunks when it is within
+// rounding noise of one: per-level fractions like |level|/alpha are not
+// exact binaries, but their sum across a full sweep *means* exactly 1.0.
+double snap_fraction(double f) {
+  const double nearest = std::round(f);
+  if (nearest >= 1.0 && std::abs(f - nearest) <= 1e-9) return nearest;
+  return f;
+}
+
+}  // namespace
+
+RepairDag::NodeId RepairDag::add_read(std::size_t chunk, double fraction,
+                                      std::size_t subchunk_ios) {
+  Node n;
+  n.kind = NodeKind::kRead;
+  n.loc = chunk;
+  n.chunk = chunk;
+  n.fraction = fraction;
+  n.subchunk_ios = subchunk_ios;
+  n.bytes_out = fraction;  ECF_UNIT_OK("bytes_in/bytes_out are chunk-fraction units throughout the DAG");
+  nodes.push_back(std::move(n));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+  return static_cast<NodeId>(nodes.size() - 1);
+}
+
+RepairDag::NodeId RepairDag::add_staged_read(std::size_t chunk, double fraction,
+                                             std::size_t subchunk_ios,
+                                             const std::vector<NodeId>& after) {
+  const NodeId id = add_read(chunk, fraction, subchunk_ios);
+  nodes[id].inputs = after;
+  return id;
+}
+
+RepairDag::NodeId RepairDag::add_combine(std::size_t loc,
+                                         const std::vector<NodeId>& inputs,
+                                         double bytes_out, double cost_weight) {
+  Node n;
+  n.kind = NodeKind::kCombine;
+  n.loc = loc;
+  n.inputs = inputs;
+  for (const NodeId in : inputs) {
+    if (in < nodes.size()) n.bytes_in += nodes[in].bytes_out;
+  }
+  n.bytes_out = bytes_out;
+  n.cost_weight = cost_weight;
+  nodes.push_back(std::move(n));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+  return static_cast<NodeId>(nodes.size() - 1);
+}
+
+RepairDag::NodeId RepairDag::add_write(const std::vector<NodeId>& inputs) {
+  Node n;
+  n.kind = NodeKind::kWrite;
+  n.loc = kTargetLoc;
+  n.inputs = inputs;
+  for (const NodeId in : inputs) {
+    if (in < nodes.size()) n.bytes_in += nodes[in].bytes_out;
+  }
+  n.bytes_out = n.bytes_in;
+  nodes.push_back(std::move(n));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+  return static_cast<NodeId>(nodes.size() - 1);
+}
+
+std::vector<std::string> RepairDag::validate() const {
+  std::vector<std::string> errors;
+  const auto fail = [&errors](std::string msg) {
+    errors.push_back(std::move(msg));
+  };
+  if (nodes.empty()) {
+    fail("empty DAG (unrecoverable erasure pattern?)");
+    return errors;
+  }
+
+  std::size_t writes = 0;
+  std::vector<bool> consumed(nodes.size(), false);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    const std::string where = "node " + std::to_string(i);
+    // Topological input order: every edge points backwards, so the graph
+    // is acyclic by construction (and a hand-built forward edge is the
+    // cycle the validator reports).
+    for (const NodeId in : n.inputs) {
+      if (in >= nodes.size()) {
+        fail(where + ": input " + std::to_string(in) + " out of range");
+      } else if (in >= i) {
+        fail(where + ": input " + std::to_string(in) +
+             " not topologically earlier (cycle)");
+      } else {
+        consumed[in] = true;
+      }
+    }
+    switch (n.kind) {
+      case NodeKind::kRead:
+        if (!(n.fraction > 0.0) || n.fraction > 1.0) {
+          fail(where + ": read fraction must be in (0, 1]");
+        }
+        break;
+      case NodeKind::kCombine: {
+        if (n.inputs.empty()) fail(where + ": combine with no inputs");
+        if (!(n.bytes_out > 0)) fail(where + ": combine produces no bytes");
+        double in_sum = 0;
+        for (const NodeId in : n.inputs) {
+          if (in < i) in_sum += nodes[in].bytes_out;
+        }
+        if (std::abs(in_sum - n.bytes_in) > 1e-9) {
+          fail(where + ": combine bytes_in does not conserve input bytes");
+        }
+        break;
+      }
+      case NodeKind::kWrite: {
+        ++writes;
+        if (n.inputs.empty()) fail(where + ": write with no inputs");
+        if (n.loc != kTargetLoc) fail(where + ": write not at the target");
+        double in_sum = 0;
+        for (const NodeId in : n.inputs) {
+          if (in < i) in_sum += nodes[in].bytes_out;
+        }
+        if (std::abs(in_sum - n.bytes_in) > 1e-9 ||
+            std::abs(n.bytes_out - n.bytes_in) > 1e-9) {
+          fail(where + ": write does not conserve bytes");
+        }
+        break;
+      }
+    }
+  }
+  if (writes != 1) {
+    fail("expected exactly one write sink, found " + std::to_string(writes));
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].kind != NodeKind::kWrite && !consumed[i]) {
+      fail("node " + std::to_string(i) + " has no consumer (dangling sink)");
+    }
+  }
+  return errors;
+}
+
+void RepairDag::compute_stages(std::vector<std::size_t>& out) const {
+  out.assign(nodes.size(), 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    std::size_t in_max = 0;
+    for (const NodeId in : n.inputs) {
+      if (in < i) in_max = std::max(in_max, out[in]);
+    }
+    // Reads open a fetch stage after everything they are gated on;
+    // combines and the write happen within the stage of their last input.
+    out[i] = n.kind == NodeKind::kRead ? in_max + 1 : in_max;
+  }
+}
+
+std::size_t RepairDag::fetch_stages() const {
+  std::vector<std::size_t> stage;
+  compute_stages(stage);
+  std::size_t s = 1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].kind == NodeKind::kRead) s = std::max(s, stage[i]);
+  }
+  return s;
+}
+
+std::vector<std::size_t> RepairDag::node_stages() const {
+  std::vector<std::size_t> stage;
+  compute_stages(stage);
+  return stage;
+}
+
+std::size_t RepairDag::depth() const {
+  std::vector<std::size_t> d(nodes.size(), 1);
+  std::size_t best = nodes.empty() ? 0 : 1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const NodeId in : nodes[i].inputs) {
+      if (in < i) d[i] = std::max(d[i], d[in] + 1);
+    }
+    best = std::max(best, d[i]);
+  }
+  return best;
+}
+
+double RepairDag::wire_fraction() const {
+  double wire = 0;
+  for (std::size_t p = 0; p < nodes.size(); ++p) {
+    if (nodes[p].bytes_out <= 0) continue;
+    // Each producer ships its output once per distinct consumer location
+    // (a target-side broadcast to several combines is one transfer). Gate
+    // edges into reads carry no bytes.
+    std::vector<std::size_t> dests;
+    for (std::size_t c = p + 1; c < nodes.size(); ++c) {
+      if (nodes[c].kind == NodeKind::kRead) continue;
+      if (std::find(nodes[c].inputs.begin(), nodes[c].inputs.end(),
+                    static_cast<NodeId>(p)) == nodes[c].inputs.end()) {
+        continue;
+      }
+      if (nodes[c].loc == nodes[p].loc) continue;
+      if (std::find(dests.begin(), dests.end(), nodes[c].loc) == dests.end()) {
+        dests.push_back(nodes[c].loc);
+      }
+    }
+    wire += nodes[p].bytes_out * static_cast<double>(dests.size());
+  }
+  return wire;
+}
+
+double RepairDag::target_rx_fraction() const {
+  double rx = 0;
+  for (std::size_t p = 0; p < nodes.size(); ++p) {
+    if (nodes[p].bytes_out <= 0 || nodes[p].loc == kTargetLoc) continue;
+    bool feeds_target = false;
+    for (std::size_t c = p + 1; c < nodes.size() && !feeds_target; ++c) {
+      if (nodes[c].kind == NodeKind::kRead || nodes[c].loc != kTargetLoc) {
+        continue;
+      }
+      feeds_target = std::find(nodes[c].inputs.begin(), nodes[c].inputs.end(),
+                               static_cast<NodeId>(p)) != nodes[c].inputs.end();
+    }
+    if (feeds_target) rx += nodes[p].bytes_out;
+  }
+  return rx;
+}
+
+bool RepairDag::structured() const {
+  for (const Node& n : nodes) {
+    if (n.kind == NodeKind::kCombine && n.loc != kTargetLoc) return true;
+    if (n.kind == NodeKind::kRead && !n.inputs.empty()) return true;
+  }
+  return false;
+}
+
+RepairPlan RepairDag::to_repair_plan() const {
+  RepairPlan plan;
+  plan.decode_cost_factor = decode_cost_factor;
+  plan.bandwidth_optimal = bandwidth_optimal;
+  plan.fetch_stages = fetch_stages();
+  for (const Node& n : nodes) {
+    if (n.kind != NodeKind::kRead) continue;
+    auto it = std::find_if(plan.reads.begin(), plan.reads.end(),
+                           [&n](const RepairPlan::Read& r) {
+                             return r.chunk == n.chunk;
+                           });
+    if (it == plan.reads.end()) {
+      plan.reads.push_back({n.chunk, n.fraction, n.subchunk_ios});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
+    } else {
+      it->fraction += n.fraction;
+      it->subchunk_ios += n.subchunk_ios;
+    }
+  }
+  for (auto& r : plan.reads) r.fraction = snap_fraction(r.fraction);
+  return plan;
+}
+
+RepairDag RepairDag::from_plan(const RepairPlan& plan,
+                               std::size_t erased_count) {
+  RepairDag dag;
+  dag.decode_cost_factor = plan.decode_cost_factor;
+  dag.bandwidth_optimal = plan.bandwidth_optimal;
+  if (plan.reads.empty()) return dag;  // unrecoverable: empty DAG
+  std::vector<NodeId> reads;
+  reads.reserve(plan.reads.size());
+  for (const auto& r : plan.reads) {
+    reads.push_back(dag.add_read(r.chunk, r.fraction, r.subchunk_ios));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+  }
+  const NodeId decode =
+      dag.add_combine(kTargetLoc, reads, static_cast<double>(erased_count),
+                      plan.decode_cost_factor);
+  dag.add_write({decode});
+  return dag;
+}
+
+}  // namespace ecf::ec

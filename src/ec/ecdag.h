@@ -1,0 +1,142 @@
+// Repair DAGs: structured repair description, after OpenEC's ECDAG model.
+//
+// A RepairPlan is a flat read-set — enough to charge "fetch everything,
+// then decode" — but it cannot express *where* partial results are
+// computed or *when* each read becomes issuable. A RepairDag can:
+//
+//   * kRead nodes    — a (chunk, fraction, sub-chunk-run) read executed at
+//                      the surviving chunk's location;
+//   * kCombine nodes — a GF scale/XOR/solve step executed at a location
+//                      (a helper chunk position, or the repair target);
+//   * kWrite node    — the single sink: the reconstructed chunk(s) landing
+//                      at the repair target.
+//
+// Edges are data dependencies (node `inputs`). Each node carries
+// bytes-in/bytes-out (in chunk-fraction units: 1.0 = one full chunk) and a
+// decode-cost weight (GF work per produced byte; 1.0 = a k-term RS decode
+// pass). Read nodes use `inputs` as *control-only* stage gates: a read
+// gated on a combine cannot issue before that combine finishes (the Clay
+// multi-erasure decode fetches planes level by level), but the gate edge
+// carries no bytes.
+//
+// Two consumers:
+//   * to_repair_plan() lowers any DAG to the flat RepairPlan every
+//     existing consumer understands — reads merged per chunk,
+//     fetch_stages derived from the DAG's read-stage depth;
+//   * the cluster's RecoveryManager (cluster/recovery.cc) can execute the
+//     DAG stage by stage, running helper-local combines on the helper's
+//     CPU and forwarding only the combined bytes across the fabric.
+//
+// validate() checks structural sanity: topological construction
+// (acyclicity), a single kWrite sink that every other node feeds, and
+// conservation of bytes through combines and the write.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ec/code.h"
+
+namespace ecf::ec {
+
+struct RepairDag {
+  using NodeId = std::uint32_t;
+
+  // Location sentinel for "the repair target" (the OSD conducting the
+  // decode); every other location is a surviving chunk position.
+  static constexpr std::size_t kTargetLoc = static_cast<std::size_t>(-1);
+
+  enum class NodeKind : std::uint8_t { kRead, kCombine, kWrite };
+
+  struct Node {
+    NodeKind kind = NodeKind::kRead;
+    // Execution site: chunk position for reads/helper combines, kTargetLoc
+    // for target-side combines and the final write.
+    std::size_t loc = kTargetLoc;
+    // kRead only: which surviving chunk, what fraction of it, and how many
+    // scattered sub-chunk runs per encoding unit the read touches. A
+    // gated continuation read may carry 0 runs: it extends a scatter sweep
+    // an earlier stage already opened (the per-unit run estimate is
+    // charged once).
+    std::size_t chunk = 0;
+    double fraction = 0;
+    std::size_t subchunk_ios = 1;
+    // Chunk-fraction units (1.0 = one full chunk). Reads produce
+    // `fraction`; combines consume the full output of each data input and
+    // produce bytes_out; the write consumes and lands bytes_in.
+    double bytes_in = 0;
+    double bytes_out = 0;
+    // GF work per produced byte; 1.0 = one k-term RS decode pass.
+    double cost_weight = 0;
+    // Data dependencies (producers). For kRead nodes these are
+    // control-only stage gates and carry no bytes.
+    std::vector<NodeId> inputs;
+  };
+
+  std::vector<Node> nodes;
+  // Plan-level metadata preserved through the lowering.
+  double decode_cost_factor = 1.0;
+  bool bandwidth_optimal = false;
+
+  // --- builders (inputs must reference already-added nodes) ---------------
+  NodeId add_read(std::size_t chunk, double fraction,
+                  std::size_t subchunk_ios = 1);
+  // A read that may not issue before `after` finish (control-only edges).
+  NodeId add_staged_read(std::size_t chunk, double fraction,
+                         std::size_t subchunk_ios,
+                         const std::vector<NodeId>& after);
+  NodeId add_combine(std::size_t loc, const std::vector<NodeId>& inputs,
+                     double bytes_out, double cost_weight);
+  NodeId add_write(const std::vector<NodeId>& inputs);
+
+  // --- validation ---------------------------------------------------------
+  // Structural errors, empty when well-formed: topological input order
+  // (which implies acyclicity), exactly one kWrite and it is the unique
+  // sink, read fractions in (0, 1], and byte conservation at every combine
+  // and at the write. An empty DAG (unrecoverable pattern) is an error.
+  std::vector<std::string> validate() const;
+
+  // --- structural queries -------------------------------------------------
+  // Sequential fetch stages: longest chain of dependent *reads* (a read
+  // gated on a combine of stage s reads at stage s+1). 1 for any DAG whose
+  // reads are all issuable up front; >= 1 always.
+  std::size_t fetch_stages() const;
+  // Longest node path (nodes on the DAG's critical path).
+  std::size_t depth() const;
+  // Chunk-fraction units crossing locations (each producer counted once
+  // per distinct consumer location; gate edges excluded) — the repair's
+  // bytes on the wire per reconstructed chunk-size unit.
+  double wire_fraction() const;
+  // Chunk-fraction units entering the repair target — what helper-local
+  // combining saves relative to wire_fraction() of the flat plan.
+  double target_rx_fraction() const;
+  // True when execution differs from fetch-all-then-decode: any
+  // helper-local combine or any gated (staged) read.
+  bool structured() const;
+  // Per-node stage numbers (reads advance the stage, combines and the
+  // write inherit the max of their inputs) — what a stage-by-stage
+  // executor (cluster/recovery.cc) schedules from. Entry i is node i's
+  // stage; read stages are >= 1.
+  std::vector<std::size_t> node_stages() const;
+
+  // --- lowering -----------------------------------------------------------
+  // Flat plan: reads merged per chunk in first-appearance order (fractions
+  // summed — sums within 1e-9 of a whole number of chunks snap exact, so
+  // staged per-level reads lower back to the hand-built full-chunk plans
+  // bit for bit), fetch_stages() derived, metadata copied.
+  RepairPlan to_repair_plan() const;
+
+  // The default flat wrap: every plan read feeds one target-side combine
+  // (cost = the plan's decode_cost_factor, output = the reconstructed
+  // chunks) feeding the write. Models a fetch_stages=1 repair; codes with
+  // genuinely staged fetches override ErasureCode::repair_dag instead.
+  static RepairDag from_plan(const RepairPlan& plan, std::size_t erased_count);
+
+ private:
+  // Per-node stage numbers (reads advance the stage, combines/writes
+  // inherit the max of their inputs). out must have nodes.size() entries.
+  void compute_stages(std::vector<std::size_t>& out) const;
+};
+
+}  // namespace ecf::ec

@@ -1,0 +1,346 @@
+#include "ec/hitchhiker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ec/ecdag.h"
+#include "util/hotpath.h"
+
+namespace ecf::ec {
+
+HitchhikerCode::HitchhikerCode(std::size_t n, std::size_t k,
+                               RsTechnique technique)
+    : n_(n), k_(k), base_(n, k, technique) {
+  // base_ already enforced 0 < k < n <= 255.
+  const std::size_t m = n - k;
+  if (m < 2) {
+    throw std::invalid_argument("Hitchhiker requires m >= 2 parities");
+  }
+  if (k < m - 1) {
+    throw std::invalid_argument("Hitchhiker requires k >= m-1 (non-empty groups)");
+  }
+  // m-1 contiguous groups; the first k % (m-1) groups take the extra chunk.
+  const std::size_t ngroups = m - 1;
+  const std::size_t base_size = k / ngroups;
+  const std::size_t extra = k % ngroups;
+  group_start_.resize(ngroups + 1);
+  group_start_[0] = 0;
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    group_start_[g + 1] = group_start_[g] + base_size + (g < extra ? 1 : 0);
+  }
+}
+
+std::string HitchhikerCode::name() const {
+  return "Hitchhiker(" + std::to_string(n_) + "," + std::to_string(k_) + ")";
+}
+
+std::size_t HitchhikerCode::group_of(std::size_t data_chunk) const {
+  // Input-contract check, amortized to plan-build frequency by the repair
+  // caches (same convention as check_erasures).
+  if (data_chunk >= k_) {
+    throw std::invalid_argument("group_of: data chunks only");  // ecf-analyze: allow(event-throw)
+  }
+  std::size_t g = 0;
+  while (group_start_[g + 1] <= data_chunk) ++g;
+  return g;
+}
+
+std::vector<std::size_t> HitchhikerCode::group_members(
+    std::size_t group) const {
+  if (group >= groups()) throw std::invalid_argument("group_members: bad group");  // ecf-analyze: allow(event-throw)
+  std::vector<std::size_t> out;
+  for (std::size_t d = group_start_[group]; d < group_start_[group + 1]; ++d) {
+    out.push_back(d);  ECF_ALLOC_OK("bounded: <= group-size members, plan-build frequency");
+  }
+  return out;
+}
+
+void HitchhikerCode::encode(std::vector<Buffer>& chunks) const {
+  check_chunks(chunks);  // alpha = 2 ensures an even chunk size
+  const std::size_t half = chunks[0].size() / 2;
+  const gf::Matrix& gen = base_.generator();
+
+  std::vector<const Byte*> a_in(k_), b_in(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    a_in[i] = chunks[i].data();
+    b_in[i] = chunks[i].data() + half;
+  }
+  std::vector<std::size_t> rows(m());
+  std::vector<Byte*> a_out(m()), b_out(m());
+  for (std::size_t p = k_; p < n_; ++p) {
+    rows[p - k_] = p;
+    a_out[p - k_] = chunks[p].data();
+    b_out[p - k_] = chunks[p].data() + half;
+  }
+  gen.apply_rows(rows, a_in, a_out, half);  // p_i^a = f_i(a)
+  gen.apply_rows(rows, b_in, b_out, half);  // f_i(b), unadjusted
+  // Piggyback: p_i^b = f_i(b) ⊕ XOR_{j∈S_i} a_j for i >= 2.
+  for (std::size_t g = 0; g < groups(); ++g) {
+    Byte* dst = chunks[group_parity(g)].data() + half;
+    for (std::size_t j = group_start_[g]; j < group_start_[g + 1]; ++j) {
+      gf::xor_region(chunks[j].data(), dst, half);
+    }
+  }
+}
+
+bool HitchhikerCode::decode(std::vector<Buffer>& chunks,
+                            const std::vector<std::size_t>& erased) const {
+  check_chunks(chunks);
+  check_erasures(*this, erased);
+  const std::size_t half = chunks[0].size() / 2;
+  const gf::Matrix& gen = base_.generator();
+
+  // The first k surviving chunks drive both substripe solves.
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < n_ && rows.size() < k_; ++i) {
+    if (std::binary_search(erased.begin(), erased.end(), i)) continue;
+    rows.push_back(i);
+  }
+  if (rows.size() < k_) return false;
+  const auto dec = rs_decode_matrix(gen, rows);
+  if (!dec) return false;  // cannot happen for an MDS base
+
+  // a-substripe: survivors' a-halves are plain RS symbols.
+  std::vector<Buffer> a(k_, Buffer(half));
+  {
+    std::vector<const Byte*> in(k_);
+    std::vector<Byte*> out(k_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      in[i] = chunks[rows[i]].data();
+      out[i] = a[i].data();
+    }
+    gf::matrix_apply(*dec, in, out, half);
+  }
+
+  // b-substripe symbols: data b-halves and p_1^b are clean; surviving
+  // piggybacked parities are stripped into scratch copies (the survivors'
+  // stored bytes must not be modified).
+  std::vector<Buffer> stripped(groups());
+  std::vector<const Byte*> b_sym(n_, nullptr);
+  for (const std::size_t r : rows) {
+    if (r < k_ || r == k_) {
+      b_sym[r] = chunks[r].data() + half;
+    } else {
+      const std::size_t g = r - k_ - 1;
+      stripped[g].assign(chunks[r].begin() + static_cast<std::ptrdiff_t>(half),
+                         chunks[r].end());
+      for (std::size_t j = group_start_[g]; j < group_start_[g + 1]; ++j) {
+        gf::xor_region(a[j].data(), stripped[g].data(), half);
+      }
+      b_sym[r] = stripped[g].data();
+    }
+  }
+
+  std::vector<Buffer> b(k_, Buffer(half));
+  {
+    std::vector<const Byte*> in(k_);
+    std::vector<Byte*> out(k_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      in[i] = b_sym[rows[i]];
+      out[i] = b[i].data();
+    }
+    gf::matrix_apply(*dec, in, out, half);
+  }
+
+  // Rebuild the erased chunks from the solved data halves.
+  std::vector<const Byte*> a_data(k_), b_data(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    a_data[i] = a[i].data();
+    b_data[i] = b[i].data();
+  }
+  std::vector<std::size_t> parity_rows;
+  std::vector<Byte*> pa_out, pb_out;
+  for (const std::size_t e : erased) {
+    if (e < k_) {
+      std::copy(a[e].begin(), a[e].end(), chunks[e].begin());
+      std::copy(b[e].begin(), b[e].end(),
+                chunks[e].begin() + static_cast<std::ptrdiff_t>(half));
+    } else {
+      parity_rows.push_back(e);
+      pa_out.push_back(chunks[e].data());
+      pb_out.push_back(chunks[e].data() + half);
+    }
+  }
+  if (!parity_rows.empty()) {
+    gen.apply_rows(parity_rows, a_data, pa_out, half);
+    gen.apply_rows(parity_rows, b_data, pb_out, half);
+    for (std::size_t i = 0; i < parity_rows.size(); ++i) {
+      if (parity_rows[i] == k_) continue;  // p_1 carries no piggyback
+      const std::size_t g = parity_rows[i] - k_ - 1;
+      for (std::size_t j = group_start_[g]; j < group_start_[g + 1]; ++j) {
+        gf::xor_region(a[j].data(), pb_out[i], half);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<HitchhikerCode::HalfRef> HitchhikerCode::repair_reads(
+    std::size_t failed) const {
+  if (failed >= k_) {
+    throw std::invalid_argument("repair_reads: data chunks only");  // ecf-analyze: allow(event-throw)
+  }
+  const std::size_t g = group_of(failed);
+  const std::size_t pg = group_parity(g);
+  std::vector<HalfRef> out;
+  for (std::size_t c = 0; c < n_; ++c) {
+    if (c == failed) continue;
+    if (c < k_) {
+      // Every surviving data b-half feeds the b-solve (via p_1) and the
+      // f_i(b) recomputation; group members lend their a-half for the
+      // piggyback peel too.
+      if (group_of(c) == g) out.push_back({c, SubChunk::kA});  ECF_ALLOC_OK("bounded: <= k+|S_i| halves, plan-build frequency");
+      out.push_back({c, SubChunk::kB});  ECF_ALLOC_OK("bounded: <= k+|S_i| halves, plan-build frequency");
+    } else if (c == k_ || c == pg) {
+      out.push_back({c, SubChunk::kB});  ECF_ALLOC_OK("bounded: <= k+|S_i| halves, plan-build frequency");
+    }
+  }
+  return out;
+}
+
+Buffer HitchhikerCode::repair_one(std::size_t failed,
+                                  const std::vector<Buffer>& halves,
+                                  std::size_t chunk_size) const {
+  if (failed >= k_) {
+    throw std::invalid_argument("repair_one: data chunks only");
+  }
+  if (chunk_size == 0 || chunk_size % 2 != 0) {
+    throw std::invalid_argument("repair_one: chunk size not a multiple of 2");
+  }
+  const std::size_t half = chunk_size / 2;
+  const std::vector<HalfRef> refs = repair_reads(failed);
+  if (halves.size() != refs.size()) {
+    throw std::invalid_argument("repair_one: half-chunk count mismatch");
+  }
+  for (const Buffer& h : halves) {
+    if (h.size() != half) {
+      throw std::invalid_argument("repair_one: half-chunk size mismatch");
+    }
+  }
+  const gf::Matrix& gen = base_.generator();
+  const std::size_t g = group_of(failed);
+  const std::size_t pg = group_parity(g);
+
+  std::vector<const Byte*> b_data(k_, nullptr);
+  std::vector<const Byte*> a_group;
+  const Byte* p1_b = nullptr;
+  const Byte* pg_b = nullptr;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const HalfRef& r = refs[i];
+    const Byte* p = halves[i].data();
+    if (r.chunk < k_) {
+      if (r.half == SubChunk::kA) {
+        a_group.push_back(p);  ECF_ALLOC_OK("bounded: <= group-size halves, repair frequency");
+      } else {
+        b_data[r.chunk] = p;
+      }
+    } else if (r.chunk == k_) {
+      p1_b = p;
+    } else {
+      pg_b = p;
+    }
+  }
+
+  // b_failed: RS-solve the b-substripe from the k-1 surviving data
+  // b-halves plus p_1^b = f_1(b); only the failed row of the inverse is
+  // applied.
+  std::vector<std::size_t> rows;
+  for (std::size_t j = 0; j < k_; ++j) {
+    if (j != failed) rows.push_back(j);  ECF_ALLOC_OK("bounded: k rows, repair frequency");
+  }
+  rows.push_back(k_);  ECF_ALLOC_OK("bounded: k rows, repair frequency");
+  const auto dec = rs_decode_matrix(gen, rows);
+  if (!dec) throw std::logic_error("hitchhiker: b-solve matrix singular");
+
+  Buffer out(chunk_size, 0);
+  Byte* a_out = out.data();
+  Byte* b_out = out.data() + half;
+  for (std::size_t t = 0; t < k_; ++t) {
+    const std::size_t row = rows[t];
+    const Byte* sym = row == k_ ? p1_b : b_data[row];
+    gf::mul_acc(dec->at(failed, t), sym, b_out, half);
+  }
+
+  // a_failed: p_i^b ⊕ f_i(b) = XOR of the group's a-halves; peel with the
+  // surviving members' a-halves. f_i(b) needs every data b, including the
+  // just-solved b_failed.
+  gf::xor_region(pg_b, a_out, half);
+  for (std::size_t j = 0; j < k_; ++j) {
+    const Byte* sym = j == failed ? b_out : b_data[j];
+    gf::mul_acc(gen.at(pg, j), sym, a_out, half);
+  }
+  for (const Byte* ap : a_group) gf::xor_region(ap, a_out, half);
+  return out;
+}
+
+RepairDag HitchhikerCode::repair_dag(
+    const std::vector<std::size_t>& erased) const {
+  check_erasures(*this, erased);
+  RepairDag dag;
+  if (erased.size() == 1 && erased[0] < k_) {
+    const std::size_t failed = erased[0];
+    const std::size_t g = group_of(failed);
+    // Half-chunk reads in repair_reads() order. A group member's two
+    // halves are one contiguous range, so the pair costs a single I/O
+    // (the b read is a continuation).
+    std::vector<RepairDag::NodeId> b_reads;   // data b-halves, b-solve inputs
+    std::vector<RepairDag::NodeId> a_reads;   // group members' a-halves
+    RepairDag::NodeId p1_read = 0, pg_read = 0;
+    for (const HalfRef& r : repair_reads(failed)) {
+      if (r.chunk < k_) {
+        if (r.half == SubChunk::kA) {
+          a_reads.push_back(dag.add_read(r.chunk, 0.5, 1));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+        } else {
+          const std::size_t ios = group_of(r.chunk) == g ? 0 : 1;
+          b_reads.push_back(dag.add_read(r.chunk, 0.5, ios));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+        }
+      } else if (r.chunk == k_) {
+        p1_read = dag.add_read(r.chunk, 0.5, 1);
+      } else {
+        pg_read = dag.add_read(r.chunk, 0.5, 1);
+      }
+    }
+    // All combines run at the target: b-solve, then the piggyback strip
+    // (f_i(b) over every data b + p_i^b), then the a-XOR peel.
+    std::vector<RepairDag::NodeId> ins = b_reads;
+    ins.push_back(p1_read);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+    const RepairDag::NodeId bsolve =
+        dag.add_combine(RepairDag::kTargetLoc, ins, 0.5, 1.0);
+    ins = b_reads;
+    ins.push_back(pg_read);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+    ins.push_back(bsolve);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+    const RepairDag::NodeId strip =
+        dag.add_combine(RepairDag::kTargetLoc, ins, 0.5, 1.0);
+    ins.assign(1, strip);
+    ins.insert(ins.end(), a_reads.begin(), a_reads.end());  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+    const RepairDag::NodeId axor =
+        dag.add_combine(RepairDag::kTargetLoc, ins, 0.5, 0.5);
+    dag.add_write({bsolve, axor});
+    // Two RS-row passes + the XOR peel per reconstructed byte.
+    dag.decode_cost_factor = 1.25;
+    dag.bandwidth_optimal = false;
+    return dag;
+  }
+  // Parity or multi-failure: conventional full decode from k survivors.
+  std::vector<RepairDag::NodeId> reads;
+  std::size_t taken = 0;
+  for (std::size_t i = 0; i < n_ && taken < k_; ++i) {
+    if (std::binary_search(erased.begin(), erased.end(), i)) continue;
+    reads.push_back(dag.add_read(i, 1.0, 1));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+    ++taken;
+  }
+  const RepairDag::NodeId solve =
+      dag.add_combine(RepairDag::kTargetLoc, reads,
+                      static_cast<double>(erased.size()), 1.0);
+  dag.add_write({solve});
+  dag.decode_cost_factor = 1.0;
+  dag.bandwidth_optimal = false;
+  return dag;
+}
+
+RepairPlan HitchhikerCode::repair_plan(
+    const std::vector<std::size_t>& erased) const {
+  return repair_dag(erased).to_repair_plan();
+}
+
+}  // namespace ecf::ec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ec/ecdag.h"
 #include "util/hotpath.h"
 
 namespace ecf::ec {
@@ -138,28 +139,59 @@ bool LrcCode::decode(std::vector<Buffer>& chunks,
   return true;
 }
 
-RepairPlan LrcCode::repair_plan(const std::vector<std::size_t>& erased) const {
+RepairDag LrcCode::repair_dag(const std::vector<std::size_t>& erased) const {
   check_erasures(*this, erased);
-  RepairPlan plan;
-  if (erased.size() == 1) {
+  RepairDag dag;
+  if (erased.size() == 1 && erased[0] < k_ + l_) {
+    // Data chunk or local parity: XOR the rest of the local group. The
+    // combines form a relay chain through the group's helpers, so only one
+    // chunk's worth of bytes reaches the repair target.
     const std::size_t e = erased[0];
-    if (e < k_ + l_) {
-      // Data chunk or local parity: read the rest of the local group.
-      const std::size_t grp = e < k_ ? group_of(e) : e - k_;
-      for (const std::size_t d : group_members(grp)) {
-        if (d != e) plan.reads.push_back({d, 1.0, 1});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
-      }
-      if (e != k_ + grp) plan.reads.push_back({k_ + grp, 1.0, 1});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
-      plan.decode_cost_factor = 0.5;  // pure XOR
-      plan.bandwidth_optimal = true;  // locality-optimal
-      return plan;
+    const std::size_t grp = e < k_ ? group_of(e) : e - k_;
+    std::vector<std::size_t> helpers;
+    for (const std::size_t d : group_members(grp)) {
+      if (d != e) helpers.push_back(d);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
     }
+    if (e != k_ + grp) helpers.push_back(k_ + grp);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+    std::vector<RepairDag::NodeId> reads;
+    reads.reserve(helpers.size());
+    for (const std::size_t h : helpers) {
+      reads.push_back(dag.add_read(h, 1.0, 1));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+    }
+    RepairDag::NodeId tail;
+    if (helpers.size() == 1) {
+      tail = dag.add_combine(RepairDag::kTargetLoc, {reads[0]}, 1.0, 0.5);
+    } else {
+      // Per-hop XOR weights sum to the plan-level 0.5 per produced byte.
+      const double step = 0.5 / static_cast<double>(helpers.size() - 1);
+      tail = dag.add_combine(helpers[1], {reads[0], reads[1]}, 1.0, step);
+      for (std::size_t j = 2; j < helpers.size(); ++j) {
+        tail = dag.add_combine(helpers[j], {tail, reads[j]}, 1.0, step);
+      }
+    }
+    dag.add_write({tail});
+    dag.decode_cost_factor = 0.5;  // pure XOR
+    dag.bandwidth_optimal = true;  // locality-optimal
+    return dag;
   }
-  // Global parity loss or multi-failure: general solve.
+  // Global parity loss or multi-failure: general solve (flat).
+  dag.decode_cost_factor = 1.0;
   const std::vector<std::size_t> rows = pick_rows(erased);
-  for (const std::size_t r : rows) plan.reads.push_back({r, 1.0, 1});  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
-  plan.decode_cost_factor = 1.0;
-  return plan;
+  if (rows.empty()) return dag;  // unrecoverable: empty DAG
+  std::vector<RepairDag::NodeId> reads;
+  reads.reserve(rows.size());
+  for (const std::size_t r : rows) {
+    reads.push_back(dag.add_read(r, 1.0, 1));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+  }
+  const RepairDag::NodeId solve =
+      dag.add_combine(RepairDag::kTargetLoc, reads,
+                      static_cast<double>(erased.size()), 1.0);
+  dag.add_write({solve});
+  return dag;
+}
+
+RepairPlan LrcCode::repair_plan(const std::vector<std::size_t>& erased) const {
+  return repair_dag(erased).to_repair_plan();
 }
 
 }  // namespace ecf::ec

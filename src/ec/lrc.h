@@ -38,6 +38,12 @@ class LrcCode : public ErasureCode {
   [[nodiscard]] bool decode(
       std::vector<Buffer>& chunks,
       const std::vector<std::size_t>& erased) const override;
+  // Single in-group failure: an XOR relay chain across the local group —
+  // each helper folds its chunk into the running partial and forwards one
+  // chunk's worth, so the repair target receives a single combined chunk
+  // instead of the whole group. Other patterns: flat general solve.
+  [[nodiscard]] RepairDag repair_dag(
+      const std::vector<std::size_t>& erased) const override;
   [[nodiscard]] RepairPlan repair_plan(
       const std::vector<std::size_t>& erased) const override;
 

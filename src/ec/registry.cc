@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "ec/clay.h"
+#include "ec/hitchhiker.h"
 #include "ec/lrc.h"
 #include "ec/replication.h"
 #include "ec/rs.h"
@@ -67,6 +68,20 @@ std::unique_ptr<ErasureCode> make_code(
     const std::size_t g = require_uint(profile, "g");
     return std::make_unique<LrcCode>(k, l, g);
   }
+  if (plugin == "hitchhiker") {
+    const std::size_t k = require_uint(profile, "k");
+    const std::size_t m = require_uint(profile, "m");
+    const std::string technique = get_str_or(profile, "technique", "reed_sol_van");
+    RsTechnique t;
+    if (technique == "reed_sol_van" || technique == "vandermonde") {
+      t = RsTechnique::kVandermonde;
+    } else if (technique == "cauchy_orig" || technique == "cauchy") {
+      t = RsTechnique::kCauchy;
+    } else {
+      throw std::invalid_argument("unknown RS technique '" + technique + "'");
+    }
+    return std::make_unique<HitchhikerCode>(k + m, k, t);
+  }
   if (plugin == "shec") {
     const std::size_t k = require_uint(profile, "k");
     const std::size_t m = require_uint(profile, "m");
@@ -92,7 +107,8 @@ std::unique_ptr<ErasureCode> make_code(const util::Json& profile) {
 }
 
 std::vector<std::string> known_plugins() {
-  return {"jerasure", "isa", "clay", "lrc", "shec", "replication"};
+  return {"jerasure", "isa", "clay", "lrc", "shec", "hitchhiker",
+          "replication"};
 }
 
 }  // namespace ecf::ec

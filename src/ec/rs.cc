@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ec/ecdag.h"
+#include "util/hotpath.h"
+
 namespace ecf::ec {
 
 namespace {
@@ -108,6 +111,50 @@ bool RsCode::decode(std::vector<Buffer>& chunks,
     gen_.apply_rows(parity_rows, data_in, parity_out, len);
   }
   return true;
+}
+
+RepairDag RsCode::repair_dag(const std::vector<std::size_t>& erased) const {
+  check_erasures(*this, erased);
+  RepairDag dag;
+  dag.decode_cost_factor = 1.0;
+  dag.bandwidth_optimal = false;
+  // The first k survivors, exactly as decode() selects them.
+  std::vector<std::size_t> helpers;
+  for (std::size_t i = 0; i < n_ && helpers.size() < k_; ++i) {
+    if (std::binary_search(erased.begin(), erased.end(), i)) continue;
+    helpers.push_back(i);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+  }
+  std::vector<RepairDag::NodeId> reads;
+  reads.reserve(helpers.size());
+  for (const std::size_t i : helpers) {
+    reads.push_back(dag.add_read(i, 1.0, 1));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+  }
+  const double kd = static_cast<double>(k_);
+  if (erased.size() == 1) {
+    // Helper-local partial products: chunk_i * dec[i] is computed where the
+    // chunk lives; the target only XOR-accumulates k pre-scaled chunks. No
+    // wire savings (a scaled chunk is chunk-sized), but the O(k) GF
+    // multiply work spreads across k helper CPUs instead of one target.
+    std::vector<RepairDag::NodeId> partials;
+    partials.reserve(reads.size());
+    for (std::size_t h = 0; h < helpers.size(); ++h) {
+      partials.push_back(  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers")
+          dag.add_combine(helpers[h], {reads[h]}, 1.0, 1.0 / kd));
+    }
+    const RepairDag::NodeId acc = dag.add_combine(
+        RepairDag::kTargetLoc, partials, 1.0, (kd - 1.0) / (2.0 * kd));
+    dag.add_write({acc});
+  } else {
+    const RepairDag::NodeId dec =
+        dag.add_combine(RepairDag::kTargetLoc, reads,
+                        static_cast<double>(erased.size()), 1.0);
+    dag.add_write({dec});
+  }
+  return dag;
+}
+
+RepairPlan RsCode::repair_plan(const std::vector<std::size_t>& erased) const {
+  return repair_dag(erased).to_repair_plan();
 }
 
 bool RsCode::verify_mds() const {

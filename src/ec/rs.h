@@ -40,6 +40,15 @@ class RsCode : public ErasureCode {
       std::vector<Buffer>& chunks,
       const std::vector<std::size_t>& erased) const override;
 
+  // Single failure: helper-local partial products (each helper scales its
+  // chunk by its decode coefficient; the target only XOR-accumulates).
+  // Multi-failure: flat fetch-all-then-decode. The flat plan is derived
+  // from the DAG, so both views always agree.
+  [[nodiscard]] RepairDag repair_dag(
+      const std::vector<std::size_t>& erased) const override;
+  [[nodiscard]] RepairPlan repair_plan(
+      const std::vector<std::size_t>& erased) const override;
+
   RsTechnique technique() const { return technique_; }
 
   // The full (n x k) systematic generator; row i produces chunk i.

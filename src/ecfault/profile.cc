@@ -90,6 +90,7 @@ util::Json ExperimentProfile::to_json() const {
   pool.set("pg_num", cluster.pool.pg_num);
   pool.set("stripe_unit", cluster.pool.stripe_unit.count());
   pool.set("failure_domain", domain_name(cluster.pool.failure_domain));
+  pool.set("dag_recovery", cluster.pool.dag_recovery);
   cl.set("pool", pool);
 
   util::Json cache = util::Json::object();
@@ -189,6 +190,7 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
               static_cast<std::int64_t>(p.cluster.pool.stripe_unit.count()))));
       p.cluster.pool.failure_domain = domain_from_string(
           pool.get_or("failure_domain", std::string("host")));
+      p.cluster.pool.dag_recovery = pool.get_or("dag_recovery", false);
     }
     if (cl.has("bluestore_cache")) {
       const util::Json& cache = cl.at("bluestore_cache");

@@ -1,0 +1,312 @@
+#include "ec/ecdag.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ec/clay.h"
+#include "ec/hitchhiker.h"
+#include "ec/lrc.h"
+#include "ec/replication.h"
+#include "ec/rs.h"
+#include "ec/shec.h"
+#include "tests/ec/ec_test_util.h"
+
+namespace ecf::ec {
+namespace {
+
+using testutil::subsets;
+
+// ---------------------------------------------------------------------------
+// Builders and structural queries.
+
+TEST(RepairDag, FlatShapeFromBuilders) {
+  RepairDag dag;
+  std::vector<RepairDag::NodeId> reads;
+  for (std::size_t i = 0; i < 4; ++i) reads.push_back(dag.add_read(i, 1.0, 1));
+  const auto dec = dag.add_combine(RepairDag::kTargetLoc, reads, 1.0, 1.0);
+  dag.add_write({dec});
+  EXPECT_TRUE(dag.validate().empty());
+  EXPECT_EQ(dag.fetch_stages(), 1u);
+  EXPECT_EQ(dag.depth(), 3u);  // read -> combine -> write
+  EXPECT_FALSE(dag.structured());
+  EXPECT_DOUBLE_EQ(dag.wire_fraction(), 4.0);
+  EXPECT_DOUBLE_EQ(dag.target_rx_fraction(), 4.0);
+}
+
+TEST(RepairDag, StagedReadsAdvanceFetchStages) {
+  RepairDag dag;
+  const auto r0 = dag.add_read(0, 0.5, 2);
+  const auto r1 = dag.add_read(1, 0.5, 2);
+  const auto c0 = dag.add_combine(RepairDag::kTargetLoc, {r0, r1}, 1.0, 1.0);
+  const auto r2 = dag.add_staged_read(0, 0.5, 0, {c0});
+  const auto r3 = dag.add_staged_read(1, 0.5, 0, {c0});
+  const auto c1 = dag.add_combine(RepairDag::kTargetLoc, {c0, r2, r3}, 2.0, 1.0);
+  dag.add_write({c1});
+  EXPECT_TRUE(dag.validate().empty());
+  EXPECT_EQ(dag.fetch_stages(), 2u);
+  EXPECT_TRUE(dag.structured());
+}
+
+TEST(RepairDag, HelperLocalCombineReducesTargetRx) {
+  // Three reads XOR-relayed through helpers: the target receives one
+  // chunk's worth even though three chunks' worth crosses the wire.
+  RepairDag dag;
+  const auto r0 = dag.add_read(0, 1.0, 1);
+  const auto r1 = dag.add_read(1, 1.0, 1);
+  const auto r2 = dag.add_read(2, 1.0, 1);
+  const auto c1 = dag.add_combine(1, {r0, r1}, 1.0, 0.25);
+  const auto c2 = dag.add_combine(2, {c1, r2}, 1.0, 0.25);
+  dag.add_write({c2});
+  EXPECT_TRUE(dag.validate().empty());
+  EXPECT_TRUE(dag.structured());
+  // r0 ships to loc 1, c1 ships to loc 2, c2 ships to the target; r1 and
+  // r2 feed combines at their own location for free.
+  EXPECT_DOUBLE_EQ(dag.wire_fraction(), 3.0);
+  EXPECT_DOUBLE_EQ(dag.target_rx_fraction(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Validator.
+
+TEST(RepairDagValidate, EmptyDagIsAnError) {
+  EXPECT_FALSE(RepairDag{}.validate().empty());
+}
+
+TEST(RepairDagValidate, MissingWriteSink) {
+  RepairDag dag;
+  const auto r = dag.add_read(0, 1.0, 1);
+  dag.add_combine(RepairDag::kTargetLoc, {r}, 1.0, 1.0);
+  EXPECT_FALSE(dag.validate().empty());
+}
+
+TEST(RepairDagValidate, DanglingNodeDetected) {
+  RepairDag dag;
+  const auto r = dag.add_read(0, 1.0, 1);
+  dag.add_read(1, 1.0, 1);  // never consumed
+  const auto c = dag.add_combine(RepairDag::kTargetLoc, {r}, 1.0, 1.0);
+  dag.add_write({c});
+  const auto errors = dag.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("no consumer"), std::string::npos);
+}
+
+TEST(RepairDagValidate, ForwardEdgeReportedAsCycle) {
+  RepairDag dag;
+  dag.add_read(0, 1.0, 1);
+  const auto c = dag.add_combine(RepairDag::kTargetLoc, {0}, 1.0, 1.0);
+  dag.nodes[0].inputs.push_back(c);  // hand-built forward (cyclic) edge
+  dag.add_write({c});
+  bool cycle = false;
+  for (const auto& e : dag.validate()) {
+    if (e.find("cycle") != std::string::npos) cycle = true;
+  }
+  EXPECT_TRUE(cycle);
+}
+
+TEST(RepairDagValidate, ConservationViolationDetected) {
+  RepairDag dag;
+  const auto r = dag.add_read(0, 1.0, 1);
+  const auto c = dag.add_combine(RepairDag::kTargetLoc, {r}, 1.0, 1.0);
+  dag.add_write({c});
+  dag.nodes[c].bytes_in = 2.5;  // corrupt the ledger
+  bool conservation = false;
+  for (const auto& e : dag.validate()) {
+    if (e.find("conserve") != std::string::npos) conservation = true;
+  }
+  EXPECT_TRUE(conservation);
+}
+
+TEST(RepairDagValidate, BadReadFraction) {
+  RepairDag dag;
+  const auto r = dag.add_read(0, 1.5, 1);
+  const auto c = dag.add_combine(RepairDag::kTargetLoc, {r}, 1.0, 1.0);
+  dag.add_write({c});
+  EXPECT_FALSE(dag.validate().empty());
+}
+
+TEST(RepairDagValidate, TwoWriteSinks) {
+  RepairDag dag;
+  const auto r = dag.add_read(0, 1.0, 1);
+  const auto c = dag.add_combine(RepairDag::kTargetLoc, {r}, 1.0, 1.0);
+  dag.add_write({c});
+  dag.add_write({c});
+  EXPECT_FALSE(dag.validate().empty());
+}
+
+// ---------------------------------------------------------------------------
+// from_plan / to_repair_plan round trip.
+
+TEST(RepairDag, FromPlanRoundTrip) {
+  RepairPlan plan;
+  plan.reads = {{0, 1.0, 1}, {2, 0.5, 3}, {5, 1.0, 1}};
+  plan.decode_cost_factor = 1.75;
+  plan.bandwidth_optimal = true;
+  const RepairDag dag = RepairDag::from_plan(plan, 2);
+  EXPECT_TRUE(dag.validate().empty());
+  EXPECT_FALSE(dag.structured());
+  const RepairPlan back = dag.to_repair_plan();
+  ASSERT_EQ(back.reads.size(), plan.reads.size());
+  for (std::size_t i = 0; i < plan.reads.size(); ++i) {
+    EXPECT_EQ(back.reads[i].chunk, plan.reads[i].chunk);
+    EXPECT_EQ(back.reads[i].fraction, plan.reads[i].fraction);
+    EXPECT_EQ(back.reads[i].subchunk_ios, plan.reads[i].subchunk_ios);
+  }
+  EXPECT_EQ(back.decode_cost_factor, plan.decode_cost_factor);
+  EXPECT_EQ(back.bandwidth_optimal, plan.bandwidth_optimal);
+  EXPECT_EQ(back.fetch_stages, 1u);
+}
+
+TEST(RepairDag, FromPlanEmptyReadsIsEmptyDag) {
+  const RepairDag dag = RepairDag::from_plan(RepairPlan{}, 1);
+  EXPECT_TRUE(dag.nodes.empty());
+  const RepairPlan back = dag.to_repair_plan();
+  EXPECT_TRUE(back.reads.empty());
+  EXPECT_EQ(back.fetch_stages, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential sweep: the lowered DAG must match repair_plan byte-for-byte
+// for every seed code over every single and double erasure pattern, and
+// every recoverable DAG must validate.
+
+std::vector<std::unique_ptr<ErasureCode>> seed_codes() {
+  std::vector<std::unique_ptr<ErasureCode>> codes;
+  codes.push_back(std::make_unique<RsCode>(12, 9));
+  codes.push_back(std::make_unique<RsCode>(14, 10, RsTechnique::kCauchy));
+  codes.push_back(std::make_unique<ClayCode>(12, 9, 11));
+  codes.push_back(std::make_unique<ClayCode>(6, 4, 5));
+  codes.push_back(std::make_unique<LrcCode>(8, 2, 2));
+  codes.push_back(std::make_unique<ShecCode>(6, 3, 2));
+  codes.push_back(std::make_unique<ReplicationCode>(3));
+  codes.push_back(std::make_unique<HitchhikerCode>(12, 9));
+  codes.push_back(std::make_unique<HitchhikerCode>(14, 10));
+  return codes;
+}
+
+void expect_plans_equal(const RepairPlan& a, const RepairPlan& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.reads.size(), b.reads.size()) << context;
+  for (std::size_t i = 0; i < a.reads.size(); ++i) {
+    EXPECT_EQ(a.reads[i].chunk, b.reads[i].chunk) << context;
+    EXPECT_EQ(a.reads[i].fraction, b.reads[i].fraction) << context;
+    EXPECT_EQ(a.reads[i].subchunk_ios, b.reads[i].subchunk_ios) << context;
+  }
+  EXPECT_EQ(a.decode_cost_factor, b.decode_cost_factor) << context;
+  EXPECT_EQ(a.bandwidth_optimal, b.bandwidth_optimal) << context;
+  EXPECT_EQ(a.fetch_stages, b.fetch_stages) << context;
+}
+
+TEST(RepairDagDifferential, LoweringMatchesPlanForAllSeedCodes) {
+  for (const auto& code : seed_codes()) {
+    for (std::size_t e = 1; e <= 2 && e <= code->m(); ++e) {
+      for (const auto& erased : subsets(code->n(), e)) {
+        const std::string context =
+            code->name() + " erased={" + std::to_string(erased[0]) +
+            (erased.size() > 1 ? "," + std::to_string(erased[1]) : "") + "}";
+        const RepairPlan plan = code->repair_plan(erased);
+        const RepairDag dag = code->repair_dag(erased);
+        expect_plans_equal(dag.to_repair_plan(), plan, context);
+        if (!plan.reads.empty()) {
+          const auto errors = dag.validate();
+          EXPECT_TRUE(errors.empty())
+              << context << ": " << (errors.empty() ? "" : errors[0]);
+          // Conservation at the sink: the write lands as many chunk
+          // equivalents as the pattern erased.
+          EXPECT_NEAR(dag.nodes.back().bytes_out,
+                      static_cast<double>(erased.size()), 1e-9)
+              << context;
+        }
+      }
+    }
+  }
+}
+
+TEST(RepairDagDifferential, FetchStagesAlwaysDerivedFromDag) {
+  for (const auto& code : seed_codes()) {
+    for (std::size_t e = 1; e <= 2 && e <= code->m(); ++e) {
+      for (const auto& erased : subsets(code->n(), e)) {
+        EXPECT_EQ(code->repair_plan(erased).fetch_stages,
+                  code->repair_dag(erased).fetch_stages())
+            << code->name();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Code-specific DAG shapes.
+
+TEST(RepairDagShapes, RsSingleFailureSpreadsScalesAcrossHelpers) {
+  const RsCode code(12, 9);
+  const RepairDag dag = code.repair_dag({3});
+  EXPECT_TRUE(dag.validate().empty());
+  EXPECT_TRUE(dag.structured());
+  // Scaling at the helpers does not save wire bytes (a scaled chunk is
+  // chunk-sized); it distributes the multiply work.
+  EXPECT_DOUBLE_EQ(dag.wire_fraction(), 9.0);
+  EXPECT_DOUBLE_EQ(dag.target_rx_fraction(), 9.0);
+  std::size_t helper_combines = 0;
+  for (const auto& n : dag.nodes) {
+    if (n.kind == RepairDag::NodeKind::kCombine &&
+        n.loc != RepairDag::kTargetLoc) {
+      ++helper_combines;
+    }
+  }
+  EXPECT_EQ(helper_combines, 9u);
+}
+
+TEST(RepairDagShapes, LrcLocalRepairRelaysOneChunkToTarget) {
+  const LrcCode code(8, 2, 2);  // groups of 4
+  const RepairDag dag = code.repair_dag({1});
+  EXPECT_TRUE(dag.validate().empty());
+  EXPECT_TRUE(dag.structured());
+  // 3 group members + the local parity read; the XOR relay hands the
+  // target exactly one combined chunk.
+  EXPECT_DOUBLE_EQ(dag.to_repair_plan().read_fraction_total(), 4.0);
+  EXPECT_DOUBLE_EQ(dag.target_rx_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(dag.wire_fraction(), 4.0);
+}
+
+TEST(RepairDagShapes, ClaySingleFailureIsOneStage) {
+  const ClayCode code(12, 9, 11);
+  const RepairDag dag = code.repair_dag({0});
+  EXPECT_TRUE(dag.validate().empty());
+  EXPECT_EQ(dag.fetch_stages(), 1u);
+  EXPECT_DOUBLE_EQ(dag.to_repair_plan().read_fraction_total(), 11.0 / 3.0);
+}
+
+TEST(RepairDagShapes, ClayMultiFailureStagesFollowIsLevels) {
+  const ClayCode code(12, 9, 11);  // q = 3
+  // Same-column pair (0,0),(1,0): IS levels {0, 1} are populated.
+  EXPECT_EQ(code.repair_dag({0, 1}).fetch_stages(), 2u);
+  // Distinct-column pair (0,0),(0,1): IS levels {0, 1, 2} are populated.
+  EXPECT_EQ(code.repair_dag({0, 3}).fetch_stages(), 3u);
+  // Either way the lowered reads stay full-chunk scatter reads.
+  const RepairPlan plan = code.repair_plan({0, 3});
+  ASSERT_EQ(plan.reads.size(), 10u);
+  for (const auto& r : plan.reads) {
+    EXPECT_EQ(r.fraction, 1.0);
+    EXPECT_EQ(r.subchunk_ios, 3u);
+  }
+  EXPECT_EQ(plan.fetch_stages, 3u);
+  // Staged reads are genuinely gated: the DAG is structured even though
+  // every combine runs at the target.
+  EXPECT_TRUE(code.repair_dag({0, 3}).structured());
+}
+
+TEST(RepairDagShapes, HitchhikerSingleDataFailureReadsHalves) {
+  const HitchhikerCode code(14, 10);  // groups of 4, 3, 3
+  const RepairDag dag = code.repair_dag({0});  // group 0, |S| = 4
+  EXPECT_TRUE(dag.validate().empty());
+  const RepairPlan plan = dag.to_repair_plan();
+  // (k + |S_i|) / 2 = 7 chunk equivalents vs 10 for RS(14,10).
+  EXPECT_DOUBLE_EQ(plan.read_fraction_total(), 7.0);
+  EXPECT_DOUBLE_EQ(dag.wire_fraction(), 7.0);
+  const RsCode rs(14, 10);
+  EXPECT_LT(plan.read_fraction_total(),
+            0.71 * rs.repair_plan({0}).read_fraction_total());
+}
+
+}  // namespace
+}  // namespace ecf::ec

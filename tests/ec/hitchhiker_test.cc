@@ -1,0 +1,191 @@
+#include "ec/hitchhiker.h"
+
+#include <gtest/gtest.h>
+
+#include "ec/rs.h"
+#include "tests/ec/ec_test_util.h"
+#include "util/rng.h"
+
+namespace ecf::ec {
+namespace {
+
+using testutil::random_chunks;
+using testutil::round_trip;
+using testutil::subsets;
+
+TEST(Hitchhiker, RejectsBadParameters) {
+  EXPECT_THROW(HitchhikerCode(5, 4), std::invalid_argument);   // m = 1
+  EXPECT_THROW(HitchhikerCode(5, 0), std::invalid_argument);
+  EXPECT_THROW(HitchhikerCode(4, 4), std::invalid_argument);
+  EXPECT_THROW(HitchhikerCode(7, 2), std::invalid_argument);   // k < m-1
+  EXPECT_THROW(HitchhikerCode(256, 250), std::invalid_argument);
+}
+
+TEST(Hitchhiker, NameAndShape) {
+  const HitchhikerCode code(12, 9);
+  EXPECT_EQ(code.name(), "Hitchhiker(12,9)");
+  EXPECT_EQ(code.n(), 12u);
+  EXPECT_EQ(code.k(), 9u);
+  EXPECT_EQ(code.alpha(), 2u);
+  EXPECT_EQ(code.groups(), 2u);
+}
+
+TEST(Hitchhiker, GroupsPartitionDataNearEvenly) {
+  const HitchhikerCode code(14, 10);  // 3 groups over 10 data chunks
+  ASSERT_EQ(code.groups(), 3u);
+  EXPECT_EQ(code.group_members(0), (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(code.group_members(1), (std::vector<std::size_t>{4, 5, 6}));
+  EXPECT_EQ(code.group_members(2), (std::vector<std::size_t>{7, 8, 9}));
+  for (std::size_t d = 0; d < 10; ++d) {
+    const std::size_t g = code.group_of(d);
+    const auto members = code.group_members(g);
+    EXPECT_NE(std::find(members.begin(), members.end(), d), members.end());
+  }
+  EXPECT_EQ(code.group_parity(0), 11u);
+  EXPECT_EQ(code.group_parity(2), 13u);
+}
+
+TEST(Hitchhiker, SystematicEncodePreservesData) {
+  const HitchhikerCode code(12, 9);
+  auto chunks = random_chunks(code, 128, 7);
+  const auto data_before =
+      std::vector<Buffer>(chunks.begin(), chunks.begin() + 9);
+  code.encode(chunks);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(chunks[i], data_before[i]);
+}
+
+TEST(Hitchhiker, ParityOneMatchesBaseRs) {
+  // p_1 carries no piggyback, and every a-half is plain RS: the first
+  // parity chunk must equal the base code's, bit for bit.
+  const HitchhikerCode code(12, 9);
+  const RsCode base(12, 9);
+  auto hh = random_chunks(code, 64, 11);
+  auto rs = hh;
+  code.encode(hh);
+  base.encode(rs);
+  EXPECT_EQ(hh[9], rs[9]);
+  // Later parities differ only in the b-half.
+  for (std::size_t p = 10; p < 12; ++p) {
+    EXPECT_TRUE(std::equal(hh[p].begin(), hh[p].begin() + 32, rs[p].begin()));
+    EXPECT_NE(hh[p], rs[p]);
+  }
+}
+
+TEST(Hitchhiker, OddChunkSizeRejected) {
+  const HitchhikerCode code(12, 9);
+  std::vector<Buffer> chunks(12, Buffer(65));
+  EXPECT_THROW(code.encode(chunks), std::invalid_argument);
+}
+
+TEST(Hitchhiker, RoundTripAllSinglesAndDoubles) {
+  for (const auto& shape : {std::pair<std::size_t, std::size_t>{12, 9},
+                           std::pair<std::size_t, std::size_t>{14, 10},
+                           std::pair<std::size_t, std::size_t>{6, 4},
+                           std::pair<std::size_t, std::size_t>{5, 3}}) {
+    const HitchhikerCode code(shape.first, shape.second);
+    for (std::size_t e = 1; e <= 2 && e <= code.m(); ++e) {
+      for (const auto& erased : subsets(code.n(), e)) {
+        EXPECT_TRUE(round_trip(code, 64, erased, 13))
+            << code.name() << " erased[0]=" << erased[0];
+      }
+    }
+  }
+}
+
+TEST(Hitchhiker, RoundTripFullParityLoss) {
+  const HitchhikerCode code(14, 10);
+  EXPECT_TRUE(round_trip(code, 128, {10, 11, 12, 13}, 17));
+  EXPECT_TRUE(round_trip(code, 128, {0, 5, 11, 13}, 19));
+  EXPECT_TRUE(round_trip(code, 128, {0, 1, 2, 3}, 23));
+}
+
+TEST(Hitchhiker, FuzzAgainstEraseAndDecodeAtManyChunkSizes) {
+  const HitchhikerCode code(12, 9);
+  util::Rng rng(2026);
+  for (const std::size_t chunk_size : {2u, 6u, 64u, 1024u, 4096u}) {
+    for (int iter = 0; iter < 8; ++iter) {
+      // Random erasure pattern of random weight 1..m.
+      const std::size_t e = 1 + rng.uniform(code.m());
+      std::vector<std::size_t> erased;
+      while (erased.size() < e) {
+        const std::size_t c = rng.uniform(code.n());
+        if (std::find(erased.begin(), erased.end(), c) == erased.end()) {
+          erased.push_back(c);
+        }
+      }
+      std::sort(erased.begin(), erased.end());
+      EXPECT_TRUE(round_trip(code, chunk_size, erased, rng.uniform(1u << 30)))
+          << "chunk_size=" << chunk_size;
+    }
+  }
+}
+
+TEST(Hitchhiker, RepairReadsShape) {
+  const HitchhikerCode code(14, 10);
+  // Chunk 0 is in group 0 (members 0-3, parity 11): expect a+b halves of
+  // 1..3, b halves of 4..9, b of p_1 (10) and b of p_i (11).
+  const auto refs = code.repair_reads(0);
+  ASSERT_EQ(refs.size(), 14u);  // k + |S_i| = 10 + 4
+  std::size_t a_halves = 0;
+  for (const auto& r : refs) {
+    if (r.half == HitchhikerCode::SubChunk::kA) {
+      ++a_halves;
+      EXPECT_EQ(code.group_of(r.chunk), 0u);
+    }
+  }
+  EXPECT_EQ(a_halves, 3u);
+  // Ascending chunk order, kA before kB within a chunk.
+  for (std::size_t i = 1; i < refs.size(); ++i) {
+    EXPECT_TRUE(refs[i - 1].chunk < refs[i].chunk ||
+                (refs[i - 1].chunk == refs[i].chunk &&
+                 refs[i - 1].half == HitchhikerCode::SubChunk::kA));
+  }
+  EXPECT_THROW(code.repair_reads(10), std::invalid_argument);
+}
+
+TEST(Hitchhiker, RepairOneBitExactForEveryDataChunk) {
+  for (const auto& shape : {std::pair<std::size_t, std::size_t>{12, 9},
+                           std::pair<std::size_t, std::size_t>{14, 10}}) {
+    const HitchhikerCode code(shape.first, shape.second);
+    const std::size_t chunk_size = 256;
+    const std::size_t half = chunk_size / 2;
+    auto chunks = random_chunks(code, chunk_size, 31);
+    code.encode(chunks);
+    for (std::size_t failed = 0; failed < code.k(); ++failed) {
+      const auto refs = code.repair_reads(failed);
+      std::vector<Buffer> halves;
+      for (const auto& r : refs) {
+        const auto begin =
+            chunks[r.chunk].begin() +
+            (r.half == HitchhikerCode::SubChunk::kA
+                 ? 0
+                 : static_cast<std::ptrdiff_t>(half));
+        halves.emplace_back(begin, begin + static_cast<std::ptrdiff_t>(half));
+      }
+      EXPECT_EQ(code.repair_one(failed, halves, chunk_size), chunks[failed])
+          << code.name() << " failed=" << failed;
+    }
+  }
+}
+
+TEST(Hitchhiker, RepairOneValidatesInput) {
+  const HitchhikerCode code(12, 9);
+  EXPECT_THROW(code.repair_one(9, {}, 64), std::invalid_argument);
+  EXPECT_THROW(code.repair_one(0, {}, 64), std::invalid_argument);
+  EXPECT_THROW(code.repair_one(0, {}, 63), std::invalid_argument);
+}
+
+TEST(Hitchhiker, SingleDataRepairReadsFewerBytesThanRs) {
+  const HitchhikerCode code(14, 10);
+  const RsCode rs(14, 10);
+  for (std::size_t failed = 0; failed < code.k(); ++failed) {
+    const double hh_bytes =
+        code.repair_plan({failed}).read_fraction_total();
+    const double rs_bytes = rs.repair_plan({failed}).read_fraction_total();
+    // (k + |S_i|)/2 <= 7 vs 10: at least a 30% saving for every group.
+    EXPECT_LE(hh_bytes, 0.70 * rs_bytes) << "failed=" << failed;
+  }
+}
+
+}  // namespace
+}  // namespace ecf::ec

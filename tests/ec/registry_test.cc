@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "ec/clay.h"
+#include "ec/hitchhiker.h"
 #include "ec/lrc.h"
 #include "ec/replication.h"
 #include "ec/rs.h"
@@ -71,6 +72,37 @@ TEST(Registry, Replication) {
   EXPECT_EQ(code->n(), 3u);
 }
 
+TEST(Registry, Hitchhiker) {
+  const auto code =
+      make_code({{"plugin", "hitchhiker"}, {"k", "10"}, {"m", "4"}});
+  auto* hh = dynamic_cast<HitchhikerCode*>(code.get());
+  ASSERT_NE(hh, nullptr);
+  EXPECT_EQ(code->n(), 14u);
+  EXPECT_EQ(code->k(), 10u);
+  EXPECT_EQ(code->alpha(), 2u);
+  EXPECT_EQ(hh->groups(), 3u);
+}
+
+TEST(Registry, HitchhikerCauchyTechnique) {
+  const auto code = make_code({{"plugin", "hitchhiker"},
+                               {"technique", "cauchy_orig"},
+                               {"k", "9"},
+                               {"m", "3"}});
+  ASSERT_NE(dynamic_cast<HitchhikerCode*>(code.get()), nullptr);
+}
+
+TEST(Registry, HitchhikerRejectsSingleParity) {
+  EXPECT_THROW(make_code({{"plugin", "hitchhiker"}, {"k", "4"}, {"m", "1"}}),
+               std::invalid_argument);
+}
+
+TEST(Registry, HitchhikerFromJson) {
+  const auto profile = util::Json::parse(
+      R"({"plugin": "hitchhiker", "k": 9, "m": 3})");
+  const auto code = make_code(profile);
+  EXPECT_EQ(code->name(), "Hitchhiker(12,9)");
+}
+
 TEST(Registry, UnknownPluginThrows) {
   const std::map<std::string, std::string> profile{{"plugin", "raid5"}};
   EXPECT_THROW(make_code(profile), std::invalid_argument);
@@ -98,7 +130,7 @@ TEST(Registry, FromJson) {
 
 TEST(Registry, KnownPluginsListsAll) {
   const auto plugins = known_plugins();
-  EXPECT_EQ(plugins.size(), 6u);
+  EXPECT_EQ(plugins.size(), 7u);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@ TEST(Profile, RoundTripThroughJson) {
   p.cluster.pool.ec_profile = {{"plugin", "clay"}, {"k", "9"}, {"m", "3"},
                                {"d", "11"}};
   p.cluster.cache = cluster::CacheConfig::kv_optimized();
+  p.cluster.pool.dag_recovery = true;
   p.fault.level = FaultLevel::kNode;
   p.fault.count = 1;
   p.fault.topology = FaultTopology::kSameHost;
@@ -26,6 +27,7 @@ TEST(Profile, RoundTripThroughJson) {
   EXPECT_EQ(q.cluster.pool.stripe_unit, 4096u);
   EXPECT_EQ(q.cluster.pool.ec_profile.at("plugin"), "clay");
   EXPECT_EQ(q.cluster.pool.ec_profile.at("d"), "11");
+  EXPECT_TRUE(q.cluster.pool.dag_recovery);
   EXPECT_FALSE(q.cluster.cache.autotune);
   EXPECT_DOUBLE_EQ(q.cluster.cache.kv_ratio, 0.70);
   EXPECT_EQ(q.fault.level, FaultLevel::kNode);
@@ -38,6 +40,7 @@ TEST(Profile, DefaultsApplyWhenFieldsOmitted) {
   EXPECT_EQ(p.runs, 3);
   EXPECT_EQ(p.cluster.num_hosts, 30);
   EXPECT_EQ(p.cluster.pool.pg_num, 256);
+  EXPECT_FALSE(p.cluster.pool.dag_recovery);
   EXPECT_EQ(p.fault.count, 1);
 }
 

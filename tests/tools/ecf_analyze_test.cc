@@ -859,6 +859,7 @@ TEST(AnalyzeGolden, Locks) { run_golden("locks"); }
 TEST(AnalyzeGolden, HotPath) { run_golden("hotpath"); }
 TEST(AnalyzeGolden, ClusterMaps) { run_golden("clustermaps"); }
 TEST(AnalyzeGolden, EventPaths) { run_golden("eventpaths"); }
+TEST(AnalyzeGolden, DagSched) { run_golden("dagsched"); }
 TEST(AnalyzeGolden, Units) { run_golden("units"); }
 
 }  // namespace

@@ -1,0 +1,49 @@
+// Fixture: DAG-staged repair scheduler, the event-path shape introduced by
+// the ECDAG executor (recovery.cc's issue_dag_stage / dag_helper_step /
+// dag_after_stage trio). The per-stage continuations are event-execution
+// code: vector growth inside them is flagged (including through the
+// forward_combined helper, with a witness chain), stage lookups with
+// single-argument .at() are throwing constructs, while the shape built in
+// the scheduling function's own body is setup time, scratch_-prefixed
+// receivers are amortized, and ECF_ALLOC_OK-annotated cold sites (the
+// once-per-epoch lowering cache) are exempt. Never compiled.
+#include <vector>
+
+namespace fix::cluster {
+
+class Engine;
+
+class DagScheduler {
+ public:
+  void lower_stages() {
+    stage_bytes_.push_back(0);  ECF_ALLOC_OK("cold: once per (PG, epoch)");
+    scratch_dests_.push_back(1);
+  }
+
+  void forward_combined() {
+    hops_.push_back(1);
+  }
+
+  void issue_stage(double delay) {
+    plan_.push_back(0);
+    engine_->schedule(delay, [this] {
+      pending_.push_back(1);
+      forward_combined();
+      scratch_dests_.push_back(2);
+      if (stage_bytes_.at(0) == 0) {
+        barrier_.push_back(3);  ECF_ALLOC_OK("fixture: annotated cold site");
+      }
+    });
+  }
+
+ private:
+  Engine* engine_ = nullptr;
+  std::vector<int> plan_;
+  std::vector<int> stage_bytes_;
+  std::vector<int> pending_;
+  std::vector<int> hops_;
+  std::vector<int> barrier_;
+  std::vector<int> scratch_dests_;
+};
+
+}  // namespace fix::cluster

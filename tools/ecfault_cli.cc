@@ -161,6 +161,7 @@ int cmd_run(int argc, char** argv) {
     out.set("objects_repaired", r.report.objects_repaired);
     out.set("bytes_read", r.report.bytes_read_for_recovery);
     out.set("bytes_written", r.report.bytes_written_for_recovery);
+    out.set("bytes_on_wire", r.report.bytes_on_wire_for_recovery);
     out.set("fabric_transport_wait_s", r.report.fabric_transport_wait_s.count());
     out.set("fabric_retries",
             static_cast<std::int64_t>(r.report.fabric_retries));
