@@ -1,0 +1,335 @@
+// Recovery QoS campaign: the dmClock scheduler's recovery-time vs
+// client-p99 trade-off, and load-aware helper selection's read-imbalance
+// win, both under a dirty network (cluster-wide +1 ms link latency) with
+// zipfian foreground load riding over a node failure.
+//
+// Four sections, emitted to BENCH_qos.json (or argv[1]):
+//   tradeoff    — qos off (the legacy flat-constant "greedy" recovery)
+//                 vs a recovery-weight sweep; each point records recovery
+//                 time and client p99.
+//   imbalance   — index-order vs load-aware helper selection; metric is
+//                 max/mean recovery bytes served across surviving OSDs.
+//   families    — RS / Clay / Hitchhiker at one QoS operating point.
+//   pipeline    — Clay multi-stage fetch, staged vs pipelined executor.
+//
+// CI gates (exit nonzero on failure):
+//   1. load-aware selection lowers the helper-read imbalance;
+//   2. client p99 moves monotonically with the recovery weight
+//      (5% tolerance between neighbors, strict across the endpoints);
+//   3. some sweep point cuts client p99 >= 20% below greedy recovery
+//      while finishing recovery within 1.5x of it.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/json.h"
+
+using namespace ecf;
+
+namespace {
+
+// Scaled-down dirty-network campaign (same shape as the dirty-network
+// example): 15 hosts x 2 OSDs, pg_num 32, 16 MiB objects, one node fault,
+// +1 ms cluster-wide link latency injected before the fault, and an
+// open-loop zipfian client stream that keeps queues occupied while
+// recovery storms the disks.
+ecfault::ExperimentProfile qos_profile(
+    const std::map<std::string, std::string>& ec_profile,
+    std::uint64_t num_objects) {
+  ecfault::ExperimentProfile p;
+  p.cluster.pool.ec_profile = ec_profile;
+  p.cluster.num_hosts = 15;
+  p.cluster.osds_per_host = 2;
+  p.cluster.pool.pg_num = 32;
+  p.cluster.workload.num_objects = num_objects;
+  p.cluster.workload.object_size = util::Bytes(16 * util::MiB);
+  p.cluster.protocol.down_out_interval_s = 10.0;
+  p.cluster.protocol.heartbeat_grace_s = 5.0;
+  // Device-bound recovery: a realistic Ceph throttle (recovery granted
+  // 40% of raw bandwidth -> each recovery read occupies the disk 2.5x its
+  // payload time) with enough concurrent pushes that helper disks carry a
+  // standing backlog — the signal dmClock's weight delay works from.
+  p.cluster.protocol.recovery_bw_fraction = 0.2;
+  p.cluster.protocol.osd_recovery_max_active = 8;
+  p.cluster.protocol.osd_max_backfills = 4;
+  p.cluster.protocol.osd_recovery_sleep_s = 0.005;
+  p.fault.level = ecfault::FaultLevel::kNode;
+  p.fault.count = 1;
+  p.fault.inject_at_s = util::SimSec(2.0);
+  p.runs = 1;
+
+  ecfault::NetworkFaultSpec lat;
+  lat.kind = ecfault::NetFaultKind::kLinkLatency;
+  lat.count = 0;  // every host: uniformly dirty network
+  lat.inject_at_s = util::SimSec(0.5);
+  lat.latency_s = util::SimSec(1e-3);
+  p.network_faults = {lat};
+
+  p.cluster.client.ops_per_s = 2000.0;
+  p.cluster.client.op_bytes = util::Bytes(1 * util::MiB);
+  p.cluster.client.read_fraction = 1.0;
+  p.cluster.client.zipf_theta = 0.9;
+  p.cluster.client.horizon_s = util::SimSec(60.0);
+  return p;
+}
+
+std::map<std::string, std::string> rs_profile() {
+  return {{"plugin", "jerasure"}, {"technique", "reed_sol_van"},
+          {"k", "9"}, {"m", "3"}};
+}
+
+struct Point {
+  double recovery_s = 0;
+  double p99_s = 0;
+  double mean_s = 0;
+  std::uint64_t client_ops = 0;
+};
+
+Point run_point(const ecfault::ExperimentProfile& p) {
+  const ecfault::ExperimentResult r = ecfault::Coordinator::run_experiment(p);
+  Point pt;
+  pt.recovery_s = r.report.ec_recovery_period();
+  pt.p99_s = r.report.client_percentile(0.99);
+  pt.mean_s = r.report.mean_client_latency();
+  pt.client_ops = r.report.client_ops;
+  return pt;
+}
+
+// Max/mean recovery bytes served across the OSDs that survived the fault.
+// Driven through the Cluster directly (the coordinator does not expose
+// per-device counters): same dirty network, same node fault, no client
+// load — pure helper-placement signal.
+double helper_imbalance(bool load_aware, std::uint64_t* max_out,
+                        double* mean_out) {
+  ecfault::ExperimentProfile p = qos_profile(rs_profile(), 200);
+  p.cluster.client.ops_per_s = 0;
+  p.cluster.helper_selection.enabled = load_aware;
+  cluster::Cluster cl(p.cluster);
+  cl.create_pool();
+  cl.apply_workload();
+  for (cluster::HostId h = 0; h < p.cluster.num_hosts; ++h) {
+    cl.set_link_latency(h, 1e-3);
+  }
+  const cluster::HostId victim = 0;
+  cl.engine().schedule(2.0, [&cl] { cl.fail_host(0); },
+                       sim::EventTag::kFault);
+  cl.run_to_recovery();
+
+  std::uint64_t max_served = 0, total = 0;
+  int survivors = 0;
+  const int num_osds = p.cluster.num_hosts * p.cluster.osds_per_host;
+  for (cluster::OsdId o = 0; o < num_osds; ++o) {
+    if (cl.host_of(o) == victim) continue;
+    const std::uint64_t served = cl.disk_stats(o).recovery_bytes_read;
+    max_served = std::max(max_served, served);
+    total += served;
+    ++survivors;
+  }
+  const double mean =
+      survivors > 0 ? static_cast<double>(total) / survivors : 0.0;
+  if (max_out) *max_out = max_served;
+  if (mean_out) *mean_out = mean;
+  return mean > 0 ? static_cast<double>(max_served) / mean : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_qos.json";
+  // Optional scale override for deeper (non-CI) runs.
+  const std::uint64_t num_objects =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 200;
+  bench::print_header(
+      "Recovery QoS: dmClock trade-off + load-aware helper selection");
+  util::Json doc = util::Json::object();
+  doc.set("bench", std::string("recovery_qos"));
+  bool ok = true;
+
+  // --- section 1: recovery-weight trade-off curve ---------------------------
+  std::printf("\n[tradeoff] RS(12,9), dirty network, node fault, "
+              "zipfian clients\n");
+  // 5x the base object count so the recovery storm is device-bound: the
+  // helper disks must carry a standing backlog for the scheduler to have
+  // anything to arbitrate.
+  const ecfault::ExperimentProfile base = qos_profile(rs_profile(),
+                                                      num_objects * 5);
+  const Point greedy = run_point(base);
+
+  const double weights[] = {1, 10, 30, 100, 1000};
+  std::vector<Point> sweep;
+  util::Json tradeoff = util::Json::array();
+  {
+    util::Json row = util::Json::object();
+    row.set("label", std::string("qos-off (greedy)"));
+    row.set("recovery_s", greedy.recovery_s);
+    row.set("client_p99_s", greedy.p99_s);
+    row.set("client_mean_s", greedy.mean_s);
+    row.set("client_ops", greedy.client_ops);
+    tradeoff.push_back(row);
+  }
+  util::TextTable table({"recovery weight", "recovery(s)", "vs greedy",
+                         "client p99(ms)", "p99 vs greedy"});
+  table.add_row({"(qos off)", bench::fmt(greedy.recovery_s, 1), "1.00x",
+                 bench::fmt(greedy.p99_s * 1e3, 1), "1.00x"});
+  for (const double w : weights) {
+    ecfault::ExperimentProfile p = base;
+    p.cluster.qos.enabled = true;
+    p.cluster.qos.recovery.weight = w;
+    const Point pt = run_point(p);
+    sweep.push_back(pt);
+    table.add_row({bench::fmt(w, 0), bench::fmt(pt.recovery_s, 1),
+                   bench::fmt(greedy.recovery_s > 0
+                                  ? pt.recovery_s / greedy.recovery_s
+                                  : 0.0) + "x",
+                   bench::fmt(pt.p99_s * 1e3, 1),
+                   bench::fmt(greedy.p99_s > 0 ? pt.p99_s / greedy.p99_s
+                                               : 0.0) + "x"});
+    util::Json row = util::Json::object();
+    row.set("recovery_weight", w);
+    row.set("recovery_s", pt.recovery_s);
+    row.set("client_p99_s", pt.p99_s);
+    row.set("client_mean_s", pt.mean_s);
+    row.set("client_ops", pt.client_ops);
+    tradeoff.push_back(row);
+  }
+  std::printf("%s", table.to_string().c_str());
+  doc.set("tradeoff", tradeoff);
+
+  // Gate 2: p99 rises with the recovery weight (recovery ops defer less,
+  // clients queue more). 5% tolerance between neighbors; endpoints strict.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    if (sweep[i].p99_s < sweep[i - 1].p99_s * 0.95) {
+      std::printf("FAIL: client p99 not monotone in recovery weight "
+                  "(w=%.0f: %.4fs -> w=%.0f: %.4fs)\n",
+                  weights[i - 1], sweep[i - 1].p99_s, weights[i],
+                  sweep[i].p99_s);
+      ok = false;
+    }
+  }
+  if (!(sweep.front().p99_s < sweep.back().p99_s)) {
+    std::printf("FAIL: lowest recovery weight (p99 %.4fs) does not beat "
+                "highest (p99 %.4fs)\n",
+                sweep.front().p99_s, sweep.back().p99_s);
+    ok = false;
+  }
+
+  // Gate 3: some point cuts p99 >= 20% under greedy at <= 1.5x recovery.
+  bool found = false;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (sweep[i].p99_s <= 0.8 * greedy.p99_s &&
+        sweep[i].recovery_s <= 1.5 * greedy.recovery_s) {
+      std::printf("\ntrade-off point: weight %.0f cuts client p99 %.0f%% "
+                  "(%.1f -> %.1f ms) at %.2fx recovery time\n",
+                  weights[i], 100.0 * (1.0 - sweep[i].p99_s / greedy.p99_s),
+                  greedy.p99_s * 1e3, sweep[i].p99_s * 1e3,
+                  sweep[i].recovery_s / greedy.recovery_s);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::printf("FAIL: no sweep point with p99 <= 0.8x greedy and "
+                "recovery <= 1.5x greedy\n");
+    ok = false;
+  }
+
+  // --- section 2: helper-read imbalance -------------------------------------
+  std::printf("\n[imbalance] index-order vs load-aware helper selection\n");
+  std::uint64_t max_index = 0, max_aware = 0;
+  double mean_index = 0, mean_aware = 0;
+  const double imb_index = helper_imbalance(false, &max_index, &mean_index);
+  const double imb_aware = helper_imbalance(true, &max_aware, &mean_aware);
+  std::printf("  index-order: max/mean = %.3f   load-aware: max/mean = %.3f\n",
+              imb_index, imb_aware);
+  util::Json imb = util::Json::object();
+  imb.set("index_order_max_over_mean", imb_index);
+  imb.set("load_aware_max_over_mean", imb_aware);
+  imb.set("index_order_max_bytes", max_index);
+  imb.set("load_aware_max_bytes", max_aware);
+  doc.set("imbalance", imb);
+  if (!(imb_aware < imb_index)) {
+    std::printf("FAIL: load-aware selection did not lower the helper-read "
+                "imbalance (%.3f vs %.3f)\n", imb_aware, imb_index);
+    ok = false;
+  }
+
+  // --- section 3: code families at one QoS operating point ------------------
+  std::printf("\n[families] recovery weight 16, dirty network\n");
+  struct Family {
+    const char* name;
+    std::map<std::string, std::string> profile;
+  };
+  const Family families[] = {
+      {"rs(12,9)", rs_profile()},
+      {"clay(12,9,11)",
+       {{"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}}},
+      {"hitchhiker(12,9)", {{"plugin", "hitchhiker"}, {"k", "9"}, {"m", "3"}}},
+  };
+  util::Json fam = util::Json::array();
+  util::TextTable ftable({"family", "recovery(s)", "client p99(ms)"});
+  for (const Family& f : families) {
+    ecfault::ExperimentProfile p = qos_profile(f.profile, num_objects);
+    p.cluster.qos.enabled = true;
+    p.cluster.qos.recovery.weight = 16;
+    p.cluster.helper_selection.enabled = true;
+    const Point pt = run_point(p);
+    ftable.add_row({f.name, bench::fmt(pt.recovery_s, 1),
+                    bench::fmt(pt.p99_s * 1e3, 1)});
+    util::Json row = util::Json::object();
+    row.set("family", std::string(f.name));
+    row.set("recovery_s", pt.recovery_s);
+    row.set("client_p99_s", pt.p99_s);
+    fam.push_back(row);
+  }
+  std::printf("%s", ftable.to_string().c_str());
+  doc.set("families", fam);
+
+  // --- section 4: staged vs pipelined DAG execution -------------------------
+  // Clay's multi-erasure DAG fetches level by level; under a high-latency
+  // fabric (+5 ms per hop) the staged executor serializes every level's
+  // wire hop behind the previous level's combine, which is exactly the
+  // idle time pipelined chained transfers reclaim. A host-domain node
+  // fault only ever costs a stripe one chunk (one chunk per host), so the
+  // multi-stage regime needs a two-device fault on different hosts —
+  // stripes holding both victims decode through the staged plane walk.
+  std::printf("\n[pipeline] Clay staged vs pipelined chained transfers "
+              "(+5 ms links, 2 device faults)\n");
+  util::Json pipe = util::Json::object();
+  double staged_s = 0, pipelined_s = 0;
+  for (const bool pipelined : {false, true}) {
+    ecfault::ExperimentProfile p = qos_profile(
+        {{"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}},
+        num_objects);
+    p.cluster.client.ops_per_s = 0;
+    p.cluster.pool.dag_recovery = true;
+    p.cluster.pool.dag_pipeline = pipelined;
+    p.fault.level = ecfault::FaultLevel::kDevice;
+    p.fault.count = 2;
+    p.fault.topology = ecfault::FaultTopology::kDifferentHosts;
+    p.network_faults[0].latency_s = util::SimSec(5e-3);
+    // Serialize object repairs (one in flight per PG) so per-object stage
+    // latency sets the recovery rate — the regime pipelining targets.
+    p.cluster.protocol.osd_recovery_max_active = 1;
+    p.cluster.protocol.osd_max_backfills = 1;
+    const Point pt = run_point(p);
+    (pipelined ? pipelined_s : staged_s) = pt.recovery_s;
+  }
+  std::printf("  staged: %.1fs   pipelined: %.1fs (%.2fx)\n", staged_s,
+              pipelined_s, staged_s > 0 ? pipelined_s / staged_s : 0.0);
+  pipe.set("staged_recovery_s", staged_s);
+  pipe.set("pipelined_recovery_s", pipelined_s);
+  doc.set("pipeline", pipe);
+  if (pipelined_s > staged_s * 1.02) {
+    std::printf("FAIL: pipelined execution slower than staged "
+                "(%.1fs vs %.1fs)\n", pipelined_s, staged_s);
+    ok = false;
+  }
+
+  std::ofstream out(out_path);
+  out << doc.dump(2) << "\n";
+  std::printf("\nwrote %s\n", out_path);
+  return ok && out.good() ? 0 : 1;
+}

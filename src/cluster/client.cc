@@ -148,7 +148,11 @@ void Cluster::issue_client_op() {
         const auto& store = o.store;
         const auto bytes = static_cast<std::uint64_t>(
             static_cast<double>(per_shard) * (1.0 - store.data_hit_rate()));
-        done = std::max(done, osd_read(pg.acting[pos], bytes, 1));
+        done = std::max(
+            done,
+            osd_read(pg.acting[pos], bytes, 1,
+                     qos_submit_delay(qos::OpClass::kClient, pg.acting[pos],
+                                      bytes)));
       }
       done = std::max(done, phost->nic.send(engine_, c.op_bytes, 1));
       engine_.schedule_at(done, [this, op] { finish_client_op(op); },
@@ -190,8 +194,10 @@ void Cluster::issue_client_op() {
             4096, static_cast<std::uint64_t>(
                       static_cast<double>(layout.chunk_size) * r.fraction *
                       extent_fraction));
-        const sim::SimTime t_read =
-            osd_read(pg.acting[r.chunk], bytes, r.subchunk_ios);
+        const sim::SimTime t_read = osd_read(
+            pg.acting[r.chunk], bytes, r.subchunk_ios,
+            qos_submit_delay(qos::OpClass::kClient, pg.acting[r.chunk],
+                             bytes));
         engine_.schedule_at(t_read, [this, bytes, hhost, phost, op] {
           const sim::SimTime t_tx = hhost->nic.send(engine_, bytes, 1);
           engine_.schedule_at(t_tx, [this, bytes, phost, op] {
@@ -224,7 +230,11 @@ void Cluster::issue_client_op() {
       sim::SimTime done = engine_.now();
       for (std::size_t pos = 0; pos < pg2.acting.size(); ++pos) {
         if (!osd_alive(pg2.acting[pos])) continue;
-        done = std::max(done, osd_write(pg2.acting[pos], shard_bytes, 1));
+        done = std::max(
+            done,
+            osd_write(pg2.acting[pos], shard_bytes, 1,
+                      qos_submit_delay(qos::OpClass::kClient,
+                                       pg2.acting[pos], shard_bytes)));
       }
       done = std::max(done, phost->nic.send(engine_, config_.client.op_bytes, 2));
       engine_.schedule_at(done, [this, op] { finish_client_op(op); },

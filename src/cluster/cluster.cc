@@ -67,6 +67,7 @@ Cluster::Cluster(ClusterConfig config, LogSinkFn sink)
     }
   }
   alive_.assign(osds_.size(), true);
+  qos_state_.resize(osds_.size());
   std::vector<int> rack_of_host;
   for (HostId h = 0; h < config_.num_hosts; ++h) {
     rack_of_host.push_back(h / std::max(1, config_.hosts_per_rack));
@@ -377,6 +378,7 @@ Cluster::DeviceStats Cluster::disk_stats(OsdId osd) const {
   stats.bytes_written = o.disk->bytes_written();
   stats.io_count = o.disk->io_count();
   stats.busy_seconds = o.disk->server().busy_seconds();
+  stats.recovery_bytes_read = o.recovery_bytes_served;
   return stats;
 }
 

@@ -229,6 +229,9 @@ class Cluster {
     std::uint64_t bytes_written = 0;
     std::uint64_t io_count = 0;
     double busy_seconds = 0;
+    // Recovery payload this OSD served as a helper (subset of bytes_read's
+    // purpose, tracked separately: the helper-read imbalance metric).
+    std::uint64_t recovery_bytes_read = 0;
   };
   DeviceStats disk_stats(OsdId osd) const;
   struct NicStats {
@@ -280,16 +283,37 @@ class Cluster {
   void pump_recovery(Pg& pg);
   void start_object_repair(Pg& pg);
   void issue_repair_round(RepairBatch* b);
+  // One flat helper read of the current round (hoisted so a dmClock grant
+  // can defer it; captures stay within the EventFn small-buffer).
+  void issue_flat_read(RepairBatch* b, std::size_t read_index);
   void repair_after_decode(RepairBatch* b);
   // DAG-staged execution (pool.dag_recovery): one fetch stage of the
   // repair DAG — helper reads, helper-local combines, forwards — then the
   // stage barrier at the primary.
   void issue_dag_stage(RepairBatch* b);
+  void issue_dag_helper_read(RepairBatch* b, std::size_t helper_index);
   void dag_helper_step(RepairBatch* b, std::size_t helper_index);
   void dag_after_stage(RepairBatch* b);
+  // Pipelined DAG execution (pool.dag_pipeline): every stage's helper
+  // chains issue at round start; target combines charge in stage order as
+  // each stage's arrivals complete (see impl_types.h RepairBatch fields).
+  void issue_pipelined_round(RepairBatch* b);
+  void issue_pipe_helper_read(RepairBatch* b, std::uint32_t stage,
+                              std::uint32_t helper_index);
+  void pipe_helper_step(RepairBatch* b, std::uint32_t stage,
+                        std::uint32_t helper_index);
+  void pipe_forward(RepairBatch* b, std::uint32_t stage,
+                    std::uint32_t helper_index);
+  void pipe_deliver(RepairBatch* b, std::uint32_t stage,
+                    std::uint32_t helper_index);
+  void pipe_arrival(RepairBatch* b, std::uint32_t stage);
+  void pipe_advance(RepairBatch* b);
   // Write fan-out shared by the flat and DAG paths (the tail of
   // repair_after_decode / the last DAG stage).
   void issue_repair_writes(RepairBatch* b);
+  // Device charge of one repair write (hoisted for dmClock deferral).
+  void finish_repair_write(RepairBatch* b, std::size_t write_index,
+                           std::uint64_t write_bytes);
   void complete_object_repair(Pg& pg, int generation, std::size_t batch);
   void finish_pg(Pg& pg);
   void maybe_finish_recovery();
@@ -300,6 +324,20 @@ class Cluster {
   void scrub_tick(PgId next);
   void repair_corrupted_shard(PgId pg, std::size_t position);
   std::string osd_name_for_scrub(PgId pg) const;
+
+  // --- recovery QoS (qos.h; all default-off) --------------------------------
+  // Legacy flat scheduler-queueing constant for an op class (0 when the
+  // dmClock scheduler is on — tags replace the constant).
+  double queue_extra_s(qos::OpClass cls) const;
+  // dmClock grant delay for one op of `cls` at `osd` (0 when disabled;
+  // touches no tag state in that case, keeping goldens bit-identical).
+  double qos_submit_delay(qos::OpClass cls, OsdId osd,
+                          std::uint64_t device_bytes);
+  // Load-aware helper selection: congestion score of a candidate helper
+  // (lower = preferred; see HelperSelectionConfig) and the per-PG survivor
+  // preference it induces (ties break by OSD id).
+  double helper_score(OsdId osd) const;
+  std::vector<std::size_t> helper_preference(const Pg& pg) const;
 
   RepairShape compute_repair_shape(const Pg& pg) const;
   // Lower a structured repair DAG into the shape's per-stage helper lists
@@ -353,6 +391,10 @@ class Cluster {
   std::vector<std::uint32_t> obj_pg_;
   util::Pool<ClientOp> client_op_pool_;
   util::Pool<RepairBatch> repair_batch_pool_;
+
+  // Per-OSD dmClock tag state (sized with osds_; only touched when
+  // config_.qos.enabled).
+  std::vector<qos::DmClockOsd> qos_state_;
 
   // Scratch buffers reused across recovery/protocol rounds (avoid per-call
   // allocations on hot paths). The scratch_ prefix is load-bearing:

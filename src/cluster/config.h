@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "cluster/qos.h"
 #include "cluster/types.h"
 #include "sim/hardware_profiles.h"
 #include "util/bytes.h"
@@ -59,6 +60,13 @@ struct PoolConfig {
   // fetch-everything rounds. Off by default: flat repair keeps the paper
   // reproduction (Fig. 2/3) byte- and event-identical to the seed.
   bool dag_recovery = false;
+  // Pipelined DAG execution (requires dag_recovery): issue every stage's
+  // helper read→combine→forward chain at round start instead of running a
+  // barrier between fetch stages, overlapping later-stage fabric hops with
+  // earlier-stage GF combines. Target-side combines still charge in stage
+  // order (the data dependency the DAG encodes). Off by default: the
+  // staged executor keeps the dag-recovery goldens bit-identical.
+  bool dag_pipeline = false;
 };
 
 // BlueStore on-disk accounting constants; these produce the paper's
@@ -204,6 +212,10 @@ struct ClusterConfig {
   WorkloadConfig workload;
   ClientLoadConfig client;
   ScrubConfig scrub;
+  // Recovery QoS (dmClock op scheduler) and load-aware helper selection —
+  // both default-off; see cluster/qos.h.
+  qos::QosConfig qos;
+  qos::HelperSelectionConfig helper_selection;
   std::uint64_t seed = 1;
   // Event lanes for the simulation engine (sim::Engine::set_lane_count).
   // Purely a throughput/footprint knob for million-object campaigns:

@@ -27,6 +27,10 @@ struct Cluster::Osd {
   bool marked_out = false;
   int backfills_in_use = 0;
   std::uint64_t chunk_count = 0;
+  // Cumulative recovery payload this OSD served as a helper. Feeds the
+  // load-aware helper score's leveling term and the bench's helper-read
+  // imbalance metric; accounting only, never charged as time.
+  std::uint64_t recovery_bytes_served = 0;
 
   Osd(const StoreConfig& sc, const CacheConfig& cc,
       const sim::HardwareProfile& hw)
@@ -122,6 +126,14 @@ struct Cluster::RepairBatch {
   std::uint32_t stage = 0;
   std::uint32_t num_stages = 0;
   std::size_t stage_pending = 0;
+  // Pipelined DAG execution (pool.dag_pipeline): all stages' helper
+  // chains run concurrently; arrivals[] counts each stage's outstanding
+  // chains (stage_pending holds the round total) and combine_next is the
+  // next stage whose target-side combine may charge — combines still
+  // charge in stage order, preserving the DAG's data dependencies.
+  static constexpr std::size_t kMaxStages = 16;  // >= any code's fetch depth
+  std::uint32_t arrivals[kMaxStages] = {};
+  std::uint32_t combine_next = 0;
   // Decode recipe captured at issue time, batch-scaled where the old
   // per-batch shape was.
   double decode_cost_factor = 1.0;

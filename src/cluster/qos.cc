@@ -1,0 +1,77 @@
+#include "cluster/qos.h"
+
+#include <algorithm>
+
+namespace ecf::cluster::qos {
+
+const char* to_string(OpClass c) {
+  switch (c) {
+    case OpClass::kClient: return "client";
+    case OpClass::kRecovery: return "recovery";
+    case OpClass::kScrub: return "scrub";
+  }
+  return "?";
+}
+
+double advance_tag(double prev_tag, double now, double rate) {
+  if (rate <= 0) return now;
+  return std::max(prev_tag + 1.0 / rate, now);
+}
+
+double weight_gap(double cost_s, double weight, double other_weight_sum) {
+  if (cost_s <= 0 || weight <= 0 || other_weight_sum <= 0) return 0;
+  return cost_s * other_weight_sum / weight;
+}
+
+double DmClockOsd::submit(const QosConfig& cfg, OpClass c, double now,
+                          double op_cost_s) {
+  const std::size_t ci = static_cast<std::size_t>(c);
+  TagState& t = cls[ci];
+  // Idle reset: a class that went quiet must not spend banked tag credit
+  // (or pay banked tag debt) when it comes back.
+  if (now - t.last_submit > cfg.idle_reset_s) {
+    t.r_tag = TagState::kNeverTag;
+    t.w_tag = TagState::kNeverTag;
+    t.l_tag = TagState::kNeverTag;
+  }
+  t.last_submit = now;
+
+  const ClassParams& p = cfg.params(c);
+
+  // Competing weight: classes that submitted within the idle window. A
+  // sole-active class sees no competition, spaces by nothing, and is
+  // granted immediately (work conservation).
+  double other_w = 0;
+  for (std::size_t j = 0; j < kNumOpClasses; ++j) {
+    if (j == ci) continue;
+    if (now - cls[j].last_submit <= cfg.idle_reset_s) {
+      other_w += cfg.params(static_cast<OpClass>(j)).weight;
+    }
+  }
+
+  // Weight: grant no earlier than the share tag, then push the tag out by
+  // this op's cost scaled to the class's proportional share — a burst of
+  // same-class ops self-serializes into w/(w + other) of device time
+  // instead of landing on the device at once.
+  const double start = std::max(t.w_tag, now);
+  double delay = start - now;
+  t.w_tag = start + weight_gap(op_cost_s, p.weight, other_w);
+
+  // Reservation: while the class submits below its reserved rate the
+  // reservation tag trails `now` and the op is granted immediately,
+  // regardless of how far behind its weight share it is.
+  if (p.reservation_ops > 0) {
+    t.r_tag = advance_tag(t.r_tag, now, p.reservation_ops);
+    delay = std::min(delay, std::max(0.0, t.r_tag - now));
+  }
+
+  // Limit: never dispatch ahead of the limit tag, even when reservation
+  // or weight would grant now.
+  if (p.limit_ops > 0) {
+    t.l_tag = advance_tag(t.l_tag, now, p.limit_ops);
+    delay = std::max(delay, t.l_tag - now);
+  }
+  return std::max(0.0, delay);
+}
+
+}  // namespace ecf::cluster::qos

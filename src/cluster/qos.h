@@ -1,0 +1,135 @@
+// Recovery QoS: a dmClock-style tag scheduler plus the knobs for
+// load-aware helper selection.
+//
+// Ceph's op scheduler (mClock/dmClock, Gulati et al., OSDI '10) assigns
+// every op a reservation tag, a weight tag and a limit tag; the queue
+// dispatches by reservation tag while reservations are unmet, then by
+// weight tag, and never ahead of the limit tag. We model the *delay* that
+// ordering imposes instead of the queue itself: each submission computes,
+// from per-(OSD, class) tag state and the op's estimated device cost, how
+// long the scheduler would hold the op before letting it reach the device.
+// That delay feeds the existing `extra_seconds` hook on sim::Disk (scrub,
+// client) or defers the charging event itself (recovery), so the device
+// FIFO stays the single point of serialization.
+//
+// Determinism: tag arithmetic is pure — a function of (previous tags,
+// simulated now, configured rates, op cost) only. No wall clock, no
+// randomness, no allocation. Runs replay bit-identically across repeats
+// and event-lane counts, which is what makes the QoS sweep benchable.
+//
+// Everything here is default-off: with QosConfig::enabled == false the
+// cluster routes the legacy flat `mclock_queue_delay_s` constant through
+// queue_extra_s() and never touches tag state, so seed goldens stay
+// bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ecf::cluster::qos {
+
+// Op classes the per-OSD scheduler distinguishes. Values index the
+// per-class arrays below; keep them dense.
+enum class OpClass : std::uint8_t { kClient = 0, kRecovery = 1, kScrub = 2 };
+inline constexpr std::size_t kNumOpClasses = 3;
+
+const char* to_string(OpClass c);
+
+// dmClock parameters of one op class. Reservation/limit rates are in
+// grants per simulated second; 0 disables the corresponding tag (no
+// reservation / no cap). Weight is unitless: under contention a class is
+// granted device time proportional to its weight's share of the active
+// weight sum.
+struct ClassParams {
+  double reservation_ops = 0;  // guaranteed dispatch rate
+  double weight = 1.0;         // proportional share under contention
+  double limit_ops = 0;        // hard dispatch-rate ceiling
+};
+
+struct QosConfig {
+  bool enabled = false;
+  // A class idle for longer than this drops out of the active-weight sum
+  // and its tags reset on the next submission (dmClock's idle handling:
+  // an idle class must not bank credit).
+  double idle_reset_s = 2.0;
+  // Defaults favor foreground traffic: the client class holds a
+  // reservation high enough that its ops are effectively never held (its
+  // queueing is already modeled by the device FIFO), recovery competes on
+  // weight alone (the axis bench_qos sweeps), scrub scavenges.
+  ClassParams client{500.0, 100.0, 0.0};
+  ClassParams recovery{0.0, 10.0, 0.0};
+  ClassParams scrub{0.0, 1.0, 0.0};
+
+  const ClassParams& params(OpClass c) const {
+    switch (c) {
+      case OpClass::kClient: return client;
+      case OpClass::kRecovery: return recovery;
+      case OpClass::kScrub: return scrub;
+    }
+    return client;  // unreachable; keeps -Wreturn-type quiet
+  }
+  ClassParams& params(OpClass c) {
+    return const_cast<ClassParams&>(
+        static_cast<const QosConfig*>(this)->params(c));
+  }
+};
+
+// Knobs of the load-aware helper ranking (recovery.cc builds the
+// preference, ec::ErasureCode::repair_dag_ranked consumes it). The score
+// of a candidate helper OSD is a weighted sum of live congestion signals,
+// all expressed in seconds so the weights are unitless:
+//
+//   score = disk_weight      * disk backlog (busy_until - now)
+//         + link_weight      * fabric link backlog (tx + rx)
+//         + inflight_penalty_s * in-flight fabric commands on the host
+//         + backfill_penalty_s * active recovery reservations on the OSD
+//         + served_weight    * cumulative recovery bytes served / disk bw
+//
+// The last term levels long-run helper load even when instantaneous
+// backlogs tie; ties after all that break by OSD id, so selection is
+// deterministic across runs and lane counts.
+struct HelperSelectionConfig {
+  bool enabled = false;
+  double disk_weight = 1.0;
+  double link_weight = 1.0;
+  double inflight_penalty_s = 2e-3;
+  double backfill_penalty_s = 0.05;
+  double served_weight = 1.0;
+};
+
+// --- pure tag arithmetic (unit-tested directly) -----------------------------
+
+// Advance a dmClock tag: the op's tag is 1/rate past the previous tag, but
+// never in the past. rate <= 0 returns `now` (tag disabled).
+double advance_tag(double prev_tag, double now, double rate);
+
+// Weight-tag spacing after an op costing `cost_s` device-seconds: to hold
+// a class at share w / (w + other) of device time, consecutive grants must
+// be at least cost_s * other / w apart. No competition (other == 0) means
+// no spacing — dmClock is work-conserving, a sole-active class is never
+// deferred.
+double weight_gap(double cost_s, double weight, double other_weight_sum);
+
+// Per-(OSD, class) tag state. Tags start at -infinity-ish so the first
+// submission after construction (or an idle reset) is granted immediately.
+struct TagState {
+  static constexpr double kNeverTag = -1e300;
+  double r_tag = kNeverTag;      // reservation tag
+  double w_tag = kNeverTag;      // weight (proportional-share) tag
+  double l_tag = kNeverTag;      // limit tag
+  double last_submit = kNeverTag;
+};
+
+// The dmClock state of one OSD: tag state per op class. submit() is the
+// whole scheduler — it returns the grant delay (>= 0 seconds) the op of
+// class `c` would wait before reaching the device, and updates the tags.
+// `op_cost_s` is the op's estimated device occupancy in seconds; it is
+// what the weight tag spaces by, so a class burst self-serializes into
+// its proportional share instead of landing on the device at once.
+struct DmClockOsd {
+  TagState cls[kNumOpClasses];
+
+  double submit(const QosConfig& cfg, OpClass c, double now, double op_cost_s);
+};
+
+}  // namespace ecf::cluster::qos

@@ -374,7 +374,20 @@ Cluster::RepairShape Cluster::compute_repair_shape(const Pg& pg) const {
   shape.chunk_size =
       util::round_up(layout.chunk_size, static_cast<std::uint64_t>(code_->alpha()));
 
-  const ec::RepairPlan plan = code_->repair_plan(pg.missing_positions);
+  // Load-aware helper selection: rank survivors by live congestion and
+  // let the code pick its helper subset in that order (codes without
+  // helper choice ignore the preference). The ranked DAG drives both the
+  // flat plan and (below) the staged lowering, so the two views agree.
+  const bool ranked = config_.helper_selection.enabled;
+  ec::RepairDag ranked_dag;
+  ec::RepairPlan plan;
+  if (ranked) {
+    ranked_dag =
+        code_->repair_dag_ranked(pg.missing_positions, helper_preference(pg));
+    plan = ranked_dag.to_repair_plan();
+  } else {
+    plan = code_->repair_plan(pg.missing_positions);
+  }
   shape.decode_cost_factor = plan.decode_cost_factor;
   shape.fetch_stages = plan.fetch_stages;
   // Sub-packetized decode cost: the coupled-layer engine performs a GF
@@ -428,13 +441,80 @@ Cluster::RepairShape Cluster::compute_repair_shape(const Pg& pg) const {
   // lower it to per-stage helper lists. Flat DAGs (and the default) leave
   // `stages` empty, keeping the seed's flat path event-identical.
   if (config_.pool.dag_recovery) {
-    const ec::RepairDag dag = code_->repair_dag(pg.missing_positions);
+    const ec::RepairDag dag =
+        ranked ? std::move(ranked_dag) : code_->repair_dag(pg.missing_positions);
     if (dag.structured()) {
       lower_dag_stages(dag, shape.chunk_size, layout.units_per_chunk, pg,
                        shape);
     }
   }
   return shape;
+}
+
+double Cluster::helper_score(OsdId osd) const {
+  const auto& w = config_.helper_selection;
+  const Osd& o = *osds_[static_cast<std::size_t>(osd)];
+  const double now = engine_.now();
+  double s = w.disk_weight * std::max(0.0, o.disk->server().busy_until() - now);
+  const nvmeof::FabricLoadView lv = fabric_->load_view(o.host, now);
+  s += w.link_weight * (lv.tx_backlog_s + lv.rx_backlog_s);
+  s += w.inflight_penalty_s * static_cast<double>(lv.in_flight);
+  s += w.backfill_penalty_s * static_cast<double>(o.backfills_in_use);
+  const double disk_bw = config_.hw.disk.read_bw_bytes_per_s;
+  if (disk_bw > 0) {
+    s += w.served_weight *
+         (static_cast<double>(o.recovery_bytes_served) / disk_bw);
+  }
+  return s;
+}
+
+std::vector<std::size_t> Cluster::helper_preference(const Pg& pg) const {
+  // Surviving positions cheapest-first; ties break by OSD id so selection
+  // is deterministic across runs and lane counts. Cold path: runs once
+  // per (PG, epoch) and is cached inside shape_base.
+  std::vector<std::size_t> pref;  ECF_ALLOC_OK("cold: once per (PG, epoch), cached in shape_base");
+  pref.reserve(pg.acting.size());
+  for (std::size_t pos = 0; pos < pg.acting.size(); ++pos) {
+    if (std::binary_search(pg.missing_positions.begin(),
+                           pg.missing_positions.end(), pos)) {
+      continue;
+    }
+    pref.push_back(pos);  ECF_ALLOC_OK("cold: once per (PG, epoch), cached in shape_base");
+  }
+  std::stable_sort(pref.begin(), pref.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double sa = helper_score(pg.acting[a]);
+                     const double sb = helper_score(pg.acting[b]);
+                     if (sa != sb) return sa < sb;
+                     return pg.acting[a] < pg.acting[b];
+                   });
+  return pref;
+}
+
+double Cluster::queue_extra_s(qos::OpClass cls) const {
+  // Legacy mode: the flat mClock stand-in constant, recovery/scrub only
+  // (clients never paid it). The dmClock scheduler replaces the constant
+  // with tag-derived grant delays.
+  if (config_.qos.enabled) return 0;
+  switch (cls) {
+    case qos::OpClass::kClient: return 0;
+    case qos::OpClass::kRecovery:
+    case qos::OpClass::kScrub: return config_.protocol.mclock_queue_delay_s;
+  }
+  return 0;
+}
+
+double Cluster::qos_submit_delay(qos::OpClass cls, OsdId osd,
+                                 std::uint64_t device_bytes) {
+  if (!config_.qos.enabled) return 0;
+  // Cost estimate for the weight tag: the op's device occupancy at raw
+  // read bandwidth. Writes run at a different rate, but the estimate only
+  // sets relative spacing between competing classes, and both sides of
+  // every comparison use the same yardstick.
+  const double bw = config_.hw.disk.read_bw_bytes_per_s;
+  const double cost_s = bw > 0 ? static_cast<double>(device_bytes) / bw : 0.0;
+  return qos_state_[static_cast<std::size_t>(osd)].submit(
+      config_.qos, cls, engine_.now(), cost_s);
 }
 
 // Lower a structured RepairDag into the shape's stage list. Reads group
@@ -677,7 +757,6 @@ void Cluster::issue_repair_round(RepairBatch* b) {
     repair_batch_pool_.release(b);
     return;
   }
-  const auto& proto = config_.protocol;
   // Safe to read: the generation matched, so shape_base is the recipe this
   // batch was issued against.
   const RepairShape& base = pg.shape_base;
@@ -687,50 +766,88 @@ void Cluster::issue_repair_round(RepairBatch* b) {
     // round body; this round's bytes flow stage by stage instead.
     b->stage = 0;
     b->num_stages = static_cast<std::uint32_t>(base.stages.size());
-    issue_dag_stage(b);
+    if (config_.pool.dag_pipeline) {
+      issue_pipelined_round(b);
+    } else {
+      issue_dag_stage(b);
+    }
     return;
   }
 
-  // Per-round slices (bytes split across rounds; at least one IO each).
-  const std::uint64_t rounds = b->rounds;
-  auto slice = [rounds](std::uint64_t v) {
-    return std::max<std::uint64_t>(1, v / rounds);
-  };
-
   b->reads_pending = base.reads.size();
-  for (const auto& r : base.reads) {
-    const std::uint64_t rbytes = slice(r.bytes * b->batch);
-    const std::uint64_t rmsgs = slice(r.msgs * b->batch);
-    report_.bytes_read_for_recovery += rbytes;
-    Osd* hosd = osds_[static_cast<std::size_t>(r.osd)].get();
-    Host* hhost = hosts_[static_cast<std::size_t>(hosd->host)].get();
-    // Lookups (r.extra_s) do not scale with the batch: the backfill scan
-    // walks onodes in key order, so the RocksDB iterator amortizes misses
-    // across the batch.
-    const std::uint64_t eff = static_cast<std::uint64_t>(
-        static_cast<double>(slice(r.disk_bytes * b->batch)) /
-        proto.recovery_bw_fraction);
-    const sim::SimTime t_read =
-        osd_read(r.osd, eff, slice(r.ios * b->batch), r.extra_s);
-    engine_.schedule_at(
-        t_read + proto.mclock_queue_delay_s,
-        [this, b, hhost, rbytes, rmsgs] {
-          report_.bytes_on_wire_for_recovery += rbytes;
-          const sim::SimTime t_tx = hhost->nic.send(engine_, rbytes, rmsgs);
-          engine_.schedule_at(t_tx, [this, b, rbytes, rmsgs] {
-            Host* phost =
-                hosts_[static_cast<std::size_t>(
-                           osds_[static_cast<std::size_t>(b->primary)]->host)]
-                    .get();
-            const sim::SimTime t_rx = phost->nic.recv(engine_, rbytes, rmsgs);
-            engine_.schedule_at(t_rx, [this, b] {
-              if (--b->reads_pending == 0) repair_after_decode(b);
-            }, sim::EventTag::kRecovery);
-          }, sim::EventTag::kRecovery);
-        },
-        sim::EventTag::kRecovery);
+  const auto qslice = [b](std::uint64_t v) {
+    return std::max<std::uint64_t>(1, v / b->rounds);
+  };
+  for (std::size_t i = 0; i < base.reads.size(); ++i) {
+    // dmClock: recovery reads wait for their scheduling grant *before*
+    // charging the device, so deferred reads actually free the disk for
+    // client ops. grant == 0 (always, when QoS is off) issues
+    // synchronously — no extra event, keeping legacy runs bit-identical.
+    // The grant cost is the read's device occupancy (throttle-scaled, like
+    // the charge in issue_flat_read).
+    const double grant = qos_submit_delay(
+        qos::OpClass::kRecovery, base.reads[i].osd,
+        static_cast<std::uint64_t>(
+            static_cast<double>(qslice(base.reads[i].disk_bytes * b->batch)) /
+            config_.protocol.recovery_bw_fraction));
+    if (grant <= 0) {
+      issue_flat_read(b, i);
+    } else {
+      engine_.schedule(grant, [this, b, i] { issue_flat_read(b, i); },
+                       sim::EventTag::kRecovery);
+    }
   }
   if (base.reads.empty()) repair_after_decode(b);
+}
+
+// One flat helper read of the current round: device charge, helper-NIC
+// send, primary-NIC recv, read-barrier drain. Split from
+// issue_repair_round so a dmClock grant can defer just the charging; a
+// generation change during the deferral drains the barrier without
+// touching the (possibly recomputed) shape.
+void Cluster::issue_flat_read(RepairBatch* b, std::size_t read_index) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  if (pg.generation != b->gen) {
+    if (--b->reads_pending == 0) repair_after_decode(b);
+    return;
+  }
+  const auto& proto = config_.protocol;
+  const RepairShape::HelperRead& r = pg.shape_base.reads[read_index];
+  const std::uint64_t rounds = b->rounds;
+  const auto slice = [rounds](std::uint64_t v) {
+    return std::max<std::uint64_t>(1, v / rounds);
+  };
+  const std::uint64_t rbytes = slice(r.bytes * b->batch);
+  const std::uint64_t rmsgs = slice(r.msgs * b->batch);
+  report_.bytes_read_for_recovery += rbytes;
+  Osd* hosd = osds_[static_cast<std::size_t>(r.osd)].get();
+  hosd->recovery_bytes_served += rbytes;
+  Host* hhost = hosts_[static_cast<std::size_t>(hosd->host)].get();
+  // Lookups (r.extra_s) do not scale with the batch: the backfill scan
+  // walks onodes in key order, so the RocksDB iterator amortizes misses
+  // across the batch.
+  const std::uint64_t eff = static_cast<std::uint64_t>(
+      static_cast<double>(slice(r.disk_bytes * b->batch)) /
+      proto.recovery_bw_fraction);
+  const sim::SimTime t_read =
+      osd_read(r.osd, eff, slice(r.ios * b->batch), r.extra_s);
+  engine_.schedule_at(
+      t_read + queue_extra_s(qos::OpClass::kRecovery),
+      [this, b, hhost, rbytes, rmsgs] {
+        report_.bytes_on_wire_for_recovery += rbytes;
+        const sim::SimTime t_tx = hhost->nic.send(engine_, rbytes, rmsgs);
+        engine_.schedule_at(t_tx, [this, b, rbytes, rmsgs] {
+          Host* phost =
+              hosts_[static_cast<std::size_t>(
+                         osds_[static_cast<std::size_t>(b->primary)]->host)]
+                  .get();
+          const sim::SimTime t_rx = phost->nic.recv(engine_, rbytes, rmsgs);
+          engine_.schedule_at(t_rx, [this, b] {
+            if (--b->reads_pending == 0) repair_after_decode(b);
+          }, sim::EventTag::kRecovery);
+        }, sim::EventTag::kRecovery);
+      },
+      sim::EventTag::kRecovery);
 }
 
 // --- DAG-staged execution (pool.dag_recovery) -------------------------------
@@ -753,29 +870,61 @@ void Cluster::issue_dag_stage(RepairBatch* b) {
     dag_after_stage(b);
     return;
   }
+  b->stage_pending = st.helpers.size();
+  for (std::size_t hi = 0; hi < st.helpers.size(); ++hi) {
+    // dmClock grant before the device charge (see issue_repair_round);
+    // reads of zero bytes (pure combine/forward helpers) skip the queue.
+    const double grant =
+        st.helpers[hi].read_bytes > 0
+            ? qos_submit_delay(
+                  qos::OpClass::kRecovery, st.helpers[hi].osd,
+                  static_cast<std::uint64_t>(
+                      static_cast<double>(std::max<std::uint64_t>(
+                          1, st.helpers[hi].disk_bytes * b->batch / b->rounds)) /
+                      config_.protocol.recovery_bw_fraction))
+            : 0.0;
+    if (grant <= 0) {
+      issue_dag_helper_read(b, hi);
+    } else {
+      engine_.schedule(grant, [this, b, hi] { issue_dag_helper_read(b, hi); },
+                       sim::EventTag::kRecovery);
+    }
+  }
+}
+
+// One DAG helper's device read for the current stage (split out so a
+// dmClock grant can defer it). A generation change during the deferral
+// drains the stage barrier; dag_after_stage owns the release.
+void Cluster::issue_dag_helper_read(RepairBatch* b, std::size_t helper_index) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  if (pg.generation != b->gen) {
+    if (--b->stage_pending == 0) dag_after_stage(b);
+    return;
+  }
   const auto& proto = config_.protocol;
+  const RepairShape::DagHelper& h =
+      pg.shape_base.stages[b->stage].helpers[helper_index];
   const std::uint64_t rounds = b->rounds;
   const auto slice = [rounds](std::uint64_t v) {
     return std::max<std::uint64_t>(1, v / rounds);
   };
-  b->stage_pending = st.helpers.size();
-  for (std::size_t hi = 0; hi < st.helpers.size(); ++hi) {
-    const RepairShape::DagHelper& h = st.helpers[hi];
-    sim::SimTime t_ready = engine_.now();
-    if (h.read_bytes > 0) {
-      report_.bytes_read_for_recovery += slice(h.read_bytes * b->batch);
-      const std::uint64_t eff = static_cast<std::uint64_t>(
-          static_cast<double>(slice(h.disk_bytes * b->batch)) /
-          proto.recovery_bw_fraction);
-      // A continuation read of an already-open scatter sweep carries no
-      // further per-run IOs (h.ios == 0): it pays bytes only.
-      t_ready = osd_read(h.osd, eff,
-                         h.ios > 0 ? slice(h.ios * b->batch) : 0, h.extra_s) +
-                proto.mclock_queue_delay_s;
-    }
-    engine_.schedule_at(t_ready, [this, b, hi] { dag_helper_step(b, hi); },
-                        sim::EventTag::kRecovery);
+  sim::SimTime t_ready = engine_.now();
+  if (h.read_bytes > 0) {
+    const std::uint64_t rbytes = slice(h.read_bytes * b->batch);
+    report_.bytes_read_for_recovery += rbytes;
+    osds_[static_cast<std::size_t>(h.osd)]->recovery_bytes_served += rbytes;
+    const std::uint64_t eff = static_cast<std::uint64_t>(
+        static_cast<double>(slice(h.disk_bytes * b->batch)) /
+        proto.recovery_bw_fraction);
+    // A continuation read of an already-open scatter sweep carries no
+    // further per-run IOs (h.ios == 0): it pays bytes only.
+    t_ready = osd_read(h.osd, eff,
+                       h.ios > 0 ? slice(h.ios * b->batch) : 0, h.extra_s) +
+              queue_extra_s(qos::OpClass::kRecovery);
   }
+  const std::size_t hi = helper_index;
+  engine_.schedule_at(t_ready, [this, b, hi] { dag_helper_step(b, hi); },
+                      sim::EventTag::kRecovery);
 }
 
 // One helper's post-read work for the current stage: the helper-local GF
@@ -862,6 +1011,216 @@ void Cluster::dag_after_stage(RepairBatch* b) {
   }, sim::EventTag::kRecovery);
 }
 
+// --- pipelined DAG execution (pool.dag_pipeline) ----------------------------
+// Every stage's helper chains (read → local combine → forward hop) issue
+// at round start: the repaired object's surviving shards are static on
+// disk, so a later stage's *transfers* need not wait on an earlier
+// stage's *combines* — only the target-side combines carry the DAG's data
+// dependencies, and those still charge in stage order as each stage's
+// arrivals complete (pipe_advance). The result: fabric hops overlap GF
+// combines instead of serializing behind per-stage barriers, which is
+// where Clay's multi-erasure staged fetch loses most of its time.
+void Cluster::issue_pipelined_round(RepairBatch* b) {
+  // Caller (issue_repair_round) already verified the generation.
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  const RepairShape& base = pg.shape_base;
+  ECF_CHECK_LE(base.stages.size(), RepairBatch::kMaxStages)
+      << " repair DAG deeper than the pipelined executor supports";
+  b->combine_next = 0;
+  b->stage_pending = 0;
+  for (std::size_t s = 0; s < base.stages.size(); ++s) {
+    b->arrivals[s] = static_cast<std::uint32_t>(base.stages[s].helpers.size());
+    b->stage_pending += base.stages[s].helpers.size();
+  }
+  for (std::uint32_t s = 0; s < b->num_stages; ++s) {
+    const auto& helpers = base.stages[s].helpers;
+    for (std::uint32_t hi = 0; hi < helpers.size(); ++hi) {
+      const double grant =
+          helpers[hi].read_bytes > 0
+              ? qos_submit_delay(
+                    qos::OpClass::kRecovery, helpers[hi].osd,
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(std::max<std::uint64_t>(
+                            1, helpers[hi].disk_bytes * b->batch / b->rounds)) /
+                        config_.protocol.recovery_bw_fraction))
+              : 0.0;
+      if (grant <= 0) {
+        issue_pipe_helper_read(b, s, hi);
+      } else {
+        engine_.schedule(grant, [this, b, s, hi] {
+          issue_pipe_helper_read(b, s, hi);
+        }, sim::EventTag::kRecovery);
+      }
+    }
+  }
+  if (b->stage_pending == 0) pipe_advance(b);  // defensive: empty DAG
+}
+
+// One pipelined helper's device read (mirrors issue_dag_helper_read, with
+// an explicit stage — the batch's b->stage cursor is meaningless when all
+// stages run concurrently).
+void Cluster::issue_pipe_helper_read(RepairBatch* b, std::uint32_t stage,
+                                     std::uint32_t helper_index) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  if (pg.generation != b->gen) {
+    pipe_arrival(b, stage);
+    return;
+  }
+  const auto& proto = config_.protocol;
+  const RepairShape::DagHelper& h =
+      pg.shape_base.stages[stage].helpers[helper_index];
+  const std::uint64_t rounds = b->rounds;
+  const auto slice = [rounds](std::uint64_t v) {
+    return std::max<std::uint64_t>(1, v / rounds);
+  };
+  sim::SimTime t_ready = engine_.now();
+  if (h.read_bytes > 0) {
+    const std::uint64_t rbytes = slice(h.read_bytes * b->batch);
+    report_.bytes_read_for_recovery += rbytes;
+    osds_[static_cast<std::size_t>(h.osd)]->recovery_bytes_served += rbytes;
+    const std::uint64_t eff = static_cast<std::uint64_t>(
+        static_cast<double>(slice(h.disk_bytes * b->batch)) /
+        proto.recovery_bw_fraction);
+    t_ready = osd_read(h.osd, eff,
+                       h.ios > 0 ? slice(h.ios * b->batch) : 0, h.extra_s) +
+              queue_extra_s(qos::OpClass::kRecovery);
+  }
+  engine_.schedule_at(t_ready, [this, b, stage, helper_index] {
+    pipe_helper_step(b, stage, helper_index);
+  }, sim::EventTag::kRecovery);
+}
+
+// Helper-local combine, then the forward hop. Split into three small
+// continuations (step → forward → deliver) that re-derive shape state
+// from (stage, helper_index) so every capture stays within the EventFn
+// small-buffer. Stale generations skip charging but still drain the
+// arrival counters; pipe_advance owns the release.
+void Cluster::pipe_helper_step(RepairBatch* b, std::uint32_t stage,
+                               std::uint32_t helper_index) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  if (pg.generation != b->gen) {
+    pipe_arrival(b, stage);
+    return;
+  }
+  const RepairShape::DagHelper& h =
+      pg.shape_base.stages[stage].helpers[helper_index];
+  const std::uint64_t rounds = b->rounds;
+  const auto slice = [rounds](std::uint64_t v) {
+    return std::max<std::uint64_t>(1, v / rounds);
+  };
+  Osd& hosd = *osds_[static_cast<std::size_t>(h.osd)];
+  sim::SimTime t_cpu = engine_.now();
+  if (h.combine_bytes > 0) {
+    t_cpu = hosd.cpu.compute(engine_, slice(h.combine_bytes * b->batch),
+                             h.combine_cost);
+  }
+  if (h.fwd_bytes == 0) {  // degenerate: nothing leaves this helper
+    engine_.schedule_at(t_cpu, [this, b, stage] { pipe_arrival(b, stage); },
+                        sim::EventTag::kRecovery);
+    return;
+  }
+  engine_.schedule_at(t_cpu, [this, b, stage, helper_index] {
+    pipe_forward(b, stage, helper_index);
+  }, sim::EventTag::kRecovery);
+}
+
+void Cluster::pipe_forward(RepairBatch* b, std::uint32_t stage,
+                           std::uint32_t helper_index) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  if (pg.generation != b->gen) {
+    pipe_arrival(b, stage);
+    return;
+  }
+  const RepairShape::DagHelper& h =
+      pg.shape_base.stages[stage].helpers[helper_index];
+  const std::uint64_t rounds = b->rounds;
+  const auto slice = [rounds](std::uint64_t v) {
+    return std::max<std::uint64_t>(1, v / rounds);
+  };
+  const std::uint64_t fbytes = slice(h.fwd_bytes * b->batch);
+  const std::uint64_t fmsgs = slice(h.fwd_msgs * b->batch);
+  report_.bytes_on_wire_for_recovery += fbytes;
+  Host* src =
+      hosts_[static_cast<std::size_t>(
+                 osds_[static_cast<std::size_t>(h.osd)]->host)]
+          .get();
+  const sim::SimTime t_tx = src->nic.send(engine_, fbytes, fmsgs);
+  engine_.schedule_at(t_tx, [this, b, stage, helper_index] {
+    pipe_deliver(b, stage, helper_index);
+  }, sim::EventTag::kRecovery);
+}
+
+void Cluster::pipe_deliver(RepairBatch* b, std::uint32_t stage,
+                           std::uint32_t helper_index) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  if (pg.generation != b->gen) {
+    pipe_arrival(b, stage);
+    return;
+  }
+  const RepairShape::DagHelper& h =
+      pg.shape_base.stages[stage].helpers[helper_index];
+  const std::uint64_t rounds = b->rounds;
+  const auto slice = [rounds](std::uint64_t v) {
+    return std::max<std::uint64_t>(1, v / rounds);
+  };
+  const OsdId dst_osd = h.fwd_osd == kNoOsd ? b->primary : h.fwd_osd;
+  Host* dst = hosts_[static_cast<std::size_t>(
+                         osds_[static_cast<std::size_t>(dst_osd)]->host)]
+                  .get();
+  const sim::SimTime t_rx = dst->nic.recv(
+      engine_, slice(h.fwd_bytes * b->batch), slice(h.fwd_msgs * b->batch));
+  engine_.schedule_at(t_rx, [this, b, stage] { pipe_arrival(b, stage); },
+                      sim::EventTag::kRecovery);
+}
+
+void Cluster::pipe_arrival(RepairBatch* b, std::uint32_t stage) {
+  --b->arrivals[stage];
+  --b->stage_pending;
+  pipe_advance(b);
+}
+
+// Charge target-side combines for every stage whose arrivals are complete,
+// strictly in stage order (the primary's CPU FIFO serializes the work, so
+// an early charge still *runs* after its predecessors). After the last
+// stage's combine — plus the sub-packetized decode overhead — the round
+// falls through to the shared write fan-out. Stale batches release here
+// once every outstanding chain has drained.
+void Cluster::pipe_advance(RepairBatch* b) {
+  Pg& pg = *pgs_[static_cast<std::size_t>(b->pg)];
+  if (pg.generation != b->gen) {
+    if (b->stage_pending == 0) {
+      report_.repairs_wasted += b->batch;
+      repair_batch_pool_.release(b);
+    }
+    return;
+  }
+  Osd& p = *osds_[static_cast<std::size_t>(b->primary)];
+  sim::SimTime t_cpu = engine_.now();
+  bool finished = false;
+  while (b->combine_next < b->num_stages &&
+         b->arrivals[b->combine_next] == 0) {
+    const RepairShape::DagStage& st = pg.shape_base.stages[b->combine_next];
+    if (st.target_bytes > 0) {
+      t_cpu = p.cpu.compute(
+          engine_,
+          std::max<std::uint64_t>(1, st.target_bytes * b->batch / b->rounds),
+          st.target_cost);
+    }
+    ++b->combine_next;
+    if (b->combine_next >= b->num_stages) {
+      if (b->decode_extra_s > 0) {
+        t_cpu = p.cpu.busy_for(
+            engine_, b->decode_extra_s / static_cast<double>(b->rounds));
+      }
+      finished = true;
+    }
+  }
+  if (finished) {
+    engine_.schedule_at(t_cpu, [this, b] { issue_repair_writes(b); },
+                        sim::EventTag::kRecovery);
+  }
+}
+
 // Decode at the primary, then push the rebuilt shards to their new homes.
 // Reached from the last helper-read completion of the round; the batch
 // releases back to the pool at the single terminal of the chain (last
@@ -907,39 +1266,57 @@ void Cluster::issue_repair_writes(RepairBatch* b) {
           engine_, wbytes,
           std::max<std::uint64_t>(1, w2.msgs / b->rounds));
       engine_.schedule_at(t_rx, [this, b, wi, wbytes] {
-        const auto& w3 = b->writes[wi];
-        const std::uint64_t eff = static_cast<std::uint64_t>(
-            static_cast<double>(wbytes) /
-            config_.protocol.recovery_bw_fraction);
-        const sim::SimTime t_wr = osd_write(
-            w3.osd, eff, std::max<std::uint64_t>(1, w3.ios / b->rounds));
-        // mClock grant latency: completion visible after the delay.
-        engine_.schedule_at(
-            t_wr + config_.protocol.mclock_queue_delay_s,
-            [this, b] {
-              if (--b->writes_pending != 0) return;
-              ++b->round;
-              if (b->round < b->rounds) {
-                issue_repair_round(b);
-                return;
-              }
-              // Account the rebuilt chunks on their new homes.
-              Pg& done_pg = *pgs_[static_cast<std::size_t>(b->pg)];
-              if (done_pg.generation == b->gen) {
-                for (std::size_t i = 0; i < b->num_writes; ++i) {
-                  for (std::uint64_t j = 0; j < b->batch; ++j) {
-                    osds_[static_cast<std::size_t>(b->writes[i].osd)]
-                        ->store.write_chunk(b->writes[i].bytes / b->batch);
-                  }
-                }
-              }
-              complete_object_repair(done_pg, b->gen, b->batch);
-              repair_batch_pool_.release(b);
-            },
-            sim::EventTag::kRecovery);
+        // dmClock grant before the device charge (recovery-class write).
+        const double grant = qos_submit_delay(qos::OpClass::kRecovery,
+                                              b->writes[wi].osd, wbytes);
+        if (grant <= 0) {
+          finish_repair_write(b, wi, wbytes);
+        } else {
+          engine_.schedule(grant, [this, b, wi, wbytes] {
+            finish_repair_write(b, wi, wbytes);
+          }, sim::EventTag::kRecovery);
+        }
       }, sim::EventTag::kRecovery);
     }, sim::EventTag::kRecovery);
   }
+}
+
+// Device charge + completion bookkeeping of one repair write; the terminal
+// of the whole batch chain lives here (last write of the last round).
+// Reads only batch-owned state (b->writes), so a generation change during
+// a dmClock deferral is safe — complete_object_repair re-checks it.
+void Cluster::finish_repair_write(RepairBatch* b, std::size_t write_index,
+                                  std::uint64_t write_bytes) {
+  const auto& w3 = b->writes[write_index];
+  const std::uint64_t eff = static_cast<std::uint64_t>(
+      static_cast<double>(write_bytes) /
+      config_.protocol.recovery_bw_fraction);
+  const sim::SimTime t_wr = osd_write(
+      w3.osd, eff, std::max<std::uint64_t>(1, w3.ios / b->rounds));
+  // mClock grant latency: completion visible after the delay.
+  engine_.schedule_at(
+      t_wr + queue_extra_s(qos::OpClass::kRecovery),
+      [this, b] {
+        if (--b->writes_pending != 0) return;
+        ++b->round;
+        if (b->round < b->rounds) {
+          issue_repair_round(b);
+          return;
+        }
+        // Account the rebuilt chunks on their new homes.
+        Pg& done_pg = *pgs_[static_cast<std::size_t>(b->pg)];
+        if (done_pg.generation == b->gen) {
+          for (std::size_t i = 0; i < b->num_writes; ++i) {
+            for (std::uint64_t j = 0; j < b->batch; ++j) {
+              osds_[static_cast<std::size_t>(b->writes[i].osd)]
+                  ->store.write_chunk(b->writes[i].bytes / b->batch);
+            }
+          }
+        }
+        complete_object_repair(done_pg, b->gen, b->batch);
+        repair_batch_pool_.release(b);
+      },
+      sim::EventTag::kRecovery);
 }
 
 void Cluster::complete_object_repair(Pg& pg, int generation,

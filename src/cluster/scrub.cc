@@ -93,8 +93,11 @@ void Cluster::scrub_tick(PgId next) {
     const std::uint64_t bytes = per_chunk * pg.num_objects;
     const std::uint64_t ios = std::max<std::uint64_t>(
         1, util::ceil_div(bytes, config_.protocol.max_io_bytes));
-    done = std::max(done, osd_read(member, bytes, ios,
-                                   config_.protocol.mclock_queue_delay_s));
+    done = std::max(done,
+                    osd_read(member, bytes, ios,
+                             queue_extra_s(qos::OpClass::kScrub) +
+                                 qos_submit_delay(qos::OpClass::kScrub,
+                                                  member, bytes)));
   }
 
   const PgId pgid = pg.id;
@@ -157,8 +160,11 @@ void Cluster::repair_corrupted_shard(PgId pgid, std::size_t position) {
     }
     const auto bytes = static_cast<std::uint64_t>(
         static_cast<double>(chunk) * r.fraction);
-    const sim::SimTime t_read = osd_read(
-        pg.acting[r.chunk], bytes, 1, config_.protocol.mclock_queue_delay_s);
+    const sim::SimTime t_read =
+        osd_read(pg.acting[r.chunk], bytes, 1,
+                 queue_extra_s(qos::OpClass::kScrub) +
+                     qos_submit_delay(qos::OpClass::kScrub, pg.acting[r.chunk],
+                                      bytes));
     engine_.schedule_at(t_read, [this, pending, bytes, phost, pgid, position,
                                  target, chunk, primary, plan] {
       phost->nic.recv(engine_, bytes, 1);
@@ -167,8 +173,11 @@ void Cluster::repair_corrupted_shard(PgId pgid, std::size_t position) {
       const sim::SimTime t_cpu =
           p.cpu.compute(engine_, chunk, plan.decode_cost_factor);
       engine_.schedule_at(t_cpu, [this, pgid, target, chunk] {
-        const sim::SimTime t_wr = osd_write(
-            target, chunk, 2, config_.protocol.mclock_queue_delay_s);
+        const sim::SimTime t_wr =
+            osd_write(target, chunk, 2,
+                      queue_extra_s(qos::OpClass::kScrub) +
+                          qos_submit_delay(qos::OpClass::kScrub, target,
+                                           chunk));
         engine_.schedule_at(t_wr, [this, pgid] {
           ++report_.corruptions_repaired;
           log(osd_name_for_scrub(pgid), "scrub",

@@ -345,22 +345,15 @@ RepairDag ClayCode::repair_dag(const std::vector<std::size_t>& erased) const {
     // target-side solve over all of them. Pair transforms + plane solves
     // cost more GF work per reconstructed byte than a plain k-term RS
     // decode.
-    const std::size_t runs = repair_subchunk_runs(erased[0]);
-    std::vector<RepairDag::NodeId> reads;
-    reads.reserve(d_);
+    std::vector<std::size_t> helpers;
+    helpers.reserve(d_);
     std::size_t taken = 0;
     for (std::size_t i = 0; i < n_ && taken < d_; ++i) {
       if (i == erased[0]) continue;
-      reads.push_back(  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers")
-          dag.add_read(i, 1.0 / static_cast<double>(q_), runs));
+      helpers.push_back(i);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
       ++taken;
     }
-    const RepairDag::NodeId solve =
-        dag.add_combine(RepairDag::kTargetLoc, reads, 1.0, 2.0);
-    dag.add_write({solve});
-    dag.decode_cost_factor = 2.0;
-    dag.bandwidth_optimal = (d_ == n_ - 1);
-    return dag;
+    return single_repair_dag(erased[0], helpers);
   }
   // Multi-failure: full-stripe decode. Unlike RS, the coupled-layer
   // construction cannot decode from an arbitrary k-subset of chunks: the
@@ -423,6 +416,43 @@ RepairDag ClayCode::repair_dag(const std::vector<std::size_t>& erased) const {
   dag.decode_cost_factor = 3.0;
   dag.bandwidth_optimal = false;
   return dag;
+}
+
+RepairDag ClayCode::single_repair_dag(
+    std::size_t failed, const std::vector<std::size_t>& helpers) const {
+  // Bandwidth-optimal: read α/q sub-chunks from each of d helpers, one
+  // target-side solve over all of them. Pair transforms + plane solves
+  // cost more GF work per reconstructed byte than a plain k-term RS
+  // decode.
+  RepairDag dag;
+  const std::size_t runs = repair_subchunk_runs(failed);
+  std::vector<RepairDag::NodeId> reads;
+  reads.reserve(helpers.size());
+  for (const std::size_t i : helpers) {
+    reads.push_back(  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers")
+        dag.add_read(i, 1.0 / static_cast<double>(q_), runs));
+  }
+  const RepairDag::NodeId solve =
+      dag.add_combine(RepairDag::kTargetLoc, reads, 1.0, 2.0);
+  dag.add_write({solve});
+  dag.decode_cost_factor = 2.0;
+  dag.bandwidth_optimal = (d_ == n_ - 1);
+  return dag;
+}
+
+RepairDag ClayCode::repair_dag_ranked(
+    const std::vector<std::size_t>& erased,
+    const std::vector<std::size_t>& preference) const {
+  check_erasures(*this, erased);
+  // Helper choice exists only for single-erasure repair with d < n−1 (any
+  // d of the n−1 survivors work). Multi-erasure decode consumes every
+  // survivor's partner sub-chunks, and d == n−1 needs all survivors — no
+  // choice either way.
+  if (erased.size() != 1 || d_ >= n_ - 1) return repair_dag(erased);
+  std::vector<std::size_t> helpers =
+      ranked_survivors(n_, erased, preference, d_);
+  std::sort(helpers.begin(), helpers.end());
+  return single_repair_dag(erased[0], helpers);
 }
 
 RepairPlan ClayCode::repair_plan(const std::vector<std::size_t>& erased) const {

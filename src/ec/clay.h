@@ -61,6 +61,12 @@ class ClayCode : public ErasureCode {
   // of non-empty IS levels — derived from the DAG, not hand-set.
   [[nodiscard]] RepairDag repair_dag(
       const std::vector<std::size_t>& erased) const override;
+  // Helper choice exists only for single-erasure repair when d < n−1 (any
+  // d of the n−1 survivors serve); multi-erasure decode needs every
+  // survivor, so the preference is ignored there.
+  [[nodiscard]] RepairDag repair_dag_ranked(
+      const std::vector<std::size_t>& erased,
+      const std::vector<std::size_t>& preference) const override;
   [[nodiscard]] RepairPlan repair_plan(
       const std::vector<std::size_t>& erased) const override;
 
@@ -88,6 +94,10 @@ class ClayCode : public ErasureCode {
   }
 
  private:
+  // Single-failure repair DAG over an explicit d-helper set (ascending).
+  RepairDag single_repair_dag(std::size_t failed,
+                              const std::vector<std::size_t>& helpers) const;
+
   std::size_t digit(std::size_t z, std::size_t y) const;
   std::size_t with_digit(std::size_t z, std::size_t y, std::size_t v) const;
 

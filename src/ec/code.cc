@@ -52,6 +52,38 @@ RepairDag ErasureCode::repair_dag(
   return RepairDag::from_plan(repair_plan(erased), erased.size());
 }
 
+RepairDag ErasureCode::repair_dag_ranked(
+    const std::vector<std::size_t>& erased,
+    const std::vector<std::size_t>& preference) const {
+  // Default: no helper choice (every survivor is needed, or the read set
+  // is structurally fixed) — the preference cannot change the DAG.
+  (void)preference;
+  return repair_dag(erased);
+}
+
+std::vector<std::size_t> ranked_survivors(
+    std::size_t n, const std::vector<std::size_t>& erased,
+    const std::vector<std::size_t>& preference, std::size_t want) {
+  std::vector<std::size_t> chosen;
+  chosen.reserve(want);
+  const auto is_erased = [&](std::size_t i) {
+    return std::binary_search(erased.begin(), erased.end(), i);
+  };
+  const auto picked = [&](std::size_t i) {
+    return std::find(chosen.begin(), chosen.end(), i) != chosen.end();
+  };
+  for (const std::size_t pos : preference) {
+    if (chosen.size() >= want) break;
+    if (pos >= n || is_erased(pos) || picked(pos)) continue;
+    chosen.push_back(pos);  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
+  }
+  for (std::size_t i = 0; i < n && chosen.size() < want; ++i) {
+    if (is_erased(i) || picked(i)) continue;
+    chosen.push_back(i);  ECF_ALLOC_OK("amortized: plan built once per (PG, dead set), cached by callers");
+  }
+  return chosen;
+}
+
 void check_erasures(const ErasureCode& code,
                     const std::vector<std::size_t>& erased) {
   // Input-contract checks on the erasure pattern: part of the tested API

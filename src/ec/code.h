@@ -105,6 +105,19 @@ class ErasureCode {
   [[nodiscard]] virtual RepairDag repair_dag(
       const std::vector<std::size_t>& erased) const;
 
+  // Like repair_dag(), but biased by a helper preference: `preference`
+  // lists surviving chunk positions most-preferred first (it need not be
+  // complete — unlisted survivors rank after listed ones in index order).
+  // Codes whose repair admits helper choice (RS any-k-of-n, Clay
+  // d-of-(n−1) when d < n−1, Hitchhiker/LRC multi-failure survivor picks)
+  // override this to pick their helper subset in preference order; the
+  // default ignores the preference and returns repair_dag(). The chosen
+  // subset is canonicalized (ascending positions) so DAG structure depends
+  // only on the chosen set, never on the preference's internal order.
+  [[nodiscard]] virtual RepairDag repair_dag_ranked(
+      const std::vector<std::size_t>& erased,
+      const std::vector<std::size_t>& preference) const;
+
   // Theoretical storage amplification n/k (the value the paper shows the
   // real system exceeding).
   double theoretical_wa() const {
@@ -119,6 +132,15 @@ class ErasureCode {
 // Verifies an erasure list: sorted unique indices < n. Throws on misuse.
 void check_erasures(const ErasureCode& code,
                     const std::vector<std::size_t>& erased);
+
+// Pick up to `want` survivors (indices < n, not in `erased`) honoring a
+// preference order: listed positions first, then remaining survivors in
+// index order. Returned in the order picked (callers canonicalize by
+// sorting when the set, not the order, matters). Shared by the
+// repair_dag_ranked overrides.
+std::vector<std::size_t> ranked_survivors(
+    std::size_t n, const std::vector<std::size_t>& erased,
+    const std::vector<std::size_t>& preference, std::size_t want);
 
 // Convenience for tests/examples: erase (zero + forget) chunks and repair.
 [[nodiscard]] bool erase_and_decode(const ErasureCode& code,

@@ -322,12 +322,25 @@ RepairDag HitchhikerCode::repair_dag(
     return dag;
   }
   // Parity or multi-failure: conventional full decode from k survivors.
-  std::vector<RepairDag::NodeId> reads;
+  std::vector<std::size_t> helpers;
+  helpers.reserve(k_);
   std::size_t taken = 0;
   for (std::size_t i = 0; i < n_ && taken < k_; ++i) {
     if (std::binary_search(erased.begin(), erased.end(), i)) continue;
-    reads.push_back(dag.add_read(i, 1.0, 1));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
+    helpers.push_back(i);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
     ++taken;
+  }
+  return conventional_repair_dag(erased, helpers);
+}
+
+RepairDag HitchhikerCode::conventional_repair_dag(
+    const std::vector<std::size_t>& erased,
+    const std::vector<std::size_t>& helpers) const {
+  RepairDag dag;
+  std::vector<RepairDag::NodeId> reads;
+  reads.reserve(helpers.size());
+  for (const std::size_t i : helpers) {
+    reads.push_back(dag.add_read(i, 1.0, 1));  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
   }
   const RepairDag::NodeId solve =
       dag.add_combine(RepairDag::kTargetLoc, reads,
@@ -336,6 +349,21 @@ RepairDag HitchhikerCode::repair_dag(
   dag.decode_cost_factor = 1.0;
   dag.bandwidth_optimal = false;
   return dag;
+}
+
+RepairDag HitchhikerCode::repair_dag_ranked(
+    const std::vector<std::size_t>& erased,
+    const std::vector<std::size_t>& preference) const {
+  check_erasures(*this, erased);
+  // The single-data-failure read set (group halves + p1/pg b-halves) is
+  // fixed by the group structure — no choice there. The conventional
+  // branch decodes from any k survivors (underlying RS substripes), so
+  // the preference picks that helper set.
+  if (erased.size() == 1 && erased[0] < k_) return repair_dag(erased);
+  std::vector<std::size_t> helpers =
+      ranked_survivors(n_, erased, preference, k_);
+  std::sort(helpers.begin(), helpers.end());
+  return conventional_repair_dag(erased, helpers);
 }
 
 RepairPlan HitchhikerCode::repair_plan(

@@ -58,6 +58,11 @@ class HitchhikerCode : public ErasureCode {
   // a-XOR combines. Parity or multi-failure: flat full decode.
   [[nodiscard]] RepairDag repair_dag(
       const std::vector<std::size_t>& erased) const override;
+  // Helper choice applies only to the conventional (parity/multi-failure)
+  // branch: single-data-failure reads are fixed by the group structure.
+  [[nodiscard]] RepairDag repair_dag_ranked(
+      const std::vector<std::size_t>& erased,
+      const std::vector<std::size_t>& preference) const override;
   [[nodiscard]] RepairPlan repair_plan(
       const std::vector<std::size_t>& erased) const override;
 
@@ -87,6 +92,12 @@ class HitchhikerCode : public ErasureCode {
                     std::size_t chunk_size) const;
 
  private:
+  // Flat full decode over an explicit k-helper set (ascending); the
+  // parity/multi-failure branch shared by repair_dag and repair_dag_ranked.
+  RepairDag conventional_repair_dag(
+      const std::vector<std::size_t>& erased,
+      const std::vector<std::size_t>& helpers) const;
+
   std::size_t n_;
   std::size_t k_;
   RsCode base_;

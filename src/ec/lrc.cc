@@ -67,13 +67,27 @@ void LrcCode::encode(std::vector<Buffer>& chunks) const {
 
 std::vector<std::size_t> LrcCode::pick_rows(
     const std::vector<std::size_t>& erased) const {
+  std::vector<std::size_t> candidates;
+  candidates.reserve(n_);
+  for (std::size_t row = 0; row < n_; ++row) {
+    if (std::binary_search(erased.begin(), erased.end(), row)) continue;
+    candidates.push_back(row);  ECF_ALLOC_OK("bounded: <= n rows, plan-build frequency");
+  }
+  return pick_rows_in_order(candidates);
+}
+
+std::vector<std::size_t> LrcCode::pick_rows_in_order(
+    const std::vector<std::size_t>& candidates) const {
   // Greedy Gaussian elimination over survivor rows: keep rows that extend
-  // the rank until we have k independent ones.
+  // the rank until we have k independent ones. Greedy over any candidate
+  // order yields a basis whenever one exists (matroid exchange), so the
+  // order only biases *which* k rows are chosen — the lever the ranked
+  // repair uses to route reads to lightly-loaded helpers.
   std::vector<std::size_t> chosen;
   gf::Matrix basis(k_, k_);
   std::size_t rank = 0;
-  for (std::size_t row = 0; row < n_ && rank < k_; ++row) {
-    if (std::binary_search(erased.begin(), erased.end(), row)) continue;
+  for (const std::size_t row : candidates) {
+    if (rank >= k_) break;
     // Reduce the candidate row against the current basis.
     std::vector<Byte> v(k_);
     for (std::size_t c = 0; c < k_; ++c) v[c] = gen_.at(row, c);
@@ -175,8 +189,14 @@ RepairDag LrcCode::repair_dag(const std::vector<std::size_t>& erased) const {
     return dag;
   }
   // Global parity loss or multi-failure: general solve (flat).
+  return general_repair_dag(erased, pick_rows(erased));
+}
+
+RepairDag LrcCode::general_repair_dag(
+    const std::vector<std::size_t>& erased,
+    const std::vector<std::size_t>& rows) const {
+  RepairDag dag;
   dag.decode_cost_factor = 1.0;
-  const std::vector<std::size_t> rows = pick_rows(erased);
   if (rows.empty()) return dag;  // unrecoverable: empty DAG
   std::vector<RepairDag::NodeId> reads;
   reads.reserve(rows.size());
@@ -188,6 +208,21 @@ RepairDag LrcCode::repair_dag(const std::vector<std::size_t>& erased) const {
                       static_cast<double>(erased.size()), 1.0);
   dag.add_write({solve});
   return dag;
+}
+
+RepairDag LrcCode::repair_dag_ranked(
+    const std::vector<std::size_t>& erased,
+    const std::vector<std::size_t>& preference) const {
+  check_erasures(*this, erased);
+  // The single in-group repair's relay chain is fixed by the group
+  // layout; only the general solve picks among survivor rows. Feed the
+  // greedy row selection candidates in preference order, then sort the
+  // chosen rows so the DAG depends only on the selected set.
+  if (erased.size() == 1 && erased[0] < k_ + l_) return repair_dag(erased);
+  std::vector<std::size_t> rows = pick_rows_in_order(
+      ranked_survivors(n_, erased, preference, n_));
+  std::sort(rows.begin(), rows.end());
+  return general_repair_dag(erased, rows);
 }
 
 RepairPlan LrcCode::repair_plan(const std::vector<std::size_t>& erased) const {

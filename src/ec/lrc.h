@@ -44,6 +44,13 @@ class LrcCode : public ErasureCode {
   // instead of the whole group. Other patterns: flat general solve.
   [[nodiscard]] RepairDag repair_dag(
       const std::vector<std::size_t>& erased) const override;
+  // Helper choice applies only to the general solve (global parity loss /
+  // multi-failure): the greedy row selection walks candidates in
+  // preference order, so lightly-loaded survivors are tried first. The
+  // single in-group relay chain is fixed by the group layout.
+  [[nodiscard]] RepairDag repair_dag_ranked(
+      const std::vector<std::size_t>& erased,
+      const std::vector<std::size_t>& preference) const override;
   [[nodiscard]] RepairPlan repair_plan(
       const std::vector<std::size_t>& erased) const override;
 
@@ -53,6 +60,14 @@ class LrcCode : public ErasureCode {
  private:
   // Select k survivor generator rows forming an invertible matrix, or empty.
   std::vector<std::size_t> pick_rows(const std::vector<std::size_t>& erased) const;
+  // Same greedy selection over an explicit candidate sequence (survivors
+  // only); greedy over any order reaches rank k whenever the pattern is
+  // recoverable, the order just biases which rows win.
+  std::vector<std::size_t> pick_rows_in_order(
+      const std::vector<std::size_t>& candidates) const;
+  // Flat general-solve DAG over the chosen rows (empty rows = unrecoverable).
+  RepairDag general_repair_dag(const std::vector<std::size_t>& erased,
+                               const std::vector<std::size_t>& rows) const;
 
   std::size_t k_;
   std::size_t l_;

@@ -115,15 +115,33 @@ bool RsCode::decode(std::vector<Buffer>& chunks,
 
 RepairDag RsCode::repair_dag(const std::vector<std::size_t>& erased) const {
   check_erasures(*this, erased);
-  RepairDag dag;
-  dag.decode_cost_factor = 1.0;
-  dag.bandwidth_optimal = false;
   // The first k survivors, exactly as decode() selects them.
   std::vector<std::size_t> helpers;
   for (std::size_t i = 0; i < n_ && helpers.size() < k_; ++i) {
     if (std::binary_search(erased.begin(), erased.end(), i)) continue;
     helpers.push_back(i);  ECF_ALLOC_OK("amortized: DAG built once per (PG, dead set), cached by callers");
   }
+  return build_repair_dag(erased, helpers);
+}
+
+RepairDag RsCode::repair_dag_ranked(
+    const std::vector<std::size_t>& erased,
+    const std::vector<std::size_t>& preference) const {
+  check_erasures(*this, erased);
+  // MDS: any k survivors decode, so the preference picks the helper set
+  // outright. Canonicalize ascending — DAG shape depends on the set only.
+  std::vector<std::size_t> helpers =
+      ranked_survivors(n_, erased, preference, k_);
+  std::sort(helpers.begin(), helpers.end());
+  return build_repair_dag(erased, helpers);
+}
+
+RepairDag RsCode::build_repair_dag(
+    const std::vector<std::size_t>& erased,
+    const std::vector<std::size_t>& helpers) const {
+  RepairDag dag;
+  dag.decode_cost_factor = 1.0;
+  dag.bandwidth_optimal = false;
   std::vector<RepairDag::NodeId> reads;
   reads.reserve(helpers.size());
   for (const std::size_t i : helpers) {

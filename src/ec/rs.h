@@ -46,6 +46,10 @@ class RsCode : public ErasureCode {
   // from the DAG, so both views always agree.
   [[nodiscard]] RepairDag repair_dag(
       const std::vector<std::size_t>& erased) const override;
+  // MDS: any k survivors decode, so the preference picks the helper set.
+  [[nodiscard]] RepairDag repair_dag_ranked(
+      const std::vector<std::size_t>& erased,
+      const std::vector<std::size_t>& preference) const override;
   [[nodiscard]] RepairPlan repair_plan(
       const std::vector<std::size_t>& erased) const override;
 
@@ -59,6 +63,11 @@ class RsCode : public ErasureCode {
   bool verify_mds() const;
 
  private:
+  // Build the repair DAG over an explicit helper set (|helpers| == k,
+  // ascending). Shared by repair_dag (first-k) and repair_dag_ranked.
+  RepairDag build_repair_dag(const std::vector<std::size_t>& erased,
+                             const std::vector<std::size_t>& helpers) const;
+
   std::size_t n_;
   std::size_t k_;
   RsTechnique technique_;

@@ -91,6 +91,7 @@ util::Json ExperimentProfile::to_json() const {
   pool.set("stripe_unit", cluster.pool.stripe_unit.count());
   pool.set("failure_domain", domain_name(cluster.pool.failure_domain));
   pool.set("dag_recovery", cluster.pool.dag_recovery);
+  pool.set("dag_pipeline", cluster.pool.dag_pipeline);
   cl.set("pool", pool);
 
   util::Json cache = util::Json::object();
@@ -151,6 +152,30 @@ util::Json ExperimentProfile::to_json() const {
   scrub.set("interval_s", cluster.scrub.interval_s);
   scrub.set("max_passes", cluster.scrub.max_passes);
   doc.set("scrub", scrub);
+
+  util::Json qos = util::Json::object();
+  qos.set("enabled", cluster.qos.enabled);
+  qos.set("idle_reset_s", cluster.qos.idle_reset_s);
+  const auto class_json = [](const cluster::qos::ClassParams& cp) {
+    util::Json c = util::Json::object();
+    c.set("reservation_ops", cp.reservation_ops);
+    c.set("weight", cp.weight);
+    c.set("limit_ops", cp.limit_ops);
+    return c;
+  };
+  qos.set("client", class_json(cluster.qos.client));
+  qos.set("recovery", class_json(cluster.qos.recovery));
+  qos.set("scrub", class_json(cluster.qos.scrub));
+  doc.set("qos", qos);
+
+  util::Json hs = util::Json::object();
+  hs.set("enabled", cluster.helper_selection.enabled);
+  hs.set("disk_weight", cluster.helper_selection.disk_weight);
+  hs.set("link_weight", cluster.helper_selection.link_weight);
+  hs.set("inflight_penalty_s", cluster.helper_selection.inflight_penalty_s);
+  hs.set("backfill_penalty_s", cluster.helper_selection.backfill_penalty_s);
+  hs.set("served_weight", cluster.helper_selection.served_weight);
+  doc.set("helper_selection", hs);
   return doc;
 }
 
@@ -191,6 +216,11 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
       p.cluster.pool.failure_domain = domain_from_string(
           pool.get_or("failure_domain", std::string("host")));
       p.cluster.pool.dag_recovery = pool.get_or("dag_recovery", false);
+      p.cluster.pool.dag_pipeline = pool.get_or("dag_pipeline", false);
+      if (p.cluster.pool.dag_pipeline && !p.cluster.pool.dag_recovery) {
+        throw std::invalid_argument(
+            "profile: dag_pipeline requires dag_recovery");
+      }
     }
     if (cl.has("bluestore_cache")) {
       const util::Json& cache = cl.at("bluestore_cache");
@@ -308,6 +338,52 @@ ExperimentProfile ExperimentProfile::from_json(const util::Json& doc) {
     p.cluster.scrub.interval_s = scrub.get_or("interval_s", 30.0);
     p.cluster.scrub.max_passes =
         static_cast<int>(scrub.get_or("max_passes", std::int64_t{1}));
+  }
+  if (doc.has("qos")) {
+    const util::Json& qos = doc.at("qos");
+    auto& qc = p.cluster.qos;
+    qc.enabled = qos.get_or("enabled", false);
+    qc.idle_reset_s = qos.get_or("idle_reset_s", qc.idle_reset_s);
+    if (qc.idle_reset_s <= 0) {
+      throw std::invalid_argument("profile: qos idle_reset_s must be > 0");
+    }
+    const auto parse_class = [&qos](const char* key,
+                                    cluster::qos::ClassParams& cp) {
+      if (!qos.has(key)) return;
+      const util::Json& c = qos.at(key);
+      cp.reservation_ops = c.get_or("reservation_ops", cp.reservation_ops);
+      cp.weight = c.get_or("weight", cp.weight);
+      cp.limit_ops = c.get_or("limit_ops", cp.limit_ops);
+      if (cp.reservation_ops < 0 || cp.limit_ops < 0) {
+        throw std::invalid_argument(
+            "profile: qos reservation/limit rates must be >= 0");
+      }
+      if (cp.weight <= 0) {
+        throw std::invalid_argument("profile: qos weight must be > 0");
+      }
+      if (cp.limit_ops > 0 && cp.limit_ops < cp.reservation_ops) {
+        throw std::invalid_argument(
+            "profile: qos limit_ops must be >= reservation_ops");
+      }
+    };
+    parse_class("client", qc.client);
+    parse_class("recovery", qc.recovery);
+    parse_class("scrub", qc.scrub);
+  }
+  if (doc.has("helper_selection")) {
+    const util::Json& hs = doc.at("helper_selection");
+    auto& hc = p.cluster.helper_selection;
+    hc.enabled = hs.get_or("enabled", false);
+    hc.disk_weight = hs.get_or("disk_weight", hc.disk_weight);
+    hc.link_weight = hs.get_or("link_weight", hc.link_weight);
+    hc.inflight_penalty_s = hs.get_or("inflight_penalty_s", hc.inflight_penalty_s);
+    hc.backfill_penalty_s = hs.get_or("backfill_penalty_s", hc.backfill_penalty_s);
+    hc.served_weight = hs.get_or("served_weight", hc.served_weight);
+    if (hc.disk_weight < 0 || hc.link_weight < 0 || hc.inflight_penalty_s < 0 ||
+        hc.backfill_penalty_s < 0 || hc.served_weight < 0) {
+      throw std::invalid_argument(
+          "profile: helper_selection weights must be >= 0");
+    }
   }
   return p;
 }

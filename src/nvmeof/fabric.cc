@@ -288,6 +288,21 @@ const Link& Fabric::link(int host) const {
   return links_[static_cast<std::size_t>(host)];
 }
 
+FabricLoadView Fabric::load_view(int host, sim::SimTime now) const {
+  ECF_CHECK_GE(host, 0) << " fabric host";
+  ECF_CHECK_LT(host, static_cast<int>(links_.size())) << " fabric host";
+  const Link& l = links_[static_cast<std::size_t>(host)];
+  FabricLoadView v;
+  v.tx_backlog_s = std::max(0.0, l.tx.busy_until() - now);
+  v.rx_backlog_s = std::max(0.0, l.rx.busy_until() - now);
+  v.bytes_carried = l.bytes_tx + l.bytes_rx;
+  for (const Connection& c : connections_) {
+    if (c.host != host || !c.open) continue;
+    for (const QueuePair& qp : c.io_qpairs) v.in_flight += qp.in_flight(now);
+  }
+  return v;
+}
+
 int Fabric::connection_in_flight(ConnectionId id) const {
   ECF_CHECK_GE(id, 0) << " fabric connection";
   ECF_CHECK_LT(id, static_cast<ConnectionId>(connections_.size()))

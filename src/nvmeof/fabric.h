@@ -46,6 +46,18 @@ inline constexpr ConnectionId kNoConnection = -1;
 enum class ConnState { kConnected, kTimedOut, kReconnecting, kFailed };
 const char* to_string(ConnState s);
 
+// Read-only snapshot of one host link's live load, for congestion-aware
+// placement decisions (the cluster's load-aware helper selection). All
+// fields derive from state the fabric already tracks; taking a view never
+// mutates anything or schedules events.
+struct FabricLoadView {
+  double tx_backlog_s = 0;   // queued seconds on the host's tx server
+  double rx_backlog_s = 0;   // queued seconds on the host's rx server
+  std::uint64_t bytes_carried = 0;  // cumulative payload over the link
+  int in_flight = 0;         // outstanding commands across the host's
+                             // I/O queue pairs
+};
+
 struct ConnectionStats {
   std::uint64_t commands = 0;
   std::uint64_t retries = 0;          // retransmitted commands (loss, down)
@@ -126,6 +138,8 @@ class Fabric {
   const ConnectionStats& stats(ConnectionId id) const;
   const Link& link(int host) const;
   int connection_in_flight(ConnectionId id) const;  // across I/O qpairs
+  // Live congestion snapshot of a host's link at `now` (see FabricLoadView).
+  FabricLoadView load_view(int host, sim::SimTime now) const;
   // Aggregated I/O-qpair depth histogram for a connection.
   std::vector<std::uint64_t> depth_histogram(ConnectionId id) const;
   struct Totals {

@@ -1,0 +1,281 @@
+// Recovery QoS: dmClock tag arithmetic, the off-switch's bit-identity
+// guarantee, deterministic load-aware helper selection, and pipelined
+// chained transfers. The pure tag tests pin the scheduler math the bench
+// sweeps; the cluster tests pin the contract that every new knob is
+// default-off and, when off, leaves the event schedule untouched.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/qos.h"
+#include "util/bytes.h"
+
+namespace ecf::cluster {
+namespace {
+
+using util::KiB;
+using util::MiB;
+
+// --- pure dmClock tag arithmetic -------------------------------------------
+
+TEST(DmClockTags, AdvanceTagNeverInPast) {
+  // Backlogged: next tag is 1/rate past the previous one.
+  EXPECT_DOUBLE_EQ(qos::advance_tag(5.0, 3.0, 2.0), 5.5);
+  // Caught up: an op arriving after the previous tag is granted at `now`.
+  EXPECT_DOUBLE_EQ(qos::advance_tag(1.0, 10.0, 2.0), 10.0);
+  // Disabled rate degenerates to `now`.
+  EXPECT_DOUBLE_EQ(qos::advance_tag(7.0, 4.0, 0.0), 4.0);
+  // First-ever submission: the sentinel never wins over `now`.
+  EXPECT_DOUBLE_EQ(qos::advance_tag(qos::TagState::kNeverTag, 2.0, 10.0), 2.0);
+}
+
+TEST(DmClockTags, WeightGapProportionalShare) {
+  // Holding a class at w/(w+other) device share spaces grants by
+  // cost * other / w.
+  EXPECT_DOUBLE_EQ(qos::weight_gap(0.1, 10.0, 20.0), 0.2);
+  EXPECT_DOUBLE_EQ(qos::weight_gap(1.0, 1.0, 100.0), 100.0);
+  // Doubling the class weight halves the spacing.
+  EXPECT_DOUBLE_EQ(qos::weight_gap(0.1, 100.0, 10.0),
+                   qos::weight_gap(0.1, 200.0, 10.0) * 2.0);
+  // No competition / free ops / disabled weight: no spacing.
+  EXPECT_DOUBLE_EQ(qos::weight_gap(0.1, 10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(qos::weight_gap(0.0, 10.0, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(qos::weight_gap(0.1, 0.0, 20.0), 0.0);
+}
+
+qos::QosConfig weights_only() {
+  qos::QosConfig cfg;
+  cfg.enabled = true;
+  cfg.client = {0.0, 100.0, 0.0};
+  cfg.recovery = {0.0, 10.0, 0.0};
+  cfg.scrub = {0.0, 1.0, 0.0};
+  return cfg;
+}
+
+// dmClock is work-conserving: a class with no active competitors is never
+// deferred, whatever its weight.
+TEST(DmClockTags, SoleActiveClassNeverDeferred) {
+  const qos::QosConfig cfg = weights_only();
+  qos::DmClockOsd osd;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(
+        osd.submit(cfg, qos::OpClass::kRecovery, 1.0, 0.5), 0.0);
+  }
+}
+
+// A same-instant burst self-serializes: the i-th op waits i spacings of
+// cost * other_weight / weight — the proportional-share schedule, not a
+// thundering herd.
+TEST(DmClockTags, BurstSelfSerializesAtProportionalShare) {
+  const qos::QosConfig cfg = weights_only();
+  qos::DmClockOsd osd;
+  // Mark the client class active so recovery sees competing weight 100.
+  osd.submit(cfg, qos::OpClass::kClient, 0.0, 0.0);
+  const double cost = 0.01;  // 10 ms of device time per op
+  // Only the client class has submitted, so it alone counts as competing
+  // weight — scrub is idle and contributes nothing.
+  const double gap =
+      qos::weight_gap(cost, cfg.recovery.weight, cfg.client.weight);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(osd.submit(cfg, qos::OpClass::kRecovery, 0.0, cost),
+                     i * gap);
+  }
+}
+
+// The reservation tag bounds the hold: even when the weight schedule would
+// push an op far out, a class with reservation r dispatches its i-th
+// burst op no later than i/r.
+TEST(DmClockTags, ReservationCapsWeightDelay) {
+  qos::QosConfig cfg = weights_only();
+  cfg.recovery = {10.0, 1.0, 0.0};  // weight 1 vs client 100: huge spacing
+  qos::DmClockOsd osd;
+  osd.submit(cfg, qos::OpClass::kClient, 0.0, 0.0);
+  const double weight_spacing = qos::weight_gap(1.0, 1.0, 100.0);  // 100 s
+  for (int i = 0; i < 4; ++i) {
+    const double d = osd.submit(cfg, qos::OpClass::kRecovery, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(d, i / 10.0);
+    EXPECT_LT(d, weight_spacing);
+  }
+}
+
+// The limit tag is a ceiling that binds even with zero competition: a
+// sole-active class capped at 5 ops/s dispatches its burst 0.2 s apart.
+TEST(DmClockTags, LimitCapsSoleActiveBurst) {
+  qos::QosConfig cfg = weights_only();
+  cfg.scrub = {0.0, 1.0, 5.0};
+  qos::DmClockOsd osd;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(osd.submit(cfg, qos::OpClass::kScrub, 0.0, 0.01),
+                     i * 0.2);
+  }
+}
+
+// Idle handling: a class that stayed quiet past idle_reset_s must not bank
+// credit (or debt) — its next submission starts from fresh tags, and it
+// drops out of competitors' active-weight sums.
+TEST(DmClockTags, IdleClassResetsTags) {
+  const qos::QosConfig cfg = weights_only();
+  qos::DmClockOsd osd;
+  osd.submit(cfg, qos::OpClass::kClient, 0.0, 0.0);
+  // Build a recovery backlog at t=0.
+  double last = 0;
+  for (int i = 0; i < 5; ++i) {
+    last = osd.submit(cfg, qos::OpClass::kRecovery, 0.0, 0.1);
+  }
+  EXPECT_GT(last, 0.0);
+  // Past the idle window both classes reset: the backlogged weight tag is
+  // forgotten and the client class no longer counts as a competitor.
+  const double t = cfg.idle_reset_s + 1.0;
+  EXPECT_DOUBLE_EQ(osd.submit(cfg, qos::OpClass::kRecovery, t, 0.1), 0.0);
+  // Client idle since t=0 means zero competing weight: no spacing either.
+  EXPECT_DOUBLE_EQ(osd.submit(cfg, qos::OpClass::kRecovery, t, 0.1), 0.0);
+}
+
+// --- cluster-level contracts -----------------------------------------------
+
+ClusterConfig qos_cluster_config() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 15;
+  cfg.osds_per_host = 2;
+  cfg.pool.pg_num = 32;
+  cfg.workload.num_objects = 200;
+  cfg.workload.object_size = ecf::util::Bytes(16 * MiB);
+  cfg.protocol.down_out_interval_s = 30.0;
+  cfg.protocol.heartbeat_grace_s = 5.0;
+  cfg.check_invariants = true;
+  return cfg;
+}
+
+RecoveryReport run_host_failure(ClusterConfig cfg) {
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  cl.start_client_load();
+  cl.start_scrub();
+  cl.engine().schedule(1.0, [&cl] { cl.fail_host(2); });
+  return cl.run_to_recovery();
+}
+
+// The off-switch contract: with qos.enabled == false the tag parameters are
+// dead config — even adversarial values must leave the run bit-identical
+// to the defaults, because qos_submit_delay() returns before touching any
+// state. Client + scrub load makes all three op-class call sites execute.
+TEST(RecoveryQos, DisabledIgnoresParams) {
+  ClusterConfig base = qos_cluster_config();
+  base.client.ops_per_s = 200;
+  base.client.op_bytes = util::Bytes(256 * KiB);
+  base.client.read_fraction = 0.5;
+  base.client.horizon_s = util::SimSec(30.0);
+  base.scrub.enabled = true;
+  base.scrub.interval_s = 0.5;
+  base.scrub.max_passes = 1;
+
+  ClusterConfig wild = base;
+  wild.qos.enabled = false;  // explicit: this is the property under test
+  wild.qos.idle_reset_s = 0.01;
+  wild.qos.client = {0.001, 0.001, 1.0};
+  wild.qos.recovery = {9999.0, 5000.0, 9999.0};
+  wild.qos.scrub = {500.0, 500.0, 500.0};
+
+  const RecoveryReport a = run_host_failure(base);
+  const RecoveryReport b = run_host_failure(wild);
+  ASSERT_TRUE(a.complete);
+  ASSERT_TRUE(b.complete);
+  EXPECT_EQ(a.recovery_end_time, b.recovery_end_time);
+  EXPECT_EQ(a.bytes_read_for_recovery, b.bytes_read_for_recovery);
+  EXPECT_EQ(a.bytes_written_for_recovery, b.bytes_written_for_recovery);
+  EXPECT_EQ(a.bytes_on_wire_for_recovery, b.bytes_on_wire_for_recovery);
+  EXPECT_EQ(a.client_ops, b.client_ops);
+  EXPECT_EQ(a.degraded_reads, b.degraded_reads);
+  EXPECT_EQ(a.mean_client_latency(), b.mean_client_latency());
+  EXPECT_EQ(a.max_client_latency(), b.max_client_latency());
+  EXPECT_EQ(a.pgs_scrubbed, b.pgs_scrubbed);
+}
+
+// Turning the scheduler on must actually reschedule something: same
+// workload, default tag parameters, and the recovery timeline diverges
+// while the repaired-byte totals stay conserved.
+TEST(RecoveryQos, EnabledChangesScheduleNotBytes) {
+  ClusterConfig cfg = qos_cluster_config();
+  cfg.client.ops_per_s = 200;
+  cfg.client.op_bytes = util::Bytes(256 * KiB);
+  cfg.client.horizon_s = util::SimSec(30.0);
+  const RecoveryReport off = run_host_failure(cfg);
+  cfg.qos.enabled = true;
+  const RecoveryReport on = run_host_failure(cfg);
+  ASSERT_TRUE(off.complete);
+  ASSERT_TRUE(on.complete);
+  EXPECT_NE(off.recovery_end_time, on.recovery_end_time);
+  EXPECT_EQ(off.bytes_read_for_recovery, on.bytes_read_for_recovery);
+  EXPECT_EQ(off.bytes_written_for_recovery, on.bytes_written_for_recovery);
+}
+
+// Load-aware helper selection must be deterministic: the score feeds on
+// live fabric state, but ties break by OSD id and every input is itself
+// deterministic, so the same config replays bit-identically across event
+// lane counts (1 vs 8) and across repeats.
+RecoveryReport run_load_aware(int lanes) {
+  ClusterConfig cfg = qos_cluster_config();
+  cfg.engine_lanes = lanes;
+  cfg.helper_selection.enabled = true;
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  // Skew the fabric so the load-aware score has real spread to rank on.
+  for (HostId h = 0; h < 5; ++h) cl.set_link_latency(h, 2e-3);
+  cl.engine().schedule(1.0, [&cl] { cl.fail_host(2); });
+  return cl.run_to_recovery();
+}
+
+TEST(RecoveryQos, HelperSelectionDeterministicAcrossLanes) {
+  const RecoveryReport one = run_load_aware(1);
+  const RecoveryReport eight = run_load_aware(8);
+  const RecoveryReport again = run_load_aware(8);
+  ASSERT_TRUE(one.complete);
+  ASSERT_TRUE(eight.complete);
+  EXPECT_EQ(one.recovery_end_time, eight.recovery_end_time);
+  EXPECT_EQ(one.bytes_read_for_recovery, eight.bytes_read_for_recovery);
+  EXPECT_EQ(one.bytes_on_wire_for_recovery, eight.bytes_on_wire_for_recovery);
+  EXPECT_EQ(eight.recovery_end_time, again.recovery_end_time);
+  EXPECT_EQ(eight.bytes_read_for_recovery, again.bytes_read_for_recovery);
+}
+
+// Pipelined chained transfers reorder work, not bytes: a Clay double
+// erasure (the multi-stage DAG the pipeline targets) repairs the same
+// objects with identical disk/wire/write totals whether stages run behind
+// barriers or overlapped.
+RecoveryReport run_clay_double_failure(bool pipelined) {
+  ClusterConfig cfg = qos_cluster_config();
+  cfg.pool.ec_profile = {
+      {"plugin", "clay"}, {"k", "9"}, {"m", "3"}, {"d", "11"}};
+  cfg.pool.dag_recovery = true;
+  cfg.pool.dag_pipeline = pipelined;
+  Cluster cl(cfg);
+  cl.create_pool();
+  cl.apply_workload();
+  const std::vector<OsdId> acting = cl.pg_acting(0);
+  const OsdId v0 = acting[0];
+  const OsdId v1 = acting[1];
+  cl.engine().schedule(1.0, [&cl, v0, v1] {
+    cl.fail_device(v0);
+    cl.fail_device(v1);
+  });
+  return cl.run_to_recovery();
+}
+
+TEST(RecoveryQos, PipelinedClayConservesBytes) {
+  const RecoveryReport staged = run_clay_double_failure(false);
+  const RecoveryReport piped = run_clay_double_failure(true);
+  ASSERT_TRUE(staged.complete);
+  ASSERT_TRUE(piped.complete);
+  EXPECT_EQ(staged.objects_repaired, piped.objects_repaired);
+  EXPECT_EQ(staged.bytes_read_for_recovery, piped.bytes_read_for_recovery);
+  EXPECT_EQ(staged.bytes_written_for_recovery,
+            piped.bytes_written_for_recovery);
+  EXPECT_EQ(staged.bytes_on_wire_for_recovery,
+            piped.bytes_on_wire_for_recovery);
+}
+
+}  // namespace
+}  // namespace ecf::cluster

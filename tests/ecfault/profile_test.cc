@@ -147,6 +147,70 @@ TEST(Profile, EnumStringsRoundTrip) {
             FaultTopology::kDifferentHosts);
 }
 
+TEST(Profile, QosAndHelperSelectionRoundTrip) {
+  ExperimentProfile p;
+  p.cluster.qos.enabled = true;
+  p.cluster.qos.idle_reset_s = 1.25;
+  p.cluster.qos.client = {250.0, 80.0, 0.0};
+  p.cluster.qos.recovery = {5.0, 16.0, 200.0};
+  p.cluster.qos.scrub = {0.0, 2.0, 0.0};
+  p.cluster.helper_selection.enabled = true;
+  p.cluster.helper_selection.disk_weight = 2.0;
+  p.cluster.helper_selection.link_weight = 0.5;
+  p.cluster.helper_selection.inflight_penalty_s = 1e-3;
+  p.cluster.helper_selection.backfill_penalty_s = 0.1;
+  p.cluster.helper_selection.served_weight = 3.0;
+  p.cluster.pool.dag_recovery = true;
+  p.cluster.pool.dag_pipeline = true;
+  const ExperimentProfile q = ExperimentProfile::parse(p.dump());
+  EXPECT_TRUE(q.cluster.qos.enabled);
+  EXPECT_DOUBLE_EQ(q.cluster.qos.idle_reset_s, 1.25);
+  EXPECT_DOUBLE_EQ(q.cluster.qos.client.reservation_ops, 250.0);
+  EXPECT_DOUBLE_EQ(q.cluster.qos.client.weight, 80.0);
+  EXPECT_DOUBLE_EQ(q.cluster.qos.recovery.reservation_ops, 5.0);
+  EXPECT_DOUBLE_EQ(q.cluster.qos.recovery.weight, 16.0);
+  EXPECT_DOUBLE_EQ(q.cluster.qos.recovery.limit_ops, 200.0);
+  EXPECT_DOUBLE_EQ(q.cluster.qos.scrub.weight, 2.0);
+  EXPECT_TRUE(q.cluster.helper_selection.enabled);
+  EXPECT_DOUBLE_EQ(q.cluster.helper_selection.disk_weight, 2.0);
+  EXPECT_DOUBLE_EQ(q.cluster.helper_selection.link_weight, 0.5);
+  EXPECT_DOUBLE_EQ(q.cluster.helper_selection.inflight_penalty_s, 1e-3);
+  EXPECT_DOUBLE_EQ(q.cluster.helper_selection.backfill_penalty_s, 0.1);
+  EXPECT_DOUBLE_EQ(q.cluster.helper_selection.served_weight, 3.0);
+  EXPECT_TRUE(q.cluster.pool.dag_pipeline);
+}
+
+TEST(Profile, QosDefaultsWhenOmitted) {
+  const ExperimentProfile p = ExperimentProfile::parse(R"({"name": "min"})");
+  EXPECT_FALSE(p.cluster.qos.enabled);
+  EXPECT_DOUBLE_EQ(p.cluster.qos.client.reservation_ops, 500.0);
+  EXPECT_DOUBLE_EQ(p.cluster.qos.recovery.weight, 10.0);
+  EXPECT_FALSE(p.cluster.helper_selection.enabled);
+  EXPECT_FALSE(p.cluster.pool.dag_pipeline);
+}
+
+TEST(Profile, ValidatesQos) {
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"qos": {"idle_reset_s": 0}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"qos": {"recovery": {"weight": 0}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"qos": {"recovery": {"reservation_ops": -1}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"qos": {"client": {"reservation_ops": 100,
+                                          "limit_ops": 50}}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"helper_selection": {"disk_weight": -1}})"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentProfile::parse(
+                   R"({"cluster": {"pool": {"dag_pipeline": true}}})"),
+               std::invalid_argument);
+}
+
 TEST(Profile, CommentsAllowedInProfileFiles) {
   const ExperimentProfile p = ExperimentProfile::parse(
       "{\n// the Fig. 2b pg_num=1 point\n\"cluster\": {\"pool\": {\"pg_num\": 1}}\n}");
